@@ -1,0 +1,120 @@
+//! B10 — Criterion micro-benchmarks for the primitive operations every
+//! query decomposes into: alphabet-predicate evaluation (the paper's
+//! constant-time guarantee, §3.1), one Pike-VM scan step, tree
+//! concatenation at a point (§3.3), subtree copy, and boolean tree-
+//! pattern matching. These are the constants behind the B1–B9 shapes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use aqua_object::AttrId;
+use aqua_pattern::list::{ListPattern, MatchMode, Sym};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::TreeMatcher;
+use aqua_pattern::{CcLabel, PredExpr};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::SongGen;
+
+fn bench_pred_eval(c: &mut Criterion) {
+    let d = SongGen::new(1).notes(1).generate();
+    let oid = d.song.oids()[0];
+    let pred = PredExpr::eq("pitch", "A")
+        .and(PredExpr::cmp("duration", aqua_pattern::CmpOp::Le, 8))
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    c.bench_function("alphabet_predicate_eval", |b| {
+        b.iter(|| black_box(pred.eval(&d.store, black_box(oid))))
+    });
+}
+
+fn bench_list_scan(c: &mut Criterion) {
+    let d = SongGen::new(2).notes(10_000).generate();
+    let re = Sym::pred(PredExpr::eq("pitch", "A"))
+        .then(Sym::any())
+        .then(Sym::pred(PredExpr::eq("pitch", "F")));
+    let p = ListPattern::unanchored(re, d.class, d.store.class(d.class)).unwrap();
+    let oids = d.song.oids();
+    c.bench_function("pike_vm_scan_10k_notes", |b| {
+        b.iter(|| {
+            black_box(
+                p.find_matches(&d.store, &oids, MatchMode::Nonoverlapping)
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_concat(c: &mut Criterion) {
+    let d = RandomTreeGen::new(3).nodes(1000).generate();
+    let ctx = aqua_algebra::tree::split::split_pieces(
+        &d.store,
+        &d.tree,
+        &parse_tree_pattern("?(?*)", &PredEnv::with_default_attr("label"))
+            .unwrap()
+            .compile(d.class, d.store.class(d.class))
+            .unwrap(),
+        &aqua_pattern::tree_match::MatchConfig::first_per_root(),
+    )
+    .into_iter()
+    .nth(1)
+    .expect("a non-root match exists");
+    c.bench_function("concat_at_1k_node_context", |b| {
+        b.iter(|| {
+            black_box(aqua_algebra::tree::concat::concat_at(
+                &ctx.context,
+                black_box(&ctx.alpha),
+                &ctx.matched,
+            ))
+            .len()
+        })
+    });
+    let _ = CcLabel::new("keep-import");
+}
+
+fn bench_subtree_copy(c: &mut Criterion) {
+    let d = RandomTreeGen::new(4).nodes(5000).generate();
+    c.bench_function("subtree_copy_5k_nodes", |b| {
+        b.iter(|| black_box(aqua_algebra::tree::concat::subtree(&d.tree, d.tree.root())).len())
+    });
+}
+
+fn bench_bool_match(c: &mut Criterion) {
+    let d = RandomTreeGen::new(5)
+        .nodes(2000)
+        .label_weights(&[("d", 1), ("a", 5), ("x", 14)])
+        .generate();
+    let cp = parse_tree_pattern("d(?* a ?*)", &PredEnv::with_default_attr("label"))
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    c.bench_function("tree_bool_match_all_nodes_2k", |b| {
+        b.iter_batched(
+            || TreeMatcher::new(&cp, &d.tree, &d.store),
+            |mut m| {
+                let mut hits = 0usize;
+                for n in 0..2000u32 {
+                    if m.matches_at(n) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let _ = AttrId(0);
+}
+
+fn tight() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = micro;
+    config = tight();
+    targets = bench_pred_eval, bench_list_scan, bench_concat, bench_subtree_copy, bench_bool_match
+}
+criterion_main!(micro);

@@ -1,0 +1,107 @@
+//! B3 — tractability of the list pattern language (§3.1: regular
+//! expressions were chosen for their known tractability).
+//!
+//! Three claims:
+//!   (a) a non-overlapping scan is linear in list length,
+//!   (b) cost grows politely (≈ linearly) with pattern size,
+//!   (c) the pathological `(A|A)^k A*` family shows no exponential
+//!       blowup (the Pike-VM never backtracks).
+//!
+//! Columns: time, and ns per element (should be ~flat down each sweep).
+
+use aqua_bench::timing::{ms, time_median};
+use aqua_bench::Table;
+use aqua_pattern::ast::Re;
+use aqua_pattern::list::{ListPattern, MatchMode, Sym};
+use aqua_pattern::PredExpr;
+use aqua_workload::SongGen;
+
+fn pitch(p: &str) -> Re<Sym> {
+    Sym::pred(PredExpr::eq("pitch", p))
+}
+
+fn main() {
+    // (a) length sweep, fixed melody pattern [A ? ? F].
+    let mut t1 = Table::new(&["notes", "scan_ms", "ns_per_note", "matches"]);
+    let re = pitch("A")
+        .then(Sym::any())
+        .then(Sym::any())
+        .then(pitch("F"));
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let d = SongGen::new(7).notes(n).generate();
+        let p = ListPattern::unanchored(re.clone(), d.class, d.store.class(d.class)).unwrap();
+        let oids = d.song.oids();
+        let m = time_median(3, || {
+            p.find_matches(&d.store, &oids, MatchMode::Nonoverlapping)
+                .len()
+        });
+        t1.row(vec![
+            n.to_string(),
+            ms(m),
+            format!("{:.0}", m.secs * 1e9 / n as f64),
+            m.result_size.to_string(),
+        ]);
+    }
+    t1.print("B3a: non-overlapping list scan scales linearly in list length");
+
+    // (b) pattern-size sweep on a fixed list.
+    let d = SongGen::new(9).notes(50_000).generate();
+    let oids = d.song.oids();
+    let mut t2 = Table::new(&["pattern_terms", "scan_ms", "nfa_states"]);
+    for &k in &[2usize, 4, 8, 16, 32] {
+        let mut re = pitch("A");
+        for _ in 1..k {
+            re = re.then(Sym::any());
+        }
+        let p = ListPattern::unanchored(re, d.class, d.store.class(d.class)).unwrap();
+        let m = time_median(3, || {
+            p.find_matches(&d.store, &oids, MatchMode::Nonoverlapping)
+                .len()
+        });
+        t2.row(vec![k.to_string(), ms(m), p.nfa_size().to_string()]);
+    }
+    t2.print("B3b: cost grows ~linearly with pattern length");
+
+    // (c) pathological (A|A)^k A* — exponential for backtrackers.
+    let all_a = SongGen::new(1).notes(64).plant(vec!["A"; 64], 1).generate();
+    let a_oids = all_a.song.oids();
+    let mut t3 = Table::new(&["k", "match_ms", "accepted"]);
+    for &k in &[4usize, 8, 16, 24] {
+        let mut re = pitch("A").or(pitch("A"));
+        for _ in 1..k {
+            re = re.then(pitch("A").or(pitch("A")));
+        }
+        re = re.then(pitch("A").star());
+        let p = ListPattern::unanchored(re, all_a.class, all_a.store.class(all_a.class)).unwrap();
+        let m = time_median(3, || usize::from(p.is_match(&all_a.store, &a_oids)));
+        t3.row(vec![k.to_string(), ms(m), m.result_size.to_string()]);
+    }
+    t3.print("B3c: (A|A)^k A* on A^64 — no exponential blowup (Pike VM)");
+
+    // (d) NFA Pike VM vs lazy DFA on the same scan.
+    let mut t4 = Table::new(&["notes", "nfa_ms", "dfa_ms", "speedup", "dfa_states"]);
+    let re = pitch("A")
+        .then(Sym::any())
+        .then(Sym::any())
+        .then(pitch("F"));
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let d = SongGen::new(7).notes(n).generate();
+        let p = ListPattern::unanchored(re.clone(), d.class, d.store.class(d.class)).unwrap();
+        let oids = d.song.oids();
+        let nfa_t = time_median(3, || {
+            p.find_matches(&d.store, &oids, MatchMode::Nonoverlapping)
+                .len()
+        });
+        let mut dfa = aqua_pattern::dfa::ListDfa::new(&p).unwrap();
+        let dfa_t = time_median(3, || dfa.find_nonoverlapping(&d.store, &oids).len());
+        assert_eq!(nfa_t.result_size, dfa_t.result_size);
+        t4.row(vec![
+            n.to_string(),
+            ms(nfa_t),
+            ms(dfa_t),
+            format!("{:.1}x", nfa_t.secs / dfa_t.secs.max(1e-12)),
+            dfa.materialized_states().to_string(),
+        ]);
+    }
+    t4.print("B3d: Pike-VM scan vs lazy-DFA scan (ablation)");
+}

@@ -1,0 +1,56 @@
+//! B4 — `split` cost model: each match materializes three pieces, and
+//! the context piece is a copy of everything outside the match, so the
+//! per-match cost is Θ(tree size) — flat in the number of matches.
+//! Reassembly is likewise linear per match. (Operators that do not need
+//! the context — `sub_select` — skip this cost entirely; see B1/B5.)
+//!
+//! Sweep: number of matches in a fixed-size tree (match count is dialed
+//! by the rare-label weight). Columns: split ms, per-match µs (expected
+//! ~flat), reassembly ms of all matches.
+
+use aqua_bench::timing::{ms, time_median};
+use aqua_bench::Table;
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn main() {
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("d(!?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let nodes = 10_000usize;
+
+    let mut table = Table::new(&[
+        "nodes",
+        "matches",
+        "split_ms",
+        "us_per_match",
+        "reassemble_ms",
+    ]);
+    for &(d_w, x_w) in &[(1u32, 2000u32), (1, 200), (1, 40)] {
+        let data = RandomTreeGen::new(11)
+            .nodes(nodes)
+            .label_weights(&[("d", d_w), ("x", x_w)])
+            .generate();
+        let cp = pattern
+            .compile(data.class, data.store.class(data.class))
+            .unwrap();
+
+        let split_t = time_median(3, || {
+            aqua_algebra::tree::split::split_pieces(&data.store, &data.tree, &cp, &cfg).len()
+        });
+        let pieces = aqua_algebra::tree::split::split_pieces(&data.store, &data.tree, &cp, &cfg);
+        let n_matches = pieces.len().max(1);
+        let reassemble_t = time_median(3, || {
+            pieces.iter().map(|p| p.reassemble().len()).sum::<usize>()
+        });
+        table.row(vec![
+            nodes.to_string(),
+            pieces.len().to_string(),
+            ms(split_t),
+            format!("{:.1}", split_t.secs * 1e6 / n_matches as f64),
+            ms(reassemble_t),
+        ]);
+    }
+    table.print("B4: split cost — O(tree) per match (context piece); reassembly linear (paper §4)");
+}

@@ -1,0 +1,69 @@
+//! B5 — ablation for "split is primitive" (§4/§8): the derived
+//! operators (`sub_select`, `all_anc`, `all_desc` defined through
+//! `split`) versus the direct `sub_select` implementation. The paper's
+//! algebra pays for its small primitive set only a bounded constant
+//! factor — not an asymptotic penalty.
+//!
+//! Columns: direct sub_select ms, via-split sub_select ms, overhead
+//! factor, plus all_anc/all_desc ms for scale.
+
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn factor(a: Timed, b: Timed) -> String {
+    format!("{:.2}x", b.secs / a.secs.max(1e-12))
+}
+
+fn main() {
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("d(?* a ?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+
+    let mut table = Table::new(&[
+        "nodes",
+        "matches",
+        "direct_ms",
+        "via_split_ms",
+        "overhead",
+        "all_anc_ms",
+        "all_desc_ms",
+    ]);
+    for &nodes in &[1_000usize, 5_000, 20_000] {
+        let d = RandomTreeGen::new(21)
+            .nodes(nodes)
+            .label_weights(&[("d", 1), ("a", 5), ("x", 14)])
+            .generate();
+        let cp = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+
+        let direct = time_median(3, || {
+            aqua_algebra::tree::ops::sub_select(&d.store, &d.tree, &cp, &cfg).len()
+        });
+        let derived = time_median(3, || {
+            aqua_algebra::tree::ops::sub_select_via_split(&d.store, &d.tree, &cp, &cfg).len()
+        });
+        assert_eq!(direct.result_size, derived.result_size);
+        let anc = time_median(3, || {
+            aqua_algebra::tree::ops::all_anc(&d.store, &d.tree, &cp, &cfg, |x, y| x.len() + y.len())
+                .len()
+        });
+        let desc = time_median(3, || {
+            aqua_algebra::tree::ops::all_desc(&d.store, &d.tree, &cp, &cfg, |y, z| {
+                y.len() + z.len()
+            })
+            .len()
+        });
+        table.row(vec![
+            nodes.to_string(),
+            direct.result_size.to_string(),
+            ms(direct),
+            ms(derived),
+            factor(direct, derived),
+            ms(anc),
+            ms(desc),
+        ]);
+    }
+    table.print("B5: derived operators via split vs direct implementation (ablation)");
+}

@@ -1,0 +1,118 @@
+//! B6 — what does *stability* cost? (§1: operators preserve the
+//! relative order of all surviving pairs.) Stable tree `select`
+//! (ancestry compression) vs unordered set `select` over the same
+//! elements.
+//!
+//! Sweep: tree size × predicate selectivity.
+//! Columns: set select ms, stable tree select ms, overhead factor.
+
+use aqua_algebra::setops::AquaSet;
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_pattern::PredExpr;
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn factor(a: Timed, b: Timed) -> String {
+    format!("{:.2}x", b.secs / a.secs.max(1e-12))
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "nodes",
+        "sel%",
+        "set_select_ms",
+        "tree_select_ms",
+        "overhead",
+        "kept",
+    ]);
+    for &nodes in &[1_000usize, 10_000, 100_000] {
+        for &(label_w, rest_w, sel_pct) in &[(1u32, 99u32, 1.0), (1, 9, 10.0), (1, 1, 50.0)] {
+            let d = RandomTreeGen::new(5)
+                .nodes(nodes)
+                .label_weights(&[("u", label_w), ("x", rest_w)])
+                .generate();
+            let pred = PredExpr::eq("label", "u")
+                .compile(d.class, d.store.class(d.class))
+                .unwrap();
+
+            let set: AquaSet = d.store.extent(d.class).iter().copied().collect();
+            let set_t = time_median(3, || set.select(&d.store, &pred).len());
+            let tree_t = time_median(3, || {
+                aqua_algebra::tree::ops::select(&d.store, &d.tree, &pred)
+                    .iter()
+                    .map(aqua_algebra::Tree::len)
+                    .sum::<usize>()
+            });
+            assert_eq!(set_t.result_size, tree_t.result_size);
+            table.row(vec![
+                nodes.to_string(),
+                format!("{sel_pct}"),
+                ms(set_t),
+                ms(tree_t),
+                factor(set_t, tree_t),
+                tree_t.result_size.to_string(),
+            ]);
+        }
+    }
+    table.print("B6: order/ancestry-preserving select vs unordered set select (ablation)");
+
+    // B6b: the indexed tree-select plan (node-index probe + structural
+    // compression) claws the stability overhead back on selective
+    // predicates.
+    let mut t2 = Table::new(&["nodes", "sel%", "walk_ms", "indexed_ms", "speedup", "kept"]);
+    for &nodes in &[10_000usize, 100_000] {
+        for &(label_w, rest_w, sel_pct) in &[(1u32, 999u32, 0.1), (1, 99, 1.0), (1, 9, 10.0)] {
+            let d = RandomTreeGen::new(6)
+                .nodes(nodes)
+                .label_weights(&[("u", label_w), ("x", rest_w)])
+                .generate();
+            let idx = aqua_store::TreeNodeIndex::build(
+                &d.store,
+                &d.tree,
+                d.class,
+                aqua_object::AttrId(0),
+            );
+            let sidx = aqua_store::StructuralIndex::build(&d.tree);
+            let stats = aqua_store::ColumnStats::build(&d.store, d.class, aqua_object::AttrId(0));
+            let mut cat = aqua_optimizer::Catalog::new(&d.store, d.class);
+            cat.add_tree_index(&idx)
+                .add_structural_index(&sidx)
+                .add_stats(&stats);
+            let opt = aqua_optimizer::Optimizer::new(&cat);
+            let pred_expr = PredExpr::eq("label", "u");
+            let (plan, _) = opt.plan_tree_select(&pred_expr, d.tree.len()).unwrap();
+            let pred = pred_expr.compile(d.class, d.store.class(d.class)).unwrap();
+            let walk = time_median(3, || {
+                aqua_algebra::tree::ops::select(&d.store, &d.tree, &pred)
+                    .iter()
+                    .map(aqua_algebra::Tree::len)
+                    .sum::<usize>()
+            });
+            let fast = time_median(3, || {
+                plan.execute(&cat, &d.tree)
+                    .unwrap()
+                    .iter()
+                    .map(aqua_algebra::Tree::len)
+                    .sum::<usize>()
+            });
+            assert_eq!(walk.result_size, fast.result_size);
+            t2.row(vec![
+                nodes.to_string(),
+                format!("{sel_pct}"),
+                ms(walk),
+                ms(fast),
+                format!(
+                    "{:.1}x{}",
+                    walk.secs / fast.secs.max(1e-12),
+                    if plan.is_indexed() {
+                        ""
+                    } else {
+                        " (scan chosen)"
+                    }
+                ),
+                fast.result_size.to_string(),
+            ]);
+        }
+    }
+    t2.print("B6b: tree select — full walk vs node-index probe + structural compression");
+}

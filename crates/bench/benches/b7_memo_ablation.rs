@@ -1,0 +1,64 @@
+//! B7 — memoization ablation for the tree matcher.
+//!
+//! The matcher memoizes `(subpattern, node)` booleans, which matters
+//! most for *closure* patterns (Figure 2's `[[a(b c α)]]^{*α}` family),
+//! where evaluating the pattern at a node recursively evaluates it at
+//! the node's descendants. The subject is the chain closure
+//!
+//!     [[a(@x)]]+@x
+//!
+//! evaluated at **every** node of a path-shaped tree of `a`s: each
+//! suffix of the path is a chain, so every node matches — but without
+//! memoization, `matches_at(depth k)` re-walks the whole remaining path,
+//! Θ(n²) in total, while the memo shares suffix answers across roots,
+//! Θ(n) in total. The speedup column should grow linearly with size.
+
+use aqua_bench::timing::{ms, speedup, time_median};
+use aqua_bench::Table;
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::{TreeAccess, TreeMatcher};
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn main() {
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("[[a(@x)]]+@x", &env).unwrap();
+    let mut table = Table::new(&[
+        "nodes",
+        "depth",
+        "memo_ms",
+        "no_memo_ms",
+        "memo_speedup",
+        "hits",
+    ]);
+
+    for &nodes in &[250usize, 500, 1000, 2000] {
+        // max_arity(1) makes the tree a single path of `a`s.
+        let d = RandomTreeGen::new(3)
+            .nodes(nodes)
+            .max_arity(1)
+            .label_weights(&[("a", 1)])
+            .generate();
+        let cp = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+        let all_nodes: Vec<u32> = (0..TreeAccess::node_count(&d.tree) as u32).collect();
+
+        let with = time_median(3, || {
+            let mut m = TreeMatcher::new(&cp, &d.tree, &d.store);
+            all_nodes.iter().filter(|&&n| m.matches_at(n)).count()
+        });
+        let without = time_median(3, || {
+            let mut m = TreeMatcher::new(&cp, &d.tree, &d.store);
+            m.memoize = false;
+            all_nodes.iter().filter(|&&n| m.matches_at(n)).count()
+        });
+        assert_eq!(with.result_size, without.result_size);
+        table.row(vec![
+            nodes.to_string(),
+            d.tree.height().to_string(),
+            ms(with),
+            ms(without),
+            speedup(without, with),
+            with.result_size.to_string(),
+        ]);
+    }
+    table.print("B7: memoization ablation on the Figure-2 chain closure");
+}

@@ -1,0 +1,97 @@
+//! B8 — the structural (pre/postorder interval) index: O(1) ancestor
+//! tests and contiguous descendant slices versus parent-chain walks and
+//! subtree traversals. This is the access method that keeps
+//! `all_anc`/`all_desc`-style context computations cheap on large trees.
+//!
+//! Sweep: tree size, with a fixed budget of random (u, v) queries.
+//! Columns: walk-based ms, index-based ms, speedup, and the one-time
+//! index build ms (the amortization cost).
+
+use aqua_algebra::NodeId;
+use aqua_bench::timing::{ms, speedup, time_median};
+use aqua_bench::Table;
+use aqua_store::StructuralIndex;
+use aqua_workload::random_tree::RandomTreeGen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    const QUERIES: usize = 100_000;
+    let mut t1 = Table::new(&[
+        "nodes",
+        "anc_walk_ms",
+        "anc_index_ms",
+        "speedup",
+        "build_ms",
+    ]);
+    for &nodes in &[1_000usize, 10_000, 100_000] {
+        let d = RandomTreeGen::new(13).nodes(nodes).max_arity(3).generate();
+        let mut rng = StdRng::seed_from_u64(99);
+        let pairs: Vec<(NodeId, NodeId)> = (0..QUERIES)
+            .map(|_| {
+                (
+                    NodeId(rng.gen_range(0..nodes as u32)),
+                    NodeId(rng.gen_range(0..nodes as u32)),
+                )
+            })
+            .collect();
+
+        let build = time_median(3, || {
+            StructuralIndex::build(&d.tree).subtree_size(d.tree.root())
+        });
+        let idx = StructuralIndex::build(&d.tree);
+
+        let walk = time_median(3, || {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| d.tree.is_ancestor(u, v))
+                .count()
+        });
+        let fast = time_median(3, || {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| idx.is_ancestor(u, v))
+                .count()
+        });
+        assert_eq!(walk.result_size, fast.result_size);
+        t1.row(vec![
+            nodes.to_string(),
+            ms(walk),
+            ms(fast),
+            speedup(walk, fast),
+            ms(build),
+        ]);
+    }
+    t1.print("B8a: ancestor tests — parent-chain walk vs interval index");
+
+    // Descendant enumeration: subtree traversal vs contiguous slice.
+    let mut t2 = Table::new(&["nodes", "traverse_ms", "slice_ms", "speedup"]);
+    for &nodes in &[10_000usize, 100_000] {
+        let d = RandomTreeGen::new(14).nodes(nodes).max_arity(3).generate();
+        let idx = StructuralIndex::build(&d.tree);
+        let mut rng = StdRng::seed_from_u64(7);
+        let probes: Vec<NodeId> = (0..10_000)
+            .map(|_| NodeId(rng.gen_range(0..nodes as u32)))
+            .collect();
+        let traverse = time_median(3, || {
+            probes
+                .iter()
+                .map(|&n| d.tree.iter_preorder_from(n).count())
+                .sum::<usize>()
+        });
+        let slice = time_median(3, || {
+            probes
+                .iter()
+                .map(|&n| idx.descendants(n).len())
+                .sum::<usize>()
+        });
+        assert_eq!(traverse.result_size, slice.result_size);
+        t2.row(vec![
+            nodes.to_string(),
+            ms(traverse),
+            ms(slice),
+            speedup(traverse, slice),
+        ]);
+    }
+    t2.print("B8b: descendant enumeration — traversal vs preorder slice");
+}

@@ -1,0 +1,66 @@
+//! B9 (extension) — approximate tree matching cost (§7.1/§8).
+//!
+//! The paper claims distance-metric queries "are easily accommodated";
+//! this bench quantifies what `approx_sub_select` (Zhang–Shasha per
+//! candidate subtree, with the size-difference lower bound as a filter)
+//! costs, and how much the bound prunes.
+//!
+//! Sweep: tree size × distance bound k.
+//! Columns: query ms, candidates surviving the size bound, hits.
+
+use aqua_algebra::tree::distance::{approx_sub_select, EditCosts};
+use aqua_algebra::Payload;
+use aqua_bench::timing::{ms, time_median};
+use aqua_bench::Table;
+use aqua_object::AttrId;
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn main() {
+    let mut table = Table::new(&["nodes", "k", "query_ms", "size_bound_pass", "hits"]);
+    for &nodes in &[500usize, 2_000, 8_000] {
+        let d = RandomTreeGen::new(31)
+            .nodes(nodes)
+            .max_arity(3)
+            .label_weights(&[("a", 3), ("b", 2), ("c", 1)])
+            .generate();
+        // Target: a small actual subtree of the data, so exact hits
+        // exist; walk down until the subtree is modest (ZS is quadratic
+        // in target size).
+        let mut target_root = d.tree.children(d.tree.root())[0];
+        while d.tree.iter_preorder_from(target_root).count() > 12 {
+            target_root = d.tree.children(target_root)[0];
+        }
+        let target = aqua_algebra::tree::concat::subtree(&d.tree, target_root);
+        let store = &d.store;
+        let costs = EditCosts {
+            insert: 1,
+            delete: 1,
+            rename: move |a: &Payload, b: &Payload| match (a, b) {
+                (Payload::Cell(x), Payload::Cell(y)) => u64::from(
+                    store.attr(x.contents(), AttrId(0)) != store.attr(y.contents(), AttrId(0)),
+                ),
+                _ => 1,
+            },
+        };
+        let tsize = target.len() as i64;
+        for &k in &[0u64, 2, 4] {
+            let pass = d
+                .tree
+                .iter_preorder()
+                .filter(|&n| {
+                    let s = d.tree.iter_preorder_from(n).count() as i64;
+                    (s - tsize).unsigned_abs() <= k
+                })
+                .count();
+            let t = time_median(3, || approx_sub_select(&d.tree, &target, k, &costs).len());
+            table.row(vec![
+                nodes.to_string(),
+                k.to_string(),
+                ms(t),
+                pass.to_string(),
+                t.result_size.to_string(),
+            ]);
+        }
+    }
+    table.print("B9 (extension): approx_sub_select — Zhang–Shasha with size-bound pruning");
+}

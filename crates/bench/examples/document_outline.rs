@@ -1,0 +1,114 @@
+//! Document querying: the multimedia motivation of §1 — "a document can
+//! be viewed as a tree of document components".
+//!
+//! Generates a nested document, then:
+//!   1. extracts the section outline with stable `select`,
+//!   2. finds figure-bearing sections with `sub_select` + pruning,
+//!   3. pairs every figure with its enclosing path using `all_anc`,
+//!   4. computes per-section word counts with subtree navigation and a
+//!      fold.
+//!
+//! Run with: `cargo run --example document_outline`
+
+use aqua_algebra::tree::{display, ops};
+use aqua_algebra::Tree;
+use aqua_object::{AttrId, ObjectStore, Value};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_workload::DocumentGen;
+
+fn title(store: &ObjectStore, t: &Tree, n: aqua_algebra::NodeId) -> String {
+    t.oid(n)
+        .map(|o| match store.attr(o, AttrId(1)) {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+        .unwrap_or_else(|| "@".into())
+}
+
+fn main() {
+    let d = DocumentGen::new(17).sections(4).depth(3).generate();
+    println!(
+        "document: {} nodes, height {}",
+        d.tree.len(),
+        d.tree.height()
+    );
+
+    // ── 1. outline: only sections, nesting preserved ────────────────
+    let section = PredExpr::eq("kind", "section")
+        .compile(d.class, d.store.class(d.class))
+        .expect("predicate compiles");
+    let outline = ops::select(&d.store, &d.tree, &section);
+    println!("\noutline (stable select on kind = \"section\"):");
+    for top in &outline {
+        for n in top.iter_preorder() {
+            let indent = "  ".repeat(top.depth(n) + 1);
+            println!("{indent}{}", title(&d.store, top, n));
+        }
+    }
+
+    // ── 2. figure-bearing sections ──────────────────────────────────
+    let env = PredEnv::with_default_attr("kind");
+    let cp = parse_tree_pattern("section(!?* figure !?*)", &env)
+        .expect("pattern parses")
+        .compile(d.class, d.store.class(d.class))
+        .expect("pattern compiles");
+    let hits = ops::sub_select(&d.store, &d.tree, &cp, &MatchConfig::first_per_root());
+    println!("\nsections directly containing a figure:");
+    for h in &hits {
+        println!(
+            "  {}",
+            display::render(h, &|oid| match d.store.attr(oid, AttrId(1)) {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            })
+        );
+    }
+
+    // ── 3. figures with their enclosing path ────────────────────────
+    let fig = parse_tree_pattern("figure", &env)
+        .expect("pattern parses")
+        .compile(d.class, d.store.class(d.class))
+        .expect("pattern compiles");
+    let paths = ops::all_anc(
+        &d.store,
+        &d.tree,
+        &fig,
+        &MatchConfig::first_per_root(),
+        |ctx, m| {
+            // The figure's path = titles of the hole's ancestors in ctx.
+            let hole = ctx
+                .iter_preorder()
+                .find(|&n| ctx.payload(n).hole().is_some())
+                .expect("context contains the α hole");
+            let mut path: Vec<String> = ctx
+                .ancestors(hole)
+                .into_iter()
+                .rev()
+                .map(|a| title(&d.store, ctx, a))
+                .collect();
+            path.push(title(&d.store, m, m.root()));
+            path.join(" / ")
+        },
+    );
+    println!("\nfigure locations (via all_anc):");
+    for p in &paths {
+        println!("  {p}");
+    }
+
+    // ── 4. word counts per top-level section ────────────────────────
+    println!("\nwords per top-level section (subtree fold):");
+    for &sec in d.tree.children(d.tree.root()) {
+        let words: i64 = d
+            .tree
+            .iter_preorder_from(sec)
+            .filter_map(|n| d.tree.oid(n))
+            .map(|o| match d.store.attr(o, AttrId(2)) {
+                Value::Int(w) => *w,
+                _ => 0,
+            })
+            .sum();
+        println!("  {:<8} {words}", title(&d.store, &d.tree, sec));
+    }
+}

@@ -1,0 +1,92 @@
+//! Music search: the §6 list-algebra example at database scale.
+//!
+//! Generates a "music database" of songs (lists of notes), plants a
+//! melody, then runs:
+//!   1. `sub_select([A??F])` — find every phrase matching the melody,
+//!   2. `all_anc` / `all_desc` — each phrase with its context,
+//!   3. the positional-index plan vs the full scan, with EXPLAIN.
+//!
+//! Run with: `cargo run --example music_search`
+
+use aqua_algebra::list::ops as lops;
+use aqua_algebra::List;
+use aqua_object::{AttrId, ObjectStore, Value};
+use aqua_optimizer::{Catalog, Optimizer};
+use aqua_pattern::list::{ListPattern, MatchMode};
+use aqua_pattern::parser::{parse_list_pattern, PredEnv};
+use aqua_store::{ColumnStats, ListPosIndex};
+use aqua_workload::SongGen;
+
+fn pitches(store: &ObjectStore, l: &List) -> String {
+    l.iter_objects(store)
+        .map(|(_, o)| match o.get(AttrId(0)) {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+        .collect()
+}
+
+fn main() {
+    // A 2 000-note song with the melody A?F planted a few times; the
+    // pattern's wildcards make chance matches likely too.
+    let melody = vec!["A", "D", "E", "F"];
+    let d = SongGen::new(2026).notes(2000).plant(melody, 4).generate();
+    println!(
+        "song: {} notes; melody planted at {:?}",
+        d.song.len(),
+        d.planted
+    );
+
+    let env = PredEnv::with_default_attr("pitch");
+    let (re, s, e) = parse_list_pattern("[A ? ? F]", &env).expect("pattern parses");
+    let pattern = ListPattern::compile(re.clone(), s, e, d.class, d.store.class(d.class))
+        .expect("pattern compiles");
+
+    // ── sub_select: all phrases ─────────────────────────────────────
+    let phrases = lops::sub_select(&d.store, &d.song, &pattern, MatchMode::All);
+    println!("\nsub_select([A ? ? F]) found {} phrases:", phrases.len());
+    for (i, p) in phrases.iter().take(8).enumerate() {
+        println!("  #{:<2} {}", i + 1, pitches(&d.store, p));
+    }
+    if phrases.len() > 8 {
+        println!("  … and {} more", phrases.len() - 8);
+    }
+
+    // ── all_anc: phrase + everything before it ──────────────────────
+    let with_context = lops::all_anc(&d.store, &d.song, &pattern, MatchMode::All, |x, y| {
+        (x.len() - 1, pitches(&d.store, y)) // x ends in the α hole
+    });
+    println!("\nall_anc pairs (prefix length, phrase):");
+    for (plen, phrase) in with_context.iter().take(5) {
+        println!("  {plen:>5} notes before {phrase}");
+    }
+
+    // ── all_desc: phrase + everything after it ──────────────────────
+    let with_suffix = lops::all_desc(&d.store, &d.song, &pattern, MatchMode::All, |y, z| {
+        (pitches(&d.store, y), z.iter().map(List::len).sum::<usize>())
+    });
+    if let Some((phrase, after)) = with_suffix.first() {
+        println!("\nfirst phrase {phrase} is followed by {after} notes");
+    }
+
+    // ── optimizer: positional index probe ───────────────────────────
+    let idx = ListPosIndex::build(&d.store, &d.song, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_list_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+    let (plan, explain) = opt
+        .plan_list_sub_select(&re, s, e, d.song.len())
+        .expect("planning succeeds");
+    println!("\noptimizer EXPLAIN:\n{explain}");
+    let fast = plan.execute(&cat, &d.song).expect("plan executes");
+    println!(
+        "indexed plan found {} matches — {} the naive result",
+        fast.len(),
+        if fast.len() == phrases.len() {
+            "equal to"
+        } else {
+            "DIFFERENT FROM"
+        }
+    );
+}

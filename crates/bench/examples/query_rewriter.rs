@@ -1,0 +1,91 @@
+//! A rewrite-based query optimizer built *on* the tree algebra — the §5
+//! example: "we can specify compile time optimizations on T using our
+//! tree operators. This suggests that our tree query language would be
+//! useful in constructing a rewrite based optimizer."
+//!
+//! The rule applied is the paper's:
+//!     select(R, and(p1, p2))  ≡  select(select(R, p1), p2)
+//! realized as `split(select(!? and), f)` where `f` rebuilds the site
+//! and reattaches the cut pieces through their concatenation points.
+//!
+//! Run with: `cargo run --example query_rewriter`
+
+use aqua_algebra::tree::{display, split};
+use aqua_algebra::{Tree, TreeBuilder};
+use aqua_object::{AttrId, ObjectStore, Value};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_ast::CompiledTreePattern;
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_workload::ParseTreeGen;
+
+fn render(store: &ObjectStore, t: &Tree) -> String {
+    display::render(t, &|oid| match store.attr(oid, AttrId(0)) {
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    })
+}
+
+/// Apply `select(R, and(p1,p2)) → select(select(R,p1), p2)` once.
+/// Returns the rewritten tree, or `None` when no site remains.
+fn rewrite_once(store: &mut ObjectStore, tree: &Tree, site: &CompiledTreePattern) -> Option<Tree> {
+    let pieces = split::split_pieces(store, tree, site, &MatchConfig::first_per_root());
+    let p = pieces.into_iter().next()?;
+    // z = [R, p1, p2]; the update function f of §5 builds
+    // x ∘_α select(select(@R, @p1), @p2) ∘ z.
+    assert_eq!(p.descendants.len(), 3, "site shape is select(R and(p1 p2))");
+    let sel_inner = store
+        .insert_named("PTNode", &[("op", Value::str("select"))])
+        .expect("PTNode class registered");
+    let sel_outer = store
+        .insert_named("PTNode", &[("op", Value::str("select"))])
+        .expect("PTNode class registered");
+    let mut b = TreeBuilder::new();
+    let h_r = b.hole_node(p.cut_labels[0].clone(), vec![]);
+    let h_p1 = b.hole_node(p.cut_labels[1].clone(), vec![]);
+    let inner = b.node(sel_inner, vec![h_r, h_p1]);
+    let h_p2 = b.hole_node(p.cut_labels[2].clone(), vec![]);
+    let outer = b.node(sel_outer, vec![inner, h_p2]);
+    let replacement = b.finish(outer).expect("replacement is well-formed");
+    Some(p.reassemble_with(&replacement))
+}
+
+fn main() {
+    // ── The exact Figure-5 site first ───────────────────────────────
+    let fig5 = ParseTreeGen::fig5_tree();
+    let env = PredEnv::with_default_attr("op");
+    let site = parse_tree_pattern("select(!? and)", &env)
+        .expect("pattern parses")
+        .compile(fig5.class, fig5.store.class(fig5.class))
+        .expect("pattern compiles");
+
+    let mut store = fig5.store.clone();
+    println!("before: {}", render(&store, &fig5.tree));
+    let rewritten = rewrite_once(&mut store, &fig5.tree, &site).expect("one site");
+    println!("after:  {}", render(&store, &rewritten));
+
+    // ── Then a realistic parse tree with several sites ──────────────
+    let d = ParseTreeGen::new(7)
+        .operators(30)
+        .rewrite_sites(4)
+        .generate();
+    let mut store = d.store.clone();
+    let mut tree = d.tree.clone();
+    println!(
+        "\nlarger query ({} operators, {} sites):",
+        tree.len(),
+        d.planted_sites
+    );
+    println!("before: {}", render(&store, &tree));
+    let mut rounds = 0;
+    while let Some(next) = rewrite_once(&mut store, &tree, &site) {
+        tree = next;
+        rounds += 1;
+    }
+    println!("after {rounds} rewrites:");
+    println!("        {}", render(&store, &tree));
+    assert_eq!(rounds, d.planted_sites);
+    println!(
+        "\nall {} select-over-and sites rewritten into cascades.",
+        rounds
+    );
+}

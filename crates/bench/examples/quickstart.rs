@@ -1,0 +1,93 @@
+//! Quickstart: the paper's §4 family-tree example, end to end.
+//!
+//! Builds the family tree of Figure 3, then runs:
+//!   1. `select(citizen = "USA")` — stable filtering (Figure 3's text),
+//!   2. `split(Brazil(!?* USA !?*), ⟨x,y,z⟩)` — Figure 4's three pieces,
+//!   3. reassembly — the split round-trip,
+//!   4. the same `sub_select` through the optimizer, with EXPLAIN output.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use aqua_algebra::tree::{display, ops, split};
+use aqua_algebra::Tree;
+use aqua_object::{AttrId, ObjectStore, Value};
+use aqua_optimizer::{Catalog, Optimizer};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_store::{ColumnStats, TreeNodeIndex};
+use aqua_workload::FamilyGen;
+
+fn render(store: &ObjectStore, t: &Tree) -> String {
+    display::render(t, &|oid| match store.attr(oid, AttrId(0)) {
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    })
+}
+
+fn main() {
+    // ── The family tree of Figure 3 ─────────────────────────────────
+    let d = FamilyGen::paper_tree();
+    println!("family tree T = {}", render(&d.store, &d.tree));
+
+    // ── select: stable filtering ────────────────────────────────────
+    let usa = PredExpr::eq("citizen", "USA")
+        .compile(d.class, d.store.class(d.class))
+        .expect("predicate compiles against Person");
+    let forest = ops::select(&d.store, &d.tree, &usa);
+    println!("\nselect(citizen = \"USA\")(T) — a forest, ancestry compressed:");
+    for t in &forest {
+        println!("  {}", render(&d.store, t));
+    }
+
+    // ── split: Figure 4's three pieces ──────────────────────────────
+    let mut env = PredEnv::new();
+    env.define("Brazil", PredExpr::eq("citizen", "Brazil"));
+    env.define("USA", PredExpr::eq("citizen", "USA"));
+    let pattern = parse_tree_pattern("Brazil(!?* USA !?*)", &env).expect("pattern parses");
+    let compiled = pattern
+        .compile(d.class, d.store.class(d.class))
+        .expect("pattern compiles");
+    println!("\nsplit(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T):");
+    let pieces = split::split_pieces(&d.store, &d.tree, &compiled, &MatchConfig::default());
+    for (i, p) in pieces.iter().enumerate() {
+        println!("  match #{}:", i + 1);
+        println!(
+            "    x (ancestors + context) = {}",
+            render(&d.store, &p.context)
+        );
+        println!(
+            "    y (match)               = {}",
+            render(&d.store, &p.matched)
+        );
+        let descs: Vec<String> = p.descendants.iter().map(|t| render(&d.store, t)).collect();
+        println!("    z (descendants)         = [{}]", descs.join(", "));
+        let rt = p.reassemble();
+        println!(
+            "    x o_a y o_ai z == T?    {}",
+            if rt.structural_eq(&d.tree) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    // ── the same query, planned by the optimizer ────────────────────
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(1));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(1));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+    let (plan, explain) = opt
+        .plan_tree_sub_select(&pattern, d.tree.len())
+        .expect("planning succeeds");
+    println!("\noptimizer EXPLAIN for sub_select(Brazil(!?* USA !?*)):\n{explain}");
+    let results = plan
+        .execute(&cat, &d.tree, &MatchConfig::default())
+        .expect("plan executes");
+    println!("results:");
+    for r in &results {
+        println!("  {}", render(&d.store, r));
+    }
+}

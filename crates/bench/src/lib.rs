@@ -1,0 +1,11 @@
+//! Shared helpers for the AQUA benchmark harness (see `benches/`).
+//!
+//! Each bench target reproduces one experiment from DESIGN.md §4 and
+//! prints the corresponding EXPERIMENTS.md table rows.
+
+pub mod table;
+
+pub use table::Table;
+
+pub mod timing;
+pub use timing::{time_median, Timed};

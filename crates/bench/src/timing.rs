@@ -1,0 +1,43 @@
+//! Lightweight measurement for the benchmark tables.
+//!
+//! Each experiment compares *plan shapes* (naive vs rewritten), so what
+//! matters is the ratio, not nanosecond precision: one warm-up run, then
+//! the median of `iters` timed runs of a deterministic workload.
+
+use std::time::Instant;
+
+/// A measured duration in seconds plus the per-run result size (to keep
+/// the work observable and prevent dead-code elimination).
+#[derive(Debug, Clone, Copy)]
+pub struct Timed {
+    pub secs: f64,
+    pub result_size: usize,
+}
+
+/// Median-of-`iters` wall time of `f`, whose return value is a result
+/// size (consumed so the optimizer cannot discard the work).
+pub fn time_median(iters: usize, mut f: impl FnMut() -> usize) -> Timed {
+    let mut size = std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            size = std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    Timed {
+        secs: times[times.len() / 2],
+        result_size: size,
+    }
+}
+
+/// Pretty milliseconds.
+pub fn ms(t: Timed) -> String {
+    format!("{:.3}", t.secs * 1e3)
+}
+
+/// Speedup factor `a / b`.
+pub fn speedup(naive: Timed, fast: Timed) -> String {
+    format!("{:.1}x", naive.secs / fast.secs.max(1e-12))
+}

@@ -1,0 +1,260 @@
+//! ODMG arrays simulated with AQUA lists (paper §8).
+//!
+//! "The array type in the ODMG specification is similar to our notion
+//! of list, and we believe that we will have little difficulty
+//! simulating the ODMG arrays with AQUA lists. Our view of predicates,
+//! however, is significantly more powerful." This module carries out
+//! that simulation: an [`AquaArray`] is a ground AQUA [`List`] exposing
+//! the ODMG-93 array protocol (indexed access, update, insertion,
+//! removal, resize), while inheriting the full list algebra — so the
+//! paper's pattern predicates apply to "arrays" for free.
+
+use aqua_object::{ObjectStore, Oid};
+use aqua_pattern::alphabet::Pred;
+use aqua_pattern::list::{ListPattern, MatchMode};
+
+use crate::error::{AlgebraError, Result};
+use crate::list::{ops as list_ops, List};
+
+/// An ODMG-style array over object references, backed by an AQUA list.
+///
+/// Arrays are *ground* lists: labeled NULLs (concatenation points) are
+/// a query-processing device and never appear in arrays, matching the
+/// ODMG model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AquaArray {
+    list: List,
+}
+
+impl AquaArray {
+    /// An empty array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from elements.
+    pub fn from_oids(oids: impl IntoIterator<Item = Oid>) -> Self {
+        AquaArray {
+            list: List::from_oids(oids),
+        }
+    }
+
+    /// View a ground list as an array; errors when the list contains
+    /// labeled NULLs.
+    pub fn from_list(list: List) -> Result<Self> {
+        if !list.is_ground() {
+            return Err(AlgebraError::Malformed {
+                msg: "arrays cannot contain concatenation points (labeled NULLs)".into(),
+            });
+        }
+        Ok(AquaArray { list })
+    }
+
+    /// The backing list (for the full list algebra).
+    pub fn as_list(&self) -> &List {
+        &self.list
+    }
+
+    /// ODMG `cardinality`.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// ODMG `retrieve_element_at`; errors when out of bounds.
+    pub fn get(&self, index: usize) -> Result<Oid> {
+        self.list
+            .get(index)
+            .and_then(|e| e.oid())
+            .ok_or_else(|| self.oob(index))
+    }
+
+    /// ODMG `replace_element_at`.
+    pub fn set(&mut self, index: usize, oid: Oid) -> Result<()> {
+        if index >= self.len() {
+            return Err(self.oob(index));
+        }
+        let mut elems = self.list.elems().to_vec();
+        elems[index] = crate::list::ListElem::Cell(aqua_object::Cell::new(oid));
+        self.list = List::from_elems(elems);
+        Ok(())
+    }
+
+    /// ODMG `insert_element_at` (shifts subsequent elements right).
+    pub fn insert(&mut self, index: usize, oid: Oid) -> Result<()> {
+        if index > self.len() {
+            return Err(self.oob(index));
+        }
+        let mut elems = self.list.elems().to_vec();
+        elems.insert(
+            index,
+            crate::list::ListElem::Cell(aqua_object::Cell::new(oid)),
+        );
+        self.list = List::from_elems(elems);
+        Ok(())
+    }
+
+    /// ODMG `remove_element_at` (shifts subsequent elements left).
+    pub fn remove(&mut self, index: usize) -> Result<Oid> {
+        if index >= self.len() {
+            return Err(self.oob(index));
+        }
+        let mut elems = self.list.elems().to_vec();
+        let removed = elems.remove(index).oid().expect("arrays are ground");
+        self.list = List::from_elems(elems);
+        Ok(removed)
+    }
+
+    /// ODMG `resize`: truncate, or grow by repeating `fill`.
+    pub fn resize(&mut self, new_len: usize, fill: Oid) {
+        let mut elems = self.list.elems().to_vec();
+        if new_len <= elems.len() {
+            elems.truncate(new_len);
+        } else {
+            elems.extend(
+                std::iter::repeat_with(|| {
+                    crate::list::ListElem::Cell(aqua_object::Cell::new(fill))
+                })
+                .take(new_len - elems.len()),
+            );
+        }
+        self.list = List::from_elems(elems);
+    }
+
+    /// Slice `[from, to)` as a new array.
+    pub fn slice(&self, from: usize, to: usize) -> Result<AquaArray> {
+        if from > to || to > self.len() {
+            return Err(AlgebraError::Malformed {
+                msg: format!("bad slice [{from}, {to}) of array of {}", self.len()),
+            });
+        }
+        Ok(AquaArray {
+            list: List::from_elems(self.list.elems()[from..to].to_vec()),
+        })
+    }
+
+    // ── the AQUA list algebra, inherited ────────────────────────────
+
+    /// Order-preserving `select` (the ODMG spec has only element scans;
+    /// this is the AQUA upgrade).
+    pub fn select(&self, store: &ObjectStore, p: &Pred) -> AquaArray {
+        AquaArray {
+            list: list_ops::select(store, &self.list, p),
+        }
+    }
+
+    /// `apply` over elements.
+    pub fn apply(&self, f: impl FnMut(Oid) -> Oid) -> AquaArray {
+        AquaArray {
+            list: list_ops::apply(&self.list, f),
+        }
+    }
+
+    /// Pattern `sub_select` — "our view of predicates is significantly
+    /// more powerful" (§8): full regular-expression patterns over array
+    /// contents.
+    pub fn sub_select(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        mode: MatchMode,
+    ) -> Vec<AquaArray> {
+        list_ops::sub_select(store, &self.list, pattern, mode)
+            .into_iter()
+            .map(|list| AquaArray { list })
+            .collect()
+    }
+
+    fn oob(&self, index: usize) -> AlgebraError {
+        AlgebraError::Malformed {
+            msg: format!("array index {index} out of bounds (len {})", self.len()),
+        }
+    }
+}
+
+impl FromIterator<Oid> for AquaArray {
+    fn from_iter<I: IntoIterator<Item = Oid>>(iter: I) -> Self {
+        AquaArray::from_oids(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::testutil::Fx;
+    use aqua_pattern::parser::parse_list_pattern;
+    use aqua_pattern::PredExpr;
+
+    fn arr(fx: &mut Fx, s: &str) -> AquaArray {
+        AquaArray::from_list(fx.song(s)).unwrap()
+    }
+
+    #[test]
+    fn odmg_protocol() {
+        let mut fx = Fx::new();
+        let mut a = arr(&mut fx, "ABC");
+        assert_eq!(a.len(), 3);
+        let b0 = a.get(0).unwrap();
+        assert!(a.get(3).is_err());
+
+        // replace / insert / remove with shifts
+        let z = fx.song("Z").oids()[0];
+        a.set(1, z).unwrap();
+        assert_eq!(a.get(1).unwrap(), z);
+        a.insert(0, z).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(1).unwrap(), b0);
+        let removed = a.remove(0).unwrap();
+        assert_eq!(removed, z);
+        assert_eq!(a.get(0).unwrap(), b0);
+
+        // resize both directions
+        a.resize(1, z);
+        assert_eq!(a.len(), 1);
+        a.resize(4, z);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(3).unwrap(), z);
+
+        // slice
+        let s = a.slice(1, 3).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(a.slice(3, 1).is_err());
+    }
+
+    #[test]
+    fn arrays_must_be_ground() {
+        let mut fx = Fx::new();
+        let holey = fx.song("A@xB");
+        assert!(AquaArray::from_list(holey).is_err());
+    }
+
+    #[test]
+    fn inherits_list_algebra() {
+        let mut fx = Fx::new();
+        let a = arr(&mut fx, "GAXYFACDF");
+        let pred = PredExpr::eq("pitch", "A")
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        assert_eq!(a.select(&fx.store, &pred).len(), 2);
+
+        let (re, s, e) = parse_list_pattern("[A ? ? F]", &fx.env()).unwrap();
+        let p = ListPattern::compile(re, s, e, fx.class, fx.store.class(fx.class)).unwrap();
+        let phrases = a.sub_select(&fx.store, &p, MatchMode::All);
+        assert_eq!(phrases.len(), 2);
+        assert_eq!(phrases[0].len(), 4);
+    }
+
+    #[test]
+    fn apply_maps_elements() {
+        let mut fx = Fx::new();
+        let a = arr(&mut fx, "AB");
+        let z = fx.song("Z").oids()[0];
+        let mapped = a.apply(|_| z);
+        assert_eq!(mapped.get(0).unwrap(), z);
+        assert_eq!(mapped.get(1).unwrap(), z);
+    }
+}

@@ -1,0 +1,300 @@
+//! Compositions of bulk types (paper §1).
+//!
+//! "Moreover, queries on arbitrary compositions of these bulk types
+//! (e.g., `set[tree]`) could be handled more uniformly." The §6 music
+//! database is itself such a composition — *a set of songs, each a
+//! list of notes* — and a document store is a set of trees. This module
+//! provides the composed collections with the ordered operators mapped
+//! uniformly over their members:
+//!
+//! * [`TreeSet`] — `Set[Tree[T]]`: a collection of trees sharing one
+//!   store, with `select` / `apply` / `sub_select` / `split` mapped over
+//!   members (results tagged with the member index).
+//! * [`ListSet`] — `Set[List[T]]`: same for lists (the music database).
+
+use aqua_object::{ObjectStore, Oid};
+use aqua_pattern::alphabet::Pred;
+use aqua_pattern::list::{ListMatch, ListPattern, MatchMode};
+use aqua_pattern::tree_ast::CompiledTreePattern;
+use aqua_pattern::tree_match::MatchConfig;
+
+use crate::list::{ops as list_ops, List};
+use crate::tree::ops as tree_ops;
+use crate::tree::split::{split_pieces, SplitPieces};
+use crate::Tree;
+
+/// `Set[Tree[T]]` — a database of trees.
+#[derive(Debug, Default)]
+pub struct TreeSet {
+    members: Vec<Tree>,
+}
+
+impl TreeSet {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from member trees.
+    pub fn from_trees(members: Vec<Tree>) -> Self {
+        TreeSet { members }
+    }
+
+    /// Add a member.
+    pub fn insert(&mut self, t: Tree) {
+        self.members.push(t);
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member trees.
+    pub fn members(&self) -> &[Tree] {
+        &self.members
+    }
+
+    /// `select` mapped over members: each member yields its forest;
+    /// members that lose every node disappear (set-level filtering and
+    /// tree-level filtering compose).
+    pub fn select(&self, store: &ObjectStore, p: &Pred) -> Vec<(usize, Vec<Tree>)> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, tree_ops::select(store, t, p)))
+            .filter(|(_, forest)| !forest.is_empty())
+            .collect()
+    }
+
+    /// `sub_select` mapped over members; results tagged with the member
+    /// index so callers can navigate back.
+    pub fn sub_select(
+        &self,
+        store: &ObjectStore,
+        pattern: &CompiledTreePattern,
+        cfg: &MatchConfig,
+    ) -> Vec<(usize, Tree)> {
+        self.members
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| {
+                tree_ops::sub_select(store, t, pattern, cfg)
+                    .into_iter()
+                    .map(move |m| (i, m))
+            })
+            .collect()
+    }
+
+    /// `split` mapped over members.
+    pub fn split(
+        &self,
+        store: &ObjectStore,
+        pattern: &CompiledTreePattern,
+        cfg: &MatchConfig,
+    ) -> Vec<(usize, SplitPieces)> {
+        self.members
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| {
+                split_pieces(store, t, pattern, cfg)
+                    .into_iter()
+                    .map(move |p| (i, p))
+            })
+            .collect()
+    }
+
+    /// `apply` mapped over members (isomorphic rewrite of every tree).
+    pub fn apply(&self, mut f: impl FnMut(Oid) -> Oid) -> TreeSet {
+        TreeSet {
+            members: self
+                .members
+                .iter()
+                .map(|t| tree_ops::apply(t, &mut f))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<Tree> for TreeSet {
+    fn from_iter<I: IntoIterator<Item = Tree>>(iter: I) -> Self {
+        TreeSet {
+            members: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// `Set[List[T]]` — a database of lists (the §6 music database shape).
+#[derive(Debug, Default)]
+pub struct ListSet {
+    members: Vec<List>,
+}
+
+impl ListSet {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from member lists.
+    pub fn from_lists(members: Vec<List>) -> Self {
+        ListSet { members }
+    }
+
+    /// Add a member.
+    pub fn insert(&mut self, l: List) {
+        self.members.push(l);
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member lists.
+    pub fn members(&self) -> &[List] {
+        &self.members
+    }
+
+    /// Find every match in every member: "find this melody anywhere in
+    /// the music database".
+    pub fn find_matches(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        mode: MatchMode,
+    ) -> Vec<(usize, ListMatch)> {
+        self.members
+            .iter()
+            .enumerate()
+            .flat_map(|(i, l)| {
+                list_ops::find_matches(store, l, pattern, mode)
+                    .into_iter()
+                    .map(move |m| (i, m))
+            })
+            .collect()
+    }
+
+    /// `sub_select` mapped over members.
+    pub fn sub_select(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        mode: MatchMode,
+    ) -> Vec<(usize, List)> {
+        self.members
+            .iter()
+            .enumerate()
+            .flat_map(|(i, l)| {
+                list_ops::sub_select(store, l, pattern, mode)
+                    .into_iter()
+                    .map(move |s| (i, s))
+            })
+            .collect()
+    }
+
+    /// Members containing at least one match — set-level `select` with a
+    /// list-pattern predicate, the cross-bulk-type composition §1 asks
+    /// for.
+    pub fn select_members(&self, store: &ObjectStore, pattern: &ListPattern) -> Vec<usize> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                !list_ops::find_matches(store, l, pattern, MatchMode::Nonoverlapping).is_empty()
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl FromIterator<List> for ListSet {
+    fn from_iter<I: IntoIterator<Item = List>>(iter: I) -> Self {
+        ListSet {
+            members: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::testutil::Fx as LFx;
+    use crate::tree::testutil::Fx as TFx;
+    use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern};
+    use aqua_pattern::PredExpr;
+
+    #[test]
+    fn tree_set_sub_select_tags_members() {
+        let mut fx = TFx::new();
+        let set = TreeSet::from_trees(vec![fx.tree("r(u)"), fx.tree("r(x)"), fx.tree("u(u)")]);
+        let cp = parse_tree_pattern("u", &fx.env())
+            .unwrap()
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let hits = set.sub_select(&fx.store, &cp, &MatchConfig::default());
+        let members: Vec<usize> = hits.iter().map(|(i, _)| *i).collect();
+        assert_eq!(members, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn tree_set_select_drops_empty_members() {
+        let mut fx = TFx::new();
+        let set = TreeSet::from_trees(vec![fx.tree("u(x)"), fx.tree("x")]);
+        let pred = PredExpr::eq("label", "u")
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let kept = set.select(&fx.store, &pred);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].0, 0);
+    }
+
+    #[test]
+    fn tree_set_split_and_apply() {
+        let mut fx = TFx::new();
+        let set: TreeSet = vec![fx.tree("r(u)"), fx.tree("u")].into_iter().collect();
+        let cp = parse_tree_pattern("u", &fx.env())
+            .unwrap()
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let pieces = set.split(&fx.store, &cp, &MatchConfig::default());
+        assert_eq!(pieces.len(), 2);
+        for (i, p) in &pieces {
+            assert!(p.reassemble().structural_eq(&set.members()[*i]));
+        }
+        let mapped = set.apply(|o| o);
+        assert_eq!(mapped.len(), 2);
+    }
+
+    #[test]
+    fn music_database_queries() {
+        let mut fx = LFx::new();
+        let db: ListSet = vec![fx.song("GAXYF"), fx.song("BBBB"), fx.song("ACDFAZZF")]
+            .into_iter()
+            .collect();
+        let (re, s, e) = parse_list_pattern("[A ? ? F]", &fx.env()).unwrap();
+        let p = ListPattern::compile(re, s, e, fx.class, fx.store.class(fx.class)).unwrap();
+
+        // Matches across the whole database, tagged by song.
+        let all = db.find_matches(&fx.store, &p, MatchMode::All);
+        let songs: Vec<usize> = all.iter().map(|(i, _)| *i).collect();
+        assert_eq!(songs, vec![0, 2, 2]);
+
+        // Set-level select: which songs contain the melody at all?
+        assert_eq!(db.select_members(&fx.store, &p), vec![0, 2]);
+
+        // Phrase extraction across the database.
+        let phrases = db.sub_select(&fx.store, &p, MatchMode::All);
+        assert!(phrases.iter().all(|(_, ph)| ph.len() == 4));
+    }
+}

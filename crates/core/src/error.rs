@@ -1,0 +1,70 @@
+//! Error type for the algebra layer.
+
+use std::fmt;
+
+use aqua_object::ObjectError;
+use aqua_pattern::PatternError;
+
+/// Result alias for algebra operations.
+pub type Result<T> = std::result::Result<T, AlgebraError>;
+
+/// Errors raised by tree/list construction and the query operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// Propagated pattern-layer error.
+    Pattern(PatternError),
+    /// Propagated object-layer error.
+    Object(ObjectError),
+    /// A builder produced a malformed tree (cycle, reused node, dangling
+    /// child reference).
+    Malformed { msg: String },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Pattern(e) => write!(f, "{e}"),
+            AlgebraError::Object(e) => write!(f, "{e}"),
+            AlgebraError::Malformed { msg } => write!(f, "malformed tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Pattern(e) => Some(e),
+            AlgebraError::Object(e) => Some(e),
+            AlgebraError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<PatternError> for AlgebraError {
+    fn from(e: PatternError) -> Self {
+        AlgebraError::Pattern(e)
+    }
+}
+
+impl From<ObjectError> for AlgebraError {
+    fn from(e: ObjectError) -> Self {
+        AlgebraError::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AlgebraError = PatternError::UnknownPredName { name: "x".into() }.into();
+        assert!(e.to_string().contains("x"));
+        let e: AlgebraError = ObjectError::NoSuchClass { class: "C".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = AlgebraError::Malformed {
+            msg: "cycle".into(),
+        };
+        assert!(e.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # aqua-algebra — the AQUA list and tree query algebra
+//!
+//! The primary contribution of the paper (§4–§6): an object-oriented
+//! query algebra for ordered bulk types whose operators are *stable* —
+//! the relative order (for lists) and ancestry (for trees) of all
+//! surviving elements is preserved in results.
+//!
+//! * [`tree`] — the [`Tree`] type (arena-based, cells, labeled NULLs)
+//!   and the tree operators: [`tree::ops::select`], [`tree::ops::apply`],
+//!   [`tree::ops::sub_select`], [`tree::split::split`],
+//!   [`tree::ops::all_anc`], [`tree::ops::all_desc`]. `apply` and
+//!   `split` are primitive; everything else is derivable (§4), and the
+//!   derived forms exist alongside the direct ones so the equivalence is
+//!   testable (and benchmarkable, experiment B5).
+//! * [`list`] — the [`List`] type and the corresponding list operators;
+//!   lists are also embeddable as *list-like trees* (§6), and the
+//!   embedding is exercised by property tests.
+//! * [`setops`] — the AQUA set/multiset operators the ordered algebra
+//!   generalizes (§2): `select`, `apply`, `union`/`intersect`/`difference`
+//!   parameterized by an equality notion, and `fold`.
+//!
+//! Everything operates over an [`aqua_object::ObjectStore`]; list/tree
+//! nodes hold [`aqua_object::Cell`]s, so duplicate objects may appear
+//! while nodes stay unique (§2).
+
+pub mod array;
+pub mod bulk;
+pub mod error;
+pub mod list;
+pub mod setops;
+pub mod tree;
+
+pub use array::AquaArray;
+pub use bulk::{ListSet, TreeSet};
+pub use error::{AlgebraError, Result};
+pub use list::{List, ListElem};
+pub use tree::{NodeId, Payload, Tree, TreeBuilder};

@@ -1,0 +1,113 @@
+//! Lists as list-like trees (paper §6).
+//!
+//! "Ignoring typing issues for the moment, we can view a list as a tree
+//! in which each tree-node has at most one child." These conversions
+//! realize the embedding; the integration suite checks that list
+//! operators agree with their tree counterparts through it.
+
+use crate::list::{List, ListElem};
+use crate::tree::{NodeId, Payload, Tree, TreeBuilder};
+
+/// Embed a list as a list-like tree: `[abc]` becomes `a(b(c))`. The
+/// empty list has no tree form (trees are non-empty), hence `None`.
+pub fn to_tree(list: &List) -> Option<Tree> {
+    if list.is_empty() {
+        return None;
+    }
+    let mut b = TreeBuilder::new();
+    // Build bottom-up from the last element.
+    let mut child: Option<NodeId> = None;
+    for elem in list.elems().iter().rev() {
+        let kids: Vec<NodeId> = child.into_iter().collect();
+        let id = match elem {
+            ListElem::Cell(c) => b.node(c.contents(), kids),
+            ListElem::Hole(l) => {
+                // A hole with a child would be malformed in tree form;
+                // holes may only be final in an embeddable list.
+                if !kids.is_empty() {
+                    return None;
+                }
+                b.hole_node(l.clone(), kids)
+            }
+        };
+        child = Some(id);
+    }
+    Some(b.finish(child.unwrap()).expect("chain is a valid tree"))
+}
+
+/// Project a list-like tree back to a list: `a(b(c))` becomes `[abc]`.
+/// `None` when some node has more than one child.
+pub fn from_tree(tree: &Tree) -> Option<List> {
+    let mut elems = Vec::new();
+    let mut cur = Some(tree.root());
+    while let Some(n) = cur {
+        elems.push(match tree.payload(n) {
+            Payload::Cell(c) => ListElem::Cell(*c),
+            Payload::Hole(l) => ListElem::Hole(l.clone()),
+        });
+        let kids = tree.children(n);
+        match kids.len() {
+            0 => cur = None,
+            1 => cur = Some(kids[0]),
+            _ => return None,
+        }
+    }
+    Some(List::from_elems(elems))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::testutil::Fx;
+
+    #[test]
+    fn roundtrip() {
+        let mut fx = Fx::new();
+        let l = fx.song("ABC");
+        let t = to_tree(&l).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.height(), 2);
+        let back = from_tree(&t).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn empty_list_has_no_tree() {
+        assert!(to_tree(&List::new()).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut fx = Fx::new();
+        let l = fx.song("A");
+        let t = to_tree(&l).unwrap();
+        assert!(t.is_leaf(t.root()));
+        assert_eq!(from_tree(&t).unwrap(), l);
+    }
+
+    #[test]
+    fn trailing_hole_embeds() {
+        let mut fx = Fx::new();
+        let l = fx.song("AB@x");
+        let t = to_tree(&l).unwrap();
+        assert_eq!(t.hole_labels().len(), 1);
+        assert_eq!(from_tree(&t).unwrap(), l);
+    }
+
+    #[test]
+    fn interior_hole_does_not_embed() {
+        // In tree form an interior hole would have a child — malformed.
+        let mut fx = Fx::new();
+        let l = fx.song("A@xB");
+        assert!(to_tree(&l).is_none());
+    }
+
+    #[test]
+    fn branching_tree_is_not_a_list() {
+        let mut tfx = crate::tree::testutil::Fx::new();
+        let t = tfx.tree("a(b c)");
+        assert!(from_tree(&t).is_none());
+        let chain = tfx.tree("a(b(c))");
+        assert!(from_tree(&chain).is_some());
+    }
+}

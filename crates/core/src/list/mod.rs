@@ -1,0 +1,289 @@
+//! The AQUA `List[T]` type and its operators (paper §6).
+//!
+//! A list is a sequence of cells, possibly interleaved with labeled
+//! NULLs (concatenation points in instances, §3.5). List operators are
+//! the tree operators restricted to *list-like trees* — trees in which
+//! every node has at most one child — and the [`embed`] module realizes
+//! that correspondence concretely (it is property-tested in the
+//! integration suite).
+
+pub mod embed;
+pub mod ops;
+
+use std::fmt;
+
+use aqua_object::{Cell, ObjectStore, Oid};
+use aqua_pattern::CcLabel;
+
+/// One list element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ListElem {
+    /// A real element (cell indirection, §2).
+    Cell(Cell),
+    /// A labeled NULL; only concatenation observes it (§3.5).
+    Hole(CcLabel),
+}
+
+impl ListElem {
+    /// The contained object identity, if this is a cell.
+    pub fn oid(&self) -> Option<Oid> {
+        match self {
+            ListElem::Cell(c) => Some(c.contents()),
+            ListElem::Hole(_) => None,
+        }
+    }
+
+    /// The hole label, if this is a labeled NULL.
+    pub fn hole(&self) -> Option<&CcLabel> {
+        match self {
+            ListElem::Cell(_) => None,
+            ListElem::Hole(l) => Some(l),
+        }
+    }
+}
+
+/// An ordered list over cells with labeled NULLs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct List {
+    pub(crate) elems: Vec<ListElem>,
+}
+
+impl List {
+    /// The empty list.
+    pub fn new() -> List {
+        List::default()
+    }
+
+    /// A list of the given objects, each wrapped in a fresh cell.
+    pub fn from_oids(oids: impl IntoIterator<Item = Oid>) -> List {
+        List {
+            elems: oids
+                .into_iter()
+                .map(|o| ListElem::Cell(Cell::new(o)))
+                .collect(),
+        }
+    }
+
+    /// A list from explicit elements.
+    pub fn from_elems(elems: Vec<ListElem>) -> List {
+        List { elems }
+    }
+
+    /// Number of elements (cells and holes).
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the list has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// All elements in order.
+    pub fn elems(&self) -> &[ListElem] {
+        &self.elems
+    }
+
+    /// The element at `i`.
+    pub fn get(&self, i: usize) -> Option<&ListElem> {
+        self.elems.get(i)
+    }
+
+    /// The OIDs of the cell elements, in order (holes skipped). Pattern
+    /// matching runs over this view only when the list is hole-free; use
+    /// [`List::is_ground`] to check.
+    pub fn oids(&self) -> Vec<Oid> {
+        self.elems.iter().filter_map(|e| e.oid()).collect()
+    }
+
+    /// True when the list contains no labeled NULLs.
+    pub fn is_ground(&self) -> bool {
+        self.elems.iter().all(|e| e.oid().is_some())
+    }
+
+    /// Append an object element.
+    pub fn push(&mut self, oid: Oid) {
+        self.elems.push(ListElem::Cell(Cell::new(oid)));
+    }
+
+    /// Append a labeled NULL.
+    pub fn push_hole(&mut self, label: impl Into<CcLabel>) {
+        self.elems.push(ListElem::Hole(label.into()));
+    }
+
+    /// `self ∘_label other`: splice a copy of `other` into every hole of
+    /// `self` carrying `label`; identity when no such hole exists
+    /// (paper §3.3's list analogue).
+    pub fn concat_at(&self, label: &CcLabel, other: &List) -> List {
+        let mut out = Vec::with_capacity(self.elems.len() + other.elems.len());
+        for e in &self.elems {
+            match e {
+                ListElem::Hole(l) if l == label => out.extend(other.elems.iter().cloned()),
+                other_elem => out.push(other_elem.clone()),
+            }
+        }
+        List { elems: out }
+    }
+
+    /// Plain concatenation `self ∘ other` (the implicit concatenation
+    /// point at the end of a list, §6).
+    pub fn concat(&self, other: &List) -> List {
+        let mut elems = self.elems.clone();
+        elems.extend(other.elems.iter().cloned());
+        List { elems }
+    }
+
+    /// Render with a labeling function, in the paper's `[abc]` notation.
+    pub fn render(&self, label: &impl Fn(Oid) -> String) -> String {
+        let mut out = String::from("[");
+        for e in &self.elems {
+            match e {
+                ListElem::Cell(c) => out.push_str(&label(c.contents())),
+                ListElem::Hole(l) => out.push_str(&l.to_string()),
+            }
+        }
+        out.push(']');
+        out
+    }
+
+    /// Dereference all cells, yielding `(index, &Object)` pairs.
+    pub fn iter_objects<'s>(
+        &'s self,
+        store: &'s ObjectStore,
+    ) -> impl Iterator<Item = (usize, &'s aqua_object::Object)> + 's {
+        self.elems
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, e)| e.oid().map(|o| (i, store.deref(o))))
+    }
+}
+
+impl fmt::Display for List {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(&|oid| oid.to_string()))
+    }
+}
+
+impl FromIterator<Oid> for List {
+    fn from_iter<I: IntoIterator<Item = Oid>>(iter: I) -> Self {
+        List::from_oids(iter)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, ObjectStore, Value};
+    use aqua_pattern::parser::PredEnv;
+
+    use super::*;
+
+    pub struct Fx {
+        pub store: ObjectStore,
+        pub class: ClassId,
+    }
+
+    impl Fx {
+        pub fn new() -> Self {
+            let mut store = ObjectStore::new();
+            let class = store
+                .define_class(
+                    ClassDef::new("Note", vec![AttrDef::stored("pitch", AttrType::Str)]).unwrap(),
+                )
+                .unwrap();
+            Fx { store, class }
+        }
+
+        pub fn env(&self) -> PredEnv {
+            PredEnv::with_default_attr("pitch")
+        }
+
+        /// One object per character; `@x` makes a hole.
+        pub fn song(&mut self, s: &str) -> List {
+            let mut list = List::new();
+            let mut chars = s.chars();
+            while let Some(c) = chars.next() {
+                if c == '@' {
+                    let l = chars.next().expect("label after @");
+                    list.push_hole(l.to_string().as_str());
+                } else {
+                    let oid = self
+                        .store
+                        .insert_named("Note", &[("pitch", Value::str(c.to_string()))])
+                        .unwrap();
+                    list.push(oid);
+                }
+            }
+            list
+        }
+
+        pub fn render(&self, l: &List) -> String {
+            l.render(&|oid| match self.store.attr(oid, aqua_object::AttrId(0)) {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            })
+        }
+    }
+
+    #[test]
+    fn fixture_roundtrip() {
+        let mut fx = Fx::new();
+        let l = fx.song("AB@xC");
+        assert_eq!(fx.render(&l), "[AB@xC]");
+        assert_eq!(l.len(), 4);
+        assert!(!l.is_ground());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::Fx;
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let l = List::from_oids([Oid(1), Oid(2)]);
+        assert_eq!(l.len(), 2);
+        assert!(l.is_ground());
+        assert_eq!(l.oids(), vec![Oid(1), Oid(2)]);
+        assert_eq!(l.get(0).unwrap().oid(), Some(Oid(1)));
+        assert!(l.get(5).is_none());
+    }
+
+    #[test]
+    fn concat_at_splices() {
+        let mut fx = Fx::new();
+        // [d @x b] ∘_x [ac] = [dacb]
+        let base = fx.song("d@xb");
+        let mid = fx.song("ac");
+        let r = base.concat_at(&CcLabel::new("x"), &mid);
+        assert_eq!(fx.render(&r), "[dacb]");
+        // no label → identity
+        let same = base.concat_at(&CcLabel::new("zzz"), &mid);
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn plain_concat() {
+        let mut fx = Fx::new();
+        let a = fx.song("ab");
+        let b = fx.song("c");
+        assert_eq!(fx.render(&a.concat(&b)), "[abc]");
+    }
+
+    #[test]
+    fn duplicate_objects_allowed_via_cells() {
+        let mut fx = Fx::new();
+        let l = fx.song("A");
+        let oid = l.oids()[0];
+        let dup = List::from_oids([oid, oid, oid]);
+        assert_eq!(dup.len(), 3); // three unique nodes, one object
+    }
+
+    #[test]
+    fn iter_objects_skips_holes() {
+        let mut fx = Fx::new();
+        let l = fx.song("A@xB");
+        let idx: Vec<usize> = l.iter_objects(&fx.store).map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 2]);
+    }
+}

@@ -1,0 +1,401 @@
+//! List query operators (paper §6).
+//!
+//! Lists are list-like trees, so these operators mirror the tree
+//! operators: [`select`] and [`apply`] are the order-preserving
+//! bulk-type operators, and [`sub_select`], [`split`], [`all_anc`],
+//! [`all_desc`] take a list pattern. `split` is the primitive list
+//! operator; the others are expressible in terms of it (§6) and the
+//! property suite checks the embeddings.
+//!
+//! A labeled NULL in a list never satisfies a pattern symbol (only
+//! concatenation observes holes, §3.5), so matches never span holes:
+//! matching runs over the maximal ground runs of the list.
+
+use aqua_object::{ObjectStore, Oid};
+use aqua_pattern::alphabet::Pred;
+use aqua_pattern::list::{ListMatch, ListPattern, MatchMode};
+use aqua_pattern::CcLabel;
+
+use crate::list::{List, ListElem};
+
+/// `select(p)(L)` — the stable sublist of elements satisfying `p`
+/// (holes never satisfy a predicate and are dropped, as in tree
+/// `select`).
+pub fn select(store: &ObjectStore, list: &List, p: &Pred) -> List {
+    List {
+        elems: list
+            .elems
+            .iter()
+            .filter(|e| e.oid().is_some_and(|o| p.eval(store, o)))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// `apply(f)(L)` — map every cell through `f`; holes are preserved.
+pub fn apply(list: &List, mut f: impl FnMut(Oid) -> Oid) -> List {
+    List {
+        elems: list
+            .elems
+            .iter()
+            .map(|e| match e {
+                ListElem::Cell(c) => ListElem::Cell(aqua_object::Cell::new(f(c.contents()))),
+                hole => hole.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Find pattern matches in `list`, honoring holes (matches are found
+/// within maximal ground runs). Positions are absolute list indices.
+pub fn find_matches(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+) -> Vec<ListMatch> {
+    let mut out = Vec::new();
+    let n = list.len();
+    let mut run_start = 0usize;
+    while run_start < n {
+        // Skip holes.
+        while run_start < n && list.elems[run_start].oid().is_none() {
+            run_start += 1;
+        }
+        let mut run_end = run_start;
+        let mut oids = Vec::new();
+        while run_end < n {
+            match list.elems[run_end].oid() {
+                Some(o) => oids.push(o),
+                None => break,
+            }
+            run_end += 1;
+        }
+        if run_end > run_start {
+            // Anchors are list-global: ^ only applies to the run starting
+            // at 0; $ only to the run ending at n.
+            let applicable =
+                (!pattern.anchor_start || run_start == 0) && (!pattern.anchor_end || run_end == n);
+            if applicable {
+                for m in pattern.find_matches(store, &oids, mode) {
+                    out.push(ListMatch {
+                        start: m.start + run_start,
+                        end: m.end + run_start,
+                        pruned: m.pruned.iter().map(|p| p + run_start).collect(),
+                    });
+                }
+            }
+        }
+        run_start = run_end.max(run_start + 1);
+    }
+    out
+}
+
+/// The pieces `split` cuts for one list match (the list analogue of
+/// [`crate::tree::split::SplitPieces`]).
+#[derive(Debug, Clone)]
+pub struct ListSplitPieces {
+    /// `x`: the elements before the match, ending in the `alpha` hole.
+    pub prefix: List,
+    /// `y`: the match, with holes at pruned runs and (when the match is
+    /// not at the very end) a trailing hole where the rest of the list
+    /// attaches — in the list-as-tree view the suffix is the match's
+    /// descendant subtree.
+    pub matched: List,
+    /// `z`: the cut pieces, in hole order: each pruned run, then the
+    /// suffix (if a trailing hole was emitted).
+    pub rest: Vec<List>,
+    /// Label joining `prefix` to `matched`.
+    pub alpha: CcLabel,
+    /// Labels joining `matched` to each piece of `rest`.
+    pub cut_labels: Vec<CcLabel>,
+    /// The raw match (absolute positions in the original list).
+    pub raw: ListMatch,
+}
+
+impl ListSplitPieces {
+    /// `x ∘_α y ∘_{α_i} z_i` — reassemble the original list.
+    pub fn reassemble(&self) -> List {
+        self.reassemble_with(&self.matched)
+    }
+
+    /// Reassemble around a replacement for the match piece.
+    pub fn reassemble_with(&self, replacement: &List) -> List {
+        let mut acc = self.prefix.concat_at(&self.alpha, replacement);
+        for (label, piece) in self.cut_labels.iter().zip(&self.rest) {
+            acc = acc.concat_at(label, piece);
+        }
+        acc
+    }
+
+    /// The match with its pruned-run and suffix holes removed — the
+    /// `y ∘_{α_i} []` reduction `sub_select` applies.
+    pub fn matched_reduced(&self) -> List {
+        List {
+            elems: self
+                .matched
+                .elems
+                .iter()
+                .filter(|e| match e {
+                    ListElem::Hole(l) => !self.cut_labels.contains(l),
+                    ListElem::Cell(_) => true,
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Cut one match out of `list`.
+pub fn pieces_for_match(list: &List, m: ListMatch) -> ListSplitPieces {
+    let existing: std::collections::HashSet<&str> = list
+        .elems
+        .iter()
+        .filter_map(|e| e.hole().map(|l| l.0.as_str()))
+        .collect();
+    let fresh = |base: String| -> CcLabel {
+        let mut name = base;
+        while existing.contains(name.as_str()) {
+            name.push('\'');
+        }
+        CcLabel::new(name)
+    };
+    let alpha = fresh("a".to_string());
+
+    let mut prefix = List {
+        elems: list.elems[..m.start].to_vec(),
+    };
+    prefix.elems.push(ListElem::Hole(alpha.clone()));
+
+    let mut matched = List::new();
+    let mut rest: Vec<List> = Vec::new();
+    let mut cut_labels: Vec<CcLabel> = Vec::new();
+    let mut i = m.start;
+    while i < m.end {
+        if m.pruned.contains(&i) {
+            // Maximal pruned run → one hole + one piece.
+            let run_start = i;
+            while i < m.end && m.pruned.contains(&i) {
+                i += 1;
+            }
+            let label = fresh((cut_labels.len() + 1).to_string());
+            matched.elems.push(ListElem::Hole(label.clone()));
+            cut_labels.push(label);
+            rest.push(List {
+                elems: list.elems[run_start..i].to_vec(),
+            });
+        } else {
+            matched.elems.push(list.elems[i].clone());
+            i += 1;
+        }
+    }
+    if m.end < list.len() {
+        let label = fresh((cut_labels.len() + 1).to_string());
+        matched.elems.push(ListElem::Hole(label.clone()));
+        cut_labels.push(label);
+        rest.push(List {
+            elems: list.elems[m.end..].to_vec(),
+        });
+    }
+    ListSplitPieces {
+        prefix,
+        matched,
+        rest,
+        alpha,
+        cut_labels,
+        raw: m,
+    }
+}
+
+/// `split(lp, f)(L)` — apply `f` to the pieces of every match.
+pub fn split<R>(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    mut f: impl FnMut(&ListSplitPieces) -> R,
+) -> Vec<R> {
+    find_matches(store, list, pattern, mode)
+        .into_iter()
+        .map(|m| f(&pieces_for_match(list, m)))
+        .collect()
+}
+
+/// `sub_select(lp)(L)` — the set of sublists of `L` matching `lp`
+/// (pruned elements removed). Defined via `split` as in §6.
+pub fn sub_select(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+) -> Vec<List> {
+    split(store, list, pattern, mode, |p| p.matched_reduced())
+}
+
+/// `all_anc(lp, f)(L)` — `f(ancestors, match)` per match: the sublist
+/// from the beginning of the list up to the match (with the `α` hole
+/// showing where the match attaches), and the reduced match.
+pub fn all_anc<R>(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    mut f: impl FnMut(&List, &List) -> R,
+) -> Vec<R> {
+    split(store, list, pattern, mode, |p| {
+        f(&p.prefix, &p.matched_reduced())
+    })
+}
+
+/// `all_desc(lp, f)(L)` — `f(match, descendants)` per match; the match
+/// keeps its holes so the caller sees where each piece attaches.
+pub fn all_desc<R>(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    mut f: impl FnMut(&List, &[List]) -> R,
+) -> Vec<R> {
+    split(store, list, pattern, mode, |p| f(&p.matched, &p.rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::testutil::Fx;
+    use aqua_pattern::parser::parse_list_pattern;
+    use aqua_pattern::PredExpr;
+
+    fn compile(fx: &Fx, text: &str) -> ListPattern {
+        let (re, s, e) = parse_list_pattern(text, &fx.env()).unwrap();
+        ListPattern::compile(re, s, e, fx.class, fx.store.class(fx.class)).unwrap()
+    }
+
+    fn pred(fx: &Fx, pitch: &str) -> Pred {
+        PredExpr::eq("pitch", pitch)
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap()
+    }
+
+    #[test]
+    fn select_is_stable() {
+        let mut fx = Fx::new();
+        let l = fx.song("AxAyA");
+        let r = select(&fx.store, &l, &pred(&fx, "A"));
+        assert_eq!(fx.render(&r), "[AAA]");
+        // The surviving As are the original objects, in original order.
+        assert_eq!(r.oids(), vec![l.oids()[0], l.oids()[2], l.oids()[4]]);
+    }
+
+    #[test]
+    fn apply_maps_cells_keeps_holes() {
+        let mut fx = Fx::new();
+        let l = fx.song("A@xB");
+        let z = fx.song("Z").oids()[0];
+        let r = apply(&l, |_| z);
+        assert_eq!(fx.render(&r), "[Z@xZ]");
+    }
+
+    #[test]
+    fn melody_sub_select() {
+        // §6: sub_select([A??F])(L)
+        let mut fx = Fx::new();
+        let l = fx.song("GAXYFBACDF");
+        let p = compile(&fx, "[A ? ? F]");
+        let rs = sub_select(&fx.store, &l, &p, MatchMode::All);
+        let rendered: Vec<String> = rs.iter().map(|r| fx.render(r)).collect();
+        assert_eq!(rendered, vec!["[AXYF]", "[ACDF]"]);
+    }
+
+    #[test]
+    fn melody_all_anc_paper_example() {
+        // §6: all_anc([A??F], λ(x,y)⟨x,y⟩)(L) — "the first field returns
+        // the sublist from the beginning of the song up to the starting
+        // position of the melody, the second field returns the melody."
+        let mut fx = Fx::new();
+        let l = fx.song("GAXYF");
+        let p = compile(&fx, "[A ? ? F]");
+        let rs = all_anc(&fx.store, &l, &p, MatchMode::All, |x, y| {
+            (fx.render(x), fx.render(y))
+        });
+        assert_eq!(rs, vec![("[G@a]".to_string(), "[AXYF]".to_string())]);
+    }
+
+    #[test]
+    fn all_desc_returns_suffix() {
+        let mut fx = Fx::new();
+        let l = fx.song("GAXYFBB");
+        let p = compile(&fx, "[A ? ? F]");
+        let rs = all_desc(&fx.store, &l, &p, MatchMode::All, |y, z| {
+            (
+                fx.render(y),
+                z.iter().map(|p| fx.render(p)).collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].0, "[AXYF@1]");
+        assert_eq!(rs[0].1, vec!["[BB]"]);
+    }
+
+    #[test]
+    fn split_roundtrip() {
+        let mut fx = Fx::new();
+        let l = fx.song("GAXYFBACDF");
+        let p = compile(&fx, "[A ? ? F]");
+        let rs = split(&fx.store, &l, &p, MatchMode::All, |pieces| {
+            pieces.reassemble()
+        });
+        for r in rs {
+            assert_eq!(r, l);
+        }
+    }
+
+    #[test]
+    fn split_roundtrip_with_pruning() {
+        let mut fx = Fx::new();
+        let l = fx.song("XAYBZ");
+        // [!? A !? B] — prune around the kept A and B.
+        let p = compile(&fx, "[!? A !? B]");
+        let rs = split(&fx.store, &l, &p, MatchMode::All, |pieces| {
+            (fx.render(&pieces.matched), pieces.reassemble())
+        });
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].0, "[@1A@2B@3]");
+        assert_eq!(rs[0].1, l);
+    }
+
+    #[test]
+    fn matches_do_not_span_holes() {
+        let mut fx = Fx::new();
+        let l = fx.song("AB@xAB");
+        let p = compile(&fx, "[A B]");
+        let ms = find_matches(&fx.store, &l, &p, MatchMode::All);
+        assert_eq!(ms.len(), 2);
+        // And a pattern that would need to cross the hole finds nothing.
+        let cross = compile(&fx, "[B A]");
+        assert!(find_matches(&fx.store, &l, &cross, MatchMode::All).is_empty());
+    }
+
+    #[test]
+    fn anchors_are_list_global() {
+        let mut fx = Fx::new();
+        let l = fx.song("@xAB");
+        // ^[A] — position 0 is a hole, so the anchored pattern cannot
+        // match (the run does not start at index 0).
+        let p = compile(&fx, "^[A]");
+        assert!(find_matches(&fx.store, &l, &p, MatchMode::All).is_empty());
+        let e = compile(&fx, "[B]$");
+        assert_eq!(find_matches(&fx.store, &l, &e, MatchMode::All).len(), 1);
+    }
+
+    #[test]
+    fn match_at_end_has_no_suffix_piece() {
+        let mut fx = Fx::new();
+        let l = fx.song("GAB");
+        let p = compile(&fx, "[A B]");
+        let rs = split(&fx.store, &l, &p, MatchMode::All, |pieces| {
+            (pieces.rest.len(), fx.render(&pieces.matched))
+        });
+        assert_eq!(rs, vec![(0, "[AB]".to_string())]);
+    }
+}

@@ -1,0 +1,305 @@
+//! AQUA set and multiset operators (paper §2, from \[19\]/\[32\]).
+//!
+//! The list/tree algebra generalizes AQUA's unordered operators: a set
+//! is a tree/list with an empty edge set, and `select`/`apply` on such
+//! degenerate trees behave exactly like their set counterparts (checked
+//! in the integration suite). Equality is a *parameter* ([`EqKind`]) of
+//! the operators that compare elements, per §2.
+
+use aqua_object::{EqKind, ObjectStore, Oid};
+use aqua_pattern::alphabet::Pred;
+
+/// An AQUA set: unique elements under a chosen equality. Stored in
+/// insertion order (AQUA sets are unordered; the order is an artifact
+/// and is not observable through the algebra).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AquaSet {
+    items: Vec<Oid>,
+}
+
+impl AquaSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from elements, deduplicating under `eq`.
+    pub fn from_oids(store: &ObjectStore, eq: EqKind, oids: impl IntoIterator<Item = Oid>) -> Self {
+        let mut s = AquaSet::new();
+        for o in oids {
+            s.insert(store, eq, o);
+        }
+        s
+    }
+
+    /// Insert an element; no-op when an `eq`-equal element is present.
+    /// Returns whether the element was added.
+    pub fn insert(&mut self, store: &ObjectStore, eq: EqKind, oid: Oid) -> bool {
+        if self.contains(store, eq, oid) {
+            return false;
+        }
+        self.items.push(oid);
+        true
+    }
+
+    /// Membership under `eq`.
+    pub fn contains(&self, store: &ObjectStore, eq: EqKind, oid: Oid) -> bool {
+        self.items.iter().any(|&x| eq.eq(store, x, oid))
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The elements (iteration order is unspecified by the algebra).
+    pub fn items(&self) -> &[Oid] {
+        &self.items
+    }
+
+    /// `select(p)` — elements satisfying the alphabet-predicate.
+    pub fn select(&self, store: &ObjectStore, p: &Pred) -> AquaSet {
+        AquaSet {
+            items: self
+                .items
+                .iter()
+                .copied()
+                .filter(|&o| p.eval(store, o))
+                .collect(),
+        }
+    }
+
+    /// `apply(f)` — image of the set under `f`, deduplicated under `eq`.
+    pub fn apply(&self, store: &ObjectStore, eq: EqKind, mut f: impl FnMut(Oid) -> Oid) -> AquaSet {
+        AquaSet::from_oids(store, eq, self.items.iter().map(|&o| f(o)))
+    }
+
+    /// `union(eq)` — equality is a parameter (paper §2).
+    pub fn union(&self, store: &ObjectStore, eq: EqKind, other: &AquaSet) -> AquaSet {
+        let mut out = self.clone();
+        for &o in &other.items {
+            out.insert(store, eq, o);
+        }
+        out
+    }
+
+    /// `intersect(eq)`.
+    pub fn intersect(&self, store: &ObjectStore, eq: EqKind, other: &AquaSet) -> AquaSet {
+        AquaSet {
+            items: self
+                .items
+                .iter()
+                .copied()
+                .filter(|&o| other.contains(store, eq, o))
+                .collect(),
+        }
+    }
+
+    /// `difference(eq)`.
+    pub fn difference(&self, store: &ObjectStore, eq: EqKind, other: &AquaSet) -> AquaSet {
+        AquaSet {
+            items: self
+                .items
+                .iter()
+                .copied()
+                .filter(|&o| !other.contains(store, eq, o))
+                .collect(),
+        }
+    }
+
+    /// `fold(z, f)` — structural fold; `split` is its order-preserving,
+    /// pattern-based analogue for trees (paper §4, "Why Split?").
+    pub fn fold<A>(&self, init: A, f: impl FnMut(A, Oid) -> A) -> A {
+        self.items.iter().copied().fold(init, f)
+    }
+}
+
+impl FromIterator<Oid> for AquaSet {
+    /// Collect under identity equality.
+    fn from_iter<I: IntoIterator<Item = Oid>>(iter: I) -> Self {
+        let mut items: Vec<Oid> = Vec::new();
+        for o in iter {
+            if !items.contains(&o) {
+                items.push(o);
+            }
+        }
+        AquaSet { items }
+    }
+}
+
+/// An AQUA multiset (bag): elements with multiplicities under identity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AquaBag {
+    items: Vec<Oid>,
+}
+
+impl AquaBag {
+    /// The empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from elements (duplicates kept).
+    pub fn from_oids(oids: impl IntoIterator<Item = Oid>) -> Self {
+        AquaBag {
+            items: oids.into_iter().collect(),
+        }
+    }
+
+    /// Insert an element (always grows the bag).
+    pub fn insert(&mut self, oid: Oid) {
+        self.items.push(oid);
+    }
+
+    /// Total number of elements, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Multiplicity of `oid` under `eq`.
+    pub fn count(&self, store: &ObjectStore, eq: EqKind, oid: Oid) -> usize {
+        self.items.iter().filter(|&&x| eq.eq(store, x, oid)).count()
+    }
+
+    /// The elements.
+    pub fn items(&self) -> &[Oid] {
+        &self.items
+    }
+
+    /// `select(p)`.
+    pub fn select(&self, store: &ObjectStore, p: &Pred) -> AquaBag {
+        AquaBag {
+            items: self
+                .items
+                .iter()
+                .copied()
+                .filter(|&o| p.eval(store, o))
+                .collect(),
+        }
+    }
+
+    /// `apply(f)` — multiplicities preserved.
+    pub fn apply(&self, mut f: impl FnMut(Oid) -> Oid) -> AquaBag {
+        AquaBag {
+            items: self.items.iter().map(|&o| f(o)).collect(),
+        }
+    }
+
+    /// Additive union (bag union sums multiplicities).
+    pub fn union(&self, other: &AquaBag) -> AquaBag {
+        let mut items = self.items.clone();
+        items.extend_from_slice(&other.items);
+        AquaBag { items }
+    }
+
+    /// Collapse to a set under `eq`.
+    pub fn to_set(&self, store: &ObjectStore, eq: EqKind) -> AquaSet {
+        AquaSet::from_oids(store, eq, self.items.iter().copied())
+    }
+
+    /// `fold(z, f)`.
+    pub fn fold<A>(&self, init: A, f: impl FnMut(A, Oid) -> A) -> A {
+        self.items.iter().copied().fold(init, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, Value};
+    use aqua_pattern::PredExpr;
+
+    fn setup() -> (ObjectStore, ClassId, Vec<Oid>) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(ClassDef::new("P", vec![AttrDef::stored("v", AttrType::Int)]).unwrap())
+            .unwrap();
+        let oids = (0..4)
+            .map(|i| s.insert_named("P", &[("v", Value::Int(i % 2))]).unwrap())
+            .collect();
+        (s, c, oids)
+    }
+
+    #[test]
+    fn identity_set_semantics() {
+        let (s, _, o) = setup();
+        let set = AquaSet::from_oids(&s, EqKind::Identity, [o[0], o[0], o[1]]);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&s, EqKind::Identity, o[0]));
+        assert!(!set.contains(&s, EqKind::Identity, o[2]));
+    }
+
+    #[test]
+    fn equality_parameter_changes_results() {
+        // o[0] and o[2] have equal values but different identities: under
+        // Shallow equality they collapse, under Identity they do not.
+        let (s, _, o) = setup();
+        let id = AquaSet::from_oids(&s, EqKind::Identity, [o[0], o[2]]);
+        assert_eq!(id.len(), 2);
+        let shallow = AquaSet::from_oids(&s, EqKind::Shallow, [o[0], o[2]]);
+        assert_eq!(shallow.len(), 1);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let (s, _, o) = setup();
+        let a = AquaSet::from_oids(&s, EqKind::Identity, [o[0], o[1]]);
+        let b = AquaSet::from_oids(&s, EqKind::Identity, [o[1], o[2]]);
+        assert_eq!(a.union(&s, EqKind::Identity, &b).len(), 3);
+        assert_eq!(a.intersect(&s, EqKind::Identity, &b).items(), &[o[1]]);
+        assert_eq!(a.difference(&s, EqKind::Identity, &b).items(), &[o[0]]);
+    }
+
+    #[test]
+    fn select_and_fold() {
+        let (s, c, o) = setup();
+        let set: AquaSet = o.iter().copied().collect();
+        let p = PredExpr::eq("v", 1).compile(c, s.class(c)).unwrap();
+        let sel = set.select(&s, &p);
+        assert_eq!(sel.len(), 2);
+        let n = set.fold(0usize, |acc, _| acc + 1);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn bag_multiplicities() {
+        let (s, _, o) = setup();
+        let bag = AquaBag::from_oids([o[0], o[0], o[1]]);
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag.count(&s, EqKind::Identity, o[0]), 2);
+        // Shallow equality sees o[2] as another copy of o[0]'s value.
+        assert_eq!(bag.count(&s, EqKind::Shallow, o[2]), 2);
+        let set = bag.to_set(&s, EqKind::Identity);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn bag_union_sums() {
+        let (_, _, o) = setup();
+        let a = AquaBag::from_oids([o[0]]);
+        let b = AquaBag::from_oids([o[0], o[1]]);
+        assert_eq!(a.union(&b).len(), 3);
+    }
+
+    #[test]
+    fn apply_dedups_under_eq() {
+        let (mut s, _, o) = setup();
+        // Map everything to one target object: set collapses to size 1.
+        let target = s.insert_named("P", &[("v", Value::Int(9))]).unwrap();
+        let set: AquaSet = o.iter().copied().collect();
+        let mapped = set.apply(&s, EqKind::Identity, |_| target);
+        assert_eq!(mapped.len(), 1);
+        let bag = AquaBag::from_oids(o.clone()).apply(|_| target);
+        assert_eq!(bag.len(), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Tree construction.
+//!
+//! Trees are built bottom-up through a [`TreeBuilder`]: create leaf and
+//! internal nodes (each child may be used exactly once), then
+//! [`TreeBuilder::finish`] with the root. The builder validates the
+//! structure — every node reachable, no sharing, no cycles — which is
+//! exactly the bookkeeping the paper says users should *not* have to do
+//! when trees are mere nested lists (§2, "Lists and Trees").
+
+use aqua_object::{Cell, Oid};
+use aqua_pattern::CcLabel;
+
+use crate::error::{AlgebraError, Result};
+use crate::tree::{Node, NodeId, Payload, Tree};
+
+/// Bottom-up tree builder.
+///
+/// ```
+/// use aqua_algebra::TreeBuilder;
+/// use aqua_object::Oid;
+///
+/// // b(d e)
+/// let mut b = TreeBuilder::new();
+/// let d = b.node(Oid(1), vec![]);
+/// let e = b.node(Oid(2), vec![]);
+/// let root = b.node(Oid(0), vec![d, e]);
+/// let tree = b.finish(root).unwrap();
+/// assert_eq!(tree.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node holding `oid`'s cell with the given (already-built)
+    /// children.
+    pub fn node(&mut self, oid: Oid, children: Vec<NodeId>) -> NodeId {
+        self.push(Payload::Cell(Cell::new(oid)), children)
+    }
+
+    /// Add a labeled-NULL node (a concatenation point in the instance).
+    /// Holes are leaves in well-formed trees, but children are accepted
+    /// here and rejected by [`finish`](Self::finish) so the error carries
+    /// context.
+    pub fn hole_node(&mut self, label: CcLabel, children: Vec<NodeId>) -> NodeId {
+        self.push(Payload::Hole(label), children)
+    }
+
+    /// Add a node with an explicit payload.
+    pub fn payload_node(&mut self, payload: Payload, children: Vec<NodeId>) -> NodeId {
+        self.push(payload, children)
+    }
+
+    fn push(&mut self, payload: Payload, children: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            payload,
+            children,
+            parent: None,
+        });
+        id
+    }
+
+    /// Validate and seal the tree rooted at `root`: checks child
+    /// references exist, every node is used exactly once (no sharing, no
+    /// cycles — the bookkeeping of §2), holes are leaves, and all nodes
+    /// are reachable from `root`; then sets parent links.
+    pub fn finish(mut self, root: NodeId) -> Result<Tree> {
+        let n = self.nodes.len();
+        if root.index() >= n {
+            return Err(AlgebraError::Malformed {
+                msg: format!("root {root:?} out of bounds ({n} nodes)"),
+            });
+        }
+        // Each node may be the child of at most one parent.
+        let mut parent_of: Vec<Option<NodeId>> = vec![None; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &c in &node.children {
+                if c.index() >= n {
+                    return Err(AlgebraError::Malformed {
+                        msg: format!("child {c:?} out of bounds"),
+                    });
+                }
+                if c.index() == i {
+                    return Err(AlgebraError::Malformed {
+                        msg: format!("node {i} is its own child"),
+                    });
+                }
+                if parent_of[c.index()].is_some() {
+                    return Err(AlgebraError::Malformed {
+                        msg: format!("node {c:?} has two parents (shared child list, §2)"),
+                    });
+                }
+                parent_of[c.index()] = Some(NodeId(i as u32));
+            }
+            if matches!(node.payload, Payload::Hole(_)) && !node.children.is_empty() {
+                return Err(AlgebraError::Malformed {
+                    msg: format!("hole node {i} has children; labeled NULLs are leaves"),
+                });
+            }
+        }
+        if parent_of[root.index()].is_some() {
+            return Err(AlgebraError::Malformed {
+                msg: "root has a parent".into(),
+            });
+        }
+        // Reachability (also catches cycles among non-root components).
+        let mut seen = vec![false; n];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(x) = stack.pop() {
+            if seen[x.index()] {
+                return Err(AlgebraError::Malformed {
+                    msg: "cycle detected".into(),
+                });
+            }
+            seen[x.index()] = true;
+            count += 1;
+            stack.extend(self.nodes[x.index()].children.iter().copied());
+        }
+        if count != n {
+            return Err(AlgebraError::Malformed {
+                msg: format!("{} nodes unreachable from root", n - count),
+            });
+        }
+        for (i, p) in parent_of.into_iter().enumerate() {
+            self.nodes[i].parent = p;
+        }
+        Ok(Tree {
+            nodes: self.nodes,
+            root,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_links_parents() {
+        let mut b = TreeBuilder::new();
+        let l = b.node(Oid(1), vec![]);
+        let r = b.node(Oid(2), vec![]);
+        let root = b.node(Oid(0), vec![l, r]);
+        let t = b.finish(root).unwrap();
+        assert_eq!(t.parent(l), Some(root));
+        assert_eq!(t.parent(root), None);
+        assert_eq!(t.children(root), &[l, r]);
+    }
+
+    #[test]
+    fn rejects_shared_child() {
+        let mut b = TreeBuilder::new();
+        let shared = b.node(Oid(1), vec![]);
+        let a = b.node(Oid(2), vec![shared]);
+        let root = b.node(Oid(0), vec![a, shared]);
+        let err = b.finish(root).unwrap_err();
+        assert!(err.to_string().contains("two parents"));
+    }
+
+    #[test]
+    fn rejects_unreachable_nodes() {
+        let mut b = TreeBuilder::new();
+        let _orphan = b.node(Oid(1), vec![]);
+        let root = b.node(Oid(0), vec![]);
+        let err = b.finish(root).unwrap_err();
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn rejects_self_child_and_oob() {
+        let mut b = TreeBuilder::new();
+        let root = b.node(Oid(0), vec![NodeId(0)]);
+        assert!(b.finish(root).is_err());
+        let b = TreeBuilder::new();
+        assert!(b.finish(NodeId(3)).is_err());
+    }
+
+    #[test]
+    fn rejects_hole_with_children() {
+        let mut b = TreeBuilder::new();
+        let k = b.node(Oid(1), vec![]);
+        let root = b.hole_node(CcLabel::new("x"), vec![k]);
+        let err = b.finish(root).unwrap_err();
+        assert!(err.to_string().contains("labeled NULLs"));
+    }
+
+    #[test]
+    fn rejects_rooted_subtree_as_child() {
+        // root can't also be someone's child
+        let mut b = TreeBuilder::new();
+        let a = b.node(Oid(1), vec![]);
+        let _root = b.node(Oid(0), vec![a]);
+        assert!(b.finish(a).is_err());
+    }
+}

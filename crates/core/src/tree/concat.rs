@@ -1,0 +1,180 @@
+//! Tree concatenation at labeled NULLs (paper §3.3, §3.5).
+//!
+//! A concatenation point appearing in a tree instance is a labeled NULL
+//! leaf ([`Payload::Hole`]); the *only* operation that observes it is
+//! concatenation, which replaces each hole carrying the right label with
+//! a copy of the other operand. This is what lets [`split`] break a tree
+//! apart and put it back together exactly:
+//! `x ∘_α y ∘_{α_1} t_1 ⋯ ∘_{α_n} t_n = T`.
+//!
+//! [`split`]: crate::tree::split::split
+
+use aqua_pattern::CcLabel;
+
+use crate::tree::{NodeId, Payload, Tree, TreeBuilder};
+
+/// Deep-copy the subtree of `t` rooted at `node` into a fresh tree.
+pub fn subtree(t: &Tree, node: NodeId) -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = copy_into(t, node, &mut b, &mut |_, payload, kids, b| {
+        Some(b.payload_node(payload.clone(), kids))
+    })
+    .expect("plain copy never drops the root");
+    b.finish(root).expect("copy of a valid tree is valid")
+}
+
+/// `t ∘_label other`: replace every hole in `t` labeled `label` with a
+/// copy of `other`. If `t` contains no such hole the result is a copy of
+/// `t` (paper §3.3). Concatenating at a hole-rooted tree substitutes the
+/// whole tree.
+pub fn concat_at(t: &Tree, label: &CcLabel, other: &Tree) -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = copy_into(
+        t,
+        t.root(),
+        &mut b,
+        &mut |_, payload, kids, b| match payload {
+            Payload::Hole(l) if l == label => {
+                debug_assert!(kids.is_empty(), "holes are leaves");
+                let sub = copy_into(other, other.root(), b, &mut |_, p, k, b| {
+                    Some(b.payload_node(p.clone(), k))
+                })
+                .expect("plain copy never drops the root");
+                Some(sub)
+            }
+            _ => Some(b.payload_node(payload.clone(), kids)),
+        },
+    )
+    .expect("concat keeps the root");
+    b.finish(root).expect("concat of valid trees is valid")
+}
+
+/// `t ∘_label []`: remove the holes carrying `label` (concatenate NULL
+/// at that point). Returns `None` when the root itself is such a hole.
+pub fn concat_nil(t: &Tree, label: &CcLabel) -> Option<Tree> {
+    let mut b = TreeBuilder::new();
+    let root = copy_into(
+        t,
+        t.root(),
+        &mut b,
+        &mut |_, payload, kids, b| match payload {
+            Payload::Hole(l) if l == label => None,
+            _ => Some(b.payload_node(payload.clone(), kids)),
+        },
+    )?;
+    Some(b.finish(root).expect("concat_nil of a valid tree is valid"))
+}
+
+/// `t ∘_{l} []` for every hole label: remove all labeled NULLs ("the
+/// last iteration concatenates NULL", §3.3 — and `sub_select`'s
+/// `b ∘_{α_1…α_n} []`, §4). Returns `None` when the root itself is a
+/// hole (the tree reduces to nothing).
+pub fn nil_reduce(t: &Tree) -> Option<Tree> {
+    let mut b = TreeBuilder::new();
+    let root = copy_into(
+        t,
+        t.root(),
+        &mut b,
+        &mut |_, payload, kids, b| match payload {
+            Payload::Hole(_) => None,
+            _ => Some(b.payload_node(payload.clone(), kids)),
+        },
+    )?;
+    Some(b.finish(root).expect("nil-reduce of a valid tree is valid"))
+}
+
+/// Bottom-up copy driver: children are copied first, then `f` is called
+/// with `(source node, payload, copied children)` and may emit a node,
+/// splice in a replacement, or drop the node (`None` drops its whole
+/// subtree-in-progress; dropped children are pruned from the arena by
+/// never being referenced… so we must build children only after f
+/// decides — see below).
+///
+/// To keep the arena free of orphans (the builder rejects unreachable
+/// nodes), holes are tested *before* descending.
+fn copy_into(
+    t: &Tree,
+    node: NodeId,
+    b: &mut TreeBuilder,
+    f: &mut impl FnMut(NodeId, &Payload, Vec<NodeId>, &mut TreeBuilder) -> Option<NodeId>,
+) -> Option<NodeId> {
+    // Decide on drop/replace for leaves before materializing children.
+    let payload = t.payload(node);
+    if matches!(payload, Payload::Hole(_)) {
+        return f(node, payload, Vec::new(), b);
+    }
+    let mut kids = Vec::with_capacity(t.children(node).len());
+    for &k in t.children(node) {
+        if let Some(copied) = copy_into(t, k, b, f) {
+            kids.push(copied);
+        }
+    }
+    f(node, payload, kids, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::testutil::Fx;
+
+    #[test]
+    fn fig1_concatenation_points() {
+        // Figure 1: a(@1 @2) ∘_@1 b(d(f g) e) ∘_@2 c == a(b(d(f g) e) c)
+        let mut fx = Fx::new();
+        let base = fx.tree("a(@1 @2)");
+        let b = fx.tree("b(d(f g) e)");
+        let c = fx.tree("c");
+        let step1 = concat_at(&base, &CcLabel::new("1"), &b);
+        let step2 = concat_at(&step1, &CcLabel::new("2"), &c);
+        assert_eq!(fx.render(&step2), "a(b(d(f g) e) c)");
+        assert!(step2.hole_labels().is_empty());
+    }
+
+    #[test]
+    fn concat_without_matching_label_is_identity() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b)");
+        let other = fx.tree("c");
+        let r = concat_at(&t, &CcLabel::new("zzz"), &other);
+        assert!(r.structural_eq(&t));
+    }
+
+    #[test]
+    fn concat_replaces_all_occurrences() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(@x b @x)");
+        let sub = fx.tree("c(d)");
+        let r = concat_at(&t, &CcLabel::new("x"), &sub);
+        assert_eq!(fx.render(&r), "a(c(d) b c(d))");
+    }
+
+    #[test]
+    fn concat_at_hole_root() {
+        let mut fx = Fx::new();
+        let t = Tree::hole("m");
+        let sub = fx.tree("a(b)");
+        let r = concat_at(&t, &CcLabel::new("m"), &sub);
+        assert!(r.structural_eq(&sub));
+    }
+
+    #[test]
+    fn nil_reduce_removes_holes() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(@1 b(@2) c)");
+        let r = nil_reduce(&t).unwrap();
+        assert_eq!(fx.render(&r), "a(b c)");
+        assert!(nil_reduce(&Tree::hole("x")).is_none());
+    }
+
+    #[test]
+    fn subtree_copies_deeply() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        let b_node = t.children(t.root())[0];
+        let sub = subtree(&t, b_node);
+        assert_eq!(fx.render(&sub), "b(d f)");
+        assert_eq!(sub.len(), 3);
+        // Cells are shared (same OIDs), structure is fresh.
+        assert_eq!(sub.oid(sub.root()), t.oid(b_node));
+    }
+}

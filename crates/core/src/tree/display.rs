@@ -1,0 +1,67 @@
+//! Rendering trees in the paper's preorder notation.
+//!
+//! The paper writes trees "by a preorder-based notation in which a node
+//! is followed by a parenthesized list of its children" (§2), e.g.
+//! `b(d(f g) e)`. Since node payloads are cells, rendering needs a
+//! labeling function from OIDs to display strings.
+
+use aqua_object::Oid;
+
+use crate::tree::{NodeId, Payload, Tree};
+
+/// Render `t` in preorder notation, labeling cell nodes via `label`.
+/// Holes render as `@label`.
+pub fn render(t: &Tree, label: &impl Fn(Oid) -> String) -> String {
+    let mut out = String::new();
+    render_node(t, t.root(), label, &mut out);
+    out
+}
+
+fn render_node(t: &Tree, n: NodeId, label: &impl Fn(Oid) -> String, out: &mut String) {
+    match t.payload(n) {
+        Payload::Cell(c) => out.push_str(&label(c.contents())),
+        Payload::Hole(l) => out.push_str(&l.to_string()),
+    }
+    let kids = t.children(n);
+    if !kids.is_empty() {
+        out.push('(');
+        for (i, &k) in kids.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            render_node(t, k, label, out);
+        }
+        out.push(')');
+    }
+}
+
+/// Render with raw OIDs as labels (debugging aid).
+pub fn render_oids(t: &Tree) -> String {
+    render(t, &|oid| oid.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::testutil::Fx;
+
+    #[test]
+    fn paper_notation() {
+        let mut fx = Fx::new();
+        let t = fx.tree("b(d(f g) e)");
+        assert_eq!(fx.render(&t), "b(d(f g) e)");
+    }
+
+    #[test]
+    fn holes_render_with_at() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(@1 b)");
+        assert_eq!(fx.render(&t), "a(@1 b)");
+    }
+
+    #[test]
+    fn oid_rendering() {
+        let t = Tree::leaf(Oid(7));
+        assert_eq!(render_oids(&t), "#7");
+    }
+}

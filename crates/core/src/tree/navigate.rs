@@ -1,0 +1,182 @@
+//! Navigation and structural information.
+//!
+//! The paper mentions (§4) that AQUA provides "a range of other
+//! operators for purposes like navigating, updating, and providing
+//! structural information about a tree instance"; these are those
+//! operators.
+
+use crate::tree::{NodeId, Tree};
+
+impl Tree {
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Height of the tree (a single node has height 0).
+    pub fn height(&self) -> usize {
+        self.iter_preorder()
+            .map(|n| self.depth(n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Ancestors of `node`, nearest first (excluding `node`).
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Is `anc` a (strict or reflexive) ancestor of `node`?
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// The position of `node` among its parent's children (`None` at the
+    /// root).
+    pub fn child_index(&self, node: NodeId) -> Option<usize> {
+        let p = self.parent(node)?;
+        self.children(p).iter().position(|&c| c == node)
+    }
+
+    /// Descendants of `node` in document order (excluding `node`).
+    pub fn descendants(&self, node: NodeId) -> Vec<NodeId> {
+        self.iter_preorder_from(node).skip(1).collect()
+    }
+
+    /// Out-degree of `node`. A tree is "fixed-arity" when every internal
+    /// node has the same out-degree (§2).
+    pub fn arity(&self, node: NodeId) -> usize {
+        self.children(node).len()
+    }
+
+    /// Fixed-arity check (§2: "'Fixed-arity' trees have constant
+    /// out-degree, and 'variable-arity' trees have non-constant
+    /// out-degree"): `Some(k)` when every internal node has exactly `k`
+    /// children, `None` for variable arity. A single-node tree is
+    /// trivially fixed at arity 0.
+    pub fn fixed_arity(&self) -> Option<usize> {
+        let mut k: Option<usize> = None;
+        for n in self.iter_preorder() {
+            let a = self.arity(n);
+            if a == 0 {
+                continue; // leaves don't constrain the arity
+            }
+            match k {
+                None => k = Some(a),
+                Some(existing) if existing == a => {}
+                Some(_) => return None,
+            }
+        }
+        Some(k.unwrap_or(0))
+    }
+
+    /// Document-order comparison key: `(entry, exit)` preorder/postorder
+    /// interval numbering. `u` is an ancestor of `v` iff `entry(u) <=
+    /// entry(v) && exit(v) <= exit(u)` — the structural index of
+    /// experiment B8 builds on this.
+    pub fn interval_numbering(&self) -> Vec<(u32, u32)> {
+        let mut entry = vec![0u32; self.len()];
+        let mut exit = vec![0u32; self.len()];
+        let mut clock = 0u32;
+        // Iterative DFS with explicit exit events.
+        let mut stack = vec![(self.root(), false)];
+        while let Some((n, done)) = stack.pop() {
+            if done {
+                exit[n.index()] = clock;
+                clock += 1;
+                continue;
+            }
+            entry[n.index()] = clock;
+            clock += 1;
+            stack.push((n, true));
+            for &k in self.children(n).iter().rev() {
+                stack.push((k, false));
+            }
+        }
+        entry.into_iter().zip(exit).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::testutil::Fx;
+
+    #[test]
+    fn depth_and_height() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d(x)) c)");
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d))");
+        let b = t.children(t.root())[0];
+        let d = t.children(b)[0];
+        assert_eq!(t.ancestors(d), vec![b, t.root()]);
+        assert!(t.is_ancestor(t.root(), d));
+        assert!(t.is_ancestor(d, d));
+        assert!(!t.is_ancestor(d, b));
+    }
+
+    #[test]
+    fn child_index() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b c d)");
+        let kids = t.children(t.root());
+        assert_eq!(t.child_index(kids[2]), Some(2));
+        assert_eq!(t.child_index(t.root()), None);
+    }
+
+    #[test]
+    fn interval_numbering_encodes_ancestry() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        let iv = t.interval_numbering();
+        for u in t.iter_preorder() {
+            for v in t.iter_preorder() {
+                let contains =
+                    iv[u.index()].0 <= iv[v.index()].0 && iv[v.index()].1 <= iv[u.index()].1;
+                assert_eq!(contains, t.is_ancestor(u, v), "{u:?} {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_arity_detection() {
+        let mut fx = Fx::new();
+        assert_eq!(fx.tree("a(b(d e) c(f g))").fixed_arity(), Some(2));
+        assert_eq!(fx.tree("a(b c d)").fixed_arity(), Some(3));
+        assert_eq!(fx.tree("a").fixed_arity(), Some(0));
+        assert_eq!(fx.tree("a(b(d) c(f g))").fixed_arity(), None);
+    }
+
+    #[test]
+    fn descendants_and_arity() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        assert_eq!(t.descendants(t.root()).len(), 4);
+        assert_eq!(t.arity(t.root()), 2);
+    }
+}

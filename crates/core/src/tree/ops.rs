@@ -1,0 +1,359 @@
+//! Tree query operators (paper §4).
+//!
+//! Two families:
+//!
+//! * Operators common to all bulk types — [`select`] and [`apply`] —
+//!   lifted to trees so that the result preserves relative order and
+//!   ancestry (stability).
+//! * Pattern-based operators specific to ordered types —
+//!   [`sub_select`], [`all_anc`], [`all_desc`] — all expressible through
+//!   [`split`](crate::tree::split::split). Both the *direct*
+//!   implementations and the *split-derived* definitions from the paper
+//!   are provided; experiment B5 benchmarks one against the other and
+//!   the property suite checks they agree.
+
+use aqua_object::{ObjectStore, Oid};
+use aqua_pattern::alphabet::Pred;
+use aqua_pattern::tree_ast::CompiledTreePattern;
+use aqua_pattern::tree_match::{MatchConfig, TreeMatcher};
+
+use crate::tree::split::{split_pieces, SplitPieces};
+use crate::tree::{NodeId, Payload, Tree, TreeBuilder};
+
+/// `select(p)(T)` — all nodes of `T` satisfying `p`, with ancestry
+/// compressed: `n₁` is the parent of `n₂` in the result iff `n₁` is the
+/// nearest satisfying ancestor of `n₂` in `T`. Returns a forest (a
+/// single tree when the root satisfies `p`), roots in document order.
+///
+/// Labeled NULLs never satisfy an alphabet-predicate, so they are
+/// filtered like any non-matching node.
+pub fn select(store: &ObjectStore, tree: &Tree, p: &Pred) -> Vec<Tree> {
+    struct Builder<'t> {
+        tree: &'t Tree,
+    }
+    struct Picked {
+        oid: Oid,
+        children: Vec<Picked>,
+    }
+    impl Builder<'_> {
+        fn walk(&self, store: &ObjectStore, p: &Pred, node: NodeId, out: &mut Vec<Picked>) {
+            let satisfied = self.tree.oid(node).is_some_and(|oid| p.eval(store, oid));
+            if satisfied {
+                let mut picked = Picked {
+                    oid: self.tree.oid(node).unwrap(),
+                    children: Vec::new(),
+                };
+                for &k in self.tree.children(node) {
+                    self.walk(store, p, k, &mut picked.children);
+                }
+                out.push(picked);
+            } else {
+                for &k in self.tree.children(node) {
+                    self.walk(store, p, k, out);
+                }
+            }
+        }
+    }
+    fn realize(picked: &Picked, b: &mut TreeBuilder) -> NodeId {
+        let kids = picked.children.iter().map(|c| realize(c, b)).collect();
+        b.node(picked.oid, kids)
+    }
+    let mut roots = Vec::new();
+    Builder { tree }.walk(store, p, tree.root(), &mut roots);
+    roots
+        .iter()
+        .map(|r| {
+            let mut b = TreeBuilder::new();
+            let root = realize(r, &mut b);
+            b.finish(root).expect("select output is a valid tree")
+        })
+        .collect()
+}
+
+/// `apply(f)(T)` — an isomorphic tree whose cell at each node is
+/// `f(oid)`. Holes are preserved unchanged.
+pub fn apply(tree: &Tree, mut f: impl FnMut(Oid) -> Oid) -> Tree {
+    fn walk(
+        tree: &Tree,
+        node: NodeId,
+        f: &mut impl FnMut(Oid) -> Oid,
+        b: &mut TreeBuilder,
+    ) -> NodeId {
+        let kids = tree
+            .children(node)
+            .iter()
+            .map(|&k| walk(tree, k, f, b))
+            .collect();
+        match tree.payload(node) {
+            Payload::Cell(c) => b.node(f(c.contents()), kids),
+            Payload::Hole(l) => b.hole_node(l.clone(), kids),
+        }
+    }
+    let mut b = TreeBuilder::new();
+    let root = walk(tree, tree.root(), &mut f, &mut b);
+    b.finish(root).expect("apply preserves tree shape")
+}
+
+/// `sub_select(tp)(T)` — the set of subgraphs of `T` matching `tp`, in
+/// document order of their roots. Each result is the match piece with
+/// its cut points concatenated to NULL (`b ∘_{α_1…α_n} []`, §4).
+pub fn sub_select(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+) -> Vec<Tree> {
+    let mut matcher = TreeMatcher::new(pattern, tree, store);
+    matcher
+        .find_matches(cfg)
+        .into_iter()
+        .map(|m| reduced_match_tree(tree, &m))
+        .collect()
+}
+
+/// Build `b ∘_{α_1…α_n} []` directly from a match: copy only the kept
+/// nodes, dropping the cut positions. Equivalent to cutting full
+/// [`SplitPieces`] and nil-reducing, but O(match size) instead of
+/// O(tree size) — `sub_select` does not need the context piece.
+fn reduced_match_tree(tree: &Tree, m: &aqua_pattern::tree_match::TreeMatch) -> Tree {
+    use std::collections::HashSet;
+    let in_match: HashSet<u32> = m.nodes.iter().copied().collect();
+    let cut_roots: HashSet<u32> = m.cuts.iter().map(|c| c.root).collect();
+    fn copy(
+        tree: &Tree,
+        node: NodeId,
+        in_match: &std::collections::HashSet<u32>,
+        cut_roots: &std::collections::HashSet<u32>,
+        b: &mut TreeBuilder,
+    ) -> NodeId {
+        let mut kids = Vec::new();
+        for &k in tree.children(node) {
+            if cut_roots.contains(&k.0) {
+                continue;
+            }
+            debug_assert!(in_match.contains(&k.0), "child neither kept nor cut");
+            kids.push(copy(tree, k, in_match, cut_roots, b));
+        }
+        b.payload_node(tree.payload(node).clone(), kids)
+    }
+    let mut b = TreeBuilder::new();
+    let root = copy(tree, NodeId(m.root), &in_match, &cut_roots, &mut b);
+    b.finish(root).expect("reduced match is a valid tree")
+}
+
+/// `sub_select` restricted to candidate match roots — the executor for
+/// the paper's §4 rewrite: an index probe proposes `candidates` (nodes
+/// satisfying the pattern's root predicate) and the pattern is verified
+/// only there. With `candidates` = all nodes this equals [`sub_select`].
+pub fn sub_select_from(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    candidates: &[u32],
+) -> Vec<Tree> {
+    let mut matcher = TreeMatcher::new(pattern, tree, store);
+    matcher
+        .find_matches_from(candidates, cfg)
+        .into_iter()
+        .map(|m| reduced_match_tree(tree, &m))
+        .collect()
+}
+
+/// Remove exactly the cut holes from a match piece (pre-existing holes
+/// in the subject tree survive — they are part of the instance).
+fn nil_reduce_cuts(pieces: &SplitPieces) -> Tree {
+    let mut acc = pieces.matched.clone();
+    for label in &pieces.cut_labels {
+        acc = crate::tree::concat::concat_nil(&acc, label)
+            .expect("cut holes never sit at the match root");
+    }
+    acc
+}
+
+/// The paper's derivation: `sub_select(tp) = split(tp, λ(a,b,c) b ∘ [])`.
+/// Kept verbatim for the B5 ablation and the equivalence property test.
+pub fn sub_select_via_split(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+) -> Vec<Tree> {
+    crate::tree::split::split(store, tree, pattern, cfg, nil_reduce_cuts)
+}
+
+/// `all_anc(tp, f)(T)` — `f(context, match)` per match: the match plus
+/// everything that is *not* below it (its ancestors and their other
+/// descendants). Derived from `split` exactly as in §4:
+/// `apply(λa f(1(a), 2(a)))(split(tp, λ(a,b,c)⟨a, b ∘ []⟩))`.
+pub fn all_anc<R>(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    mut f: impl FnMut(&Tree, &Tree) -> R,
+) -> Vec<R> {
+    split_pieces(store, tree, pattern, cfg)
+        .iter()
+        .map(|p| {
+            let reduced = nil_reduce_cuts(p);
+            f(&p.context, &reduced)
+        })
+        .collect()
+}
+
+/// `all_desc(tp, f)(T)` — `f(match, descendants)` per match; the match
+/// piece keeps its `α_i` holes so the caller can see where each
+/// descendant attaches (§4: `g = λ(a,b,c)⟨b, c⟩`).
+pub fn all_desc<R>(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    mut f: impl FnMut(&Tree, &[Tree]) -> R,
+) -> Vec<R> {
+    split_pieces(store, tree, pattern, cfg)
+        .iter()
+        .map(|p| f(&p.matched, &p.descendants))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::testutil::Fx;
+    use aqua_pattern::parser::parse_tree_pattern;
+    use aqua_pattern::PredExpr;
+
+    fn pred(fx: &Fx, label: &str) -> Pred {
+        PredExpr::eq("label", label)
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap()
+    }
+
+    fn compile(fx: &Fx, text: &str) -> CompiledTreePattern {
+        parse_tree_pattern(text, &fx.env())
+            .unwrap()
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap()
+    }
+
+    #[test]
+    fn select_compresses_ancestry() {
+        let mut fx = Fx::new();
+        // u nodes at scattered depths; intermediate non-u nodes vanish
+        // and edges jump to the nearest satisfying ancestor.
+        let t = fx.tree("u(a(u(b(u)) c) u)");
+        let forest = select(&fx.store, &t, &pred(&fx, "u"));
+        assert_eq!(forest.len(), 1);
+        assert_eq!(fx.render(&forest[0]), "u(u(u) u)");
+    }
+
+    #[test]
+    fn select_returns_forest_when_root_fails() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(u(x(u)) b(u))");
+        let forest = select(&fx.store, &t, &pred(&fx, "u"));
+        assert_eq!(forest.len(), 2);
+        assert_eq!(fx.render(&forest[0]), "u(u)");
+        assert_eq!(fx.render(&forest[1]), "u");
+    }
+
+    #[test]
+    fn select_preserves_relative_order() {
+        let mut fx = Fx::new();
+        // Document order of u-leaves must survive.
+        let t = fx.tree("a(b(u) u c(u))");
+        let forest = select(&fx.store, &t, &pred(&fx, "u"));
+        assert_eq!(forest.len(), 3);
+    }
+
+    #[test]
+    fn select_nothing() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b)");
+        assert!(select(&fx.store, &t, &pred(&fx, "zzz")).is_empty());
+    }
+
+    #[test]
+    fn apply_isomorphic() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b @x)");
+        // Map every object to a fresh 'm' object.
+        let mut made = Vec::new();
+        let mapped = apply(&t, |_| {
+            let oid = fx
+                .store
+                .insert_named("N", &[("label", aqua_object::Value::str("m"))])
+                .unwrap();
+            made.push(oid);
+            oid
+        });
+        assert_eq!(fx.render(&mapped), "m(m @x)");
+        assert_eq!(made.len(), 2); // holes not mapped
+        assert_eq!(mapped.len(), t.len());
+    }
+
+    #[test]
+    fn sub_select_direct_equals_via_split() {
+        let mut fx = Fx::new();
+        let t = fx.tree("r(b(x(p) u(y) z) u s(b(u)))");
+        let cp = compile(&fx, "b(!?* u !?*)");
+        let direct = sub_select(&fx.store, &t, &cp, &MatchConfig::default());
+        let derived = sub_select_via_split(&fx.store, &t, &cp, &MatchConfig::default());
+        assert_eq!(direct.len(), derived.len());
+        for (a, b) in direct.iter().zip(&derived) {
+            assert!(a.structural_eq(b));
+        }
+        assert_eq!(fx.render(&direct[0]), "b(u)");
+    }
+
+    #[test]
+    fn sub_select_keeps_preexisting_holes() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(@q))");
+        let cp = compile(&fx, "b(@q)");
+        let rs = sub_select(&fx.store, &t, &cp, &MatchConfig::default());
+        assert_eq!(rs.len(), 1);
+        // The instance's own hole is part of the result…
+        assert_eq!(fx.render(&rs[0]), "b(@q)");
+    }
+
+    #[test]
+    fn all_anc_pairs_context_with_match() {
+        let mut fx = Fx::new();
+        let t = fx.tree("r(a(u) b)");
+        let cp = compile(&fx, "u");
+        let rs = all_anc(&fx.store, &t, &cp, &MatchConfig::default(), |ctx, m| {
+            (fx.render(ctx), fx.render(m))
+        });
+        assert_eq!(rs, vec![("r(a(@a) b)".to_string(), "u".to_string())]);
+    }
+
+    #[test]
+    fn all_desc_pairs_match_with_descendants() {
+        let mut fx = Fx::new();
+        let t = fx.tree("r(u(x y))");
+        let cp = compile(&fx, "u");
+        let rs = all_desc(&fx.store, &t, &cp, &MatchConfig::default(), |m, ds| {
+            (
+                fx.render(m),
+                ds.iter().map(|d| fx.render(d)).collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].0, "u(@1 @2)");
+        assert_eq!(rs[0].1, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn printf_variable_arity_query() {
+        // §5: sub_select(printf(?* LargeData ?* LargeData ?*))(T)
+        let mut fx = Fx::new();
+        let t = fx.tree("m(p(x L y L) p(L) q(L L))");
+        let cp = compile(&fx, "p(?* L ?* L ?*)");
+        let rs = sub_select(&fx.store, &t, &cp, &MatchConfig::default());
+        assert_eq!(rs.len(), 1);
+        assert_eq!(fx.render(&rs[0]), "p(x L y L)");
+    }
+}

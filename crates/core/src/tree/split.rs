@@ -1,0 +1,334 @@
+//! The `split` operator (paper §4) — the primitive tree query operator.
+//!
+//! For each match of a tree pattern `tp` in `T`, `split(tp, f)(T)`
+//! produces three pieces and applies `f` to them:
+//!
+//! * **context** `x` — all ancestors of the match and their descendants
+//!   (everything except the match's subtree), with a labeled NULL `α`
+//!   where the match's subtree was;
+//! * **match** `y` — the matched nodes, with labeled NULLs `α_1 … α_n`
+//!   at the cut points (pruned subtrees and frontier cuts);
+//! * **descendants** `z` — the list `[t_1, …, t_n]` of subtrees cut from
+//!   below the match, in `α_i` order.
+//!
+//! The decomposition is exact: `x ∘_α y ∘_{α_1} t_1 ⋯ ∘_{α_n} t_n = T`
+//! ([`SplitPieces::reassemble`]; property-tested in the integration
+//! suite). This is what makes `split` strong enough to express every
+//! other matching operator *and* to support update-style queries that
+//! need the match context (the parse-tree rewrite of §5).
+
+use aqua_object::ObjectStore;
+use aqua_pattern::tree_ast::CompiledTreePattern;
+use aqua_pattern::tree_match::{MatchConfig, TreeMatch, TreeMatcher};
+use aqua_pattern::CcLabel;
+
+use crate::tree::concat::{concat_at, subtree};
+use crate::tree::{NodeId, Tree, TreeBuilder};
+use std::collections::{HashMap, HashSet};
+
+/// The three pieces `split` cuts for one match, plus the labels used.
+#[derive(Debug, Clone)]
+pub struct SplitPieces {
+    /// `x`: the tree minus the match's subtree, with `alpha` where the
+    /// subtree was. A bare hole when the match is at the root.
+    pub context: Tree,
+    /// `y`: the match, with `cut_labels[i]` holes at the cut points.
+    pub matched: Tree,
+    /// `z`: the cut subtrees, in cut order (document order).
+    pub descendants: Vec<Tree>,
+    /// The label joining `context` to `matched`.
+    pub alpha: CcLabel,
+    /// The labels joining `matched` to each of `descendants`.
+    pub cut_labels: Vec<CcLabel>,
+    /// The raw match (node ids are into the *original* tree).
+    pub raw: TreeMatch,
+}
+
+impl SplitPieces {
+    /// `x ∘_α y ∘_{α_1} t_1 ⋯ ∘_{α_n} t_n` — reassemble the original
+    /// tree (or a rewritten one, if a piece was replaced first).
+    pub fn reassemble(&self) -> Tree {
+        self.reassemble_with(&self.matched)
+    }
+
+    /// Reassemble around a *replacement* for the match piece — the §5
+    /// parse-tree-rewrite idiom: `f(x, y, z) = x ∘_α y' ∘_{α_i} z_i`.
+    pub fn reassemble_with(&self, replacement: &Tree) -> Tree {
+        let mut acc = concat_at(&self.context, &self.alpha, replacement);
+        for (label, sub) in self.cut_labels.iter().zip(&self.descendants) {
+            acc = concat_at(&acc, label, sub);
+        }
+        acc
+    }
+}
+
+/// `split(tp, f)(T)`: apply `f` to the pieces of every match, returning
+/// the set (here: document-ordered `Vec`) of results.
+pub fn split<R>(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    f: impl FnMut(&SplitPieces) -> R,
+) -> Vec<R> {
+    split_pieces(store, tree, pattern, cfg)
+        .iter()
+        .map(f)
+        .collect()
+}
+
+/// The pieces for every match of `pattern` in `tree` (the uncurried form
+/// of [`split`], convenient when the caller *is* Rust code).
+pub fn split_pieces(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+) -> Vec<SplitPieces> {
+    let mut matcher = TreeMatcher::new(pattern, tree, store);
+    let matches = matcher.find_matches(cfg);
+    matches
+        .into_iter()
+        .map(|m| pieces_for_match(tree, m))
+        .collect()
+}
+
+/// [`split_pieces`] restricted to candidate match roots — the executor
+/// side of the §4 rewrite for `split` itself: an index proposes the
+/// roots satisfying the pattern's root predicate, and matching/cutting
+/// happens only there. With all nodes as candidates this equals
+/// [`split_pieces`].
+pub fn split_pieces_from(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    candidates: &[u32],
+) -> Vec<SplitPieces> {
+    let mut matcher = TreeMatcher::new(pattern, tree, store);
+    matcher
+        .find_matches_from(candidates, cfg)
+        .into_iter()
+        .map(|m| pieces_for_match(tree, m))
+        .collect()
+}
+
+/// Cut one match out of `tree`.
+pub fn pieces_for_match(tree: &Tree, m: TreeMatch) -> SplitPieces {
+    let existing: HashSet<String> = tree.hole_labels().iter().map(|l| l.0.clone()).collect();
+    let fresh = |base: String| -> CcLabel {
+        let mut name = base;
+        while existing.contains(&name) {
+            name.push('\'');
+        }
+        CcLabel::new(name)
+    };
+    let alpha = fresh("a".to_string());
+    let cut_labels: Vec<CcLabel> = (1..=m.cuts.len()).map(|i| fresh(i.to_string())).collect();
+
+    let match_root = NodeId(m.root);
+    let context = build_context(tree, match_root, &alpha);
+    let matched = build_match(tree, &m, &cut_labels);
+    let descendants = m
+        .cuts
+        .iter()
+        .map(|c| subtree(tree, NodeId(c.root)))
+        .collect();
+    SplitPieces {
+        context,
+        matched,
+        descendants,
+        alpha,
+        cut_labels,
+        raw: m,
+    }
+}
+
+/// Copy `tree` with the subtree at `excise` replaced by a hole.
+fn build_context(tree: &Tree, excise: NodeId, alpha: &CcLabel) -> Tree {
+    if excise == tree.root() {
+        return Tree::hole(alpha.clone());
+    }
+    let mut b = TreeBuilder::new();
+    let root = copy_except(tree, tree.root(), excise, alpha, &mut b);
+    b.finish(root).expect("context of a valid tree is valid")
+}
+
+fn copy_except(
+    tree: &Tree,
+    node: NodeId,
+    excise: NodeId,
+    alpha: &CcLabel,
+    b: &mut TreeBuilder,
+) -> NodeId {
+    if node == excise {
+        return b.hole_node(alpha.clone(), Vec::new());
+    }
+    let kids = tree
+        .children(node)
+        .iter()
+        .map(|&k| copy_except(tree, k, excise, alpha, b))
+        .collect();
+    b.payload_node(tree.payload(node).clone(), kids)
+}
+
+/// Build the match piece: matched nodes keep their payloads; cut points
+/// become holes labeled in cut order.
+fn build_match(tree: &Tree, m: &TreeMatch, cut_labels: &[CcLabel]) -> Tree {
+    let in_match: HashSet<u32> = m.nodes.iter().copied().collect();
+    let cut_idx: HashMap<(u32, u32), usize> = m
+        .cuts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ((c.parent, c.child_idx), i))
+        .collect();
+    let mut b = TreeBuilder::new();
+    let root = build_match_node(
+        tree,
+        NodeId(m.root),
+        &in_match,
+        &cut_idx,
+        cut_labels,
+        &mut b,
+    );
+    b.finish(root)
+        .expect("match piece of a valid tree is valid")
+}
+
+fn build_match_node(
+    tree: &Tree,
+    node: NodeId,
+    in_match: &HashSet<u32>,
+    cut_idx: &HashMap<(u32, u32), usize>,
+    cut_labels: &[CcLabel],
+    b: &mut TreeBuilder,
+) -> NodeId {
+    let mut kids = Vec::new();
+    for (i, &k) in tree.children(node).iter().enumerate() {
+        if let Some(&ci) = cut_idx.get(&(node.0, i as u32)) {
+            kids.push(b.hole_node(cut_labels[ci].clone(), Vec::new()));
+        } else if in_match.contains(&k.0) {
+            kids.push(build_match_node(tree, k, in_match, cut_idx, cut_labels, b));
+        } else {
+            // A child that is neither kept nor cut cannot exist: the
+            // child regex consumes the full child sequence, and pattern
+            // leaves cut all children.
+            unreachable!("child {k:?} of matched node {node:?} neither kept nor cut");
+        }
+    }
+    b.payload_node(tree.payload(node).clone(), kids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::testutil::Fx;
+    use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+    use aqua_pattern::PredExpr;
+
+    fn compile(fx: &Fx, text: &str, env: &PredEnv) -> CompiledTreePattern {
+        parse_tree_pattern(text, env)
+            .unwrap()
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap()
+    }
+
+    #[test]
+    fn fig4_three_pieces() {
+        let mut fx = Fx::new();
+        // Stand-in for Figure 3/4: r is the tree root; b = Brazilian
+        // parent with children x (pruned), u = American child (whose
+        // child y is a frontier cut), z (pruned).
+        let t = fx.tree("r(b(x(p) u(y) z) s)");
+        let cp = compile(&fx, "b(!?* u !?*)", &fx.env());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        assert_eq!(pieces.len(), 1);
+        let p = &pieces[0];
+        assert_eq!(fx.render(&p.context), "r(@a s)");
+        assert_eq!(fx.render(&p.matched), "b(@1 u(@2) @3)");
+        let descs: Vec<String> = p.descendants.iter().map(|d| fx.render(d)).collect();
+        assert_eq!(descs, vec!["x(p)", "y", "z"]);
+    }
+
+    #[test]
+    fn split_roundtrip_reassembles_original() {
+        let mut fx = Fx::new();
+        let t = fx.tree("r(b(x(p) u(y) z) s(u))");
+        let cp = compile(&fx, "u", &fx.env());
+        for p in split_pieces(&fx.store, &t, &cp, &MatchConfig::default()) {
+            assert!(p.reassemble().structural_eq(&t), "roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn split_at_root_gives_hole_context() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b c)");
+        let cp = compile(&fx, "a(b c)", &fx.env());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(fx.render(&pieces[0].context), "@a");
+        assert!(pieces[0].descendants.is_empty());
+        assert!(pieces[0].reassemble().structural_eq(&t));
+    }
+
+    #[test]
+    fn one_result_per_match() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(u b(u) u)");
+        let cp = compile(&fx, "u", &fx.env());
+        let names = split(&fx.store, &t, &cp, &MatchConfig::default(), |p| {
+            fx.render(&p.matched)
+        });
+        assert_eq!(names, vec!["u", "u", "u"]);
+    }
+
+    #[test]
+    fn labels_avoid_collisions_with_existing_holes() {
+        let mut fx = Fx::new();
+        // The tree already contains holes named @a and @1.
+        let t = fx.tree("r(b(x) @a @1)");
+        let cp = compile(&fx, "b(!?*)", &fx.env());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        assert_eq!(pieces.len(), 1);
+        let p = &pieces[0];
+        assert_ne!(p.alpha.0, "a");
+        assert_ne!(p.cut_labels[0].0, "1");
+        assert!(p.reassemble().structural_eq(&t));
+    }
+
+    #[test]
+    fn reassemble_with_replacement_rewrites() {
+        // The §5 idiom: replace the match piece and reassemble.
+        let mut fx = Fx::new();
+        let t = fx.tree("r(b(x) s)");
+        let cp = compile(&fx, "b(!?)", &fx.env());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        let p = &pieces[0];
+        // Replace b(@1) by n(@1): keep the cut subtree attached.
+        let n_oid = fx
+            .store
+            .insert_named("N", &[("label", aqua_object::Value::str("n"))])
+            .unwrap();
+        let mut bld = TreeBuilder::new();
+        let h = bld.hole_node(p.cut_labels[0].clone(), vec![]);
+        let nr = bld.node(n_oid, vec![h]);
+        let replacement = bld.finish(nr).unwrap();
+        let rewritten = p.reassemble_with(&replacement);
+        assert_eq!(fx.render(&rewritten), "r(n(x) s)");
+    }
+
+    #[test]
+    fn pattern_with_pred_expr_builder() {
+        // Builder-based pattern (no parser): same result.
+        let mut fx = Fx::new();
+        let t = fx.tree("a(u)");
+        let tp = aqua_pattern::TreePat::pred(PredExpr::eq("label", "u"));
+        let cp = aqua_pattern::TreePattern::new(tp)
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(fx.render(&pieces[0].matched), "u");
+    }
+}

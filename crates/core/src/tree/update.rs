@@ -1,0 +1,246 @@
+//! Update operators.
+//!
+//! §4 notes that "AQUA also provides a range of other operators for
+//! purposes like navigating, updating, and providing structural
+//! information about a tree instance" without detailing them. These are
+//! the update operators: all functional (they return a new tree and
+//! leave the input untouched), matching the algebra's value semantics,
+//! and all validity-preserving by construction.
+
+use aqua_object::Oid;
+
+use crate::error::{AlgebraError, Result};
+use crate::tree::{NodeId, Tree, TreeBuilder};
+
+impl Tree {
+    /// Replace the subtree rooted at `at` with a copy of `replacement`.
+    pub fn replace_subtree(&self, at: NodeId, replacement: &Tree) -> Result<Tree> {
+        self.check_node(at)?;
+        let mut b = TreeBuilder::new();
+        let root = rebuild(self, self.root(), &mut b, &mut |node, b| {
+            if node == at {
+                Some(copy_all(replacement, replacement.root(), b))
+            } else {
+                None
+            }
+        });
+        Ok(b.finish(root).expect("replace preserves validity"))
+    }
+
+    /// Remove the subtree rooted at `at`. Errors when `at` is the root
+    /// (a tree cannot be empty).
+    pub fn remove_subtree(&self, at: NodeId) -> Result<Tree> {
+        self.check_node(at)?;
+        if at == self.root() {
+            return Err(AlgebraError::Malformed {
+                msg: "cannot remove the root subtree; trees are non-empty".into(),
+            });
+        }
+        let mut b = TreeBuilder::new();
+        let root =
+            rebuild_filter(self, self.root(), &mut b, &mut |n| n != at).expect("root survives");
+        Ok(b.finish(root).expect("removal preserves validity"))
+    }
+
+    /// Insert a copy of `child` as the `index`-th child of `parent`
+    /// (clamped to the child count).
+    pub fn insert_child(&self, parent: NodeId, index: usize, child: &Tree) -> Result<Tree> {
+        self.check_node(parent)?;
+        let mut b = TreeBuilder::new();
+        let root = rebuild_with_insert(self, self.root(), parent, index, child, &mut b);
+        Ok(b.finish(root).expect("insertion preserves validity"))
+    }
+
+    /// Replace the *payload* of `at` with a new cell, keeping the shape
+    /// (a point update).
+    pub fn set_oid(&self, at: NodeId, oid: Oid) -> Result<Tree> {
+        self.check_node(at)?;
+        let mut b = TreeBuilder::new();
+        let root = rebuild(self, self.root(), &mut b, &mut |node, b| {
+            if node == at {
+                let kids = self
+                    .children(node)
+                    .iter()
+                    .map(|&k| copy_all(self, k, b))
+                    .collect();
+                Some(b.node(oid, kids))
+            } else {
+                None
+            }
+        });
+        Ok(b.finish(root).expect("point update preserves validity"))
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<()> {
+        if n.index() < self.len() {
+            Ok(())
+        } else {
+            Err(AlgebraError::Malformed {
+                msg: format!("node {n:?} out of bounds ({} nodes)", self.len()),
+            })
+        }
+    }
+}
+
+/// Copy `node`'s subtree verbatim.
+fn copy_all(t: &Tree, node: NodeId, b: &mut TreeBuilder) -> NodeId {
+    let kids = t
+        .children(node)
+        .iter()
+        .map(|&k| copy_all(t, k, b))
+        .collect();
+    b.payload_node(t.payload(node).clone(), kids)
+}
+
+/// Copy with an override hook: `f` may emit a replacement for a node
+/// (its subtree is then skipped).
+fn rebuild(
+    t: &Tree,
+    node: NodeId,
+    b: &mut TreeBuilder,
+    f: &mut impl FnMut(NodeId, &mut TreeBuilder) -> Option<NodeId>,
+) -> NodeId {
+    if let Some(replaced) = f(node, b) {
+        return replaced;
+    }
+    let kids = t
+        .children(node)
+        .iter()
+        .map(|&k| rebuild(t, k, b, f))
+        .collect();
+    b.payload_node(t.payload(node).clone(), kids)
+}
+
+/// Copy keeping only nodes where `keep` holds (dropped nodes drop their
+/// subtrees).
+fn rebuild_filter(
+    t: &Tree,
+    node: NodeId,
+    b: &mut TreeBuilder,
+    keep: &mut impl FnMut(NodeId) -> bool,
+) -> Option<NodeId> {
+    if !keep(node) {
+        return None;
+    }
+    let kids = t
+        .children(node)
+        .iter()
+        .filter_map(|&k| rebuild_filter(t, k, b, keep))
+        .collect();
+    Some(b.payload_node(t.payload(node).clone(), kids))
+}
+
+fn rebuild_with_insert(
+    t: &Tree,
+    node: NodeId,
+    parent: NodeId,
+    index: usize,
+    child: &Tree,
+    b: &mut TreeBuilder,
+) -> NodeId {
+    let mut kids: Vec<NodeId> = t
+        .children(node)
+        .iter()
+        .map(|&k| rebuild_with_insert(t, k, parent, index, child, b))
+        .collect();
+    if node == parent {
+        let pos = index.min(kids.len());
+        let inserted = copy_all(child, child.root(), b);
+        kids.insert(pos, inserted);
+    }
+    b.payload_node(t.payload(node).clone(), kids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::testutil::Fx;
+
+    #[test]
+    fn replace_subtree_in_context() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(x) c)");
+        let b_node = t.children(t.root())[0];
+        let repl = fx.tree("n(m)");
+        let out = t.replace_subtree(b_node, &repl).unwrap();
+        assert_eq!(fx.render(&out), "a(n(m) c)");
+        // Original untouched.
+        assert_eq!(fx.render(&t), "a(b(x) c)");
+    }
+
+    #[test]
+    fn replace_at_root_is_whole_tree() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b)");
+        let repl = fx.tree("z");
+        let out = t.replace_subtree(t.root(), &repl).unwrap();
+        assert!(out.structural_eq(&repl));
+    }
+
+    #[test]
+    fn remove_subtree() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(x) c)");
+        let b_node = t.children(t.root())[0];
+        let out = t.remove_subtree(b_node).unwrap();
+        assert_eq!(fx.render(&out), "a(c)");
+        assert!(t.remove_subtree(t.root()).is_err());
+    }
+
+    #[test]
+    fn insert_child_positions() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b c)");
+        let new = fx.tree("n");
+        assert_eq!(
+            fx.render(&t.insert_child(t.root(), 0, &new).unwrap()),
+            "a(n b c)"
+        );
+        assert_eq!(
+            fx.render(&t.insert_child(t.root(), 1, &new).unwrap()),
+            "a(b n c)"
+        );
+        // Index clamps.
+        assert_eq!(
+            fx.render(&t.insert_child(t.root(), 99, &new).unwrap()),
+            "a(b c n)"
+        );
+    }
+
+    #[test]
+    fn insert_under_leaf() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b)");
+        let b_node = t.children(t.root())[0];
+        let new = fx.tree("n");
+        assert_eq!(
+            fx.render(&t.insert_child(b_node, 0, &new).unwrap()),
+            "a(b(n))"
+        );
+    }
+
+    #[test]
+    fn set_oid_point_update() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b c)");
+        let z = fx
+            .store
+            .insert_named("N", &[("label", aqua_object::Value::str("z"))])
+            .unwrap();
+        let b_node = t.children(t.root())[0];
+        let out = t.set_oid(b_node, z).unwrap();
+        assert_eq!(fx.render(&out), "a(z c)");
+        assert_eq!(out.len(), t.len());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a");
+        let far = NodeId(99);
+        assert!(t.replace_subtree(far, &t).is_err());
+        assert!(t.remove_subtree(far).is_err());
+        assert!(t.insert_child(far, 0, &t).is_err());
+        assert!(t.set_oid(far, aqua_object::Oid(0)).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Cells — the node/element indirection of paper §2.
+//!
+//! The nodes of a list or tree form a *set*, which cannot contain
+//! duplicates, yet lists and trees must be allowed to contain the same
+//! object more than once. The paper resolves this by making the element
+//! type of every list and tree `Cell[T]`: a cell is an object whose only
+//! purpose is to hold the identity of another object. All nodes are then
+//! unique (each holds a distinct cell) while several cells may reference
+//! the same object. Query operators implicitly dereference the cell.
+
+use serde::{Deserialize, Serialize};
+
+use crate::oid::Oid;
+
+/// A cell holding the identity of a list/tree element's underlying object.
+///
+/// `List[T]` is shorthand for `List[Cell[T]]` (paper §2); in this
+/// implementation every tree/list node's payload is a `Cell`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    contents: Oid,
+}
+
+impl Cell {
+    /// Wrap an object identity in a fresh cell.
+    #[inline]
+    pub fn new(contents: Oid) -> Self {
+        Cell { contents }
+    }
+
+    /// The identity of the contained object (the implicit dereference the
+    /// query operators perform).
+    #[inline]
+    pub fn contents(self) -> Oid {
+        self.contents
+    }
+}
+
+impl From<Oid> for Cell {
+    fn from(oid: Oid) -> Self {
+        Cell::new(oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cells_may_share_contents() {
+        let a = Cell::new(Oid(7));
+        let b = Cell::new(Oid(7));
+        // Cells compare by contents; node uniqueness is supplied by the
+        // tree arena (distinct NodeIds), not by the cell itself.
+        assert_eq!(a.contents(), b.contents());
+    }
+
+    #[test]
+    fn from_oid() {
+        assert_eq!(Cell::from(Oid(3)).contents(), Oid(3));
+    }
+}

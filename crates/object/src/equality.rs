@@ -1,0 +1,157 @@
+//! Equality as a parameter (paper §2).
+//!
+//! Since every AQUA entity has identity, "are these two things equal?"
+//! has several defensible answers, and the paper makes equality a
+//! *parameter* of the operators that need one (e.g. set `union`).
+//! [`EqKind`] enumerates the notions this implementation supports and
+//! [`EqKind::eq`] evaluates them against a store.
+
+use std::collections::HashSet;
+
+use crate::oid::Oid;
+use crate::store::ObjectStore;
+use crate::value::Value;
+
+/// A notion of object equality, passed as a parameter to operators that
+/// compare elements (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EqKind {
+    /// Identity equality: same OID.
+    #[default]
+    Identity,
+    /// Shallow value equality: same class and attribute-wise equal values,
+    /// where reference attributes compare by OID.
+    Shallow,
+    /// Deep value equality: same class and attribute-wise equal values,
+    /// where reference attributes compare by recursively applying deep
+    /// equality (cycles compare equal if the correspondence is consistent).
+    Deep,
+}
+
+impl EqKind {
+    /// Evaluate this equality notion on two objects in `store`.
+    pub fn eq(self, store: &ObjectStore, a: Oid, b: Oid) -> bool {
+        match self {
+            EqKind::Identity => a == b,
+            EqKind::Shallow => shallow_eq(store, a, b),
+            EqKind::Deep => deep_eq(store, a, b, &mut HashSet::new()),
+        }
+    }
+}
+
+fn shallow_eq(store: &ObjectStore, a: Oid, b: Oid) -> bool {
+    if a == b {
+        return true;
+    }
+    let (oa, ob) = (store.deref(a), store.deref(b));
+    oa.class() == ob.class() && oa.values() == ob.values()
+}
+
+fn deep_eq(store: &ObjectStore, a: Oid, b: Oid, seen: &mut HashSet<(Oid, Oid)>) -> bool {
+    if a == b {
+        return true;
+    }
+    // A revisited pair is provisionally equal: the cycle is consistent so
+    // far, and any inequality will be found along another path.
+    if !seen.insert((a, b)) {
+        return true;
+    }
+    let (oa, ob) = (store.deref(a), store.deref(b));
+    if oa.class() != ob.class() || oa.values().len() != ob.values().len() {
+        return false;
+    }
+    oa.values()
+        .iter()
+        .zip(ob.values())
+        .all(|(va, vb)| match (va, vb) {
+            (Value::Ref(ra), Value::Ref(rb)) => deep_eq(store, *ra, *rb, seen),
+            _ => va == vb,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, AttrType, ClassDef};
+
+    fn setup() -> ObjectStore {
+        let mut s = ObjectStore::new();
+        s.define_class(
+            ClassDef::new(
+                "Node",
+                vec![
+                    AttrDef::stored("label", AttrType::Str),
+                    AttrDef::stored("next", AttrType::Ref),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s
+    }
+
+    fn node(s: &mut ObjectStore, label: &str, next: Value) -> Oid {
+        s.insert_named("Node", &[("label", Value::str(label)), ("next", next)])
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_distinguishes_clones() {
+        let mut s = setup();
+        let a = node(&mut s, "x", Value::Null);
+        let b = node(&mut s, "x", Value::Null);
+        assert!(!EqKind::Identity.eq(&s, a, b));
+        assert!(EqKind::Identity.eq(&s, a, a));
+    }
+
+    #[test]
+    fn shallow_compares_values() {
+        let mut s = setup();
+        let a = node(&mut s, "x", Value::Null);
+        let b = node(&mut s, "x", Value::Null);
+        let c = node(&mut s, "y", Value::Null);
+        assert!(EqKind::Shallow.eq(&s, a, b));
+        assert!(!EqKind::Shallow.eq(&s, a, c));
+    }
+
+    #[test]
+    fn shallow_refs_compare_by_oid() {
+        let mut s = setup();
+        let t1 = node(&mut s, "t", Value::Null);
+        let t2 = node(&mut s, "t", Value::Null);
+        let a = node(&mut s, "x", Value::Ref(t1));
+        let b = node(&mut s, "x", Value::Ref(t2));
+        // t1 != t2 as OIDs, so shallow says unequal…
+        assert!(!EqKind::Shallow.eq(&s, a, b));
+        // …but deep chases the references and finds equal values.
+        assert!(EqKind::Deep.eq(&s, a, b));
+    }
+
+    #[test]
+    fn deep_handles_cycles() {
+        let mut s = setup();
+        let a = node(&mut s, "c", Value::Null);
+        let b = node(&mut s, "c", Value::Null);
+        // Tie each into a self-cycle: a -> a, b -> b.
+        let (na, _) = s.class_by_name("Node").unwrap().attr("next").unwrap();
+        s.update(a, na, Value::Ref(a)).unwrap();
+        s.update(b, na, Value::Ref(b)).unwrap();
+        assert!(EqKind::Deep.eq(&s, a, b));
+    }
+
+    #[test]
+    fn deep_detects_difference_through_cycle() {
+        let mut s = setup();
+        let a = node(&mut s, "c", Value::Null);
+        let b = node(&mut s, "d", Value::Null); // different label
+        let (na, _) = s.class_by_name("Node").unwrap().attr("next").unwrap();
+        s.update(a, na, Value::Ref(a)).unwrap();
+        s.update(b, na, Value::Ref(b)).unwrap();
+        assert!(!EqKind::Deep.eq(&s, a, b));
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert_eq!(EqKind::default(), EqKind::Identity);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the object layer.
+
+use std::fmt;
+
+use crate::oid::Oid;
+use crate::schema::AttrType;
+
+/// Result alias for object-layer operations.
+pub type Result<T> = std::result::Result<T, ObjectError>;
+
+/// Errors raised by schema definition, object insertion, and lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectError {
+    /// A class declared two attributes with the same name.
+    DuplicateAttr { class: String, attr: String },
+    /// A class declared more attributes than `AttrId` can address.
+    TooManyAttrs { class: String },
+    /// Two classes with the same name were registered.
+    DuplicateClass { class: String },
+    /// Lookup of an unregistered class.
+    NoSuchClass { class: String },
+    /// Lookup of an attribute a class does not declare.
+    NoSuchAttr { class: String, attr: String },
+    /// An alphabet-predicate referenced a computed attribute (forbidden by
+    /// paper §3.1 footnote 2).
+    ComputedAttrInPredicate { class: String, attr: String },
+    /// An inserted row had the wrong number of attribute values.
+    ArityMismatch {
+        class: String,
+        expected: usize,
+        got: usize,
+    },
+    /// An inserted value did not inhabit the declared attribute type.
+    TypeMismatch {
+        class: String,
+        attr: String,
+        expected: AttrType,
+        got: &'static str,
+    },
+    /// Dereference of an OID the store never issued.
+    DanglingOid { oid: Oid },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::DuplicateAttr { class, attr } => {
+                write!(f, "class {class:?} declares attribute {attr:?} twice")
+            }
+            ObjectError::TooManyAttrs { class } => {
+                write!(f, "class {class:?} declares more than 65535 attributes")
+            }
+            ObjectError::DuplicateClass { class } => {
+                write!(f, "class {class:?} is already registered")
+            }
+            ObjectError::NoSuchClass { class } => write!(f, "no class named {class:?}"),
+            ObjectError::NoSuchAttr { class, attr } => {
+                write!(f, "class {class:?} has no attribute {attr:?}")
+            }
+            ObjectError::ComputedAttrInPredicate { class, attr } => write!(
+                f,
+                "attribute {class}.{attr} is computed; alphabet-predicates may only \
+                 reference stored attributes"
+            ),
+            ObjectError::ArityMismatch {
+                class,
+                expected,
+                got,
+            } => write!(
+                f,
+                "class {class:?} expects {expected} attribute values, got {got}"
+            ),
+            ObjectError::TypeMismatch {
+                class,
+                attr,
+                expected,
+                got,
+            } => write!(f, "attribute {class}.{attr} expects {expected}, got {got}"),
+            ObjectError::DanglingOid { oid } => write!(f, "dangling OID {oid}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ObjectError::TypeMismatch {
+            class: "Person".into(),
+            attr: "age".into(),
+            expected: AttrType::Int,
+            got: "string",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Person.age"));
+        assert!(msg.contains("int"));
+        assert!(msg.contains("string"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ObjectError::DanglingOid { oid: Oid(3) });
+        assert!(e.to_string().contains("#3"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # aqua-object — the object model substrate for AQUA
+//!
+//! The AQUA algebra (Subramanian, Leung, Vandenberg, Zdonik; ICDE 1995) is
+//! defined over an object-oriented data model in which *all entities are
+//! objects*: every entity has identity (an [`Oid`]) and a set of stored
+//! attributes. This crate provides that substrate:
+//!
+//! * [`Oid`] — object identity.
+//! * [`Value`] — the scalar value universe for stored attributes.
+//! * [`Object`] — an object instance: an identity, a class, and attribute
+//!   values laid out positionally according to the class schema.
+//! * [`ClassDef`]/[`AttrDef`] — schemas. Alphabet-predicates may only
+//!   reference *stored* attributes (paper §3.1), so schemas distinguish
+//!   stored from computed attributes.
+//! * [`ObjectStore`] — an in-memory object database with class extents.
+//! * [`Cell`] — the cell indirection of paper §2: list/tree nodes hold
+//!   cells, which hold OIDs, so nodes are unique while objects may repeat.
+//! * [`EqKind`] — equality as a parameter (paper §2): identity, shallow
+//!   value, or deep value equality.
+//!
+//! The paper assumes a persistent OODB; this crate substitutes an
+//! in-memory store (see DESIGN.md §2, "Substitutions"). Everything the
+//! algebra and the optimizer need from the backend — extent scans,
+//! attribute lookup in constant time, and OID dereferencing — is preserved.
+
+pub mod cell;
+pub mod equality;
+pub mod error;
+pub mod object;
+pub mod oid;
+pub mod schema;
+pub mod store;
+pub mod value;
+
+pub use cell::Cell;
+pub use equality::EqKind;
+pub use error::{ObjectError, Result};
+pub use object::Object;
+pub use oid::Oid;
+pub use schema::{AttrDef, AttrId, AttrKind, AttrType, ClassDef, ClassId};
+pub use store::ObjectStore;
+pub use value::Value;

@@ -1,0 +1,69 @@
+//! Object instances.
+
+use serde::{Deserialize, Serialize};
+
+use crate::oid::Oid;
+use crate::schema::{AttrId, ClassId};
+use crate::value::Value;
+
+/// An object: identity, class, and stored attribute values in the class's
+/// layout order.
+///
+/// Objects are created through [`ObjectStore::insert`](crate::ObjectStore::insert),
+/// which validates the value row against the class schema, so an `Object`
+/// held by the store is always well-typed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Object {
+    oid: Oid,
+    class: ClassId,
+    values: Vec<Value>,
+}
+
+impl Object {
+    pub(crate) fn new(oid: Oid, class: ClassId, values: Vec<Value>) -> Self {
+        Object { oid, class, values }
+    }
+
+    /// This object's identity.
+    #[inline]
+    pub fn oid(&self) -> Oid {
+        self.oid
+    }
+
+    /// The class this object is an instance of.
+    #[inline]
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Stored attribute value at positional id `attr`. Constant time —
+    /// this is what keeps alphabet-predicate evaluation O(1).
+    #[inline]
+    pub fn get(&self, attr: AttrId) -> &Value {
+        &self.values[attr.index()]
+    }
+
+    /// All attribute values in layout order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub(crate) fn set(&mut self, attr: AttrId, value: Value) {
+        self.values[attr.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let o = Object::new(Oid(1), ClassId(0), vec![Value::Int(5), Value::str("x")]);
+        assert_eq!(o.oid(), Oid(1));
+        assert_eq!(o.class(), ClassId(0));
+        assert_eq!(o.get(AttrId(0)), &Value::Int(5));
+        assert_eq!(o.get(AttrId(1)), &Value::str("x"));
+        assert_eq!(o.values().len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Object identifiers.
+//!
+//! Every entity in the AQUA model has identity (paper §2). An [`Oid`] is
+//! the store-level handle for that identity: a dense `u64` assigned by the
+//! [`ObjectStore`](crate::ObjectStore) at insertion time. OIDs are never
+//! reused within a store.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The identity of an object in an [`ObjectStore`](crate::ObjectStore).
+///
+/// OIDs are dense (assigned `0, 1, 2, …` per store) so that stores and
+/// indices can use them directly as vector offsets. They are meaningful
+/// only relative to the store that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Oid(pub u64);
+
+impl Oid {
+    /// The raw index value of this OID.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for Oid {
+    fn from(raw: u64) -> Self {
+        Oid(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_hash_prefixed() {
+        assert_eq!(Oid(42).to_string(), "#42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Oid(1) < Oid(2));
+        assert_eq!(Oid(7), Oid(7));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(Oid(123).index(), 123);
+        assert_eq!(Oid::from(9u64), Oid(9));
+    }
+}

@@ -1,0 +1,272 @@
+//! Class schemas.
+//!
+//! A class defines the positional layout of an object's stored attributes.
+//! The paper's footnote 2 (§3.1) requires the optimizer to verify that
+//! attributes referenced by alphabet-predicates are *stored*, not
+//! computed; [`AttrKind`] records that distinction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ObjectError, Result};
+use crate::value::Value;
+
+/// Index of a class within an [`ObjectStore`](crate::ObjectStore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+/// Positional index of an attribute within its class layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The raw offset of this attribute in the object's value vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    /// A reference to another object.
+    Ref,
+}
+
+impl AttrType {
+    /// Whether `value` inhabits this type. `Null` inhabits every type
+    /// (attributes are optional).
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (AttrType::Bool, Value::Bool(_))
+                | (AttrType::Int, Value::Int(_))
+                | (AttrType::Float, Value::Float(_))
+                | (AttrType::Str, Value::Str(_))
+                | (AttrType::Ref, Value::Ref(_))
+        )
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Bool => "bool",
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Str => "string",
+            AttrType::Ref => "ref",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether an attribute is stored in the object or computed by a method.
+///
+/// Only *stored* attributes may appear in alphabet-predicates (paper
+/// §3.1 footnote 2): this keeps predicate evaluation constant-time and is
+/// checked by the pattern layer via [`ClassDef::stored_attr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    Stored,
+    Computed,
+}
+
+/// Declaration of a single attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrDef {
+    pub name: String,
+    pub ty: AttrType,
+    pub kind: AttrKind,
+}
+
+impl AttrDef {
+    /// A stored attribute declaration.
+    pub fn stored(name: impl Into<String>, ty: AttrType) -> Self {
+        AttrDef {
+            name: name.into(),
+            ty,
+            kind: AttrKind::Stored,
+        }
+    }
+
+    /// A computed attribute declaration (unusable in alphabet-predicates).
+    pub fn computed(name: impl Into<String>, ty: AttrType) -> Self {
+        AttrDef {
+            name: name.into(),
+            ty,
+            kind: AttrKind::Computed,
+        }
+    }
+}
+
+/// A class: a named, ordered list of attribute declarations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDef {
+    name: String,
+    attrs: Vec<AttrDef>,
+}
+
+impl ClassDef {
+    /// Define a class. Attribute names must be unique within the class.
+    pub fn new(name: impl Into<String>, attrs: Vec<AttrDef>) -> Result<Self> {
+        let name = name.into();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(ObjectError::DuplicateAttr {
+                    class: name,
+                    attr: a.name.clone(),
+                });
+            }
+        }
+        if attrs.len() > u16::MAX as usize {
+            return Err(ObjectError::TooManyAttrs { class: name });
+        }
+        Ok(ClassDef { name, attrs })
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All attribute declarations, in layout order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Number of attributes in the layout.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<(AttrId, &AttrDef)> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| (AttrId(i as u16), &self.attrs[i]))
+    }
+
+    /// Look up a *stored* attribute by name; errors if the attribute is
+    /// missing or computed. This is the check the paper's footnote 2
+    /// assigns to the query optimizer.
+    pub fn stored_attr(&self, name: &str) -> Result<(AttrId, &AttrDef)> {
+        let (id, def) = self.attr(name).ok_or_else(|| ObjectError::NoSuchAttr {
+            class: self.name.clone(),
+            attr: name.to_owned(),
+        })?;
+        if def.kind != AttrKind::Stored {
+            return Err(ObjectError::ComputedAttrInPredicate {
+                class: self.name.clone(),
+                attr: name.to_owned(),
+            });
+        }
+        Ok((id, def))
+    }
+
+    /// Validate a full row of attribute values against this layout.
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.attrs.len() {
+            return Err(ObjectError::ArityMismatch {
+                class: self.name.clone(),
+                expected: self.attrs.len(),
+                got: values.len(),
+            });
+        }
+        for (def, v) in self.attrs.iter().zip(values) {
+            if !def.ty.admits(v) {
+                return Err(ObjectError::TypeMismatch {
+                    class: self.name.clone(),
+                    attr: def.name.clone(),
+                    expected: def.ty,
+                    got: v.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> ClassDef {
+        ClassDef::new(
+            "Person",
+            vec![
+                AttrDef::stored("name", AttrType::Str),
+                AttrDef::stored("age", AttrType::Int),
+                AttrDef::computed("age_in_days", AttrType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = person();
+        let (id, def) = c.attr("age").unwrap();
+        assert_eq!(id, AttrId(1));
+        assert_eq!(def.ty, AttrType::Int);
+        assert!(c.attr("nope").is_none());
+    }
+
+    #[test]
+    fn stored_attr_rejects_computed() {
+        let c = person();
+        assert!(c.stored_attr("name").is_ok());
+        let err = c.stored_attr("age_in_days").unwrap_err();
+        assert!(matches!(err, ObjectError::ComputedAttrInPredicate { .. }));
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err = ClassDef::new(
+            "C",
+            vec![
+                AttrDef::stored("x", AttrType::Int),
+                AttrDef::stored("x", AttrType::Str),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ObjectError::DuplicateAttr { .. }));
+    }
+
+    #[test]
+    fn row_validation() {
+        let c = person();
+        assert!(c
+            .check_row(&[Value::str("ann"), Value::Int(30), Value::Null])
+            .is_ok());
+        // Null admitted anywhere.
+        assert!(c
+            .check_row(&[Value::Null, Value::Null, Value::Null])
+            .is_ok());
+        // Wrong arity.
+        assert!(matches!(
+            c.check_row(&[Value::str("ann")]),
+            Err(ObjectError::ArityMismatch { .. })
+        ));
+        // Wrong type.
+        assert!(matches!(
+            c.check_row(&[Value::Int(1), Value::Int(30), Value::Null]),
+            Err(ObjectError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn admits_matrix() {
+        assert!(AttrType::Int.admits(&Value::Int(1)));
+        assert!(!AttrType::Int.admits(&Value::str("1")));
+        assert!(AttrType::Str.admits(&Value::Null));
+    }
+}

@@ -1,0 +1,252 @@
+//! The in-memory object store.
+//!
+//! Substitutes for the persistent OODB the paper assumes (DESIGN.md §2).
+//! Provides exactly what the algebra and optimizer consume: class
+//! registration, typed insertion, O(1) OID dereference, and class extents
+//! (the set of all instances of a class) for scans and index builds.
+
+use std::collections::HashMap;
+
+use crate::error::{ObjectError, Result};
+use crate::object::Object;
+use crate::oid::Oid;
+use crate::schema::{AttrId, ClassDef, ClassId};
+use crate::value::Value;
+
+/// An in-memory object database: classes, objects, and extents.
+#[derive(Debug, Default, Clone)]
+pub struct ObjectStore {
+    classes: Vec<ClassDef>,
+    class_by_name: HashMap<String, ClassId>,
+    objects: Vec<Object>,
+    extents: Vec<Vec<Oid>>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a class; its extent starts empty.
+    pub fn define_class(&mut self, def: ClassDef) -> Result<ClassId> {
+        if self.class_by_name.contains_key(def.name()) {
+            return Err(ObjectError::DuplicateClass {
+                class: def.name().to_owned(),
+            });
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.class_by_name.insert(def.name().to_owned(), id);
+        self.classes.push(def);
+        self.extents.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Look up a class by name.
+    pub fn class_id(&self, name: &str) -> Result<ClassId> {
+        self.class_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ObjectError::NoSuchClass {
+                class: name.to_owned(),
+            })
+    }
+
+    /// The schema of a class.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Schema lookup by name.
+    pub fn class_by_name(&self, name: &str) -> Result<&ClassDef> {
+        Ok(self.class(self.class_id(name)?))
+    }
+
+    /// Insert an object of class `class` with the given attribute row.
+    /// The row is validated against the schema.
+    pub fn insert(&mut self, class: ClassId, values: Vec<Value>) -> Result<Oid> {
+        self.classes[class.0 as usize].check_row(&values)?;
+        let oid = Oid(self.objects.len() as u64);
+        self.objects.push(Object::new(oid, class, values));
+        self.extents[class.0 as usize].push(oid);
+        Ok(oid)
+    }
+
+    /// Insert by class name with named attribute values; unnamed attributes
+    /// default to `Null`. Convenience for tests, examples, and workloads.
+    pub fn insert_named(&mut self, class_name: &str, attrs: &[(&str, Value)]) -> Result<Oid> {
+        let class = self.class_id(class_name)?;
+        let def = self.class(class);
+        let mut row = vec![Value::Null; def.arity()];
+        for (name, value) in attrs {
+            let (id, _) = def.attr(name).ok_or_else(|| ObjectError::NoSuchAttr {
+                class: class_name.to_owned(),
+                attr: (*name).to_owned(),
+            })?;
+            row[id.index()] = value.clone();
+        }
+        self.insert(class, row)
+    }
+
+    /// Dereference an OID.
+    pub fn get(&self, oid: Oid) -> Result<&Object> {
+        self.objects
+            .get(oid.index())
+            .ok_or(ObjectError::DanglingOid { oid })
+    }
+
+    /// Dereference an OID, panicking on a dangling reference. The algebra
+    /// uses this internally for OIDs it obtained from this same store,
+    /// which are valid by construction.
+    #[inline]
+    pub fn deref(&self, oid: Oid) -> &Object {
+        &self.objects[oid.index()]
+    }
+
+    /// Attribute value of the object behind `oid`.
+    #[inline]
+    pub fn attr(&self, oid: Oid, attr: AttrId) -> &Value {
+        self.deref(oid).get(attr)
+    }
+
+    /// Update one stored attribute of an existing object.
+    pub fn update(&mut self, oid: Oid, attr: AttrId, value: Value) -> Result<()> {
+        let class = self.get(oid)?.class();
+        let def = &self.classes[class.0 as usize];
+        let decl = &def.attrs()[attr.index()];
+        if !decl.ty.admits(&value) {
+            return Err(ObjectError::TypeMismatch {
+                class: def.name().to_owned(),
+                attr: decl.name.clone(),
+                expected: decl.ty,
+                got: value.type_name(),
+            });
+        }
+        self.objects[oid.index()].set(attr, value);
+        Ok(())
+    }
+
+    /// The extent (all instances, in insertion order) of a class.
+    pub fn extent(&self, class: ClassId) -> &[Oid] {
+        &self.extents[class.0 as usize]
+    }
+
+    /// Total number of objects in the store.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterate over all objects in OID order.
+    pub fn iter(&self) -> impl Iterator<Item = &Object> {
+        self.objects.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, AttrType};
+
+    fn store_with_person() -> (ObjectStore, ClassId) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(
+                ClassDef::new(
+                    "Person",
+                    vec![
+                        AttrDef::stored("name", AttrType::Str),
+                        AttrDef::stored("age", AttrType::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (s, c)
+    }
+
+    #[test]
+    fn insert_and_deref() {
+        let (mut s, c) = store_with_person();
+        let oid = s
+            .insert(c, vec![Value::str("ann"), Value::Int(30)])
+            .unwrap();
+        assert_eq!(s.attr(oid, AttrId(0)), &Value::str("ann"));
+        assert_eq!(s.get(oid).unwrap().class(), c);
+    }
+
+    #[test]
+    fn insert_named_defaults_to_null() {
+        let (mut s, _) = store_with_person();
+        let oid = s
+            .insert_named("Person", &[("name", Value::str("bo"))])
+            .unwrap();
+        assert_eq!(s.attr(oid, AttrId(1)), &Value::Null);
+    }
+
+    #[test]
+    fn insert_named_unknown_attr_fails() {
+        let (mut s, _) = store_with_person();
+        assert!(matches!(
+            s.insert_named("Person", &[("height", Value::Int(3))]),
+            Err(ObjectError::NoSuchAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn extent_tracks_insertion_order() {
+        let (mut s, c) = store_with_person();
+        let a = s.insert(c, vec![Value::str("a"), Value::Int(1)]).unwrap();
+        let b = s.insert(c, vec![Value::str("b"), Value::Int(2)]).unwrap();
+        assert_eq!(s.extent(c), &[a, b]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn typed_insert_rejected() {
+        let (mut s, c) = store_with_person();
+        assert!(matches!(
+            s.insert(c, vec![Value::Int(1), Value::Int(2)]),
+            Err(ObjectError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn update_checks_type() {
+        let (mut s, c) = store_with_person();
+        let oid = s.insert(c, vec![Value::str("x"), Value::Int(1)]).unwrap();
+        s.update(oid, AttrId(1), Value::Int(2)).unwrap();
+        assert_eq!(s.attr(oid, AttrId(1)), &Value::Int(2));
+        assert!(s.update(oid, AttrId(1), Value::str("bad")).is_err());
+    }
+
+    #[test]
+    fn dangling_oid() {
+        let (s, _) = store_with_person();
+        assert!(matches!(
+            s.get(Oid(99)),
+            Err(ObjectError::DanglingOid { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let (mut s, _) = store_with_person();
+        assert!(matches!(
+            s.define_class(ClassDef::new("Person", vec![]).unwrap()),
+            Err(ObjectError::DuplicateClass { .. })
+        ));
+    }
+
+    #[test]
+    fn class_lookup() {
+        let (s, c) = store_with_person();
+        assert_eq!(s.class_id("Person").unwrap(), c);
+        assert!(s.class_id("Alien").is_err());
+        assert_eq!(s.class_by_name("Person").unwrap().arity(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The scalar value universe for stored attributes.
+//!
+//! Alphabet-predicates (paper §3.1) are restricted to *stored attribute
+//! values, constants, comparisons, and boolean connectives* so that any
+//! alphabet-predicate evaluates in constant time. [`Value`] is the type of
+//! those stored attribute values and constants.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::oid::Oid;
+
+/// A stored attribute value or predicate constant.
+///
+/// Comparisons between values of *different* variants are undefined (they
+/// return `None` from [`Value::try_cmp`]), mirroring a typed schema: the
+/// schema layer rejects ill-typed predicates before evaluation, and the
+/// evaluator treats an undefined comparison as `false`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// The absence of a value (an unset optional attribute).
+    Null,
+    /// A boolean attribute.
+    Bool(bool),
+    /// A 64-bit signed integer attribute.
+    Int(i64),
+    /// A 64-bit float attribute. `NaN` never compares equal.
+    Float(f64),
+    /// A string attribute.
+    Str(String),
+    /// A reference-valued attribute (an OID of another object).
+    Ref(Oid),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Compare two values of the same variant; `None` if the variants
+    /// differ, either value is `Null`, or a float comparison involves NaN.
+    pub fn try_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Ref(a), Value::Ref(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// True when this value is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The name of this value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Ref(_) => "ref",
+        }
+    }
+
+    /// A total-order key usable by ordered indices. Variants are ranked by
+    /// discriminant; floats use IEEE total ordering so NaNs are storable.
+    pub fn index_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Str(_) => 4,
+                Value::Ref(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Ref(a), Value::Ref(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(oid) => write!(f, "{oid}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Oid> for Value {
+    fn from(oid: Oid) -> Self {
+        Value::Ref(oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_variant_comparisons() {
+        assert_eq!(Value::Int(1).try_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("a").try_cmp(&Value::str("a")),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Bool(true).try_cmp(&Value::Bool(false)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn cross_variant_comparison_is_undefined() {
+        assert_eq!(Value::Int(1).try_cmp(&Value::str("1")), None);
+        assert_eq!(Value::Null.try_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(0).try_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn nan_comparison_is_undefined_but_indexable() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.try_cmp(&Value::Float(1.0)), None);
+        // index_cmp is total: NaN has a stable position.
+        assert_eq!(nan.index_cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn index_cmp_ranks_variants() {
+        assert_eq!(Value::Null.index_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(
+            Value::str("z").index_cmp(&Value::Ref(Oid(0))),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(Oid(5)), Value::Ref(Oid(5)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

@@ -1,0 +1,121 @@
+//! The catalog: what access methods and statistics exist.
+//!
+//! Rewrite rules fire only when the access method they need is
+//! registered here — exactly the paper's precondition "Assume that we
+//! can use an index to efficiently locate all nodes in T that match d"
+//! (§4).
+
+use std::collections::HashMap;
+
+use aqua_object::{ClassId, ObjectStore};
+use aqua_store::{AttrIndex, ColumnStats, ListPosIndex, StructuralIndex, TreeNodeIndex};
+
+/// Access methods and statistics available for one element class.
+pub struct Catalog<'a> {
+    pub store: &'a ObjectStore,
+    pub class: ClassId,
+    tree_indices: HashMap<String, &'a TreeNodeIndex>,
+    attr_indices: HashMap<String, &'a AttrIndex>,
+    list_indices: HashMap<String, &'a ListPosIndex>,
+    stats: HashMap<String, &'a ColumnStats>,
+    structural: Option<&'a StructuralIndex>,
+}
+
+impl<'a> Catalog<'a> {
+    /// An empty catalog for `class`.
+    pub fn new(store: &'a ObjectStore, class: ClassId) -> Self {
+        Catalog {
+            store,
+            class,
+            tree_indices: HashMap::new(),
+            attr_indices: HashMap::new(),
+            list_indices: HashMap::new(),
+            stats: HashMap::new(),
+            structural: None,
+        }
+    }
+
+    fn attr_name(&self, attr: aqua_object::AttrId) -> String {
+        self.store.class(self.class).attrs()[attr.index()]
+            .name
+            .clone()
+    }
+
+    /// Register a tree-node index (keyed by its attribute's name).
+    pub fn add_tree_index(&mut self, idx: &'a TreeNodeIndex) -> &mut Self {
+        self.tree_indices.insert(self.attr_name(idx.attr()), idx);
+        self
+    }
+
+    /// Register an extent index.
+    pub fn add_attr_index(&mut self, idx: &'a AttrIndex) -> &mut Self {
+        self.attr_indices.insert(self.attr_name(idx.attr()), idx);
+        self
+    }
+
+    /// Register a list positional index.
+    pub fn add_list_index(&mut self, idx: &'a ListPosIndex) -> &mut Self {
+        self.list_indices.insert(self.attr_name(idx.attr()), idx);
+        self
+    }
+
+    /// Register column statistics.
+    pub fn add_stats(&mut self, stats: &'a ColumnStats) -> &mut Self {
+        self.stats.insert(self.attr_name(stats.attr()), stats);
+        self
+    }
+
+    /// Register the structural (interval) index of the subject tree.
+    pub fn add_structural_index(&mut self, idx: &'a StructuralIndex) -> &mut Self {
+        self.structural = Some(idx);
+        self
+    }
+
+    /// The structural index, if registered.
+    pub fn structural(&self) -> Option<&'a StructuralIndex> {
+        self.structural
+    }
+
+    /// Tree index on `attr`, if registered.
+    pub fn tree_index(&self, attr: &str) -> Option<&'a TreeNodeIndex> {
+        self.tree_indices.get(attr).copied()
+    }
+
+    /// Extent index on `attr`, if registered.
+    pub fn attr_index(&self, attr: &str) -> Option<&'a AttrIndex> {
+        self.attr_indices.get(attr).copied()
+    }
+
+    /// List index on `attr`, if registered.
+    pub fn list_index(&self, attr: &str) -> Option<&'a ListPosIndex> {
+        self.list_indices.get(attr).copied()
+    }
+
+    /// Statistics on `attr`, if collected.
+    pub fn stats(&self, attr: &str) -> Option<&'a ColumnStats> {
+        self.stats.get(attr).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, AttrId, AttrType, ClassDef, Value};
+
+    #[test]
+    fn registration_and_lookup() {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(ClassDef::new("P", vec![AttrDef::stored("v", AttrType::Int)]).unwrap())
+            .unwrap();
+        store.insert_named("P", &[("v", Value::Int(1))]).unwrap();
+        let idx = AttrIndex::build(&store, class, AttrId(0));
+        let stats = ColumnStats::build(&store, class, AttrId(0));
+        let mut cat = Catalog::new(&store, class);
+        cat.add_attr_index(&idx).add_stats(&stats);
+        assert!(cat.attr_index("v").is_some());
+        assert!(cat.attr_index("w").is_none());
+        assert!(cat.stats("v").is_some());
+        assert!(cat.tree_index("v").is_none());
+    }
+}

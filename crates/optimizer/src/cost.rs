@@ -1,0 +1,87 @@
+//! The cost model.
+//!
+//! Deliberately simple (the paper defers its cost model to the EPOQ
+//! work): plan cost = number of node/element tests × per-test pattern
+//! weight, plus probe costs for indexed plans. What matters for the
+//! rewrites is the *shape*: a full pattern scan touches every node with
+//! the whole pattern, an indexed plan touches `log(distinct) +
+//! candidates` entries and runs the pattern only on the candidates.
+
+use aqua_pattern::PredExpr;
+use aqua_store::ColumnStats;
+
+/// Tunable cost weights.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cost of evaluating one alphabet-predicate on one element.
+    pub pred_test: f64,
+    /// Cost of one B-tree probe step.
+    pub probe_step: f64,
+    /// Selectivity assumed for a predicate with no statistics.
+    pub default_selectivity: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            pred_test: 1.0,
+            probe_step: 2.0,
+            default_selectivity: 0.1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated fraction of elements satisfying `pred`, given optional
+    /// statistics.
+    pub fn selectivity(&self, pred: &PredExpr, stats: Option<&ColumnStats>) -> f64 {
+        match stats {
+            Some(s) => s.selectivity(pred),
+            None => self.default_selectivity,
+        }
+    }
+
+    /// Cost of scanning `n` elements testing a pattern of `size` states
+    /// at each.
+    pub fn scan(&self, n: usize, pattern_size: usize) -> f64 {
+        n as f64 * pattern_size as f64 * self.pred_test
+    }
+
+    /// Cost of an index probe returning `hits` candidates out of
+    /// `distinct` keys, then verifying a `pattern_size` pattern at each.
+    pub fn probe_then_verify(&self, distinct: usize, hits: f64, pattern_size: usize) -> f64 {
+        let probe = self.probe_step * (distinct.max(2) as f64).log2();
+        probe + hits * (1.0 + pattern_size as f64 * self.pred_test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_beats_scan_when_selective() {
+        let m = CostModel::default();
+        let n = 100_000;
+        let scan = m.scan(n, 8);
+        // 0.1% selectivity → 100 candidates.
+        let probe = m.probe_then_verify(1000, 100.0, 8);
+        assert!(probe < scan);
+    }
+
+    #[test]
+    fn scan_beats_probe_when_unselective() {
+        let m = CostModel::default();
+        let n = 100;
+        let scan = m.scan(n, 2);
+        let probe = m.probe_then_verify(2, n as f64, 2);
+        assert!(scan <= probe);
+    }
+
+    #[test]
+    fn default_selectivity_without_stats() {
+        let m = CostModel::default();
+        let s = m.selectivity(&PredExpr::eq("x", 1), None);
+        assert!((s - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the optimizer.
+
+use std::fmt;
+
+use aqua_object::ObjectError;
+use aqua_pattern::PatternError;
+
+/// Result alias for optimizer operations.
+pub type Result<T> = std::result::Result<T, OptError>;
+
+/// Errors raised while planning or executing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Propagated pattern compilation error.
+    Pattern(PatternError),
+    /// Propagated object-layer error.
+    Object(ObjectError),
+    /// A plan referenced an index the catalog no longer has.
+    MissingIndex { attr: String },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Pattern(e) => write!(f, "{e}"),
+            OptError::Object(e) => write!(f, "{e}"),
+            OptError::MissingIndex { attr } => {
+                write!(
+                    f,
+                    "plan requires an index on {attr:?} that the catalog lacks"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Pattern(e) => Some(e),
+            OptError::Object(e) => Some(e),
+            OptError::MissingIndex { .. } => None,
+        }
+    }
+}
+
+impl From<PatternError> for OptError {
+    fn from(e: PatternError) -> Self {
+        OptError::Pattern(e)
+    }
+}
+
+impl From<ObjectError> for OptError {
+    fn from(e: ObjectError) -> Self {
+        OptError::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = OptError::MissingIndex {
+            attr: "citizen".into(),
+        };
+        assert!(e.to_string().contains("citizen"));
+        let e: OptError = PatternError::UnknownPredName { name: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

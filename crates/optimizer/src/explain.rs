@@ -1,0 +1,74 @@
+//! Plan explanations.
+//!
+//! Every planning call returns an [`Explain`] alongside the chosen plan:
+//! the candidate plans with their estimated costs, the rewrite rules
+//! that fired, and the winner. The examples print these, mirroring how
+//! the paper argues its rewrites ("the intuition is that split uses the
+//! index on d to pick all the subtrees…").
+
+use std::fmt;
+
+/// Record of one planning session.
+#[derive(Debug, Clone, Default)]
+pub struct Explain {
+    /// Rendered candidate plans with estimated costs.
+    pub considered: Vec<String>,
+    /// Names of the rewrite rules that produced candidates.
+    pub rules: Vec<String>,
+    /// Rendered chosen plan.
+    pub chosen: String,
+}
+
+impl Explain {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn consider(&mut self, plan: &impl fmt::Display) {
+        self.considered.push(plan.to_string());
+    }
+
+    pub(crate) fn rule(&mut self, name: &str) {
+        self.rules.push(name.to_owned());
+    }
+
+    pub(crate) fn choose(&mut self, plan: &impl fmt::Display) {
+        self.chosen = plan.to_string();
+    }
+
+    /// Did the named rule fire during planning?
+    pub fn used_rule(&self, name_prefix: &str) -> bool {
+        self.rules.iter().any(|r| r.starts_with(name_prefix))
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "considered:")?;
+        for c in &self.considered {
+            writeln!(f, "  {c}")?;
+        }
+        if !self.rules.is_empty() {
+            writeln!(f, "rules: {}", self.rules.join(", "))?;
+        }
+        write!(f, "chosen: {}", self.chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let mut e = Explain::new();
+        e.consider(&"plan-a cost=10");
+        e.consider(&"plan-b cost=2");
+        e.rule("decompose-subselect-via-split(§4)");
+        e.choose(&"plan-b cost=2");
+        assert!(e.used_rule("decompose"));
+        assert!(!e.used_rule("positional"));
+        let s = e.to_string();
+        assert!(s.contains("plan-a") && s.contains("chosen: plan-b"));
+    }
+}

@@ -1,0 +1,155 @@
+//! # aqua-optimizer — rewrite-based query optimization for AQUA
+//!
+//! Realizes the optimization story of paper §4 ("Why Split?") and §5,
+//! in the spirit of the EPOQ optimizer the authors targeted: queries
+//! are decomposed so that a cheap alphabet-predicate is answered by an
+//! index, and the residual pattern runs only on the candidates.
+//!
+//! Three rewrite rules (one per query family):
+//!
+//! * [`rules::decompose`] — `sub_select(tp)(T)` →
+//!   `apply(sub_select(⊤tp))(split(root(tp), …)(T))`: probe a
+//!   [`TreeNodeIndex`](aqua_store::TreeNodeIndex) with the pattern's
+//!   root predicate, verify the pattern only at the candidate roots
+//!   (experiment B1).
+//! * [`rules::select_split`] — `select(p₁ ∧ p₂ ∧ …)` over an extent →
+//!   index probe on the most selective indexed conjunct, residual filter
+//!   on the rest — the relational analogy §4 draws (experiment B2).
+//! * [`rules::positional`] — list `sub_select(lp)` where `lp` requires a
+//!   predicate at a fixed offset → probe a
+//!   [`ListPosIndex`](aqua_store::ListPosIndex), verify only at the
+//!   candidate starts.
+//!
+//! The [`cost`] model chooses between the naive plan and each rewrite
+//! using [`ColumnStats`](aqua_store::ColumnStats); [`Explain`] records
+//! what was considered and why the winner won. Executed plans return
+//! exactly what the naive operators return, and the equivalence is
+//! property-tested in the integration suite.
+
+pub mod catalog;
+pub mod cost;
+pub mod error;
+pub mod explain;
+pub mod plan;
+pub mod rules;
+pub mod select_plan;
+
+pub use catalog::Catalog;
+pub use cost::CostModel;
+pub use error::{OptError, Result};
+pub use explain::Explain;
+pub use plan::{ListPlan, SetPlan, TreePlan};
+pub use select_plan::{plan_tree_select, TreeSelectPlan};
+
+use aqua_pattern::ast::Re;
+use aqua_pattern::list::Sym;
+use aqua_pattern::{PredExpr, TreePattern};
+
+/// The optimizer: a rule pipeline over a [`Catalog`].
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog<'a>,
+    cost: CostModel,
+}
+
+impl<'a> Optimizer<'a> {
+    /// An optimizer over `catalog` with the default cost model.
+    pub fn new(catalog: &'a Catalog<'a>) -> Self {
+        Optimizer {
+            catalog,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Override the cost model (used by the benchmark ablations).
+    pub fn with_cost_model(catalog: &'a Catalog<'a>, cost: CostModel) -> Self {
+        Optimizer { catalog, cost }
+    }
+
+    /// Plan `sub_select(pattern)` over a tree of `tree_size` nodes.
+    pub fn plan_tree_sub_select(
+        &self,
+        pattern: &TreePattern,
+        tree_size: usize,
+    ) -> Result<(TreePlan, Explain)> {
+        let mut explain = Explain::new();
+        let naive = plan::full_pattern_scan(pattern, tree_size, self.catalog, &self.cost)?;
+        explain.consider(&naive);
+        let mut best = naive;
+        if let Some(candidate) =
+            rules::decompose::apply(pattern, tree_size, self.catalog, &self.cost)?
+        {
+            explain.consider(&candidate);
+            explain.rule("decompose-subselect-via-split(§4)");
+            if candidate.est_cost() < best.est_cost() {
+                best = candidate;
+            }
+        }
+        explain.choose(&best);
+        Ok((best, explain))
+    }
+
+    /// Plan tree `select(pred)` (stable filtering) over a tree of
+    /// `tree_size` nodes — naive walk vs node-index probe + structural
+    /// compression.
+    pub fn plan_tree_select(
+        &self,
+        pred: &PredExpr,
+        tree_size: usize,
+    ) -> Result<(select_plan::TreeSelectPlan, Explain)> {
+        select_plan::plan_tree_select(pred, tree_size, self.catalog, &self.cost)
+    }
+
+    /// Plan `select(pred)` over the catalog class's extent.
+    pub fn plan_set_select(&self, pred: &PredExpr) -> Result<(SetPlan, Explain)> {
+        let mut explain = Explain::new();
+        let naive = plan::extent_scan(pred, self.catalog, &self.cost)?;
+        explain.consider(&naive);
+        let mut best = naive;
+        if let Some(candidate) = rules::select_split::apply(pred, self.catalog, &self.cost)? {
+            explain.consider(&candidate);
+            explain.rule("select-conjunct-split(§4)");
+            if candidate.est_cost() < best.est_cost() {
+                best = candidate;
+            }
+        }
+        explain.choose(&best);
+        Ok((best, explain))
+    }
+
+    /// Plan list `sub_select(re)` over a list of `list_len` elements.
+    pub fn plan_list_sub_select(
+        &self,
+        re: &Re<Sym>,
+        anchor_start: bool,
+        anchor_end: bool,
+        list_len: usize,
+    ) -> Result<(ListPlan, Explain)> {
+        let mut explain = Explain::new();
+        let naive = plan::full_list_scan(
+            re,
+            anchor_start,
+            anchor_end,
+            list_len,
+            self.catalog,
+            &self.cost,
+        )?;
+        explain.consider(&naive);
+        let mut best = naive;
+        if let Some(candidate) = rules::positional::apply(
+            re,
+            anchor_start,
+            anchor_end,
+            list_len,
+            self.catalog,
+            &self.cost,
+        )? {
+            explain.consider(&candidate);
+            explain.rule("list-positional-probe");
+            if candidate.est_cost() < best.est_cost() {
+                best = candidate;
+            }
+        }
+        explain.choose(&best);
+        Ok((best, explain))
+    }
+}

@@ -1,0 +1,405 @@
+//! Physical plans and their executors.
+//!
+//! Each query family has a naive plan (scan everything, run the full
+//! pattern/predicate) and an indexed plan produced by a rewrite rule.
+//! Executing either member of a family returns identical results — the
+//! rewrites are *equivalences*, which the integration property suite
+//! verifies.
+
+use std::fmt;
+
+use aqua_algebra::list::ops as list_ops;
+use aqua_algebra::tree::ops as tree_ops;
+use aqua_algebra::{List, Tree};
+use aqua_object::{Oid, Value};
+use aqua_pattern::ast::Re;
+use aqua_pattern::list::{ListMatch, ListPattern, MatchMode, Sym};
+use aqua_pattern::tree_ast::CompiledTreePattern;
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::{CmpOp, Pred, PredExpr, TreePattern};
+
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::error::{OptError, Result};
+
+// ---------------------------------------------------------------- trees
+
+/// A physical plan for `sub_select` over a tree.
+pub enum TreePlan {
+    /// Run the pattern matcher over every node.
+    FullPatternScan {
+        pattern: CompiledTreePattern,
+        pattern_text: String,
+        est_cost: f64,
+    },
+    /// Probe a [`TreeNodeIndex`](aqua_store::TreeNodeIndex) with the
+    /// pattern's root predicate; verify the pattern only at candidates —
+    /// the §4 rewrite.
+    IndexedPatternScan {
+        attr: String,
+        op: CmpOp,
+        value: Value,
+        pattern: CompiledTreePattern,
+        pattern_text: String,
+        est_candidates: f64,
+        est_cost: f64,
+    },
+}
+
+/// Build the naive tree plan.
+pub fn full_pattern_scan(
+    pattern: &TreePattern,
+    tree_size: usize,
+    catalog: &Catalog<'_>,
+    cost: &CostModel,
+) -> Result<TreePlan> {
+    let compiled = pattern.compile(catalog.class, catalog.store.class(catalog.class))?;
+    let est = cost.scan(tree_size, compiled.size());
+    Ok(TreePlan::FullPatternScan {
+        pattern_text: pattern.to_string(),
+        pattern: compiled,
+        est_cost: est,
+    })
+}
+
+impl TreePlan {
+    /// Estimated cost (cost-model units).
+    pub fn est_cost(&self) -> f64 {
+        match self {
+            TreePlan::FullPatternScan { est_cost, .. }
+            | TreePlan::IndexedPatternScan { est_cost, .. } => *est_cost,
+        }
+    }
+
+    /// Whether this plan uses an index.
+    pub fn is_indexed(&self) -> bool {
+        matches!(self, TreePlan::IndexedPatternScan { .. })
+    }
+
+    /// Execute against a concrete tree, producing exactly what
+    /// [`tree_ops::sub_select`] produces.
+    pub fn execute(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+    ) -> Result<Vec<Tree>> {
+        match self {
+            TreePlan::FullPatternScan { pattern, .. } => {
+                Ok(tree_ops::sub_select(catalog.store, tree, pattern, cfg))
+            }
+            TreePlan::IndexedPatternScan {
+                attr,
+                op,
+                value,
+                pattern,
+                ..
+            } => {
+                let idx = catalog
+                    .tree_index(attr)
+                    .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
+                let candidates = idx.lookup_cmp(*op, value);
+                Ok(tree_ops::sub_select_from(
+                    catalog.store,
+                    tree,
+                    pattern,
+                    cfg,
+                    &candidates,
+                ))
+            }
+        }
+    }
+}
+
+impl TreePlan {
+    /// Execute as a `split` (the §4 rewrite applies to `split` itself —
+    /// `sub_select` is just `split` with a piece-reducing `f`): returns
+    /// the full piece decompositions instead of reduced matches.
+    pub fn execute_split(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+    ) -> Result<Vec<aqua_algebra::tree::split::SplitPieces>> {
+        use aqua_algebra::tree::split;
+        match self {
+            TreePlan::FullPatternScan { pattern, .. } => {
+                Ok(split::split_pieces(catalog.store, tree, pattern, cfg))
+            }
+            TreePlan::IndexedPatternScan {
+                attr,
+                op,
+                value,
+                pattern,
+                ..
+            } => {
+                let idx = catalog
+                    .tree_index(attr)
+                    .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
+                let candidates = idx.lookup_cmp(*op, value);
+                Ok(split::split_pieces_from(
+                    catalog.store,
+                    tree,
+                    pattern,
+                    cfg,
+                    &candidates,
+                ))
+            }
+        }
+    }
+}
+
+impl fmt::Display for TreePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreePlan::FullPatternScan {
+                pattern_text,
+                est_cost,
+                ..
+            } => write!(f, "FullPatternScan({pattern_text}) cost={est_cost:.1}"),
+            TreePlan::IndexedPatternScan {
+                attr,
+                op,
+                value,
+                pattern_text,
+                est_candidates,
+                est_cost,
+                ..
+            } => write!(
+                f,
+                "IndexedPatternScan(probe {attr} {op} {value}, ~{est_candidates:.0} candidates, \
+                 verify {pattern_text}) cost={est_cost:.1}"
+            ),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- sets
+
+/// A physical plan for `select` over a class extent.
+pub enum SetPlan {
+    /// Test the full predicate on every extent member.
+    ExtentScan {
+        pred: Pred,
+        pred_text: String,
+        est_cost: f64,
+    },
+    /// Probe an [`AttrIndex`](aqua_store::AttrIndex) with one conjunct;
+    /// test the residual conjuncts on the candidates.
+    IndexedExtentScan {
+        attr: String,
+        op: CmpOp,
+        value: Value,
+        residual: Option<Pred>,
+        pred_text: String,
+        est_candidates: f64,
+        est_cost: f64,
+    },
+}
+
+/// Build the naive set plan.
+pub fn extent_scan(pred: &PredExpr, catalog: &Catalog<'_>, cost: &CostModel) -> Result<SetPlan> {
+    let compiled = pred.compile(catalog.class, catalog.store.class(catalog.class))?;
+    let n = catalog.store.extent(catalog.class).len();
+    Ok(SetPlan::ExtentScan {
+        pred: compiled,
+        pred_text: pred.to_string(),
+        est_cost: cost.scan(n, pred.conjuncts().len()),
+    })
+}
+
+impl SetPlan {
+    /// Estimated cost (cost-model units).
+    pub fn est_cost(&self) -> f64 {
+        match self {
+            SetPlan::ExtentScan { est_cost, .. } | SetPlan::IndexedExtentScan { est_cost, .. } => {
+                *est_cost
+            }
+        }
+    }
+
+    /// Whether this plan uses an index.
+    pub fn is_indexed(&self) -> bool {
+        matches!(self, SetPlan::IndexedExtentScan { .. })
+    }
+
+    /// Execute, returning the satisfying OIDs in extent order.
+    pub fn execute(&self, catalog: &Catalog<'_>) -> Result<Vec<Oid>> {
+        match self {
+            SetPlan::ExtentScan { pred, .. } => Ok(catalog
+                .store
+                .extent(catalog.class)
+                .iter()
+                .copied()
+                .filter(|&o| pred.eval(catalog.store, o))
+                .collect()),
+            SetPlan::IndexedExtentScan {
+                attr,
+                op,
+                value,
+                residual,
+                ..
+            } => {
+                let idx = catalog
+                    .attr_index(attr)
+                    .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
+                let mut hits = idx.lookup_cmp(*op, value);
+                // Extent order == OID order for a single class.
+                hits.sort_unstable();
+                Ok(match residual {
+                    None => hits,
+                    Some(r) => hits
+                        .into_iter()
+                        .filter(|&o| r.eval(catalog.store, o))
+                        .collect(),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for SetPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetPlan::ExtentScan {
+                pred_text,
+                est_cost,
+                ..
+            } => write!(f, "ExtentScan({pred_text}) cost={est_cost:.1}"),
+            SetPlan::IndexedExtentScan {
+                attr,
+                op,
+                value,
+                pred_text,
+                est_candidates,
+                est_cost,
+                ..
+            } => write!(
+                f,
+                "IndexedExtentScan(probe {attr} {op} {value}, ~{est_candidates:.0} candidates, \
+                 residual of {pred_text}) cost={est_cost:.1}"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lists
+
+/// A physical plan for `sub_select` over a list.
+pub enum ListPlan {
+    /// Run the pattern from every position.
+    FullListScan { pattern: ListPattern, est_cost: f64 },
+    /// Probe a [`ListPosIndex`](aqua_store::ListPosIndex) for the
+    /// pattern's required predicate at its fixed offset; run the pattern
+    /// only from the candidate starts.
+    PositionalScan {
+        attr: String,
+        value: Value,
+        offset: usize,
+        pattern: ListPattern,
+        est_candidates: f64,
+        est_cost: f64,
+    },
+}
+
+/// Build the naive list plan.
+pub fn full_list_scan(
+    re: &Re<Sym>,
+    anchor_start: bool,
+    anchor_end: bool,
+    list_len: usize,
+    catalog: &Catalog<'_>,
+    cost: &CostModel,
+) -> Result<ListPlan> {
+    let pattern = ListPattern::compile(
+        re.clone(),
+        anchor_start,
+        anchor_end,
+        catalog.class,
+        catalog.store.class(catalog.class),
+    )?;
+    // Sublist search is quadratic in the worst case: n starts × n steps.
+    let est =
+        cost.scan(list_len * list_len.max(1), pattern.nfa_size()) / list_len.max(1) as f64 * 2.0;
+    Ok(ListPlan::FullListScan {
+        pattern,
+        est_cost: est,
+    })
+}
+
+impl ListPlan {
+    /// Estimated cost (cost-model units).
+    pub fn est_cost(&self) -> f64 {
+        match self {
+            ListPlan::FullListScan { est_cost, .. } | ListPlan::PositionalScan { est_cost, .. } => {
+                *est_cost
+            }
+        }
+    }
+
+    /// Whether this plan uses an index.
+    pub fn is_indexed(&self) -> bool {
+        matches!(self, ListPlan::PositionalScan { .. })
+    }
+
+    /// Execute against a concrete list, producing what
+    /// [`list_ops::find_matches`] produces under `MatchMode::All`.
+    ///
+    /// The positional plan requires a ground list (the index stores
+    /// absolute positions); a list with holes falls back to the full
+    /// scan path, preserving correctness.
+    pub fn execute(&self, catalog: &Catalog<'_>, list: &List) -> Result<Vec<ListMatch>> {
+        match self {
+            ListPlan::FullListScan { pattern, .. } => Ok(list_ops::find_matches(
+                catalog.store,
+                list,
+                pattern,
+                MatchMode::All,
+            )),
+            ListPlan::PositionalScan {
+                attr,
+                value,
+                offset,
+                pattern,
+                ..
+            } => {
+                if !list.is_ground() {
+                    return Ok(list_ops::find_matches(
+                        catalog.store,
+                        list,
+                        pattern,
+                        MatchMode::All,
+                    ));
+                }
+                let idx = catalog
+                    .list_index(attr)
+                    .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
+                let starts = idx.candidate_starts(value, *offset);
+                let oids = list.oids();
+                Ok(pattern.find_matches_at_many(catalog.store, &oids, &starts))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ListPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListPlan::FullListScan { pattern, est_cost } => {
+                write!(f, "FullListScan({pattern}) cost={est_cost:.1}")
+            }
+            ListPlan::PositionalScan {
+                attr,
+                value,
+                offset,
+                pattern,
+                est_candidates,
+                est_cost,
+            } => write!(
+                f,
+                "PositionalScan(probe {attr} = {value} at offset {offset}, ~{est_candidates:.0} \
+                 candidates, verify {pattern}) cost={est_cost:.1}"
+            ),
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Rule: decompose `sub_select` through `split` (paper §4).
+//!
+//! `sub_select(tp)(T)` ≡ `apply(sub_select(⊤tp))(split(root(tp), …)(T))`:
+//! the pattern's root predicate is answered by a tree-node index, and
+//! the ⊤-anchored residual pattern is verified only at the candidate
+//! roots. Applicable when the root predicate (or one of its conjuncts)
+//! has the probe shape `attr op constant` and the catalog has a
+//! [`TreeNodeIndex`](aqua_store::TreeNodeIndex) on that attribute.
+
+use aqua_pattern::decompose::tree_root_pred;
+use aqua_pattern::TreePattern;
+
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::plan::TreePlan;
+use crate::rules::probe_shape;
+
+/// Try to produce an indexed candidate plan.
+pub fn apply(
+    pattern: &TreePattern,
+    tree_size: usize,
+    catalog: &Catalog<'_>,
+    cost: &CostModel,
+) -> Result<Option<TreePlan>> {
+    let Some(root_pred) = tree_root_pred(&pattern.pat) else {
+        return Ok(None);
+    };
+    let Some((_, attr, op, value)) = probe_shape(&root_pred) else {
+        return Ok(None);
+    };
+    let Some(idx) = catalog.tree_index(attr) else {
+        return Ok(None);
+    };
+    let selectivity = match catalog.stats(attr) {
+        Some(s) => s.cmp_selectivity(op, value),
+        None => match op {
+            aqua_pattern::CmpOp::Eq => 1.0 / idx.distinct().max(1) as f64,
+            _ => cost.default_selectivity,
+        },
+    };
+    let est_candidates = selectivity * tree_size as f64;
+    let compiled = pattern.compile(catalog.class, catalog.store.class(catalog.class))?;
+    let est_cost = cost.probe_then_verify(idx.distinct(), est_candidates, compiled.size());
+    Ok(Some(TreePlan::IndexedPatternScan {
+        attr: attr.to_owned(),
+        op,
+        value: value.clone(),
+        pattern_text: pattern.to_string(),
+        pattern: compiled,
+        est_candidates,
+        est_cost,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_algebra::tree::ops::sub_select;
+    use aqua_object::{AttrDef, AttrId, AttrType, ClassDef, ObjectStore, Value};
+    use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+    use aqua_pattern::tree_match::MatchConfig;
+    use aqua_store::TreeNodeIndex;
+
+    fn setup() -> (ObjectStore, aqua_object::ClassId, aqua_algebra::Tree) {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(
+                ClassDef::new("N", vec![AttrDef::stored("label", AttrType::Str)]).unwrap(),
+            )
+            .unwrap();
+        // Build r(x(d(e)) x x d(e))
+        let mut mk = |l: &str| {
+            store
+                .insert_named("N", &[("label", Value::str(l))])
+                .unwrap()
+        };
+        let (r, x1, d1, e1, x2, x3, d2, e2) = (
+            mk("r"),
+            mk("x"),
+            mk("d"),
+            mk("e"),
+            mk("x"),
+            mk("x"),
+            mk("d"),
+            mk("e"),
+        );
+        let mut b = aqua_algebra::TreeBuilder::new();
+        let ne1 = b.node(e1, vec![]);
+        let nd1 = b.node(d1, vec![ne1]);
+        let nx1 = b.node(x1, vec![nd1]);
+        let nx2 = b.node(x2, vec![]);
+        let nx3 = b.node(x3, vec![]);
+        let ne2 = b.node(e2, vec![]);
+        let nd2 = b.node(d2, vec![ne2]);
+        let root = b.node(r, vec![nx1, nx2, nx3, nd2]);
+        let tree = b.finish(root).unwrap();
+        (store, class, tree)
+    }
+
+    #[test]
+    fn rule_fires_with_index_and_matches_naive() {
+        let (store, class, tree) = setup();
+        let idx = TreeNodeIndex::build(&store, &tree, class, AttrId(0));
+        let mut catalog = Catalog::new(&store, class);
+        catalog.add_tree_index(&idx);
+        let pattern = parse_tree_pattern("d(e)", &PredEnv::with_default_attr("label")).unwrap();
+        let plan = apply(&pattern, tree.len(), &catalog, &CostModel::default())
+            .unwrap()
+            .expect("rule should fire");
+        assert!(plan.is_indexed());
+        let cfg = MatchConfig::default();
+        let fast = plan.execute(&catalog, &tree, &cfg).unwrap();
+        let compiled = pattern.compile(class, store.class(class)).unwrap();
+        let naive = sub_select(&store, &tree, &compiled, &cfg);
+        assert_eq!(fast.len(), naive.len());
+        assert_eq!(fast.len(), 2);
+        for (a, b) in fast.iter().zip(&naive) {
+            assert!(a.structural_eq(b));
+        }
+    }
+
+    #[test]
+    fn rule_declines_without_index_or_root_pred() {
+        let (store, class, tree) = setup();
+        let catalog = Catalog::new(&store, class);
+        let env = PredEnv::with_default_attr("label");
+        let pattern = parse_tree_pattern("d(e)", &env).unwrap();
+        assert!(apply(&pattern, tree.len(), &catalog, &CostModel::default())
+            .unwrap()
+            .is_none());
+        // Wildcard root has no predicate to probe.
+        let idx = TreeNodeIndex::build(&store, &tree, class, AttrId(0));
+        let mut catalog = Catalog::new(&store, class);
+        catalog.add_tree_index(&idx);
+        let wild = parse_tree_pattern("?(e)", &env).unwrap();
+        assert!(apply(&wild, tree.len(), &catalog, &CostModel::default())
+            .unwrap()
+            .is_none());
+    }
+}

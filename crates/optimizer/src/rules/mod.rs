@@ -1,0 +1,43 @@
+//! The rewrite rules.
+//!
+//! Each rule inspects a logical query, checks the catalog for the access
+//! method it needs, and — when applicable — produces an indexed
+//! candidate plan with an estimated cost. The optimizer keeps the
+//! cheaper of {naive, candidate}; rules never change results, only
+//! plans (property-tested in the integration suite).
+
+pub mod decompose;
+pub mod positional;
+pub mod select_split;
+
+use aqua_pattern::{CmpOp, PredExpr};
+
+/// Extract an index-probe shape `attr op constant` from a predicate:
+/// either the predicate itself is a comparison, or one of its top-level
+/// conjuncts is. Returns the probe plus the probe conjunct's index
+/// within `conjuncts()` (so callers can compute the residual).
+pub(crate) fn probe_shape(pred: &PredExpr) -> Option<(usize, &str, CmpOp, &aqua_object::Value)> {
+    for (i, c) in pred.conjuncts().into_iter().enumerate() {
+        if let PredExpr::Cmp { attr, op, constant } = c {
+            return Some((i, attr.as_str(), *op, constant));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_shape_finds_first_comparison() {
+        let p = PredExpr::True
+            .and(PredExpr::eq("a", 1))
+            .and(PredExpr::eq("b", 2));
+        let (i, attr, op, v) = probe_shape(&p).unwrap();
+        assert_eq!((i, attr, op), (1, "a", CmpOp::Eq));
+        assert_eq!(v, &aqua_object::Value::Int(1));
+        assert!(probe_shape(&PredExpr::True).is_none());
+        assert!(probe_shape(&PredExpr::eq("a", 1).or(PredExpr::eq("b", 2))).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Rule: split a conjunctive `select` (paper §4's relational analogy).
+//!
+//! "A **select** with a complex conjunctive predicate might be rewritten
+//! as an intersection of two or more selects, each containing a
+//! different conjunct … some of which might be very cheap to process
+//! (e.g., by using an index)." We realize the cheap piece as an index
+//! probe and the rest as a residual filter; the most selective indexed
+//! conjunct is chosen as the probe.
+
+use aqua_pattern::PredExpr;
+
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::plan::SetPlan;
+
+/// Try to produce an indexed candidate plan.
+pub fn apply(pred: &PredExpr, catalog: &Catalog<'_>, cost: &CostModel) -> Result<Option<SetPlan>> {
+    let conjuncts = pred.conjuncts();
+    let n = catalog.store.extent(catalog.class).len();
+    // Pick the most selective conjunct that has the probe shape and an
+    // index.
+    let mut best: Option<(usize, &str, aqua_pattern::CmpOp, &aqua_object::Value, f64)> = None;
+    for (i, c) in conjuncts.iter().enumerate() {
+        let PredExpr::Cmp { attr, op, constant } = c else {
+            continue;
+        };
+        if catalog.attr_index(attr).is_none() {
+            continue;
+        }
+        let sel = match catalog.stats(attr) {
+            Some(s) => s.cmp_selectivity(*op, constant),
+            None => cost.default_selectivity,
+        };
+        if best.is_none_or(|(_, _, _, _, b)| sel < b) {
+            best = Some((i, attr, *op, constant, sel));
+        }
+    }
+    let Some((probe_i, attr, op, value, sel)) = best else {
+        return Ok(None);
+    };
+    let residual_conjuncts: Vec<PredExpr> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != probe_i)
+        .map(|(_, c)| (*c).clone())
+        .collect();
+    let residual = if residual_conjuncts.is_empty() {
+        None
+    } else {
+        Some(
+            PredExpr::conjoin(&residual_conjuncts)
+                .compile(catalog.class, catalog.store.class(catalog.class))?,
+        )
+    };
+    let idx = catalog.attr_index(attr).expect("checked above");
+    let est_candidates = sel * n as f64;
+    let est_cost = cost.probe_then_verify(
+        idx.distinct(),
+        est_candidates,
+        residual_conjuncts.len().max(1),
+    );
+    Ok(Some(SetPlan::IndexedExtentScan {
+        attr: attr.to_owned(),
+        op,
+        value: value.clone(),
+        residual,
+        pred_text: pred.to_string(),
+        est_candidates,
+        est_cost,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, AttrId, AttrType, ClassDef, ObjectStore, Value};
+    use aqua_store::{AttrIndex, ColumnStats};
+
+    fn setup() -> (ObjectStore, aqua_object::ClassId) {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(
+                ClassDef::new(
+                    "P",
+                    vec![
+                        AttrDef::stored("a", AttrType::Int),
+                        AttrDef::stored("b", AttrType::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        for i in 0..100i64 {
+            store
+                .insert_named("P", &[("a", Value::Int(i % 50)), ("b", Value::Int(i % 2))])
+                .unwrap();
+        }
+        (store, class)
+    }
+
+    #[test]
+    fn picks_most_selective_indexed_conjunct() {
+        let (store, class) = setup();
+        let ia = AttrIndex::build(&store, class, AttrId(0));
+        let ib = AttrIndex::build(&store, class, AttrId(1));
+        let sa = ColumnStats::build(&store, class, AttrId(0));
+        let sb = ColumnStats::build(&store, class, AttrId(1));
+        let mut cat = Catalog::new(&store, class);
+        cat.add_attr_index(&ia)
+            .add_attr_index(&ib)
+            .add_stats(&sa)
+            .add_stats(&sb);
+        // a = 7 (selectivity 2%) AND b = 0 (selectivity 50%): probe on a.
+        let pred = PredExpr::eq("b", 0).and(PredExpr::eq("a", 8));
+        let plan = apply(&pred, &cat, &CostModel::default())
+            .unwrap()
+            .expect("rule fires");
+        match &plan {
+            SetPlan::IndexedExtentScan { attr, residual, .. } => {
+                assert_eq!(attr, "a");
+                assert!(residual.is_some());
+            }
+            other => panic!("unexpected plan {other}"),
+        }
+        // And the result equals the naive filter.
+        let got = plan.execute(&cat).unwrap();
+        let naive: Vec<_> = store
+            .extent(class)
+            .iter()
+            .copied()
+            .filter(|&o| {
+                store.attr(o, AttrId(0)) == &Value::Int(8)
+                    && store.attr(o, AttrId(1)) == &Value::Int(0)
+            })
+            .collect();
+        assert_eq!(got, naive);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn declines_without_any_indexed_conjunct() {
+        let (store, class) = setup();
+        let cat = Catalog::new(&store, class);
+        let pred = PredExpr::eq("a", 7);
+        assert!(apply(&pred, &cat, &CostModel::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn single_conjunct_has_no_residual() {
+        let (store, class) = setup();
+        let ia = AttrIndex::build(&store, class, AttrId(0));
+        let mut cat = Catalog::new(&store, class);
+        cat.add_attr_index(&ia);
+        let pred = PredExpr::eq("a", 7);
+        let plan = apply(&pred, &cat, &CostModel::default()).unwrap().unwrap();
+        match &plan {
+            SetPlan::IndexedExtentScan { residual, .. } => assert!(residual.is_none()),
+            other => panic!("unexpected plan {other}"),
+        }
+        assert_eq!(plan.execute(&cat).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Physical plans for tree `select` (stable filtering, §4).
+//!
+//! `select(p)(T)` keeps every satisfying node, ancestry-compressed. The
+//! naive plan walks the tree; the indexed plan asks a
+//! [`TreeNodeIndex`](aqua_store::TreeNodeIndex) for one conjunct's
+//! candidates, filters them with the full predicate, and rebuilds the
+//! compressed forest using the structural index for nearest-satisfying-
+//! ancestor computation — touching only `O(hits × depth)` nodes instead
+//! of the whole tree.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use aqua_algebra::tree::ops as tree_ops;
+use aqua_algebra::{NodeId, Tree, TreeBuilder};
+use aqua_object::Value;
+use aqua_pattern::{CmpOp, Pred, PredExpr};
+
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::error::{OptError, Result};
+use crate::explain::Explain;
+use crate::rules::probe_shape;
+
+/// A physical plan for tree `select`.
+pub enum TreeSelectPlan {
+    /// Walk every node, testing the predicate.
+    FullWalk {
+        pred: Pred,
+        pred_text: String,
+        est_cost: f64,
+    },
+    /// Probe the node index for one conjunct; filter candidates with the
+    /// full predicate; rebuild the forest through the structural index.
+    IndexedWalk {
+        attr: String,
+        op: CmpOp,
+        value: Value,
+        pred: Pred,
+        pred_text: String,
+        est_candidates: f64,
+        est_cost: f64,
+    },
+}
+
+impl TreeSelectPlan {
+    /// Estimated cost (cost-model units).
+    pub fn est_cost(&self) -> f64 {
+        match self {
+            TreeSelectPlan::FullWalk { est_cost, .. }
+            | TreeSelectPlan::IndexedWalk { est_cost, .. } => *est_cost,
+        }
+    }
+
+    /// Whether this plan uses an index.
+    pub fn is_indexed(&self) -> bool {
+        matches!(self, TreeSelectPlan::IndexedWalk { .. })
+    }
+
+    /// Execute; results equal [`tree_ops::select`] exactly.
+    pub fn execute(&self, catalog: &Catalog<'_>, tree: &Tree) -> Result<Vec<Tree>> {
+        match self {
+            TreeSelectPlan::FullWalk { pred, .. } => {
+                Ok(tree_ops::select(catalog.store, tree, pred))
+            }
+            TreeSelectPlan::IndexedWalk {
+                attr,
+                op,
+                value,
+                pred,
+                ..
+            } => {
+                let idx = catalog
+                    .tree_index(attr)
+                    .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
+                let sidx = catalog.structural().ok_or_else(|| OptError::MissingIndex {
+                    attr: "<structural>".into(),
+                })?;
+                // Candidates from the probe, narrowed by the residual
+                // conjuncts, then document-ordered.
+                let mut satisfying: Vec<NodeId> = idx
+                    .lookup_cmp(*op, value)
+                    .into_iter()
+                    .map(NodeId)
+                    .filter(|&n| tree.oid(n).is_some_and(|o| pred.eval(catalog.store, o)))
+                    .collect();
+                satisfying.sort_by(|&a, &b| sidx.doc_cmp(a, b));
+
+                // Nearest satisfying ancestor via parent walks against the
+                // satisfying set; parents precede children in doc order,
+                // so one pass builds the forest.
+                let in_set: HashSet<u32> = satisfying.iter().map(|n| n.0).collect();
+                struct Entry {
+                    node: NodeId,
+                    children: Vec<usize>,
+                }
+                let mut entries: Vec<Entry> = Vec::with_capacity(satisfying.len());
+                let mut entry_of: std::collections::HashMap<u32, usize> =
+                    std::collections::HashMap::new();
+                let mut roots: Vec<usize> = Vec::new();
+                for &n in &satisfying {
+                    let id = entries.len();
+                    entries.push(Entry {
+                        node: n,
+                        children: Vec::new(),
+                    });
+                    entry_of.insert(n.0, id);
+                    let mut cur = tree.parent(n);
+                    let mut parent_entry = None;
+                    while let Some(p) = cur {
+                        if in_set.contains(&p.0) {
+                            parent_entry = Some(entry_of[&p.0]);
+                            break;
+                        }
+                        cur = tree.parent(p);
+                    }
+                    match parent_entry {
+                        Some(pe) => entries[pe].children.push(id),
+                        None => roots.push(id),
+                    }
+                }
+                fn realize(
+                    entries: &[Entry],
+                    e: usize,
+                    tree: &Tree,
+                    b: &mut TreeBuilder,
+                ) -> NodeId {
+                    let kids = entries[e]
+                        .children
+                        .iter()
+                        .map(|&c| realize(entries, c, tree, b))
+                        .collect();
+                    b.node(
+                        tree.oid(entries[e].node)
+                            .expect("satisfying nodes are cells"),
+                        kids,
+                    )
+                }
+                Ok(roots
+                    .into_iter()
+                    .map(|r| {
+                        let mut b = TreeBuilder::new();
+                        let root = realize(&entries, r, tree, &mut b);
+                        b.finish(root).expect("compressed forest is valid")
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TreeSelectPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeSelectPlan::FullWalk {
+                pred_text,
+                est_cost,
+                ..
+            } => write!(f, "FullWalkSelect({pred_text}) cost={est_cost:.1}"),
+            TreeSelectPlan::IndexedWalk {
+                attr,
+                op,
+                value,
+                pred_text,
+                est_candidates,
+                est_cost,
+                ..
+            } => write!(
+                f,
+                "IndexedWalkSelect(probe {attr} {op} {value}, ~{est_candidates:.0} candidates, \
+                 residual of {pred_text}) cost={est_cost:.1}"
+            ),
+        }
+    }
+}
+
+/// Plan tree `select(pred)` over a tree of `tree_size` nodes: naive walk
+/// vs index probe + structural compression (needs both a
+/// [`TreeNodeIndex`](aqua_store::TreeNodeIndex) on the probe attribute
+/// and a [`StructuralIndex`](aqua_store::StructuralIndex) registered).
+pub fn plan_tree_select(
+    pred: &PredExpr,
+    tree_size: usize,
+    catalog: &Catalog<'_>,
+    cost: &CostModel,
+) -> Result<(TreeSelectPlan, Explain)> {
+    let mut explain = Explain::new();
+    let compiled = pred.compile(catalog.class, catalog.store.class(catalog.class))?;
+    let naive = TreeSelectPlan::FullWalk {
+        pred: compiled.clone(),
+        pred_text: pred.to_string(),
+        est_cost: cost.scan(tree_size, pred.conjuncts().len()),
+    };
+    explain.consider(&naive);
+    let mut best = naive;
+    if let (Some((_, attr, op, value)), Some(_)) = (probe_shape(pred), catalog.structural()) {
+        if let Some(idx) = catalog.tree_index(attr) {
+            let sel = match catalog.stats(attr) {
+                Some(s) => s.cmp_selectivity(op, value),
+                None => match op {
+                    CmpOp::Eq => 1.0 / idx.distinct().max(1) as f64,
+                    _ => cost.default_selectivity,
+                },
+            };
+            let est_candidates = sel * tree_size as f64;
+            // Each candidate pays a parent walk (model: log-ish depth).
+            let walk = (tree_size.max(2) as f64).log2();
+            let est_cost = cost.probe_then_verify(idx.distinct(), est_candidates, 1)
+                + est_candidates * walk * cost.pred_test;
+            let candidate = TreeSelectPlan::IndexedWalk {
+                attr: attr.to_owned(),
+                op,
+                value: value.clone(),
+                pred: compiled,
+                pred_text: pred.to_string(),
+                est_candidates,
+                est_cost,
+            };
+            explain.consider(&candidate);
+            explain.rule("select-via-node-index");
+            if candidate.est_cost() < best.est_cost() {
+                best = candidate;
+            }
+        }
+    }
+    explain.choose(&best);
+    Ok((best, explain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::AttrId;
+    use aqua_store::{ColumnStats, StructuralIndex, TreeNodeIndex};
+    use aqua_workload::random_tree::RandomTreeGen;
+
+    #[test]
+    fn indexed_select_equals_naive() {
+        let d = RandomTreeGen::new(8)
+            .nodes(3000)
+            .label_weights(&[("u", 1), ("x", 20)])
+            .generate();
+        let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+        let sidx = StructuralIndex::build(&d.tree);
+        let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+        let mut cat = Catalog::new(&d.store, d.class);
+        cat.add_tree_index(&idx)
+            .add_structural_index(&sidx)
+            .add_stats(&stats);
+        let pred = PredExpr::eq("label", "u");
+        let (plan, explain) =
+            plan_tree_select(&pred, d.tree.len(), &cat, &CostModel::default()).unwrap();
+        assert!(plan.is_indexed(), "{explain}");
+        let fast = plan.execute(&cat, &d.tree).unwrap();
+        let compiled = pred.compile(d.class, d.store.class(d.class)).unwrap();
+        let naive = tree_ops::select(&d.store, &d.tree, &compiled);
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            assert!(a.structural_eq(b));
+        }
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn declines_without_structural_index() {
+        let d = RandomTreeGen::new(8).nodes(100).generate();
+        let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+        let mut cat = Catalog::new(&d.store, d.class);
+        cat.add_tree_index(&idx);
+        let (plan, _) = plan_tree_select(
+            &PredExpr::eq("label", "a"),
+            d.tree.len(),
+            &cat,
+            &CostModel::default(),
+        )
+        .unwrap();
+        assert!(!plan.is_indexed());
+    }
+
+    #[test]
+    fn conjunctive_predicate_filters_residual() {
+        let d = RandomTreeGen::new(9)
+            .nodes(2000)
+            .label_weights(&[("u", 1), ("x", 9)])
+            .generate();
+        let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+        let sidx = StructuralIndex::build(&d.tree);
+        let mut cat = Catalog::new(&d.store, d.class);
+        cat.add_tree_index(&idx).add_structural_index(&sidx);
+        // label = u AND num < 50 — the probe narrows to u, the residual
+        // halves it.
+        let pred = PredExpr::eq("label", "u").and(PredExpr::cmp("num", CmpOp::Lt, 50));
+        let (plan, _) = plan_tree_select(&pred, d.tree.len(), &cat, &CostModel::default()).unwrap();
+        let fast = plan.execute(&cat, &d.tree).unwrap();
+        let compiled = pred.compile(d.class, d.store.class(d.class)).unwrap();
+        let naive = tree_ops::select(&d.store, &d.tree, &compiled);
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            assert!(a.structural_eq(b));
+        }
+    }
+}

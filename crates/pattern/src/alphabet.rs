@@ -1,0 +1,436 @@
+//! Alphabet-predicates (paper §3.1).
+//!
+//! The alphabet of a list or tree pattern is a set of *alphabet-
+//! predicates*: unary boolean functions applied to one object. To keep
+//! every alphabet-predicate evaluable in constant time, the paper
+//! restricts them to **stored attribute values, constants, comparison
+//! operators, and the boolean connectives AND, OR, NOT** (§3.1,
+//! footnote 2). This module provides:
+//!
+//! * [`PredExpr`] — the surface form, referencing attributes by name,
+//!   e.g. `λ(Person) Person.age > 25`.
+//! * [`Pred`] — the compiled form, bound to one class with attribute
+//!   names resolved to positional [`AttrId`]s. Compilation performs the
+//!   stored-attribute check the paper delegates to the query optimizer.
+//! * [`PredExpr::conjuncts`] — top-level AND decomposition, the hook the
+//!   optimizer uses to split a complex predicate into index-friendly
+//!   pieces (paper §4, "Why Split?").
+
+use std::fmt;
+
+use aqua_object::{AttrId, AttrType, ClassDef, ClassId, ObjectStore, Oid, Value};
+
+use crate::error::{PatternError, Result};
+
+/// Comparison operators allowed in alphabet-predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply this comparison to two values. Undefined comparisons
+    /// (cross-type, nulls, NaN) are `false`, except `Ne` which is the
+    /// strict negation of `Eq` only when the comparison is defined.
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        match a.try_cmp(b) {
+            Some(ord) => match self {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => ord.is_ne(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+            },
+            None => false,
+        }
+    }
+
+    /// Parser/display token for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An unresolved alphabet-predicate: attributes referenced by name.
+///
+/// Build with the constructors and combinators:
+///
+/// ```
+/// use aqua_pattern::alphabet::{PredExpr, CmpOp};
+/// // λ(Person) Person.age > 25 AND NOT Person.citizen = "USA"
+/// let p = PredExpr::cmp("age", CmpOp::Gt, 25)
+///     .and(PredExpr::cmp("citizen", CmpOp::Eq, "USA").not());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredExpr {
+    /// Always true — the `?` metacharacter.
+    True,
+    /// `attr op constant`.
+    Cmp {
+        attr: String,
+        op: CmpOp,
+        constant: Value,
+    },
+    And(Box<PredExpr>, Box<PredExpr>),
+    Or(Box<PredExpr>, Box<PredExpr>),
+    Not(Box<PredExpr>),
+}
+
+impl PredExpr {
+    /// `attr op constant`.
+    pub fn cmp(attr: impl Into<String>, op: CmpOp, constant: impl Into<Value>) -> Self {
+        PredExpr::Cmp {
+            attr: attr.into(),
+            op,
+            constant: constant.into(),
+        }
+    }
+
+    /// Shorthand for the ubiquitous `attr = constant`.
+    pub fn eq(attr: impl Into<String>, constant: impl Into<Value>) -> Self {
+        Self::cmp(attr, CmpOp::Eq, constant)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: PredExpr) -> Self {
+        PredExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: PredExpr) -> Self {
+        PredExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        PredExpr::Not(Box::new(self))
+    }
+
+    /// Split a top-level conjunction into its conjuncts, in left-to-right
+    /// order. A non-conjunction is its own single conjunct. This is the
+    /// decomposition the optimizer uses to rewrite
+    /// `select(p1 AND p2)` into a cascade where one conjunct can use an
+    /// index (paper §4).
+    pub fn conjuncts(&self) -> Vec<&PredExpr> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a PredExpr, out: &mut Vec<&'a PredExpr>) {
+            match p {
+                PredExpr::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuild a predicate as the conjunction of `conjuncts`; `True` for
+    /// an empty slice.
+    pub fn conjoin(conjuncts: &[PredExpr]) -> PredExpr {
+        let mut it = conjuncts.iter().cloned();
+        match it.next() {
+            None => PredExpr::True,
+            Some(first) => it.fold(first, |acc, c| acc.and(c)),
+        }
+    }
+
+    /// If this predicate is a plain equality test `attr = constant`,
+    /// return the pair. This is the index-usable shape.
+    pub fn as_point_lookup(&self) -> Option<(&str, &Value)> {
+        match self {
+            PredExpr::Cmp {
+                attr,
+                op: CmpOp::Eq,
+                constant,
+            } => Some((attr, constant)),
+            _ => None,
+        }
+    }
+
+    /// Resolve attribute names against `class`, enforcing the paper's
+    /// restrictions: attributes must be stored (footnote 2), and
+    /// comparison constants must inhabit the attribute's declared type so
+    /// that comparisons are well-defined.
+    pub fn compile(&self, class_id: ClassId, class: &ClassDef) -> Result<Pred> {
+        Ok(Pred {
+            class: class_id,
+            node: self.compile_node(class)?,
+        })
+    }
+
+    fn compile_node(&self, class: &ClassDef) -> Result<PredNode> {
+        Ok(match self {
+            PredExpr::True => PredNode::True,
+            PredExpr::Cmp { attr, op, constant } => {
+                let (id, def) = class.stored_attr(attr)?;
+                if !constant.is_null() && !def.ty.admits(constant) {
+                    return Err(PatternError::PredicateType {
+                        class: class.name().to_owned(),
+                        attr: attr.clone(),
+                        expected: def.ty,
+                        got: constant.type_name(),
+                    });
+                }
+                PredNode::Cmp {
+                    attr: id,
+                    op: *op,
+                    constant: constant.clone(),
+                }
+            }
+            PredExpr::And(a, b) => PredNode::And(
+                Box::new(a.compile_node(class)?),
+                Box::new(b.compile_node(class)?),
+            ),
+            PredExpr::Or(a, b) => PredNode::Or(
+                Box::new(a.compile_node(class)?),
+                Box::new(b.compile_node(class)?),
+            ),
+            PredExpr::Not(a) => PredNode::Not(Box::new(a.compile_node(class)?)),
+        })
+    }
+}
+
+impl fmt::Display for PredExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredExpr::True => write!(f, "true"),
+            PredExpr::Cmp { attr, op, constant } => write!(f, "{attr} {op} {constant}"),
+            PredExpr::And(a, b) => write!(f, "({a} & {b})"),
+            PredExpr::Or(a, b) => write!(f, "({a} | {b})"),
+            PredExpr::Not(a) => write!(f, "!({a})"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PredNode {
+    True,
+    Cmp {
+        attr: AttrId,
+        op: CmpOp,
+        constant: Value,
+    },
+    And(Box<PredNode>, Box<PredNode>),
+    Or(Box<PredNode>, Box<PredNode>),
+    Not(Box<PredNode>),
+}
+
+/// A compiled alphabet-predicate: bound to one class, attribute lookups
+/// resolved to positional offsets. Evaluation is constant-time in the
+/// size of the database (it touches exactly one object), satisfying the
+/// paper's tractability requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    class: ClassId,
+    node: PredNode,
+}
+
+impl Pred {
+    /// The class this predicate was compiled against.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Evaluate against the object behind `oid`. An object of a different
+    /// class never satisfies the predicate (the pattern alphabet is typed).
+    pub fn eval(&self, store: &ObjectStore, oid: Oid) -> bool {
+        let obj = store.deref(oid);
+        if obj.class() != self.class {
+            return matches!(self.node, PredNode::True);
+        }
+        Self::eval_node(&self.node, obj.values())
+    }
+
+    fn eval_node(node: &PredNode, values: &[Value]) -> bool {
+        match node {
+            PredNode::True => true,
+            PredNode::Cmp { attr, op, constant } => op.apply(&values[attr.index()], constant),
+            PredNode::And(a, b) => Self::eval_node(a, values) && Self::eval_node(b, values),
+            PredNode::Or(a, b) => Self::eval_node(a, values) || Self::eval_node(b, values),
+            PredNode::Not(a) => !Self::eval_node(a, values),
+        }
+    }
+
+    /// A compiled `true` predicate usable on any class (backs the `?`
+    /// metacharacter).
+    pub fn always(class: ClassId) -> Pred {
+        Pred {
+            class,
+            node: PredNode::True,
+        }
+    }
+}
+
+/// Expected attribute type mismatch details surfaced by compilation.
+pub(crate) fn _type_mismatch_uses(_: AttrType) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, ObjectStore};
+
+    fn setup() -> (ObjectStore, ClassId) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(
+                ClassDef::new(
+                    "Person",
+                    vec![
+                        AttrDef::stored("name", AttrType::Str),
+                        AttrDef::stored("age", AttrType::Int),
+                        AttrDef::stored("citizen", AttrType::Str),
+                        AttrDef::computed("age_days", AttrType::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (s, c)
+    }
+
+    fn person(s: &mut ObjectStore, name: &str, age: i64, citizen: &str) -> Oid {
+        s.insert_named(
+            "Person",
+            &[
+                ("name", Value::str(name)),
+                ("age", Value::Int(age)),
+                ("citizen", Value::str(citizen)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_age_over_25() {
+        let (mut s, c) = setup();
+        let young = person(&mut s, "kid", 12, "USA");
+        let old = person(&mut s, "elder", 70, "Brazil");
+        let p = PredExpr::cmp("age", CmpOp::Gt, 25)
+            .compile(c, s.class(c))
+            .unwrap();
+        assert!(!p.eval(&s, young));
+        assert!(p.eval(&s, old));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let (mut s, c) = setup();
+        let a = person(&mut s, "a", 30, "USA");
+        let b = person(&mut s, "b", 30, "Brazil");
+        let e = PredExpr::cmp("age", CmpOp::Ge, 30).and(PredExpr::eq("citizen", "USA"));
+        let p = e.compile(c, s.class(c)).unwrap();
+        assert!(p.eval(&s, a));
+        assert!(!p.eval(&s, b));
+        let n = PredExpr::eq("citizen", "USA")
+            .not()
+            .compile(c, s.class(c))
+            .unwrap();
+        assert!(!n.eval(&s, a));
+        assert!(n.eval(&s, b));
+        let o = PredExpr::eq("citizen", "USA")
+            .or(PredExpr::eq("citizen", "Brazil"))
+            .compile(c, s.class(c))
+            .unwrap();
+        assert!(o.eval(&s, a) && o.eval(&s, b));
+    }
+
+    #[test]
+    fn computed_attribute_rejected() {
+        let (s, c) = setup();
+        let err = PredExpr::cmp("age_days", CmpOp::Gt, 100)
+            .compile(c, s.class(c))
+            .unwrap_err();
+        assert!(err.to_string().contains("computed"));
+    }
+
+    #[test]
+    fn type_checked_constants() {
+        let (s, c) = setup();
+        let err = PredExpr::cmp("age", CmpOp::Eq, "thirty")
+            .compile(c, s.class(c))
+            .unwrap_err();
+        assert!(matches!(err, PatternError::PredicateType { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let (s, c) = setup();
+        assert!(PredExpr::eq("height", 1).compile(c, s.class(c)).is_err());
+    }
+
+    #[test]
+    fn wrong_class_never_matches_nontrivial() {
+        let (mut s, c) = setup();
+        let other = s
+            .define_class(
+                ClassDef::new("Dog", vec![AttrDef::stored("name", AttrType::Str)]).unwrap(),
+            )
+            .unwrap();
+        let dog = s
+            .insert_named("Dog", &[("name", Value::str("rex"))])
+            .unwrap();
+        let p = PredExpr::eq("name", "rex").compile(c, s.class(c)).unwrap();
+        assert!(!p.eval(&s, dog));
+        // but True matches anything (the ? wildcard is class-agnostic)
+        assert!(Pred::always(other).eval(&s, dog));
+    }
+
+    #[test]
+    fn conjunct_decomposition_round_trips() {
+        let e = PredExpr::eq("a", 1)
+            .and(PredExpr::eq("b", 2))
+            .and(PredExpr::eq("c", 3).or(PredExpr::True));
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+        let rebuilt = PredExpr::conjoin(&cs.into_iter().cloned().collect::<Vec<_>>());
+        // Conjunction re-associates to the left; semantics preserved.
+        assert_eq!(rebuilt.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn point_lookup_detection() {
+        assert!(PredExpr::eq("citizen", "USA").as_point_lookup().is_some());
+        assert!(PredExpr::cmp("age", CmpOp::Gt, 3)
+            .as_point_lookup()
+            .is_none());
+        assert!(PredExpr::True.as_point_lookup().is_none());
+    }
+
+    #[test]
+    fn cmp_op_semantics_on_undefined() {
+        // Cross-type and null comparisons are all false, including Ne.
+        assert!(!CmpOp::Eq.apply(&Value::Int(1), &Value::str("1")));
+        assert!(!CmpOp::Ne.apply(&Value::Int(1), &Value::str("1")));
+        assert!(!CmpOp::Lt.apply(&Value::Null, &Value::Int(1)));
+        assert!(CmpOp::Ne.apply(&Value::Int(1), &Value::Int(2)));
+        assert!(CmpOp::Le.apply(&Value::Int(2), &Value::Int(2)));
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let e = PredExpr::cmp("age", CmpOp::Gt, 25).and(PredExpr::eq("citizen", "USA").not());
+        assert_eq!(e.to_string(), "(age > 25 & !(citizen = \"USA\"))");
+    }
+}

@@ -1,0 +1,241 @@
+//! Generic regular-expression AST.
+//!
+//! Both pattern languages of the paper are regular expressions at heart:
+//! list patterns are regexes whose alphabet is alphabet-predicates
+//! (§3.2), and the children of a tree-pattern node are described by a
+//! regex whose alphabet is tree patterns (§3.3: "Since we use the list
+//! language to specify the children of any node…"). [`Re<L>`] is that
+//! shared shape, generic over the leaf alphabet `L`.
+//!
+//! The `!` prune marker (§3.4) is represented structurally as
+//! [`Re::Prune`]; during NFA compilation every leaf inherits a static
+//! "inside a prune group" flag, because whether a consumed element is
+//! pruned from the result is a syntactic property of the leaf that
+//! matched it.
+
+use std::fmt;
+
+/// A regular expression over leaf alphabet `L`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Re<L> {
+    /// A single alphabet symbol.
+    Leaf(L),
+    /// ε — matches the empty sequence.
+    Empty,
+    /// Concatenation, left to right (`∘`, usually written by juxtaposition).
+    Concat(Vec<Re<L>>),
+    /// Disjunction (`|`).
+    Alt(Vec<Re<L>>),
+    /// Kleene closure, zero or more (`*`).
+    Star(Box<Re<L>>),
+    /// One or more (`+`).
+    Plus(Box<Re<L>>),
+    /// `!` prefix: everything matched by the subexpression is pruned from
+    /// the returned instance and reattached as a descendant piece.
+    Prune(Box<Re<L>>),
+}
+
+impl<L> Re<L> {
+    /// Concatenate, flattening nested concatenations.
+    pub fn then(self, next: Re<L>) -> Re<L> {
+        match (self, next) {
+            (Re::Concat(mut a), Re::Concat(b)) => {
+                a.extend(b);
+                Re::Concat(a)
+            }
+            (Re::Concat(mut a), b) => {
+                a.push(b);
+                Re::Concat(a)
+            }
+            (a, Re::Concat(mut b)) => {
+                b.insert(0, a);
+                Re::Concat(b)
+            }
+            (a, b) => Re::Concat(vec![a, b]),
+        }
+    }
+
+    /// Disjunction, flattening nested alternations.
+    pub fn or(self, other: Re<L>) -> Re<L> {
+        match (self, other) {
+            (Re::Alt(mut a), Re::Alt(b)) => {
+                a.extend(b);
+                Re::Alt(a)
+            }
+            (Re::Alt(mut a), b) => {
+                a.push(b);
+                Re::Alt(a)
+            }
+            (a, Re::Alt(mut b)) => {
+                b.insert(0, a);
+                Re::Alt(b)
+            }
+            (a, b) => Re::Alt(vec![a, b]),
+        }
+    }
+
+    /// Kleene closure (zero or more).
+    pub fn star(self) -> Re<L> {
+        Re::Star(Box::new(self))
+    }
+
+    /// One or more.
+    pub fn plus(self) -> Re<L> {
+        Re::Plus(Box::new(self))
+    }
+
+    /// Mark as pruned (`!`).
+    pub fn prune(self) -> Re<L> {
+        Re::Prune(Box::new(self))
+    }
+
+    /// Visit all leaves left to right.
+    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a L)) {
+        match self {
+            Re::Leaf(l) => f(l),
+            Re::Empty => {}
+            Re::Concat(xs) | Re::Alt(xs) => xs.iter().for_each(|x| x.for_each_leaf(f)),
+            Re::Star(x) | Re::Plus(x) | Re::Prune(x) => x.for_each_leaf(f),
+        }
+    }
+
+    /// Map the leaf alphabet.
+    pub fn map_leaves<M>(&self, f: &mut impl FnMut(&L) -> M) -> Re<M> {
+        match self {
+            Re::Leaf(l) => Re::Leaf(f(l)),
+            Re::Empty => Re::Empty,
+            Re::Concat(xs) => Re::Concat(xs.iter().map(|x| x.map_leaves(f)).collect()),
+            Re::Alt(xs) => Re::Alt(xs.iter().map(|x| x.map_leaves(f)).collect()),
+            Re::Star(x) => Re::Star(Box::new(x.map_leaves(f))),
+            Re::Plus(x) => Re::Plus(Box::new(x.map_leaves(f))),
+            Re::Prune(x) => Re::Prune(Box::new(x.map_leaves(f))),
+        }
+    }
+
+    /// Whether the language of this expression contains the empty
+    /// sequence, given per-leaf nullability (a leaf symbol may itself be
+    /// able to match "nothing" — e.g. a concatenation point whose
+    /// enclosing closure has terminated; see paper §3.5).
+    pub fn nullable(&self, leaf_nullable: &impl Fn(&L) -> bool) -> bool {
+        match self {
+            Re::Leaf(l) => leaf_nullable(l),
+            Re::Empty | Re::Star(_) => true,
+            Re::Concat(xs) => xs.iter().all(|x| x.nullable(leaf_nullable)),
+            Re::Alt(xs) => xs.iter().any(|x| x.nullable(leaf_nullable)),
+            Re::Plus(x) | Re::Prune(x) => x.nullable(leaf_nullable),
+        }
+    }
+}
+
+impl<L: fmt::Display> Re<L> {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, ambient: u8) -> fmt::Result {
+        // precedence: Alt=0, Concat=1, postfix/prefix=2
+        let prec = match self {
+            Re::Alt(_) => 0,
+            Re::Concat(_) => 1,
+            _ => 2,
+        };
+        let need_group = prec < ambient;
+        if need_group {
+            write!(f, "[[")?;
+        }
+        match self {
+            Re::Leaf(l) => write!(f, "{l}")?,
+            // The empty regex renders as nothing, matching the parser's
+            // treatment of an empty child list `a()`.
+            Re::Empty => {}
+            Re::Concat(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    x.fmt_prec(f, 2)?;
+                }
+            }
+            Re::Alt(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    x.fmt_prec(f, 1)?;
+                }
+            }
+            Re::Star(x) => {
+                x.fmt_prec(f, 2)?;
+                write!(f, "*")?;
+            }
+            Re::Plus(x) => {
+                x.fmt_prec(f, 2)?;
+                write!(f, "+")?;
+            }
+            Re::Prune(x) => {
+                write!(f, "!")?;
+                x.fmt_prec(f, 2)?;
+            }
+        }
+        if need_group {
+            write!(f, "]]")?;
+        }
+        Ok(())
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Re<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(c: char) -> Re<char> {
+        Re::Leaf(c)
+    }
+
+    #[test]
+    fn builders_flatten() {
+        let e = leaf('a').then(leaf('b')).then(leaf('c'));
+        assert!(matches!(&e, Re::Concat(xs) if xs.len() == 3));
+        let o = leaf('a').or(leaf('b')).or(leaf('c'));
+        assert!(matches!(&o, Re::Alt(xs) if xs.len() == 3));
+    }
+
+    #[test]
+    fn nullability() {
+        let never = |_: &char| false;
+        assert!(Re::<char>::Empty.nullable(&never));
+        assert!(leaf('a').star().nullable(&never));
+        assert!(!leaf('a').plus().nullable(&never));
+        assert!(!leaf('a').then(Re::Empty).nullable(&never));
+        assert!(leaf('a').star().then(Re::Empty).nullable(&never));
+        assert!(leaf('a').or(Re::Empty).nullable(&never));
+        // leaf-level nullability propagates
+        assert!(leaf('a').plus().nullable(&|_| true));
+    }
+
+    #[test]
+    fn leaf_iteration_order() {
+        let e = leaf('a')
+            .then(leaf('b').or(leaf('c')).star())
+            .then(leaf('d').prune());
+        let mut seen = Vec::new();
+        e.for_each_leaf(&mut |l| seen.push(*l));
+        assert_eq!(seen, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let e = leaf('a').then(leaf('b')).star();
+        let m = e.map_leaves(&mut |c| c.to_ascii_uppercase());
+        assert_eq!(m.to_string(), "[[A B]]*");
+    }
+
+    #[test]
+    fn display_uses_paper_grouping() {
+        let e = leaf('a').or(leaf('b')).then(leaf('c')).star();
+        assert_eq!(e.to_string(), "[[[[a|b]] c]]*");
+        assert_eq!(leaf('x').prune().to_string(), "!x");
+    }
+}

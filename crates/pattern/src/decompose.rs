@@ -1,0 +1,206 @@
+//! Pattern decomposition for optimization (paper §4, "Why Split?").
+//!
+//! The paper's central optimization idea is to mirror relational
+//! predicate splitting: break a complex pattern into a cheap piece that
+//! an index can answer (typically a single alphabet-predicate) plus a
+//! residual pattern that only runs on the narrowed candidate set. This
+//! module extracts those cheap pieces:
+//!
+//! * [`tree_root_pred`] — the alphabet-predicate every match root must
+//!   satisfy, enabling `sub_select(tp)(T)` →
+//!   `apply(sub_select(⊤tp))(split(root, …)(T))` with an index probe for
+//!   the root predicate.
+//! * [`list_required_pred`] — a predicate some element of every list
+//!   match must satisfy, with its offset from the match start when that
+//!   offset is fixed.
+//! * [`PredExpr::conjuncts`] (in [`crate::alphabet`]) — conjunctive
+//!   splitting of a single alphabet-predicate.
+
+use crate::alphabet::PredExpr;
+use crate::ast::Re;
+use crate::list::Sym;
+use crate::tree_ast::{NodeTest, TreePat};
+
+/// The alphabet-predicate that the *root* of every match of `pat` must
+/// satisfy, if one exists statically.
+///
+/// * A node/leaf pattern contributes its own test (`?` contributes
+///   nothing — every node passes).
+/// * An alternation contributes the disjunction of its branches' root
+///   predicates, provided every branch has one.
+/// * A closure contributes its body's root predicate **only** when the
+///   closure requires at least one iteration (`+`); a `*` closure can
+///   match without its body ever anchoring at the root… except that a
+///   `*` closure *as the whole pattern* still needs one instance to be a
+///   non-empty match, so we use the body's predicate there too.
+/// * A concatenation contributes its left operand's root predicate
+///   (concatenation substitutes into the left, so the root is the left
+///   root).
+pub fn tree_root_pred(pat: &TreePat) -> Option<PredExpr> {
+    match pat {
+        TreePat::Leaf(NodeTest::Pred(p)) | TreePat::Node(NodeTest::Pred(p), _) => Some(p.clone()),
+        TreePat::Leaf(NodeTest::Any) | TreePat::Node(NodeTest::Any, _) => None,
+        TreePat::Point(_) => None,
+        TreePat::Alt(xs) => {
+            let mut preds = Vec::with_capacity(xs.len());
+            for x in xs {
+                preds.push(tree_root_pred(x)?);
+            }
+            let mut it = preds.into_iter();
+            let first = it.next()?;
+            Some(it.fold(first, |acc, p| acc.or(p)))
+        }
+        TreePat::Concat { left, .. } => tree_root_pred(left),
+        TreePat::Closure { body, .. } => tree_root_pred(body),
+    }
+}
+
+/// A predicate that *some* element of every match of the list regex must
+/// satisfy. `offset` is the element's distance from the match start when
+/// it is statically fixed (usable with a positional index), `None` when
+/// preceded by variable-length parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequiredPred {
+    pub pred: PredExpr,
+    pub offset: Option<usize>,
+}
+
+/// Extract one required predicate from a list regex, preferring the
+/// earliest fixed-offset one.
+pub fn list_required_pred(re: &Re<Sym>) -> Option<RequiredPred> {
+    // Walk the top-level concatenation tracking whether the offset so far
+    // is fixed, and by how much each part advances it.
+    fn walk(re: &Re<Sym>, offset: Option<usize>) -> (Option<RequiredPred>, Option<usize>) {
+        match re {
+            Re::Leaf(Sym::Pred(p)) => (
+                Some(RequiredPred {
+                    pred: p.clone(),
+                    offset,
+                }),
+                offset.map(|o| o + 1),
+            ),
+            Re::Leaf(Sym::Any) => (None, offset.map(|o| o + 1)),
+            Re::Empty => (None, offset),
+            Re::Prune(x) => walk(x, offset),
+            Re::Concat(xs) => {
+                let mut off = offset;
+                let mut found: Option<RequiredPred> = None;
+                for x in xs {
+                    let (f, next) = walk(x, off);
+                    if found.is_none() {
+                        found = f;
+                    } else if found.as_ref().is_some_and(|r| r.offset.is_none()) {
+                        // Upgrade to a fixed-offset requirement if a later
+                        // part provides one.
+                        if let Some(better) = f {
+                            if better.offset.is_some() {
+                                found = Some(better);
+                            }
+                        }
+                    }
+                    off = next;
+                }
+                (found, off)
+            }
+            // Every branch of an alternation would have to require the
+            // same predicate; do not attempt that analysis.
+            Re::Alt(_) => (None, None),
+            // Starred parts are optional: nothing required, offset lost.
+            Re::Star(_) => (None, None),
+            // A plus body occurs at least once.
+            Re::Plus(x) => {
+                let (f, _) = walk(x, offset);
+                (f, None)
+            }
+        }
+    }
+    walk(re, Some(0)).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_ast::TreePat;
+
+    fn p(name: &str) -> PredExpr {
+        PredExpr::eq("label", name)
+    }
+
+    #[test]
+    fn root_pred_of_node_pattern() {
+        let pat = TreePat::pred_node(p("d"), Re::Leaf(TreePat::any()));
+        assert_eq!(tree_root_pred(&pat), Some(p("d")));
+    }
+
+    #[test]
+    fn root_pred_of_wildcard_is_none() {
+        assert_eq!(tree_root_pred(&TreePat::any()), None);
+        assert_eq!(tree_root_pred(&TreePat::point("x")), None);
+    }
+
+    #[test]
+    fn root_pred_of_alt_is_disjunction() {
+        let pat = TreePat::pred(p("a")).or(TreePat::pred(p("b")));
+        let got = tree_root_pred(&pat).unwrap();
+        assert_eq!(got, p("a").or(p("b")));
+        // One wildcard branch poisons the disjunction.
+        let pat = TreePat::pred(p("a")).or(TreePat::any());
+        assert_eq!(tree_root_pred(&pat), None);
+    }
+
+    #[test]
+    fn root_pred_through_concat_and_closure() {
+        let pat = TreePat::pred_node(p("a"), Re::Leaf(TreePat::point("1")))
+            .concat_at("1", TreePat::pred(p("b")));
+        assert_eq!(tree_root_pred(&pat), Some(p("a")));
+        let closure = TreePat::pred_node(p("a"), Re::Leaf(TreePat::point("x"))).star_at("x");
+        assert_eq!(tree_root_pred(&closure), Some(p("a")));
+    }
+
+    #[test]
+    fn list_required_first_fixed() {
+        // [A ? B] — A required at offset 0.
+        let re = Sym::pred(p("A")).then(Sym::any()).then(Sym::pred(p("B")));
+        let r = list_required_pred(&re).unwrap();
+        assert_eq!(r.pred, p("A"));
+        assert_eq!(r.offset, Some(0));
+    }
+
+    #[test]
+    fn list_required_after_wildcards() {
+        // [? ? A] — A required at offset 2.
+        let re = Sym::any().then(Sym::any()).then(Sym::pred(p("A")));
+        let r = list_required_pred(&re).unwrap();
+        assert_eq!(r.offset, Some(2));
+    }
+
+    #[test]
+    fn star_erases_offset_but_later_pred_still_found() {
+        // [?* A] — A required, offset unknown.
+        let re = Sym::any().star().then(Sym::pred(p("A")));
+        let r = list_required_pred(&re).unwrap();
+        assert_eq!(r.pred, p("A"));
+        assert_eq!(r.offset, None);
+    }
+
+    #[test]
+    fn alternation_requires_nothing() {
+        let re = Sym::pred(p("A")).or(Sym::pred(p("B")));
+        assert_eq!(list_required_pred(&re), None);
+    }
+
+    #[test]
+    fn plus_body_is_required() {
+        let re = Sym::pred(p("A")).plus();
+        let r = list_required_pred(&re).unwrap();
+        assert_eq!(r.pred, p("A"));
+        assert_eq!(r.offset, Some(0));
+    }
+
+    #[test]
+    fn prune_is_transparent() {
+        let re = Sym::pred(p("A")).prune().then(Sym::pred(p("B")));
+        let r = list_required_pred(&re).unwrap();
+        assert_eq!(r.pred, p("A"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Lazy DFA for list patterns.
+//!
+//! The Pike VM (crate::pike) is O(input × NFA states). For hot scans the
+//! classic next step — contemporaneous with the paper's regex lineage
+//! (McNaughton–Yamada, Brzozowski) — is determinization. The alphabet of
+//! a list pattern is not characters but *predicate outcomes*: an input
+//! element is fully characterized by the bit-vector of which pattern
+//! leaves it satisfies. The DFA therefore transitions on leaf-outcome
+//! masks, determinized lazily and cached, giving O(input) scans after
+//! warm-up (benchmark B3d measures the effect).
+//!
+//! The DFA answers span questions (is-match / accepting ends); parse
+//! extraction (prune positions) stays on the NFA path.
+
+use std::collections::HashMap;
+
+use aqua_object::{ObjectStore, Oid};
+
+use crate::list::{ListMatch, ListPattern};
+use crate::nfa::{LeafId, Nfa, State, StateId};
+
+/// Upper bound on distinct pattern leaves a DFA can handle (the outcome
+/// mask is a `u64`).
+pub const MAX_DFA_LEAVES: usize = 64;
+
+/// A lazily determinized view of a compiled [`ListPattern`].
+pub struct ListDfa<'p> {
+    pattern: &'p ListPattern,
+    /// DFA states: each is a sorted set of NFA states (closure).
+    states: Vec<DfaState>,
+    /// Interning map from NFA-state-set to DFA state index.
+    interned: HashMap<Vec<u32>, u32>,
+}
+
+struct DfaState {
+    set: Vec<u32>,
+    accept: bool,
+    trans: HashMap<u64, u32>,
+}
+
+impl<'p> ListDfa<'p> {
+    /// Wrap a compiled pattern. Errors (returns `None`) when the pattern
+    /// has more than [`MAX_DFA_LEAVES`] leaves.
+    pub fn new(pattern: &'p ListPattern) -> Option<Self> {
+        if pattern.leaf_count() > MAX_DFA_LEAVES {
+            return None;
+        }
+        let mut dfa = ListDfa {
+            pattern,
+            states: Vec::new(),
+            interned: HashMap::new(),
+        };
+        let start = closure_of(pattern.nfa(), &[pattern.nfa().start()]);
+        dfa.intern(start);
+        Some(dfa)
+    }
+
+    fn intern(&mut self, set: Vec<u32>) -> u32 {
+        if let Some(&id) = self.interned.get(&set) {
+            return id;
+        }
+        let nfa = self.pattern.nfa();
+        let accept = set
+            .iter()
+            .any(|&s| matches!(nfa.state(StateId(s)), State::Accept));
+        let id = self.states.len() as u32;
+        self.states.push(DfaState {
+            set: set.clone(),
+            accept,
+            trans: HashMap::new(),
+        });
+        self.interned.insert(set, id);
+        id
+    }
+
+    /// Number of materialized DFA states (grows as inputs exercise new
+    /// outcome combinations).
+    pub fn materialized_states(&self) -> usize {
+        self.states.len()
+    }
+
+    fn step(&mut self, state: u32, mask: u64) -> u32 {
+        if let Some(&next) = self.states[state as usize].trans.get(&mask) {
+            return next;
+        }
+        let nfa = self.pattern.nfa();
+        let mut targets: Vec<StateId> = Vec::new();
+        for &s in &self.states[state as usize].set {
+            if let State::Sym { leaf, next, .. } = nfa.state(StateId(s)) {
+                if mask & (1u64 << leaf.0) != 0 {
+                    targets.push(*next);
+                }
+            }
+        }
+        let set = closure_of(nfa, &targets);
+        let next = self.intern(set);
+        self.states[state as usize].trans.insert(mask, next);
+        next
+    }
+
+    /// Leaf-outcome mask for one element.
+    fn mask(&self, store: &ObjectStore, oid: Oid) -> u64 {
+        let mut m = 0u64;
+        for (i, pred) in self.pattern.leaves().iter().enumerate() {
+            let hit = match pred {
+                None => true,
+                Some(p) => p.eval(store, oid),
+            };
+            if hit {
+                m |= 1u64 << i;
+            }
+        }
+        m
+    }
+
+    /// Does the entire sequence match (anchors at both ends)?
+    pub fn is_match(&mut self, store: &ObjectStore, items: &[Oid]) -> bool {
+        let mut state = 0u32;
+        for &oid in items {
+            let m = self.mask(store, oid);
+            state = self.step(state, m);
+            if self.states[state as usize].set.is_empty() {
+                return false;
+            }
+        }
+        self.states[state as usize].accept
+    }
+
+    /// Leftmost-longest non-overlapping matches (the B3a scan), via the
+    /// DFA. Prune extents are extracted through the NFA path, exactly as
+    /// [`ListPattern::find_matches`] does, so results are identical.
+    pub fn find_nonoverlapping(&mut self, store: &ObjectStore, items: &[Oid]) -> Vec<ListMatch> {
+        let n = items.len();
+        // Pre-compute masks once: O(n × leaves).
+        let masks: Vec<u64> = items.iter().map(|&o| self.mask(store, o)).collect();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            if self.pattern.anchor_start && start != 0 {
+                break;
+            }
+            let mut state = 0u32;
+            let mut last_accept: Option<usize> = None;
+            for (i, &m) in masks[start..].iter().enumerate() {
+                state = self.step(state, m);
+                if self.states[state as usize].set.is_empty() {
+                    break;
+                }
+                if self.states[state as usize].accept {
+                    let end = start + i + 1;
+                    if !self.pattern.anchor_end || end == n {
+                        last_accept = Some(end);
+                    }
+                }
+            }
+            match last_accept {
+                Some(end) => {
+                    // Prune extraction via one NFA parse over the span,
+                    // testing leaves against the precomputed masks (no
+                    // predicate re-evaluation).
+                    let path = crate::pike::find_one_path(
+                        self.pattern.nfa(),
+                        end - start,
+                        &mut |leaf: LeafId, pos: usize| {
+                            masks[start + pos] & (1u64 << leaf.0) != 0
+                        },
+                    )
+                    .expect("span accepted by the DFA has an NFA parse");
+                    let pruned = path
+                        .iter()
+                        .filter(|s| s.pruned)
+                        .map(|s| s.pos + start)
+                        .collect();
+                    out.push(ListMatch { start, end, pruned });
+                    start = end;
+                }
+                None => start += 1,
+            }
+        }
+        out
+    }
+}
+
+fn closure_of(nfa: &Nfa, seeds: &[StateId]) -> Vec<u32> {
+    let mut seen = vec![false; nfa.len()];
+    let mut out: Vec<u32> = Vec::new();
+    let mut stack: Vec<StateId> = seeds.to_vec();
+    while let Some(s) = stack.pop() {
+        if seen[s.0 as usize] {
+            continue;
+        }
+        seen[s.0 as usize] = true;
+        match nfa.state(s) {
+            State::Eps(n) => stack.push(*n),
+            State::Split(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            State::Sym { .. } | State::Accept => out.push(s.0),
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The leaf view the DFA needs; kept on `ListPattern` so the DFA module
+/// has no private access.
+impl ListPattern {
+    /// Number of interned pattern leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves().len()
+    }
+}
+
+// `LeafId` is used in doc positions above; silence the unused warning
+// when docs are stripped.
+const _: fn(LeafId) = |_| {};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Re;
+    use crate::list::{MatchMode, Sym};
+    use crate::PredExpr;
+    use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, Value};
+
+    struct Fx {
+        store: ObjectStore,
+        class: ClassId,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            let mut store = ObjectStore::new();
+            let class = store
+                .define_class(
+                    ClassDef::new("Note", vec![AttrDef::stored("pitch", AttrType::Str)]).unwrap(),
+                )
+                .unwrap();
+            Fx { store, class }
+        }
+
+        fn song(&mut self, s: &str) -> Vec<Oid> {
+            s.chars()
+                .map(|c| {
+                    self.store
+                        .insert_named("Note", &[("pitch", Value::str(c.to_string()))])
+                        .unwrap()
+                })
+                .collect()
+        }
+
+        fn pitch(&self, c: char) -> Re<Sym> {
+            Sym::pred(PredExpr::eq("pitch", c.to_string()))
+        }
+
+        fn compile(&self, re: Re<Sym>) -> ListPattern {
+            ListPattern::unanchored(re, self.class, self.store.class(self.class)).unwrap()
+        }
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_on_is_match() {
+        let mut fx = Fx::new();
+        let p = fx.compile(fx.pitch('A').or(fx.pitch('B')).plus().then(fx.pitch('C')));
+        let mut dfa = ListDfa::new(&p).unwrap();
+        for s in ["ABC", "C", "AABBC", "ABCB", "", "CC"] {
+            let items = fx.song(s);
+            assert_eq!(
+                dfa.is_match(&fx.store, &items),
+                p.is_match(&fx.store, &items),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn dfa_scan_equals_nfa_scan() {
+        let mut fx = Fx::new();
+        let p = fx.compile(fx.pitch('A').then(Sym::any()).then(fx.pitch('F')));
+        let items = fx.song("AXFGAZFBAAF");
+        let mut dfa = ListDfa::new(&p).unwrap();
+        let via_dfa = dfa.find_nonoverlapping(&fx.store, &items);
+        let via_nfa = p.find_matches(&fx.store, &items, MatchMode::Nonoverlapping);
+        assert_eq!(via_dfa, via_nfa);
+        assert!(!via_dfa.is_empty());
+    }
+
+    #[test]
+    fn dfa_scan_with_prunes() {
+        let mut fx = Fx::new();
+        let p = fx.compile(Sym::any().prune().then(fx.pitch('A')));
+        let items = fx.song("XA");
+        let mut dfa = ListDfa::new(&p).unwrap();
+        let ms = dfa.find_nonoverlapping(&fx.store, &items);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].pruned, vec![0]);
+    }
+
+    #[test]
+    fn lazy_states_stay_small() {
+        let mut fx = Fx::new();
+        let p = fx.compile(fx.pitch('A').star().then(fx.pitch('B')));
+        let items = fx.song("AAABAAB");
+        let mut dfa = ListDfa::new(&p).unwrap();
+        dfa.find_nonoverlapping(&fx.store, &items);
+        // Only the mask combinations that actually occur materialize.
+        assert!(dfa.materialized_states() <= 8);
+    }
+
+    #[test]
+    fn rejects_oversized_patterns() {
+        let fx = Fx::new();
+        let mut re = fx.pitch('A');
+        for _ in 0..70 {
+            re = re.then(Sym::any());
+        }
+        let p = fx.compile(re);
+        assert!(ListDfa::new(&p).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the pattern layer.
+
+use std::fmt;
+
+use aqua_object::{AttrType, ObjectError};
+
+/// Result alias for pattern operations.
+pub type Result<T> = std::result::Result<T, PatternError>;
+
+/// Errors raised while building, parsing, compiling, or matching patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternError {
+    /// Propagated object-layer error (e.g. computed attribute in an
+    /// alphabet-predicate, unknown attribute).
+    Object(ObjectError),
+    /// A comparison constant does not inhabit the attribute's type.
+    PredicateType {
+        class: String,
+        attr: String,
+        expected: AttrType,
+        got: &'static str,
+    },
+    /// Text-syntax parse failure.
+    Parse { msg: String, pos: usize },
+    /// A named predicate used in pattern text was not provided in the
+    /// predicate environment.
+    UnknownPredName { name: String },
+    /// A tree-pattern concatenation referenced a label absent from the
+    /// left operand — allowed by the paper (the result is the left
+    /// operand), but surfaced as an error where silent no-ops would hide
+    /// bugs.
+    UnknownCcLabel { label: String },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Object(e) => write!(f, "{e}"),
+            PatternError::PredicateType {
+                class,
+                attr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate compares {class}.{attr} ({expected}) against a {got} constant"
+            ),
+            PatternError::Parse { msg, pos } => {
+                write!(f, "pattern parse error at byte {pos}: {msg}")
+            }
+            PatternError::UnknownPredName { name } => {
+                write!(f, "pattern references unknown predicate name {name:?}")
+            }
+            PatternError::UnknownCcLabel { label } => {
+                write!(f, "unknown concatenation point label {label:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PatternError::Object(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ObjectError> for PatternError {
+    fn from(e: ObjectError) -> Self {
+        PatternError::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PatternError::Parse {
+            msg: "unexpected ')'".into(),
+            pos: 3,
+        };
+        assert!(e.to_string().contains("byte 3"));
+        let wrapped = PatternError::from(ObjectError::NoSuchClass { class: "X".into() });
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

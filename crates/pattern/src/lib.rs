@@ -1,0 +1,40 @@
+//! # aqua-pattern — predicate languages for lists and trees
+//!
+//! Implements §3 of the AQUA paper: alphabet-predicates, list patterns
+//! (regular expressions over alphabet-predicates, with anchors `^`/`$`
+//! and the prune marker `!`), and tree patterns (regular tree
+//! expressions with concatenation points `α_i`, the root anchor `⊤`, and
+//! the leaf anchor `⊥`).
+//!
+//! Layering:
+//!
+//! * [`alphabet`] — alphabet-predicates: `λ(Person) Person.age > 25`,
+//!   restricted to stored attributes / constants / comparisons / boolean
+//!   connectives so evaluation is O(1).
+//! * [`ast`] / [`nfa`] / [`pike`] — a generic regex engine: shared by
+//!   list patterns and by the child lists of tree patterns.
+//! * [`list`] — list patterns and sublist matching (§3.2, §6).
+//! * [`tree_ast`] / [`tree_match`] — tree patterns with concatenation
+//!   points and subgraph matching (§3.3–§3.5).
+//! * [`parser`] — a text syntax for both pattern languages, mirroring the
+//!   paper's notation in ASCII (`@a` for `α`, `^` for `⊤`, `$` for `⊥`).
+//! * [`decompose`] — pattern decomposition hooks used by the optimizer
+//!   (extract an index-usable root/prefix predicate, split conjunctions).
+
+pub mod alphabet;
+pub mod ast;
+pub mod decompose;
+pub mod dfa;
+pub mod error;
+pub mod list;
+pub mod nfa;
+pub mod parser;
+pub mod pike;
+pub mod tree_ast;
+pub mod tree_match;
+
+pub use alphabet::{CmpOp, Pred, PredExpr};
+pub use ast::Re;
+pub use error::{PatternError, Result};
+pub use list::{ListMatch, ListPattern, MatchMode};
+pub use tree_ast::{CcLabel, TreePat, TreePattern};

@@ -1,0 +1,501 @@
+//! List patterns and sublist matching (paper §3.2).
+//!
+//! A list pattern is a regular expression over alphabet-predicates with
+//! the metacharacter `?` (always true), grouping `[[ ]]`, the prune
+//! marker `!`, and the anchors `^lp` (match at the beginning) and `lp$`
+//! (match at the end). Matching a pattern against a list yields the
+//! *sublists* (embedded lists of contiguous elements) in the pattern's
+//! language; `sub_select`/`split` on lists are built on
+//! [`ListPattern::find_matches`].
+
+use std::fmt;
+
+use aqua_object::{ClassDef, ClassId, ObjectStore, Oid};
+
+use crate::alphabet::{Pred, PredExpr};
+use crate::ast::Re;
+use crate::error::Result;
+use crate::nfa::{LeafId, Nfa};
+use crate::pike;
+
+/// A list-pattern alphabet symbol: `?` or an alphabet-predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sym {
+    /// The `?` metacharacter — satisfied by every object.
+    Any,
+    /// An alphabet-predicate.
+    Pred(PredExpr),
+}
+
+impl Sym {
+    /// An alphabet-predicate symbol.
+    pub fn pred(e: PredExpr) -> Re<Sym> {
+        Re::Leaf(Sym::Pred(e))
+    }
+
+    /// The `?` symbol.
+    pub fn any() -> Re<Sym> {
+        Re::Leaf(Sym::Any)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Any => write!(f, "?"),
+            Sym::Pred(p) => write!(f, "{{{p}}}"),
+        }
+    }
+}
+
+/// How [`ListPattern::find_matches`] enumerates matching sublists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// Every matching (non-empty) sublist — the paper's `sub_select`
+    /// semantics: "the set of sublists of L that match lp".
+    #[default]
+    All,
+    /// Greedy left-to-right scan: leftmost-longest matches that do not
+    /// overlap. Used where a linear pass is wanted (benchmark B3).
+    Nonoverlapping,
+}
+
+/// One matching sublist: the half-open element range `[start, end)` and
+/// the positions consumed by `!`-pruned pattern leaves (absolute indices
+/// into the subject list, ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListMatch {
+    pub start: usize,
+    pub end: usize,
+    pub pruned: Vec<usize>,
+}
+
+impl ListMatch {
+    /// The kept (non-pruned) positions of the match, ascending.
+    pub fn kept(&self) -> Vec<usize> {
+        (self.start..self.end)
+            .filter(|p| !self.pruned.contains(p))
+            .collect()
+    }
+}
+
+/// A compiled list pattern, bound to one element class.
+#[derive(Debug, Clone)]
+pub struct ListPattern {
+    re: Re<Sym>,
+    /// `^lp` — the match must begin at the first element.
+    pub anchor_start: bool,
+    /// `lp$` — the match must end at the last element.
+    pub anchor_end: bool,
+    nfa: Nfa,
+    leaves: Vec<Option<Pred>>,
+}
+
+impl ListPattern {
+    /// Compile `re` (with the given anchors) against the element class.
+    pub fn compile(
+        re: Re<Sym>,
+        anchor_start: bool,
+        anchor_end: bool,
+        class_id: ClassId,
+        class: &ClassDef,
+    ) -> Result<ListPattern> {
+        let mut leaves: Vec<Option<Pred>> = Vec::new();
+        let mut err = None;
+        let nfa = Nfa::compile(&re, &mut |s: &Sym| {
+            let compiled = match s {
+                Sym::Any => None,
+                Sym::Pred(e) => match e.compile(class_id, class) {
+                    Ok(p) => Some(p),
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        None
+                    }
+                },
+            };
+            leaves.push(compiled);
+            (LeafId(leaves.len() as u32 - 1), false)
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(ListPattern {
+            re,
+            anchor_start,
+            anchor_end,
+            nfa,
+            leaves,
+        })
+    }
+
+    /// Compile an unanchored pattern.
+    pub fn unanchored(re: Re<Sym>, class_id: ClassId, class: &ClassDef) -> Result<ListPattern> {
+        Self::compile(re, false, false, class_id, class)
+    }
+
+    /// The surface regex (for display and for optimizer decomposition).
+    pub fn re(&self) -> &Re<Sym> {
+        &self.re
+    }
+
+    /// Number of NFA states (pattern-size proxy for the cost model).
+    pub fn nfa_size(&self) -> usize {
+        self.nfa.len()
+    }
+
+    /// The compiled NFA (consumed by the lazy DFA layer).
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The interned leaf tests, in [`LeafId`] order: `None` is the `?`
+    /// wildcard.
+    pub fn leaves(&self) -> &[Option<Pred>] {
+        &self.leaves
+    }
+
+    /// Precompute the alphabet-predicate truth table over `items`:
+    /// `table[leaf * n + pos]`. `None` (the `?` leaf) rows are skipped —
+    /// they are always true.
+    fn eval_table(&self, store: &ObjectStore, items: &[Oid]) -> Vec<bool> {
+        let n = items.len();
+        let mut table = vec![true; self.leaves.len() * n];
+        for (l, pred) in self.leaves.iter().enumerate() {
+            if let Some(p) = pred {
+                for (pos, oid) in items.iter().enumerate() {
+                    table[l * n + pos] = p.eval(store, *oid);
+                }
+            }
+        }
+        table
+    }
+
+    /// Does the *entire* list match the pattern (anchors at both ends)?
+    pub fn is_match(&self, store: &ObjectStore, items: &[Oid]) -> bool {
+        let table = self.eval_table(store, items);
+        let n = items.len();
+        pike::matches_exact(&self.nfa, n, &mut |leaf: LeafId, pos: usize| {
+            table[leaf.0 as usize * n + pos]
+        })
+    }
+
+    /// All matching sublists under `mode`, in (start, end) order.
+    /// Zero-length matches are not reported (an empty sublist is not a
+    /// useful query answer; patterns that are nullable still participate
+    /// through their non-empty matches).
+    pub fn find_matches(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        mode: MatchMode,
+    ) -> Vec<ListMatch> {
+        let n = items.len();
+        let table = self.eval_table(store, items);
+        let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
+        let mut out = Vec::new();
+        match mode {
+            MatchMode::All => {
+                let starts: Box<dyn Iterator<Item = usize>> = if self.anchor_start {
+                    Box::new(std::iter::once(0))
+                } else {
+                    Box::new(0..n)
+                };
+                for start in starts {
+                    let ends = pike::accepting_ends(&self.nfa, n - start, &mut |l, p| {
+                        test_at(l, p + start)
+                    });
+                    for e in ends {
+                        let end = start + e;
+                        if end == start {
+                            continue;
+                        }
+                        if self.anchor_end && end != n {
+                            continue;
+                        }
+                        out.push(self.extract(start, end, &test_at));
+                    }
+                }
+            }
+            MatchMode::Nonoverlapping => {
+                let mut start = 0usize;
+                while start < n {
+                    if self.anchor_start && start != 0 {
+                        break;
+                    }
+                    let ends = pike::accepting_ends(&self.nfa, n - start, &mut |l, p| {
+                        test_at(l, p + start)
+                    });
+                    let pick = ends
+                        .into_iter()
+                        .rev()
+                        .map(|e| start + e)
+                        .find(|&end| end > start && (!self.anchor_end || end == n));
+                    match pick {
+                        Some(end) => {
+                            out.push(self.extract(start, end, &test_at));
+                            start = end;
+                        }
+                        None => start += 1,
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All matches beginning exactly at `start` — the entry point for
+    /// index-driven plans (a positional index proposes candidate starts;
+    /// the pattern is verified only there). Anchors are honored.
+    pub fn find_matches_at(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        start: usize,
+    ) -> Vec<ListMatch> {
+        let n = items.len();
+        if start > n || (self.anchor_start && start != 0) {
+            return Vec::new();
+        }
+        let table = self.eval_table(store, items);
+        let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
+        pike::accepting_ends(&self.nfa, n - start, &mut |l, p| test_at(l, p + start))
+            .into_iter()
+            .map(|e| start + e)
+            .filter(|&end| end > start && (!self.anchor_end || end == n))
+            .map(|end| self.extract(start, end, &test_at))
+            .collect()
+    }
+
+    /// [`find_matches_at`](Self::find_matches_at) over many candidate
+    /// starts, sharing one predicate truth table. `starts` must be
+    /// ascending; results come back in (start, end) order.
+    pub fn find_matches_at_many(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        starts: &[usize],
+    ) -> Vec<ListMatch> {
+        let n = items.len();
+        let table = self.eval_table(store, items);
+        let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
+        let mut out = Vec::new();
+        for &start in starts {
+            if start > n || (self.anchor_start && start != 0) {
+                continue;
+            }
+            for e in pike::accepting_ends(&self.nfa, n - start, &mut |l, p| test_at(l, p + start)) {
+                let end = start + e;
+                if end > start && (!self.anchor_end || end == n) {
+                    out.push(self.extract(start, end, &test_at));
+                }
+            }
+        }
+        out
+    }
+
+    /// Recover the pruned positions of the span `[start, end)` from the
+    /// highest-priority parse.
+    fn extract(
+        &self,
+        start: usize,
+        end: usize,
+        test_at: &impl Fn(LeafId, usize) -> bool,
+    ) -> ListMatch {
+        let path = pike::find_one_path(&self.nfa, end - start, &mut |l, p| test_at(l, p + start))
+            .expect("span reported as match must have a parse");
+        let pruned = path
+            .iter()
+            .filter(|s| s.pruned)
+            .map(|s| s.pos + start)
+            .collect();
+        ListMatch { start, end, pruned }
+    }
+}
+
+impl fmt::Display for ListPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.anchor_start {
+            write!(f, "^")?;
+        }
+        write!(f, "[{}]", self.re)?;
+        if self.anchor_end {
+            write!(f, "$")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, AttrType, ClassDef, Value};
+
+    struct Fx {
+        store: ObjectStore,
+        class: ClassId,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            let mut store = ObjectStore::new();
+            let class = store
+                .define_class(
+                    ClassDef::new("Note", vec![AttrDef::stored("pitch", AttrType::Str)]).unwrap(),
+                )
+                .unwrap();
+            Fx { store, class }
+        }
+
+        /// One object per character.
+        fn song(&mut self, s: &str) -> Vec<Oid> {
+            s.chars()
+                .map(|c| {
+                    self.store
+                        .insert_named("Note", &[("pitch", Value::str(c.to_string()))])
+                        .unwrap()
+                })
+                .collect()
+        }
+
+        fn pitch(&self, c: char) -> Re<Sym> {
+            Sym::pred(PredExpr::eq("pitch", c.to_string()))
+        }
+
+        fn compile(&self, re: Re<Sym>) -> ListPattern {
+            ListPattern::unanchored(re, self.class, self.store.class(self.class)).unwrap()
+        }
+    }
+
+    #[test]
+    fn melody_paper_example() {
+        // sub_select([A??F])(L) — paper §6's music query.
+        let mut fx = Fx::new();
+        let song = fx.song("GAXYFBACDF");
+        let re = fx
+            .pitch('A')
+            .then(Sym::any())
+            .then(Sym::any())
+            .then(fx.pitch('F'));
+        let p = fx.compile(re);
+        let ms = p.find_matches(&fx.store, &song, MatchMode::All);
+        assert_eq!(ms.len(), 2);
+        assert_eq!((ms[0].start, ms[0].end), (1, 5)); // AXYF
+        assert_eq!((ms[1].start, ms[1].end), (6, 10)); // ACDF
+    }
+
+    #[test]
+    fn all_mode_reports_overlaps() {
+        let mut fx = Fx::new();
+        let song = fx.song("AAA");
+        let p = fx.compile(fx.pitch('A').then(fx.pitch('A')));
+        let ms = p.find_matches(&fx.store, &song, MatchMode::All);
+        assert_eq!(ms.len(), 2); // [0,2) and [1,3)
+    }
+
+    #[test]
+    fn nonoverlapping_is_leftmost_longest() {
+        let mut fx = Fx::new();
+        let song = fx.song("AAAA");
+        let p = fx.compile(fx.pitch('A').plus());
+        let ms = p.find_matches(&fx.store, &song, MatchMode::Nonoverlapping);
+        assert_eq!(ms.len(), 1);
+        assert_eq!((ms[0].start, ms[0].end), (0, 4));
+    }
+
+    #[test]
+    fn anchors() {
+        let mut fx = Fx::new();
+        let song = fx.song("ABA");
+        let start_anchored = ListPattern::compile(
+            fx.pitch('A'),
+            true,
+            false,
+            fx.class,
+            fx.store.class(fx.class),
+        )
+        .unwrap();
+        let ms = start_anchored.find_matches(&fx.store, &song, MatchMode::All);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].start, 0);
+
+        let end_anchored = ListPattern::compile(
+            fx.pitch('A'),
+            false,
+            true,
+            fx.class,
+            fx.store.class(fx.class),
+        )
+        .unwrap();
+        let ms = end_anchored.find_matches(&fx.store, &song, MatchMode::All);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].end, 3);
+    }
+
+    #[test]
+    fn full_match_with_both_anchors_equals_is_match() {
+        let mut fx = Fx::new();
+        let song = fx.song("AB");
+        let re = fx.pitch('A').then(fx.pitch('B'));
+        let p = ListPattern::compile(re.clone(), true, true, fx.class, fx.store.class(fx.class))
+            .unwrap();
+        assert!(p.is_match(&fx.store, &song));
+        let ms = p.find_matches(&fx.store, &song, MatchMode::All);
+        assert_eq!(ms.len(), 1);
+        let other = fx.song("ABB");
+        assert!(!p.is_match(&fx.store, &other));
+    }
+
+    #[test]
+    fn pruned_positions_extracted() {
+        let mut fx = Fx::new();
+        let song = fx.song("XAY");
+        // !? A !?
+        let re = Sym::any()
+            .prune()
+            .then(fx.pitch('A'))
+            .then(Sym::any().prune());
+        let p = fx.compile(re);
+        let ms = p.find_matches(&fx.store, &song, MatchMode::All);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].pruned, vec![0, 2]);
+        assert_eq!(ms[0].kept(), vec![1]);
+    }
+
+    #[test]
+    fn zero_length_matches_suppressed() {
+        let mut fx = Fx::new();
+        let song = fx.song("BB");
+        let p = fx.compile(fx.pitch('A').star());
+        assert!(p.find_matches(&fx.store, &song, MatchMode::All).is_empty());
+        // But an empty *list* still matches a nullable pattern exactly.
+        assert!(p.is_match(&fx.store, &[]));
+    }
+
+    #[test]
+    fn disjunction_and_closure() {
+        let mut fx = Fx::new();
+        let song = fx.song("ABABC");
+        // [[A|B]]+ C
+        let re = fx.pitch('A').or(fx.pitch('B')).plus().then(fx.pitch('C'));
+        let p = fx.compile(re);
+        let ms = p.find_matches(&fx.store, &song, MatchMode::All);
+        // Matches ending at C, starting at 0..=3.
+        assert_eq!(ms.len(), 4);
+        assert!(ms.iter().all(|m| m.end == 5));
+    }
+
+    #[test]
+    fn eval_table_respects_class() {
+        let mut fx = Fx::new();
+        let song = fx.song("A");
+        // An object of another class never satisfies a pitch predicate.
+        let other_class = fx
+            .store
+            .define_class(ClassDef::new("X", vec![]).unwrap())
+            .unwrap();
+        let alien = fx.store.insert(other_class, vec![]).unwrap();
+        let p = fx.compile(fx.pitch('A'));
+        assert!(p.is_match(&fx.store, &song));
+        assert!(!p.is_match(&fx.store, &[alien]));
+    }
+}

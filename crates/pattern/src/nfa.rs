@@ -1,0 +1,276 @@
+//! Thompson NFA construction for the generic regex AST.
+//!
+//! The regular-expression foundations the paper builds on (§3.1 cites
+//! McNaughton–Yamada, Brzozowski, Thatcher–Wright) make pattern matching
+//! tractable; we realize that with a classic Thompson construction whose
+//! symbol transitions are *tests* resolved by the caller — an alphabet-
+//! predicate evaluation for list patterns, a recursive (memoized) tree-
+//! pattern match for the child lists of tree patterns.
+//!
+//! Leaves carry two static flags:
+//! * `pruned` — the leaf sits under a `!` prune group (paper §3.4), so
+//!   elements it consumes are cut from the returned instance;
+//! * `nullable` — the leaf symbol may match "nothing" (a concatenation
+//!   point whose enclosing closure terminated with NULL, paper §3.5);
+//!   such leaves get an ε bypass.
+
+use crate::ast::Re;
+
+/// Index of an interned leaf symbol within a compiled pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeafId(pub u32);
+
+/// NFA state index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+/// One NFA state. Split priority encodes greedy matching: the first
+/// alternative is preferred when extracting a single parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum State {
+    /// Unconditional move.
+    Eps(StateId),
+    /// Prioritized fork (first preferred).
+    Split(StateId, StateId),
+    /// Consume one input element if the leaf test succeeds.
+    Sym {
+        leaf: LeafId,
+        pruned: bool,
+        next: StateId,
+    },
+    /// Acceptance.
+    Accept,
+}
+
+/// A compiled Thompson NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: StateId,
+}
+
+impl Nfa {
+    /// Compile `re`, interning each leaf via `intern`, which returns the
+    /// leaf's id and whether it is nullable (may match zero elements).
+    pub fn compile<L>(re: &Re<L>, intern: &mut impl FnMut(&L) -> (LeafId, bool)) -> Nfa {
+        let mut b = Builder { states: Vec::new() };
+        let accept = b.push(State::Accept);
+        let start = b.build(re, false, accept, intern);
+        Nfa {
+            states: b.states,
+            start,
+        }
+    }
+
+    /// Entry state.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of states (pattern-size proxy for the cost model).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the automaton has no states (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state behind `id`.
+    #[inline]
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.0 as usize]
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn push(&mut self, s: State) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(s);
+        id
+    }
+
+    /// Compile `re` so that after consuming a matching sequence control
+    /// reaches `cont`. Returns the fragment's entry state.
+    fn build<L>(
+        &mut self,
+        re: &Re<L>,
+        pruned: bool,
+        cont: StateId,
+        intern: &mut impl FnMut(&L) -> (LeafId, bool),
+    ) -> StateId {
+        match re {
+            Re::Leaf(l) => {
+                let (leaf, nullable) = intern(l);
+                let sym = self.push(State::Sym {
+                    leaf,
+                    pruned,
+                    next: cont,
+                });
+                if nullable {
+                    // Prefer consuming (greedy); bypass second.
+                    self.push(State::Split(sym, cont))
+                } else {
+                    sym
+                }
+            }
+            Re::Empty => cont,
+            Re::Concat(xs) => {
+                let mut next = cont;
+                for x in xs.iter().rev() {
+                    next = self.build(x, pruned, next, intern);
+                }
+                next
+            }
+            Re::Alt(xs) => match xs.len() {
+                0 => cont, // empty alternation ≡ ε
+                1 => self.build(&xs[0], pruned, cont, intern),
+                _ => {
+                    let mut entry = self.build(xs.last().unwrap(), pruned, cont, intern);
+                    for x in xs[..xs.len() - 1].iter().rev() {
+                        let e = self.build(x, pruned, cont, intern);
+                        entry = self.push(State::Split(e, entry));
+                    }
+                    entry
+                }
+            },
+            Re::Star(x) => {
+                // loop: Split(body, cont); body re-enters loop.
+                let loop_state = self.push(State::Eps(cont)); // placeholder, patched below
+                let body = self.build(x, pruned, loop_state, intern);
+                self.states[loop_state.0 as usize] = State::Split(body, cont);
+                loop_state
+            }
+            Re::Plus(x) => {
+                let loop_state = self.push(State::Eps(cont)); // placeholder
+                let body = self.build(x, pruned, loop_state, intern);
+                self.states[loop_state.0 as usize] = State::Split(body, cont);
+                body
+            }
+            Re::Prune(x) => self.build(x, true, cont, intern),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pike;
+
+    /// Compile a regex over chars into an NFA plus its leaf table.
+    fn compile(re: &Re<char>) -> (Nfa, Vec<char>) {
+        let mut leaves = Vec::new();
+        let nfa = Nfa::compile(re, &mut |c: &char| {
+            leaves.push(*c);
+            (LeafId(leaves.len() as u32 - 1), false)
+        });
+        (nfa, leaves)
+    }
+
+    fn accepts(re: &Re<char>, input: &str) -> bool {
+        let (nfa, leaves) = compile(re);
+        let chars: Vec<char> = input.chars().collect();
+        pike::matches_exact(&nfa, chars.len(), &mut |leaf: LeafId, pos: usize| {
+            leaves[leaf.0 as usize] == chars[pos]
+        })
+    }
+
+    fn l(c: char) -> Re<char> {
+        Re::Leaf(c)
+    }
+
+    #[test]
+    fn literal_concat() {
+        let re = l('a').then(l('b')).then(l('c'));
+        assert!(accepts(&re, "abc"));
+        assert!(!accepts(&re, "ab"));
+        assert!(!accepts(&re, "abcd"));
+        assert!(!accepts(&re, "abd"));
+    }
+
+    #[test]
+    fn alternation() {
+        let re = l('a').or(l('b')).or(l('c'));
+        assert!(accepts(&re, "a"));
+        assert!(accepts(&re, "c"));
+        assert!(!accepts(&re, "d"));
+        assert!(!accepts(&re, ""));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let re = l('a').star();
+        assert!(accepts(&re, ""));
+        assert!(accepts(&re, "aaaa"));
+        assert!(!accepts(&re, "ab"));
+        let re = l('a').plus();
+        assert!(!accepts(&re, ""));
+        assert!(accepts(&re, "a"));
+        assert!(accepts(&re, "aaa"));
+    }
+
+    #[test]
+    fn nested_closure() {
+        // (ab|c)* d
+        let re = l('a').then(l('b')).or(l('c')).star().then(l('d'));
+        assert!(accepts(&re, "d"));
+        assert!(accepts(&re, "abd"));
+        assert!(accepts(&re, "cabcd"));
+        assert!(!accepts(&re, "ad"));
+    }
+
+    #[test]
+    fn empty_and_empty_alt() {
+        assert!(accepts(&Re::Empty, ""));
+        assert!(!accepts(&Re::Empty, "a"));
+        assert!(accepts(&Re::Alt(vec![]), ""));
+    }
+
+    #[test]
+    fn star_of_nullable_body_terminates() {
+        // (a*)* must not hang the simulation.
+        let re = l('a').star().star();
+        assert!(accepts(&re, ""));
+        assert!(accepts(&re, "aaa"));
+        assert!(!accepts(&re, "b"));
+    }
+
+    #[test]
+    fn nullable_leaf_gets_bypass() {
+        // A leaf marked nullable may be skipped entirely.
+        let mut leaves = Vec::new();
+        let re = l('a').then(l('N')).then(l('b'));
+        let nfa = Nfa::compile(&re, &mut |c: &char| {
+            leaves.push(*c);
+            (LeafId(leaves.len() as u32 - 1), *c == 'N')
+        });
+        let test = |input: &str| {
+            let chars: Vec<char> = input.chars().collect();
+            pike::matches_exact(&nfa, chars.len(), &mut |leaf: LeafId, pos: usize| {
+                leaves[leaf.0 as usize] == chars[pos]
+            })
+        };
+        assert!(test("aNb"));
+        assert!(test("ab")); // N skipped
+        assert!(!test("a"));
+    }
+
+    #[test]
+    fn pathological_pattern_is_polynomial() {
+        // (a|a)^16 a* on "a"*32 — exponential for backtrackers, fine here.
+        let mut re = Re::Empty;
+        for _ in 0..16 {
+            re = re.then(l('a').or(l('a')));
+        }
+        re = re.then(l('a').star());
+        let input: String = "a".repeat(32);
+        assert!(accepts(&re, &input));
+        assert!(!accepts(&re, &"a".repeat(8)));
+    }
+}

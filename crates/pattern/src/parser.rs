@@ -1,0 +1,785 @@
+//! Text syntax for list and tree patterns.
+//!
+//! The paper does not fix a user-level language, but its notation is
+//! concrete enough to transliterate into ASCII. This parser accepts:
+//!
+//! **Alphabet-predicates** — either a *name* resolved through a
+//! [`PredEnv`] (the paper's shorthands: `Brazil` for
+//! `λ(p) p.citizen = "Brazil"`) or an inline lambda body in braces:
+//! `{age > 25 & citizen = "USA"}` with `&`, `|`, `!`, parentheses,
+//! comparison operators `= != < <= > >=`, and integer / float / string /
+//! boolean literals.
+//!
+//! **List patterns** (§3.2) — `^? [ items ] $?`:
+//! `[A ? ? F]`, `[^ {pitch="A"}+ $]` is written `^[{pitch=\"A\"}+]$`,
+//! grouping `[[ … ]]`, postfix `*`/`+`, infix `|`, prefix `!`.
+//!
+//! **Tree patterns** (§3.3) — the paper's preorder notation:
+//! `Brazil(!?* USA !?*)`, concatenation points `@1`, closures
+//! `[[a(b c @x)]]*@x`, explicit concatenation `tp1 .@1 tp2`, the root
+//! anchor `^` (⊤) and the leaf anchor `$` (⊥).
+
+use std::collections::HashMap;
+
+use crate::alphabet::{CmpOp, PredExpr};
+use crate::ast::Re;
+use crate::error::{PatternError, Result};
+use crate::list::Sym;
+use crate::tree_ast::{NodeTest, TreePat, TreePattern};
+
+use aqua_object::Value;
+
+/// Resolves bare identifiers appearing in pattern text to alphabet-
+/// predicates.
+#[derive(Debug, Default, Clone)]
+pub struct PredEnv {
+    names: HashMap<String, PredExpr>,
+    /// When set, an unknown identifier `x` desugars to
+    /// `{<default_attr> = "x"}` — convenient for label-style examples
+    /// (`a(b c)` over nodes with a `label` attribute).
+    default_attr: Option<String>,
+}
+
+impl PredEnv {
+    /// An empty environment (all names must be defined).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An environment where unknown names compare `attr` for equality
+    /// with the name itself.
+    pub fn with_default_attr(attr: impl Into<String>) -> Self {
+        PredEnv {
+            names: HashMap::new(),
+            default_attr: Some(attr.into()),
+        }
+    }
+
+    /// Define a named predicate shorthand.
+    pub fn define(&mut self, name: impl Into<String>, pred: PredExpr) -> &mut Self {
+        self.names.insert(name.into(), pred);
+        self
+    }
+
+    fn resolve(&self, name: &str) -> Result<PredExpr> {
+        if let Some(p) = self.names.get(name) {
+            return Ok(p.clone());
+        }
+        if let Some(attr) = &self.default_attr {
+            return Ok(PredExpr::eq(attr.clone(), name));
+        }
+        Err(PatternError::UnknownPredName {
+            name: name.to_owned(),
+        })
+    }
+}
+
+/// Parse list-pattern text. Returns the regex plus (anchor_start,
+/// anchor_end); compile with [`crate::ListPattern::compile`].
+pub fn parse_list_pattern(input: &str, env: &PredEnv) -> Result<(Re<Sym>, bool, bool)> {
+    let mut p = Parser::new(input, env);
+    let anchor_start = p.eat_char('^');
+    p.expect_char('[')?;
+    let re = p.parse_list_alt(ListCtx)?;
+    p.expect_char(']')?;
+    let anchor_end = p.eat_char('$');
+    p.skip_ws();
+    p.expect_eof()?;
+    Ok((re, anchor_start, anchor_end))
+}
+
+/// Parse tree-pattern text into a [`TreePattern`] (with anchors).
+pub fn parse_tree_pattern(input: &str, env: &PredEnv) -> Result<TreePattern> {
+    let mut p = Parser::new(input, env);
+    let at_root = p.eat_char('^');
+    let pat = p.parse_tree_alt()?;
+    let at_leaves = p.eat_char('$');
+    p.skip_ws();
+    p.expect_eof()?;
+    let mut tp = TreePattern::new(pat);
+    tp.at_root = at_root;
+    tp.at_leaves = at_leaves;
+    Ok(tp)
+}
+
+/// Marker for the list-leaf parser (lists and tree child lists share the
+/// regex layer but have different leaves).
+struct ListCtx;
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    env: &'a PredEnv,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, env: &'a PredEnv) -> Self {
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            env,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(PatternError::Parse {
+            msg: msg.into(),
+            pos: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Peek without skipping whitespace (postfix operators bind tight).
+    fn peek_tight(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> Result<()> {
+        if self.eat_char(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected {c:?}"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            self.err("trailing input after pattern")
+        }
+    }
+
+    /// `[[` lookahead (distinguishes grouping from the outer `[ ]`).
+    fn at_group_open(&mut self) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&b'[') && self.bytes.get(self.pos + 1) == Some(&b'[')
+    }
+
+    fn at_group_close(&mut self) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&b']') && self.bytes.get(self.pos + 1) == Some(&b']')
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected identifier");
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    // ---- alphabet-predicates -------------------------------------------
+
+    /// `{ pred }` inline lambda body.
+    fn parse_brace_pred(&mut self) -> Result<PredExpr> {
+        self.expect_char('{')?;
+        let p = self.parse_pred_or()?;
+        self.expect_char('}')?;
+        Ok(p)
+    }
+
+    fn parse_pred_or(&mut self) -> Result<PredExpr> {
+        let mut left = self.parse_pred_and()?;
+        while self.eat_char('|') {
+            let right = self.parse_pred_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_pred_and(&mut self) -> Result<PredExpr> {
+        let mut left = self.parse_pred_unary()?;
+        while self.eat_char('&') {
+            let right = self.parse_pred_unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_pred_unary(&mut self) -> Result<PredExpr> {
+        if self.eat_char('!') {
+            return Ok(self.parse_pred_unary()?.not());
+        }
+        if self.eat_char('(') {
+            let p = self.parse_pred_or()?;
+            self.expect_char(')')?;
+            return Ok(p);
+        }
+        // attr op literal
+        let attr = self.ident()?;
+        let op = self.parse_cmp_op()?;
+        let lit = self.parse_literal()?;
+        Ok(PredExpr::cmp(attr, op, lit))
+    }
+
+    fn parse_cmp_op(&mut self) -> Result<CmpOp> {
+        self.skip_ws();
+        let two = |p: &Self, a: u8, b: u8| {
+            p.bytes.get(p.pos) == Some(&a) && p.bytes.get(p.pos + 1) == Some(&b)
+        };
+        let op = if two(self, b'!', b'=') {
+            self.pos += 2;
+            CmpOp::Ne
+        } else if two(self, b'<', b'=') {
+            self.pos += 2;
+            CmpOp::Le
+        } else if two(self, b'>', b'=') {
+            self.pos += 2;
+            CmpOp::Ge
+        } else {
+            match self.bytes.get(self.pos) {
+                Some(b'=') => {
+                    self.pos += 1;
+                    CmpOp::Eq
+                }
+                Some(b'<') => {
+                    self.pos += 1;
+                    CmpOp::Lt
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    CmpOp::Gt
+                }
+                _ => return self.err("expected comparison operator"),
+            }
+        };
+        Ok(op)
+    }
+
+    fn parse_literal(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| *b != b'"') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return self.err("unterminated string literal");
+                }
+                let s = self.src[start..self.pos].to_owned();
+                self.pos += 1;
+                Ok(Value::Str(s))
+            }
+            Some(b) if b.is_ascii_digit() || *b == b'-' => {
+                let start = self.pos;
+                self.pos += 1;
+                let mut is_float = false;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_digit() || *b == b'.')
+                {
+                    if self.bytes[self.pos] == b'.' {
+                        is_float = true;
+                    }
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| PatternError::Parse {
+                            msg: format!("bad float literal {text:?}"),
+                            pos: start,
+                        })
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| PatternError::Parse {
+                            msg: format!("bad integer literal {text:?}"),
+                            pos: start,
+                        })
+                }
+            }
+            _ => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    "null" => Ok(Value::Null),
+                    _ => self.err(format!("bad literal {word:?}")),
+                }
+            }
+        }
+    }
+
+    // ---- list patterns ---------------------------------------------------
+
+    fn parse_list_alt(&mut self, _ctx: ListCtx) -> Result<Re<Sym>> {
+        let mut left = self.parse_list_concat()?;
+        while self.eat_char('|') {
+            let right = self.parse_list_concat()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_list_concat(&mut self) -> Result<Re<Sym>> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b']') | Some(b'|') => break,
+                _ if self.at_group_close() => break,
+                _ => items.push(self.parse_list_postfix()?),
+            }
+        }
+        Ok(match items.len() {
+            0 => Re::Empty,
+            1 => items.pop().unwrap(),
+            _ => Re::Concat(items),
+        })
+    }
+
+    fn parse_list_postfix(&mut self) -> Result<Re<Sym>> {
+        let mut base = self.parse_list_atom()?;
+        loop {
+            match self.peek_tight() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    base = base.star();
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    base = base.plus();
+                }
+                _ => break,
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_list_atom(&mut self) -> Result<Re<Sym>> {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(self.parse_list_postfix()?.prune())
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                Ok(Sym::any())
+            }
+            Some(b'{') => Ok(Sym::pred(self.parse_brace_pred()?)),
+            Some(b'[') if self.at_group_open() => {
+                self.pos += 2;
+                let inner = self.parse_list_alt(ListCtx)?;
+                if !self.at_group_close() {
+                    return self.err("expected ]] to close group");
+                }
+                self.pos += 2;
+                Ok(inner)
+            }
+            Some(b) if (b as char).is_ascii_alphanumeric() || b == b'_' => {
+                let name = self.ident()?;
+                Ok(Sym::pred(self.env.resolve(&name)?))
+            }
+            _ => self.err("expected list pattern item"),
+        }
+    }
+
+    // ---- tree patterns ---------------------------------------------------
+
+    fn parse_tree_alt(&mut self) -> Result<TreePat> {
+        let mut left = self.parse_tree_concat()?;
+        while self.eat_char('|') {
+            let right = self.parse_tree_concat()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    /// `tp (.@label tp)*` — explicit concatenation at a point.
+    fn parse_tree_concat(&mut self) -> Result<TreePat> {
+        let mut left = self.parse_tree_postfix()?;
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b'.')
+                && self.bytes.get(self.pos + 1) == Some(&b'@')
+            {
+                self.pos += 2;
+                let label = self.ident()?;
+                let right = self.parse_tree_postfix()?;
+                left = left.concat_at(label.as_str(), right);
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_tree_postfix(&mut self) -> Result<TreePat> {
+        let mut base = self.parse_tree_atom()?;
+        loop {
+            match self.peek_tight() {
+                Some(b'*') if self.bytes.get(self.pos + 1) == Some(&b'@') => {
+                    self.pos += 2;
+                    let label = self.ident()?;
+                    base = base.star_at(label.as_str());
+                }
+                Some(b'+') if self.bytes.get(self.pos + 1) == Some(&b'@') => {
+                    self.pos += 2;
+                    let label = self.ident()?;
+                    base = base.plus_at(label.as_str());
+                }
+                _ => break,
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_tree_atom(&mut self) -> Result<TreePat> {
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let label = self.ident()?;
+                Ok(TreePat::point(label.as_str()))
+            }
+            Some(b'[') if self.at_group_open() => {
+                self.pos += 2;
+                let inner = self.parse_tree_alt()?;
+                if !self.at_group_close() {
+                    return self.err("expected ]] to close group");
+                }
+                self.pos += 2;
+                Ok(inner)
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                self.finish_tree_node(NodeTest::Any)
+            }
+            Some(b'{') => {
+                let p = self.parse_brace_pred()?;
+                self.finish_tree_node(NodeTest::Pred(p))
+            }
+            Some(b) if (b as char).is_ascii_alphanumeric() || b == b'_' => {
+                let name = self.ident()?;
+                let p = self.env.resolve(&name)?;
+                self.finish_tree_node(NodeTest::Pred(p))
+            }
+            _ => self.err("expected tree pattern"),
+        }
+    }
+
+    /// After a node test, an optional `( children )` child-list regex.
+    fn finish_tree_node(&mut self, test: NodeTest) -> Result<TreePat> {
+        if self.peek_tight() == Some(b'(') || {
+            self.skip_ws();
+            self.peek_tight() == Some(b'(')
+        } {
+            self.pos += 1;
+            let children = self.parse_child_alt()?;
+            self.expect_char(')')?;
+            Ok(TreePat::Node(test, Box::new(children)))
+        } else {
+            Ok(TreePat::Leaf(test))
+        }
+    }
+
+    // Child lists: a regex over tree patterns.
+
+    fn parse_child_alt(&mut self) -> Result<Re<TreePat>> {
+        let mut left = self.parse_child_concat()?;
+        while self.eat_char('|') {
+            let right = self.parse_child_concat()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_child_concat(&mut self) -> Result<Re<TreePat>> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b')') | Some(b'|') => break,
+                _ if self.at_group_close() => break,
+                _ => items.push(self.parse_child_postfix()?),
+            }
+        }
+        Ok(match items.len() {
+            0 => Re::Empty,
+            1 => items.pop().unwrap(),
+            _ => Re::Concat(items),
+        })
+    }
+
+    fn parse_child_postfix(&mut self) -> Result<Re<TreePat>> {
+        let mut base = self.parse_child_atom()?;
+        loop {
+            match self.peek_tight() {
+                // `*@x` / `+@x` are tree closures on the symbol; bare
+                // `*` / `+` are child-list repetitions.
+                Some(b'*') if self.bytes.get(self.pos + 1) == Some(&b'@') => {
+                    self.pos += 2;
+                    let label = self.ident()?;
+                    base = match base {
+                        Re::Leaf(tp) => Re::Leaf(tp.star_at(label.as_str())),
+                        other => Re::Leaf(group_to_tree(other, self.pos)?.star_at(label.as_str())),
+                    };
+                }
+                Some(b'+') if self.bytes.get(self.pos + 1) == Some(&b'@') => {
+                    self.pos += 2;
+                    let label = self.ident()?;
+                    base = match base {
+                        Re::Leaf(tp) => Re::Leaf(tp.plus_at(label.as_str())),
+                        other => Re::Leaf(group_to_tree(other, self.pos)?.plus_at(label.as_str())),
+                    };
+                }
+                Some(b'*') => {
+                    self.pos += 1;
+                    base = base.star();
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    base = base.plus();
+                }
+                _ => {
+                    // Tree concatenation `.@label` is also legal on a
+                    // child symbol (whitespace-insensitive, like the
+                    // top-level form).
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) == Some(&b'.')
+                        && self.bytes.get(self.pos + 1) == Some(&b'@')
+                    {
+                        self.pos += 2;
+                        let label = self.ident()?;
+                        let right = self.parse_tree_postfix()?;
+                        base = match base {
+                            Re::Leaf(tp) => Re::Leaf(tp.concat_at(label.as_str(), right)),
+                            other => Re::Leaf(
+                                group_to_tree(other, self.pos)?.concat_at(label.as_str(), right),
+                            ),
+                        };
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_child_atom(&mut self) -> Result<Re<TreePat>> {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(self.parse_child_postfix()?.prune())
+            }
+            Some(b'[') if self.at_group_open() => {
+                self.pos += 2;
+                let inner = self.parse_child_alt()?;
+                if !self.at_group_close() {
+                    return self.err("expected ]] to close group");
+                }
+                self.pos += 2;
+                Ok(inner)
+            }
+            _ => Ok(Re::Leaf(self.parse_tree_atom()?)),
+        }
+    }
+}
+
+/// A child-regex group used where a single tree pattern is required
+/// (e.g. `[[a|b]]*@x`). Only pure alternations of tree patterns convert.
+fn group_to_tree(re: Re<TreePat>, pos: usize) -> Result<TreePat> {
+    match re {
+        Re::Leaf(tp) => Ok(tp),
+        Re::Alt(xs) => {
+            let mut alts = Vec::with_capacity(xs.len());
+            for x in xs {
+                alts.push(group_to_tree(x, pos)?);
+            }
+            Ok(TreePat::Alt(alts))
+        }
+        _ => Err(PatternError::Parse {
+            msg: "tree closure (*@ / +@) applies to a tree pattern, not a child sequence".into(),
+            pos,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> PredEnv {
+        PredEnv::with_default_attr("label")
+    }
+
+    #[test]
+    fn list_melody() {
+        // [A ? ? F]
+        let (re, s, e) = parse_list_pattern("[A ? ? F]", &env()).unwrap();
+        assert!(!s && !e);
+        match re {
+            Re::Concat(xs) => assert_eq!(xs.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_anchors_and_closures() {
+        let (re, s, e) = parse_list_pattern("^[[[a b]]* c+]$", &env()).unwrap();
+        assert!(s && e);
+        match re {
+            Re::Concat(xs) => {
+                assert!(matches!(&xs[0], Re::Star(_)));
+                assert!(matches!(&xs[1], Re::Plus(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_predicates() {
+        let (re, _, _) = parse_list_pattern("[{age > 25 & citizen = \"USA\"} ?]", &env()).unwrap();
+        match re {
+            Re::Concat(xs) => {
+                assert!(matches!(&xs[0], Re::Leaf(Sym::Pred(_))));
+                assert!(matches!(&xs[1], Re::Leaf(Sym::Any)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_predicates_resolve() {
+        let mut e = PredEnv::new();
+        e.define("Brazil", PredExpr::eq("citizen", "Brazil"));
+        let (re, _, _) = parse_list_pattern("[Brazil]", &e).unwrap();
+        assert!(matches!(re, Re::Leaf(Sym::Pred(_))));
+        assert!(parse_list_pattern("[USA]", &e).is_err());
+    }
+
+    #[test]
+    fn tree_fig4_pattern() {
+        // Brazil(!?* USA !?*)
+        let mut e = PredEnv::new();
+        e.define("Brazil", PredExpr::eq("citizen", "Brazil"));
+        e.define("USA", PredExpr::eq("citizen", "USA"));
+        let tp = parse_tree_pattern("Brazil(!?* USA !?*)", &e).unwrap();
+        match &tp.pat {
+            TreePat::Node(NodeTest::Pred(_), children) => match children.as_ref() {
+                Re::Concat(xs) => {
+                    assert_eq!(xs.len(), 3);
+                    // `!` binds the whole postfix atom: !?* ≡ !(?*);
+                    // the prune flag distributes to the leaf either way.
+                    assert!(matches!(&xs[0], Re::Prune(inner) if matches!(&**inner, Re::Star(_))));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tree_nested_preorder() {
+        // a(b(d(f g) e) c) — Figure 1's tree as a pattern.
+        let tp = parse_tree_pattern("a(b(d(f g) e) c)", &env()).unwrap();
+        assert!(matches!(&tp.pat, TreePat::Node(_, _)));
+    }
+
+    #[test]
+    fn tree_points_and_concat() {
+        // [[a(@1 @2) .@1 b(d(f g) e)]] .@2 c — Figure 1's concatenation.
+        let tp = parse_tree_pattern("[[a(@1 @2) .@1 b(d(f g) e)]] .@2 c", &env()).unwrap();
+        assert!(matches!(&tp.pat, TreePat::Concat { .. }));
+    }
+
+    #[test]
+    fn tree_closure_fig2() {
+        // [[a(b c @x)]]*@x
+        let tp = parse_tree_pattern("[[a(b c @x)]]*@x", &env()).unwrap();
+        assert!(matches!(&tp.pat, TreePat::Closure { plus: false, .. }));
+    }
+
+    #[test]
+    fn tree_child_closure_inside() {
+        // a([[b(@x)]]+@x c*) — symbol closure and child-list star coexist.
+        let tp = parse_tree_pattern("a([[b(@x)]]+@x c*)", &env()).unwrap();
+        match &tp.pat {
+            TreePat::Node(_, children) => match children.as_ref() {
+                Re::Concat(xs) => {
+                    assert!(matches!(
+                        &xs[0],
+                        Re::Leaf(TreePat::Closure { plus: true, .. })
+                    ));
+                    assert!(matches!(&xs[1], Re::Star(_)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tree_anchors() {
+        let tp = parse_tree_pattern("^b(d e)$", &env()).unwrap();
+        assert!(tp.at_root && tp.at_leaves);
+    }
+
+    #[test]
+    fn variable_arity_printf() {
+        // printf(?* LargeData ?* LargeData ?*) — §5.
+        let mut e = PredEnv::with_default_attr("op");
+        e.define("LargeData", PredExpr::eq("op", "LargeData"));
+        let tp = parse_tree_pattern("printf(?* LargeData ?* LargeData ?*)", &e).unwrap();
+        match &tp.pat {
+            TreePat::Node(_, children) => match children.as_ref() {
+                Re::Concat(xs) => assert_eq!(xs.len(), 5),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_list_pattern("[a", &env()).unwrap_err();
+        assert!(matches!(err, PatternError::Parse { .. }));
+        let err = parse_tree_pattern("a(b", &env()).unwrap_err();
+        assert!(matches!(err, PatternError::Parse { .. }));
+        let err = parse_list_pattern("[{age >}]", &env()).unwrap_err();
+        assert!(matches!(err, PatternError::Parse { .. }));
+    }
+
+    #[test]
+    fn literals() {
+        let (_, _, _) = parse_list_pattern("[{age >= -3}]", &env()).unwrap();
+        let (_, _, _) = parse_list_pattern("[{score < 1.5}]", &env()).unwrap();
+        let (_, _, _) = parse_list_pattern("[{alive = true}]", &env()).unwrap();
+        assert!(parse_list_pattern("[{age = bogus}]", &env()).is_err());
+    }
+}

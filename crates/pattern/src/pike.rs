@@ -1,0 +1,385 @@
+//! NFA simulation and parse extraction.
+//!
+//! [`matches_exact`] / [`accepting_ends`] are a Pike-style thread
+//! simulation: O(input × states) with no backtracking, which is what
+//! keeps list-pattern matching tractable (the paper chose regular
+//! expressions for exactly this property, §3.1). [`find_one_path`] and
+//! [`enumerate_paths`] recover *parses* — which input position was
+//! consumed by which pattern leaf — which the match layer turns into
+//! prune extents and concatenation-point cuts (§3.4–3.5).
+//!
+//! Symbol tests are a callback: `test(leaf, pos)` answers "does input
+//! element `pos` match interned leaf `leaf`?". For list patterns this is
+//! an alphabet-predicate evaluation; for tree child lists it is a
+//! recursive, memoized tree-pattern match.
+
+use std::collections::HashSet;
+
+use crate::nfa::{LeafId, Nfa, State, StateId};
+
+/// ε-closure insertion with duplicate suppression.
+fn add_state(nfa: &Nfa, id: StateId, set: &mut Vec<StateId>, seen: &mut [bool]) {
+    if seen[id.0 as usize] {
+        return;
+    }
+    seen[id.0 as usize] = true;
+    match nfa.state(id) {
+        State::Eps(next) => add_state(nfa, *next, set, seen),
+        State::Split(a, b) => {
+            add_state(nfa, *a, set, seen);
+            add_state(nfa, *b, set, seen);
+        }
+        State::Sym { .. } | State::Accept => set.push(id),
+    }
+}
+
+/// Does the automaton accept exactly the input `[0, len)`?
+pub fn matches_exact(nfa: &Nfa, len: usize, test: &mut impl FnMut(LeafId, usize) -> bool) -> bool {
+    accepting_ends(nfa, len, test).last() == Some(&len)
+}
+
+/// Simulate from position 0 over `[0, len)` and return every prefix
+/// length `j` such that the automaton accepts `[0, j)`. Sorted ascending.
+pub fn accepting_ends(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+) -> Vec<usize> {
+    let mut ends = Vec::new();
+    let mut current: Vec<StateId> = Vec::with_capacity(nfa.len());
+    let mut next: Vec<StateId> = Vec::with_capacity(nfa.len());
+    let mut seen = vec![false; nfa.len()];
+
+    add_state(nfa, nfa.start(), &mut current, &mut seen);
+    for pos in 0..=len {
+        if current
+            .iter()
+            .any(|s| matches!(nfa.state(*s), State::Accept))
+        {
+            ends.push(pos);
+        }
+        if pos == len || current.is_empty() {
+            break;
+        }
+        next.clear();
+        seen.iter_mut().for_each(|b| *b = false);
+        for s in &current {
+            if let State::Sym { leaf, next: n, .. } = nfa.state(*s) {
+                if test(*leaf, pos) {
+                    add_state(nfa, *n, &mut next, &mut seen);
+                }
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        // reset seen for the *next* closure round
+        seen.iter_mut().for_each(|b| *b = false);
+        // re-mark states already in `current` so duplicates stay suppressed
+        for s in &current {
+            seen[s.0 as usize] = true;
+        }
+    }
+    ends
+}
+
+/// One step of a parse: input element `pos` was consumed by pattern leaf
+/// `leaf`; `pruned` records whether that leaf sits under a `!` group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    pub pos: usize,
+    pub leaf: LeafId,
+    pub pruned: bool,
+}
+
+/// Find the highest-priority (greedy, leftmost) accepting parse of
+/// exactly `[0, len)`, if any.
+pub fn find_one_path(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+) -> Option<Vec<Step>> {
+    // DFS in priority order with memoized failure: (state, pos) pairs
+    // known not to reach acceptance consuming input[pos..len].
+    let mut failed: HashSet<(u32, usize)> = HashSet::new();
+    let mut path: Vec<Step> = Vec::new();
+    let mut on_stack: HashSet<(u32, usize)> = HashSet::new();
+    if dfs(
+        nfa,
+        nfa.start(),
+        0,
+        len,
+        test,
+        &mut failed,
+        &mut on_stack,
+        &mut path,
+    ) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    nfa: &Nfa,
+    state: StateId,
+    pos: usize,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    failed: &mut HashSet<(u32, usize)>,
+    on_stack: &mut HashSet<(u32, usize)>,
+    path: &mut Vec<Step>,
+) -> bool {
+    let key = (state.0, pos);
+    if failed.contains(&key) || !on_stack.insert(key) {
+        return false;
+    }
+    let ok = match nfa.state(state) {
+        State::Accept => pos == len,
+        State::Eps(n) => dfs(nfa, *n, pos, len, test, failed, on_stack, path),
+        State::Split(a, b) => {
+            dfs(nfa, *a, pos, len, test, failed, on_stack, path)
+                || dfs(nfa, *b, pos, len, test, failed, on_stack, path)
+        }
+        State::Sym { leaf, pruned, next } => {
+            if pos < len && test(*leaf, pos) {
+                path.push(Step {
+                    pos,
+                    leaf: *leaf,
+                    pruned: *pruned,
+                });
+                if dfs(nfa, *next, pos + 1, len, test, failed, on_stack, path) {
+                    true
+                } else {
+                    path.pop();
+                    false
+                }
+            } else {
+                false
+            }
+        }
+    };
+    on_stack.remove(&key);
+    if !ok {
+        failed.insert(key);
+    }
+    ok
+}
+
+/// Enumerate accepting parses of exactly `[0, len)`, deduplicated by
+/// their step sequences, up to `limit` parses. Priority order: the first
+/// returned parse equals [`find_one_path`]'s.
+pub fn enumerate_paths(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    limit: usize,
+) -> Vec<Vec<Step>> {
+    let mut out: Vec<Vec<Step>> = Vec::new();
+    let mut dedup: HashSet<Vec<Step>> = HashSet::new();
+    let mut path: Vec<Step> = Vec::new();
+    let mut on_stack: HashSet<(u32, usize)> = HashSet::new();
+    // Failure memo is sound for enumeration too: if (state,pos) can never
+    // reach acceptance, no parse goes through it.
+    let mut failed: HashSet<(u32, usize)> = HashSet::new();
+    enum_dfs(
+        nfa,
+        nfa.start(),
+        0,
+        len,
+        test,
+        &mut failed,
+        &mut on_stack,
+        &mut path,
+        &mut dedup,
+        &mut out,
+        limit,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enum_dfs(
+    nfa: &Nfa,
+    state: StateId,
+    pos: usize,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    failed: &mut HashSet<(u32, usize)>,
+    on_stack: &mut HashSet<(u32, usize)>,
+    path: &mut Vec<Step>,
+    dedup: &mut HashSet<Vec<Step>>,
+    out: &mut Vec<Vec<Step>>,
+    limit: usize,
+) -> bool {
+    if out.len() >= limit {
+        return false;
+    }
+    let key = (state.0, pos);
+    if failed.contains(&key) || !on_stack.insert(key) {
+        return false;
+    }
+    let mut any = false;
+    match nfa.state(state) {
+        State::Accept => {
+            if pos == len {
+                any = true;
+                if dedup.insert(path.clone()) {
+                    out.push(path.clone());
+                }
+            }
+        }
+        State::Eps(n) => {
+            any = enum_dfs(
+                nfa, *n, pos, len, test, failed, on_stack, path, dedup, out, limit,
+            );
+        }
+        State::Split(a, b) => {
+            let r1 = enum_dfs(
+                nfa, *a, pos, len, test, failed, on_stack, path, dedup, out, limit,
+            );
+            let r2 = enum_dfs(
+                nfa, *b, pos, len, test, failed, on_stack, path, dedup, out, limit,
+            );
+            any = r1 || r2;
+        }
+        State::Sym { leaf, pruned, next } => {
+            if pos < len && test(*leaf, pos) {
+                path.push(Step {
+                    pos,
+                    leaf: *leaf,
+                    pruned: *pruned,
+                });
+                any = enum_dfs(
+                    nfa,
+                    *next,
+                    pos + 1,
+                    len,
+                    test,
+                    failed,
+                    on_stack,
+                    path,
+                    dedup,
+                    out,
+                    limit,
+                );
+                path.pop();
+            }
+        }
+    }
+    on_stack.remove(&key);
+    if !any && out.len() < limit {
+        failed.insert(key);
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Re;
+
+    fn compile(re: &Re<char>) -> (Nfa, Vec<char>) {
+        let mut leaves = Vec::new();
+        let nfa = Nfa::compile(re, &mut |c: &char| {
+            leaves.push(*c);
+            (LeafId(leaves.len() as u32 - 1), false)
+        });
+        (nfa, leaves)
+    }
+
+    fn l(c: char) -> Re<char> {
+        Re::Leaf(c)
+    }
+
+    fn tester<'a>(leaves: &'a [char], input: &'a [char]) -> impl FnMut(LeafId, usize) -> bool + 'a {
+        move |leaf, pos| leaves[leaf.0 as usize] == input[pos] || leaves[leaf.0 as usize] == '?'
+    }
+
+    #[test]
+    fn accepting_ends_reports_all_prefixes() {
+        // a+ on "aaa" accepts at 1, 2, 3
+        let (nfa, leaves) = compile(&l('a').plus());
+        let input: Vec<char> = "aaa".chars().collect();
+        let ends = accepting_ends(&nfa, input.len(), &mut tester(&leaves, &input));
+        assert_eq!(ends, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn accepting_ends_includes_zero_for_nullable() {
+        let (nfa, leaves) = compile(&l('a').star());
+        let input: Vec<char> = "aa".chars().collect();
+        let ends = accepting_ends(&nfa, input.len(), &mut tester(&leaves, &input));
+        assert_eq!(ends, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn find_one_path_prefers_greedy() {
+        // (!?)* b (!?)* over "xbx": greedy prune-star grabs leading x.
+        let re = l('?')
+            .prune()
+            .star()
+            .then(l('b'))
+            .then(l('?').prune().star());
+        let (nfa, leaves) = compile(&re);
+        let input: Vec<char> = "xbx".chars().collect();
+        let path = find_one_path(&nfa, input.len(), &mut tester(&leaves, &input)).unwrap();
+        let pruned: Vec<usize> = path.iter().filter(|s| s.pruned).map(|s| s.pos).collect();
+        assert_eq!(pruned, vec![0, 2]);
+        let kept: Vec<usize> = path.iter().filter(|s| !s.pruned).map(|s| s.pos).collect();
+        assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
+    fn find_one_path_none_on_mismatch() {
+        let (nfa, leaves) = compile(&l('a').then(l('b')));
+        let input: Vec<char> = "ac".chars().collect();
+        assert!(find_one_path(&nfa, input.len(), &mut tester(&leaves, &input)).is_none());
+    }
+
+    #[test]
+    fn enumerate_finds_all_distinct_parses() {
+        // ?* b ?* over "bb": two parses (either b is the literal).
+        let re = l('?').star().then(l('b')).then(l('?').star());
+        let (nfa, leaves) = compile(&re);
+        let input: Vec<char> = "bb".chars().collect();
+        let paths = enumerate_paths(&nfa, input.len(), &mut tester(&leaves, &input), 100);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let re = l('?').star().then(l('?').star());
+        let (nfa, leaves) = compile(&re);
+        let input: Vec<char> = "aaaa".chars().collect();
+        let paths = enumerate_paths(&nfa, input.len(), &mut tester(&leaves, &input), 3);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn eps_cycles_do_not_hang_enumeration() {
+        // (a*)* has ε-cycles; enumeration must terminate.
+        let re = l('a').star().star();
+        let (nfa, leaves) = compile(&re);
+        let input: Vec<char> = "aa".chars().collect();
+        let paths = enumerate_paths(&nfa, input.len(), &mut tester(&leaves, &input), 1000);
+        assert!(!paths.is_empty());
+        assert!(paths.len() < 1000);
+    }
+
+    #[test]
+    fn matches_exact_is_full_span() {
+        let (nfa, leaves) = compile(&l('a').then(l('b')));
+        let input: Vec<char> = "ab".chars().collect();
+        assert!(matches_exact(
+            &nfa,
+            input.len(),
+            &mut tester(&leaves, &input)
+        ));
+        let shorter: Vec<char> = "a".chars().collect();
+        assert!(!matches_exact(
+            &nfa,
+            shorter.len(),
+            &mut tester(&leaves, &shorter)
+        ));
+    }
+}

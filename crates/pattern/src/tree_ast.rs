@@ -1,0 +1,770 @@
+//! Tree patterns with concatenation points (paper §3.3).
+//!
+//! Tree patterns generalize regular expressions to trees. Concatenation
+//! and its derived operators (Kleene closure) are parameterized by
+//! *concatenation points* `α_i` (after Doner and Thatcher–Wright) which
+//! say where the concatenation occurs:
+//!
+//! * `tp1 ∘_α tp2` — replace each occurrence of `α` in `tp1` by `tp2`
+//!   (if `tp1` has no `α`, the result is just `tp1`).
+//! * `tp^{*α}` / `tp^{+α}` — iterative self-concatenation at `α`; the
+//!   last iteration concatenates NULL to the remaining points (§3.3).
+//!
+//! A pattern node's children are described by a regular expression whose
+//! alphabet is tree patterns (the shared [`Re`] machinery), so
+//! variable-arity nodes fall out naturally (§5's `printf` query).
+//!
+//! Surface patterns ([`TreePat`]) are compiled ([`TreePattern::compile`])
+//! into an arena form ([`CompiledTreePattern`]): `∘_α` is eliminated by
+//! substitution, closures become explicit recursion points, and
+//! alphabet-predicates are bound to a class. The matcher in
+//! [`crate::tree_match`] runs over the compiled form.
+
+use std::fmt;
+
+use aqua_object::{ClassDef, ClassId};
+
+use crate::alphabet::{Pred, PredExpr};
+use crate::ast::Re;
+use crate::error::Result;
+use crate::nfa::{LeafId, Nfa};
+
+/// A concatenation point label (`α`, `α_1`, … — written `@a`, `@1` in the
+/// text syntax).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CcLabel(pub String);
+
+impl CcLabel {
+    /// Make a label from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        CcLabel(s.into())
+    }
+}
+
+impl fmt::Display for CcLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<&str> for CcLabel {
+    fn from(s: &str) -> Self {
+        CcLabel(s.to_owned())
+    }
+}
+
+/// The test a pattern node applies to a tree node's object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// `?` — matches any object.
+    Any,
+    /// An alphabet-predicate.
+    Pred(PredExpr),
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Any => write!(f, "?"),
+            NodeTest::Pred(p) => write!(f, "{{{p}}}"),
+        }
+    }
+}
+
+/// A surface tree pattern (paper §3.3 grammar `tp`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreePat {
+    /// A single-node pattern: matches one node; the node's children in
+    /// the tree (if any) are cut off at fresh concatenation points.
+    Leaf(NodeTest),
+    /// A node pattern with a child-list regex that must consume the
+    /// node's complete child sequence.
+    Node(NodeTest, Box<Re<TreePat>>),
+    /// A concatenation point `α`. Bound occurrences are eliminated at
+    /// compile time (by `∘_α` substitution or closure recursion); a free
+    /// occurrence matches a labeled NULL in the instance (paper §3.5).
+    Point(CcLabel),
+    /// Disjunction of tree patterns.
+    Alt(Vec<TreePat>),
+    /// `left ∘_label right`.
+    Concat {
+        left: Box<TreePat>,
+        label: CcLabel,
+        right: Box<TreePat>,
+    },
+    /// `body^{*label}` (`plus: false`) or `body^{+label}` (`plus: true`).
+    Closure {
+        body: Box<TreePat>,
+        label: CcLabel,
+        plus: bool,
+    },
+}
+
+impl TreePat {
+    /// A single-node pattern testing `pred`.
+    pub fn pred(pred: PredExpr) -> Self {
+        TreePat::Leaf(NodeTest::Pred(pred))
+    }
+
+    /// The `?` wildcard single-node pattern.
+    pub fn any() -> Self {
+        TreePat::Leaf(NodeTest::Any)
+    }
+
+    /// A node pattern whose children are the concatenation of `children`.
+    pub fn node(test: NodeTest, children: Vec<Re<TreePat>>) -> Self {
+        TreePat::Node(test, Box::new(Re::Concat(children)))
+    }
+
+    /// A node testing `pred` with the given child-list regex.
+    pub fn pred_node(pred: PredExpr, children: Re<TreePat>) -> Self {
+        TreePat::Node(NodeTest::Pred(pred), Box::new(children))
+    }
+
+    /// A wildcard node with the given child-list regex.
+    pub fn any_node(children: Re<TreePat>) -> Self {
+        TreePat::Node(NodeTest::Any, Box::new(children))
+    }
+
+    /// A concatenation point.
+    pub fn point(label: impl Into<CcLabel>) -> Self {
+        TreePat::Point(label.into())
+    }
+
+    /// `self ∘_label right`.
+    pub fn concat_at(self, label: impl Into<CcLabel>, right: TreePat) -> Self {
+        TreePat::Concat {
+            left: Box::new(self),
+            label: label.into(),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self^{*label}`.
+    pub fn star_at(self, label: impl Into<CcLabel>) -> Self {
+        TreePat::Closure {
+            body: Box::new(self),
+            label: label.into(),
+            plus: false,
+        }
+    }
+
+    /// `self^{+label}`.
+    pub fn plus_at(self, label: impl Into<CcLabel>) -> Self {
+        TreePat::Closure {
+            body: Box::new(self),
+            label: label.into(),
+            plus: true,
+        }
+    }
+
+    /// `self | other`.
+    pub fn or(self, other: TreePat) -> Self {
+        match self {
+            TreePat::Alt(mut xs) => {
+                xs.push(other);
+                TreePat::Alt(xs)
+            }
+            s => TreePat::Alt(vec![s, other]),
+        }
+    }
+
+    /// The node test at this pattern's root, when it is statically a
+    /// single node test (not an alternation/closure). Used by the
+    /// optimizer to find an index-usable root predicate.
+    pub fn root_test(&self) -> Option<&NodeTest> {
+        match self {
+            TreePat::Leaf(t) | TreePat::Node(t, _) => Some(t),
+            TreePat::Concat { left, .. } => left.root_test(),
+            TreePat::Point(_) | TreePat::Alt(_) | TreePat::Closure { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for TreePat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreePat::Leaf(t) => write!(f, "{t}"),
+            TreePat::Node(t, children) => write!(f, "{t}({children})"),
+            TreePat::Point(l) => write!(f, "{l}"),
+            TreePat::Alt(xs) => {
+                // Bracketed so embedding in a child list cannot regroup
+                // (`a|b c` would otherwise parse as `a | (b c)`).
+                write!(f, "[[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]]")
+            }
+            TreePat::Concat { left, label, right } => write!(f, "[[{left} .{label} {right}]]"),
+            TreePat::Closure { body, label, plus } => {
+                write!(f, "[[{body}]]{}{label}", if *plus { "+" } else { "*" })
+            }
+        }
+    }
+}
+
+/// A complete tree pattern: a [`TreePat`] plus the anchors of §3.3 —
+/// `⊤tp` (match only at the tree root) and `tp⊥` (pattern leaves must
+/// match tree leaves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreePattern {
+    pub pat: TreePat,
+    pub at_root: bool,
+    pub at_leaves: bool,
+}
+
+impl TreePattern {
+    /// An unanchored pattern.
+    pub fn new(pat: TreePat) -> Self {
+        TreePattern {
+            pat,
+            at_root: false,
+            at_leaves: false,
+        }
+    }
+
+    /// Anchor at the root (`⊤tp`).
+    pub fn anchored_root(mut self) -> Self {
+        self.at_root = true;
+        self
+    }
+
+    /// Anchor at the leaves (`tp⊥`).
+    pub fn anchored_leaves(mut self) -> Self {
+        self.at_leaves = true;
+        self
+    }
+
+    /// Compile against a class: resolve alphabet-predicates, eliminate
+    /// `∘_α` by substitution, turn closures into recursion points, and
+    /// build the child-list NFAs.
+    pub fn compile(&self, class_id: ClassId, class: &ClassDef) -> Result<CompiledTreePattern> {
+        let mut c = Compiler {
+            class_id,
+            class,
+            pats: Vec::new(),
+            preds: Vec::new(),
+            cc_labels: Vec::new(),
+            nullable: Vec::new(),
+        };
+        let root = c.compile(&self.pat, &Env::Empty)?;
+        let mut compiled = CompiledTreePattern {
+            pats: c.pats,
+            preds: c.preds,
+            cc_labels: c.cc_labels,
+            root,
+            at_root: self.at_root,
+            at_leaves: self.at_leaves,
+            nullable: Vec::new(),
+        };
+        compiled.nullable = compiled.compute_nullable();
+        Ok(compiled)
+    }
+}
+
+impl fmt::Display for TreePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.at_root {
+            write!(f, "^")?;
+        }
+        write!(f, "{}", self.pat)?;
+        if self.at_leaves {
+            write!(f, "$")?;
+        }
+        Ok(())
+    }
+}
+
+/// Index of a compiled subpattern in the pattern arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatId(pub u32);
+
+/// Index of a compiled predicate in the predicate table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredId(pub u32);
+
+/// Index of an interned concatenation-point label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CcId(pub u32);
+
+/// Compiled node test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CTest {
+    Any,
+    Pred(PredId),
+}
+
+/// Compiled child-list regex: an NFA whose leaf table maps to subpattern
+/// ids.
+#[derive(Debug, Clone)]
+pub struct ChildList {
+    pub nfa: Nfa,
+    pub syms: Vec<PatId>,
+}
+
+/// A compiled subpattern.
+#[derive(Debug, Clone)]
+pub enum CPat {
+    /// Node test with optional child-list regex. `children: None` is a
+    /// single-node pattern (pattern leaf): the matched node's children
+    /// are frontier cuts.
+    Node {
+        test: CTest,
+        children: Option<ChildList>,
+    },
+    /// A free concatenation point: matches a labeled NULL (hole) node.
+    Hole(CcId),
+    /// Disjunction.
+    Alt(Vec<PatId>),
+    /// A closure: a chain of one or more `body` instances. The zero-
+    /// iteration case of `*` closures appears as symbol nullability in
+    /// the enclosing child list.
+    Closure { body: PatId, plus: bool },
+    /// Recursion point inside a closure body: matching it continues the
+    /// chain (≥1 more instance) or, because it is nullable, terminates
+    /// with NULL when no child is present.
+    Continue { closure: PatId },
+}
+
+/// A tree pattern compiled for matching (see [`crate::tree_match`]).
+#[derive(Debug, Clone)]
+pub struct CompiledTreePattern {
+    pub(crate) pats: Vec<CPat>,
+    pub(crate) preds: Vec<Pred>,
+    pub(crate) cc_labels: Vec<CcLabel>,
+    pub(crate) root: PatId,
+    pub at_root: bool,
+    pub at_leaves: bool,
+    /// Per-subpattern: can it match "nothing" (NULL)?
+    pub(crate) nullable: Vec<bool>,
+}
+
+impl CompiledTreePattern {
+    /// The root subpattern.
+    pub fn root(&self) -> PatId {
+        self.root
+    }
+
+    /// The compiled subpattern arena entry.
+    pub(crate) fn pat(&self, id: PatId) -> &CPat {
+        &self.pats[id.0 as usize]
+    }
+
+    /// Compiled predicate lookup.
+    pub(crate) fn pred(&self, id: PredId) -> &Pred {
+        &self.preds[id.0 as usize]
+    }
+
+    /// Interned concatenation-point label lookup.
+    pub fn cc_label(&self, id: CcId) -> &CcLabel {
+        &self.cc_labels[id.0 as usize]
+    }
+
+    /// Number of compiled subpatterns (pattern-size proxy for the cost
+    /// model).
+    pub fn size(&self) -> usize {
+        self.pats.len()
+    }
+
+    /// Whether subpattern `id` can match NULL (zero-width at a child
+    /// position).
+    pub fn is_nullable(&self, id: PatId) -> bool {
+        self.nullable[id.0 as usize]
+    }
+
+    /// Fixpoint nullability: `Continue` and `*`-closures are nullable;
+    /// `Alt` is nullable if a branch is; everything else is not. The
+    /// pattern graph may contain cycles (closure recursion), so iterate
+    /// to a fixpoint starting from `false`.
+    fn compute_nullable(&self) -> Vec<bool> {
+        let mut nullable = vec![false; self.pats.len()];
+        loop {
+            let mut changed = false;
+            for (i, p) in self.pats.iter().enumerate() {
+                if nullable[i] {
+                    continue;
+                }
+                let v = match p {
+                    CPat::Continue { .. } => true,
+                    CPat::Closure { plus: false, .. } => true,
+                    CPat::Closure { body, plus: true } => nullable[body.0 as usize],
+                    CPat::Alt(xs) => xs.iter().any(|x| nullable[x.0 as usize]),
+                    CPat::Node { .. } | CPat::Hole(_) => false,
+                };
+                if v {
+                    nullable[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return nullable;
+            }
+        }
+    }
+}
+
+/// Compile-time binding environment for concatenation-point labels.
+enum Env<'a> {
+    Empty,
+    /// Label bound by `∘_α` substitution to a surface fragment.
+    Subst {
+        label: &'a CcLabel,
+        to: &'a TreePat,
+        /// Environment in which `to` itself must be compiled (the label
+        /// is *not* re-substituted inside `to`; paper §5 relies on
+        /// chained concatenations).
+        outer: &'a Env<'a>,
+        rest: &'a Env<'a>,
+    },
+    /// Label bound by an enclosing closure to a recursion point.
+    Loop {
+        label: &'a CcLabel,
+        closure: PatId,
+        rest: &'a Env<'a>,
+    },
+}
+
+struct Compiler<'c> {
+    class_id: ClassId,
+    class: &'c ClassDef,
+    pats: Vec<CPat>,
+    preds: Vec<Pred>,
+    cc_labels: Vec<CcLabel>,
+    nullable: Vec<bool>,
+}
+
+impl<'c> Compiler<'c> {
+    fn push(&mut self, p: CPat) -> PatId {
+        let id = PatId(self.pats.len() as u32);
+        self.pats.push(p);
+        self.nullable.push(false);
+        id
+    }
+
+    fn intern_pred(&mut self, e: &PredExpr) -> Result<PredId> {
+        let compiled = e.compile(self.class_id, self.class)?;
+        if let Some(i) = self.preds.iter().position(|p| *p == compiled) {
+            return Ok(PredId(i as u32));
+        }
+        self.preds.push(compiled);
+        Ok(PredId(self.preds.len() as u32 - 1))
+    }
+
+    fn intern_cc(&mut self, l: &CcLabel) -> CcId {
+        if let Some(i) = self.cc_labels.iter().position(|x| x == l) {
+            return CcId(i as u32);
+        }
+        self.cc_labels.push(l.clone());
+        CcId(self.cc_labels.len() as u32 - 1)
+    }
+
+    fn compile_test(&mut self, t: &NodeTest) -> Result<CTest> {
+        Ok(match t {
+            NodeTest::Any => CTest::Any,
+            NodeTest::Pred(e) => CTest::Pred(self.intern_pred(e)?),
+        })
+    }
+
+    fn compile(&mut self, pat: &TreePat, env: &Env<'_>) -> Result<PatId> {
+        Ok(match pat {
+            TreePat::Leaf(t) => {
+                let test = self.compile_test(t)?;
+                self.push(CPat::Node {
+                    test,
+                    children: None,
+                })
+            }
+            TreePat::Node(t, child_re) => {
+                let test = self.compile_test(t)?;
+                // Reserve the node slot first so child compilation can't
+                // reorder; fill the child list after.
+                let id = self.push(CPat::Node {
+                    test,
+                    children: None,
+                });
+                // Compile each leaf of the child regex to a subpattern,
+                // indexing leaves left-to-right so NFA construction order
+                // (which differs) cannot scramble the symbol table.
+                let mut syms: Vec<PatId> = Vec::new();
+                let mut err: Option<crate::error::PatternError> = None;
+                let indexed: Re<usize> = child_re.map_leaves(&mut |leaf: &TreePat| {
+                    if err.is_none() {
+                        match self.compile(leaf, env) {
+                            Ok(pid) => syms.push(pid),
+                            Err(e) => {
+                                err = Some(e);
+                                syms.push(PatId(0));
+                            }
+                        }
+                    } else {
+                        syms.push(PatId(0));
+                    }
+                    syms.len() - 1
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                let nfa = Nfa::compile(&indexed, &mut |i: &usize| {
+                    (LeafId(*i as u32), self.shallow_nullable(syms[*i]))
+                });
+                self.pats[id.0 as usize] = CPat::Node {
+                    test: match &self.pats[id.0 as usize] {
+                        CPat::Node { test, .. } => test.clone(),
+                        _ => unreachable!(),
+                    },
+                    children: Some(ChildList { nfa, syms }),
+                };
+                id
+            }
+            TreePat::Point(label) => match lookup(env, label) {
+                Some(Lookup::Subst { to, outer }) => self.compile(to, outer)?,
+                Some(Lookup::Loop { closure }) => self.push(CPat::Continue { closure }),
+                None => {
+                    let cc = self.intern_cc(label);
+                    self.push(CPat::Hole(cc))
+                }
+            },
+            TreePat::Alt(xs) => {
+                let ids = xs
+                    .iter()
+                    .map(|x| self.compile(x, env))
+                    .collect::<Result<Vec<_>>>()?;
+                self.push(CPat::Alt(ids))
+            }
+            TreePat::Concat { left, label, right } => {
+                let env2 = Env::Subst {
+                    label,
+                    to: right,
+                    outer: env,
+                    rest: env,
+                };
+                self.compile(left, &env2)?
+            }
+            TreePat::Closure { body, label, plus } => {
+                // Reserve the closure slot, bind the label to it, then
+                // compile the body.
+                let id = self.push(CPat::Closure {
+                    body: PatId(u32::MAX),
+                    plus: *plus,
+                });
+                let env2 = Env::Loop {
+                    label,
+                    closure: id,
+                    rest: env,
+                };
+                let body_id = self.compile(body, &env2)?;
+                self.pats[id.0 as usize] = CPat::Closure {
+                    body: body_id,
+                    plus: *plus,
+                };
+                id
+            }
+        })
+    }
+
+    /// Conservative nullability available *during* compilation (before
+    /// the fixpoint): `Continue` and already-filled `*`-closures are
+    /// nullable. This is exact for every shape the surface syntax can
+    /// produce as a child symbol, because a child symbol's nullability
+    /// never depends on a forward reference other than its own closure.
+    fn shallow_nullable(&self, id: PatId) -> bool {
+        match &self.pats[id.0 as usize] {
+            CPat::Continue { .. } => true,
+            CPat::Closure { plus, .. } => !*plus,
+            CPat::Alt(xs) => xs.iter().any(|x| self.shallow_nullable(*x)),
+            CPat::Node { .. } | CPat::Hole(_) => false,
+        }
+    }
+}
+
+enum Lookup<'a> {
+    Subst { to: &'a TreePat, outer: &'a Env<'a> },
+    Loop { closure: PatId },
+}
+
+fn lookup<'a>(env: &'a Env<'a>, label: &CcLabel) -> Option<Lookup<'a>> {
+    match env {
+        Env::Empty => None,
+        Env::Subst {
+            label: l,
+            to,
+            outer,
+            rest,
+        } => {
+            if *l == label {
+                Some(Lookup::Subst { to, outer })
+            } else {
+                lookup(rest, label)
+            }
+        }
+        Env::Loop {
+            label: l,
+            closure,
+            rest,
+        } => {
+            if *l == label {
+                Some(Lookup::Loop { closure: *closure })
+            } else {
+                lookup(rest, label)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, AttrType, ObjectStore};
+
+    fn setup() -> (ObjectStore, ClassId) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(
+                ClassDef::new("N", vec![AttrDef::stored("label", AttrType::Str)]).unwrap(),
+            )
+            .unwrap();
+        (s, c)
+    }
+
+    fn label_pred(l: &str) -> PredExpr {
+        PredExpr::eq("label", l)
+    }
+
+    #[test]
+    fn leaf_pattern_compiles() {
+        let (s, c) = setup();
+        let p = TreePattern::new(TreePat::pred(label_pred("a")));
+        let cp = p.compile(c, s.class(c)).unwrap();
+        assert_eq!(cp.size(), 1);
+        assert!(matches!(
+            cp.pat(cp.root()),
+            CPat::Node { children: None, .. }
+        ));
+    }
+
+    #[test]
+    fn concat_substitutes() {
+        // a(@1) o_@1 b  ==> a(b)
+        let (s, c) = setup();
+        let pat = TreePat::pred_node(label_pred("a"), Re::Leaf(TreePat::point("1")))
+            .concat_at("1", TreePat::pred(label_pred("b")));
+        let cp = TreePattern::new(pat).compile(c, s.class(c)).unwrap();
+        // root is a Node with a one-symbol child list whose symbol is a leaf Node.
+        match cp.pat(cp.root()) {
+            CPat::Node {
+                children: Some(cl), ..
+            } => {
+                assert_eq!(cl.syms.len(), 1);
+                assert!(matches!(
+                    cp.pat(cl.syms[0]),
+                    CPat::Node { children: None, .. }
+                ));
+            }
+            other => panic!("unexpected root {other:?}"),
+        }
+        // no free holes remain
+        assert!(cp.cc_labels.is_empty());
+    }
+
+    #[test]
+    fn concat_without_label_leaves_left_untouched() {
+        // a o_@1 b — no @1 in a, result is a (paper §3.3).
+        let (s, c) = setup();
+        let pat = TreePat::pred(label_pred("a")).concat_at("1", TreePat::pred(label_pred("b")));
+        let cp = TreePattern::new(pat).compile(c, s.class(c)).unwrap();
+        assert!(matches!(
+            cp.pat(cp.root()),
+            CPat::Node { children: None, .. }
+        ));
+    }
+
+    #[test]
+    fn free_point_becomes_hole() {
+        let (s, c) = setup();
+        let pat = TreePat::pred_node(label_pred("a"), Re::Leaf(TreePat::point("x")));
+        let cp = TreePattern::new(pat).compile(c, s.class(c)).unwrap();
+        assert_eq!(cp.cc_labels, vec![CcLabel::new("x")]);
+    }
+
+    #[test]
+    fn closure_creates_recursion_point() {
+        // [[a(b c @x)]]*@x  (Figure 2's pattern shape)
+        let (s, c) = setup();
+        let body = TreePat::pred_node(
+            label_pred("a"),
+            Re::Leaf(TreePat::pred(label_pred("b")))
+                .then(Re::Leaf(TreePat::pred(label_pred("c"))))
+                .then(Re::Leaf(TreePat::point("x"))),
+        );
+        let pat = body.star_at("x");
+        let cp = TreePattern::new(pat).compile(c, s.class(c)).unwrap();
+        let closure = cp.root();
+        assert!(matches!(cp.pat(closure), CPat::Closure { plus: false, .. }));
+        // The recursion point is nullable; the closure itself is too.
+        assert!(cp.is_nullable(closure));
+        let has_continue = cp
+            .pats
+            .iter()
+            .any(|p| matches!(p, CPat::Continue { closure: cl } if *cl == closure));
+        assert!(has_continue);
+        // No free labels: @x was bound by the closure.
+        assert!(cp.cc_labels.is_empty());
+    }
+
+    #[test]
+    fn plus_closure_not_nullable() {
+        let (s, c) = setup();
+        let body = TreePat::pred_node(label_pred("a"), Re::Leaf(TreePat::point("x")));
+        let cp = TreePattern::new(body.plus_at("x"))
+            .compile(c, s.class(c))
+            .unwrap();
+        assert!(!cp.is_nullable(cp.root()));
+    }
+
+    #[test]
+    fn predicates_are_interned() {
+        let (s, c) = setup();
+        let pat = TreePat::pred_node(
+            label_pred("a"),
+            Re::Leaf(TreePat::pred(label_pred("a"))).then(Re::Leaf(TreePat::pred(label_pred("a")))),
+        );
+        let cp = TreePattern::new(pat).compile(c, s.class(c)).unwrap();
+        assert_eq!(cp.preds.len(), 1);
+    }
+
+    #[test]
+    fn root_test_extraction() {
+        let p = TreePat::pred_node(label_pred("a"), Re::Leaf(TreePat::any()));
+        assert!(matches!(p.root_test(), Some(NodeTest::Pred(_))));
+        assert!(TreePat::point("x").root_test().is_none());
+        let c = TreePat::pred(label_pred("a")).concat_at("1", TreePat::any());
+        assert!(c.root_test().is_some());
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = TreePattern::new(TreePat::pred_node(
+            label_pred("a"),
+            Re::Leaf(TreePat::any()).then(Re::Leaf(TreePat::point("1"))),
+        ))
+        .anchored_root();
+        let s = p.to_string();
+        assert!(s.starts_with('^'));
+        assert!(s.contains("@1"));
+    }
+
+    #[test]
+    fn anchors_carry_through_compile() {
+        let (s, c) = setup();
+        let cp = TreePattern::new(TreePat::any())
+            .anchored_root()
+            .anchored_leaves()
+            .compile(c, s.class(c))
+            .unwrap();
+        assert!(cp.at_root && cp.at_leaves);
+    }
+}

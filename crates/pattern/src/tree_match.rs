@@ -1,0 +1,799 @@
+//! Tree-pattern matching and match extraction (paper §3.4).
+//!
+//! Matching is the two-step process of §3.4: first decide *whether* a
+//! pattern matches at a node (a boolean, memoized per `(subpattern,
+//! node)` pair so the whole-tree cost is bounded by `O(nodes × pattern
+//! size × fan-out)`), then *extract* the match instances: which nodes
+//! were matched, and where the instance was cut from the rest of the
+//! tree. Cuts are the concatenation points `α_1 … α_n` that `split`
+//! (in `aqua-algebra`) turns into the descendants list; they arise from
+//!
+//! * `!` pruning — the largest subtree rooted at the pruned node is cut
+//!   ([`CutOrigin::Pruned`]), and
+//! * pattern leaves matching internal tree nodes — the node's children
+//!   are cut ([`CutOrigin::Frontier`]); the `⊥` anchor forbids these.
+//!
+//! The matcher is generic over [`TreeAccess`] so this crate stays
+//! independent of the concrete arena tree in `aqua-algebra`.
+//!
+//! (`split` lives in `aqua-algebra`; this crate only produces the cuts.)
+
+use std::collections::{HashMap, HashSet};
+
+use aqua_object::{ObjectStore, Oid};
+
+use crate::nfa::LeafId;
+use crate::pike;
+use crate::tree_ast::{CPat, CTest, CcLabel, CompiledTreePattern, PatId};
+
+/// What a tree node contains: an object (via its cell) or a labeled NULL
+/// (a concatenation point appearing in an instance, paper §3.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodePayloadRef<'a> {
+    /// A real element: the OID inside the node's cell.
+    Obj(Oid),
+    /// A labeled NULL left behind by `split`/concatenation.
+    Hole(&'a CcLabel),
+}
+
+/// Read-only access to an ordered tree, as the matcher needs it.
+///
+/// Node handles are dense `u32` indices into the implementor's arena.
+pub trait TreeAccess {
+    /// Number of node slots (an upper bound on node handles).
+    fn node_count(&self) -> usize;
+    /// The root node.
+    fn root(&self) -> u32;
+    /// The ordered children of `node`.
+    fn children(&self, node: u32) -> &[u32];
+    /// The payload of `node`.
+    fn payload(&self, node: u32) -> NodePayloadRef<'_>;
+}
+
+/// Why a subtree was cut from a match instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutOrigin {
+    /// Cut by a `!` prune group: the matched node and its whole subtree
+    /// are removed from the instance.
+    Pruned,
+    /// Cut because a pattern leaf matched an internal node: the node
+    /// stays, its children are cut.
+    Frontier,
+}
+
+/// One cut point of a match: the subtree rooted at `root` (a child of
+/// matched node `parent` at position `child_idx`) is not part of the
+/// instance and reattaches at concatenation point `α_i`, where `i` is
+/// this cut's position in [`TreeMatch::cuts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cut {
+    pub parent: u32,
+    pub child_idx: u32,
+    pub root: u32,
+    pub origin: CutOrigin,
+}
+
+/// A match instance: the matched (kept) nodes in document order and the
+/// ordered cut points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeMatch {
+    /// Root node of the instance in the subject tree.
+    pub root: u32,
+    /// Matched nodes in document (preorder) encounter order; `nodes[0] ==
+    /// root`.
+    pub nodes: Vec<u32>,
+    /// Cut points in document order: cut `i` corresponds to `α_{i+1}`.
+    pub cuts: Vec<Cut>,
+}
+
+impl TreeMatch {
+    /// Whether `node` is part of the kept instance.
+    pub fn contains(&self, node: u32) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// Limits for match enumeration. A single root can have several distinct
+/// parses (e.g. `printf(?* LD ?* LD ?*)` over repeated arguments), and
+/// closures can in principle generate exponentially many, so enumeration
+/// is capped.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchConfig {
+    /// Maximum regex parses explored per child list.
+    pub parse_limit: usize,
+    /// Maximum match instances reported per match root.
+    pub per_root_limit: usize,
+    /// Maximum match instances reported overall.
+    pub max_matches: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            parse_limit: 64,
+            per_root_limit: 16,
+            max_matches: usize::MAX,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// Keep only the first (highest-priority) instance per root.
+    pub fn first_per_root() -> Self {
+        MatchConfig {
+            per_root_limit: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// A matching session over one tree. Holds the boolean memo table, so
+/// reuse one matcher per (pattern, tree) pair.
+pub struct TreeMatcher<'a, T: TreeAccess> {
+    cp: &'a CompiledTreePattern,
+    tree: &'a T,
+    store: &'a ObjectStore,
+    memo: HashMap<(u32, u32), bool>,
+    in_progress: HashSet<(u32, u32)>,
+    /// Disable memoization (benchmark ablation B7).
+    pub memoize: bool,
+}
+
+impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
+    /// A matcher for `pattern` over `tree`, dereferencing cells in
+    /// `store`.
+    pub fn new(pattern: &'a CompiledTreePattern, tree: &'a T, store: &'a ObjectStore) -> Self {
+        TreeMatcher {
+            cp: pattern,
+            tree,
+            store,
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+            memoize: true,
+        }
+    }
+
+    /// Does the pattern (ignoring anchors) match with its root at `node`?
+    pub fn matches_at(&mut self, node: u32) -> bool {
+        let root = self.cp.root();
+        self.pat_matches(root, node)
+    }
+
+    fn test_node(&self, test: &CTest, node: u32) -> bool {
+        match (test, self.tree.payload(node)) {
+            (CTest::Any, NodePayloadRef::Obj(_)) => true,
+            (CTest::Pred(p), NodePayloadRef::Obj(oid)) => self.cp.pred(*p).eval(self.store, oid),
+            // `?` and alphabet-predicates match objects, never labeled
+            // NULLs; only an explicit concatenation point matches a hole.
+            (_, NodePayloadRef::Hole(_)) => false,
+        }
+    }
+
+    fn pat_matches(&mut self, pat: PatId, node: u32) -> bool {
+        let key = (pat.0, node);
+        if self.memoize {
+            if let Some(&v) = self.memo.get(&key) {
+                return v;
+            }
+        }
+        if !self.in_progress.insert(key) {
+            // Recursive self-dependency (e.g. a closure whose body is its
+            // own point): the least fixpoint is "no match".
+            return false;
+        }
+        let tree = self.tree;
+        let result = match self.cp.pat(pat) {
+            CPat::Node { test, children } => {
+                let test = test.clone();
+                if !self.test_node(&test, node) {
+                    false
+                } else {
+                    match children {
+                        None => true,
+                        Some(cl) => {
+                            let cl = cl.clone();
+                            let kids = tree.children(node);
+                            pike::matches_exact(
+                                &cl.nfa,
+                                kids.len(),
+                                &mut |leaf: LeafId, pos: usize| {
+                                    self.pat_matches(cl.syms[leaf.0 as usize], kids[pos])
+                                },
+                            )
+                        }
+                    }
+                }
+            }
+            CPat::Hole(cc) => match tree.payload(node) {
+                NodePayloadRef::Hole(l) => l == self.cp.cc_label(*cc),
+                NodePayloadRef::Obj(_) => false,
+            },
+            CPat::Alt(xs) => {
+                let xs = xs.clone();
+                xs.into_iter().any(|x| self.pat_matches(x, node))
+            }
+            CPat::Closure { body, .. } => {
+                let body = *body;
+                self.pat_matches(body, node)
+            }
+            CPat::Continue { closure } => {
+                let body = match self.cp.pat(*closure) {
+                    CPat::Closure { body, .. } => *body,
+                    _ => unreachable!("Continue must reference a Closure"),
+                };
+                self.pat_matches(body, node)
+            }
+        };
+        self.in_progress.remove(&key);
+        if self.memoize {
+            self.memo.insert(key, result);
+        }
+        result
+    }
+
+    /// Preorder traversal of the subject tree.
+    fn preorder(&self) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.tree.node_count());
+        let mut stack = vec![self.tree.root()];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            let kids = self.tree.children(n);
+            stack.extend(kids.iter().rev().copied());
+        }
+        order
+    }
+
+    /// All match instances in the tree, in document order of their roots,
+    /// respecting the pattern's anchors and the enumeration limits.
+    pub fn find_matches(&mut self, cfg: &MatchConfig) -> Vec<TreeMatch> {
+        let candidates = if self.cp.at_root {
+            vec![self.tree.root()]
+        } else {
+            self.preorder()
+        };
+        self.find_matches_from(&candidates, cfg)
+    }
+
+    /// Match instances whose roots are drawn from `candidates` (in the
+    /// given order). This is the entry point the optimizer uses after an
+    /// index probe has produced a candidate set (paper §4, "Why Split?").
+    pub fn find_matches_from(&mut self, candidates: &[u32], cfg: &MatchConfig) -> Vec<TreeMatch> {
+        let mut out = Vec::new();
+        for &node in candidates {
+            if self.cp.at_root && node != self.tree.root() {
+                continue;
+            }
+            if !self.matches_at(node) {
+                continue;
+            }
+            let root_pat = self.cp.root();
+            let mut partials = Vec::new();
+            let mut stack = Vec::new();
+            self.enum_pat(root_pat, node, cfg, &mut stack, &mut partials);
+            /// Dedup key: kept nodes + (cut root, origin) pairs.
+            type MatchKey = (Vec<u32>, Vec<(u32, CutOrigin)>);
+            let mut seen: HashSet<MatchKey> = HashSet::new();
+            let mut kept = 0usize;
+            for p in partials {
+                if self.cp.at_leaves && p.cuts.iter().any(|c| c.origin == CutOrigin::Frontier) {
+                    continue;
+                }
+                let key = (
+                    p.nodes.clone(),
+                    p.cuts.iter().map(|c| (c.root, c.origin)).collect(),
+                );
+                if !seen.insert(key) {
+                    continue;
+                }
+                out.push(TreeMatch {
+                    root: node,
+                    nodes: p.nodes,
+                    cuts: p.cuts,
+                });
+                kept += 1;
+                if kept >= cfg.per_root_limit || out.len() >= cfg.max_matches {
+                    break;
+                }
+            }
+            if out.len() >= cfg.max_matches {
+                break;
+            }
+        }
+        out
+    }
+
+    fn enum_pat(
+        &mut self,
+        pat: PatId,
+        node: u32,
+        cfg: &MatchConfig,
+        stack: &mut Vec<(u32, u32)>,
+        out: &mut Vec<Partial>,
+    ) {
+        let key = (pat.0, node);
+        if stack.contains(&key) {
+            return;
+        }
+        if !self.pat_matches(pat, node) {
+            return;
+        }
+        stack.push(key);
+        let tree = self.tree;
+        match self.cp.pat(pat) {
+            CPat::Node { test: _, children } => match children {
+                None => {
+                    let kids = tree.children(node);
+                    let cuts = kids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| Cut {
+                            parent: node,
+                            child_idx: i as u32,
+                            root: c,
+                            origin: CutOrigin::Frontier,
+                        })
+                        .collect();
+                    out.push(Partial {
+                        nodes: vec![node],
+                        cuts,
+                    });
+                }
+                Some(cl) => {
+                    let cl = cl.clone();
+                    let kids = tree.children(node);
+                    let paths = pike::enumerate_paths(
+                        &cl.nfa,
+                        kids.len(),
+                        &mut |leaf: LeafId, pos: usize| {
+                            self.pat_matches(cl.syms[leaf.0 as usize], kids[pos])
+                        },
+                        cfg.parse_limit,
+                    );
+                    for path in paths {
+                        // Combine per-step options into instances
+                        // (cartesian product, capped).
+                        let mut acc = vec![Partial {
+                            nodes: vec![node],
+                            cuts: Vec::new(),
+                        }];
+                        for step in &path {
+                            let child = kids[step.pos];
+                            if step.pruned {
+                                for p in &mut acc {
+                                    p.cuts.push(Cut {
+                                        parent: node,
+                                        child_idx: step.pos as u32,
+                                        root: child,
+                                        origin: CutOrigin::Pruned,
+                                    });
+                                }
+                            } else {
+                                let sym = cl.syms[step.leaf.0 as usize];
+                                let mut sub = Vec::new();
+                                self.enum_pat(sym, child, cfg, stack, &mut sub);
+                                if sub.is_empty() {
+                                    acc.clear();
+                                    break;
+                                }
+                                let mut next = Vec::with_capacity(acc.len().min(cfg.parse_limit));
+                                'combine: for a in &acc {
+                                    for s in &sub {
+                                        let mut merged = a.clone();
+                                        merged.nodes.extend_from_slice(&s.nodes);
+                                        merged.cuts.extend_from_slice(&s.cuts);
+                                        next.push(merged);
+                                        if next.len() >= cfg.parse_limit {
+                                            break 'combine;
+                                        }
+                                    }
+                                }
+                                acc = next;
+                            }
+                        }
+                        out.extend(acc);
+                        if out.len() >= cfg.parse_limit {
+                            break;
+                        }
+                    }
+                }
+            },
+            CPat::Hole(_) => {
+                out.push(Partial {
+                    nodes: vec![node],
+                    cuts: Vec::new(),
+                });
+            }
+            CPat::Alt(xs) => {
+                let xs = xs.clone();
+                for x in xs {
+                    self.enum_pat(x, node, cfg, stack, out);
+                    if out.len() >= cfg.parse_limit {
+                        break;
+                    }
+                }
+            }
+            CPat::Closure { body, .. } => {
+                let body = *body;
+                self.enum_pat(body, node, cfg, stack, out);
+            }
+            CPat::Continue { closure } => {
+                let body = match self.cp.pat(*closure) {
+                    CPat::Closure { body, .. } => *body,
+                    _ => unreachable!(),
+                };
+                self.enum_pat(body, node, cfg, stack, out);
+            }
+        }
+        stack.pop();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    nodes: Vec<u32>,
+    cuts: Vec<Cut>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Re;
+    use crate::tree_ast::{TreePat, TreePattern};
+    use crate::PredExpr;
+    use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, Value};
+
+    /// A minimal arena tree for the tests; the real one lives in
+    /// `aqua-algebra`.
+    struct TestTree {
+        payloads: Vec<TestPayload>,
+        children: Vec<Vec<u32>>,
+        root: u32,
+    }
+
+    enum TestPayload {
+        Obj(Oid),
+        Hole(CcLabel),
+    }
+
+    impl TreeAccess for TestTree {
+        fn node_count(&self) -> usize {
+            self.payloads.len()
+        }
+        fn root(&self) -> u32 {
+            self.root
+        }
+        fn children(&self, node: u32) -> &[u32] {
+            &self.children[node as usize]
+        }
+        fn payload(&self, node: u32) -> NodePayloadRef<'_> {
+            match &self.payloads[node as usize] {
+                TestPayload::Obj(o) => NodePayloadRef::Obj(*o),
+                TestPayload::Hole(l) => NodePayloadRef::Hole(l),
+            }
+        }
+    }
+
+    struct Fixture {
+        store: ObjectStore,
+        class: ClassId,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut store = ObjectStore::new();
+            let class = store
+                .define_class(
+                    ClassDef::new("N", vec![AttrDef::stored("label", AttrType::Str)]).unwrap(),
+                )
+                .unwrap();
+            Fixture { store, class }
+        }
+
+        /// Build a tree from a preorder spec like `a(b(d f) c)` using
+        /// single-char labels; every node gets a fresh object.
+        fn tree(&mut self, spec: &str) -> TestTree {
+            let chars: Vec<char> = spec.chars().filter(|c| !c.is_whitespace()).collect();
+            let mut t = TestTree {
+                payloads: Vec::new(),
+                children: Vec::new(),
+                root: 0,
+            };
+            let mut pos = 0usize;
+            let root = self.parse_node(&chars, &mut pos, &mut t);
+            t.root = root;
+            t
+        }
+
+        fn new_node(&mut self, label: char, t: &mut TestTree) -> u32 {
+            let oid = self
+                .store
+                .insert_named("N", &[("label", Value::str(label.to_string()))])
+                .unwrap();
+            t.payloads.push(TestPayload::Obj(oid));
+            t.children.push(Vec::new());
+            (t.payloads.len() - 1) as u32
+        }
+
+        fn parse_node(&mut self, chars: &[char], pos: &mut usize, t: &mut TestTree) -> u32 {
+            let c = chars[*pos];
+            *pos += 1;
+            let id = if c == '@' {
+                let l = chars[*pos];
+                *pos += 1;
+                t.payloads
+                    .push(TestPayload::Hole(CcLabel::new(l.to_string())));
+                t.children.push(Vec::new());
+                (t.payloads.len() - 1) as u32
+            } else {
+                self.new_node(c, t)
+            };
+            if *pos < chars.len() && chars[*pos] == '(' {
+                *pos += 1;
+                let mut kids = Vec::new();
+                while chars[*pos] != ')' {
+                    kids.push(self.parse_node(chars, pos, t));
+                }
+                *pos += 1;
+                t.children[id as usize] = kids;
+            }
+            id
+        }
+
+        fn label(&self, l: char) -> PredExpr {
+            PredExpr::eq("label", l.to_string())
+        }
+
+        fn compile(&self, p: TreePattern) -> CompiledTreePattern {
+            p.compile(self.class, self.store.class(self.class)).unwrap()
+        }
+
+        fn labels_of(&self, t: &TestTree, nodes: &[u32]) -> String {
+            nodes
+                .iter()
+                .map(|&n| match t.payload(n) {
+                    NodePayloadRef::Obj(o) => match self.store.attr(o, aqua_object::AttrId(0)) {
+                        Value::Str(s) => s.clone(),
+                        _ => "?".into(),
+                    },
+                    NodePayloadRef::Hole(l) => format!("{l}"),
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn leaf_pattern_matches_everywhere_it_should() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b(d f) b)");
+        let cp = fx.compile(TreePattern::new(TreePat::pred(fx.label('b'))));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let ms = m.find_matches(&MatchConfig::default());
+        assert_eq!(ms.len(), 2);
+        // First match: internal b — children cut at the frontier.
+        assert_eq!(ms[0].cuts.len(), 2);
+        assert!(ms[0].cuts.iter().all(|c| c.origin == CutOrigin::Frontier));
+        // Second match: leaf b — no cuts.
+        assert!(ms[1].cuts.is_empty());
+    }
+
+    #[test]
+    fn node_pattern_requires_full_child_consumption() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b c)");
+        // a(b) must NOT match a node with children [b, c] …
+        let p1 = fx.compile(TreePattern::new(TreePat::pred_node(
+            fx.label('a'),
+            Re::Leaf(TreePat::pred(fx.label('b'))),
+        )));
+        let mut m1 = TreeMatcher::new(&p1, &t, &fx.store);
+        assert!(m1.find_matches(&MatchConfig::default()).is_empty());
+        // …but a(b ?*) does.
+        let p2 = fx.compile(TreePattern::new(TreePat::pred_node(
+            fx.label('a'),
+            Re::Leaf(TreePat::pred(fx.label('b'))).then(Re::Leaf(TreePat::any()).star()),
+        )));
+        let mut m2 = TreeMatcher::new(&p2, &t, &fx.store);
+        let ms = m2.find_matches(&MatchConfig::default());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].nodes.len(), 3); // a, b, c all kept
+    }
+
+    #[test]
+    fn pruning_cuts_whole_subtrees() {
+        let mut fx = Fixture::new();
+        // Paper Fig. 4 shape: Brazil(!?* USA !?*) — here b(!?* u !?*).
+        let t = fx.tree("b(x(p q) u(y) z)");
+        let pat = TreePat::pred_node(
+            fx.label('b'),
+            Re::Leaf(TreePat::any())
+                .prune()
+                .star()
+                .then(Re::Leaf(TreePat::pred(fx.label('u'))))
+                .then(Re::Leaf(TreePat::any()).prune().star()),
+        );
+        let cp = fx.compile(TreePattern::new(pat));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let ms = m.find_matches(&MatchConfig::default());
+        assert_eq!(ms.len(), 1);
+        let mt = &ms[0];
+        // Kept: b and u. u's child y is a frontier cut; x and z pruned.
+        assert_eq!(fx.labels_of(&t, &mt.nodes), "bu");
+        let origins: Vec<CutOrigin> = mt.cuts.iter().map(|c| c.origin).collect();
+        assert_eq!(
+            origins,
+            vec![CutOrigin::Pruned, CutOrigin::Frontier, CutOrigin::Pruned]
+        );
+        // Cuts are in document order: x, then y (under u), then z.
+        let cut_labels: String =
+            fx.labels_of(&t, &mt.cuts.iter().map(|c| c.root).collect::<Vec<_>>());
+        assert_eq!(cut_labels, "xyz");
+    }
+
+    #[test]
+    fn variable_arity_enumerates_distinct_parses() {
+        let mut fx = Fixture::new();
+        // printf(?* L ?* L ?*) over printf with three L children: C(3,2)=3 parses.
+        let t = fx.tree("p(L L L)");
+        let l = || Re::Leaf(TreePat::pred(fx.label('L')));
+        let anys = || Re::Leaf(TreePat::any()).star();
+        let pat = TreePat::pred_node(
+            fx.label('p'),
+            anys().then(l()).then(anys()).then(l()).then(anys()),
+        );
+        let cp = fx.compile(TreePattern::new(pat));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let ms = m.find_matches(&MatchConfig::default());
+        // All parses keep all four nodes, so they dedup to one instance.
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].nodes.len(), 4);
+    }
+
+    #[test]
+    fn closure_matches_chains() {
+        let mut fx = Fixture::new();
+        // [[a(b c @x)]]*@x — Figure 2.
+        let body = TreePat::pred_node(
+            fx.label('a'),
+            Re::Leaf(TreePat::pred(fx.label('b')))
+                .then(Re::Leaf(TreePat::pred(fx.label('c'))))
+                .then(Re::Leaf(TreePat::point("x"))),
+        );
+        let cp = fx.compile(TreePattern::new(body.star_at("x")));
+
+        // Depth-1 member: a(b c) — the trailing @x matched NULL.
+        let t1 = fx.tree("a(b c)");
+        let mut m1 = TreeMatcher::new(&cp, &t1, &fx.store);
+        assert!(m1.matches_at(t1.root()));
+
+        // Depth-3 member.
+        let t3 = fx.tree("a(b c a(b c a(b c)))");
+        let mut m3 = TreeMatcher::new(&cp, &t3, &fx.store);
+        assert!(m3.matches_at(t3.root()));
+        let ms = m3.find_matches(&MatchConfig::default());
+        // Matches at every chain suffix: 3 instances.
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0].nodes.len(), 9);
+
+        // Non-member: a(b c d).
+        let bad = fx.tree("a(b c d)");
+        let mut mb = TreeMatcher::new(&cp, &bad, &fx.store);
+        assert!(!mb.matches_at(bad.root()));
+    }
+
+    #[test]
+    fn plus_closure_requires_one() {
+        let mut fx = Fixture::new();
+        let body = TreePat::pred_node(fx.label('a'), Re::Leaf(TreePat::point("x")));
+        let cp = fx.compile(TreePattern::new(body.plus_at("x")));
+        let t = fx.tree("a(a)");
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        assert!(m.matches_at(0));
+        let t2 = fx.tree("b");
+        let mut m2 = TreeMatcher::new(&cp, &t2, &fx.store);
+        assert!(!m2.matches_at(0));
+    }
+
+    #[test]
+    fn root_anchor_restricts_candidates() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b(a))");
+        let cp = fx.compile(TreePattern::new(TreePat::pred(fx.label('a'))).anchored_root());
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let ms = m.find_matches(&MatchConfig::default());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].root, t.root());
+    }
+
+    #[test]
+    fn leaf_anchor_requires_tree_leaves() {
+        let mut fx = Fixture::new();
+        // Paper §3.3: b(d e)⊥ matches only where d, e are tree leaves.
+        let t = fx.tree("a(b(d(x) e) b(d e))");
+        let pat = TreePat::pred_node(
+            fx.label('b'),
+            Re::Leaf(TreePat::pred(fx.label('d'))).then(Re::Leaf(TreePat::pred(fx.label('e')))),
+        );
+        let unanchored = fx.compile(TreePattern::new(pat.clone()));
+        let mut mu = TreeMatcher::new(&unanchored, &t, &fx.store);
+        assert_eq!(mu.find_matches(&MatchConfig::default()).len(), 2);
+
+        let anchored = fx.compile(TreePattern::new(pat).anchored_leaves());
+        let mut ma = TreeMatcher::new(&anchored, &t, &fx.store);
+        let ms = ma.find_matches(&MatchConfig::default());
+        assert_eq!(ms.len(), 1);
+        // The surviving match is the second b (whose d has no children).
+        assert!(ms[0].cuts.is_empty());
+    }
+
+    #[test]
+    fn holes_in_instances_match_points() {
+        let mut fx = Fixture::new();
+        // Instance a(@x) — a labeled NULL as a child (paper §3.5).
+        let t = fx.tree("a(@x)");
+        let pat = TreePat::pred_node(fx.label('a'), Re::Leaf(TreePat::point("x")));
+        let cp = fx.compile(TreePattern::new(pat));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        assert!(m.matches_at(t.root()));
+        // The wildcard does NOT match a hole.
+        let anypat = fx.compile(TreePattern::new(TreePat::pred_node(
+            fx.label('a'),
+            Re::Leaf(TreePat::any()),
+        )));
+        let mut m2 = TreeMatcher::new(&anypat, &t, &fx.store);
+        assert!(!m2.matches_at(t.root()));
+        // A point with a different label does not match either.
+        let wrong = fx.compile(TreePattern::new(TreePat::pred_node(
+            fx.label('a'),
+            Re::Leaf(TreePat::point("y")),
+        )));
+        let mut m3 = TreeMatcher::new(&wrong, &t, &fx.store);
+        assert!(!m3.matches_at(t.root()));
+    }
+
+    #[test]
+    fn alternation_of_tree_patterns() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b c)");
+        let pat = TreePat::pred(fx.label('b')).or(TreePat::pred(fx.label('c')));
+        let cp = fx.compile(TreePattern::new(pat));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        assert_eq!(m.find_matches(&MatchConfig::default()).len(), 2);
+    }
+
+    #[test]
+    fn candidate_restriction() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b b b)");
+        let cp = fx.compile(TreePattern::new(TreePat::pred(fx.label('b'))));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let ms = m.find_matches_from(&[2], &MatchConfig::default());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].root, 2);
+    }
+
+    #[test]
+    fn memo_ablation_gives_same_answers() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b(d f) b)");
+        let cp = fx.compile(TreePattern::new(TreePat::pred_node(
+            fx.label('b'),
+            Re::Leaf(TreePat::any()).star(),
+        )));
+        let mut with = TreeMatcher::new(&cp, &t, &fx.store);
+        let r1 = with.find_matches(&MatchConfig::default());
+        let mut without = TreeMatcher::new(&cp, &t, &fx.store);
+        without.memoize = false;
+        let r2 = without.find_matches(&MatchConfig::default());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn degenerate_self_recursive_closure_terminates() {
+        let mut fx = Fixture::new();
+        // [[@x]]*@x — body is just its own point; least fixpoint: no match.
+        let cp = fx.compile(TreePattern::new(TreePat::point("x").star_at("x")));
+        let t = fx.tree("a");
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        assert!(!m.matches_at(0));
+    }
+}

@@ -1,0 +1,294 @@
+//! Attribute (value) indices.
+//!
+//! Ordered maps from attribute values to locations — OIDs for extents,
+//! node ids for trees. Built in one pass, probed in `O(log n + hits)`.
+//! These are the access methods the paper's rewrite rules assume:
+//! decompose a pattern so one alphabet-predicate can be answered here,
+//! then run the residual pattern only on the candidates.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use aqua_algebra::Tree;
+use aqua_object::{AttrId, ClassId, ObjectStore, Oid, Value};
+use aqua_pattern::CmpOp;
+
+/// Total-order key wrapper for [`Value`] (uses `Value::index_cmp`, which
+/// ranks variants and totally orders floats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdValue(pub Value);
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.index_cmp(&other.0)
+    }
+}
+
+/// A secondary index over one stored attribute of one class: maps each
+/// attribute value to the OIDs holding it, in insertion (extent) order.
+#[derive(Debug, Clone)]
+pub struct AttrIndex {
+    class: ClassId,
+    attr: AttrId,
+    map: BTreeMap<OrdValue, Vec<Oid>>,
+}
+
+impl AttrIndex {
+    /// Build over the current extent of `class`.
+    pub fn build(store: &ObjectStore, class: ClassId, attr: AttrId) -> AttrIndex {
+        let mut map: BTreeMap<OrdValue, Vec<Oid>> = BTreeMap::new();
+        for &oid in store.extent(class) {
+            let v = store.attr(oid, attr).clone();
+            map.entry(OrdValue(v)).or_default().push(oid);
+        }
+        AttrIndex { class, attr, map }
+    }
+
+    /// The indexed class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Exact-match probe.
+    pub fn lookup(&self, v: &Value) -> &[Oid] {
+        self.map
+            .get(&OrdValue(v.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Probe for a comparison `attr op v` (the index-usable predicate
+    /// shapes). Results are in value order, then extent order.
+    pub fn lookup_cmp(&self, op: CmpOp, v: &Value) -> Vec<Oid> {
+        let key = OrdValue(v.clone());
+        let range: Vec<&Vec<Oid>> = match op {
+            CmpOp::Eq => return self.lookup(v).to_vec(),
+            CmpOp::Ne => self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .map(|(_, v)| v)
+                .collect(),
+            CmpOp::Lt => self
+                .map
+                .range((Bound::Unbounded, Bound::Excluded(key)))
+                .map(|(_, v)| v)
+                .collect(),
+            CmpOp::Le => self
+                .map
+                .range((Bound::Unbounded, Bound::Included(key)))
+                .map(|(_, v)| v)
+                .collect(),
+            CmpOp::Gt => self
+                .map
+                .range((Bound::Excluded(key), Bound::Unbounded))
+                .map(|(_, v)| v)
+                .collect(),
+            CmpOp::Ge => self
+                .map
+                .range((Bound::Included(key), Bound::Unbounded))
+                .map(|(_, v)| v)
+                .collect(),
+        };
+        range.into_iter().flatten().copied().collect()
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Keep the index current after an insertion.
+    pub fn insert(&mut self, store: &ObjectStore, oid: Oid) {
+        let v = store.attr(oid, self.attr).clone();
+        self.map.entry(OrdValue(v)).or_default().push(oid);
+    }
+}
+
+/// An index over the nodes of one tree: maps an attribute value of the
+/// node's *object* to the node ids, in document (preorder) order. Holes
+/// are not indexed. This is the "index on d" of §4's rewrite example.
+#[derive(Debug, Clone)]
+pub struct TreeNodeIndex {
+    attr: AttrId,
+    class: ClassId,
+    map: BTreeMap<OrdValue, Vec<u32>>,
+}
+
+impl TreeNodeIndex {
+    /// Build over `tree`, indexing `attr` of objects of `class` (nodes
+    /// holding objects of other classes are skipped).
+    pub fn build(store: &ObjectStore, tree: &Tree, class: ClassId, attr: AttrId) -> TreeNodeIndex {
+        let mut map: BTreeMap<OrdValue, Vec<u32>> = BTreeMap::new();
+        for node in tree.iter_preorder() {
+            if let Some(oid) = tree.oid(node) {
+                let obj = store.deref(oid);
+                if obj.class() == class {
+                    map.entry(OrdValue(obj.get(attr).clone()))
+                        .or_default()
+                        .push(node.0);
+                }
+            }
+        }
+        TreeNodeIndex { attr, class, map }
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The indexed class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Candidate nodes whose object has `attr == v`, in document order.
+    pub fn lookup(&self, v: &Value) -> &[u32] {
+        self.map
+            .get(&OrdValue(v.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Candidates for a comparison probe, merged in document order.
+    pub fn lookup_cmp(&self, op: CmpOp, v: &Value) -> Vec<u32> {
+        let key = OrdValue(v.clone());
+        let mut out: Vec<u32> = match op {
+            CmpOp::Eq => return self.lookup(v).to_vec(),
+            CmpOp::Ne => self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect(),
+            CmpOp::Lt => self
+                .map
+                .range((Bound::Unbounded, Bound::Excluded(key)))
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect(),
+            CmpOp::Le => self
+                .map
+                .range((Bound::Unbounded, Bound::Included(key)))
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect(),
+            CmpOp::Gt => self
+                .map
+                .range((Bound::Excluded(key), Bound::Unbounded))
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect(),
+            CmpOp::Ge => self
+                .map
+                .range((Bound::Included(key), Bound::Unbounded))
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect(),
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_algebra::TreeBuilder;
+    use aqua_object::{AttrDef, AttrType, ClassDef};
+
+    fn setup() -> (ObjectStore, ClassId, AttrId) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(ClassDef::new("P", vec![AttrDef::stored("v", AttrType::Int)]).unwrap())
+            .unwrap();
+        let attr = AttrId(0);
+        for i in 0..10 {
+            s.insert_named("P", &[("v", Value::Int(i % 3))]).unwrap();
+        }
+        (s, c, attr)
+    }
+
+    #[test]
+    fn point_lookup() {
+        let (s, c, a) = setup();
+        let idx = AttrIndex::build(&s, c, a);
+        assert_eq!(idx.lookup(&Value::Int(0)).len(), 4); // 0,3,6,9
+        assert_eq!(idx.lookup(&Value::Int(2)).len(), 3);
+        assert!(idx.lookup(&Value::Int(7)).is_empty());
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn range_lookups() {
+        let (s, c, a) = setup();
+        let idx = AttrIndex::build(&s, c, a);
+        assert_eq!(idx.lookup_cmp(CmpOp::Lt, &Value::Int(1)).len(), 4);
+        assert_eq!(idx.lookup_cmp(CmpOp::Le, &Value::Int(1)).len(), 7);
+        assert_eq!(idx.lookup_cmp(CmpOp::Gt, &Value::Int(1)).len(), 3);
+        assert_eq!(idx.lookup_cmp(CmpOp::Ge, &Value::Int(0)).len(), 10);
+        assert_eq!(idx.lookup_cmp(CmpOp::Ne, &Value::Int(0)).len(), 6);
+        assert_eq!(idx.lookup_cmp(CmpOp::Eq, &Value::Int(2)).len(), 3);
+    }
+
+    #[test]
+    fn incremental_insert() {
+        let (mut s, c, a) = setup();
+        let mut idx = AttrIndex::build(&s, c, a);
+        let oid = s.insert_named("P", &[("v", Value::Int(99))]).unwrap();
+        idx.insert(&s, oid);
+        assert_eq!(idx.lookup(&Value::Int(99)), &[oid]);
+    }
+
+    #[test]
+    fn tree_node_index_document_order() {
+        let (mut s, c, a) = setup();
+        // Tree: x(y x) with v values 0, 1, 0.
+        let o0 = s.insert_named("P", &[("v", Value::Int(7))]).unwrap();
+        let o1 = s.insert_named("P", &[("v", Value::Int(8))]).unwrap();
+        let o2 = s.insert_named("P", &[("v", Value::Int(7))]).unwrap();
+        let mut b = TreeBuilder::new();
+        let k1 = b.node(o1, vec![]);
+        let k2 = b.node(o2, vec![]);
+        let root = b.node(o0, vec![k1, k2]);
+        let t = b.finish(root).unwrap();
+        let idx = TreeNodeIndex::build(&s, &t, c, a);
+        let hits = idx.lookup(&Value::Int(7));
+        assert_eq!(hits.len(), 2);
+        // Document order: root before second child.
+        assert!(hits[0] == root.0 && hits[1] == k2.0);
+        assert_eq!(idx.lookup_cmp(CmpOp::Ge, &Value::Int(8)), vec![k1.0]);
+    }
+
+    #[test]
+    fn tree_index_skips_holes_and_other_classes() {
+        let (mut s, c, a) = setup();
+        let other = s
+            .define_class(ClassDef::new("Q", vec![AttrDef::stored("v", AttrType::Int)]).unwrap())
+            .unwrap();
+        let alien = s.insert(other, vec![Value::Int(7)]).unwrap();
+        let own = s.insert_named("P", &[("v", Value::Int(7))]).unwrap();
+        let mut b = TreeBuilder::new();
+        let h = b.hole_node(aqua_pattern::CcLabel::new("x"), vec![]);
+        let q = b.node(alien, vec![]);
+        let root = b.node(own, vec![h, q]);
+        let t = b.finish(root).unwrap();
+        let idx = TreeNodeIndex::build(&s, &t, c, a);
+        assert_eq!(idx.lookup(&Value::Int(7)), &[root.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # aqua-store — indices and storage structures for AQUA
+//!
+//! The optimization story of the paper (§4, "Why Split?") assumes the
+//! backend can answer a cheap alphabet-predicate *sublinearly*: "Assume
+//! that we can use an index to efficiently locate all nodes in T that
+//! match d." This crate supplies those access methods over the in-memory
+//! substrate:
+//!
+//! * [`AttrIndex`] — a secondary index `value → OIDs` over a class
+//!   extent (used by the conjunctive-select rewrite, experiment B2).
+//! * [`TreeNodeIndex`] — `value → tree nodes`, the index the
+//!   `sub_select`-via-`split` rewrite probes for root-predicate
+//!   candidates (experiment B1).
+//! * [`ListPosIndex`] — a positional index `value → element positions`
+//!   for lists (accelerates fixed-offset list patterns).
+//! * [`StructuralIndex`] — preorder/postorder interval numbering for
+//!   O(1) ancestor/descendant tests (experiment B8).
+//! * [`ColumnStats`] — per-attribute statistics feeding the optimizer's
+//!   cost model.
+
+pub mod attr_index;
+pub mod positional;
+pub mod stats;
+pub mod structural;
+
+pub use attr_index::{AttrIndex, TreeNodeIndex};
+pub use positional::ListPosIndex;
+pub use stats::ColumnStats;
+pub use structural::StructuralIndex;

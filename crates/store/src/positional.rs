@@ -1,0 +1,138 @@
+//! Positional index for lists.
+//!
+//! Maps an attribute value to the (sorted) positions of list elements
+//! holding it. With [`aqua_pattern::decompose::list_required_pred`]'s
+//! fixed-offset analysis, a pattern like `[? ? A]` needs only the
+//! positions of `A` minus 2 as candidate match starts, instead of every
+//! position.
+
+use std::collections::BTreeMap;
+
+use aqua_algebra::List;
+use aqua_object::{AttrId, ClassId, ObjectStore, Value};
+
+use crate::attr_index::OrdValue;
+
+/// Positional index over one list.
+#[derive(Debug, Clone)]
+pub struct ListPosIndex {
+    attr: AttrId,
+    class: ClassId,
+    map: BTreeMap<OrdValue, Vec<usize>>,
+    len: usize,
+}
+
+impl ListPosIndex {
+    /// Build over `list`, indexing `attr` of elements of `class`.
+    pub fn build(store: &ObjectStore, list: &List, class: ClassId, attr: AttrId) -> ListPosIndex {
+        let mut map: BTreeMap<OrdValue, Vec<usize>> = BTreeMap::new();
+        for (i, obj) in list.iter_objects(store) {
+            if obj.class() == class {
+                map.entry(OrdValue(obj.get(attr).clone()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        ListPosIndex {
+            attr,
+            class,
+            map,
+            len: list.len(),
+        }
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The indexed class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Positions where `attr == v`, ascending.
+    pub fn positions(&self, v: &Value) -> &[usize] {
+        self.map
+            .get(&OrdValue(v.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Candidate match-start positions for a pattern that requires
+    /// `attr == v` at fixed offset `offset` from the match start.
+    pub fn candidate_starts(&self, v: &Value, offset: usize) -> Vec<usize> {
+        self.positions(v)
+            .iter()
+            .filter_map(|&p| p.checked_sub(offset))
+            .collect()
+    }
+
+    /// Length of the indexed list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the indexed list was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, AttrType, ClassDef};
+
+    fn setup() -> (ObjectStore, ClassId, List) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(
+                ClassDef::new("Note", vec![AttrDef::stored("pitch", AttrType::Str)]).unwrap(),
+            )
+            .unwrap();
+        let mut l = List::new();
+        for ch in "GAXAF".chars() {
+            let oid = s
+                .insert_named("Note", &[("pitch", Value::str(ch.to_string()))])
+                .unwrap();
+            l.push(oid);
+        }
+        (s, c, l)
+    }
+
+    #[test]
+    fn positions_ascending() {
+        let (s, c, l) = setup();
+        let idx = ListPosIndex::build(&s, &l, c, AttrId(0));
+        assert_eq!(idx.positions(&Value::str("A")), &[1, 3]);
+        assert!(idx.positions(&Value::str("Z")).is_empty());
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn candidate_starts_apply_offset() {
+        let (s, c, l) = setup();
+        let idx = ListPosIndex::build(&s, &l, c, AttrId(0));
+        // Pattern [? A]: A required at offset 1 → candidates 0 and 2.
+        assert_eq!(idx.candidate_starts(&Value::str("A"), 1), vec![0, 2]);
+        // Offset larger than the position is discarded (underflow).
+        assert_eq!(
+            idx.candidate_starts(&Value::str("G"), 1),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn holes_are_skipped() {
+        let (mut s, c, _) = setup();
+        let mut l = List::new();
+        let oid = s
+            .insert_named("Note", &[("pitch", Value::str("A"))])
+            .unwrap();
+        l.push_hole("x");
+        l.push(oid);
+        let idx = ListPosIndex::build(&s, &l, c, AttrId(0));
+        assert_eq!(idx.positions(&Value::str("A")), &[1]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Column statistics for the cost model.
+//!
+//! The optimizer (see `aqua-optimizer`) chooses between a full pattern
+//! scan and an index-probe rewrite using estimated selectivities; these
+//! are the classic per-attribute statistics: row count, distinct values,
+//! and per-value frequencies (an exact histogram — the substrate is
+//! in-memory, so exactness is cheap).
+
+use std::collections::BTreeMap;
+
+use aqua_object::{AttrId, ClassId, ObjectStore, Value};
+use aqua_pattern::{CmpOp, PredExpr};
+
+use crate::attr_index::OrdValue;
+
+/// Exact statistics for one stored attribute of one class.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    class: ClassId,
+    attr: AttrId,
+    attr_name: String,
+    total: usize,
+    counts: BTreeMap<OrdValue, usize>,
+}
+
+impl ColumnStats {
+    /// Collect over the current extent.
+    pub fn build(store: &ObjectStore, class: ClassId, attr: AttrId) -> ColumnStats {
+        let mut counts: BTreeMap<OrdValue, usize> = BTreeMap::new();
+        for &oid in store.extent(class) {
+            *counts
+                .entry(OrdValue(store.attr(oid, attr).clone()))
+                .or_default() += 1;
+        }
+        let attr_name = store.class(class).attrs()[attr.index()].name.clone();
+        ColumnStats {
+            class,
+            attr,
+            attr_name,
+            total: store.extent(class).len(),
+            counts,
+        }
+    }
+
+    /// The class these statistics describe.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The attribute these statistics describe.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Extent size at collection time.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Exact frequency of one value.
+    pub fn frequency(&self, v: &Value) -> usize {
+        self.counts.get(&OrdValue(v.clone())).copied().unwrap_or(0)
+    }
+
+    /// Fraction of rows satisfying `attr op v` (exact, from the
+    /// histogram).
+    pub fn cmp_selectivity(&self, op: CmpOp, v: &Value) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let key = OrdValue(v.clone());
+        let matching: usize = self
+            .counts
+            .iter()
+            .filter(|(k, _)| match op {
+                CmpOp::Eq => **k == key,
+                CmpOp::Ne => **k != key && k.0.try_cmp(v).is_some(),
+                _ => {
+                    k.0.try_cmp(v)
+                        .map(|ord| match op {
+                            CmpOp::Lt => ord.is_lt(),
+                            CmpOp::Le => ord.is_le(),
+                            CmpOp::Gt => ord.is_gt(),
+                            CmpOp::Ge => ord.is_ge(),
+                            CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                        })
+                        .unwrap_or(false)
+                }
+            })
+            .map(|(_, c)| *c)
+            .sum();
+        matching as f64 / self.total as f64
+    }
+
+    /// Estimated selectivity of an alphabet-predicate over this
+    /// attribute. Comparisons on this attribute are exact; comparisons
+    /// on *other* attributes fall back to the classic 1/3 guess;
+    /// conjunction multiplies, disjunction adds (capped), negation
+    /// complements — the standard System-R style composition.
+    pub fn selectivity(&self, p: &PredExpr) -> f64 {
+        match p {
+            PredExpr::True => 1.0,
+            PredExpr::Cmp { attr, op, constant } => {
+                if *attr == self.attr_name {
+                    self.cmp_selectivity(*op, constant)
+                } else {
+                    1.0 / 3.0
+                }
+            }
+            PredExpr::And(a, b) => self.selectivity(a) * self.selectivity(b),
+            PredExpr::Or(a, b) => (self.selectivity(a) + self.selectivity(b)).min(1.0),
+            PredExpr::Not(a) => 1.0 - self.selectivity(a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_object::{AttrDef, AttrType, ClassDef};
+
+    fn setup() -> (ObjectStore, ClassId) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(ClassDef::new("P", vec![AttrDef::stored("v", AttrType::Int)]).unwrap())
+            .unwrap();
+        // values: 0 ×5, 1 ×3, 2 ×2
+        for (v, n) in [(0, 5), (1, 3), (2, 2)] {
+            for _ in 0..n {
+                s.insert_named("P", &[("v", Value::Int(v))]).unwrap();
+            }
+        }
+        (s, c)
+    }
+
+    #[test]
+    fn exact_frequencies() {
+        let (s, c) = setup();
+        let st = ColumnStats::build(&s, c, AttrId(0));
+        assert_eq!(st.total(), 10);
+        assert_eq!(st.distinct(), 3);
+        assert_eq!(st.frequency(&Value::Int(0)), 5);
+        assert_eq!(st.frequency(&Value::Int(9)), 0);
+    }
+
+    #[test]
+    fn cmp_selectivities() {
+        let (s, c) = setup();
+        let st = ColumnStats::build(&s, c, AttrId(0));
+        assert!((st.cmp_selectivity(CmpOp::Eq, &Value::Int(1)) - 0.3).abs() < 1e-9);
+        assert!((st.cmp_selectivity(CmpOp::Lt, &Value::Int(2)) - 0.8).abs() < 1e-9);
+        assert!((st.cmp_selectivity(CmpOp::Ne, &Value::Int(0)) - 0.5).abs() < 1e-9);
+        assert!((st.cmp_selectivity(CmpOp::Ge, &Value::Int(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicate_composition() {
+        let (s, c) = setup();
+        let st = ColumnStats::build(&s, c, AttrId(0));
+        let p = PredExpr::eq("v", 0).and(PredExpr::eq("v", 1));
+        assert!((st.selectivity(&p) - 0.15).abs() < 1e-9);
+        let q = PredExpr::eq("v", 0).or(PredExpr::eq("v", 1));
+        assert!((st.selectivity(&q) - 0.8).abs() < 1e-9);
+        let n = PredExpr::eq("v", 0).not();
+        assert!((st.selectivity(&n) - 0.5).abs() < 1e-9);
+        assert!((st.selectivity(&PredExpr::True) - 1.0).abs() < 1e-9);
+        // Unknown attribute → 1/3 default.
+        let other = PredExpr::eq("w", 0);
+        assert!((st.selectivity(&other) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_extent() {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(ClassDef::new("E", vec![AttrDef::stored("v", AttrType::Int)]).unwrap())
+            .unwrap();
+        let st = ColumnStats::build(&s, c, AttrId(0));
+        assert_eq!(st.cmp_selectivity(CmpOp::Eq, &Value::Int(0)), 0.0);
+    }
+}

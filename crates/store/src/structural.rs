@@ -1,0 +1,145 @@
+//! Structural index: interval numbering for trees (experiment B8).
+//!
+//! Assigns each node its preorder entry and postorder exit numbers;
+//! `u` is an ancestor of `v` iff `entry(u) ≤ entry(v)` and
+//! `exit(v) ≤ exit(u)`. Answers ancestor/descendant questions in O(1)
+//! (versus walking parent chains), which is what makes `all_anc` /
+//! `all_desc`-style context computations cheap on large trees.
+
+use aqua_algebra::{NodeId, Tree};
+
+/// Interval numbering over one tree.
+#[derive(Debug, Clone)]
+pub struct StructuralIndex {
+    intervals: Vec<(u32, u32)>,
+    /// Nodes in preorder, for rank → node resolution.
+    preorder: Vec<NodeId>,
+    /// Node → preorder rank.
+    rank: Vec<u32>,
+    /// Node → subtree size (number of nodes including self).
+    size: Vec<u32>,
+}
+
+impl StructuralIndex {
+    /// Build in one DFS.
+    pub fn build(tree: &Tree) -> StructuralIndex {
+        let intervals = tree.interval_numbering();
+        let preorder: Vec<NodeId> = tree.iter_preorder().collect();
+        let mut rank = vec![0u32; tree.len()];
+        for (r, &n) in preorder.iter().enumerate() {
+            rank[n.index()] = r as u32;
+        }
+        let mut size = vec![1u32; tree.len()];
+        for n in tree.iter_postorder() {
+            let s: u32 = tree
+                .children(n)
+                .iter()
+                .map(|k| size[k.index()])
+                .sum::<u32>()
+                + 1;
+            size[n.index()] = s;
+        }
+        StructuralIndex {
+            intervals,
+            preorder,
+            rank,
+            size,
+        }
+    }
+
+    /// O(1): is `anc` a (reflexive) ancestor of `node`?
+    #[inline]
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let (ae, ax) = self.intervals[anc.index()];
+        let (ne, nx) = self.intervals[node.index()];
+        ae <= ne && nx <= ax
+    }
+
+    /// O(1): subtree size of `node` (including itself).
+    #[inline]
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        self.size[node.index()] as usize
+    }
+
+    /// Preorder rank of `node` (0 = root).
+    #[inline]
+    pub fn preorder_rank(&self, node: NodeId) -> usize {
+        self.rank[node.index()] as usize
+    }
+
+    /// The descendants of `node` (including itself) as a contiguous
+    /// preorder-rank slice — descendants are exactly the next
+    /// `subtree_size` entries.
+    pub fn descendants(&self, node: NodeId) -> &[NodeId] {
+        let r = self.preorder_rank(node);
+        &self.preorder[r..r + self.subtree_size(node)]
+    }
+
+    /// Document-order comparison (preorder ranks).
+    pub fn doc_cmp(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        self.rank[a.index()].cmp(&self.rank[b.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_algebra::TreeBuilder;
+    use aqua_object::Oid;
+
+    /// a(b(d f) c) with OIDs 0..5 assigned in preorder.
+    fn sample() -> (Tree, Vec<NodeId>) {
+        let mut b = TreeBuilder::new();
+        let d = b.node(Oid(2), vec![]);
+        let f = b.node(Oid(3), vec![]);
+        let bb = b.node(Oid(1), vec![d, f]);
+        let c = b.node(Oid(4), vec![]);
+        let a = b.node(Oid(0), vec![bb, c]);
+        let t = b.finish(a).unwrap();
+        (t, vec![a, bb, d, f, c])
+    }
+
+    #[test]
+    fn ancestor_queries_match_walk() {
+        let (t, _) = sample();
+        let idx = StructuralIndex::build(&t);
+        for u in t.iter_preorder() {
+            for v in t.iter_preorder() {
+                assert_eq!(idx.is_ancestor(u, v), t.is_ancestor(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let (t, ids) = sample();
+        let idx = StructuralIndex::build(&t);
+        let [a, bb, d, _f, c] = ids[..] else { panic!() };
+        assert_eq!(idx.subtree_size(a), 5);
+        assert_eq!(idx.subtree_size(bb), 3);
+        assert_eq!(idx.subtree_size(d), 1);
+        assert_eq!(idx.subtree_size(c), 1);
+    }
+
+    #[test]
+    fn descendants_slice_is_contiguous() {
+        let (t, ids) = sample();
+        let idx = StructuralIndex::build(&t);
+        let bb = ids[1];
+        let ds = idx.descendants(bb);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0], bb);
+        // Every slice member is a real descendant.
+        for &n in ds {
+            assert!(t.is_ancestor(bb, n));
+        }
+    }
+
+    #[test]
+    fn ranks_and_doc_order() {
+        let (t, ids) = sample();
+        let idx = StructuralIndex::build(&t);
+        assert_eq!(idx.preorder_rank(ids[0]), 0);
+        assert!(idx.doc_cmp(ids[1], ids[4]).is_lt()); // b before c
+    }
+}

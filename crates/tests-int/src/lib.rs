@@ -1,0 +1,11 @@
+//! Host crate for cross-crate integration and property test suites.
+//!
+//! The suites live in `tests/`; this library only re-exports the
+//! workspace crates so the tests have a single import root.
+
+pub use aqua_algebra as algebra;
+pub use aqua_object as object;
+pub use aqua_optimizer as optimizer;
+pub use aqua_pattern as pattern;
+pub use aqua_store as store;
+pub use aqua_workload as workload;

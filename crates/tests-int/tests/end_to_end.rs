@@ -1,0 +1,201 @@
+//! End-to-end scenarios spanning all crates: object store → patterns →
+//! algebra → indices → optimizer, on each of the paper's motivating
+//! domains.
+
+use aqua_algebra::tree::{display, ops, split};
+use aqua_algebra::TreeBuilder;
+use aqua_object::{AttrId, Value};
+use aqua_optimizer::{Catalog, Optimizer};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_store::{ColumnStats, StructuralIndex, TreeNodeIndex};
+use aqua_workload::{DocumentGen, FamilyGen, ParseTreeGen};
+
+/// Family-tree analytics: build a 5 000-person genealogy, index it,
+/// plan and run the §4 query both ways, and cross-check contexts with
+/// the structural index.
+#[test]
+fn family_database_workflow() {
+    let d = FamilyGen::new(77).people(5000).generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(1)); // citizen
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(1));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+
+    let mut env = PredEnv::new();
+    env.define("Brazil", PredExpr::eq("citizen", "Brazil"));
+    env.define("USA", PredExpr::eq("citizen", "USA"));
+    let pattern = parse_tree_pattern("Brazil(!?* USA !?*)", &env).unwrap();
+
+    let (plan, explain) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+    assert!(plan.is_indexed(), "{explain}");
+    let cfg = MatchConfig::first_per_root();
+    let fast = plan.execute(&cat, &d.tree, &cfg).unwrap();
+
+    let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+    let naive = ops::sub_select(&d.store, &d.tree, &compiled, &cfg);
+    assert_eq!(fast.len(), naive.len());
+    assert!(!fast.is_empty(), "workload should contain matches");
+
+    // Context sanity via split + structural index: each match's
+    // descendants really are descendants of the match root.
+    let sidx = StructuralIndex::build(&d.tree);
+    for p in split::split_pieces(&d.store, &d.tree, &compiled, &cfg) {
+        let root = aqua_algebra::NodeId(p.raw.root);
+        for c in &p.raw.cuts {
+            assert!(sidx.is_ancestor(root, aqua_algebra::NodeId(c.root)));
+        }
+        // Pieces reassemble.
+        assert!(p.reassemble().structural_eq(&d.tree));
+    }
+}
+
+/// Compiler-style rewriting (§5): push one conjunct of every
+/// `select(R, and(p1, p2))` into a cascade, across all planted sites of
+/// a random parse tree, rewriting iteratively through `split`.
+#[test]
+fn parse_tree_rewriter_workflow() {
+    let d = ParseTreeGen::new(5)
+        .operators(120)
+        .rewrite_sites(6)
+        .generate();
+    let env = PredEnv::with_default_attr("op");
+    let compiled = parse_tree_pattern("select(!? and)", &env)
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+
+    let mut store = d.store.clone();
+    let mut tree = d.tree.clone();
+    let mut rewrites = 0;
+    // Rewrite one site at a time until none remain (each rewrite
+    // invalidates node ids, so re-split each round).
+    loop {
+        let pieces = split::split_pieces(&store, &tree, &compiled, &MatchConfig::first_per_root());
+        let Some(p) = pieces.into_iter().next() else {
+            break;
+        };
+        assert_eq!(p.descendants.len(), 3); // R, p1, p2
+        let sel_inner = store
+            .insert_named("PTNode", &[("op", Value::str("select"))])
+            .unwrap();
+        let sel_outer = store
+            .insert_named("PTNode", &[("op", Value::str("select"))])
+            .unwrap();
+        let mut b = TreeBuilder::new();
+        let h_r = b.hole_node(p.cut_labels[0].clone(), vec![]);
+        let h_p1 = b.hole_node(p.cut_labels[1].clone(), vec![]);
+        let inner = b.node(sel_inner, vec![h_r, h_p1]);
+        let h_p2 = b.hole_node(p.cut_labels[2].clone(), vec![]);
+        let outer = b.node(sel_outer, vec![inner, h_p2]);
+        let replacement = b.finish(outer).unwrap();
+        tree = p.reassemble_with(&replacement);
+        rewrites += 1;
+        assert!(rewrites <= d.planted_sites, "rewriting must terminate");
+    }
+    assert_eq!(rewrites, d.planted_sites);
+    // No `and` nodes remain under a select in the rewritten tree…
+    assert!(
+        split::split_pieces(&store, &tree, &compiled, &MatchConfig::first_per_root()).is_empty()
+    );
+    // …and the tree grew by exactly one node per site
+    // (select+select replaces select+and, plus nothing else changes —
+    // net zero; the two fresh selects replace select+and).
+    assert_eq!(tree.len(), d.tree.len());
+    // The rendering contains the cascade shape somewhere.
+    let rendered = display::render(&tree, &|oid| match store.attr(oid, AttrId(0)) {
+        Value::Str(s) => s.clone(),
+        _ => unreachable!(),
+    });
+    assert!(rendered.contains("select(select(R p1) p2)"));
+}
+
+/// Document outlines (§1 motivation): select section/figure skeleton,
+/// then find deeply nested sections via a chain pattern.
+#[test]
+fn document_outline_workflow() {
+    let d = DocumentGen::new(3).sections(6).depth(4).generate();
+    let kind = |name: &str| {
+        PredExpr::eq("kind", name)
+            .compile(d.class, d.store.class(d.class))
+            .unwrap()
+    };
+    // Outline: keep only sections; stability keeps the nesting.
+    let outline = ops::select(&d.store, &d.tree, &kind("section"));
+    let total_sections: usize = outline.iter().map(|t| t.len()).sum();
+    let source_sections = d
+        .tree
+        .iter_preorder()
+        .filter(|&n| {
+            d.tree
+                .oid(n)
+                .is_some_and(|o| d.store.attr(o, AttrId(0)) == &Value::str("section"))
+        })
+        .count();
+    assert_eq!(total_sections, source_sections);
+    assert!(total_sections >= 6);
+
+    // Sections that directly contain a section that contains a figure.
+    let env = PredEnv::with_default_attr("kind");
+    let cp = parse_tree_pattern("section(!?* section(!?* figure !?*) !?*)", &env)
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let nested = ops::sub_select(&d.store, &d.tree, &cp, &MatchConfig::first_per_root());
+    for m in &nested {
+        // Shape: section(section(figure)) after pruning.
+        let kinds: Vec<String> = m
+            .iter_preorder()
+            .filter_map(|n| m.oid(n))
+            .map(|o| match d.store.attr(o, AttrId(0)) {
+                Value::Str(s) => s.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kinds, vec!["section", "section", "figure"]);
+    }
+}
+
+/// Word-count analytics across bulk types: an `apply` that re-tags
+/// paragraphs by size, then a set-level rollup — exercising the
+/// set/tree interplay of §2.
+#[test]
+fn mixed_bulk_type_workflow() {
+    let d = DocumentGen::new(9).sections(5).generate();
+    let mut store = d.store.clone();
+
+    // apply: map every node to a fresh summary object (kind, size class).
+    let summarized = ops::apply(&d.tree, |oid| {
+        let words = match store.deref(oid).get(AttrId(2)) {
+            Value::Int(w) => *w,
+            _ => 0,
+        };
+        let class = if words > 200 { "big" } else { "small" };
+        store
+            .insert_named(
+                "DocNode",
+                &[
+                    ("kind", store.deref(oid).get(AttrId(0)).clone()),
+                    ("title", Value::str(class)),
+                    ("words", Value::Int(words)),
+                ],
+            )
+            .unwrap()
+    });
+    assert_eq!(summarized.len(), d.tree.len());
+
+    // Rollup: fold the node set into a (big, small) census.
+    let set: aqua_algebra::setops::AquaSet = summarized
+        .iter_preorder()
+        .filter_map(|n| summarized.oid(n))
+        .collect();
+    let (big, small) = set.fold((0usize, 0usize), |(b, s), oid| {
+        match store.attr(oid, AttrId(1)) {
+            Value::Str(t) if t == "big" => (b + 1, s),
+            _ => (b, s + 1),
+        }
+    });
+    assert_eq!(big + small, d.tree.len());
+}

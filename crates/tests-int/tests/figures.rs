@@ -1,0 +1,390 @@
+//! Experiments F1–F7: executable reproductions of every figure and
+//! worked example in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
+//!
+//! The paper has no performance tables; its five figures and two §5/§6
+//! walkthroughs are the checkable artifacts. Each test reconstructs the
+//! input, runs the paper's query, and asserts the paper's result.
+
+use aqua_algebra::tree::{concat, display, ops, split};
+use aqua_algebra::{list, List, Tree, TreeBuilder};
+use aqua_object::{AttrDef, AttrId, AttrType, ClassDef, ClassId, ObjectStore, Oid, Value};
+use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::{CcLabel, ListPattern, PredExpr};
+use aqua_workload::{FamilyGen, ParseTreeGen, SongGen};
+
+/// Label-attributed fixture shared by the figure tests.
+struct Fx {
+    store: ObjectStore,
+    class: ClassId,
+}
+
+impl Fx {
+    fn new() -> Self {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(
+                ClassDef::new("N", vec![AttrDef::stored("label", AttrType::Str)]).unwrap(),
+            )
+            .unwrap();
+        Fx { store, class }
+    }
+
+    fn obj(&mut self, label: &str) -> Oid {
+        self.store
+            .insert_named("N", &[("label", Value::str(label))])
+            .unwrap()
+    }
+
+    /// Build a tree from a preorder spec (single-char labels; `@x` = hole).
+    fn tree(&mut self, spec: &str) -> Tree {
+        let chars: Vec<char> = spec.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut b = TreeBuilder::new();
+        let mut pos = 0;
+        let root = self.parse(&chars, &mut pos, &mut b);
+        b.finish(root).unwrap()
+    }
+
+    fn parse(
+        &mut self,
+        chars: &[char],
+        pos: &mut usize,
+        b: &mut TreeBuilder,
+    ) -> aqua_algebra::NodeId {
+        let c = chars[*pos];
+        *pos += 1;
+        if c == '@' {
+            let l = chars[*pos];
+            *pos += 1;
+            return b.hole_node(CcLabel::new(l.to_string()), vec![]);
+        }
+        let mut kids = Vec::new();
+        if *pos < chars.len() && chars[*pos] == '(' {
+            *pos += 1;
+            while chars[*pos] != ')' {
+                let k = self.parse(chars, pos, b);
+                kids.push(k);
+            }
+            *pos += 1;
+        }
+        let oid = self.obj(&c.to_string());
+        b.node(oid, kids)
+    }
+
+    fn render(&self, t: &Tree) -> String {
+        display::render(t, &|oid| match self.store.attr(oid, AttrId(0)) {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+    }
+
+    fn env(&self) -> PredEnv {
+        PredEnv::with_default_attr("label")
+    }
+}
+
+/// F1 — Figure 1: `a(b(d(f g) e) c)` as the concatenation
+/// `[[a(α1 α2) ∘_α1 b(d(f g) e)]] ∘_α2 c`, both on instances (concat of
+/// trees with labeled NULLs) and as a pattern (compiled by substitution
+/// and matched against the assembled tree).
+#[test]
+fn f1_concatenation_points() {
+    let mut fx = Fx::new();
+    // Instance-level concatenation.
+    let base = fx.tree("a(@1 @2)");
+    let b = fx.tree("b(d(f g) e)");
+    let c = fx.tree("c");
+    let assembled = concat::concat_at(
+        &concat::concat_at(&base, &CcLabel::new("1"), &b),
+        &CcLabel::new("2"),
+        &c,
+    );
+    assert_eq!(fx.render(&assembled), "a(b(d(f g) e) c)");
+
+    // Pattern-level concatenation: the same expression as a pattern
+    // matches exactly the assembled tree, at the root.
+    let tp = parse_tree_pattern("[[a(@1 @2) .@1 b(d(f g) e)]] .@2 c", &fx.env())
+        .unwrap()
+        .compile(fx.class, fx.store.class(fx.class))
+        .unwrap();
+    let ms = ops::sub_select(&fx.store, &assembled, &tp, &MatchConfig::default());
+    assert_eq!(ms.len(), 1);
+    assert_eq!(fx.render(&ms[0]), "a(b(d(f g) e) c)");
+    // And it does not match the direct pattern's non-instances.
+    let other = fx.tree("a(b(d(f) e) c)");
+    assert!(ops::sub_select(&fx.store, &other, &tp, &MatchConfig::default()).is_empty());
+}
+
+/// F2 — Figure 2: the first four members of `L([[a(b c α)]]^{*α})` are
+/// the self-concatenation chains of depth 1–4, and nothing else of that
+/// shape family is.
+#[test]
+fn f2_self_concatenation_language() {
+    let mut fx = Fx::new();
+    let cp = parse_tree_pattern("[[a(b c @x)]]*@x", &fx.env())
+        .unwrap()
+        .compile(fx.class, fx.store.class(fx.class))
+        .unwrap();
+    let members = [
+        "a(b c)",
+        "a(b c a(b c))",
+        "a(b c a(b c a(b c)))",
+        "a(b c a(b c a(b c a(b c))))",
+    ];
+    for m in members {
+        let t = fx.tree(m);
+        let mut matcher = aqua_pattern::tree_match::TreeMatcher::new(&cp, &t, &fx.store);
+        assert!(
+            matcher.matches_at(aqua_pattern::tree_match::TreeAccess::root(&t)),
+            "{m}"
+        );
+    }
+    for bad in ["a(b)", "a(b c d)", "a(c b)", "b(b c)", "a(b c a(b))"] {
+        let t = fx.tree(bad);
+        let mut matcher = aqua_pattern::tree_match::TreeMatcher::new(&cp, &t, &fx.store);
+        assert!(
+            !matcher.matches_at(aqua_pattern::tree_match::TreeAccess::root(&t)),
+            "{bad}"
+        );
+    }
+}
+
+/// F3 — Figure 3: the family tree builds and `select` produces the
+/// stable forest §4 describes (ancestry compressed to nearest
+/// satisfying ancestor, one tree per maximal satisfying root).
+#[test]
+fn f3_family_tree_select() {
+    let d = FamilyGen::paper_tree();
+    let brazil = PredExpr::eq("citizen", "Brazil")
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let forest = ops::select(&d.store, &d.tree, &brazil);
+    // Ana(Brazil) is the root and satisfies: single tree Ana(Mat(Lia)).
+    assert_eq!(forest.len(), 1);
+    let names: Vec<String> = forest[0]
+        .iter_preorder()
+        .map(|n| {
+            let oid = forest[0].oid(n).unwrap();
+            match d.store.attr(oid, AttrId(0)) {
+                Value::Str(s) => s.clone(),
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    assert_eq!(names, vec!["Ana", "Mat", "Lia"]);
+
+    // USA query: roots are maximal American descendants.
+    let usa = PredExpr::eq("citizen", "USA")
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let forest = ops::select(&d.store, &d.tree, &usa);
+    // Joe, Ed(Tim Ann), Sue — in document order.
+    assert_eq!(forest.len(), 3);
+    assert_eq!(forest[1].len(), 3);
+}
+
+/// F4 — Figure 4: `split(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T)`
+/// produces, per match, the ancestors-with-context, the match with
+/// concatenation points where pieces were cut, and the descendants —
+/// with `α_1` a `!?*`-pruned subtree and `α_2` a descendant of the
+/// match, exactly as the figure annotates. Reassembly is exact.
+#[test]
+fn f4_split_three_pieces() {
+    let d = FamilyGen::paper_tree();
+    let mut env = PredEnv::new();
+    env.define("Brazil", PredExpr::eq("citizen", "Brazil"));
+    env.define("USA", PredExpr::eq("citizen", "USA"));
+    let cp = parse_tree_pattern("Brazil(!?* USA !?*)", &env)
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let results = split::split(&d.store, &d.tree, &cp, &MatchConfig::default(), |p| {
+        (
+            p.context.clone(),
+            p.matched.clone(),
+            p.descendants.clone(),
+            p.reassemble(),
+        )
+    });
+    assert_eq!(results.len(), 3);
+    for (x, y, z, roundtrip) in &results {
+        // x has exactly one hole (α) where the match was cut out.
+        assert_eq!(x.hole_labels().len(), 1);
+        // y is Brazil(... USA ...) with one hole per descendant piece.
+        assert_eq!(y.hole_labels().len(), z.len());
+        // The pieces reassemble to the original tree.
+        assert!(roundtrip.structural_eq(&d.tree));
+    }
+    // The Mat match mirrors the figure: Lia pruned (α1-style), Ed's
+    // children cut as descendants (α2-style), Raj pruned (α3-style).
+    let mat_match = &results[1].1;
+    let name_of = |t: &Tree, n: aqua_algebra::NodeId| -> String {
+        t.oid(n)
+            .map(|o| match d.store.attr(o, AttrId(0)) {
+                Value::Str(s) => s.clone(),
+                _ => unreachable!(),
+            })
+            .unwrap_or_else(|| "@".into())
+    };
+    let kept: Vec<String> = mat_match
+        .iter_preorder()
+        .filter(|&n| mat_match.oid(n).is_some())
+        .map(|n| name_of(mat_match, n))
+        .collect();
+    assert_eq!(kept, vec!["Mat", "Ed"]);
+    assert_eq!(results[1].2.len(), 4); // Lia-subtree, Tim, Ann, Raj
+}
+
+/// F5 — §5: rewrite `select(R, and(p1, p2))` into
+/// `select(select(R, p1), p2)` using `split(select(!? and), f)` and
+/// reassembly — the parse-tree optimization the paper sketches.
+#[test]
+fn f5_parse_tree_rewrite() {
+    let d = ParseTreeGen::fig5_tree();
+    let env = PredEnv::with_default_attr("op");
+    let cp = parse_tree_pattern("select(!? and)", &env)
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let pieces = split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::default());
+    assert_eq!(pieces.len(), 1);
+    let p = &pieces[0];
+    // z = [R, p1, p2] in document order.
+    assert_eq!(p.descendants.len(), 3);
+
+    // Build the replacement y' = select(select(@1, p2-copy?) …) — the
+    // paper's f builds select(select(R, p1), p2) with the z pieces
+    // reattached through the concatenation points. We need two fresh
+    // `select` nodes and reuse the three cut labels for R, p1, p2.
+    let mut store = d.store.clone();
+    let sel_inner = store
+        .insert_named("PTNode", &[("op", Value::str("select"))])
+        .unwrap();
+    let sel_outer = store
+        .insert_named("PTNode", &[("op", Value::str("select"))])
+        .unwrap();
+    let (l_r, l_p1, l_p2) = (
+        p.cut_labels[0].clone(),
+        p.cut_labels[1].clone(),
+        p.cut_labels[2].clone(),
+    );
+    let mut b = TreeBuilder::new();
+    let h_r = b.hole_node(l_r, vec![]);
+    let h_p1 = b.hole_node(l_p1, vec![]);
+    let inner = b.node(sel_inner, vec![h_r, h_p1]);
+    let h_p2 = b.hole_node(l_p2, vec![]);
+    let outer = b.node(sel_outer, vec![inner, h_p2]);
+    let replacement = b.finish(outer).unwrap();
+
+    let rewritten = p.reassemble_with(&replacement);
+    let render = display::render(&rewritten, &|oid| match store.attr(oid, AttrId(0)) {
+        Value::Str(s) => s.clone(),
+        _ => unreachable!(),
+    });
+    // Original: join(select(R and(p1 p2)) scan)
+    // Rewritten: join(select(select(R p1) p2) scan)
+    assert_eq!(render, "join(select(select(R p1) p2) scan)");
+    // Same node count: 5 site nodes become 5 (select+select+R+p1+p2).
+    assert_eq!(rewritten.len(), d.tree.len());
+}
+
+/// F6 — §5's variable-arity query:
+/// `sub_select(printf(?* LargeData ?* LargeData ?*))(T)` returns the
+/// printf nodes referring to LargeData at least twice, with all their
+/// parameters.
+#[test]
+fn f6_printf_variable_arity() {
+    let mut fx = Fx::new();
+    // p = printf, L = LargeData; three printfs with 2, 1, and 3 refs.
+    let t = fx.tree("m(p(x L y L) p(L z) p(L L L))");
+    let cp = parse_tree_pattern("p(?* L ?* L ?*)", &fx.env())
+        .unwrap()
+        .compile(fx.class, fx.store.class(fx.class))
+        .unwrap();
+    let ms = ops::sub_select(&fx.store, &t, &cp, &MatchConfig::first_per_root());
+    assert_eq!(ms.len(), 2);
+    assert_eq!(fx.render(&ms[0]), "p(x L y L)");
+    assert_eq!(fx.render(&ms[1]), "p(L L L)");
+}
+
+/// F7 — §6's music queries: `sub_select([A??F])(L)` finds the melody
+/// phrases; `all_anc([A??F], λ(x,y)⟨x,y⟩)(L)` pairs each with its
+/// preceding context.
+#[test]
+fn f7_melody_queries() {
+    let d = SongGen::new(42)
+        .notes(400)
+        .plant(vec!["A", "D", "E", "F"], 3)
+        .generate();
+    let env = PredEnv::with_default_attr("pitch");
+    let (re, s, e) = parse_list_pattern("[A ? ? F]", &env).unwrap();
+    let pattern = ListPattern::compile(re, s, e, d.class, d.store.class(d.class)).unwrap();
+
+    let phrases = list::ops::sub_select(
+        &d.store,
+        &d.song,
+        &pattern,
+        aqua_pattern::list::MatchMode::All,
+    );
+    // All planted sites found (chance A??F extras allowed).
+    assert!(phrases.len() >= 3);
+    for ph in &phrases {
+        assert_eq!(ph.len(), 4);
+        let pitches: Vec<&Value> = ph
+            .iter_objects(&d.store)
+            .map(|(_, o)| o.get(AttrId(0)))
+            .collect();
+        assert_eq!(pitches[0], &Value::str("A"));
+        assert_eq!(pitches[3], &Value::str("F"));
+    }
+
+    let pairs = list::ops::all_anc(
+        &d.store,
+        &d.song,
+        &pattern,
+        aqua_pattern::list::MatchMode::All,
+        |x, y| (x.len(), y.len(), x.clone()),
+    );
+    assert_eq!(pairs.len(), phrases.len());
+    for ((xlen, ylen, x), m) in pairs.iter().zip(list::ops::find_matches(
+        &d.store,
+        &d.song,
+        &pattern,
+        aqua_pattern::list::MatchMode::All,
+    )) {
+        // Ancestors piece = everything before the match + the α hole.
+        assert_eq!(*xlen, m.start + 1);
+        assert_eq!(*ylen, 4);
+        assert!(x.elems().last().unwrap().hole().is_some());
+    }
+}
+
+/// The §2 claim that AQUA sets are trees/lists with empty edge sets:
+/// `select` on a single-node tree behaves exactly like set `select` on
+/// a singleton, and list select on an order-destroyed list equals set
+/// select contents.
+#[test]
+fn set_compatibility() {
+    let mut fx = Fx::new();
+    let oids: Vec<Oid> = ["u", "v", "u", "w"].iter().map(|l| fx.obj(l)).collect();
+    let pred = PredExpr::eq("label", "u")
+        .compile(fx.class, fx.store.class(fx.class))
+        .unwrap();
+
+    // Set select.
+    let set: aqua_algebra::setops::AquaSet = oids.iter().copied().collect();
+    let set_sel = set.select(&fx.store, &pred);
+
+    // List select over the same elements keeps order; contents agree.
+    let l = List::from_oids(oids.iter().copied());
+    let list_sel = list::ops::select(&fx.store, &l, &pred);
+    assert_eq!(list_sel.oids(), set_sel.items());
+
+    // Single-node trees: select returns the node iff the predicate holds.
+    for &o in &oids {
+        let t = Tree::leaf(o);
+        let forest = ops::select(&fx.store, &t, &pred);
+        let in_set = set_sel.items().contains(&o);
+        assert_eq!(forest.len() == 1, in_set);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property suite: the list ↔ list-like-tree embedding (paper §6).
+//!
+//! "We can view a list as a tree in which each tree-node has at most
+//! one child. As a result, list operators translate to the
+//! corresponding tree operators applied to list-like trees." These
+//! properties run both sides and compare:
+//!
+//! * `embed ∘ project = id` on lists; `project ∘ embed = id` on chains.
+//! * list `select` = tree `select` on the embedded chain, re-projected.
+//! * list `apply` = tree `apply` on the embedded chain, re-projected.
+//! * list `sub_select` for a fixed-length pattern `[p₁ … p_k]` = tree
+//!   `sub_select` of the chain pattern `p₁(p₂(…(p_k)))` on the embedded
+//!   tree (the §6 notation translation).
+
+use aqua_algebra::list::{embed, ops as lops};
+use aqua_algebra::tree::ops as tops;
+use aqua_object::{AttrId, Oid, Value};
+use aqua_pattern::ast::Re;
+use aqua_pattern::list::{ListPattern, MatchMode, Sym};
+use aqua_pattern::tree_ast::{TreePat, TreePattern};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_workload::SongGen;
+use proptest::prelude::*;
+
+/// Translate a fixed-length list pattern (sequence of node tests) to
+/// the §6 chain tree pattern `p₁(p₂(…))` — each node has exactly one
+/// child except the last, which is a pattern leaf (whose frontier cut
+/// corresponds to the rest of the list).
+fn chain_pattern(tests: &[Option<&str>]) -> TreePat {
+    let mk = |t: &Option<&str>| t.as_ref().map(|p| PredExpr::eq("pitch", *p));
+    let mut iter = tests.iter().rev();
+    let last = iter.next().expect("non-empty pattern");
+    let mut pat = match mk(last) {
+        None => TreePat::any(),
+        Some(p) => TreePat::pred(p),
+    };
+    for t in iter {
+        pat = match mk(t) {
+            None => TreePat::any_node(Re::Leaf(pat)),
+            Some(p) => TreePat::pred_node(p, Re::Leaf(pat)),
+        };
+    }
+    pat
+}
+
+fn list_pattern(tests: &[Option<&str>]) -> Re<Sym> {
+    let mut re: Option<Re<Sym>> = None;
+    for t in tests {
+        let item = match t {
+            None => Sym::any(),
+            Some(p) => Sym::pred(PredExpr::eq("pitch", *p)),
+        };
+        re = Some(match re {
+            None => item,
+            Some(r) => r.then(item),
+        });
+    }
+    re.expect("non-empty pattern")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Round trip through the embedding.
+    #[test]
+    fn embed_project_roundtrip(seed in 0u64..5000, notes in 1usize..100) {
+        let d = SongGen::new(seed).notes(notes).generate();
+        let t = embed::to_tree(&d.song).unwrap();
+        prop_assert_eq!(t.len(), d.song.len());
+        let back = embed::from_tree(&t).unwrap();
+        prop_assert_eq!(back, d.song);
+    }
+
+    /// select commutes with the embedding.
+    #[test]
+    fn select_commutes(seed in 0u64..5000, notes in 1usize..100) {
+        let d = SongGen::new(seed).notes(notes).generate();
+        let pred = PredExpr::eq("pitch", "A")
+            .compile(d.class, d.store.class(d.class)).unwrap();
+        let list_side = lops::select(&d.store, &d.song, &pred);
+
+        let t = embed::to_tree(&d.song).unwrap();
+        let forest = tops::select(&d.store, &t, &pred);
+        // The forest of a chain is itself a sequence of chains; their
+        // concatenated preorder OIDs equal the filtered list.
+        let tree_side: Vec<Oid> = forest.iter()
+            .flat_map(|f| f.iter_preorder().filter_map(|n| f.oid(n)).collect::<Vec<_>>())
+            .collect();
+        prop_assert_eq!(list_side.oids(), tree_side);
+    }
+
+    /// apply commutes with the embedding.
+    #[test]
+    fn apply_commutes(seed in 0u64..5000, notes in 1usize..100) {
+        let mut d = SongGen::new(seed).notes(notes).generate();
+        // One target object to map everything onto.
+        let target = d.store
+            .insert_named("Note", &[("pitch", Value::str("Z")), ("duration", Value::Int(1))])
+            .unwrap();
+        let list_side = lops::apply(&d.song, |_| target);
+        let t = embed::to_tree(&d.song).unwrap();
+        let tree_side = embed::from_tree(&tops::apply(&t, |_| target)).unwrap();
+        prop_assert_eq!(list_side, tree_side);
+    }
+
+    /// Fixed-length sub_select agrees through the §6 pattern translation.
+    #[test]
+    fn sub_select_commutes_for_fixed_patterns(
+        seed in 0u64..5000,
+        notes in 3usize..80,
+        shape in prop::collection::vec(prop::option::of("[A-C]"), 1..4),
+    ) {
+        let d = SongGen::new(seed).notes(notes).generate();
+        let tests: Vec<Option<&str>> = shape.iter().map(|o| o.as_deref()).collect();
+
+        // List side.
+        let lp = ListPattern::compile(
+            list_pattern(&tests), false, false, d.class, d.store.class(d.class),
+        ).unwrap();
+        let list_matches: Vec<Vec<Oid>> = lops::sub_select(&d.store, &d.song, &lp, MatchMode::All)
+            .iter().map(|l| l.oids()).collect();
+
+        // Tree side: chain pattern over the embedded chain.
+        let tp = TreePattern::new(chain_pattern(&tests))
+            .compile(d.class, d.store.class(d.class)).unwrap();
+        let t = embed::to_tree(&d.song).unwrap();
+        let tree_matches: Vec<Vec<Oid>> = tops::sub_select(&d.store, &t, &tp, &MatchConfig::default())
+            .iter()
+            .map(|m| m.iter_preorder().filter_map(|n| m.oid(n)).collect())
+            .collect();
+
+        prop_assert_eq!(list_matches, tree_matches);
+    }
+
+    /// The pitch content survives the embedding (sanity on payloads).
+    #[test]
+    fn payloads_survive(seed in 0u64..5000, notes in 1usize..60) {
+        let d = SongGen::new(seed).notes(notes).generate();
+        let t = embed::to_tree(&d.song).unwrap();
+        let list_pitches: Vec<Value> = d.song.iter_objects(&d.store)
+            .map(|(_, o)| o.get(AttrId(0)).clone()).collect();
+        let tree_pitches: Vec<Value> = t.iter_preorder()
+            .filter_map(|n| t.oid(n))
+            .map(|o| d.store.deref(o).get(AttrId(0)).clone())
+            .collect();
+        prop_assert_eq!(list_pitches, tree_pitches);
+    }
+}

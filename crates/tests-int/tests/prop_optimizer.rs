@@ -1,0 +1,204 @@
+//! Property suite: rewrite correctness — every plan the optimizer can
+//! choose returns exactly the naive operator's result (the rewrites of
+//! §4 are equivalences, not approximations).
+
+use aqua_algebra::list::ops as lops;
+use aqua_algebra::tree::ops as tops;
+use aqua_object::{AttrId, ObjectStore, Value};
+use aqua_optimizer::{Catalog, Optimizer};
+use aqua_pattern::list::{ListPattern, MatchMode};
+use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_store::{AttrIndex, ColumnStats, ListPosIndex, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::SongGen;
+use proptest::prelude::*;
+
+const TREE_PATTERNS: &[&str] = &[
+    "d",
+    "d(?*)",
+    "d(!?* a !?*)",
+    "a(b ?*)",
+    "d(?*)|c(?*)",
+    "b(d(?*) ?*)",
+];
+
+const LIST_PATTERNS: &[&str] = &["[A]", "[A ? F]", "[A B]", "[A !? F]", "[A [[B|C]] ?]"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tree sub_select: indexed plan ≡ full scan ≡ naive operator.
+    #[test]
+    fn tree_plans_equivalent(seed in 0u64..5000, nodes in 2usize..120, pi in 0usize..TREE_PATTERNS.len()) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(nodes)
+            .label_weights(&[("a", 4), ("b", 3), ("c", 2), ("d", 1)])
+            .generate();
+        let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+        let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+        let mut cat = Catalog::new(&d.store, d.class);
+        cat.add_tree_index(&idx).add_stats(&stats);
+        let opt = Optimizer::new(&cat);
+
+        let env = PredEnv::with_default_attr("label");
+        let pattern = parse_tree_pattern(TREE_PATTERNS[pi], &env).unwrap();
+        let cfg = MatchConfig::first_per_root();
+
+        let (plan, _explain) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+        let fast = plan.execute(&cat, &d.tree, &cfg).unwrap();
+
+        let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+        let naive = tops::sub_select(&d.store, &d.tree, &compiled, &cfg);
+
+        prop_assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            prop_assert!(a.structural_eq(b));
+        }
+    }
+
+    /// Tree split: the same plans execute as `split` and agree with the
+    /// naive `split_pieces` decomposition (pieces reassemble too).
+    #[test]
+    fn split_plans_equivalent(seed in 0u64..5000, nodes in 2usize..80, pi in 0usize..TREE_PATTERNS.len()) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(nodes)
+            .label_weights(&[("a", 4), ("b", 3), ("c", 2), ("d", 1)])
+            .generate();
+        let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+        let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+        let mut cat = Catalog::new(&d.store, d.class);
+        cat.add_tree_index(&idx).add_stats(&stats);
+        let opt = Optimizer::new(&cat);
+        let env = PredEnv::with_default_attr("label");
+        let pattern = parse_tree_pattern(TREE_PATTERNS[pi], &env).unwrap();
+        let cfg = MatchConfig::first_per_root();
+
+        let (plan, _) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+        let fast = plan.execute_split(&cat, &d.tree, &cfg).unwrap();
+        let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+        let naive = aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &compiled, &cfg);
+        prop_assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            prop_assert!(a.matched.structural_eq(&b.matched));
+            prop_assert!(a.reassemble().structural_eq(&d.tree));
+        }
+    }
+
+    /// Tree select: indexed walk ≡ naive walk (forest-for-forest).
+    #[test]
+    fn tree_select_plans_equivalent(seed in 0u64..5000, nodes in 2usize..120) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(nodes)
+            .label_weights(&[("u", 1), ("x", 6)])
+            .generate();
+        let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+        let sidx = aqua_store::StructuralIndex::build(&d.tree);
+        let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+        let mut cat = Catalog::new(&d.store, d.class);
+        cat.add_tree_index(&idx).add_structural_index(&sidx).add_stats(&stats);
+        let opt = Optimizer::new(&cat);
+        let pred = PredExpr::eq("label", "u");
+        let (plan, _) = opt.plan_tree_select(&pred, d.tree.len()).unwrap();
+        let fast = plan.execute(&cat, &d.tree).unwrap();
+        let compiled = pred.compile(d.class, d.store.class(d.class)).unwrap();
+        let naive = tops::select(&d.store, &d.tree, &compiled);
+        prop_assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            prop_assert!(a.structural_eq(b));
+        }
+    }
+
+    /// Set select: indexed plan ≡ extent scan, any conjunct mix.
+    #[test]
+    fn set_plans_equivalent(seed in 0u64..5000, n in 1usize..300, v1 in 0i64..5, v2 in 0i64..3) {
+        let mut store = ObjectStore::new();
+        let class = store.define_class(aqua_object::ClassDef::new(
+            "P",
+            vec![
+                aqua_object::AttrDef::stored("a", aqua_object::AttrType::Int),
+                aqua_object::AttrDef::stored("b", aqua_object::AttrType::Int),
+            ],
+        ).unwrap()).unwrap();
+        let mut rng_state = seed;
+        let mut next = || { rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (rng_state >> 33) as i64 };
+        for _ in 0..n {
+            let a = next().rem_euclid(5);
+            let b = next().rem_euclid(3);
+            store.insert_named("P", &[("a", Value::Int(a)), ("b", Value::Int(b))]).unwrap();
+        }
+        let ia = AttrIndex::build(&store, class, AttrId(0));
+        let sa = ColumnStats::build(&store, class, AttrId(0));
+        let mut cat = Catalog::new(&store, class);
+        cat.add_attr_index(&ia).add_stats(&sa);
+        let opt = Optimizer::new(&cat);
+
+        let pred = PredExpr::eq("a", v1).and(PredExpr::eq("b", v2));
+        let (plan, _) = opt.plan_set_select(&pred).unwrap();
+        let fast = plan.execute(&cat).unwrap();
+
+        let compiled = pred.compile(class, store.class(class)).unwrap();
+        let naive: Vec<_> = store.extent(class).iter().copied()
+            .filter(|&o| compiled.eval(&store, o)).collect();
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// List sub_select: positional plan ≡ full scan ≡ naive operator.
+    #[test]
+    fn list_plans_equivalent(seed in 0u64..5000, notes in 2usize..200, pi in 0usize..LIST_PATTERNS.len()) {
+        let d = SongGen::new(seed).notes(notes).generate();
+        let idx = ListPosIndex::build(&d.store, &d.song, d.class, AttrId(0));
+        let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+        let mut cat = Catalog::new(&d.store, d.class);
+        cat.add_list_index(&idx).add_stats(&stats);
+        let opt = Optimizer::new(&cat);
+
+        let env = PredEnv::with_default_attr("pitch");
+        let (re, s, e) = parse_list_pattern(LIST_PATTERNS[pi], &env).unwrap();
+        let (plan, _) = opt.plan_list_sub_select(&re, s, e, d.song.len()).unwrap();
+        let fast = plan.execute(&cat, &d.song).unwrap();
+
+        let pattern = ListPattern::compile(re, s, e, d.class, d.store.class(d.class)).unwrap();
+        let naive = lops::find_matches(&d.store, &d.song, &pattern, MatchMode::All);
+        prop_assert_eq!(fast, naive);
+    }
+}
+
+/// Deterministic check that the rewrites *do* fire when profitable (the
+/// property tests above would pass even if the optimizer always chose
+/// the naive plan).
+#[test]
+fn rules_fire_on_selective_workloads() {
+    // Large tree, rare root label with statistics: indexed plan must win.
+    let d = RandomTreeGen::new(1)
+        .nodes(20_000)
+        .label_weights(&[("d", 1), ("x", 999)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("d(?*)", &env).unwrap();
+    let (plan, explain) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+    assert!(plan.is_indexed(), "explain:\n{explain}");
+    assert!(explain.used_rule("decompose"));
+
+    // Unselective probe (every node is a `d`): the index narrows
+    // nothing, so the full scan must win.
+    let dense = RandomTreeGen::new(2)
+        .nodes(1000)
+        .label_weights(&[("d", 1)])
+        .generate();
+    let idx2 = TreeNodeIndex::build(&dense.store, &dense.tree, dense.class, AttrId(0));
+    let stats2 = ColumnStats::build(&dense.store, dense.class, AttrId(0));
+    let mut cat2 = Catalog::new(&dense.store, dense.class);
+    cat2.add_tree_index(&idx2).add_stats(&stats2);
+    let opt2 = Optimizer::new(&cat2);
+    let (plan2, _) = opt2
+        .plan_tree_sub_select(&pattern, dense.tree.len())
+        .unwrap();
+    assert!(!plan2.is_indexed());
+}

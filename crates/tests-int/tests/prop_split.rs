@@ -1,0 +1,196 @@
+//! Property suite: `split` exactness and `sub_select` derivability on
+//! random trees × random patterns.
+//!
+//! The paper's formal definition of `split` (§4) requires
+//! `x ∘_α y ∘_{α_1} t_1 ⋯ ∘_{α_n} t_n = T` with `y ∘ nil… ∈ L(tp)`.
+//! These properties check both halves on generated inputs, plus the §4
+//! claim that `sub_select` is the `split`-derived operator.
+
+use aqua_algebra::tree::{ops, split};
+use aqua_algebra::Tree;
+use aqua_pattern::ast::Re;
+use aqua_pattern::tree_ast::{NodeTest, TreePat, TreePattern};
+use aqua_pattern::tree_match::{MatchConfig, TreeAccess, TreeMatcher};
+use aqua_pattern::PredExpr;
+use aqua_workload::random_tree::{RandomTreeGen, TreeDataset};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+
+fn dataset(seed: u64, nodes: usize) -> TreeDataset {
+    RandomTreeGen::new(seed)
+        .nodes(nodes)
+        .max_arity(3)
+        .label_weights(&[("a", 3), ("b", 3), ("c", 2), ("d", 1)])
+        .generate()
+}
+
+/// A random tree pattern without free concatenation points: node tests
+/// over the generator's label alphabet, child regexes with wildcards,
+/// stars, prunes, and alternation, bounded depth.
+fn random_pattern(rng: &mut StdRng, depth: usize) -> TreePat {
+    fn test(rng: &mut StdRng) -> NodeTest {
+        if rng.gen_bool(0.3) {
+            NodeTest::Any
+        } else {
+            NodeTest::Pred(PredExpr::eq(
+                "label",
+                LABELS[rng.gen_range(0..LABELS.len())],
+            ))
+        }
+    }
+    // Closures over points are exercised separately (they need chain-
+    // shaped data to be non-trivial); here: leaves and node patterns.
+    if depth == 0 || rng.gen_bool(0.35) {
+        return TreePat::Leaf(test(rng));
+    }
+    let n_items = rng.gen_range(1..=3);
+    let mut re: Option<Re<TreePat>> = None;
+    for _ in 0..n_items {
+        let mut item = Re::Leaf(random_pattern(rng, depth - 1));
+        match rng.gen_range(0..5) {
+            0 => item = item.star(),
+            1 => item = item.prune(),
+            2 => item = item.prune().star(),
+            _ => {}
+        }
+        re = Some(match re {
+            None => item,
+            Some(r) => r.then(item),
+        });
+    }
+    // Occasionally allow trailing wildcard slack so internal nodes match.
+    let mut children = re.unwrap();
+    if rng.gen_bool(0.6) {
+        children = children.then(Re::Leaf(TreePat::any()).star());
+    }
+    TreePat::Node(test(rng), Box::new(children))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Split round-trip: every match's pieces reassemble to the tree.
+    #[test]
+    fn split_roundtrip(seed in 0u64..5000, nodes in 2usize..60, pseed in 0u64..5000) {
+        let d = dataset(seed, nodes);
+        let mut rng = StdRng::seed_from_u64(pseed);
+        let pat = TreePattern::new(random_pattern(&mut rng, 2));
+        let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
+        let pieces = split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::first_per_root());
+        for p in pieces {
+            prop_assert!(p.reassemble().structural_eq(&d.tree));
+        }
+    }
+
+    /// Formal-language membership: the nil-reduced match piece is in the
+    /// pattern's language (bool-matches at its root) — for matches with
+    /// no `!`-pruned cuts. Pruning deliberately removes *required*
+    /// structure from the returned piece (the paper's own §5 example
+    /// `select(!? and)` prunes a required child), so pruned matches are
+    /// outside this law; their exactness is covered by the round-trip
+    /// property instead.
+    #[test]
+    fn match_piece_in_pattern_language(seed in 0u64..5000, nodes in 2usize..60, pseed in 0u64..5000) {
+        let d = dataset(seed, nodes);
+        let mut rng = StdRng::seed_from_u64(pseed);
+        let pat = TreePattern::new(random_pattern(&mut rng, 2));
+        let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
+        let mut matcher0 = TreeMatcher::new(&cp, &d.tree, &d.store);
+        let cfg = MatchConfig::first_per_root();
+        for m in matcher0.find_matches(&cfg) {
+            if m.cuts
+                .iter()
+                .any(|c| c.origin == aqua_pattern::tree_match::CutOrigin::Pruned)
+            {
+                continue;
+            }
+            let pieces = split::pieces_for_match(&d.tree, m);
+            let mut reduced = pieces.matched.clone();
+            for label in &pieces.cut_labels {
+                reduced = aqua_algebra::tree::concat::concat_nil(&reduced, label).unwrap();
+            }
+            let mut matcher = TreeMatcher::new(&cp, &reduced, &d.store);
+            let root = TreeAccess::root(&reduced);
+            prop_assert!(matcher.matches_at(root), "reduced match must re-match");
+        }
+    }
+
+    /// Derivability: direct sub_select equals the split-derived form.
+    #[test]
+    fn sub_select_equals_derivation(seed in 0u64..5000, nodes in 2usize..60, pseed in 0u64..5000) {
+        let d = dataset(seed, nodes);
+        let mut rng = StdRng::seed_from_u64(pseed);
+        let pat = TreePattern::new(random_pattern(&mut rng, 2));
+        let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
+        let cfg = MatchConfig::first_per_root();
+        let direct = ops::sub_select(&d.store, &d.tree, &cp, &cfg);
+        let derived = ops::sub_select_via_split(&d.store, &d.tree, &cp, &cfg);
+        prop_assert_eq!(direct.len(), derived.len());
+        for (a, b) in direct.iter().zip(&derived) {
+            prop_assert!(a.structural_eq(b));
+        }
+    }
+
+    /// Partition: for each match, {context minus hole} ∪ {match kept
+    /// nodes} ∪ {descendant pieces} has exactly the original node count.
+    #[test]
+    fn pieces_partition_the_tree(seed in 0u64..5000, nodes in 2usize..60, pseed in 0u64..5000) {
+        let d = dataset(seed, nodes);
+        let mut rng = StdRng::seed_from_u64(pseed);
+        let pat = TreePattern::new(random_pattern(&mut rng, 2));
+        let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
+        for p in split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::first_per_root()) {
+            let ctx_objs = count_objects(&p.context);
+            let match_objs = count_objects(&p.matched);
+            let desc_objs: usize = p.descendants.iter().map(count_objects).sum();
+            prop_assert_eq!(ctx_objs + match_objs + desc_objs, d.tree.len());
+        }
+    }
+
+    /// Anchored ⊤-patterns only match at the root; ⊥-patterns never cut
+    /// a frontier.
+    #[test]
+    fn anchors_hold(seed in 0u64..5000, nodes in 2usize..60, pseed in 0u64..5000) {
+        let d = dataset(seed, nodes);
+        let mut rng = StdRng::seed_from_u64(pseed);
+        let base = random_pattern(&mut rng, 2);
+        let rooted = TreePattern::new(base.clone()).anchored_root()
+            .compile(d.class, d.store.class(d.class)).unwrap();
+        let mut m = TreeMatcher::new(&rooted, &d.tree, &d.store);
+        for tm in m.find_matches(&MatchConfig::first_per_root()) {
+            prop_assert_eq!(tm.root, TreeAccess::root(&d.tree));
+        }
+        let leafy = TreePattern::new(base).anchored_leaves()
+            .compile(d.class, d.store.class(d.class)).unwrap();
+        let mut m = TreeMatcher::new(&leafy, &d.tree, &d.store);
+        for tm in m.find_matches(&MatchConfig::first_per_root()) {
+            prop_assert!(tm
+                .cuts
+                .iter()
+                .all(|c| c.origin != aqua_pattern::tree_match::CutOrigin::Frontier));
+        }
+    }
+
+    /// Memoization is semantically invisible.
+    #[test]
+    fn memo_ablation_equal(seed in 0u64..2000, nodes in 2usize..40, pseed in 0u64..2000) {
+        let d = dataset(seed, nodes);
+        let mut rng = StdRng::seed_from_u64(pseed);
+        let pat = TreePattern::new(random_pattern(&mut rng, 2));
+        let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
+        let cfg = MatchConfig::first_per_root();
+        let mut with = TreeMatcher::new(&cp, &d.tree, &d.store);
+        let r1 = with.find_matches(&cfg);
+        let mut without = TreeMatcher::new(&cp, &d.tree, &d.store);
+        without.memoize = false;
+        let r2 = without.find_matches(&cfg);
+        prop_assert_eq!(r1, r2);
+    }
+}
+
+fn count_objects(t: &Tree) -> usize {
+    t.iter_preorder().filter(|&n| t.oid(n).is_some()).count()
+}

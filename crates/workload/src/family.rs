@@ -1,0 +1,249 @@
+//! Family trees — the running example of §4 (Figure 3).
+//!
+//! "Consider a family tree containing the descendants of a famous
+//! person. Each node represents a person object … we only list the
+//! name, citizenship, eye color, and education attributes. Each edge
+//! stands for the relationship 'a child of'."
+//!
+//! [`FamilyGen::paper_tree`] reconstructs a tree with the shape the
+//! §4/Figure 4 walkthrough needs (a Brazilian parent with an American
+//! child among other children); [`FamilyGen::generate`] makes random
+//! genealogies of any size with a controllable citizenship mix.
+
+use aqua_algebra::{NodeId, Tree, TreeBuilder};
+use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, ObjectStore, Oid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A family-tree dataset.
+pub struct FamilyDataset {
+    pub store: ObjectStore,
+    pub class: ClassId,
+    pub tree: Tree,
+}
+
+/// Citizenships used by the generator, with weights.
+pub const COUNTRIES: &[(&str, u32)] = &[
+    ("USA", 4),
+    ("Brazil", 2),
+    ("India", 2),
+    ("France", 1),
+    ("Japan", 1),
+];
+
+const EYE_COLORS: &[&str] = &["brown", "blue", "green", "hazel"];
+const EDUCATION: &[&str] = &["none", "school", "college", "masters", "phd"];
+
+/// Family-tree generator.
+pub struct FamilyGen {
+    seed: u64,
+    people: usize,
+    max_children: usize,
+}
+
+impl FamilyGen {
+    /// A generator with `seed`, defaulting to 100 people with up to 4
+    /// children each.
+    pub fn new(seed: u64) -> Self {
+        FamilyGen {
+            seed,
+            people: 100,
+            max_children: 4,
+        }
+    }
+
+    /// Set the number of people.
+    pub fn people(mut self, n: usize) -> Self {
+        self.people = n.max(1);
+        self
+    }
+
+    /// Set the maximum number of children per person.
+    pub fn max_children(mut self, n: usize) -> Self {
+        self.max_children = n.max(1);
+        self
+    }
+
+    /// The `Person` class of §4: name, citizenship, eye color, education
+    /// (all stored — usable in alphabet-predicates).
+    pub fn class_def() -> ClassDef {
+        ClassDef::new(
+            "Person",
+            vec![
+                AttrDef::stored("name", AttrType::Str),
+                AttrDef::stored("citizen", AttrType::Str),
+                AttrDef::stored("eyes", AttrType::Str),
+                AttrDef::stored("education", AttrType::Str),
+            ],
+        )
+        .expect("static class definition is valid")
+    }
+
+    fn define(store: &mut ObjectStore) -> ClassId {
+        store
+            .define_class(Self::class_def())
+            .expect("fresh store has no class clash")
+    }
+
+    fn person(
+        store: &mut ObjectStore,
+        name: &str,
+        citizen: &str,
+        eyes: &str,
+        education: &str,
+    ) -> Oid {
+        store
+            .insert_named(
+                "Person",
+                &[
+                    ("name", Value::str(name)),
+                    ("citizen", Value::str(citizen)),
+                    ("eyes", Value::str(eyes)),
+                    ("education", Value::str(education)),
+                ],
+            )
+            .expect("row matches schema")
+    }
+
+    /// A hand-built family tree with the §4 walkthrough shape: the
+    /// famous ancestor (root) has a Brazilian descendant ("Mat") whose
+    /// children include an American ("Ed") with children of his own —
+    /// so `split(Brazil(!?* USA !?*), …)` produces exactly the three
+    /// pieces Figure 4 shows.
+    pub fn paper_tree() -> FamilyDataset {
+        let mut store = ObjectStore::new();
+        let class = Self::define(&mut store);
+        let p = |s: &mut ObjectStore, n: &str, c: &str| Self::person(s, n, c, "brown", "college");
+        // Root "Ana" (Brazil)
+        //   ├─ "Mat" (Brazil)
+        //   │    ├─ "Lia" (Brazil)  ─ "Joe" (USA)
+        //   │    ├─ "Ed"  (USA)     ─ "Tim" (USA), "Ann" (USA)
+        //   │    └─ "Raj" (India)
+        //   └─ "Sue" (USA)
+        let ana = p(&mut store, "Ana", "Brazil");
+        let mat = p(&mut store, "Mat", "Brazil");
+        let lia = p(&mut store, "Lia", "Brazil");
+        let joe = p(&mut store, "Joe", "USA");
+        let ed = p(&mut store, "Ed", "USA");
+        let tim = p(&mut store, "Tim", "USA");
+        let ann = p(&mut store, "Ann", "USA");
+        let raj = p(&mut store, "Raj", "India");
+        let sue = p(&mut store, "Sue", "USA");
+        let mut b = TreeBuilder::new();
+        let n_joe = b.node(joe, vec![]);
+        let n_lia = b.node(lia, vec![n_joe]);
+        let n_tim = b.node(tim, vec![]);
+        let n_ann = b.node(ann, vec![]);
+        let n_ed = b.node(ed, vec![n_tim, n_ann]);
+        let n_raj = b.node(raj, vec![]);
+        let n_mat = b.node(mat, vec![n_lia, n_ed, n_raj]);
+        let n_sue = b.node(sue, vec![]);
+        let root = b.node(ana, vec![n_mat, n_sue]);
+        let tree = b.finish(root).expect("hand-built tree is well-formed");
+        FamilyDataset { store, class, tree }
+    }
+
+    /// Generate a random genealogy.
+    pub fn generate(&self) -> FamilyDataset {
+        let mut store = ObjectStore::new();
+        let class = Self::define(&mut store);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total: u32 = COUNTRIES.iter().map(|(_, w)| w).sum();
+        let oids: Vec<Oid> = (0..self.people)
+            .map(|i| {
+                let mut roll = rng.gen_range(0..total);
+                let mut citizen = COUNTRIES[0].0;
+                for (c, w) in COUNTRIES {
+                    if roll < *w {
+                        citizen = c;
+                        break;
+                    }
+                    roll -= w;
+                }
+                let eyes = EYE_COLORS[rng.gen_range(0..EYE_COLORS.len())];
+                let edu = EDUCATION[rng.gen_range(0..EDUCATION.len())];
+                Self::person(&mut store, &format!("p{i}"), citizen, eyes, edu)
+            })
+            .collect();
+
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.people];
+        let mut open: Vec<usize> = vec![0];
+        for (i, _) in oids.iter().enumerate().skip(1) {
+            let pick = rng.gen_range(0..open.len());
+            let parent = open[pick];
+            children[parent].push(i);
+            if children[parent].len() >= self.max_children {
+                open.swap_remove(pick);
+            }
+            open.push(i);
+        }
+        let mut b = TreeBuilder::new();
+        let mut built: Vec<Option<NodeId>> = vec![None; self.people];
+        for i in (0..self.people).rev() {
+            let kids = children[i]
+                .iter()
+                .map(|&k| built[k].expect("children built before parents"))
+                .collect();
+            built[i] = Some(b.node(oids[i], kids));
+        }
+        let tree = b
+            .finish(built[0].expect("root built"))
+            .expect("generated tree is well-formed");
+        FamilyDataset { store, class, tree }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+    use aqua_pattern::tree_match::MatchConfig;
+
+    fn env() -> PredEnv {
+        let mut e = PredEnv::new();
+        e.define("Brazil", aqua_pattern::PredExpr::eq("citizen", "Brazil"));
+        e.define("USA", aqua_pattern::PredExpr::eq("citizen", "USA"));
+        e
+    }
+
+    #[test]
+    fn paper_tree_supports_fig4_split() {
+        let d = FamilyGen::paper_tree();
+        let cp = parse_tree_pattern("Brazil(!?* USA !?*)", &env())
+            .unwrap()
+            .compile(d.class, d.store.class(d.class))
+            .unwrap();
+        let pieces = aqua_algebra::tree::split::split_pieces(
+            &d.store,
+            &d.tree,
+            &cp,
+            &MatchConfig::default(),
+        );
+        // Three Brazilians with an American child: Ana (child Sue),
+        // Mat (child Ed), and Lia (child Joe).
+        assert_eq!(pieces.len(), 3);
+        for p in &pieces {
+            assert!(p.reassemble().structural_eq(&d.tree));
+        }
+    }
+
+    #[test]
+    fn generated_families_are_deterministic_and_sized() {
+        let a = FamilyGen::new(5).people(300).generate();
+        let b = FamilyGen::new(5).people(300).generate();
+        assert_eq!(a.tree.len(), 300);
+        assert!(a.tree.structural_eq(&b.tree));
+    }
+
+    #[test]
+    fn attributes_are_queryable() {
+        let d = FamilyGen::new(1).people(500).generate();
+        let pred = aqua_pattern::PredExpr::eq("citizen", "Brazil")
+            .compile(d.class, d.store.class(d.class))
+            .unwrap();
+        let forest = aqua_algebra::tree::ops::select(&d.store, &d.tree, &pred);
+        // Brazil weight 2/10 → about 100 of 500; the forest keeps them all.
+        let kept: usize = forest.iter().map(|t| t.len()).sum();
+        assert!(kept > 50 && kept < 180, "kept = {kept}");
+    }
+}

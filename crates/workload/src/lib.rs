@@ -1,0 +1,27 @@
+//! # aqua-workload — deterministic workload generators
+//!
+//! Every dataset the tests, examples, and benchmarks use: the paper's
+//! motivating domains, reproducible under fixed seeds.
+//!
+//! * [`family`] — the family tree of §4/Figure 3 (people with name,
+//!   citizenship, eye color, education) and random genealogies.
+//! * [`music`] — the §6 music database: songs as lists of notes, with
+//!   plantable melodies for controlled match counts.
+//! * [`parse_tree`] — §5's query parse trees (`select(R, and(p1 p2))`)
+//!   and random operator trees for the rewrite example.
+//! * [`document`] — document trees (section/paragraph/figure), the
+//!   multimedia motivation from §1.
+//! * [`random_tree`] — parameterized random trees with weighted label
+//!   distributions (the selectivity dial for benchmarks B1/B6/B7/B8).
+
+pub mod document;
+pub mod family;
+pub mod music;
+pub mod parse_tree;
+pub mod random_tree;
+
+pub use document::DocumentGen;
+pub use family::FamilyGen;
+pub use music::SongGen;
+pub use parse_tree::ParseTreeGen;
+pub use random_tree::RandomTreeGen;

@@ -1,0 +1,179 @@
+//! The music database of §6.
+//!
+//! "The database consists of a large number of songs, where each song
+//! is represented as a list consisting of nodes that represent a note.
+//! Each note has a few properties like pitch (e.g., A, B, C, etc.) and
+//! duration." [`SongGen`] produces seeded random songs and can *plant* a
+//! melody a controlled number of times, so benchmarks know their match
+//! counts.
+
+use aqua_algebra::List;
+use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, ObjectStore, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pitches used by the generator.
+pub const PITCHES: &[&str] = &["A", "B", "C", "D", "E", "F", "G"];
+
+/// A song dataset.
+pub struct SongDataset {
+    pub store: ObjectStore,
+    pub class: ClassId,
+    pub song: List,
+    /// Start positions where a melody was planted.
+    pub planted: Vec<usize>,
+}
+
+/// Song generator.
+pub struct SongGen {
+    seed: u64,
+    notes: usize,
+    plant: Option<(Vec<&'static str>, usize)>,
+}
+
+impl SongGen {
+    /// A generator with `seed`, defaulting to 1 000 notes and nothing
+    /// planted.
+    pub fn new(seed: u64) -> Self {
+        SongGen {
+            seed,
+            notes: 1000,
+            plant: None,
+        }
+    }
+
+    /// Set the song length in notes.
+    pub fn notes(mut self, n: usize) -> Self {
+        self.notes = n.max(1);
+        self
+    }
+
+    /// Plant `count` non-overlapping occurrences of `melody` (pitch
+    /// sequence) at random positions.
+    pub fn plant(mut self, melody: Vec<&'static str>, count: usize) -> Self {
+        self.plant = Some((melody, count));
+        self
+    }
+
+    /// The `Note` class of §6: pitch and duration, both stored.
+    pub fn class_def() -> ClassDef {
+        ClassDef::new(
+            "Note",
+            vec![
+                AttrDef::stored("pitch", AttrType::Str),
+                AttrDef::stored("duration", AttrType::Int),
+            ],
+        )
+        .expect("static class definition is valid")
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> SongDataset {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(Self::class_def())
+            .expect("fresh store has no class clash");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut pitches: Vec<String> = (0..self.notes)
+            .map(|_| PITCHES[rng.gen_range(0..PITCHES.len())].to_owned())
+            .collect();
+
+        let mut planted = Vec::new();
+        if let Some((melody, count)) = &self.plant {
+            let m = melody.len();
+            if m > 0 && m <= self.notes {
+                let mut taken: Vec<(usize, usize)> = Vec::new();
+                let mut attempts = 0;
+                while planted.len() < *count && attempts < count * 50 {
+                    attempts += 1;
+                    let start = rng.gen_range(0..=self.notes - m);
+                    if taken.iter().any(|&(s, e)| start < e && s < start + m) {
+                        continue;
+                    }
+                    for (i, p) in melody.iter().enumerate() {
+                        pitches[start + i] = (*p).to_owned();
+                    }
+                    taken.push((start, start + m));
+                    planted.push(start);
+                }
+                planted.sort_unstable();
+            }
+        }
+
+        let mut song = List::new();
+        for p in pitches {
+            let oid = store
+                .insert_named(
+                    "Note",
+                    &[
+                        ("pitch", Value::Str(p)),
+                        ("duration", Value::Int(rng.gen_range(1..=8))),
+                    ],
+                )
+                .expect("row matches schema");
+            song.push(oid);
+        }
+        SongDataset {
+            store,
+            class,
+            song,
+            planted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_algebra::list::ops as lops;
+    use aqua_pattern::list::{ListPattern, MatchMode};
+    use aqua_pattern::parser::{parse_list_pattern, PredEnv};
+
+    #[test]
+    fn deterministic() {
+        let a = SongGen::new(3).notes(100).generate();
+        let b = SongGen::new(3).notes(100).generate();
+        let pa: Vec<_> = a
+            .song
+            .iter_objects(&a.store)
+            .map(|(_, o)| o.get(aqua_object::AttrId(0)).clone())
+            .collect();
+        let pb: Vec<_> = b
+            .song
+            .iter_objects(&b.store)
+            .map(|(_, o)| o.get(aqua_object::AttrId(0)).clone())
+            .collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn planted_melodies_are_found() {
+        // Plant an 8-note melody unlikely to occur by chance in 500 notes.
+        let melody = vec!["A", "G", "A", "G", "A", "G", "A", "G"];
+        let d = SongGen::new(11).notes(500).plant(melody, 5).generate();
+        assert_eq!(d.planted.len(), 5);
+        let env = PredEnv::with_default_attr("pitch");
+        let (re, s, e) = parse_list_pattern("[A G A G A G A G]", &env).unwrap();
+        let p = ListPattern::compile(re, s, e, d.class, d.store.class(d.class)).unwrap();
+        let ms = lops::find_matches(&d.store, &d.song, &p, MatchMode::All);
+        // Every planted site is a match (chance extras possible but the
+        // planted ones must all be there).
+        let starts: Vec<usize> = ms.iter().map(|m| m.start).collect();
+        for site in &d.planted {
+            assert!(starts.contains(site), "missing planted site {site}");
+        }
+    }
+
+    #[test]
+    fn plant_respects_nonoverlap() {
+        let d = SongGen::new(4)
+            .notes(30)
+            .plant(vec!["A", "B", "C"], 5)
+            .generate();
+        let mut sites = d.planted.clone();
+        sites.sort_unstable();
+        for w in sites.windows(2) {
+            assert!(w[1] - w[0] >= 3);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Query parse trees — the §5 example domain.
+//!
+//! "Consider a parse tree T of a database query. Each node stands for an
+//! algebra operator and the children of a node are the inputs to the
+//! operator." The §5 rewrite example needs trees containing
+//! `select(R, and(p1, p2))` occurrences; [`ParseTreeGen`] builds random
+//! operator trees with a controlled number of such rewrite sites.
+
+use aqua_algebra::{NodeId, Tree, TreeBuilder};
+use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, ObjectStore, Oid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parse-tree dataset.
+pub struct ParseTreeDataset {
+    pub store: ObjectStore,
+    pub class: ClassId,
+    pub tree: Tree,
+    /// Number of `select(R, and(p, p))` rewrite sites planted.
+    pub planted_sites: usize,
+}
+
+/// Parse-tree generator.
+pub struct ParseTreeGen {
+    seed: u64,
+    operators: usize,
+    sites: usize,
+}
+
+impl ParseTreeGen {
+    /// A generator with `seed`, defaulting to ~60 operators and 3
+    /// planted rewrite sites.
+    pub fn new(seed: u64) -> Self {
+        ParseTreeGen {
+            seed,
+            operators: 60,
+            sites: 3,
+        }
+    }
+
+    /// Approximate number of operator nodes (before planting).
+    pub fn operators(mut self, n: usize) -> Self {
+        self.operators = n.max(1);
+        self
+    }
+
+    /// Number of `select(R, and(p1, p2))` sites to plant.
+    pub fn rewrite_sites(mut self, n: usize) -> Self {
+        self.sites = n;
+        self
+    }
+
+    /// The `PTNode` class: §5's `Parse-tree-node` with its `OpName`
+    /// method realized as a stored attribute (the paper's footnote 2
+    /// restriction is about *computed* attributes; storing the operator
+    /// name keeps alphabet-predicates constant-time).
+    pub fn class_def() -> ClassDef {
+        ClassDef::new("PTNode", vec![AttrDef::stored("op", AttrType::Str)])
+            .expect("static class definition is valid")
+    }
+
+    fn op(store: &mut ObjectStore, name: &str) -> Oid {
+        store
+            .insert_named("PTNode", &[("op", Value::str(name))])
+            .expect("row matches schema")
+    }
+
+    /// Build `select(R and(p1 p2))` at a builder, returning the site root.
+    fn plant_site(store: &mut ObjectStore, b: &mut TreeBuilder) -> NodeId {
+        let r = Self::op(store, "R");
+        let p1 = Self::op(store, "p1");
+        let p2 = Self::op(store, "p2");
+        let and = Self::op(store, "and");
+        let sel = Self::op(store, "select");
+        let n_r = b.node(r, vec![]);
+        let n_p1 = b.node(p1, vec![]);
+        let n_p2 = b.node(p2, vec![]);
+        let n_and = b.node(and, vec![n_p1, n_p2]);
+        b.node(sel, vec![n_r, n_and])
+    }
+
+    /// Generate the dataset: a random binary operator tree whose leaves
+    /// are scans, with `sites` rewrite sites grafted at random leaves.
+    pub fn generate(&self) -> ParseTreeDataset {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(Self::class_def())
+            .expect("fresh store has no class clash");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = TreeBuilder::new();
+
+        // Random binary expression tree built bottom-up over `operators`
+        // leaves, interleaving planted sites.
+        let binary_ops = ["join", "union", "intersect"];
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for _ in 0..self.operators.max(self.sites + 1) {
+            let scan = Self::op(&mut store, "scan");
+            frontier.push(b.node(scan, vec![]));
+        }
+        for _ in 0..self.sites {
+            frontier.push(Self::plant_site(&mut store, &mut b));
+        }
+        while frontier.len() > 1 {
+            let i = rng.gen_range(0..frontier.len());
+            let left = frontier.swap_remove(i);
+            let j = rng.gen_range(0..frontier.len());
+            let right = frontier.swap_remove(j);
+            let opname = binary_ops[rng.gen_range(0..binary_ops.len())];
+            let op = Self::op(&mut store, opname);
+            frontier.push(b.node(op, vec![left, right]));
+        }
+        let tree = b
+            .finish(frontier[0])
+            .expect("generated parse tree is well-formed");
+        ParseTreeDataset {
+            store,
+            class,
+            tree,
+            planted_sites: self.sites,
+        }
+    }
+
+    /// The exact parse tree of Figure 5's discussion:
+    /// `join(select(R, and(p1, p2)), scan)` — one rewrite site with
+    /// context above it.
+    pub fn fig5_tree() -> ParseTreeDataset {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(Self::class_def())
+            .expect("fresh store has no class clash");
+        let mut b = TreeBuilder::new();
+        let site = Self::plant_site(&mut store, &mut b);
+        let scan = Self::op(&mut store, "scan");
+        let n_scan = b.node(scan, vec![]);
+        let join = Self::op(&mut store, "join");
+        let root = b.node(join, vec![site, n_scan]);
+        let tree = b.finish(root).expect("hand-built tree is well-formed");
+        ParseTreeDataset {
+            store,
+            class,
+            tree,
+            planted_sites: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+    use aqua_pattern::tree_match::MatchConfig;
+
+    fn env() -> PredEnv {
+        PredEnv::with_default_attr("op")
+    }
+
+    #[test]
+    fn planted_sites_are_matchable() {
+        let d = ParseTreeGen::new(9)
+            .operators(40)
+            .rewrite_sites(4)
+            .generate();
+        // §5's first query: split(select(!? and), f)(T).
+        let cp = parse_tree_pattern("select(!? and)", &env())
+            .unwrap()
+            .compile(d.class, d.store.class(d.class))
+            .unwrap();
+        let pieces = aqua_algebra::tree::split::split_pieces(
+            &d.store,
+            &d.tree,
+            &cp,
+            &MatchConfig::default(),
+        );
+        assert_eq!(pieces.len(), 4);
+        for p in &pieces {
+            // Match keeps select+and; R is pruned (α1); p1, p2 are
+            // frontier cuts (α2, α3) — 3 descendants total.
+            assert_eq!(p.descendants.len(), 3);
+            assert!(p.reassemble().structural_eq(&d.tree));
+        }
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let d = ParseTreeGen::fig5_tree();
+        assert_eq!(d.tree.len(), 7);
+        assert_eq!(d.planted_sites, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ParseTreeGen::new(2).generate();
+        let b = ParseTreeGen::new(2).generate();
+        assert!(a.tree.structural_eq(&b.tree));
+    }
+}

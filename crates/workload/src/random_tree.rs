@@ -1,0 +1,194 @@
+//! Parameterized random trees.
+//!
+//! The benchmark workhorse: trees of a requested size with a weighted
+//! label distribution (so predicate selectivity is a dial) and a
+//! bounded, randomized fan-out. Deterministic under a seed.
+
+use aqua_algebra::{Tree, TreeBuilder};
+use aqua_object::{AttrDef, AttrType, ClassDef, ClassId, ObjectStore, Oid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated tree dataset: the store holding the node objects, the
+/// element class, and the tree itself.
+pub struct TreeDataset {
+    pub store: ObjectStore,
+    pub class: ClassId,
+    pub tree: Tree,
+}
+
+/// Random-tree generator. Node objects have two stored attributes:
+/// `label: Str` drawn from the weighted alphabet and `num: Int` drawn
+/// uniformly from `0..num_range`.
+pub struct RandomTreeGen {
+    seed: u64,
+    nodes: usize,
+    max_arity: usize,
+    labels: Vec<(String, u32)>,
+    num_range: i64,
+}
+
+impl RandomTreeGen {
+    /// A generator with `seed`, defaulting to 1 000 nodes, fan-out ≤ 4,
+    /// a uniform 8-letter alphabet, and `num ∈ 0..100`.
+    pub fn new(seed: u64) -> Self {
+        RandomTreeGen {
+            seed,
+            nodes: 1000,
+            max_arity: 4,
+            labels: ('a'..='h').map(|c| (c.to_string(), 1)).collect(),
+            num_range: 100,
+        }
+    }
+
+    /// Set the node count.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n.max(1);
+        self
+    }
+
+    /// Set the maximum fan-out.
+    pub fn max_arity(mut self, k: usize) -> Self {
+        self.max_arity = k.max(1);
+        self
+    }
+
+    /// Set the label alphabet with weights — e.g. `[("d", 1), ("x", 999)]`
+    /// makes `label = "d"` a 0.1%-selectivity predicate.
+    pub fn label_weights(mut self, weights: &[(&str, u32)]) -> Self {
+        assert!(!weights.is_empty(), "need at least one label");
+        self.labels = weights.iter().map(|(l, w)| ((*l).to_owned(), *w)).collect();
+        self
+    }
+
+    /// Set the `num` attribute range.
+    pub fn num_range(mut self, r: i64) -> Self {
+        self.num_range = r.max(1);
+        self
+    }
+
+    /// The class definition every generated dataset uses.
+    pub fn class_def() -> ClassDef {
+        ClassDef::new(
+            "RNode",
+            vec![
+                AttrDef::stored("label", AttrType::Str),
+                AttrDef::stored("num", AttrType::Int),
+            ],
+        )
+        .expect("static class definition is valid")
+    }
+
+    fn pick_label(&self, rng: &mut StdRng) -> &str {
+        let total: u32 = self.labels.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.gen_range(0..total);
+        for (l, w) in &self.labels {
+            if roll < *w {
+                return l;
+            }
+            roll -= w;
+        }
+        &self.labels[0].0
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> TreeDataset {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(Self::class_def())
+            .expect("fresh store has no class clash");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Create node objects.
+        let oids: Vec<Oid> = (0..self.nodes)
+            .map(|_| {
+                let label = self.pick_label(&mut rng).to_owned();
+                let num = rng.gen_range(0..self.num_range);
+                store
+                    .insert_named(
+                        "RNode",
+                        &[("label", Value::Str(label)), ("num", Value::Int(num))],
+                    )
+                    .expect("row matches schema")
+            })
+            .collect();
+
+        // Random tree shape: attach node i to a random parent among the
+        // last `window` placed nodes (keeps depth reasonable), with
+        // arity capping.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
+        let mut open: Vec<usize> = vec![0];
+        for i in 1..self.nodes {
+            // Pick an open slot (a node with arity budget left).
+            let pick = rng.gen_range(0..open.len());
+            let parent = open[pick];
+            children[parent].push(i);
+            if children[parent].len() >= self.max_arity {
+                open.swap_remove(pick);
+            }
+            open.push(i);
+        }
+
+        // Realize bottom-up (children have larger indices than parents by
+        // construction, so reverse index order works).
+        let mut b = TreeBuilder::new();
+        let mut built: Vec<Option<aqua_algebra::NodeId>> = vec![None; self.nodes];
+        for i in (0..self.nodes).rev() {
+            let kids = children[i]
+                .iter()
+                .map(|&k| built[k].expect("children built before parents"))
+                .collect();
+            built[i] = Some(b.node(oids[i], kids));
+        }
+        let tree = b
+            .finish(built[0].expect("root built"))
+            .expect("generated tree is well-formed");
+        TreeDataset { store, class, tree }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = RandomTreeGen::new(7).nodes(200).generate();
+        let b = RandomTreeGen::new(7).nodes(200).generate();
+        assert!(a.tree.structural_eq(&b.tree));
+        let c = RandomTreeGen::new(8).nodes(200).generate();
+        assert!(!a.tree.structural_eq(&c.tree));
+    }
+
+    #[test]
+    fn respects_node_count_and_arity() {
+        let d = RandomTreeGen::new(1).nodes(500).max_arity(3).generate();
+        assert_eq!(d.tree.len(), 500);
+        for n in d.tree.iter_preorder() {
+            assert!(d.tree.arity(n) <= 3);
+        }
+    }
+
+    #[test]
+    fn label_weights_control_selectivity() {
+        let d = RandomTreeGen::new(2)
+            .nodes(2000)
+            .label_weights(&[("d", 1), ("x", 99)])
+            .generate();
+        let rare = d
+            .store
+            .extent(d.class)
+            .iter()
+            .filter(|&&o| d.store.attr(o, aqua_object::AttrId(0)) == &Value::str("d"))
+            .count();
+        // ~1% of 2000 = 20; allow generous slack.
+        assert!(rare > 3 && rare < 70, "rare = {rare}");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let d = RandomTreeGen::new(3).nodes(1).generate();
+        assert_eq!(d.tree.len(), 1);
+        assert!(d.tree.is_leaf(d.tree.root()));
+    }
+}
