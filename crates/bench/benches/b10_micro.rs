@@ -1,12 +1,17 @@
-//! B10 — Criterion micro-benchmarks for the primitive operations every
-//! query decomposes into: alphabet-predicate evaluation (the paper's
+//! B10 — micro-benchmarks for the primitive operations every query
+//! decomposes into: alphabet-predicate evaluation (the paper's
 //! constant-time guarantee, §3.1), one Pike-VM scan step, tree
 //! concatenation at a point (§3.3), subtree copy, and boolean tree-
 //! pattern matching. These are the constants behind the B1–B9 shapes.
+//!
+//! Uses the in-repo [`aqua_bench::timing`] harness (median-of-N wall
+//! time) rather than an external benchmark framework, so the workspace
+//! builds offline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use aqua_bench::timing::{ms, time_median};
+use aqua_bench::Table;
 use aqua_object::AttrId;
 use aqua_pattern::list::{ListPattern, MatchMode, Sym};
 use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
@@ -15,36 +20,43 @@ use aqua_pattern::{CcLabel, PredExpr};
 use aqua_workload::random_tree::RandomTreeGen;
 use aqua_workload::SongGen;
 
-fn bench_pred_eval(c: &mut Criterion) {
+const ITERS: usize = 20;
+
+fn bench_pred_eval(table: &mut Table) {
     let d = SongGen::new(1).notes(1).generate();
     let oid = d.song.oids()[0];
     let pred = PredExpr::eq("pitch", "A")
         .and(PredExpr::cmp("duration", aqua_pattern::CmpOp::Le, 8))
         .compile(d.class, d.store.class(d.class))
         .unwrap();
-    c.bench_function("alphabet_predicate_eval", |b| {
-        b.iter(|| black_box(pred.eval(&d.store, black_box(oid))))
+    // One predicate evaluation is nanoseconds; time a 100k batch.
+    let t = time_median(ITERS, || {
+        let mut hits = 0usize;
+        for _ in 0..100_000 {
+            if pred.eval(&d.store, black_box(oid)) {
+                hits += 1;
+            }
+        }
+        hits
     });
+    table.row(vec!["alphabet_predicate_eval_100k".into(), ms(t)]);
 }
 
-fn bench_list_scan(c: &mut Criterion) {
+fn bench_list_scan(table: &mut Table) {
     let d = SongGen::new(2).notes(10_000).generate();
     let re = Sym::pred(PredExpr::eq("pitch", "A"))
         .then(Sym::any())
         .then(Sym::pred(PredExpr::eq("pitch", "F")));
     let p = ListPattern::unanchored(re, d.class, d.store.class(d.class)).unwrap();
     let oids = d.song.oids();
-    c.bench_function("pike_vm_scan_10k_notes", |b| {
-        b.iter(|| {
-            black_box(
-                p.find_matches(&d.store, &oids, MatchMode::Nonoverlapping)
-                    .len(),
-            )
-        })
+    let t = time_median(ITERS, || {
+        p.find_matches(&d.store, &oids, MatchMode::Nonoverlapping)
+            .len()
     });
+    table.row(vec!["pike_vm_scan_10k_notes".into(), ms(t)]);
 }
 
-fn bench_concat(c: &mut Criterion) {
+fn bench_concat(table: &mut Table) {
     let d = RandomTreeGen::new(3).nodes(1000).generate();
     let ctx = aqua_algebra::tree::split::split_pieces(
         &d.store,
@@ -55,30 +67,27 @@ fn bench_concat(c: &mut Criterion) {
             .unwrap(),
         &aqua_pattern::tree_match::MatchConfig::first_per_root(),
     )
+    .unwrap()
     .into_iter()
     .nth(1)
     .expect("a non-root match exists");
-    c.bench_function("concat_at_1k_node_context", |b| {
-        b.iter(|| {
-            black_box(aqua_algebra::tree::concat::concat_at(
-                &ctx.context,
-                black_box(&ctx.alpha),
-                &ctx.matched,
-            ))
+    let t = time_median(ITERS, || {
+        aqua_algebra::tree::concat::concat_at(&ctx.context, black_box(&ctx.alpha), &ctx.matched)
             .len()
-        })
     });
+    table.row(vec!["concat_at_1k_node_context".into(), ms(t)]);
     let _ = CcLabel::new("keep-import");
 }
 
-fn bench_subtree_copy(c: &mut Criterion) {
+fn bench_subtree_copy(table: &mut Table) {
     let d = RandomTreeGen::new(4).nodes(5000).generate();
-    c.bench_function("subtree_copy_5k_nodes", |b| {
-        b.iter(|| black_box(aqua_algebra::tree::concat::subtree(&d.tree, d.tree.root())).len())
+    let t = time_median(ITERS, || {
+        aqua_algebra::tree::concat::subtree(&d.tree, d.tree.root()).len()
     });
+    table.row(vec!["subtree_copy_5k_nodes".into(), ms(t)]);
 }
 
-fn bench_bool_match(c: &mut Criterion) {
+fn bench_bool_match(table: &mut Table) {
     let d = RandomTreeGen::new(5)
         .nodes(2000)
         .label_weights(&[("d", 1), ("a", 5), ("x", 14)])
@@ -87,34 +96,26 @@ fn bench_bool_match(c: &mut Criterion) {
         .unwrap()
         .compile(d.class, d.store.class(d.class))
         .unwrap();
-    c.bench_function("tree_bool_match_all_nodes_2k", |b| {
-        b.iter_batched(
-            || TreeMatcher::new(&cp, &d.tree, &d.store),
-            |mut m| {
-                let mut hits = 0usize;
-                for n in 0..2000u32 {
-                    if m.matches_at(n) {
-                        hits += 1;
-                    }
-                }
-                black_box(hits)
-            },
-            BatchSize::SmallInput,
-        )
+    let t = time_median(ITERS, || {
+        let mut m = TreeMatcher::new(&cp, &d.tree, &d.store);
+        let mut hits = 0usize;
+        for n in 0..2000u32 {
+            if m.matches_at(n) {
+                hits += 1;
+            }
+        }
+        black_box(hits)
     });
+    table.row(vec!["tree_bool_match_all_nodes_2k".into(), ms(t)]);
     let _ = AttrId(0);
 }
 
-fn tight() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(800))
-        .warm_up_time(std::time::Duration::from_millis(200))
+fn main() {
+    let mut table = Table::new(&["operation", "median ms"]);
+    bench_pred_eval(&mut table);
+    bench_list_scan(&mut table);
+    bench_concat(&mut table);
+    bench_subtree_copy(&mut table);
+    bench_bool_match(&mut table);
+    table.print("B10 — primitive operation micro-benchmarks");
 }
-
-criterion_group! {
-    name = micro;
-    config = tight();
-    targets = bench_pred_eval, bench_list_scan, bench_concat, bench_subtree_copy, bench_bool_match
-}
-criterion_main!(micro);

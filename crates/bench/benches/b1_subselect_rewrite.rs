@@ -51,7 +51,9 @@ fn main() {
 
             let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
             let naive = time_median(3, || {
-                aqua_algebra::tree::ops::sub_select(&d.store, &d.tree, &compiled, &cfg).len()
+                aqua_algebra::tree::ops::sub_select(&d.store, &d.tree, &compiled, &cfg)
+                    .unwrap()
+                    .len()
             });
             let fast = time_median(3, || plan.execute(&cat, &d.tree, &cfg).unwrap().len());
             assert_eq!(naive.result_size, fast.result_size);

@@ -37,9 +37,12 @@ fn main() {
             .unwrap();
 
         let split_t = time_median(3, || {
-            aqua_algebra::tree::split::split_pieces(&data.store, &data.tree, &cp, &cfg).len()
+            aqua_algebra::tree::split::split_pieces(&data.store, &data.tree, &cp, &cfg)
+                .unwrap()
+                .len()
         });
-        let pieces = aqua_algebra::tree::split::split_pieces(&data.store, &data.tree, &cp, &cfg);
+        let pieces =
+            aqua_algebra::tree::split::split_pieces(&data.store, &data.tree, &cp, &cfg).unwrap();
         let n_matches = pieces.len().max(1);
         let reassemble_t = time_median(3, || {
             pieces.iter().map(|p| p.reassemble().len()).sum::<usize>()

@@ -39,20 +39,26 @@ fn main() {
         let cp = pattern.compile(d.class, d.store.class(d.class)).unwrap();
 
         let direct = time_median(3, || {
-            aqua_algebra::tree::ops::sub_select(&d.store, &d.tree, &cp, &cfg).len()
+            aqua_algebra::tree::ops::sub_select(&d.store, &d.tree, &cp, &cfg)
+                .unwrap()
+                .len()
         });
         let derived = time_median(3, || {
-            aqua_algebra::tree::ops::sub_select_via_split(&d.store, &d.tree, &cp, &cfg).len()
+            aqua_algebra::tree::ops::sub_select_via_split(&d.store, &d.tree, &cp, &cfg)
+                .unwrap()
+                .len()
         });
         assert_eq!(direct.result_size, derived.result_size);
         let anc = time_median(3, || {
             aqua_algebra::tree::ops::all_anc(&d.store, &d.tree, &cp, &cfg, |x, y| x.len() + y.len())
+                .unwrap()
                 .len()
         });
         let desc = time_median(3, || {
             aqua_algebra::tree::ops::all_desc(&d.store, &d.tree, &cp, &cfg, |y, z| {
                 y.len() + z.len()
             })
+            .unwrap()
             .len()
         });
         table.row(vec![

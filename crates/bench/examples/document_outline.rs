@@ -54,7 +54,8 @@ fn main() {
         .expect("pattern parses")
         .compile(d.class, d.store.class(d.class))
         .expect("pattern compiles");
-    let hits = ops::sub_select(&d.store, &d.tree, &cp, &MatchConfig::first_per_root());
+    let hits = ops::sub_select(&d.store, &d.tree, &cp, &MatchConfig::first_per_root())
+        .expect("sub_select runs unguarded");
     println!("\nsections directly containing a figure:");
     for h in &hits {
         println!(
@@ -91,7 +92,8 @@ fn main() {
             path.push(title(&d.store, m, m.root()));
             path.join(" / ")
         },
-    );
+    )
+    .expect("all_anc runs unguarded");
     println!("\nfigure locations (via all_anc):");
     for p in &paths {
         println!("  {p}");

@@ -1,0 +1,80 @@
+//! Bounded, cancellable, fault-tolerant execution — the robustness
+//! layer end to end: a step budget stopping a pattern scan with
+//! partial progress, a pre-cancelled token, and an injected index
+//! fault that degrades an indexed plan to the naive scan with the
+//! fallback recorded in EXPLAIN.
+
+use aqua_algebra::tree::split;
+use aqua_guard::{failpoint, Budget, CancelToken, ExecGuard, GuardError};
+use aqua_object::AttrId;
+use aqua_optimizer::{Catalog, Explain, Optimizer};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_store::{ColumnStats, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn main() {
+    let d = RandomTreeGen::new(8)
+        .nodes(5000)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate();
+    let env = PredEnv::with_default_attr("label");
+    let cp = parse_tree_pattern("?(?* u ?*)", &env)
+        .expect("pattern parses")
+        .compile(d.class, d.store.class(d.class))
+        .expect("pattern compiles");
+    let cfg = MatchConfig::default();
+
+    // ── 1. a step budget turns a runaway query into an answer ───────
+    let guard = ExecGuard::new(Budget::unlimited().with_steps(2_000));
+    match split::split_pieces_guarded(&d.store, &d.tree, &cp, &cfg, Some(&guard)) {
+        Ok(outcome) => println!("finished: {} matches", outcome.pieces.len()),
+        Err(e) => match e.as_guard() {
+            Some(GuardError::BudgetExceeded {
+                limit, progress, ..
+            }) => println!("budget of {limit} steps exceeded — stopped after {progress}"),
+            _ => panic!("unexpected error: {e}"),
+        },
+    }
+
+    // ── 2. a shared token cancels from outside ──────────────────────
+    let token = CancelToken::new();
+    token.cancel(); // e.g. from a ctrl-C handler on another thread
+    let guard = ExecGuard::cancellable(token);
+    match split::split_pieces_guarded(&d.store, &d.tree, &cp, &cfg, Some(&guard)) {
+        Err(e) if matches!(e.as_guard(), Some(GuardError::Cancelled { .. })) => {
+            println!("cancelled: {}", e)
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+
+    // ── 3. an injected index fault degrades the plan, visibly ───────
+    let pattern = parse_tree_pattern("u(?*)", &env).expect("pattern parses");
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+    let (plan, planned) = opt
+        .plan_tree_sub_select(&pattern, d.tree.len())
+        .expect("planning succeeds");
+    println!("\nplanner chose: indexed = {}", plan.is_indexed());
+    println!("{planned}");
+
+    let _fault = failpoint::scoped(aqua_store::TREE_INDEX_PROBE, "index node lost");
+    let mut explain = Explain::default();
+    let results = plan
+        .execute_guarded(
+            &cat,
+            &d.tree,
+            &MatchConfig::first_per_root(),
+            None,
+            &mut explain,
+        )
+        .expect("fault degrades, never fails");
+    println!(
+        "\nindex probe faulted at runtime; {} results via fallback; explain records:",
+        results.len()
+    );
+    println!("{explain}");
+}

@@ -28,7 +28,7 @@ fn render(store: &ObjectStore, t: &Tree) -> String {
 /// Apply `select(R, and(p1,p2)) → select(select(R,p1), p2)` once.
 /// Returns the rewritten tree, or `None` when no site remains.
 fn rewrite_once(store: &mut ObjectStore, tree: &Tree, site: &CompiledTreePattern) -> Option<Tree> {
-    let pieces = split::split_pieces(store, tree, site, &MatchConfig::first_per_root());
+    let pieces = split::split_pieces(store, tree, site, &MatchConfig::first_per_root()).ok()?;
     let p = pieces.into_iter().next()?;
     // z = [R, p1, p2]; the update function f of §5 builds
     // x ∘_α select(select(@R, @p1), @p2) ∘ z.

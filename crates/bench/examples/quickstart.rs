@@ -49,7 +49,8 @@ fn main() {
         .compile(d.class, d.store.class(d.class))
         .expect("pattern compiles");
     println!("\nsplit(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T):");
-    let pieces = split::split_pieces(&d.store, &d.tree, &compiled, &MatchConfig::default());
+    let pieces = split::split_pieces(&d.store, &d.tree, &compiled, &MatchConfig::default())
+        .expect("split runs unguarded");
     for (i, p) in pieces.iter().enumerate() {
         println!("  match #{}:", i + 1);
         println!(

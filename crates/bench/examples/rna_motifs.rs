@@ -109,7 +109,8 @@ fn main() {
         .unwrap()
         .compile(rna.class, rna.store.class(rna.class))
         .unwrap();
-    let exact = ops::sub_select(&rna.store, &molecule, &motif_pat, &MatchConfig::default());
+    let exact = ops::sub_select(&rna.store, &molecule, &motif_pat, &MatchConfig::default())
+        .expect("sub_select runs unguarded");
     println!("\nexact stem(loop(hairpin)) motifs: {}", exact.len());
     for m in &exact {
         println!("  {}", rna.render(m));

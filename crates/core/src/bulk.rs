@@ -18,6 +18,7 @@ use aqua_pattern::list::{ListMatch, ListPattern, MatchMode};
 use aqua_pattern::tree_ast::CompiledTreePattern;
 use aqua_pattern::tree_match::MatchConfig;
 
+use crate::error::Result;
 use crate::list::{ops as list_ops, List};
 use crate::tree::ops as tree_ops;
 use crate::tree::split::{split_pieces, SplitPieces};
@@ -79,16 +80,14 @@ impl TreeSet {
         store: &ObjectStore,
         pattern: &CompiledTreePattern,
         cfg: &MatchConfig,
-    ) -> Vec<(usize, Tree)> {
-        self.members
-            .iter()
-            .enumerate()
-            .flat_map(|(i, t)| {
-                tree_ops::sub_select(store, t, pattern, cfg)
-                    .into_iter()
-                    .map(move |m| (i, m))
-            })
-            .collect()
+    ) -> Result<Vec<(usize, Tree)>> {
+        let mut out = Vec::new();
+        for (i, t) in self.members.iter().enumerate() {
+            for m in tree_ops::sub_select(store, t, pattern, cfg)? {
+                out.push((i, m));
+            }
+        }
+        Ok(out)
     }
 
     /// `split` mapped over members.
@@ -97,16 +96,14 @@ impl TreeSet {
         store: &ObjectStore,
         pattern: &CompiledTreePattern,
         cfg: &MatchConfig,
-    ) -> Vec<(usize, SplitPieces)> {
-        self.members
-            .iter()
-            .enumerate()
-            .flat_map(|(i, t)| {
-                split_pieces(store, t, pattern, cfg)
-                    .into_iter()
-                    .map(move |p| (i, p))
-            })
-            .collect()
+    ) -> Result<Vec<(usize, SplitPieces)>> {
+        let mut out = Vec::new();
+        for (i, t) in self.members.iter().enumerate() {
+            for p in split_pieces(store, t, pattern, cfg)? {
+                out.push((i, p));
+            }
+        }
+        Ok(out)
     }
 
     /// `apply` mapped over members (isomorphic rewrite of every tree).
@@ -242,7 +239,9 @@ mod tests {
             .unwrap()
             .compile(fx.class, fx.store.class(fx.class))
             .unwrap();
-        let hits = set.sub_select(&fx.store, &cp, &MatchConfig::default());
+        let hits = set
+            .sub_select(&fx.store, &cp, &MatchConfig::default())
+            .unwrap();
         let members: Vec<usize> = hits.iter().map(|(i, _)| *i).collect();
         assert_eq!(members, vec![0, 2, 2]);
     }
@@ -267,7 +266,7 @@ mod tests {
             .unwrap()
             .compile(fx.class, fx.store.class(fx.class))
             .unwrap();
-        let pieces = set.split(&fx.store, &cp, &MatchConfig::default());
+        let pieces = set.split(&fx.store, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(pieces.len(), 2);
         for (i, p) in &pieces {
             assert!(p.reassemble().structural_eq(&set.members()[*i]));

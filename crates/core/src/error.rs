@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use aqua_guard::GuardError;
 use aqua_object::ObjectError;
 use aqua_pattern::PatternError;
 
@@ -18,6 +19,20 @@ pub enum AlgebraError {
     /// A builder produced a malformed tree (cycle, reused node, dangling
     /// child reference).
     Malformed { msg: String },
+    /// Execution was stopped by an execution guard (budget exhausted,
+    /// deadline passed, or cancellation requested).
+    Guard(GuardError),
+}
+
+impl AlgebraError {
+    /// The guard error inside, if this is a guard stop.
+    pub fn as_guard(&self) -> Option<&GuardError> {
+        match self {
+            AlgebraError::Guard(e) => Some(e),
+            AlgebraError::Pattern(PatternError::Guard(e)) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AlgebraError {
@@ -26,6 +41,7 @@ impl fmt::Display for AlgebraError {
             AlgebraError::Pattern(e) => write!(f, "{e}"),
             AlgebraError::Object(e) => write!(f, "{e}"),
             AlgebraError::Malformed { msg } => write!(f, "malformed tree: {msg}"),
+            AlgebraError::Guard(e) => write!(f, "{e}"),
         }
     }
 }
@@ -36,7 +52,14 @@ impl std::error::Error for AlgebraError {
             AlgebraError::Pattern(e) => Some(e),
             AlgebraError::Object(e) => Some(e),
             AlgebraError::Malformed { .. } => None,
+            AlgebraError::Guard(e) => Some(e),
         }
+    }
+}
+
+impl From<GuardError> for AlgebraError {
+    fn from(e: GuardError) -> Self {
+        AlgebraError::Guard(e)
     }
 }
 

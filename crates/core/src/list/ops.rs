@@ -11,25 +11,45 @@
 //! concatenation observes holes, §3.5), so matches never span holes:
 //! matching runs over the maximal ground runs of the list.
 
+use aqua_guard::ExecGuard;
 use aqua_object::{ObjectStore, Oid};
 use aqua_pattern::alphabet::Pred;
 use aqua_pattern::list::{ListMatch, ListPattern, MatchMode};
 use aqua_pattern::CcLabel;
 
+use crate::error::Result;
 use crate::list::{List, ListElem};
+
+/// Unwrap a guard-fallible result that ran with no guard installed.
+fn infallible<T>(r: Result<T>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => unreachable!("guardless list op cannot fail: {e}"),
+    }
+}
 
 /// `select(p)(L)` — the stable sublist of elements satisfying `p`
 /// (holes never satisfy a predicate and are dropped, as in tree
 /// `select`).
 pub fn select(store: &ObjectStore, list: &List, p: &Pred) -> List {
-    List {
-        elems: list
-            .elems
-            .iter()
-            .filter(|e| e.oid().is_some_and(|o| p.eval(store, o)))
-            .cloned()
-            .collect(),
+    infallible(select_guarded(store, list, p, None))
+}
+
+/// [`select`] under an optional execution guard: one step per element.
+pub fn select_guarded(
+    store: &ObjectStore,
+    list: &List,
+    p: &Pred,
+    guard: Option<&ExecGuard>,
+) -> Result<List> {
+    let mut elems = Vec::new();
+    for e in &list.elems {
+        aqua_guard::step(guard)?;
+        if e.oid().is_some_and(|o| p.eval(store, o)) {
+            elems.push(e.clone());
+        }
     }
+    Ok(List { elems })
 }
 
 /// `apply(f)(L)` — map every cell through `f`; holes are preserved.
@@ -54,6 +74,17 @@ pub fn find_matches(
     pattern: &ListPattern,
     mode: MatchMode,
 ) -> Vec<ListMatch> {
+    infallible(find_matches_guarded(store, list, pattern, mode, None))
+}
+
+/// [`find_matches`] under an optional execution guard.
+pub fn find_matches_guarded(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<ListMatch>> {
     let mut out = Vec::new();
     let n = list.len();
     let mut run_start = 0usize;
@@ -77,7 +108,7 @@ pub fn find_matches(
             let applicable =
                 (!pattern.anchor_start || run_start == 0) && (!pattern.anchor_end || run_end == n);
             if applicable {
-                for m in pattern.find_matches(store, &oids, mode) {
+                for m in pattern.find_matches_guarded(store, &oids, mode, guard)? {
                     out.push(ListMatch {
                         start: m.start + run_start,
                         end: m.end + run_start,
@@ -88,7 +119,7 @@ pub fn find_matches(
         }
         run_start = run_end.max(run_start + 1);
     }
-    out
+    Ok(out)
 }
 
 /// The pieces `split` cuts for one list match (the list analogue of
@@ -213,12 +244,29 @@ pub fn split<R>(
     list: &List,
     pattern: &ListPattern,
     mode: MatchMode,
-    mut f: impl FnMut(&ListSplitPieces) -> R,
+    f: impl FnMut(&ListSplitPieces) -> R,
 ) -> Vec<R> {
-    find_matches(store, list, pattern, mode)
-        .into_iter()
-        .map(|m| f(&pieces_for_match(list, m)))
-        .collect()
+    infallible(split_guarded(store, list, pattern, mode, f, None))
+}
+
+/// [`split`] under an optional execution guard: each piece cut counts
+/// toward the guard's result cap.
+pub fn split_guarded<R>(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    mut f: impl FnMut(&ListSplitPieces) -> R,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<R>> {
+    let matches = find_matches_guarded(store, list, pattern, mode, guard)?;
+    let mut out = Vec::with_capacity(matches.len());
+    for m in matches {
+        aqua_guard::steps_n(guard, (m.end - m.start) as u64 + 1)?;
+        out.push(f(&pieces_for_match(list, m)));
+        aqua_guard::result_emitted(guard)?;
+    }
+    Ok(out)
 }
 
 /// `sub_select(lp)(L)` — the set of sublists of `L` matching `lp`
@@ -230,6 +278,17 @@ pub fn sub_select(
     mode: MatchMode,
 ) -> Vec<List> {
     split(store, list, pattern, mode, |p| p.matched_reduced())
+}
+
+/// [`sub_select`] under an optional execution guard.
+pub fn sub_select_guarded(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<List>> {
+    split_guarded(store, list, pattern, mode, |p| p.matched_reduced(), guard)
 }
 
 /// `all_anc(lp, f)(L)` — `f(ancestors, match)` per match: the sublist
@@ -247,6 +306,25 @@ pub fn all_anc<R>(
     })
 }
 
+/// [`all_anc`] under an optional execution guard.
+pub fn all_anc_guarded<R>(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    mut f: impl FnMut(&List, &List) -> R,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<R>> {
+    split_guarded(
+        store,
+        list,
+        pattern,
+        mode,
+        |p| f(&p.prefix, &p.matched_reduced()),
+        guard,
+    )
+}
+
 /// `all_desc(lp, f)(L)` — `f(match, descendants)` per match; the match
 /// keeps its holes so the caller sees where each piece attaches.
 pub fn all_desc<R>(
@@ -257,6 +335,25 @@ pub fn all_desc<R>(
     mut f: impl FnMut(&List, &[List]) -> R,
 ) -> Vec<R> {
     split(store, list, pattern, mode, |p| f(&p.matched, &p.rest))
+}
+
+/// [`all_desc`] under an optional execution guard.
+pub fn all_desc_guarded<R>(
+    store: &ObjectStore,
+    list: &List,
+    pattern: &ListPattern,
+    mode: MatchMode,
+    mut f: impl FnMut(&List, &[List]) -> R,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<R>> {
+    split_guarded(
+        store,
+        list,
+        pattern,
+        mode,
+        |p| f(&p.matched, &p.rest),
+        guard,
+    )
 }
 
 #[cfg(test)]

@@ -122,8 +122,10 @@ mod tests {
             .unwrap();
         let cfg = aqua_pattern::tree_match::MatchConfig::default();
         let via_split: Vec<usize> =
-            crate::tree::split::split(&fx.store, &t, &cp, &cfg, |p| p.matched.count_cells());
+            crate::tree::split::split(&fx.store, &t, &cp, &cfg, |p| p.matched.count_cells())
+                .unwrap();
         let via_sub: Vec<usize> = crate::tree::ops::sub_select(&fx.store, &t, &cp, &cfg)
+            .unwrap()
             .iter()
             .map(Tree::count_cells)
             .collect();

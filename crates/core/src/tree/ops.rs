@@ -12,13 +12,24 @@
 //!   are provided; experiment B5 benchmarks one against the other and
 //!   the property suite checks they agree.
 
+use aqua_guard::ExecGuard;
 use aqua_object::{ObjectStore, Oid};
 use aqua_pattern::alphabet::Pred;
 use aqua_pattern::tree_ast::CompiledTreePattern;
 use aqua_pattern::tree_match::{MatchConfig, TreeMatcher};
 
-use crate::tree::split::{split_pieces, SplitPieces};
+use crate::error::{AlgebraError, Result};
+use crate::tree::split::{split_pieces_guarded, SplitPieces};
 use crate::tree::{NodeId, Payload, Tree, TreeBuilder};
+
+/// Unwrap a guard-fallible result that ran with no guard installed and
+/// no pattern matching involved (errors cannot occur).
+fn infallible<T>(r: Result<T>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => unreachable!("guardless select cannot fail: {e}"),
+    }
+}
 
 /// `select(p)(T)` — all nodes of `T` satisfying `p`, with ancestry
 /// compressed: `n₁` is the parent of `n₂` in the result iff `n₁` is the
@@ -28,6 +39,17 @@ use crate::tree::{NodeId, Payload, Tree, TreeBuilder};
 /// Labeled NULLs never satisfy an alphabet-predicate, so they are
 /// filtered like any non-matching node.
 pub fn select(store: &ObjectStore, tree: &Tree, p: &Pred) -> Vec<Tree> {
+    infallible(select_guarded(store, tree, p, None))
+}
+
+/// [`select`] under an optional execution guard: each node visit counts
+/// one step, each result tree counts toward the result cap.
+pub fn select_guarded(
+    store: &ObjectStore,
+    tree: &Tree,
+    p: &Pred,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<Tree>> {
     struct Builder<'t> {
         tree: &'t Tree,
     }
@@ -36,7 +58,15 @@ pub fn select(store: &ObjectStore, tree: &Tree, p: &Pred) -> Vec<Tree> {
         children: Vec<Picked>,
     }
     impl Builder<'_> {
-        fn walk(&self, store: &ObjectStore, p: &Pred, node: NodeId, out: &mut Vec<Picked>) {
+        fn walk(
+            &self,
+            store: &ObjectStore,
+            p: &Pred,
+            node: NodeId,
+            out: &mut Vec<Picked>,
+            guard: Option<&ExecGuard>,
+        ) -> Result<()> {
+            aqua_guard::step(guard)?;
             let satisfied = self.tree.oid(node).is_some_and(|oid| p.eval(store, oid));
             if satisfied {
                 let mut picked = Picked {
@@ -44,14 +74,15 @@ pub fn select(store: &ObjectStore, tree: &Tree, p: &Pred) -> Vec<Tree> {
                     children: Vec::new(),
                 };
                 for &k in self.tree.children(node) {
-                    self.walk(store, p, k, &mut picked.children);
+                    self.walk(store, p, k, &mut picked.children, guard)?;
                 }
                 out.push(picked);
             } else {
                 for &k in self.tree.children(node) {
-                    self.walk(store, p, k, out);
+                    self.walk(store, p, k, out, guard)?;
                 }
             }
+            Ok(())
         }
     }
     fn realize(picked: &Picked, b: &mut TreeBuilder) -> NodeId {
@@ -59,15 +90,15 @@ pub fn select(store: &ObjectStore, tree: &Tree, p: &Pred) -> Vec<Tree> {
         b.node(picked.oid, kids)
     }
     let mut roots = Vec::new();
-    Builder { tree }.walk(store, p, tree.root(), &mut roots);
-    roots
-        .iter()
-        .map(|r| {
-            let mut b = TreeBuilder::new();
-            let root = realize(r, &mut b);
-            b.finish(root).expect("select output is a valid tree")
-        })
-        .collect()
+    Builder { tree }.walk(store, p, tree.root(), &mut roots, guard)?;
+    let mut out = Vec::with_capacity(roots.len());
+    for r in &roots {
+        let mut b = TreeBuilder::new();
+        let root = realize(r, &mut b);
+        out.push(b.finish(root)?);
+        aqua_guard::result_emitted(guard)?;
+    }
+    Ok(out)
 }
 
 /// `apply(f)(T)` — an isomorphic tree whose cell at each node is
@@ -102,20 +133,37 @@ pub fn sub_select(
     tree: &Tree,
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
-) -> Vec<Tree> {
+) -> Result<Vec<Tree>> {
+    sub_select_guarded(store, tree, pattern, cfg, None)
+}
+
+/// [`sub_select`] under an optional execution guard.
+pub fn sub_select_guarded(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<Tree>> {
     let mut matcher = TreeMatcher::new(pattern, tree, store);
-    matcher
-        .find_matches(cfg)
-        .into_iter()
-        .map(|m| reduced_match_tree(tree, &m))
-        .collect()
+    if let Some(g) = guard {
+        matcher = matcher.with_guard(g);
+    }
+    let outcome = matcher.find_matches_outcome(cfg)?;
+    let mut out = Vec::with_capacity(outcome.matches.len());
+    for m in &outcome.matches {
+        aqua_guard::steps_n(guard, m.nodes.len() as u64 + 1)?;
+        out.push(reduced_match_tree(tree, m)?);
+        aqua_guard::result_emitted(guard)?;
+    }
+    Ok(out)
 }
 
 /// Build `b ∘_{α_1…α_n} []` directly from a match: copy only the kept
 /// nodes, dropping the cut positions. Equivalent to cutting full
 /// [`SplitPieces`] and nil-reducing, but O(match size) instead of
 /// O(tree size) — `sub_select` does not need the context piece.
-fn reduced_match_tree(tree: &Tree, m: &aqua_pattern::tree_match::TreeMatch) -> Tree {
+fn reduced_match_tree(tree: &Tree, m: &aqua_pattern::tree_match::TreeMatch) -> Result<Tree> {
     use std::collections::HashSet;
     let in_match: HashSet<u32> = m.nodes.iter().copied().collect();
     let cut_roots: HashSet<u32> = m.cuts.iter().map(|c| c.root).collect();
@@ -138,7 +186,7 @@ fn reduced_match_tree(tree: &Tree, m: &aqua_pattern::tree_match::TreeMatch) -> T
     }
     let mut b = TreeBuilder::new();
     let root = copy(tree, NodeId(m.root), &in_match, &cut_roots, &mut b);
-    b.finish(root).expect("reduced match is a valid tree")
+    b.finish(root)
 }
 
 /// `sub_select` restricted to candidate match roots — the executor for
@@ -151,24 +199,45 @@ pub fn sub_select_from(
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
     candidates: &[u32],
-) -> Vec<Tree> {
+) -> Result<Vec<Tree>> {
+    sub_select_from_guarded(store, tree, pattern, cfg, candidates, None)
+}
+
+/// [`sub_select_from`] under an optional execution guard.
+pub fn sub_select_from_guarded(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    candidates: &[u32],
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<Tree>> {
     let mut matcher = TreeMatcher::new(pattern, tree, store);
-    matcher
-        .find_matches_from(candidates, cfg)
-        .into_iter()
-        .map(|m| reduced_match_tree(tree, &m))
-        .collect()
+    if let Some(g) = guard {
+        matcher = matcher.with_guard(g);
+    }
+    let outcome = matcher.find_matches_from_outcome(candidates, cfg)?;
+    let mut out = Vec::with_capacity(outcome.matches.len());
+    for m in &outcome.matches {
+        aqua_guard::steps_n(guard, m.nodes.len() as u64 + 1)?;
+        out.push(reduced_match_tree(tree, m)?);
+        aqua_guard::result_emitted(guard)?;
+    }
+    Ok(out)
 }
 
 /// Remove exactly the cut holes from a match piece (pre-existing holes
 /// in the subject tree survive — they are part of the instance).
-fn nil_reduce_cuts(pieces: &SplitPieces) -> Tree {
+fn nil_reduce_cuts(pieces: &SplitPieces) -> Result<Tree> {
     let mut acc = pieces.matched.clone();
     for label in &pieces.cut_labels {
-        acc = crate::tree::concat::concat_nil(&acc, label)
-            .expect("cut holes never sit at the match root");
+        acc = crate::tree::concat::concat_nil(&acc, label).ok_or_else(|| {
+            AlgebraError::Malformed {
+                msg: format!("cut hole {:?} sits at the match root", label.0),
+            }
+        })?;
     }
-    acc
+    Ok(acc)
 }
 
 /// The paper's derivation: `sub_select(tp) = split(tp, λ(a,b,c) b ∘ [])`.
@@ -178,8 +247,10 @@ pub fn sub_select_via_split(
     tree: &Tree,
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
-) -> Vec<Tree> {
-    crate::tree::split::split(store, tree, pattern, cfg, nil_reduce_cuts)
+) -> Result<Vec<Tree>> {
+    crate::tree::split::split(store, tree, pattern, cfg, nil_reduce_cuts)?
+        .into_iter()
+        .collect()
 }
 
 /// `all_anc(tp, f)(T)` — `f(context, match)` per match: the match plus
@@ -191,15 +262,27 @@ pub fn all_anc<R>(
     tree: &Tree,
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
+    f: impl FnMut(&Tree, &Tree) -> R,
+) -> Result<Vec<R>> {
+    all_anc_guarded(store, tree, pattern, cfg, f, None)
+}
+
+/// [`all_anc`] under an optional execution guard.
+pub fn all_anc_guarded<R>(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
     mut f: impl FnMut(&Tree, &Tree) -> R,
-) -> Vec<R> {
-    split_pieces(store, tree, pattern, cfg)
-        .iter()
-        .map(|p| {
-            let reduced = nil_reduce_cuts(p);
-            f(&p.context, &reduced)
-        })
-        .collect()
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<R>> {
+    let outcome = split_pieces_guarded(store, tree, pattern, cfg, guard)?;
+    let mut out = Vec::with_capacity(outcome.pieces.len());
+    for p in &outcome.pieces {
+        let reduced = nil_reduce_cuts(p)?;
+        out.push(f(&p.context, &reduced));
+    }
+    Ok(out)
 }
 
 /// `all_desc(tp, f)(T)` — `f(match, descendants)` per match; the match
@@ -210,12 +293,26 @@ pub fn all_desc<R>(
     tree: &Tree,
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
+    f: impl FnMut(&Tree, &[Tree]) -> R,
+) -> Result<Vec<R>> {
+    all_desc_guarded(store, tree, pattern, cfg, f, None)
+}
+
+/// [`all_desc`] under an optional execution guard.
+pub fn all_desc_guarded<R>(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
     mut f: impl FnMut(&Tree, &[Tree]) -> R,
-) -> Vec<R> {
-    split_pieces(store, tree, pattern, cfg)
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<R>> {
+    let outcome = split_pieces_guarded(store, tree, pattern, cfg, guard)?;
+    Ok(outcome
+        .pieces
         .iter()
         .map(|p| f(&p.matched, &p.descendants))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -299,8 +396,8 @@ mod tests {
         let mut fx = Fx::new();
         let t = fx.tree("r(b(x(p) u(y) z) u s(b(u)))");
         let cp = compile(&fx, "b(!?* u !?*)");
-        let direct = sub_select(&fx.store, &t, &cp, &MatchConfig::default());
-        let derived = sub_select_via_split(&fx.store, &t, &cp, &MatchConfig::default());
+        let direct = sub_select(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
+        let derived = sub_select_via_split(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(direct.len(), derived.len());
         for (a, b) in direct.iter().zip(&derived) {
             assert!(a.structural_eq(b));
@@ -313,7 +410,7 @@ mod tests {
         let mut fx = Fx::new();
         let t = fx.tree("a(b(@q))");
         let cp = compile(&fx, "b(@q)");
-        let rs = sub_select(&fx.store, &t, &cp, &MatchConfig::default());
+        let rs = sub_select(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(rs.len(), 1);
         // The instance's own hole is part of the result…
         assert_eq!(fx.render(&rs[0]), "b(@q)");
@@ -326,7 +423,8 @@ mod tests {
         let cp = compile(&fx, "u");
         let rs = all_anc(&fx.store, &t, &cp, &MatchConfig::default(), |ctx, m| {
             (fx.render(ctx), fx.render(m))
-        });
+        })
+        .unwrap();
         assert_eq!(rs, vec![("r(a(@a) b)".to_string(), "u".to_string())]);
     }
 
@@ -340,7 +438,8 @@ mod tests {
                 fx.render(m),
                 ds.iter().map(|d| fx.render(d)).collect::<Vec<_>>(),
             )
-        });
+        })
+        .unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].0, "u(@1 @2)");
         assert_eq!(rs[0].1, vec!["x", "y"]);
@@ -352,7 +451,7 @@ mod tests {
         let mut fx = Fx::new();
         let t = fx.tree("m(p(x L y L) p(L) q(L L))");
         let cp = compile(&fx, "p(?* L ?* L ?*)");
-        let rs = sub_select(&fx.store, &t, &cp, &MatchConfig::default());
+        let rs = sub_select(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(fx.render(&rs[0]), "p(x L y L)");
     }

@@ -17,11 +17,13 @@
 //! other matching operator *and* to support update-style queries that
 //! need the match context (the parse-tree rewrite of §5).
 
+use aqua_guard::ExecGuard;
 use aqua_object::ObjectStore;
 use aqua_pattern::tree_ast::CompiledTreePattern;
 use aqua_pattern::tree_match::{MatchConfig, TreeMatch, TreeMatcher};
 use aqua_pattern::CcLabel;
 
+use crate::error::{AlgebraError, Result};
 use crate::tree::concat::{concat_at, subtree};
 use crate::tree::{NodeId, Tree, TreeBuilder};
 use std::collections::{HashMap, HashSet};
@@ -62,6 +64,22 @@ impl SplitPieces {
     }
 }
 
+/// A bounded `split` run: the pieces cut, plus the truncation report
+/// forwarded from the matcher. Truncation is observable, never silent.
+#[derive(Debug, Clone, Default)]
+pub struct SplitOutcome {
+    /// Pieces, in document order of their match roots.
+    pub pieces: Vec<SplitPieces>,
+    /// `true` if any [`MatchConfig`] limit clipped match enumeration.
+    pub truncated: bool,
+    /// Child-list parse enumerations clipped by [`MatchConfig::parse_limit`].
+    pub clipped_parses: usize,
+    /// Roots whose instance list hit [`MatchConfig::per_root_limit`].
+    pub clipped_roots: usize,
+    /// `true` if the scan stopped early at [`MatchConfig::max_matches`].
+    pub hit_max_matches: bool,
+}
+
 /// `split(tp, f)(T)`: apply `f` to the pieces of every match, returning
 /// the set (here: document-ordered `Vec`) of results.
 pub fn split<R>(
@@ -70,11 +88,11 @@ pub fn split<R>(
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
     f: impl FnMut(&SplitPieces) -> R,
-) -> Vec<R> {
-    split_pieces(store, tree, pattern, cfg)
+) -> Result<Vec<R>> {
+    Ok(split_pieces(store, tree, pattern, cfg)?
         .iter()
         .map(f)
-        .collect()
+        .collect())
 }
 
 /// The pieces for every match of `pattern` in `tree` (the uncurried form
@@ -84,13 +102,27 @@ pub fn split_pieces(
     tree: &Tree,
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
-) -> Vec<SplitPieces> {
+) -> Result<Vec<SplitPieces>> {
+    Ok(split_pieces_guarded(store, tree, pattern, cfg, None)?.pieces)
+}
+
+/// [`split_pieces`] under an optional execution guard. Budget
+/// exhaustion, deadline, and cancellation surface as
+/// [`AlgebraError::Guard`] with partial-progress counters; matcher
+/// truncation is reported in the [`SplitOutcome`].
+pub fn split_pieces_guarded(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    guard: Option<&ExecGuard>,
+) -> Result<SplitOutcome> {
     let mut matcher = TreeMatcher::new(pattern, tree, store);
-    let matches = matcher.find_matches(cfg);
-    matches
-        .into_iter()
-        .map(|m| pieces_for_match(tree, m))
-        .collect()
+    if let Some(g) = guard {
+        matcher = matcher.with_guard(g);
+    }
+    let outcome = matcher.find_matches_outcome(cfg)?;
+    pieces_outcome(tree, outcome, guard)
 }
 
 /// [`split_pieces`] restricted to candidate match roots — the executor
@@ -104,17 +136,51 @@ pub fn split_pieces_from(
     pattern: &CompiledTreePattern,
     cfg: &MatchConfig,
     candidates: &[u32],
-) -> Vec<SplitPieces> {
+) -> Result<Vec<SplitPieces>> {
+    Ok(split_pieces_from_guarded(store, tree, pattern, cfg, candidates, None)?.pieces)
+}
+
+/// [`split_pieces_from`] under an optional execution guard.
+pub fn split_pieces_from_guarded(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    candidates: &[u32],
+    guard: Option<&ExecGuard>,
+) -> Result<SplitOutcome> {
     let mut matcher = TreeMatcher::new(pattern, tree, store);
-    matcher
-        .find_matches_from(candidates, cfg)
-        .into_iter()
-        .map(|m| pieces_for_match(tree, m))
-        .collect()
+    if let Some(g) = guard {
+        matcher = matcher.with_guard(g);
+    }
+    let outcome = matcher.find_matches_from_outcome(candidates, cfg)?;
+    pieces_outcome(tree, outcome, guard)
+}
+
+/// Cut pieces for every enumerated match, forwarding the truncation
+/// report. Each piece cut counts toward the guard's result cap.
+fn pieces_outcome(
+    tree: &Tree,
+    outcome: aqua_pattern::tree_match::MatchOutcome,
+    guard: Option<&ExecGuard>,
+) -> Result<SplitOutcome> {
+    let mut pieces = Vec::with_capacity(outcome.matches.len());
+    for m in outcome.matches {
+        aqua_guard::steps_n(guard, m.nodes.len() as u64 + 1)?;
+        pieces.push(pieces_for_match(tree, m)?);
+        aqua_guard::result_emitted(guard)?;
+    }
+    Ok(SplitOutcome {
+        pieces,
+        truncated: outcome.truncated,
+        clipped_parses: outcome.clipped_parses,
+        clipped_roots: outcome.clipped_roots,
+        hit_max_matches: outcome.hit_max_matches,
+    })
 }
 
 /// Cut one match out of `tree`.
-pub fn pieces_for_match(tree: &Tree, m: TreeMatch) -> SplitPieces {
+pub fn pieces_for_match(tree: &Tree, m: TreeMatch) -> Result<SplitPieces> {
     let existing: HashSet<String> = tree.hole_labels().iter().map(|l| l.0.clone()).collect();
     let fresh = |base: String| -> CcLabel {
         let mut name = base;
@@ -127,31 +193,31 @@ pub fn pieces_for_match(tree: &Tree, m: TreeMatch) -> SplitPieces {
     let cut_labels: Vec<CcLabel> = (1..=m.cuts.len()).map(|i| fresh(i.to_string())).collect();
 
     let match_root = NodeId(m.root);
-    let context = build_context(tree, match_root, &alpha);
-    let matched = build_match(tree, &m, &cut_labels);
+    let context = build_context(tree, match_root, &alpha)?;
+    let matched = build_match(tree, &m, &cut_labels)?;
     let descendants = m
         .cuts
         .iter()
         .map(|c| subtree(tree, NodeId(c.root)))
         .collect();
-    SplitPieces {
+    Ok(SplitPieces {
         context,
         matched,
         descendants,
         alpha,
         cut_labels,
         raw: m,
-    }
+    })
 }
 
 /// Copy `tree` with the subtree at `excise` replaced by a hole.
-fn build_context(tree: &Tree, excise: NodeId, alpha: &CcLabel) -> Tree {
+fn build_context(tree: &Tree, excise: NodeId, alpha: &CcLabel) -> Result<Tree> {
     if excise == tree.root() {
-        return Tree::hole(alpha.clone());
+        return Ok(Tree::hole(alpha.clone()));
     }
     let mut b = TreeBuilder::new();
     let root = copy_except(tree, tree.root(), excise, alpha, &mut b);
-    b.finish(root).expect("context of a valid tree is valid")
+    b.finish(root)
 }
 
 fn copy_except(
@@ -174,7 +240,7 @@ fn copy_except(
 
 /// Build the match piece: matched nodes keep their payloads; cut points
 /// become holes labeled in cut order.
-fn build_match(tree: &Tree, m: &TreeMatch, cut_labels: &[CcLabel]) -> Tree {
+fn build_match(tree: &Tree, m: &TreeMatch, cut_labels: &[CcLabel]) -> Result<Tree> {
     let in_match: HashSet<u32> = m.nodes.iter().copied().collect();
     let cut_idx: HashMap<(u32, u32), usize> = m
         .cuts
@@ -190,9 +256,8 @@ fn build_match(tree: &Tree, m: &TreeMatch, cut_labels: &[CcLabel]) -> Tree {
         &cut_idx,
         cut_labels,
         &mut b,
-    );
+    )?;
     b.finish(root)
-        .expect("match piece of a valid tree is valid")
 }
 
 fn build_match_node(
@@ -202,21 +267,24 @@ fn build_match_node(
     cut_idx: &HashMap<(u32, u32), usize>,
     cut_labels: &[CcLabel],
     b: &mut TreeBuilder,
-) -> NodeId {
+) -> Result<NodeId> {
     let mut kids = Vec::new();
     for (i, &k) in tree.children(node).iter().enumerate() {
         if let Some(&ci) = cut_idx.get(&(node.0, i as u32)) {
             kids.push(b.hole_node(cut_labels[ci].clone(), Vec::new()));
         } else if in_match.contains(&k.0) {
-            kids.push(build_match_node(tree, k, in_match, cut_idx, cut_labels, b));
+            kids.push(build_match_node(tree, k, in_match, cut_idx, cut_labels, b)?);
         } else {
-            // A child that is neither kept nor cut cannot exist: the
-            // child regex consumes the full child sequence, and pattern
-            // leaves cut all children.
-            unreachable!("child {k:?} of matched node {node:?} neither kept nor cut");
+            // A child that is neither kept nor cut cannot exist under a
+            // well-formed match: the child regex consumes the full child
+            // sequence, and pattern leaves cut all children. Surface a
+            // malformed match as an error rather than aborting.
+            return Err(AlgebraError::Malformed {
+                msg: format!("child {k:?} of matched node {node:?} neither kept nor cut"),
+            });
         }
     }
-    b.payload_node(tree.payload(node).clone(), kids)
+    Ok(b.payload_node(tree.payload(node).clone(), kids))
 }
 
 #[cfg(test)]
@@ -241,7 +309,7 @@ mod tests {
         // child y is a frontier cut), z (pruned).
         let t = fx.tree("r(b(x(p) u(y) z) s)");
         let cp = compile(&fx, "b(!?* u !?*)", &fx.env());
-        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(pieces.len(), 1);
         let p = &pieces[0];
         assert_eq!(fx.render(&p.context), "r(@a s)");
@@ -255,7 +323,7 @@ mod tests {
         let mut fx = Fx::new();
         let t = fx.tree("r(b(x(p) u(y) z) s(u))");
         let cp = compile(&fx, "u", &fx.env());
-        for p in split_pieces(&fx.store, &t, &cp, &MatchConfig::default()) {
+        for p in split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap() {
             assert!(p.reassemble().structural_eq(&t), "roundtrip failed");
         }
     }
@@ -265,7 +333,7 @@ mod tests {
         let mut fx = Fx::new();
         let t = fx.tree("a(b c)");
         let cp = compile(&fx, "a(b c)", &fx.env());
-        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(pieces.len(), 1);
         assert_eq!(fx.render(&pieces[0].context), "@a");
         assert!(pieces[0].descendants.is_empty());
@@ -279,7 +347,8 @@ mod tests {
         let cp = compile(&fx, "u", &fx.env());
         let names = split(&fx.store, &t, &cp, &MatchConfig::default(), |p| {
             fx.render(&p.matched)
-        });
+        })
+        .unwrap();
         assert_eq!(names, vec!["u", "u", "u"]);
     }
 
@@ -289,7 +358,7 @@ mod tests {
         // The tree already contains holes named @a and @1.
         let t = fx.tree("r(b(x) @a @1)");
         let cp = compile(&fx, "b(!?*)", &fx.env());
-        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(pieces.len(), 1);
         let p = &pieces[0];
         assert_ne!(p.alpha.0, "a");
@@ -303,7 +372,7 @@ mod tests {
         let mut fx = Fx::new();
         let t = fx.tree("r(b(x) s)");
         let cp = compile(&fx, "b(!?)", &fx.env());
-        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         let p = &pieces[0];
         // Replace b(@1) by n(@1): keep the cut subtree attached.
         let n_oid = fx
@@ -327,7 +396,7 @@ mod tests {
         let cp = aqua_pattern::TreePattern::new(tp)
             .compile(fx.class, fx.store.class(fx.class))
             .unwrap();
-        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
         assert_eq!(pieces.len(), 1);
         assert_eq!(fx.render(&pieces[0].matched), "u");
     }

@@ -1,0 +1,213 @@
+//! Hand-rolled failpoint registry for fault-injection tests.
+//!
+//! Production query engines are tested by forcing their dependencies to
+//! fail: an index probe that errors mid-query, a store lookup that goes
+//! away. This module provides named failpoints with no external
+//! dependencies. Code under test calls [`check("store.attr_index.probe")`]
+//! [`check`] at a boundary; tests arm that name with [`arm`] (or
+//! [`arm_times`]) to make the boundary fail.
+//!
+//! The hot path is a single relaxed atomic load: with nothing armed,
+//! `check` costs one branch. The registry is global, so concurrently
+//! running tests must use scoped arming ([`scoped`]) and distinct
+//! failpoint names, or serialize on a lock of their own.
+//!
+//! ```
+//! use aqua_guard::failpoint;
+//! let fp = failpoint::scoped("docs.example", "index file corrupt");
+//! let err = failpoint::check("docs.example").unwrap_err();
+//! assert_eq!(err.point, "docs.example");
+//! drop(fp); // disarms
+//! assert!(failpoint::check("docs.example").is_ok());
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Error produced by an armed failpoint. Carries the failpoint name so
+/// fallback paths can report *which* boundary failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailpointError {
+    /// Name of the failpoint that fired.
+    pub point: String,
+    /// The message the test armed it with.
+    pub msg: String,
+}
+
+impl fmt::Display for FailpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failpoint {:?} fired: {}", self.point, self.msg)
+    }
+}
+
+impl std::error::Error for FailpointError {}
+
+struct Armed {
+    msg: String,
+    /// `None` = fire every time; `Some(n)` = fire `n` more times, then
+    /// disarm automatically.
+    remaining: Option<usize>,
+}
+
+/// Count of armed failpoints — the fast-path gate. Zero means `check`
+/// returns `Ok` without touching the registry lock.
+static ARMED_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arm `point`: every subsequent [`check`] of that name fails with `msg`
+/// until [`disarm`] is called.
+pub fn arm(point: &str, msg: &str) {
+    arm_impl(point, msg, None);
+}
+
+/// Arm `point` for exactly `times` firings, after which it disarms itself.
+pub fn arm_times(point: &str, msg: &str, times: usize) {
+    arm_impl(point, msg, Some(times));
+}
+
+fn arm_impl(point: &str, msg: &str, remaining: Option<usize>) {
+    let mut reg = registry().lock().unwrap();
+    let prev = reg.insert(
+        point.to_owned(),
+        Armed {
+            msg: msg.to_owned(),
+            remaining,
+        },
+    );
+    if prev.is_none() {
+        ARMED_COUNT.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm `point`. No-op if it was not armed.
+pub fn disarm(point: &str) {
+    let mut reg = registry().lock().unwrap();
+    if reg.remove(point).is_some() {
+        ARMED_COUNT.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm everything.
+pub fn reset() {
+    let mut reg = registry().lock().unwrap();
+    let n = reg.len();
+    reg.clear();
+    ARMED_COUNT.fetch_sub(n, Ordering::SeqCst);
+}
+
+/// The probe instrumented code calls at a failure boundary. `Ok(())`
+/// unless a test armed `point`. With nothing armed anywhere, this is a
+/// single atomic load.
+#[inline]
+pub fn check(point: &str) -> Result<(), FailpointError> {
+    if ARMED_COUNT.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    check_slow(point)
+}
+
+#[cold]
+fn check_slow(point: &str) -> Result<(), FailpointError> {
+    let mut reg = registry().lock().unwrap();
+    let Some(armed) = reg.get_mut(point) else {
+        return Ok(());
+    };
+    let err = FailpointError {
+        point: point.to_owned(),
+        msg: armed.msg.clone(),
+    };
+    match &mut armed.remaining {
+        None => {}
+        Some(0) => {
+            // Exhausted earlier; treat as disarmed.
+            reg.remove(point);
+            ARMED_COUNT.fetch_sub(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        Some(n) => {
+            *n -= 1;
+            if *n == 0 {
+                reg.remove(point);
+                ARMED_COUNT.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    Err(err)
+}
+
+/// RAII arming: the failpoint stays armed until the returned handle is
+/// dropped. Preferred in tests — the failpoint cannot leak into later
+/// tests even on panic.
+pub fn scoped(point: &str, msg: &str) -> ScopedFailpoint {
+    arm(point, msg);
+    ScopedFailpoint {
+        point: point.to_owned(),
+    }
+}
+
+/// Handle returned by [`scoped`]; disarms its failpoint on drop.
+#[must_use = "dropping the handle disarms the failpoint immediately"]
+pub struct ScopedFailpoint {
+    point: String,
+}
+
+impl Drop for ScopedFailpoint {
+    fn drop(&mut self) {
+        disarm(&self.point);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint names are global; each test uses its own.
+
+    #[test]
+    fn unarmed_is_ok() {
+        assert!(check("fp.test.unarmed").is_ok());
+    }
+
+    #[test]
+    fn armed_fires_until_disarmed() {
+        arm("fp.test.basic", "boom");
+        let err = check("fp.test.basic").unwrap_err();
+        assert_eq!(err.point, "fp.test.basic");
+        assert_eq!(err.msg, "boom");
+        assert!(check("fp.test.basic").is_err());
+        disarm("fp.test.basic");
+        assert!(check("fp.test.basic").is_ok());
+    }
+
+    #[test]
+    fn arm_times_self_disarms() {
+        arm_times("fp.test.twice", "flaky", 2);
+        assert!(check("fp.test.twice").is_err());
+        assert!(check("fp.test.twice").is_err());
+        assert!(check("fp.test.twice").is_ok());
+        assert!(check("fp.test.twice").is_ok());
+    }
+
+    #[test]
+    fn scoped_disarms_on_drop() {
+        {
+            let _fp = scoped("fp.test.scoped", "scoped boom");
+            assert!(check("fp.test.scoped").is_err());
+        }
+        assert!(check("fp.test.scoped").is_ok());
+    }
+
+    #[test]
+    fn display_names_the_point() {
+        let _fp = scoped("fp.test.display", "io error");
+        let msg = check("fp.test.display").unwrap_err().to_string();
+        assert!(msg.contains("fp.test.display"), "{msg}");
+        assert!(msg.contains("io error"), "{msg}");
+    }
+}

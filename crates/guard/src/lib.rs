@@ -1,0 +1,490 @@
+//! # aqua-guard — execution guards for query evaluation
+//!
+//! The AQUA operators (`split`, `sub_select`, `all_anc`, …) are driven by
+//! patterns whose cost is input-dependent and potentially explosive:
+//! Kleene closures over concatenation points, `(a|a)*`-style list
+//! patterns, deep recursive tree matches. A production engine must bound
+//! and degrade rather than hang or panic, so every evaluation loop in the
+//! stack checks an [`ExecGuard`]:
+//!
+//! * [`Budget`] — declarative limits: a step budget (node visits /
+//!   VM transitions), a wall-clock deadline, and an output-size cap.
+//! * [`CancelToken`] — a shareable atomic flag; clone it to another
+//!   thread and call [`CancelToken::cancel`] to stop a running query.
+//! * [`ExecGuard`] — the per-query counter bundle the loops actually
+//!   poke. Cheap by design: one counter increment per step, with the
+//!   clock and the cancel flag consulted only every
+//!   [`CHECK_PERIOD`] steps.
+//! * [`GuardError`] — the typed verdicts ([`GuardError::BudgetExceeded`],
+//!   [`GuardError::Timeout`], [`GuardError::Cancelled`]), each carrying a
+//!   [`Progress`] snapshot so callers can see how far execution got.
+//!
+//! The [`failpoint`] module is a separate concern riding in the same
+//! crate: a tiny hand-rolled fault-injection registry that tests use to
+//! force index-probe and store-lookup failures, exercising the
+//! optimizer's fallback paths.
+
+pub mod failpoint;
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many steps pass between wall-clock / cancellation checks.
+/// Checking `Instant::now()` and the atomic flag on every node visit
+/// would dominate tight loops; every 1024th step keeps the overhead
+/// unmeasurable while bounding detection latency.
+pub const CHECK_PERIOD: u64 = 1024;
+
+/// Declarative resource limits for one query execution.
+///
+/// `Budget::default()` (alias [`Budget::unlimited`]) imposes nothing;
+/// builder methods tighten individual axes:
+///
+/// ```
+/// use aqua_guard::Budget;
+/// let b = Budget::unlimited().with_steps(10_000).with_deadline_ms(50);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of steps (node visits, VM transitions, matcher
+    /// recursions) before [`GuardError::BudgetExceeded`].
+    pub max_steps: Option<u64>,
+    /// Wall-clock deadline, measured from [`ExecGuard`] construction.
+    pub max_duration: Option<Duration>,
+    /// Maximum number of produced results (matches, output trees, …)
+    /// before [`GuardError::BudgetExceeded`].
+    pub max_results: Option<u64>,
+}
+
+impl Budget {
+    /// No limits at all. Equivalent to `Budget::default()`.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Limit the step count.
+    pub fn with_steps(mut self, max_steps: u64) -> Budget {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Limit wall-clock time.
+    pub fn with_deadline(mut self, max: Duration) -> Budget {
+        self.max_duration = Some(max);
+        self
+    }
+
+    /// Limit wall-clock time, in milliseconds.
+    pub fn with_deadline_ms(self, ms: u64) -> Budget {
+        self.with_deadline(Duration::from_millis(ms))
+    }
+
+    /// Limit the number of produced results.
+    pub fn with_results(mut self, max_results: u64) -> Budget {
+        self.max_results = Some(max_results);
+        self
+    }
+
+    /// Whether this budget can ever trip (used to skip guard plumbing
+    /// entirely for unlimited executions).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none() && self.max_duration.is_none() && self.max_results.is_none()
+    }
+}
+
+/// A shareable cancellation flag.
+///
+/// Clones share one underlying atomic; cancelling any clone cancels the
+/// query on whichever thread is running it, at its next guard check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`cancel`](CancelToken::cancel) been called (on any clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Partial-progress snapshot attached to every [`GuardError`], so a
+/// caller that hits a limit still learns how much work was done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Steps executed before the verdict (node visits, VM transitions).
+    pub steps: u64,
+    /// Results produced before the verdict.
+    pub results: u64,
+    /// Wall-clock time elapsed before the verdict.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps, {} results, {:.1}ms elapsed",
+            self.steps,
+            self.results,
+            self.elapsed.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// Which budget axis was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// The step budget ([`Budget::max_steps`]).
+    Steps,
+    /// The output cap ([`Budget::max_results`]).
+    Results,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Steps => write!(f, "step"),
+            Resource::Results => write!(f, "result"),
+        }
+    }
+}
+
+/// Typed verdicts for bounded execution. Every variant carries the
+/// [`Progress`] made before the limit tripped — exhaustion is an answer,
+/// not an accident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardError {
+    /// A step or output budget ran out.
+    BudgetExceeded {
+        /// Which axis tripped.
+        resource: Resource,
+        /// The configured limit.
+        limit: u64,
+        /// Work completed before tripping.
+        progress: Progress,
+    },
+    /// The wall-clock deadline passed.
+    Timeout {
+        /// The configured deadline.
+        limit: Duration,
+        /// Work completed before tripping.
+        progress: Progress,
+    },
+    /// The [`CancelToken`] was cancelled.
+    Cancelled {
+        /// Work completed before cancellation was observed.
+        progress: Progress,
+    },
+}
+
+impl GuardError {
+    /// The progress snapshot, whichever variant.
+    pub fn progress(&self) -> Progress {
+        match self {
+            GuardError::BudgetExceeded { progress, .. }
+            | GuardError::Timeout { progress, .. }
+            | GuardError::Cancelled { progress } => *progress,
+        }
+    }
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::BudgetExceeded {
+                resource,
+                limit,
+                progress,
+            } => write!(f, "{resource} budget of {limit} exceeded after {progress}"),
+            GuardError::Timeout { limit, progress } => write!(
+                f,
+                "deadline of {:.1}ms passed after {progress}",
+                limit.as_secs_f64() * 1e3
+            ),
+            GuardError::Cancelled { progress } => {
+                write!(f, "cancelled after {progress}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// The live counter bundle one query execution carries through the
+/// stack. Constructed from a [`Budget`] (plus an optional
+/// [`CancelToken`]), passed by shared reference — interior mutability via
+/// `Cell` keeps call sites free of `&mut` threading. Not `Sync`:
+/// one guard belongs to one query on one thread; cross-thread control
+/// arrives through the token.
+#[derive(Debug)]
+pub struct ExecGuard {
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    start: Instant,
+    steps: Cell<u64>,
+    results: Cell<u64>,
+    /// Steps until the next clock/cancel check.
+    fuse: Cell<u64>,
+}
+
+impl ExecGuard {
+    /// Guard with limits only.
+    pub fn new(budget: Budget) -> ExecGuard {
+        ExecGuard {
+            budget,
+            cancel: None,
+            start: Instant::now(),
+            steps: Cell::new(0),
+            results: Cell::new(0),
+            fuse: Cell::new(CHECK_PERIOD),
+        }
+    }
+
+    /// Guard with limits and a cancellation token.
+    pub fn with_cancel(budget: Budget, token: CancelToken) -> ExecGuard {
+        ExecGuard {
+            cancel: Some(token),
+            ..ExecGuard::new(budget)
+        }
+    }
+
+    /// Guard that only honours cancellation (no budget).
+    pub fn cancellable(token: CancelToken) -> ExecGuard {
+        ExecGuard::with_cancel(Budget::unlimited(), token)
+    }
+
+    /// Current progress snapshot.
+    pub fn snapshot(&self) -> Progress {
+        Progress {
+            steps: self.steps.get(),
+            results: self.results.get(),
+            elapsed: self.start.elapsed(),
+        }
+    }
+
+    /// Account one unit of work (a node visit, a VM transition, a matcher
+    /// recursion). Cheap: one counter bump; the clock and cancel flag are
+    /// consulted every [`CHECK_PERIOD`] calls.
+    #[inline]
+    pub fn step(&self) -> Result<(), GuardError> {
+        self.steps_n(1)
+    }
+
+    /// Account `n` units of work at once.
+    #[inline]
+    pub fn steps_n(&self, n: u64) -> Result<(), GuardError> {
+        let steps = self.steps.get() + n;
+        self.steps.set(steps);
+        if let Some(max) = self.budget.max_steps {
+            if steps > max {
+                return Err(GuardError::BudgetExceeded {
+                    resource: Resource::Steps,
+                    limit: max,
+                    progress: self.snapshot(),
+                });
+            }
+        }
+        let fuse = self.fuse.get();
+        if fuse <= n {
+            self.fuse.set(CHECK_PERIOD);
+            self.checkpoint()
+        } else {
+            self.fuse.set(fuse - n);
+            Ok(())
+        }
+    }
+
+    /// Account one produced result (a match, an output tree, …).
+    #[inline]
+    pub fn result_emitted(&self) -> Result<(), GuardError> {
+        let results = self.results.get() + 1;
+        self.results.set(results);
+        if let Some(max) = self.budget.max_results {
+            if results > max {
+                return Err(GuardError::BudgetExceeded {
+                    resource: Resource::Results,
+                    limit: max,
+                    progress: self.snapshot(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Force an immediate deadline + cancellation check, regardless of the
+    /// step fuse. Called at coarse boundaries (per query root, per plan
+    /// stage) where prompt cancellation matters more than raw throughput.
+    pub fn checkpoint(&self) -> Result<(), GuardError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(GuardError::Cancelled {
+                    progress: self.snapshot(),
+                });
+            }
+        }
+        if let Some(max) = self.budget.max_duration {
+            let elapsed = self.start.elapsed();
+            if elapsed > max {
+                return Err(GuardError::Timeout {
+                    limit: max,
+                    progress: self.snapshot(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience for optional guards: account a step if a guard is present.
+#[inline]
+pub fn step(guard: Option<&ExecGuard>) -> Result<(), GuardError> {
+    match guard {
+        Some(g) => g.step(),
+        None => Ok(()),
+    }
+}
+
+/// Convenience for optional guards: account `n` steps if a guard is present.
+#[inline]
+pub fn steps_n(guard: Option<&ExecGuard>, n: u64) -> Result<(), GuardError> {
+    match guard {
+        Some(g) => g.steps_n(n),
+        None => Ok(()),
+    }
+}
+
+/// Convenience for optional guards: checkpoint if a guard is present.
+#[inline]
+pub fn checkpoint(guard: Option<&ExecGuard>) -> Result<(), GuardError> {
+    match guard {
+        Some(g) => g.checkpoint(),
+        None => Ok(()),
+    }
+}
+
+/// Convenience for optional guards: account an emitted result if a guard
+/// is present.
+#[inline]
+pub fn result_emitted(guard: Option<&ExecGuard>) -> Result<(), GuardError> {
+    match guard {
+        Some(g) => g.result_emitted(),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let g = ExecGuard::new(Budget::unlimited());
+        for _ in 0..10_000 {
+            g.step().unwrap();
+        }
+        g.result_emitted().unwrap();
+        g.checkpoint().unwrap();
+        assert_eq!(g.snapshot().steps, 10_000);
+    }
+
+    #[test]
+    fn step_budget_trips_with_progress() {
+        let g = ExecGuard::new(Budget::unlimited().with_steps(10));
+        for _ in 0..10 {
+            g.step().unwrap();
+        }
+        let err = g.step().unwrap_err();
+        match err {
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                limit,
+                progress,
+            } => {
+                assert_eq!(limit, 10);
+                assert_eq!(progress.steps, 11);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_cap_trips() {
+        let g = ExecGuard::new(Budget::unlimited().with_results(2));
+        g.result_emitted().unwrap();
+        g.result_emitted().unwrap();
+        let err = g.result_emitted().unwrap_err();
+        assert!(matches!(
+            err,
+            GuardError::BudgetExceeded {
+                resource: Resource::Results,
+                limit: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cancellation_is_observed() {
+        let token = CancelToken::new();
+        let g = ExecGuard::cancellable(token.clone());
+        g.checkpoint().unwrap();
+        token.cancel();
+        assert!(matches!(
+            g.checkpoint().unwrap_err(),
+            GuardError::Cancelled { .. }
+        ));
+        // And through the amortized step path as well.
+        let g2 = ExecGuard::cancellable(token.clone());
+        let mut tripped = false;
+        for _ in 0..(2 * CHECK_PERIOD) {
+            if g2.step().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "step fuse never consulted the cancel flag");
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || remote.cancel());
+        handle.join().unwrap();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let g = ExecGuard::new(Budget::unlimited().with_deadline(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(matches!(
+            g.checkpoint().unwrap_err(),
+            GuardError::Timeout { .. }
+        ));
+    }
+
+    #[test]
+    fn display_mentions_progress() {
+        let g = ExecGuard::new(Budget::unlimited().with_steps(1));
+        g.step().unwrap();
+        let err = g.step().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("step budget of 1"), "{msg}");
+        assert!(msg.contains("2 steps"), "{msg}");
+    }
+}

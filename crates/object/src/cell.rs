@@ -8,15 +8,13 @@
 //! unique (each holds a distinct cell) while several cells may reference
 //! the same object. Query operators implicitly dereference the cell.
 
-use serde::{Deserialize, Serialize};
-
 use crate::oid::Oid;
 
 /// A cell holding the identity of a list/tree element's underlying object.
 ///
 /// `List[T]` is shorthand for `List[Cell[T]]` (paper §2); in this
 /// implementation every tree/list node's payload is a `Cell`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Cell {
     contents: Oid,
 }

@@ -39,6 +39,18 @@ pub enum ObjectError {
     },
     /// Dereference of an OID the store never issued.
     DanglingOid { oid: Oid },
+    /// A fault-injection point fired (testing only; see
+    /// [`aqua_guard::failpoint`]).
+    Injected { point: String, msg: String },
+}
+
+impl From<aqua_guard::failpoint::FailpointError> for ObjectError {
+    fn from(e: aqua_guard::failpoint::FailpointError) -> Self {
+        ObjectError::Injected {
+            point: e.point,
+            msg: e.msg,
+        }
+    }
 }
 
 impl fmt::Display for ObjectError {
@@ -77,6 +89,9 @@ impl fmt::Display for ObjectError {
                 got,
             } => write!(f, "attribute {class}.{attr} expects {expected}, got {got}"),
             ObjectError::DanglingOid { oid } => write!(f, "dangling OID {oid}"),
+            ObjectError::Injected { point, msg } => {
+                write!(f, "injected fault at {point:?}: {msg}")
+            }
         }
     }
 }

@@ -38,5 +38,5 @@ pub use error::{ObjectError, Result};
 pub use object::Object;
 pub use oid::Oid;
 pub use schema::{AttrDef, AttrId, AttrKind, AttrType, ClassDef, ClassId};
-pub use store::ObjectStore;
+pub use store::{ObjectStore, OBJECT_GET_PROBE};
 pub use value::Value;

@@ -1,7 +1,5 @@
 //! Object instances.
 
-use serde::{Deserialize, Serialize};
-
 use crate::oid::Oid;
 use crate::schema::{AttrId, ClassId};
 use crate::value::Value;
@@ -12,7 +10,7 @@ use crate::value::Value;
 /// Objects are created through [`ObjectStore::insert`](crate::ObjectStore::insert),
 /// which validates the value row against the class schema, so an `Object`
 /// held by the store is always well-typed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Object {
     oid: Oid,
     class: ClassId,

@@ -7,14 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The identity of an object in an [`ObjectStore`](crate::ObjectStore).
 ///
 /// OIDs are dense (assigned `0, 1, 2, …` per store) so that stores and
 /// indices can use them directly as vector offsets. They are meaningful
 /// only relative to the store that issued them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Oid(pub u64);
 
 impl Oid {

@@ -7,17 +7,15 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ObjectError, Result};
 use crate::value::Value;
 
 /// Index of a class within an [`ObjectStore`](crate::ObjectStore).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(pub u32);
 
 /// Positional index of an attribute within its class layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrId(pub u16);
 
 impl AttrId {
@@ -29,7 +27,7 @@ impl AttrId {
 }
 
 /// Declared type of an attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttrType {
     Bool,
     Int,
@@ -73,14 +71,14 @@ impl fmt::Display for AttrType {
 /// Only *stored* attributes may appear in alphabet-predicates (paper
 /// §3.1 footnote 2): this keeps predicate evaluation constant-time and is
 /// checked by the pattern layer via [`ClassDef::stored_attr`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttrKind {
     Stored,
     Computed,
 }
 
 /// Declaration of a single attribute.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttrDef {
     pub name: String,
     pub ty: AttrType,
@@ -108,7 +106,7 @@ impl AttrDef {
 }
 
 /// A class: a named, ordered list of attribute declarations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassDef {
     name: String,
     attrs: Vec<AttrDef>,

@@ -8,6 +8,10 @@
 use std::collections::HashMap;
 
 use crate::error::{ObjectError, Result};
+
+/// Failpoint checked on every fallible object-store lookup
+/// ([`ObjectStore::get`]); arm it to simulate a failing object fetch.
+pub const OBJECT_GET_PROBE: &str = "object.store.get";
 use crate::object::Object;
 use crate::oid::Oid;
 use crate::schema::{AttrId, ClassDef, ClassId};
@@ -90,6 +94,7 @@ impl ObjectStore {
 
     /// Dereference an OID.
     pub fn get(&self, oid: Oid) -> Result<&Object> {
+        aqua_guard::failpoint::check(OBJECT_GET_PROBE)?;
         self.objects
             .get(oid.index())
             .ok_or(ObjectError::DanglingOid { oid })

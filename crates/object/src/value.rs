@@ -8,8 +8,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::oid::Oid;
 
 /// A stored attribute value or predicate constant.
@@ -18,7 +16,7 @@ use crate::oid::Oid;
 /// return `None` from [`Value::try_cmp`]), mirroring a typed schema: the
 /// schema layer rejects ill-typed predicates before evaluation, and the
 /// evaluator treats an undefined comparison as `false`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// The absence of a value (an unset optional attribute).
     Null,

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use aqua_algebra::AlgebraError;
+use aqua_guard::GuardError;
 use aqua_object::ObjectError;
 use aqua_pattern::PatternError;
 
@@ -15,8 +17,25 @@ pub enum OptError {
     Pattern(PatternError),
     /// Propagated object-layer error.
     Object(ObjectError),
+    /// Propagated algebra-layer error.
+    Algebra(AlgebraError),
     /// A plan referenced an index the catalog no longer has.
     MissingIndex { attr: String },
+    /// Execution was stopped by an execution guard (budget exhausted,
+    /// deadline passed, or cancellation requested).
+    Guard(GuardError),
+}
+
+impl OptError {
+    /// The guard error inside, if this is a guard stop.
+    pub fn as_guard(&self) -> Option<&GuardError> {
+        match self {
+            OptError::Guard(e) => Some(e),
+            OptError::Algebra(e) => e.as_guard(),
+            OptError::Pattern(PatternError::Guard(e)) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for OptError {
@@ -24,12 +43,14 @@ impl fmt::Display for OptError {
         match self {
             OptError::Pattern(e) => write!(f, "{e}"),
             OptError::Object(e) => write!(f, "{e}"),
+            OptError::Algebra(e) => write!(f, "{e}"),
             OptError::MissingIndex { attr } => {
                 write!(
                     f,
                     "plan requires an index on {attr:?} that the catalog lacks"
                 )
             }
+            OptError::Guard(e) => write!(f, "{e}"),
         }
     }
 }
@@ -39,7 +60,27 @@ impl std::error::Error for OptError {
         match self {
             OptError::Pattern(e) => Some(e),
             OptError::Object(e) => Some(e),
+            OptError::Algebra(e) => Some(e),
             OptError::MissingIndex { .. } => None,
+            OptError::Guard(e) => Some(e),
+        }
+    }
+}
+
+impl From<GuardError> for OptError {
+    fn from(e: GuardError) -> Self {
+        OptError::Guard(e)
+    }
+}
+
+impl From<AlgebraError> for OptError {
+    fn from(e: AlgebraError) -> Self {
+        // Keep guard verdicts first-class so callers can match on
+        // `OptError::Guard` regardless of which layer tripped.
+        match e {
+            AlgebraError::Guard(g) => OptError::Guard(g),
+            AlgebraError::Pattern(PatternError::Guard(g)) => OptError::Guard(g),
+            other => OptError::Algebra(other),
         }
     }
 }

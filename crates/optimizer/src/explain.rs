@@ -17,6 +17,10 @@ pub struct Explain {
     pub rules: Vec<String>,
     /// Rendered chosen plan.
     pub chosen: String,
+    /// Execution-time degradations: an indexed stage hit an injected
+    /// fault and execution fell back to the naive path. Empty when the
+    /// chosen plan ran as planned.
+    pub fallbacks: Vec<String>,
 }
 
 impl Explain {
@@ -40,18 +44,46 @@ impl Explain {
     pub fn used_rule(&self, name_prefix: &str) -> bool {
         self.rules.iter().any(|r| r.starts_with(name_prefix))
     }
+
+    /// Record an execution-time fallback to the naive path.
+    pub(crate) fn fallback(&mut self, why: String) {
+        self.fallbacks.push(why);
+    }
+
+    /// Did execution degrade to a naive path?
+    pub fn fell_back(&self) -> bool {
+        !self.fallbacks.is_empty()
+    }
 }
 
 impl fmt::Display for Explain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "considered:")?;
-        for c in &self.considered {
-            writeln!(f, "  {c}")?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| {
+            let r = if first { Ok(()) } else { writeln!(f) };
+            first = false;
+            r
+        };
+        if !self.considered.is_empty() {
+            sep(f)?;
+            write!(f, "considered:")?;
+            for c in &self.considered {
+                write!(f, "\n  {c}")?;
+            }
         }
         if !self.rules.is_empty() {
-            writeln!(f, "rules: {}", self.rules.join(", "))?;
+            sep(f)?;
+            write!(f, "rules: {}", self.rules.join(", "))?;
         }
-        write!(f, "chosen: {}", self.chosen)
+        if !self.chosen.is_empty() {
+            sep(f)?;
+            write!(f, "chosen: {}", self.chosen)?;
+        }
+        for fb in &self.fallbacks {
+            sep(f)?;
+            write!(f, "fallback: {fb}")?;
+        }
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@ use std::fmt;
 use aqua_algebra::list::ops as list_ops;
 use aqua_algebra::tree::ops as tree_ops;
 use aqua_algebra::{List, Tree};
+use aqua_guard::ExecGuard;
 use aqua_object::{Oid, Value};
 use aqua_pattern::ast::Re;
 use aqua_pattern::list::{ListMatch, ListPattern, MatchMode, Sym};
@@ -21,6 +22,7 @@ use aqua_pattern::{CmpOp, Pred, PredExpr, TreePattern};
 use crate::catalog::Catalog;
 use crate::cost::CostModel;
 use crate::error::{OptError, Result};
+use crate::explain::Explain;
 
 // ---------------------------------------------------------------- trees
 
@@ -84,10 +86,31 @@ impl TreePlan {
         tree: &Tree,
         cfg: &MatchConfig,
     ) -> Result<Vec<Tree>> {
+        let mut explain = Explain::default();
+        self.execute_guarded(catalog, tree, cfg, None, &mut explain)
+    }
+
+    /// [`execute`](Self::execute) under an optional execution guard.
+    ///
+    /// If the index probe of an indexed plan fails (an injected fault),
+    /// execution degrades gracefully to the naive full-pattern scan and
+    /// the fallback is recorded in `explain`.
+    pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<Tree>> {
         match self {
-            TreePlan::FullPatternScan { pattern, .. } => {
-                Ok(tree_ops::sub_select(catalog.store, tree, pattern, cfg))
-            }
+            TreePlan::FullPatternScan { pattern, .. } => Ok(tree_ops::sub_select_guarded(
+                catalog.store,
+                tree,
+                pattern,
+                cfg,
+                guard,
+            )?),
             TreePlan::IndexedPatternScan {
                 attr,
                 op,
@@ -98,14 +121,26 @@ impl TreePlan {
                 let idx = catalog
                     .tree_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                let candidates = idx.lookup_cmp(*op, value);
-                Ok(tree_ops::sub_select_from(
-                    catalog.store,
-                    tree,
-                    pattern,
-                    cfg,
-                    &candidates,
-                ))
+                match idx.try_lookup_cmp(*op, value) {
+                    Ok(candidates) => Ok(tree_ops::sub_select_from_guarded(
+                        catalog.store,
+                        tree,
+                        pattern,
+                        cfg,
+                        &candidates,
+                        guard,
+                    )?),
+                    Err(e) => {
+                        explain.fallback(format!("index probe failed ({e}); full pattern scan"));
+                        Ok(tree_ops::sub_select_guarded(
+                            catalog.store,
+                            tree,
+                            pattern,
+                            cfg,
+                            guard,
+                        )?)
+                    }
+                }
             }
         }
     }
@@ -121,10 +156,25 @@ impl TreePlan {
         tree: &Tree,
         cfg: &MatchConfig,
     ) -> Result<Vec<aqua_algebra::tree::split::SplitPieces>> {
+        let mut explain = Explain::default();
+        self.execute_split_guarded(catalog, tree, cfg, None, &mut explain)
+    }
+
+    /// [`execute_split`](Self::execute_split) under an optional
+    /// execution guard, with failpoint-driven fallback recorded in
+    /// `explain`.
+    pub fn execute_split_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<aqua_algebra::tree::split::SplitPieces>> {
         use aqua_algebra::tree::split;
         match self {
             TreePlan::FullPatternScan { pattern, .. } => {
-                Ok(split::split_pieces(catalog.store, tree, pattern, cfg))
+                Ok(split::split_pieces_guarded(catalog.store, tree, pattern, cfg, guard)?.pieces)
             }
             TreePlan::IndexedPatternScan {
                 attr,
@@ -136,14 +186,24 @@ impl TreePlan {
                 let idx = catalog
                     .tree_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                let candidates = idx.lookup_cmp(*op, value);
-                Ok(split::split_pieces_from(
-                    catalog.store,
-                    tree,
-                    pattern,
-                    cfg,
-                    &candidates,
-                ))
+                match idx.try_lookup_cmp(*op, value) {
+                    Ok(candidates) => Ok(split::split_pieces_from_guarded(
+                        catalog.store,
+                        tree,
+                        pattern,
+                        cfg,
+                        &candidates,
+                        guard,
+                    )?
+                    .pieces),
+                    Err(e) => {
+                        explain.fallback(format!("index probe failed ({e}); full pattern scan"));
+                        Ok(
+                            split::split_pieces_guarded(catalog.store, tree, pattern, cfg, guard)?
+                                .pieces,
+                        )
+                    }
+                }
             }
         }
     }
@@ -191,6 +251,9 @@ pub enum SetPlan {
         op: CmpOp,
         value: Value,
         residual: Option<Pred>,
+        /// The full predicate — the fallback path when the index probe
+        /// hits an injected fault.
+        pred: Pred,
         pred_text: String,
         est_candidates: f64,
         est_cost: f64,
@@ -225,34 +288,60 @@ impl SetPlan {
 
     /// Execute, returning the satisfying OIDs in extent order.
     pub fn execute(&self, catalog: &Catalog<'_>) -> Result<Vec<Oid>> {
+        let mut explain = Explain::default();
+        self.execute_guarded(catalog, None, &mut explain)
+    }
+
+    /// [`execute`](Self::execute) under an optional execution guard,
+    /// with failpoint-driven fallback recorded in `explain`.
+    pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<Oid>> {
+        fn scan(catalog: &Catalog<'_>, pred: &Pred, guard: Option<&ExecGuard>) -> Result<Vec<Oid>> {
+            let mut out = Vec::new();
+            for &o in catalog.store.extent(catalog.class) {
+                aqua_guard::step(guard)?;
+                if pred.eval(catalog.store, o) {
+                    out.push(o);
+                    aqua_guard::result_emitted(guard)?;
+                }
+            }
+            Ok(out)
+        }
         match self {
-            SetPlan::ExtentScan { pred, .. } => Ok(catalog
-                .store
-                .extent(catalog.class)
-                .iter()
-                .copied()
-                .filter(|&o| pred.eval(catalog.store, o))
-                .collect()),
+            SetPlan::ExtentScan { pred, .. } => scan(catalog, pred, guard),
             SetPlan::IndexedExtentScan {
                 attr,
                 op,
                 value,
                 residual,
+                pred,
                 ..
             } => {
                 let idx = catalog
                     .attr_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                let mut hits = idx.lookup_cmp(*op, value);
+                let mut hits = match idx.try_lookup_cmp(*op, value) {
+                    Ok(hits) => hits,
+                    Err(e) => {
+                        explain.fallback(format!("index probe failed ({e}); extent scan"));
+                        return scan(catalog, pred, guard);
+                    }
+                };
                 // Extent order == OID order for a single class.
                 hits.sort_unstable();
-                Ok(match residual {
-                    None => hits,
-                    Some(r) => hits
-                        .into_iter()
-                        .filter(|&o| r.eval(catalog.store, o))
-                        .collect(),
-                })
+                let mut out = Vec::new();
+                for o in hits {
+                    aqua_guard::step(guard)?;
+                    if residual.as_ref().is_none_or(|r| r.eval(catalog.store, o)) {
+                        out.push(o);
+                        aqua_guard::result_emitted(guard)?;
+                    }
+                }
+                Ok(out)
             }
         }
     }
@@ -349,13 +438,27 @@ impl ListPlan {
     /// absolute positions); a list with holes falls back to the full
     /// scan path, preserving correctness.
     pub fn execute(&self, catalog: &Catalog<'_>, list: &List) -> Result<Vec<ListMatch>> {
+        let mut explain = Explain::default();
+        self.execute_guarded(catalog, list, None, &mut explain)
+    }
+
+    /// [`execute`](Self::execute) under an optional execution guard,
+    /// with failpoint-driven fallback recorded in `explain`.
+    pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        list: &List,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<ListMatch>> {
         match self {
-            ListPlan::FullListScan { pattern, .. } => Ok(list_ops::find_matches(
+            ListPlan::FullListScan { pattern, .. } => Ok(list_ops::find_matches_guarded(
                 catalog.store,
                 list,
                 pattern,
                 MatchMode::All,
-            )),
+                guard,
+            )?),
             ListPlan::PositionalScan {
                 attr,
                 value,
@@ -364,19 +467,32 @@ impl ListPlan {
                 ..
             } => {
                 if !list.is_ground() {
-                    return Ok(list_ops::find_matches(
+                    return Ok(list_ops::find_matches_guarded(
                         catalog.store,
                         list,
                         pattern,
                         MatchMode::All,
-                    ));
+                        guard,
+                    )?);
                 }
                 let idx = catalog
                     .list_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                let starts = idx.candidate_starts(value, *offset);
+                let starts = match idx.try_candidate_starts(value, *offset) {
+                    Ok(starts) => starts,
+                    Err(e) => {
+                        explain.fallback(format!("index probe failed ({e}); full list scan"));
+                        return Ok(list_ops::find_matches_guarded(
+                            catalog.store,
+                            list,
+                            pattern,
+                            MatchMode::All,
+                            guard,
+                        )?);
+                    }
+                };
                 let oids = list.oids();
-                Ok(pattern.find_matches_at_many(catalog.store, &oids, &starts))
+                Ok(pattern.find_matches_at_many_guarded(catalog.store, &oids, &starts, guard)?)
             }
         }
     }

@@ -112,7 +112,7 @@ mod tests {
         let cfg = MatchConfig::default();
         let fast = plan.execute(&catalog, &tree, &cfg).unwrap();
         let compiled = pattern.compile(class, store.class(class)).unwrap();
-        let naive = sub_select(&store, &tree, &compiled, &cfg);
+        let naive = sub_select(&store, &tree, &compiled, &cfg).unwrap();
         assert_eq!(fast.len(), naive.len());
         assert_eq!(fast.len(), 2);
         for (a, b) in fast.iter().zip(&naive) {

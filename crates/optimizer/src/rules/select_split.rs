@@ -65,6 +65,7 @@ pub fn apply(pred: &PredExpr, catalog: &Catalog<'_>, cost: &CostModel) -> Result
         op,
         value: value.clone(),
         residual,
+        pred: pred.compile(catalog.class, catalog.store.class(catalog.class))?,
         pred_text: pred.to_string(),
         est_candidates,
         est_cost,

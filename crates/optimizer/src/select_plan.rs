@@ -13,6 +13,7 @@ use std::fmt;
 
 use aqua_algebra::tree::ops as tree_ops;
 use aqua_algebra::{NodeId, Tree, TreeBuilder};
+use aqua_guard::ExecGuard;
 use aqua_object::Value;
 use aqua_pattern::{CmpOp, Pred, PredExpr};
 
@@ -59,9 +60,25 @@ impl TreeSelectPlan {
 
     /// Execute; results equal [`tree_ops::select`] exactly.
     pub fn execute(&self, catalog: &Catalog<'_>, tree: &Tree) -> Result<Vec<Tree>> {
+        let mut explain = Explain::default();
+        self.execute_guarded(catalog, tree, None, &mut explain)
+    }
+
+    /// [`execute`](Self::execute) under an optional execution guard.
+    ///
+    /// If the node-index probe of an indexed plan fails (an injected
+    /// fault), execution degrades gracefully to the naive full walk and
+    /// the fallback is recorded in `explain`.
+    pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<Tree>> {
         match self {
             TreeSelectPlan::FullWalk { pred, .. } => {
-                Ok(tree_ops::select(catalog.store, tree, pred))
+                Ok(tree_ops::select_guarded(catalog.store, tree, pred, guard)?)
             }
             TreeSelectPlan::IndexedWalk {
                 attr,
@@ -76,14 +93,22 @@ impl TreeSelectPlan {
                 let sidx = catalog.structural().ok_or_else(|| OptError::MissingIndex {
                     attr: "<structural>".into(),
                 })?;
+                let hits = match idx.try_lookup_cmp(*op, value) {
+                    Ok(hits) => hits,
+                    Err(e) => {
+                        explain.fallback(format!("index probe failed ({e}); full walk"));
+                        return Ok(tree_ops::select_guarded(catalog.store, tree, pred, guard)?);
+                    }
+                };
                 // Candidates from the probe, narrowed by the residual
                 // conjuncts, then document-ordered.
-                let mut satisfying: Vec<NodeId> = idx
-                    .lookup_cmp(*op, value)
-                    .into_iter()
-                    .map(NodeId)
-                    .filter(|&n| tree.oid(n).is_some_and(|o| pred.eval(catalog.store, o)))
-                    .collect();
+                let mut satisfying: Vec<NodeId> = Vec::new();
+                for n in hits.into_iter().map(NodeId) {
+                    aqua_guard::step(guard)?;
+                    if tree.oid(n).is_some_and(|o| pred.eval(catalog.store, o)) {
+                        satisfying.push(n);
+                    }
+                }
                 satisfying.sort_by(|&a, &b| sidx.doc_cmp(a, b));
 
                 // Nearest satisfying ancestor via parent walks against the
@@ -108,6 +133,7 @@ impl TreeSelectPlan {
                     let mut cur = tree.parent(n);
                     let mut parent_entry = None;
                     while let Some(p) = cur {
+                        aqua_guard::step(guard)?;
                         if in_set.contains(&p.0) {
                             parent_entry = Some(entry_of[&p.0]);
                             break;
@@ -124,26 +150,27 @@ impl TreeSelectPlan {
                     e: usize,
                     tree: &Tree,
                     b: &mut TreeBuilder,
-                ) -> NodeId {
-                    let kids = entries[e]
-                        .children
-                        .iter()
-                        .map(|&c| realize(entries, c, tree, b))
-                        .collect();
-                    b.node(
-                        tree.oid(entries[e].node)
-                            .expect("satisfying nodes are cells"),
-                        kids,
-                    )
+                ) -> Result<NodeId> {
+                    let mut kids = Vec::with_capacity(entries[e].children.len());
+                    for &c in &entries[e].children {
+                        kids.push(realize(entries, c, tree, b)?);
+                    }
+                    let oid = tree.oid(entries[e].node).ok_or_else(|| {
+                        OptError::Algebra(aqua_algebra::AlgebraError::Malformed {
+                            msg: format!("satisfying node {:?} is not a cell", entries[e].node),
+                        })
+                    })?;
+                    Ok(b.node(oid, kids))
                 }
-                Ok(roots
-                    .into_iter()
-                    .map(|r| {
-                        let mut b = TreeBuilder::new();
-                        let root = realize(&entries, r, tree, &mut b);
-                        b.finish(root).expect("compressed forest is valid")
-                    })
-                    .collect())
+                let mut out = Vec::with_capacity(roots.len());
+                for r in roots {
+                    let mut b = TreeBuilder::new();
+                    let root = realize(&entries, r, tree, &mut b)?;
+                    let t = b.finish(root).map_err(OptError::Algebra)?;
+                    out.push(t);
+                    aqua_guard::result_emitted(guard)?;
+                }
+                Ok(out)
             }
         }
     }

@@ -161,9 +161,7 @@ impl<'p> ListDfa<'p> {
                     let path = crate::pike::find_one_path(
                         self.pattern.nfa(),
                         end - start,
-                        &mut |leaf: LeafId, pos: usize| {
-                            masks[start + pos] & (1u64 << leaf.0) != 0
-                        },
+                        &mut |leaf: LeafId, pos: usize| masks[start + pos] & (1u64 << leaf.0) != 0,
                     )
                     .expect("span accepted by the DFA has an NFA parse");
                     let pruned = path

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use aqua_guard::GuardError;
 use aqua_object::{AttrType, ObjectError};
 
 /// Result alias for pattern operations.
@@ -30,6 +31,9 @@ pub enum PatternError {
     /// operand), but surfaced as an error where silent no-ops would hide
     /// bugs.
     UnknownCcLabel { label: String },
+    /// Matching was stopped by an execution guard (budget exhausted,
+    /// deadline passed, or cancellation requested).
+    Guard(GuardError),
 }
 
 impl fmt::Display for PatternError {
@@ -54,6 +58,7 @@ impl fmt::Display for PatternError {
             PatternError::UnknownCcLabel { label } => {
                 write!(f, "unknown concatenation point label {label:?}")
             }
+            PatternError::Guard(e) => write!(f, "{e}"),
         }
     }
 }
@@ -62,6 +67,7 @@ impl std::error::Error for PatternError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PatternError::Object(e) => Some(e),
+            PatternError::Guard(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +76,12 @@ impl std::error::Error for PatternError {
 impl From<ObjectError> for PatternError {
     fn from(e: ObjectError) -> Self {
         PatternError::Object(e)
+    }
+}
+
+impl From<GuardError> for PatternError {
+    fn from(e: GuardError) -> Self {
+        PatternError::Guard(e)
     }
 }
 

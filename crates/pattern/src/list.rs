@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use aqua_guard::{ExecGuard, GuardError};
 use aqua_object::{ClassDef, ClassId, ObjectStore, Oid};
 
 use crate::alphabet::{Pred, PredExpr};
@@ -17,6 +18,7 @@ use crate::ast::Re;
 use crate::error::Result;
 use crate::nfa::{LeafId, Nfa};
 use crate::pike;
+use crate::pike::infallible;
 
 /// A list-pattern alphabet symbol: `?` or an alphabet-predicate.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,26 +159,47 @@ impl ListPattern {
     /// Precompute the alphabet-predicate truth table over `items`:
     /// `table[leaf * n + pos]`. `None` (the `?` leaf) rows are skipped —
     /// they are always true.
-    fn eval_table(&self, store: &ObjectStore, items: &[Oid]) -> Vec<bool> {
+    /// Under an optional execution guard; each predicate evaluation
+    /// counts as one step.
+    fn eval_table_guarded(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        guard: Option<&ExecGuard>,
+    ) -> std::result::Result<Vec<bool>, GuardError> {
         let n = items.len();
         let mut table = vec![true; self.leaves.len() * n];
         for (l, pred) in self.leaves.iter().enumerate() {
             if let Some(p) = pred {
+                aqua_guard::steps_n(guard, n as u64)?;
                 for (pos, oid) in items.iter().enumerate() {
                     table[l * n + pos] = p.eval(store, *oid);
                 }
             }
         }
-        table
+        Ok(table)
     }
 
     /// Does the *entire* list match the pattern (anchors at both ends)?
     pub fn is_match(&self, store: &ObjectStore, items: &[Oid]) -> bool {
-        let table = self.eval_table(store, items);
+        infallible(self.is_match_guarded(store, items, None))
+    }
+
+    /// [`is_match`](Self::is_match) under an optional execution guard.
+    pub fn is_match_guarded(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        guard: Option<&ExecGuard>,
+    ) -> std::result::Result<bool, GuardError> {
+        let table = self.eval_table_guarded(store, items, guard)?;
         let n = items.len();
-        pike::matches_exact(&self.nfa, n, &mut |leaf: LeafId, pos: usize| {
-            table[leaf.0 as usize * n + pos]
-        })
+        pike::matches_exact_guarded(
+            &self.nfa,
+            n,
+            &mut |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos],
+            guard,
+        )
     }
 
     /// All matching sublists under `mode`, in (start, end) order.
@@ -189,8 +212,20 @@ impl ListPattern {
         items: &[Oid],
         mode: MatchMode,
     ) -> Vec<ListMatch> {
+        infallible(self.find_matches_guarded(store, items, mode, None))
+    }
+
+    /// [`find_matches`](Self::find_matches) under an optional execution
+    /// guard. Each emitted match counts toward the guard's result cap.
+    pub fn find_matches_guarded(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        mode: MatchMode,
+        guard: Option<&ExecGuard>,
+    ) -> std::result::Result<Vec<ListMatch>, GuardError> {
         let n = items.len();
-        let table = self.eval_table(store, items);
+        let table = self.eval_table_guarded(store, items, guard)?;
         let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
         let mut out = Vec::new();
         match mode {
@@ -201,9 +236,12 @@ impl ListPattern {
                     Box::new(0..n)
                 };
                 for start in starts {
-                    let ends = pike::accepting_ends(&self.nfa, n - start, &mut |l, p| {
-                        test_at(l, p + start)
-                    });
+                    let ends = pike::accepting_ends_guarded(
+                        &self.nfa,
+                        n - start,
+                        &mut |l, p| test_at(l, p + start),
+                        guard,
+                    )?;
                     for e in ends {
                         let end = start + e;
                         if end == start {
@@ -212,7 +250,8 @@ impl ListPattern {
                         if self.anchor_end && end != n {
                             continue;
                         }
-                        out.push(self.extract(start, end, &test_at));
+                        out.push(self.extract_guarded(start, end, &test_at, guard)?);
+                        aqua_guard::result_emitted(guard)?;
                     }
                 }
             }
@@ -222,9 +261,12 @@ impl ListPattern {
                     if self.anchor_start && start != 0 {
                         break;
                     }
-                    let ends = pike::accepting_ends(&self.nfa, n - start, &mut |l, p| {
-                        test_at(l, p + start)
-                    });
+                    let ends = pike::accepting_ends_guarded(
+                        &self.nfa,
+                        n - start,
+                        &mut |l, p| test_at(l, p + start),
+                        guard,
+                    )?;
                     let pick = ends
                         .into_iter()
                         .rev()
@@ -232,7 +274,8 @@ impl ListPattern {
                         .find(|&end| end > start && (!self.anchor_end || end == n));
                     match pick {
                         Some(end) => {
-                            out.push(self.extract(start, end, &test_at));
+                            out.push(self.extract_guarded(start, end, &test_at, guard)?);
+                            aqua_guard::result_emitted(guard)?;
                             start = end;
                         }
                         None => start += 1,
@@ -240,7 +283,7 @@ impl ListPattern {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// All matches beginning exactly at `start` — the entry point for
@@ -252,18 +295,38 @@ impl ListPattern {
         items: &[Oid],
         start: usize,
     ) -> Vec<ListMatch> {
+        infallible(self.find_matches_at_guarded(store, items, start, None))
+    }
+
+    /// [`find_matches_at`](Self::find_matches_at) under an optional
+    /// execution guard.
+    pub fn find_matches_at_guarded(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        start: usize,
+        guard: Option<&ExecGuard>,
+    ) -> std::result::Result<Vec<ListMatch>, GuardError> {
         let n = items.len();
         if start > n || (self.anchor_start && start != 0) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let table = self.eval_table(store, items);
+        let table = self.eval_table_guarded(store, items, guard)?;
         let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
-        pike::accepting_ends(&self.nfa, n - start, &mut |l, p| test_at(l, p + start))
-            .into_iter()
-            .map(|e| start + e)
-            .filter(|&end| end > start && (!self.anchor_end || end == n))
-            .map(|end| self.extract(start, end, &test_at))
-            .collect()
+        let ends = pike::accepting_ends_guarded(
+            &self.nfa,
+            n - start,
+            &mut |l, p| test_at(l, p + start),
+            guard,
+        )?;
+        let mut out = Vec::new();
+        for end in ends.into_iter().map(|e| start + e) {
+            if end > start && (!self.anchor_end || end == n) {
+                out.push(self.extract_guarded(start, end, &test_at, guard)?);
+                aqua_guard::result_emitted(guard)?;
+            }
+        }
+        Ok(out)
     }
 
     /// [`find_matches_at`](Self::find_matches_at) over many candidate
@@ -275,40 +338,66 @@ impl ListPattern {
         items: &[Oid],
         starts: &[usize],
     ) -> Vec<ListMatch> {
+        infallible(self.find_matches_at_many_guarded(store, items, starts, None))
+    }
+
+    /// [`find_matches_at_many`](Self::find_matches_at_many) under an
+    /// optional execution guard.
+    pub fn find_matches_at_many_guarded(
+        &self,
+        store: &ObjectStore,
+        items: &[Oid],
+        starts: &[usize],
+        guard: Option<&ExecGuard>,
+    ) -> std::result::Result<Vec<ListMatch>, GuardError> {
         let n = items.len();
-        let table = self.eval_table(store, items);
+        let table = self.eval_table_guarded(store, items, guard)?;
         let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
         let mut out = Vec::new();
         for &start in starts {
             if start > n || (self.anchor_start && start != 0) {
                 continue;
             }
-            for e in pike::accepting_ends(&self.nfa, n - start, &mut |l, p| test_at(l, p + start)) {
+            aqua_guard::checkpoint(guard)?;
+            let ends = pike::accepting_ends_guarded(
+                &self.nfa,
+                n - start,
+                &mut |l, p| test_at(l, p + start),
+                guard,
+            )?;
+            for e in ends {
                 let end = start + e;
                 if end > start && (!self.anchor_end || end == n) {
-                    out.push(self.extract(start, end, &test_at));
+                    out.push(self.extract_guarded(start, end, &test_at, guard)?);
+                    aqua_guard::result_emitted(guard)?;
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Recover the pruned positions of the span `[start, end)` from the
     /// highest-priority parse.
-    fn extract(
+    fn extract_guarded(
         &self,
         start: usize,
         end: usize,
         test_at: &impl Fn(LeafId, usize) -> bool,
-    ) -> ListMatch {
-        let path = pike::find_one_path(&self.nfa, end - start, &mut |l, p| test_at(l, p + start))
-            .expect("span reported as match must have a parse");
+        guard: Option<&ExecGuard>,
+    ) -> std::result::Result<ListMatch, GuardError> {
+        let path = pike::find_one_path_guarded(
+            &self.nfa,
+            end - start,
+            &mut |l, p| test_at(l, p + start),
+            guard,
+        )?
+        .expect("span reported as match must have a parse");
         let pruned = path
             .iter()
             .filter(|s| s.pruned)
             .map(|s| s.pos + start)
             .collect();
-        ListMatch { start, end, pruned }
+        Ok(ListMatch { start, end, pruned })
     }
 }
 

@@ -12,10 +12,25 @@
 //! element `pos` match interned leaf `leaf`?". For list patterns this is
 //! an alphabet-predicate evaluation; for tree child lists it is a
 //! recursive, memoized tree-pattern match.
+//!
+//! Every loop and recursion here accounts work against an optional
+//! [`ExecGuard`] (the `*_guarded` variants), so runaway patterns
+//! surface as [`GuardError`]s instead of hangs. The unguarded functions
+//! are thin wrappers running with no guard.
 
 use std::collections::HashSet;
 
+use aqua_guard::{ExecGuard, GuardError};
+
 use crate::nfa::{LeafId, Nfa, State, StateId};
+
+/// Unwrap a guard-fallible result that ran with no guard installed.
+pub(crate) fn infallible<T>(r: Result<T, GuardError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => unreachable!("guardless execution cannot trip a guard: {e}"),
+    }
+}
 
 /// ε-closure insertion with duplicate suppression.
 fn add_state(nfa: &Nfa, id: StateId, set: &mut Vec<StateId>, seen: &mut [bool]) {
@@ -35,7 +50,17 @@ fn add_state(nfa: &Nfa, id: StateId, set: &mut Vec<StateId>, seen: &mut [bool]) 
 
 /// Does the automaton accept exactly the input `[0, len)`?
 pub fn matches_exact(nfa: &Nfa, len: usize, test: &mut impl FnMut(LeafId, usize) -> bool) -> bool {
-    accepting_ends(nfa, len, test).last() == Some(&len)
+    infallible(matches_exact_guarded(nfa, len, test, None))
+}
+
+/// [`matches_exact`] under an optional execution guard.
+pub fn matches_exact_guarded(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    guard: Option<&ExecGuard>,
+) -> Result<bool, GuardError> {
+    Ok(accepting_ends_guarded(nfa, len, test, guard)?.last() == Some(&len))
 }
 
 /// Simulate from position 0 over `[0, len)` and return every prefix
@@ -45,6 +70,17 @@ pub fn accepting_ends(
     len: usize,
     test: &mut impl FnMut(LeafId, usize) -> bool,
 ) -> Vec<usize> {
+    infallible(accepting_ends_guarded(nfa, len, test, None))
+}
+
+/// [`accepting_ends`] under an optional execution guard. Each simulated
+/// thread transition counts as one guard step.
+pub fn accepting_ends_guarded(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    guard: Option<&ExecGuard>,
+) -> Result<Vec<usize>, GuardError> {
     let mut ends = Vec::new();
     let mut current: Vec<StateId> = Vec::with_capacity(nfa.len());
     let mut next: Vec<StateId> = Vec::with_capacity(nfa.len());
@@ -52,6 +88,7 @@ pub fn accepting_ends(
 
     add_state(nfa, nfa.start(), &mut current, &mut seen);
     for pos in 0..=len {
+        aqua_guard::steps_n(guard, current.len() as u64 + 1)?;
         if current
             .iter()
             .any(|s| matches!(nfa.state(*s), State::Accept))
@@ -78,7 +115,7 @@ pub fn accepting_ends(
             seen[s.0 as usize] = true;
         }
     }
-    ends
+    Ok(ends)
 }
 
 /// One step of a parse: input element `pos` was consumed by pattern leaf
@@ -97,12 +134,23 @@ pub fn find_one_path(
     len: usize,
     test: &mut impl FnMut(LeafId, usize) -> bool,
 ) -> Option<Vec<Step>> {
+    infallible(find_one_path_guarded(nfa, len, test, None))
+}
+
+/// [`find_one_path`] under an optional execution guard. Each DFS node
+/// visit counts as one guard step.
+pub fn find_one_path_guarded(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    guard: Option<&ExecGuard>,
+) -> Result<Option<Vec<Step>>, GuardError> {
     // DFS in priority order with memoized failure: (state, pos) pairs
     // known not to reach acceptance consuming input[pos..len].
     let mut failed: HashSet<(u32, usize)> = HashSet::new();
     let mut path: Vec<Step> = Vec::new();
     let mut on_stack: HashSet<(u32, usize)> = HashSet::new();
-    if dfs(
+    let found = dfs(
         nfa,
         nfa.start(),
         0,
@@ -111,11 +159,9 @@ pub fn find_one_path(
         &mut failed,
         &mut on_stack,
         &mut path,
-    ) {
-        Some(path)
-    } else {
-        None
-    }
+        guard,
+    )?;
+    Ok(if found { Some(path) } else { None })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -128,17 +174,22 @@ fn dfs(
     failed: &mut HashSet<(u32, usize)>,
     on_stack: &mut HashSet<(u32, usize)>,
     path: &mut Vec<Step>,
-) -> bool {
+    guard: Option<&ExecGuard>,
+) -> Result<bool, GuardError> {
+    aqua_guard::step(guard)?;
     let key = (state.0, pos);
     if failed.contains(&key) || !on_stack.insert(key) {
-        return false;
+        return Ok(false);
     }
-    let ok = match nfa.state(state) {
-        State::Accept => pos == len,
-        State::Eps(n) => dfs(nfa, *n, pos, len, test, failed, on_stack, path),
+    let result = (|| match nfa.state(state) {
+        State::Accept => Ok(pos == len),
+        State::Eps(n) => dfs(nfa, *n, pos, len, test, failed, on_stack, path, guard),
         State::Split(a, b) => {
-            dfs(nfa, *a, pos, len, test, failed, on_stack, path)
-                || dfs(nfa, *b, pos, len, test, failed, on_stack, path)
+            if dfs(nfa, *a, pos, len, test, failed, on_stack, path, guard)? {
+                Ok(true)
+            } else {
+                dfs(nfa, *b, pos, len, test, failed, on_stack, path, guard)
+            }
         }
         State::Sym { leaf, pruned, next } => {
             if pos < len && test(*leaf, pos) {
@@ -147,22 +198,44 @@ fn dfs(
                     leaf: *leaf,
                     pruned: *pruned,
                 });
-                if dfs(nfa, *next, pos + 1, len, test, failed, on_stack, path) {
-                    true
+                if dfs(
+                    nfa,
+                    *next,
+                    pos + 1,
+                    len,
+                    test,
+                    failed,
+                    on_stack,
+                    path,
+                    guard,
+                )? {
+                    Ok(true)
                 } else {
                     path.pop();
-                    false
+                    Ok(false)
                 }
             } else {
-                false
+                Ok(false)
             }
         }
-    };
+    })();
     on_stack.remove(&key);
+    let ok = result?;
     if !ok {
         failed.insert(key);
     }
-    ok
+    Ok(ok)
+}
+
+/// Result of a bounded parse enumeration: the parses found plus whether
+/// the `limit` clipped the search before it was exhaustive.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Parses {
+    /// Distinct accepting parses, in priority order.
+    pub paths: Vec<Vec<Step>>,
+    /// `true` if enumeration stopped because `limit` parses were
+    /// collected while unexplored alternatives remained.
+    pub truncated: bool,
 }
 
 /// Enumerate accepting parses of exactly `[0, len)`, deduplicated by
@@ -174,7 +247,19 @@ pub fn enumerate_paths(
     test: &mut impl FnMut(LeafId, usize) -> bool,
     limit: usize,
 ) -> Vec<Vec<Step>> {
-    let mut out: Vec<Vec<Step>> = Vec::new();
+    infallible(enumerate_paths_guarded(nfa, len, test, limit, None)).paths
+}
+
+/// [`enumerate_paths`] under an optional execution guard, reporting
+/// truncation. Each DFS node visit counts as one guard step.
+pub fn enumerate_paths_guarded(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    limit: usize,
+    guard: Option<&ExecGuard>,
+) -> Result<Parses, GuardError> {
+    let mut parses = Parses::default();
     let mut dedup: HashSet<Vec<Step>> = HashSet::new();
     let mut path: Vec<Step> = Vec::new();
     let mut on_stack: HashSet<(u32, usize)> = HashSet::new();
@@ -191,10 +276,11 @@ pub fn enumerate_paths(
         &mut on_stack,
         &mut path,
         &mut dedup,
-        &mut out,
+        &mut parses,
         limit,
-    );
-    out
+        guard,
+    )?;
+    Ok(parses)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -208,75 +294,86 @@ fn enum_dfs(
     on_stack: &mut HashSet<(u32, usize)>,
     path: &mut Vec<Step>,
     dedup: &mut HashSet<Vec<Step>>,
-    out: &mut Vec<Vec<Step>>,
+    parses: &mut Parses,
     limit: usize,
-) -> bool {
-    if out.len() >= limit {
-        return false;
+    guard: Option<&ExecGuard>,
+) -> Result<bool, GuardError> {
+    if parses.paths.len() >= limit {
+        // The search still had alternatives to explore here.
+        parses.truncated = true;
+        return Ok(false);
     }
+    aqua_guard::step(guard)?;
     let key = (state.0, pos);
     if failed.contains(&key) || !on_stack.insert(key) {
-        return false;
+        return Ok(false);
     }
-    let mut any = false;
-    match nfa.state(state) {
-        State::Accept => {
-            if pos == len {
-                any = true;
-                if dedup.insert(path.clone()) {
-                    out.push(path.clone());
+    let result = (|| {
+        let mut any = false;
+        match nfa.state(state) {
+            State::Accept => {
+                if pos == len {
+                    any = true;
+                    if dedup.insert(path.clone()) {
+                        parses.paths.push(path.clone());
+                    }
+                }
+            }
+            State::Eps(n) => {
+                any = enum_dfs(
+                    nfa, *n, pos, len, test, failed, on_stack, path, dedup, parses, limit, guard,
+                )?;
+            }
+            State::Split(a, b) => {
+                let r1 = enum_dfs(
+                    nfa, *a, pos, len, test, failed, on_stack, path, dedup, parses, limit, guard,
+                )?;
+                let r2 = enum_dfs(
+                    nfa, *b, pos, len, test, failed, on_stack, path, dedup, parses, limit, guard,
+                )?;
+                any = r1 || r2;
+            }
+            State::Sym { leaf, pruned, next } => {
+                if pos < len && test(*leaf, pos) {
+                    path.push(Step {
+                        pos,
+                        leaf: *leaf,
+                        pruned: *pruned,
+                    });
+                    let r = enum_dfs(
+                        nfa,
+                        *next,
+                        pos + 1,
+                        len,
+                        test,
+                        failed,
+                        on_stack,
+                        path,
+                        dedup,
+                        parses,
+                        limit,
+                        guard,
+                    );
+                    path.pop();
+                    any = r?;
                 }
             }
         }
-        State::Eps(n) => {
-            any = enum_dfs(
-                nfa, *n, pos, len, test, failed, on_stack, path, dedup, out, limit,
-            );
-        }
-        State::Split(a, b) => {
-            let r1 = enum_dfs(
-                nfa, *a, pos, len, test, failed, on_stack, path, dedup, out, limit,
-            );
-            let r2 = enum_dfs(
-                nfa, *b, pos, len, test, failed, on_stack, path, dedup, out, limit,
-            );
-            any = r1 || r2;
-        }
-        State::Sym { leaf, pruned, next } => {
-            if pos < len && test(*leaf, pos) {
-                path.push(Step {
-                    pos,
-                    leaf: *leaf,
-                    pruned: *pruned,
-                });
-                any = enum_dfs(
-                    nfa,
-                    *next,
-                    pos + 1,
-                    len,
-                    test,
-                    failed,
-                    on_stack,
-                    path,
-                    dedup,
-                    out,
-                    limit,
-                );
-                path.pop();
-            }
-        }
-    }
+        Ok(any)
+    })();
     on_stack.remove(&key);
-    if !any && out.len() < limit {
+    let any = result?;
+    if !any && parses.paths.len() < limit {
         failed.insert(key);
     }
-    any
+    Ok(any)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ast::Re;
+    use aqua_guard::{Budget, Resource};
 
     fn compile(re: &Re<char>) -> (Nfa, Vec<char>) {
         let mut leaves = Vec::new();
@@ -347,12 +444,21 @@ mod tests {
     }
 
     #[test]
-    fn enumerate_respects_limit() {
+    fn enumerate_respects_limit_and_reports_truncation() {
         let re = l('?').star().then(l('?').star());
         let (nfa, leaves) = compile(&re);
         let input: Vec<char> = "aaaa".chars().collect();
-        let paths = enumerate_paths(&nfa, input.len(), &mut tester(&leaves, &input), 3);
-        assert_eq!(paths.len(), 3);
+        let parses =
+            enumerate_paths_guarded(&nfa, input.len(), &mut tester(&leaves, &input), 3, None)
+                .unwrap();
+        assert_eq!(parses.paths.len(), 3);
+        assert!(parses.truncated, "clipped enumeration must say so");
+        // A generous limit enumerates everything and reports no clipping.
+        let all =
+            enumerate_paths_guarded(&nfa, input.len(), &mut tester(&leaves, &input), 1000, None)
+                .unwrap();
+        assert_eq!(all.paths.len(), 5);
+        assert!(!all.truncated);
     }
 
     #[test]
@@ -381,5 +487,29 @@ mod tests {
             shorter.len(),
             &mut tester(&leaves, &shorter)
         ));
+    }
+
+    #[test]
+    fn tiny_budget_trips_simulation() {
+        let re = l('?').star().then(l('?').star()).then(l('?').star());
+        let (nfa, leaves) = compile(&re);
+        let input: Vec<char> = "aaaaaaaa".chars().collect();
+        let guard = ExecGuard::new(Budget::unlimited().with_steps(4));
+        let err = enumerate_paths_guarded(
+            &nfa,
+            input.len(),
+            &mut tester(&leaves, &input),
+            usize::MAX,
+            Some(&guard),
+        )
+        .unwrap_err();
+        match err {
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                limit: 4,
+                progress,
+            } => assert!(progress.steps > 4),
+            other => panic!("expected step-budget trip, got {other:?}"),
+        }
     }
 }

@@ -20,6 +20,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use aqua_guard::{ExecGuard, GuardError};
 use aqua_object::{ObjectStore, Oid};
 
 use crate::nfa::LeafId;
@@ -127,6 +128,38 @@ impl MatchConfig {
     }
 }
 
+/// Result of a bounded match enumeration: the instances found plus an
+/// account of everything the [`MatchConfig`] limits clipped. Truncation
+/// is observable, never silent.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatchOutcome {
+    /// Match instances, in document order of their roots.
+    pub matches: Vec<TreeMatch>,
+    /// `true` if any limit clipped enumeration (any counter below > 0).
+    pub truncated: bool,
+    /// Child-list parse enumerations clipped by [`MatchConfig::parse_limit`].
+    pub clipped_parses: usize,
+    /// Roots whose instance list was clipped by
+    /// [`MatchConfig::per_root_limit`].
+    pub clipped_roots: usize,
+    /// `true` if the scan stopped early at [`MatchConfig::max_matches`].
+    pub hit_max_matches: bool,
+}
+
+/// Truncation tallies accumulated while enumerating.
+#[derive(Debug, Clone, Copy, Default)]
+struct TruncCounters {
+    parses: usize,
+    roots: usize,
+    global: bool,
+}
+
+impl TruncCounters {
+    fn any(&self) -> bool {
+        self.parses > 0 || self.roots > 0 || self.global
+    }
+}
+
 /// A matching session over one tree. Holds the boolean memo table, so
 /// reuse one matcher per (pattern, tree) pair.
 pub struct TreeMatcher<'a, T: TreeAccess> {
@@ -137,6 +170,15 @@ pub struct TreeMatcher<'a, T: TreeAccess> {
     in_progress: HashSet<(u32, u32)>,
     /// Disable memoization (benchmark ablation B7).
     pub memoize: bool,
+    /// Optional execution guard; every matcher recursion accounts a step.
+    guard: Option<&'a ExecGuard>,
+    /// Side channel for guard verdicts: the recursive matcher returns
+    /// plain bools, so a tripped guard is parked here and every
+    /// subsequent recursion short-circuits until the entry point
+    /// surfaces it as an `Err`.
+    tripped: Option<GuardError>,
+    /// Truncation tallies for the current enumeration.
+    trunc: TruncCounters,
 }
 
 impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
@@ -150,13 +192,68 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
             memo: HashMap::new(),
             in_progress: HashSet::new(),
             memoize: true,
+            guard: None,
+            tripped: None,
+            trunc: TruncCounters::default(),
+        }
+    }
+
+    /// Attach an execution guard: matcher recursions and child-list VM
+    /// runs account steps against it, and the guarded entry points
+    /// ([`matches_at_guarded`](Self::matches_at_guarded),
+    /// [`find_matches_outcome`](Self::find_matches_outcome)) surface its
+    /// verdicts.
+    pub fn with_guard(mut self, guard: &'a ExecGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Account one matcher step; returns `false` (and parks the verdict)
+    /// once the guard trips, so recursion unwinds quickly.
+    #[inline]
+    fn guard_step(&mut self) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        if let Some(g) = self.guard {
+            if let Err(e) = g.step() {
+                self.tripped = Some(e);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Surface a parked guard verdict, if any.
+    fn take_tripped(&mut self) -> Result<(), GuardError> {
+        match self.tripped.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
     /// Does the pattern (ignoring anchors) match with its root at `node`?
+    ///
+    /// Must not be used with a guard attached (a tripped budget would be
+    /// indistinguishable from "no match"); use
+    /// [`matches_at_guarded`](Self::matches_at_guarded) instead.
     pub fn matches_at(&mut self, node: u32) -> bool {
+        debug_assert!(
+            self.guard.is_none(),
+            "matches_at with a guard attached; use matches_at_guarded"
+        );
         let root = self.cp.root();
         self.pat_matches(root, node)
+    }
+
+    /// [`matches_at`](Self::matches_at) under the attached guard:
+    /// budget exhaustion, deadline, and cancellation surface as errors
+    /// rather than being conflated with "no match".
+    pub fn matches_at_guarded(&mut self, node: u32) -> Result<bool, GuardError> {
+        let root = self.cp.root();
+        let matched = self.pat_matches(root, node);
+        self.take_tripped()?;
+        Ok(matched)
     }
 
     fn test_node(&self, test: &CTest, node: u32) -> bool {
@@ -170,6 +267,9 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
     }
 
     fn pat_matches(&mut self, pat: PatId, node: u32) -> bool {
+        if !self.guard_step() {
+            return false;
+        }
         let key = (pat.0, node);
         if self.memoize {
             if let Some(&v) = self.memo.get(&key) {
@@ -182,6 +282,7 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
             return false;
         }
         let tree = self.tree;
+        let guard = self.guard;
         let result = match self.cp.pat(pat) {
             CPat::Node { test, children } => {
                 let test = test.clone();
@@ -193,13 +294,23 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
                         Some(cl) => {
                             let cl = cl.clone();
                             let kids = tree.children(node);
-                            pike::matches_exact(
+                            let run = pike::matches_exact_guarded(
                                 &cl.nfa,
                                 kids.len(),
                                 &mut |leaf: LeafId, pos: usize| {
                                     self.pat_matches(cl.syms[leaf.0 as usize], kids[pos])
                                 },
-                            )
+                                guard,
+                            );
+                            match run {
+                                Ok(m) => m,
+                                Err(e) => {
+                                    if self.tripped.is_none() {
+                                        self.tripped = Some(e);
+                                    }
+                                    false
+                                }
+                            }
                         }
                     }
                 }
@@ -225,7 +336,10 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
             }
         };
         self.in_progress.remove(&key);
-        if self.memoize {
+        // A result computed while the guard was tripping is unreliable
+        // (sub-evaluations short-circuited to false); keep it out of the
+        // memo so the matcher stays reusable after an error.
+        if self.memoize && self.tripped.is_none() {
             self.memo.insert(key, result);
         }
         result
@@ -245,36 +359,84 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
 
     /// All match instances in the tree, in document order of their roots,
     /// respecting the pattern's anchors and the enumeration limits.
+    ///
+    /// Truncation by the limits is silent here; use
+    /// [`find_matches_outcome`](Self::find_matches_outcome) to observe it.
     pub fn find_matches(&mut self, cfg: &MatchConfig) -> Vec<TreeMatch> {
-        let candidates = if self.cp.at_root {
-            vec![self.tree.root()]
-        } else {
-            self.preorder()
-        };
-        self.find_matches_from(&candidates, cfg)
+        debug_assert!(
+            self.guard.is_none(),
+            "find_matches with a guard attached; use find_matches_outcome"
+        );
+        match self.find_matches_outcome(cfg) {
+            Ok(outcome) => outcome.matches,
+            Err(e) => unreachable!("guardless matching cannot trip a guard: {e}"),
+        }
     }
 
     /// Match instances whose roots are drawn from `candidates` (in the
     /// given order). This is the entry point the optimizer uses after an
     /// index probe has produced a candidate set (paper §4, "Why Split?").
     pub fn find_matches_from(&mut self, candidates: &[u32], cfg: &MatchConfig) -> Vec<TreeMatch> {
+        debug_assert!(
+            self.guard.is_none(),
+            "find_matches_from with a guard attached; use find_matches_from_outcome"
+        );
+        match self.find_matches_from_outcome(candidates, cfg) {
+            Ok(outcome) => outcome.matches,
+            Err(e) => unreachable!("guardless matching cannot trip a guard: {e}"),
+        }
+    }
+
+    /// [`find_matches`](Self::find_matches) with observable truncation
+    /// and guard support.
+    pub fn find_matches_outcome(&mut self, cfg: &MatchConfig) -> Result<MatchOutcome, GuardError> {
+        let candidates = if self.cp.at_root {
+            vec![self.tree.root()]
+        } else {
+            self.preorder()
+        };
+        self.find_matches_from_outcome(&candidates, cfg)
+    }
+
+    /// [`find_matches_from`](Self::find_matches_from) with observable
+    /// truncation and guard support: whenever `parse_limit`,
+    /// `per_root_limit`, or `max_matches` clips enumeration, the
+    /// [`MatchOutcome`] says so; a tripped guard aborts with its verdict.
+    pub fn find_matches_from_outcome(
+        &mut self,
+        candidates: &[u32],
+        cfg: &MatchConfig,
+    ) -> Result<MatchOutcome, GuardError> {
+        self.trunc = TruncCounters::default();
         let mut out = Vec::new();
+        let mut candidates_left = candidates.len();
         for &node in candidates {
+            candidates_left -= 1;
+            if let Some(g) = self.guard {
+                if let Err(e) = g.checkpoint() {
+                    self.tripped = None;
+                    return Err(e);
+                }
+            }
             if self.cp.at_root && node != self.tree.root() {
                 continue;
             }
-            if !self.matches_at(node) {
+            let root_pat = self.cp.root();
+            if !self.pat_matches(root_pat, node) {
+                self.take_tripped()?;
                 continue;
             }
-            let root_pat = self.cp.root();
             let mut partials = Vec::new();
             let mut stack = Vec::new();
             self.enum_pat(root_pat, node, cfg, &mut stack, &mut partials);
+            self.take_tripped()?;
             /// Dedup key: kept nodes + (cut root, origin) pairs.
             type MatchKey = (Vec<u32>, Vec<(u32, CutOrigin)>);
             let mut seen: HashSet<MatchKey> = HashSet::new();
             let mut kept = 0usize;
+            let mut partials_left = partials.len();
             for p in partials {
+                partials_left -= 1;
                 if self.cp.at_leaves && p.cuts.iter().any(|c| c.origin == CutOrigin::Frontier) {
                     continue;
                 }
@@ -292,14 +454,31 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
                 });
                 kept += 1;
                 if kept >= cfg.per_root_limit || out.len() >= cfg.max_matches {
+                    if partials_left > 0 {
+                        if kept >= cfg.per_root_limit {
+                            self.trunc.roots += 1;
+                        }
+                        if out.len() >= cfg.max_matches {
+                            self.trunc.global = true;
+                        }
+                    }
                     break;
                 }
             }
             if out.len() >= cfg.max_matches {
+                if candidates_left > 0 {
+                    self.trunc.global = true;
+                }
                 break;
             }
         }
-        out
+        Ok(MatchOutcome {
+            matches: out,
+            truncated: self.trunc.any(),
+            clipped_parses: self.trunc.parses,
+            clipped_roots: self.trunc.roots,
+            hit_max_matches: self.trunc.global,
+        })
     }
 
     fn enum_pat(
@@ -310,6 +489,9 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
         stack: &mut Vec<(u32, u32)>,
         out: &mut Vec<Partial>,
     ) {
+        if !self.guard_step() {
+            return;
+        }
         let key = (pat.0, node);
         if stack.contains(&key) {
             return;
@@ -319,6 +501,7 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
         }
         stack.push(key);
         let tree = self.tree;
+        let guard = self.guard;
         match self.cp.pat(pat) {
             CPat::Node { test: _, children } => match children {
                 None => {
@@ -341,15 +524,31 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
                 Some(cl) => {
                     let cl = cl.clone();
                     let kids = tree.children(node);
-                    let paths = pike::enumerate_paths(
+                    let parses = pike::enumerate_paths_guarded(
                         &cl.nfa,
                         kids.len(),
                         &mut |leaf: LeafId, pos: usize| {
                             self.pat_matches(cl.syms[leaf.0 as usize], kids[pos])
                         },
                         cfg.parse_limit,
+                        guard,
                     );
-                    for path in paths {
+                    let parses = match parses {
+                        Ok(p) => p,
+                        Err(e) => {
+                            if self.tripped.is_none() {
+                                self.tripped = Some(e);
+                            }
+                            stack.pop();
+                            return;
+                        }
+                    };
+                    if parses.truncated {
+                        self.trunc.parses += 1;
+                    }
+                    let mut paths_left = parses.paths.len();
+                    for path in parses.paths {
+                        paths_left -= 1;
                         // Combine per-step options into instances
                         // (cartesian product, capped).
                         let mut acc = vec![Partial {
@@ -383,6 +582,9 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
                                         merged.cuts.extend_from_slice(&s.cuts);
                                         next.push(merged);
                                         if next.len() >= cfg.parse_limit {
+                                            if next.len() < acc.len() * sub.len() {
+                                                self.trunc.parses += 1;
+                                            }
                                             break 'combine;
                                         }
                                     }
@@ -392,6 +594,9 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
                         }
                         out.extend(acc);
                         if out.len() >= cfg.parse_limit {
+                            if paths_left > 0 {
+                                self.trunc.parses += 1;
+                            }
                             break;
                         }
                     }
@@ -405,9 +610,14 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
             }
             CPat::Alt(xs) => {
                 let xs = xs.clone();
+                let mut arms_left = xs.len();
                 for x in xs {
+                    arms_left -= 1;
                     self.enum_pat(x, node, cfg, stack, out);
                     if out.len() >= cfg.parse_limit {
+                        if arms_left > 0 {
+                            self.trunc.parses += 1;
+                        }
                         break;
                     }
                 }
@@ -785,6 +995,113 @@ mod tests {
         without.memoize = false;
         let r2 = without.find_matches(&MatchConfig::default());
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn per_root_truncation_is_observable() {
+        let mut fx = Fixture::new();
+        // p(?* !L ?*) over p(L L): either L can be the pruned one, so two
+        // distinct instances share the root.
+        let t = fx.tree("p(L L)");
+        let pat = TreePat::pred_node(
+            fx.label('p'),
+            Re::Leaf(TreePat::any())
+                .star()
+                .then(Re::Leaf(TreePat::pred(fx.label('L'))).prune())
+                .then(Re::Leaf(TreePat::any()).star()),
+        );
+        let cp = fx.compile(TreePattern::new(pat));
+
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let full = m.find_matches_outcome(&MatchConfig::default()).unwrap();
+        assert_eq!(full.matches.len(), 2);
+        assert!(!full.truncated, "nothing clipped: {full:?}");
+
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let clipped = m
+            .find_matches_outcome(&MatchConfig::first_per_root())
+            .unwrap();
+        assert_eq!(clipped.matches.len(), 1);
+        assert!(clipped.truncated);
+        assert_eq!(clipped.clipped_roots, 1);
+    }
+
+    #[test]
+    fn parse_limit_truncation_is_observable() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("p(L L L)");
+        let l = || Re::Leaf(TreePat::pred(fx.label('L')));
+        let anys = || Re::Leaf(TreePat::any()).star();
+        let pat = TreePat::pred_node(
+            fx.label('p'),
+            anys().then(l()).then(anys()).then(l()).then(anys()),
+        );
+        let cp = fx.compile(TreePattern::new(pat));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let cfg = MatchConfig {
+            parse_limit: 1,
+            ..MatchConfig::default()
+        };
+        let outcome = m.find_matches_outcome(&cfg).unwrap();
+        assert!(outcome.truncated);
+        assert!(outcome.clipped_parses > 0, "{outcome:?}");
+    }
+
+    #[test]
+    fn max_matches_truncation_is_observable() {
+        let mut fx = Fixture::new();
+        let t = fx.tree("p(L L L)");
+        let cp = fx.compile(TreePattern::new(TreePat::pred(fx.label('L'))));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store);
+        let cfg = MatchConfig {
+            max_matches: 2,
+            ..MatchConfig::default()
+        };
+        let outcome = m.find_matches_outcome(&cfg).unwrap();
+        assert_eq!(outcome.matches.len(), 2);
+        assert!(outcome.truncated);
+        assert!(outcome.hit_max_matches);
+    }
+
+    #[test]
+    fn tiny_budget_surfaces_as_error_not_false() {
+        use aqua_guard::{Budget, ExecGuard};
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b c a(b c a(b c)))");
+        let body = TreePat::pred_node(
+            fx.label('a'),
+            Re::Leaf(TreePat::pred(fx.label('b')))
+                .then(Re::Leaf(TreePat::pred(fx.label('c'))))
+                .then(Re::Leaf(TreePat::point("x"))),
+        );
+        let cp = fx.compile(TreePattern::new(body.star_at("x")));
+        let guard = ExecGuard::new(Budget::unlimited().with_steps(3));
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store).with_guard(&guard);
+        let err = m.matches_at_guarded(t.root()).unwrap_err();
+        assert!(
+            matches!(err, GuardError::BudgetExceeded { .. }),
+            "expected budget trip, got {err:?}"
+        );
+        // Enumeration under the same exhausted guard also errors.
+        let err2 = m.find_matches_outcome(&MatchConfig::default()).unwrap_err();
+        assert!(matches!(
+            err2,
+            GuardError::BudgetExceeded { .. } | GuardError::Cancelled { .. }
+        ));
+    }
+
+    #[test]
+    fn cancellation_aborts_matching() {
+        use aqua_guard::{CancelToken, ExecGuard};
+        let mut fx = Fixture::new();
+        let t = fx.tree("a(b(d f) b)");
+        let cp = fx.compile(TreePattern::new(TreePat::pred(fx.label('b'))));
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = ExecGuard::cancellable(token);
+        let mut m = TreeMatcher::new(&cp, &t, &fx.store).with_guard(&guard);
+        let err = m.find_matches_outcome(&MatchConfig::default()).unwrap_err();
+        assert!(matches!(err, GuardError::Cancelled { .. }), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+/// Something that can pick a collection length. Mirrors
+/// `proptest::collection::SizeRange` conversions.
+pub trait SizeBounds {
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeBounds for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeBounds for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategy producing `Vec`s of `elem`-generated values with a length
+/// drawn from `size`.
+pub fn vec<S: Strategy, B: SizeBounds>(elem: S, size: B) -> VecStrategy<S, B> {
+    VecStrategy { elem, size }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S, B> {
+    elem: S,
+    size: B,
+}
+
+impl<S: Strategy, B: SizeBounds> Strategy for VecStrategy<S, B>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}

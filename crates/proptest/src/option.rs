@@ -1,0 +1,27 @@
+//! Option strategies (`prop::option::of`).
+
+use rand::Rng;
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy producing `Some(inner)` about half the time, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Output of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}

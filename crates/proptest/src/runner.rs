@@ -1,0 +1,133 @@
+//! Case runner: deterministic seeds, rejection accounting, failure reporting.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the workspace's deterministic
+/// [`StdRng`].
+pub struct TestRng(pub StdRng);
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Payload type distinguishing `prop_assume!` rejections from real
+/// failures when a case unwinds.
+struct Rejection(#[allow(dead_code)] &'static str);
+
+/// Abort the current case as rejected (called by `prop_assume!`).
+pub fn reject(condition: &'static str) -> ! {
+    panic::panic_any(Rejection(condition))
+}
+
+thread_local! {
+    static CASE_INPUTS: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Record the generated inputs of the running case for failure reports
+/// (called by the `proptest!` expansion).
+pub fn set_case_inputs(desc: String) {
+    CASE_INPUTS.with(|c| *c.borrow_mut() = desc);
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one `proptest!`-defined test: runs cases until `cfg.cases`
+/// succeed, tolerating up to `16 × cases` rejections.
+pub struct TestRunner {
+    cfg: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(cfg: ProptestConfig, name: &'static str) -> TestRunner {
+        let base_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or_else(|_| fnv1a(&s)),
+            Err(_) => fnv1a(name),
+        };
+        TestRunner {
+            cfg,
+            name,
+            base_seed,
+        }
+    }
+
+    /// Run `f` until `cfg.cases` cases pass. A case that unwinds with a
+    /// [`Rejection`] payload is discarded; any other unwind fails the test
+    /// after printing the case's seed and generated inputs.
+    pub fn run(&mut self, mut f: impl FnMut(&mut TestRng)) {
+        let max_rejects = 16 * self.cfg.cases as u64;
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let mut case: u64 = 0;
+        while passed < self.cfg.cases {
+            let seed = self
+                .base_seed
+                .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            case += 1;
+            let mut rng = TestRng(StdRng::seed_from_u64(seed));
+            set_case_inputs(String::new());
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(payload) if payload.is::<Rejection>() => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections \
+                             ({rejected} rejects for {passed} passes)",
+                            self.name
+                        );
+                    }
+                }
+                Err(payload) => {
+                    let inputs = CASE_INPUTS.with(|c| c.borrow().clone());
+                    eprintln!(
+                        "proptest {} failed at case #{case} (seed {seed:#x})\n  inputs: {}",
+                        self.name,
+                        if inputs.is_empty() {
+                            "<none recorded>"
+                        } else {
+                            &inputs
+                        }
+                    );
+                    panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}

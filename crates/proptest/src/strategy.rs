@@ -1,0 +1,102 @@
+//! The [`Strategy`] trait and core value strategies.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::runner::TestRng;
+
+/// A recipe for generating values. Mirrors `proptest::strategy::Strategy`,
+/// minus shrinking: `sample` draws one value directly.
+pub trait Strategy {
+    /// The type of generated values (must be `Debug` so failing inputs can
+    /// be reported).
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values. Mirrors `Strategy::prop_map`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value. Mirrors `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "cannot sample empty char range");
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(lo..hi)) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        // `any::<bool>()` is spelled `bool` upstream only via Arbitrary;
+        // here the bare value doubles as a coin-flip strategy.
+        let _ = self;
+        rng.gen_bool(0.5)
+    }
+}
+
+/// `&str` strategies are character-class regexes: `"[A-C]"`,
+/// `"[\\x20-\\x7e]{0,40}"`, …
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_regex(self, rng)
+    }
+}

@@ -1,0 +1,177 @@
+//! Character-class regex string strategies.
+//!
+//! Supports the subset of regex syntax the workspace's tests use as string
+//! strategies: a single character class `[...]` (with literal characters,
+//! `a-z` ranges, and `\xHH` / `\c` escapes) optionally followed by a
+//! `{m,n}` repetition count. A bare literal string (no metacharacters)
+//! yields itself.
+
+use rand::Rng;
+
+use crate::runner::TestRng;
+
+/// Sample one string matching `pattern`. Panics on syntax this subset does
+/// not support — that is a bug in the test, not an input-dependent failure.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+
+    let mut out = String::new();
+    while pos < chars.len() {
+        if chars[pos] != '[' {
+            // Literal segment (escapes allowed).
+            let c = if chars[pos] == '\\' {
+                pos += 1;
+                *chars
+                    .get(pos)
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash"))
+            } else {
+                chars[pos]
+            };
+            pos += 1;
+            out.push(c);
+            continue;
+        }
+        // Character class.
+        pos += 1; // consume '['
+        let mut alphabet: Vec<char> = Vec::new();
+        while pos < chars.len() && chars[pos] != ']' {
+            let lo = read_char(&chars, &mut pos, pattern);
+            if pos < chars.len() && chars[pos] == '-' && chars.get(pos + 1) != Some(&']') {
+                pos += 1; // consume '-'
+                let hi = read_char(&chars, &mut pos, pattern);
+                if (hi as u32) < (lo as u32) {
+                    unsupported(pattern, "descending range in character class");
+                }
+                for u in lo as u32..=hi as u32 {
+                    if let Some(c) = char::from_u32(u) {
+                        alphabet.push(c);
+                    }
+                }
+            } else {
+                alphabet.push(lo);
+            }
+        }
+        if pos >= chars.len() {
+            unsupported(pattern, "unterminated character class");
+        }
+        pos += 1; // consume ']'
+        if alphabet.is_empty() {
+            unsupported(pattern, "empty character class");
+        }
+
+        // Optional {m,n} repetition; default is exactly one.
+        let (min, max) = if chars.get(pos) == Some(&'{') {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| unsupported(pattern, "unterminated {m,n}"));
+            let body: String = chars[pos + 1..pos + close].iter().collect();
+            pos += close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.parse::<usize>()
+                        .unwrap_or_else(|_| unsupported(pattern, "bad {m,n} bound")),
+                    n.parse::<usize>()
+                        .unwrap_or_else(|_| unsupported(pattern, "bad {m,n} bound")),
+                ),
+                None => {
+                    let k = body
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| unsupported(pattern, "bad {k} count"));
+                    (k, k)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        let len = rng.gen_range(min..=max);
+        for _ in 0..len {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+/// Read one (possibly escaped) character of a class body.
+fn read_char(chars: &[char], pos: &mut usize, pattern: &str) -> char {
+    let c = chars[*pos];
+    if c != '\\' {
+        *pos += 1;
+        return c;
+    }
+    *pos += 1;
+    let esc = *chars
+        .get(*pos)
+        .unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+    *pos += 1;
+    match esc {
+        'x' => {
+            if *pos + 2 > chars.len() {
+                unsupported(pattern, "truncated \\xHH escape");
+            }
+            let hex: String = chars[*pos..*pos + 2].iter().collect();
+            *pos += 2;
+            let v = u32::from_str_radix(&hex, 16)
+                .unwrap_or_else(|_| unsupported(pattern, "bad \\xHH escape"));
+            char::from_u32(v).unwrap_or_else(|| unsupported(pattern, "bad \\xHH escape"))
+        }
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn unsupported(pattern: &str, why: &str) -> ! {
+    panic!("string strategy {pattern:?}: {why} (unsupported by the offline proptest stand-in)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng(StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn simple_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_regex("[A-C]", &mut r);
+            assert_eq!(s.len(), 1);
+            assert!(matches!(s.as_bytes()[0], b'A'..=b'C'));
+        }
+    }
+
+    #[test]
+    fn hex_range_with_counts() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_regex("[\\x20-\\x7e]{0,40}", &mut r);
+            assert!(s.len() <= 40);
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn escaped_metachars_and_literals() {
+        let mut r = rng();
+        let pat = "[\\[\\]\\(\\)\\{\\}@!\\*\\+\\|\\^\\$\\?a-d =<>0-9\"]{0,30}";
+        let allowed = "[](){}@!*+|^$?abcd =<>0123456789\"";
+        for _ in 0..100 {
+            let s = sample_regex(pat, &mut r);
+            assert!(s.chars().all(|c| allowed.contains(c)), "bad sample {s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        let mut r = rng();
+        assert_eq!(sample_regex("abc", &mut r), "abc");
+    }
+}

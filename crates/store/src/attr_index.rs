@@ -10,8 +10,16 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 
 use aqua_algebra::Tree;
+use aqua_guard::failpoint::{self, FailpointError};
 use aqua_object::{AttrId, ClassId, ObjectStore, Oid, Value};
 use aqua_pattern::CmpOp;
+
+/// Failpoint checked by [`AttrIndex`] probe wrappers
+/// ([`AttrIndex::try_lookup`], [`AttrIndex::try_lookup_cmp`]).
+pub const ATTR_INDEX_PROBE: &str = "store.attr_index.probe";
+
+/// Failpoint checked by [`TreeNodeIndex`] probe wrappers.
+pub const TREE_INDEX_PROBE: &str = "store.tree_index.probe";
 
 /// Total-order key wrapper for [`Value`] (uses `Value::index_cmp`, which
 /// ranks variants and totally orders floats).
@@ -60,6 +68,21 @@ impl AttrIndex {
     /// The indexed attribute.
     pub fn attr(&self) -> AttrId {
         self.attr
+    }
+
+    /// Fallible exact-match probe, checking the [`ATTR_INDEX_PROBE`]
+    /// failpoint — the probe the optimizer routes through so injected
+    /// index faults trigger plan fallback.
+    pub fn try_lookup(&self, v: &Value) -> Result<&[Oid], FailpointError> {
+        failpoint::check(ATTR_INDEX_PROBE)?;
+        Ok(self.lookup(v))
+    }
+
+    /// Fallible [`lookup_cmp`](Self::lookup_cmp), checking the
+    /// [`ATTR_INDEX_PROBE`] failpoint.
+    pub fn try_lookup_cmp(&self, op: CmpOp, v: &Value) -> Result<Vec<Oid>, FailpointError> {
+        failpoint::check(ATTR_INDEX_PROBE)?;
+        Ok(self.lookup_cmp(op, v))
     }
 
     /// Exact-match probe.
@@ -154,6 +177,20 @@ impl TreeNodeIndex {
     /// The indexed class.
     pub fn class(&self) -> ClassId {
         self.class
+    }
+
+    /// Fallible [`lookup`](Self::lookup), checking the
+    /// [`TREE_INDEX_PROBE`] failpoint.
+    pub fn try_lookup(&self, v: &Value) -> Result<&[u32], FailpointError> {
+        failpoint::check(TREE_INDEX_PROBE)?;
+        Ok(self.lookup(v))
+    }
+
+    /// Fallible [`lookup_cmp`](Self::lookup_cmp), checking the
+    /// [`TREE_INDEX_PROBE`] failpoint.
+    pub fn try_lookup_cmp(&self, op: CmpOp, v: &Value) -> Result<Vec<u32>, FailpointError> {
+        failpoint::check(TREE_INDEX_PROBE)?;
+        Ok(self.lookup_cmp(op, v))
     }
 
     /// Candidate nodes whose object has `attr == v`, in document order.

@@ -23,7 +23,7 @@ pub mod positional;
 pub mod stats;
 pub mod structural;
 
-pub use attr_index::{AttrIndex, TreeNodeIndex};
-pub use positional::ListPosIndex;
+pub use attr_index::{AttrIndex, TreeNodeIndex, ATTR_INDEX_PROBE, TREE_INDEX_PROBE};
+pub use positional::{ListPosIndex, LIST_INDEX_PROBE};
 pub use stats::ColumnStats;
-pub use structural::StructuralIndex;
+pub use structural::{StructuralIndex, STRUCTURAL_PROBE};

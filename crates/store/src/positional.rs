@@ -9,9 +9,13 @@
 use std::collections::BTreeMap;
 
 use aqua_algebra::List;
+use aqua_guard::failpoint::{self, FailpointError};
 use aqua_object::{AttrId, ClassId, ObjectStore, Value};
 
 use crate::attr_index::OrdValue;
+
+/// Failpoint checked by [`ListPosIndex`] probe wrappers.
+pub const LIST_INDEX_PROBE: &str = "store.list_index.probe";
 
 /// Positional index over one list.
 #[derive(Debug, Clone)]
@@ -49,6 +53,24 @@ impl ListPosIndex {
     /// The indexed class.
     pub fn class(&self) -> ClassId {
         self.class
+    }
+
+    /// Fallible [`positions`](Self::positions), checking the
+    /// [`LIST_INDEX_PROBE`] failpoint.
+    pub fn try_positions(&self, v: &Value) -> Result<&[usize], FailpointError> {
+        failpoint::check(LIST_INDEX_PROBE)?;
+        Ok(self.positions(v))
+    }
+
+    /// Fallible [`candidate_starts`](Self::candidate_starts), checking
+    /// the [`LIST_INDEX_PROBE`] failpoint.
+    pub fn try_candidate_starts(
+        &self,
+        v: &Value,
+        offset: usize,
+    ) -> Result<Vec<usize>, FailpointError> {
+        failpoint::check(LIST_INDEX_PROBE)?;
+        Ok(self.candidate_starts(v, offset))
     }
 
     /// Positions where `attr == v`, ascending.

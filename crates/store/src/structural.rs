@@ -7,6 +7,10 @@
 //! `all_desc`-style context computations cheap on large trees.
 
 use aqua_algebra::{NodeId, Tree};
+use aqua_guard::failpoint::{self, FailpointError};
+
+/// Failpoint checked by [`StructuralIndex`] probe wrappers.
+pub const STRUCTURAL_PROBE: &str = "store.structural.probe";
 
 /// Interval numbering over one tree.
 #[derive(Debug, Clone)]
@@ -45,6 +49,20 @@ impl StructuralIndex {
             rank,
             size,
         }
+    }
+
+    /// Fallible [`is_ancestor`](Self::is_ancestor), checking the
+    /// [`STRUCTURAL_PROBE`] failpoint.
+    pub fn try_is_ancestor(&self, anc: NodeId, node: NodeId) -> Result<bool, FailpointError> {
+        failpoint::check(STRUCTURAL_PROBE)?;
+        Ok(self.is_ancestor(anc, node))
+    }
+
+    /// Fallible [`descendants`](Self::descendants), checking the
+    /// [`STRUCTURAL_PROBE`] failpoint.
+    pub fn try_descendants(&self, node: NodeId) -> Result<&[NodeId], FailpointError> {
+        failpoint::check(STRUCTURAL_PROBE)?;
+        Ok(self.descendants(node))
     }
 
     /// O(1): is `anc` a (reflexive) ancestor of `node`?

@@ -35,14 +35,14 @@ fn family_database_workflow() {
     let fast = plan.execute(&cat, &d.tree, &cfg).unwrap();
 
     let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
-    let naive = ops::sub_select(&d.store, &d.tree, &compiled, &cfg);
+    let naive = ops::sub_select(&d.store, &d.tree, &compiled, &cfg).unwrap();
     assert_eq!(fast.len(), naive.len());
     assert!(!fast.is_empty(), "workload should contain matches");
 
     // Context sanity via split + structural index: each match's
     // descendants really are descendants of the match root.
     let sidx = StructuralIndex::build(&d.tree);
-    for p in split::split_pieces(&d.store, &d.tree, &compiled, &cfg) {
+    for p in split::split_pieces(&d.store, &d.tree, &compiled, &cfg).unwrap() {
         let root = aqua_algebra::NodeId(p.raw.root);
         for c in &p.raw.cuts {
             assert!(sidx.is_ancestor(root, aqua_algebra::NodeId(c.root)));
@@ -73,7 +73,8 @@ fn parse_tree_rewriter_workflow() {
     // Rewrite one site at a time until none remain (each rewrite
     // invalidates node ids, so re-split each round).
     loop {
-        let pieces = split::split_pieces(&store, &tree, &compiled, &MatchConfig::first_per_root());
+        let pieces =
+            split::split_pieces(&store, &tree, &compiled, &MatchConfig::first_per_root()).unwrap();
         let Some(p) = pieces.into_iter().next() else {
             break;
         };
@@ -98,7 +99,9 @@ fn parse_tree_rewriter_workflow() {
     assert_eq!(rewrites, d.planted_sites);
     // No `and` nodes remain under a select in the rewritten tree…
     assert!(
-        split::split_pieces(&store, &tree, &compiled, &MatchConfig::first_per_root()).is_empty()
+        split::split_pieces(&store, &tree, &compiled, &MatchConfig::first_per_root())
+            .unwrap()
+            .is_empty()
     );
     // …and the tree grew by exactly one node per site
     // (select+select replaces select+and, plus nothing else changes —
@@ -143,7 +146,7 @@ fn document_outline_workflow() {
         .unwrap()
         .compile(d.class, d.store.class(d.class))
         .unwrap();
-    let nested = ops::sub_select(&d.store, &d.tree, &cp, &MatchConfig::first_per_root());
+    let nested = ops::sub_select(&d.store, &d.tree, &cp, &MatchConfig::first_per_root()).unwrap();
     for m in &nested {
         // Shape: section(section(figure)) after pruning.
         let kinds: Vec<String> = m

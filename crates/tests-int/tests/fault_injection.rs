@@ -1,0 +1,243 @@
+//! Fault-injection suite: armed failpoints at the store/index probe
+//! boundaries must never surface as errors from indexed plans — the
+//! executor degrades to the naive path, records the degradation in
+//! `Explain`, and returns exactly the naive answer.
+
+use std::sync::Mutex;
+
+use aqua_algebra::tree::ops as tops;
+use aqua_guard::failpoint;
+use aqua_object::{AttrId, ObjectError, ObjectStore, Value};
+use aqua_optimizer::{Catalog, Explain, Optimizer};
+use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_store::{AttrIndex, ColumnStats, ListPosIndex, StructuralIndex, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::SongGen;
+
+/// The failpoint registry is process-global; serialize the tests that
+/// arm points so parallel test threads don't observe each other's
+/// faults.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn tree_plan_survives_index_fault_and_reports_fallback() {
+    let _serial = lock();
+    let d = RandomTreeGen::new(8)
+        .nodes(1500)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let (plan, _) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+    assert!(plan.is_indexed(), "skewed labels should favour the index");
+
+    let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+    let naive = tops::sub_select(&d.store, &d.tree, &compiled, &cfg).unwrap();
+
+    let mut explain = Explain::default();
+    let _fp = failpoint::scoped(aqua_store::TREE_INDEX_PROBE, "tree index probe down");
+    let got = plan
+        .execute_guarded(&cat, &d.tree, &cfg, None, &mut explain)
+        .expect("fault must degrade, not fail");
+    assert_eq!(got.len(), naive.len());
+    for (a, b) in got.iter().zip(&naive) {
+        assert!(a.structural_eq(b));
+    }
+    assert!(explain.fell_back());
+    let text = explain.to_string();
+    assert!(text.contains("fallback:"), "explain shows it: {text}");
+    assert!(text.contains("tree index probe down"), "{text}");
+}
+
+#[test]
+fn split_plan_survives_index_fault() {
+    let _serial = lock();
+    let d = RandomTreeGen::new(8)
+        .nodes(1500)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let (plan, _) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+    assert!(plan.is_indexed());
+
+    let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+    let naive =
+        aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &compiled, &cfg).unwrap();
+
+    let mut explain = Explain::default();
+    let _fp = failpoint::scoped(aqua_store::TREE_INDEX_PROBE, "tree index probe down");
+    let got = plan
+        .execute_split_guarded(&cat, &d.tree, &cfg, None, &mut explain)
+        .expect("fault must degrade, not fail");
+    assert_eq!(got.len(), naive.len());
+    assert!(explain.fell_back());
+}
+
+#[test]
+fn set_plan_survives_attr_index_fault() {
+    let _serial = lock();
+    let mut store = ObjectStore::new();
+    let class = store
+        .define_class(
+            aqua_object::ClassDef::new(
+                "P",
+                vec![
+                    aqua_object::AttrDef::stored("age", aqua_object::AttrType::Int),
+                    aqua_object::AttrDef::stored("citizen", aqua_object::AttrType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for i in 0..500 {
+        store
+            .insert_named(
+                "P",
+                &[
+                    ("age", Value::Int(i % 90)),
+                    (
+                        "citizen",
+                        Value::str(if i % 7 == 0 { "Brazil" } else { "USA" }),
+                    ),
+                ],
+            )
+            .unwrap();
+    }
+    let idx = AttrIndex::build(&store, class, AttrId(1));
+    let stats = ColumnStats::build(&store, class, AttrId(1));
+    let mut cat = Catalog::new(&store, class);
+    cat.add_attr_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+
+    let pred =
+        PredExpr::eq("citizen", "Brazil").and(PredExpr::cmp("age", aqua_pattern::CmpOp::Lt, 40));
+    let (plan, _) = opt.plan_set_select(&pred).unwrap();
+    assert!(plan.is_indexed(), "selective conjunct should use the index");
+    let expected = plan.execute(&cat).unwrap();
+    assert!(!expected.is_empty());
+
+    let mut explain = Explain::default();
+    let _fp = failpoint::scoped(aqua_store::ATTR_INDEX_PROBE, "attr index probe down");
+    let got = plan
+        .execute_guarded(&cat, None, &mut explain)
+        .expect("fault must degrade, not fail");
+    assert_eq!(got, expected);
+    assert!(explain.fell_back());
+    assert!(explain.to_string().contains("extent scan"));
+}
+
+#[test]
+fn list_plan_survives_positional_index_fault() {
+    let _serial = lock();
+    let d = SongGen::new(5)
+        .notes(2000)
+        .plant(vec!["A", "B", "C"], 12)
+        .generate();
+    let idx = ListPosIndex::build(&d.store, &d.song, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_list_index(&idx);
+    let opt = Optimizer::new(&cat);
+
+    let env = PredEnv::with_default_attr("pitch");
+    let (re, s, e) = parse_list_pattern("[A B C]", &env).unwrap();
+    let (plan, _) = opt.plan_list_sub_select(&re, s, e, d.song.len()).unwrap();
+    assert!(plan.is_indexed(), "fixed-offset pattern should probe");
+    let expected = plan.execute(&cat, &d.song).unwrap();
+    assert!(!expected.is_empty());
+
+    let mut explain = Explain::default();
+    let _fp = failpoint::scoped(aqua_store::LIST_INDEX_PROBE, "list index probe down");
+    let got = plan
+        .execute_guarded(&cat, &d.song, None, &mut explain)
+        .expect("fault must degrade, not fail");
+    assert_eq!(got, expected);
+    assert!(explain.fell_back());
+    assert!(explain.to_string().contains("full list scan"));
+}
+
+#[test]
+fn select_plan_survives_index_fault() {
+    let _serial = lock();
+    let d = RandomTreeGen::new(8)
+        .nodes(1500)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let sidx = StructuralIndex::build(&d.tree);
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx)
+        .add_structural_index(&sidx)
+        .add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+
+    let pred = PredExpr::eq("label", "u");
+    let (plan, _) = opt.plan_tree_select(&pred, d.tree.len()).unwrap();
+    assert!(plan.is_indexed());
+    let expected = plan.execute(&cat, &d.tree).unwrap();
+    assert!(!expected.is_empty());
+
+    let mut explain = Explain::default();
+    let _fp = failpoint::scoped(aqua_store::TREE_INDEX_PROBE, "tree index probe down");
+    let got = plan
+        .execute_guarded(&cat, &d.tree, None, &mut explain)
+        .expect("fault must degrade, not fail");
+    assert_eq!(got.len(), expected.len());
+    for (a, b) in got.iter().zip(&expected) {
+        assert!(a.structural_eq(b));
+    }
+    assert!(explain.fell_back());
+    assert!(explain.to_string().contains("full walk"));
+}
+
+#[test]
+fn one_shot_fault_heals_after_firing() {
+    let _serial = lock();
+    let mut store = ObjectStore::new();
+    store
+        .define_class(
+            aqua_object::ClassDef::new(
+                "N",
+                vec![aqua_object::AttrDef::stored(
+                    "x",
+                    aqua_object::AttrType::Int,
+                )],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let oid = store.insert_named("N", &[("x", Value::Int(1))]).unwrap();
+
+    failpoint::arm_times(aqua_object::OBJECT_GET_PROBE, "store briefly down", 1);
+    let err = store.get(oid).expect_err("first lookup hits the fault");
+    assert!(
+        matches!(&err, ObjectError::Injected { point, .. }
+            if point == aqua_object::OBJECT_GET_PROBE),
+        "typed injected error: {err}"
+    );
+    assert!(err.to_string().contains("store briefly down"));
+    // The one-shot charge is spent; the store works again.
+    assert!(store.get(oid).is_ok());
+    failpoint::reset();
+}

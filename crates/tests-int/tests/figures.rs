@@ -107,12 +107,16 @@ fn f1_concatenation_points() {
         .unwrap()
         .compile(fx.class, fx.store.class(fx.class))
         .unwrap();
-    let ms = ops::sub_select(&fx.store, &assembled, &tp, &MatchConfig::default());
+    let ms = ops::sub_select(&fx.store, &assembled, &tp, &MatchConfig::default()).unwrap();
     assert_eq!(ms.len(), 1);
     assert_eq!(fx.render(&ms[0]), "a(b(d(f g) e) c)");
     // And it does not match the direct pattern's non-instances.
     let other = fx.tree("a(b(d(f) e) c)");
-    assert!(ops::sub_select(&fx.store, &other, &tp, &MatchConfig::default()).is_empty());
+    assert!(
+        ops::sub_select(&fx.store, &other, &tp, &MatchConfig::default())
+            .unwrap()
+            .is_empty()
+    );
 }
 
 /// F2 — Figure 2: the first four members of `L([[a(b c α)]]^{*α})` are
@@ -205,7 +209,8 @@ fn f4_split_three_pieces() {
             p.descendants.clone(),
             p.reassemble(),
         )
-    });
+    })
+    .unwrap();
     assert_eq!(results.len(), 3);
     for (x, y, z, roundtrip) in &results {
         // x has exactly one hole (α) where the match was cut out.
@@ -246,7 +251,7 @@ fn f5_parse_tree_rewrite() {
         .unwrap()
         .compile(d.class, d.store.class(d.class))
         .unwrap();
-    let pieces = split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::default());
+    let pieces = split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::default()).unwrap();
     assert_eq!(pieces.len(), 1);
     let p = &pieces[0];
     // z = [R, p1, p2] in document order.
@@ -301,7 +306,7 @@ fn f6_printf_variable_arity() {
         .unwrap()
         .compile(fx.class, fx.store.class(fx.class))
         .unwrap();
-    let ms = ops::sub_select(&fx.store, &t, &cp, &MatchConfig::first_per_root());
+    let ms = ops::sub_select(&fx.store, &t, &cp, &MatchConfig::first_per_root()).unwrap();
     assert_eq!(ms.len(), 2);
     assert_eq!(fx.render(&ms[0]), "p(x L y L)");
     assert_eq!(fx.render(&ms[1]), "p(L L L)");

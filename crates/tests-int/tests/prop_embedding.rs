@@ -126,6 +126,7 @@ proptest! {
             .compile(d.class, d.store.class(d.class)).unwrap();
         let t = embed::to_tree(&d.song).unwrap();
         let tree_matches: Vec<Vec<Oid>> = tops::sub_select(&d.store, &t, &tp, &MatchConfig::default())
+            .unwrap()
             .iter()
             .map(|m| m.iter_preorder().filter_map(|n| m.oid(n)).collect())
             .collect();

@@ -1,0 +1,217 @@
+//! Property suite: bounded execution. Adversarial patterns — nested
+//! closures and ambiguous alternations like `(a|a)*` whose parse space
+//! is exponential — must always *terminate* under a tiny step budget,
+//! returning `BudgetExceeded` with meaningful progress counters instead
+//! of panicking or hanging. Exercised across the three engines: the
+//! pike VM (list patterns), the recursive tree matcher, and `split`.
+
+use aqua_algebra::list::ops as lops;
+use aqua_algebra::tree::{ops as tops, split};
+use aqua_guard::{Budget, CancelToken, ExecGuard, GuardError, Resource};
+use aqua_pattern::list::{ListPattern, MatchMode};
+use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::{MatchConfig, TreeMatcher};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::SongGen;
+use proptest::prelude::*;
+
+/// Ambiguity bombs for the pike VM: `(A|A)*`-shaped alternations and
+/// nested closures multiply the viable thread set at every position.
+const EVIL_LIST_PATTERNS: &[&str] = &[
+    "[[[A|A]]* [[A|A]]* F]",
+    "[[[A|A]]+ [[A|A]]+]",
+    "[[[[[A|A]]*|A]]*]",
+    "[[[A [[B|B]]*]]* F]",
+    "[!A* [[A|A]]* !A*]",
+];
+
+/// The same idea for the tree matcher: closures over wildcard children
+/// nested inside closures, and duplicated alternation arms.
+const EVIL_TREE_PATTERNS: &[&str] = &[
+    "?(?* a !?*)",
+    "?(?* ?(?* a ?*) ?*)",
+    "a(?*)|a(?*)",
+    "?(!?* ?(!?* a !?*) !?*)",
+];
+
+fn expect_step_exhaustion(res: Result<(), GuardError>, limit: u64) {
+    let err = res.expect_err("tiny budget over a large input must trip");
+    match err {
+        GuardError::BudgetExceeded {
+            resource: Resource::Steps,
+            limit: l,
+            progress,
+        } => {
+            assert_eq!(l, limit);
+            assert!(progress.steps > limit, "counted past the line: {progress}");
+        }
+        other => panic!("expected step exhaustion, got {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pike VM: every evil list pattern stops with `BudgetExceeded`.
+    #[test]
+    fn pike_vm_always_terminates_under_budget(
+        seed in 0u64..1000,
+        pi in 0usize..EVIL_LIST_PATTERNS.len(),
+        steps in 1u64..200,
+    ) {
+        let d = SongGen::new(seed).notes(1500).plant(vec!["A", "A", "A", "A"], 20).generate();
+        let env = PredEnv::with_default_attr("pitch");
+        let (re, s, e) = parse_list_pattern(EVIL_LIST_PATTERNS[pi], &env).unwrap();
+        let lp = ListPattern::compile(re, s, e, d.class, d.store.class(d.class)).unwrap();
+        let guard = ExecGuard::new(Budget::unlimited().with_steps(steps));
+        let res = lops::find_matches_guarded(&d.store, &d.song, &lp, MatchMode::All, Some(&guard));
+        expect_step_exhaustion(res.map(drop).map_err(|e| *e.as_guard().unwrap()), steps);
+    }
+
+    /// Tree matcher: every evil tree pattern stops with `BudgetExceeded`.
+    #[test]
+    fn tree_matcher_always_terminates_under_budget(
+        seed in 0u64..1000,
+        pi in 0usize..EVIL_TREE_PATTERNS.len(),
+        steps in 1u64..150,
+    ) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(400)
+            .label_weights(&[("a", 5), ("b", 3), ("c", 1)])
+            .generate();
+        let env = PredEnv::with_default_attr("label");
+        let cp = parse_tree_pattern(EVIL_TREE_PATTERNS[pi], &env)
+            .unwrap()
+            .compile(d.class, d.store.class(d.class))
+            .unwrap();
+        let guard = ExecGuard::new(Budget::unlimited().with_steps(steps));
+        let res = TreeMatcher::new(&cp, &d.tree, &d.store)
+            .with_guard(&guard)
+            .find_matches_outcome(&MatchConfig::default());
+        expect_step_exhaustion(res.map(drop), steps);
+    }
+
+    /// `split` (and through it `sub_select`): same guarantee one layer up.
+    #[test]
+    fn split_always_terminates_under_budget(
+        seed in 0u64..1000,
+        pi in 0usize..EVIL_TREE_PATTERNS.len(),
+        steps in 1u64..150,
+    ) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(400)
+            .label_weights(&[("a", 5), ("b", 3), ("c", 1)])
+            .generate();
+        let env = PredEnv::with_default_attr("label");
+        let cp = parse_tree_pattern(EVIL_TREE_PATTERNS[pi], &env)
+            .unwrap()
+            .compile(d.class, d.store.class(d.class))
+            .unwrap();
+        let guard = ExecGuard::new(Budget::unlimited().with_steps(steps));
+        let res =
+            split::split_pieces_guarded(&d.store, &d.tree, &cp, &MatchConfig::default(), Some(&guard));
+        expect_step_exhaustion(res.map(drop).map_err(|e| *e.as_guard().unwrap()), steps);
+    }
+
+    /// A result cap truncates output without error-free overshoot: the
+    /// error carries exactly the cap's worth of results.
+    #[test]
+    fn result_cap_stops_enumeration(seed in 0u64..1000, cap in 1u64..5) {
+        let d = RandomTreeGen::new(seed).nodes(300).generate();
+        let env = PredEnv::with_default_attr("label");
+        let cp = parse_tree_pattern("?(?*)", &env)
+            .unwrap()
+            .compile(d.class, d.store.class(d.class))
+            .unwrap();
+        let guard = ExecGuard::new(Budget::unlimited().with_results(cap));
+        let res = tops::sub_select_guarded(
+            &d.store,
+            &d.tree,
+            &cp,
+            &MatchConfig::first_per_root(),
+            Some(&guard),
+        );
+        let err = res.expect_err("every node matches; the cap must trip");
+        match err.as_guard().unwrap() {
+            GuardError::BudgetExceeded {
+                resource: Resource::Results,
+                limit,
+                progress,
+            } => {
+                prop_assert_eq!(*limit, cap);
+                prop_assert_eq!(progress.results, cap + 1);
+            }
+            other => panic!("expected result exhaustion, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn pre_cancelled_token_stops_promptly() {
+    let d = SongGen::new(7)
+        .notes(5000)
+        .plant(vec!["A", "B"], 10)
+        .generate();
+    let env = PredEnv::with_default_attr("pitch");
+    let (re, s, e) = parse_list_pattern("[A B]", &env).unwrap();
+    let lp = ListPattern::compile(re, s, e, d.class, d.store.class(d.class)).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let guard = ExecGuard::cancellable(token);
+    let err = lops::find_matches_guarded(&d.store, &d.song, &lp, MatchMode::All, Some(&guard))
+        .expect_err("cancellation must be observed");
+    assert!(matches!(
+        err.as_guard().unwrap(),
+        GuardError::Cancelled { .. }
+    ));
+}
+
+#[test]
+fn expired_deadline_times_out() {
+    let d = RandomTreeGen::new(7).nodes(3000).generate();
+    let env = PredEnv::with_default_attr("label");
+    let cp = parse_tree_pattern("?(?* a ?*)", &env)
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let guard = ExecGuard::new(Budget::unlimited().with_deadline_ms(0));
+    let err = split::split_pieces_guarded(
+        &d.store,
+        &d.tree,
+        &cp,
+        &MatchConfig::default(),
+        Some(&guard),
+    )
+    .expect_err("an already-expired deadline must trip");
+    assert!(matches!(
+        err.as_guard().unwrap(),
+        GuardError::Timeout { .. }
+    ));
+}
+
+/// The same shareable token cancels concurrent queries on other threads.
+#[test]
+fn token_cancels_across_threads() {
+    let d = SongGen::new(9).notes(8000).generate();
+    let env = PredEnv::with_default_attr("pitch");
+    let (re, s, e) = parse_list_pattern("[[[A|A]]* [[A|A]]* F]", &env).unwrap();
+    let lp = ListPattern::compile(re, s, e, d.class, d.store.class(d.class)).unwrap();
+    let token = CancelToken::new();
+    let worker_token = token.clone();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            let guard = ExecGuard::cancellable(worker_token);
+            lops::find_matches_guarded(&d.store, &d.song, &lp, MatchMode::All, Some(&guard))
+        });
+        token.cancel();
+        let res = handle.join().expect("worker must not panic");
+        // Either it finished before the signal landed or it was cut
+        // short — but it must never hang or die.
+        if let Err(e) = res {
+            assert!(matches!(
+                e.as_guard().unwrap(),
+                GuardError::Cancelled { .. }
+            ));
+        }
+    });
+}

@@ -50,7 +50,7 @@ proptest! {
         let fast = plan.execute(&cat, &d.tree, &cfg).unwrap();
 
         let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
-        let naive = tops::sub_select(&d.store, &d.tree, &compiled, &cfg);
+        let naive = tops::sub_select(&d.store, &d.tree, &compiled, &cfg).unwrap();
 
         prop_assert_eq!(fast.len(), naive.len());
         for (a, b) in fast.iter().zip(&naive) {
@@ -78,7 +78,8 @@ proptest! {
         let (plan, _) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
         let fast = plan.execute_split(&cat, &d.tree, &cfg).unwrap();
         let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
-        let naive = aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &compiled, &cfg);
+        let naive =
+            aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &compiled, &cfg).unwrap();
         prop_assert_eq!(fast.len(), naive.len());
         for (a, b) in fast.iter().zip(&naive) {
             prop_assert!(a.matched.structural_eq(&b.matched));

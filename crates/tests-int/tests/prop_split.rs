@@ -79,7 +79,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(pseed);
         let pat = TreePattern::new(random_pattern(&mut rng, 2));
         let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
-        let pieces = split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::first_per_root());
+        let pieces =
+            split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::first_per_root()).unwrap();
         for p in pieces {
             prop_assert!(p.reassemble().structural_eq(&d.tree));
         }
@@ -107,7 +108,7 @@ proptest! {
             {
                 continue;
             }
-            let pieces = split::pieces_for_match(&d.tree, m);
+            let pieces = split::pieces_for_match(&d.tree, m).unwrap();
             let mut reduced = pieces.matched.clone();
             for label in &pieces.cut_labels {
                 reduced = aqua_algebra::tree::concat::concat_nil(&reduced, label).unwrap();
@@ -126,8 +127,8 @@ proptest! {
         let pat = TreePattern::new(random_pattern(&mut rng, 2));
         let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
         let cfg = MatchConfig::first_per_root();
-        let direct = ops::sub_select(&d.store, &d.tree, &cp, &cfg);
-        let derived = ops::sub_select_via_split(&d.store, &d.tree, &cp, &cfg);
+        let direct = ops::sub_select(&d.store, &d.tree, &cp, &cfg).unwrap();
+        let derived = ops::sub_select_via_split(&d.store, &d.tree, &cp, &cfg).unwrap();
         prop_assert_eq!(direct.len(), derived.len());
         for (a, b) in direct.iter().zip(&derived) {
             prop_assert!(a.structural_eq(b));
@@ -142,7 +143,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(pseed);
         let pat = TreePattern::new(random_pattern(&mut rng, 2));
         let cp = pat.compile(d.class, d.store.class(d.class)).unwrap();
-        for p in split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::first_per_root()) {
+        for p in split::split_pieces(&d.store, &d.tree, &cp, &MatchConfig::first_per_root()).unwrap() {
             let ctx_objs = count_objects(&p.context);
             let match_objs = count_objects(&p.matched);
             let desc_objs: usize = p.descendants.iter().map(count_objects).sum();

@@ -145,7 +145,8 @@ mod tests {
             &d.tree,
             &cp,
             &MatchConfig::first_per_root(),
-        );
+        )
+        .unwrap();
         // Figures exist with probability 0.4 per section; the seed makes
         // this deterministic — just require the query to run and every
         // match to contain a figure.

@@ -218,7 +218,8 @@ mod tests {
             &d.tree,
             &cp,
             &MatchConfig::default(),
-        );
+        )
+        .unwrap();
         // Three Brazilians with an American child: Ana (child Sue),
         // Mat (child Ed), and Lia (child Joe).
         assert_eq!(pieces.len(), 3);

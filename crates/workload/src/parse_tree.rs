@@ -170,7 +170,8 @@ mod tests {
             &d.tree,
             &cp,
             &MatchConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(pieces.len(), 4);
         for p in &pieces {
             // Match keeps select+and; R is pruned (α1); p1, p2 are
