@@ -12,6 +12,7 @@ use std::hint::black_box;
 
 use aqua_bench::timing::{ms, time_median};
 use aqua_bench::Table;
+use aqua_guard::{Budget, ExecGuard, SharedGuard};
 use aqua_object::AttrId;
 use aqua_pattern::list::{ListPattern, MatchMode, Sym};
 use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
@@ -110,6 +111,46 @@ fn bench_bool_match(table: &mut Table) {
     let _ = AttrId(0);
 }
 
+/// Guard accounting overhead on the serial path (PR 2 satellite): the
+/// same `sub_select` scan with no guard, with a disarmed (unlimited)
+/// `ExecGuard`, and with a `SharedGuard` worker. Batched step accounting
+/// means all three should be within noise of each other.
+fn bench_guard_overhead(table: &mut Table) {
+    let d = RandomTreeGen::new(6)
+        .nodes(5000)
+        .label_weights(&[("d", 1), ("x", 9)])
+        .generate();
+    let cp = parse_tree_pattern("d(?*)", &PredEnv::with_default_attr("label"))
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let cfg = aqua_pattern::tree_match::MatchConfig::first_per_root();
+
+    let none = time_median(ITERS, || {
+        aqua_algebra::tree::ops::sub_select(&d.store, &d.tree, &cp, &cfg)
+            .unwrap()
+            .len()
+    });
+    table.row(vec!["sub_select_5k_no_guard".into(), ms(none)]);
+
+    let disarmed = ExecGuard::new(Budget::unlimited());
+    let t = time_median(ITERS, || {
+        aqua_algebra::tree::ops::sub_select_guarded(&d.store, &d.tree, &cp, &cfg, Some(&disarmed))
+            .unwrap()
+            .len()
+    });
+    table.row(vec!["sub_select_5k_disarmed_guard".into(), ms(t)]);
+
+    let fleet = SharedGuard::new(Budget::unlimited());
+    let worker = fleet.worker();
+    let t = time_median(ITERS, || {
+        aqua_algebra::tree::ops::sub_select_guarded(&d.store, &d.tree, &cp, &cfg, Some(&worker))
+            .unwrap()
+            .len()
+    });
+    table.row(vec!["sub_select_5k_shared_worker".into(), ms(t)]);
+}
+
 fn main() {
     let mut table = Table::new(&["operation", "median ms"]);
     bench_pred_eval(&mut table);
@@ -117,5 +158,6 @@ fn main() {
     bench_concat(&mut table);
     bench_subtree_copy(&mut table);
     bench_bool_match(&mut table);
+    bench_guard_overhead(&mut table);
     table.print("B10 — primitive operation micro-benchmarks");
 }

@@ -1,0 +1,168 @@
+//! B11 — parallel bulk scan scaling: `TreeSet::par_sub_select` over a
+//! forest, sweeping worker count × forest size × predicate selectivity.
+//!
+//! Stability makes the parallel answer byte-identical to the serial one
+//! (asserted every run), so this bench isolates the *cost* of the fleet:
+//! shard + steal + index-sorted merge against the serial loop. On a
+//! multi-core host the 100k-node forest should scale with the worker
+//! count; on a single-core host (CI containers — check the `host_threads`
+//! field in the JSON) every degree collapses onto serial time and the
+//! interesting number is the overhead, which should stay within noise.
+//!
+//! Set `AQUA_BENCH_JSON=<path>` to also write the rows as a JSON
+//! baseline (see `BENCH_baseline.json` at the repo root).
+
+use std::fmt::Write as _;
+
+use aqua_algebra::bulk::TreeSet;
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_exec as exec;
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_workload::random_tree::RandomTreeGen;
+
+const ITERS: usize = 7;
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+struct Row {
+    members: usize,
+    nodes_per: usize,
+    selectivity: &'static str,
+    mode: String,
+    timed: Timed,
+    speedup: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"b11\",\"members\":{},\"nodes_per_member\":{},\"total_nodes\":{},\
+             \"selectivity\":\"{}\",\"mode\":\"{}\",\"median_ms\":{:.4},\"result_size\":{},\
+             \"speedup_vs_serial\":{:.3}}}",
+            self.members,
+            self.nodes_per,
+            self.members * self.nodes_per,
+            self.selectivity,
+            self.mode,
+            self.timed.secs * 1e3,
+            self.timed.result_size,
+            self.speedup
+        )
+    }
+}
+
+fn sweep(
+    members: usize,
+    nodes_per: usize,
+    weights: &[(&str, u32)],
+    selectivity: &'static str,
+    table: &mut Table,
+    rows: &mut Vec<Row>,
+) {
+    let f = RandomTreeGen::new(42)
+        .nodes(nodes_per)
+        .label_weights(weights)
+        .generate_forest(members);
+    let set = TreeSet::from_trees(f.trees);
+    let compiled = parse_tree_pattern("d(?*)", &PredEnv::with_default_attr("label"))
+        .unwrap()
+        .compile(f.class, f.store.class(f.class))
+        .unwrap();
+    let cfg = MatchConfig::first_per_root();
+
+    let serial = time_median(ITERS, || {
+        set.sub_select(&f.store, &compiled, &cfg).unwrap().len()
+    });
+    let total = members * nodes_per;
+    let mut emit = |mode: String, timed: Timed| {
+        table.row(vec![
+            format!("{members}x{nodes_per} ({total})"),
+            selectivity.into(),
+            mode.clone(),
+            ms(timed),
+            format!("{:.2}x", serial.secs / timed.secs.max(1e-12)),
+            timed.result_size.to_string(),
+        ]);
+        rows.push(Row {
+            members,
+            nodes_per,
+            selectivity,
+            mode,
+            timed,
+            speedup: serial.secs / timed.secs.max(1e-12),
+        });
+    };
+    emit("serial".into(), serial);
+    for &t in THREADS {
+        let par = time_median(ITERS, || {
+            set.par_sub_select(&f.store, &compiled, &cfg, t, None)
+                .unwrap()
+                .len()
+        });
+        assert_eq!(
+            par.result_size, serial.result_size,
+            "parallel answer must match serial"
+        );
+        emit(format!("par x{t}"), par);
+    }
+}
+
+fn main() {
+    let host = exec::available_threads();
+    let mut table = Table::new(&[
+        "forest (nodes)",
+        "selectivity",
+        "mode",
+        "median ms",
+        "speedup",
+        "results",
+    ]);
+    let mut rows = Vec::new();
+
+    // Size sweep at ~1% selectivity, up to the 100k-node forest.
+    sweep(
+        40,
+        500,
+        &[("d", 1), ("x", 99)],
+        "~1%",
+        &mut table,
+        &mut rows,
+    );
+    sweep(
+        200,
+        500,
+        &[("d", 1), ("x", 99)],
+        "~1%",
+        &mut table,
+        &mut rows,
+    );
+    // Selectivity sweep at the big size: denser matches, bigger merges.
+    sweep(
+        200,
+        500,
+        &[("d", 1), ("x", 4)],
+        "~20%",
+        &mut table,
+        &mut rows,
+    );
+
+    table.print(&format!(
+        "B11 — parallel bulk sub_select scaling (host threads: {host})"
+    ));
+
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"b11_parallel_scaling\",");
+        let _ = writeln!(out, "  \"host_threads\": {host},");
+        let _ = writeln!(out, "  \"iters\": {ITERS},");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{sep}", r.json());
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write JSON baseline");
+        println!("wrote {path}");
+    }
+}

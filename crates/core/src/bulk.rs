@@ -11,18 +11,89 @@
 //!   store, with `select` / `apply` / `sub_select` / `split` mapped over
 //!   members (results tagged with the member index).
 //! * [`ListSet`] — `Set[List[T]]`: same for lists (the music database).
+//!
+//! Every mapped operator has three forms:
+//!
+//! * the plain serial form (unchanged from the paper's semantics),
+//! * a `*_guarded` serial form threading one [`ExecGuard`],
+//! * a `par_*` form running members on a work-stealing pool
+//!   ([`aqua_exec`]) under an optional fleet-wide [`SharedGuard`].
+//!
+//! Stability makes the parallel forms trivial to specify: results are
+//! merged in member order, so `par_*` output is byte-identical to the
+//! serial output for every thread count. Pattern-taking operators also
+//! have `*_pattern` entry points that accept the *uncompiled* pattern
+//! and compile it exactly once per bulk call (optionally memoized in a
+//! [`PatternCache`] shared across calls and across worker threads).
 
-use aqua_object::{ObjectStore, Oid};
+use std::sync::Arc;
+
+use aqua_exec as exec;
+use aqua_guard::{ExecGuard, SharedGuard};
+use aqua_object::{ClassId, ObjectStore, Oid};
 use aqua_pattern::alphabet::Pred;
-use aqua_pattern::list::{ListMatch, ListPattern, MatchMode};
-use aqua_pattern::tree_ast::CompiledTreePattern;
+use aqua_pattern::ast::Re;
+use aqua_pattern::cache::PatternCache;
+use aqua_pattern::list::{ListMatch, ListPattern, MatchMode, Sym};
+use aqua_pattern::tree_ast::{CompiledTreePattern, TreePattern};
 use aqua_pattern::tree_match::MatchConfig;
 
-use crate::error::Result;
+use crate::error::{AlgebraError, Result};
 use crate::list::{ops as list_ops, List};
 use crate::tree::ops as tree_ops;
-use crate::tree::split::{split_pieces, SplitPieces};
+use crate::tree::split::{split_pieces_guarded, SplitPieces};
 use crate::Tree;
+
+/// Tag each member's results with its index and flatten in member order
+/// — the deterministic merge both serial and parallel paths share.
+fn tag_flatten<T>(per_member: Vec<Vec<T>>) -> Vec<(usize, T)> {
+    per_member
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, ms)| ms.into_iter().map(move |m| (i, m)))
+        .collect()
+}
+
+/// Prefer the fleet's own verdict (with merged fleet-wide progress) over
+/// whichever worker's error won the race to the pool.
+fn fleet_err(guard: Option<&SharedGuard>, e: AlgebraError) -> AlgebraError {
+    match guard.and_then(|g| g.verdict()) {
+        Some(v) => AlgebraError::Guard(v),
+        None => e,
+    }
+}
+
+fn compiled_tree(
+    store: &ObjectStore,
+    class: ClassId,
+    pattern: &TreePattern,
+    cache: Option<&PatternCache>,
+) -> Result<Arc<CompiledTreePattern>> {
+    Ok(match cache {
+        Some(c) => c.tree(pattern, class, store.class(class))?,
+        None => Arc::new(pattern.compile(class, store.class(class))?),
+    })
+}
+
+fn compiled_list(
+    store: &ObjectStore,
+    class: ClassId,
+    re: &Re<Sym>,
+    anchor_start: bool,
+    anchor_end: bool,
+    cache: Option<&PatternCache>,
+) -> Result<Arc<ListPattern>> {
+    Ok(match cache {
+        Some(c) => c.list(re, anchor_start, anchor_end, class, store.class(class))?,
+        None => Arc::new(ListPattern::compile(
+            re.clone(),
+            anchor_start,
+            anchor_end,
+            class,
+            store.class(class),
+        )?),
+    })
+}
 
 /// `Set[Tree[T]]` — a database of trees.
 #[derive(Debug, Default)]
@@ -73,6 +144,39 @@ impl TreeSet {
             .collect()
     }
 
+    /// [`select`](TreeSet::select) under an optional execution guard.
+    pub fn select_guarded(
+        &self,
+        store: &ObjectStore,
+        p: &Pred,
+        guard: Option<&ExecGuard>,
+    ) -> Result<Vec<(usize, Vec<Tree>)>> {
+        let mut out = Vec::new();
+        for (i, t) in self.members.iter().enumerate() {
+            let forest = tree_ops::select_guarded(store, t, p, guard)?;
+            if !forest.is_empty() {
+                out.push((i, forest));
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`select`](TreeSet::select) on up to `threads` workers. Member
+    /// order (and the empty-member filter) is preserved, so the answer
+    /// is identical to the serial one.
+    pub fn par_select(
+        &self,
+        store: &ObjectStore,
+        p: &Pred,
+        threads: usize,
+    ) -> Vec<(usize, Vec<Tree>)> {
+        exec::par_map(&self.members, threads, |_, t| tree_ops::select(store, t, p))
+            .into_iter()
+            .enumerate()
+            .filter(|(_, forest)| !forest.is_empty())
+            .collect()
+    }
+
     /// `sub_select` mapped over members; results tagged with the member
     /// index so callers can navigate back.
     pub fn sub_select(
@@ -81,13 +185,75 @@ impl TreeSet {
         pattern: &CompiledTreePattern,
         cfg: &MatchConfig,
     ) -> Result<Vec<(usize, Tree)>> {
+        self.sub_select_guarded(store, pattern, cfg, None)
+    }
+
+    /// [`sub_select`](TreeSet::sub_select) under an optional execution
+    /// guard.
+    pub fn sub_select_guarded(
+        &self,
+        store: &ObjectStore,
+        pattern: &CompiledTreePattern,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+    ) -> Result<Vec<(usize, Tree)>> {
         let mut out = Vec::new();
         for (i, t) in self.members.iter().enumerate() {
-            for m in tree_ops::sub_select(store, t, pattern, cfg)? {
+            for m in tree_ops::sub_select_guarded(store, t, pattern, cfg, guard)? {
                 out.push((i, m));
             }
         }
         Ok(out)
+    }
+
+    /// [`sub_select`](TreeSet::sub_select) on up to `threads` workers
+    /// under an optional fleet guard. Stability means the output is
+    /// byte-identical to the serial path for every thread count.
+    pub fn par_sub_select(
+        &self,
+        store: &ObjectStore,
+        pattern: &CompiledTreePattern,
+        cfg: &MatchConfig,
+        threads: usize,
+        guard: Option<&SharedGuard>,
+    ) -> Result<Vec<(usize, Tree)>> {
+        let per = exec::try_par_map_guarded(&self.members, threads, guard, |_, t, g| {
+            tree_ops::sub_select_guarded(store, t, pattern, cfg, g)
+        })
+        .map_err(|e| fleet_err(guard, e))?;
+        Ok(tag_flatten(per))
+    }
+
+    /// [`sub_select`](TreeSet::sub_select) from an *uncompiled* pattern:
+    /// compiled exactly once for the whole bulk call (optionally via a
+    /// cross-call [`PatternCache`]), never per member.
+    pub fn sub_select_pattern(
+        &self,
+        store: &ObjectStore,
+        class: ClassId,
+        pattern: &TreePattern,
+        cfg: &MatchConfig,
+        cache: Option<&PatternCache>,
+    ) -> Result<Vec<(usize, Tree)>> {
+        let compiled = compiled_tree(store, class, pattern, cache)?;
+        self.sub_select(store, &compiled, cfg)
+    }
+
+    /// Parallel form of [`sub_select_pattern`](TreeSet::sub_select_pattern):
+    /// one compilation, shared `&`-only across the worker fleet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn par_sub_select_pattern(
+        &self,
+        store: &ObjectStore,
+        class: ClassId,
+        pattern: &TreePattern,
+        cfg: &MatchConfig,
+        threads: usize,
+        guard: Option<&SharedGuard>,
+        cache: Option<&PatternCache>,
+    ) -> Result<Vec<(usize, Tree)>> {
+        let compiled = compiled_tree(store, class, pattern, cache)?;
+        self.par_sub_select(store, &compiled, cfg, threads, guard)
     }
 
     /// `split` mapped over members.
@@ -97,13 +263,41 @@ impl TreeSet {
         pattern: &CompiledTreePattern,
         cfg: &MatchConfig,
     ) -> Result<Vec<(usize, SplitPieces)>> {
+        self.split_guarded(store, pattern, cfg, None)
+    }
+
+    /// [`split`](TreeSet::split) under an optional execution guard.
+    pub fn split_guarded(
+        &self,
+        store: &ObjectStore,
+        pattern: &CompiledTreePattern,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+    ) -> Result<Vec<(usize, SplitPieces)>> {
         let mut out = Vec::new();
         for (i, t) in self.members.iter().enumerate() {
-            for p in split_pieces(store, t, pattern, cfg)? {
+            for p in split_pieces_guarded(store, t, pattern, cfg, guard)?.pieces {
                 out.push((i, p));
             }
         }
         Ok(out)
+    }
+
+    /// [`split`](TreeSet::split) on up to `threads` workers under an
+    /// optional fleet guard; same answer as serial, in member order.
+    pub fn par_split(
+        &self,
+        store: &ObjectStore,
+        pattern: &CompiledTreePattern,
+        cfg: &MatchConfig,
+        threads: usize,
+        guard: Option<&SharedGuard>,
+    ) -> Result<Vec<(usize, SplitPieces)>> {
+        let per = exec::try_par_map_guarded(&self.members, threads, guard, |_, t, g| {
+            Ok(split_pieces_guarded(store, t, pattern, cfg, g)?.pieces)
+        })
+        .map_err(|e| fleet_err(guard, e))?;
+        Ok(tag_flatten(per))
     }
 
     /// `apply` mapped over members (isomorphic rewrite of every tree).
@@ -114,6 +308,14 @@ impl TreeSet {
                 .iter()
                 .map(|t| tree_ops::apply(t, &mut f))
                 .collect(),
+        }
+    }
+
+    /// [`apply`](TreeSet::apply) on up to `threads` workers. Requires
+    /// `Fn` (not `FnMut`): the rewrite runs concurrently.
+    pub fn par_apply(&self, f: impl Fn(Oid) -> Oid + Sync, threads: usize) -> TreeSet {
+        TreeSet {
+            members: exec::par_map(&self.members, threads, |_, t| tree_ops::apply(t, &f)),
         }
     }
 }
@@ -182,6 +384,60 @@ impl ListSet {
             .collect()
     }
 
+    /// [`find_matches`](ListSet::find_matches) under an optional
+    /// execution guard.
+    pub fn find_matches_guarded(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        mode: MatchMode,
+        guard: Option<&ExecGuard>,
+    ) -> Result<Vec<(usize, ListMatch)>> {
+        let mut out = Vec::new();
+        for (i, l) in self.members.iter().enumerate() {
+            for m in list_ops::find_matches_guarded(store, l, pattern, mode, guard)? {
+                out.push((i, m));
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`find_matches`](ListSet::find_matches) on up to `threads`
+    /// workers under an optional fleet guard; results in member order,
+    /// byte-identical to serial.
+    pub fn par_find_matches(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        mode: MatchMode,
+        threads: usize,
+        guard: Option<&SharedGuard>,
+    ) -> Result<Vec<(usize, ListMatch)>> {
+        let per = exec::try_par_map_guarded(&self.members, threads, guard, |_, l, g| {
+            list_ops::find_matches_guarded(store, l, pattern, mode, g)
+        })
+        .map_err(|e| fleet_err(guard, e))?;
+        Ok(tag_flatten(per))
+    }
+
+    /// [`find_matches`](ListSet::find_matches) from an *uncompiled*
+    /// pattern: the NFA is built exactly once per bulk call (optionally
+    /// via a cross-call [`PatternCache`]), never per member.
+    #[allow(clippy::too_many_arguments)]
+    pub fn find_matches_pattern(
+        &self,
+        store: &ObjectStore,
+        class: ClassId,
+        re: &Re<Sym>,
+        anchor_start: bool,
+        anchor_end: bool,
+        mode: MatchMode,
+        cache: Option<&PatternCache>,
+    ) -> Result<Vec<(usize, ListMatch)>> {
+        let compiled = compiled_list(store, class, re, anchor_start, anchor_end, cache)?;
+        Ok(self.find_matches(store, &compiled, mode))
+    }
+
     /// `sub_select` mapped over members.
     pub fn sub_select(
         &self,
@@ -200,6 +456,59 @@ impl ListSet {
             .collect()
     }
 
+    /// [`sub_select`](ListSet::sub_select) under an optional execution
+    /// guard.
+    pub fn sub_select_guarded(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        mode: MatchMode,
+        guard: Option<&ExecGuard>,
+    ) -> Result<Vec<(usize, List)>> {
+        let mut out = Vec::new();
+        for (i, l) in self.members.iter().enumerate() {
+            for s in list_ops::sub_select_guarded(store, l, pattern, mode, guard)? {
+                out.push((i, s));
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`sub_select`](ListSet::sub_select) on up to `threads` workers
+    /// under an optional fleet guard; results in member order,
+    /// byte-identical to serial.
+    pub fn par_sub_select(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        mode: MatchMode,
+        threads: usize,
+        guard: Option<&SharedGuard>,
+    ) -> Result<Vec<(usize, List)>> {
+        let per = exec::try_par_map_guarded(&self.members, threads, guard, |_, l, g| {
+            list_ops::sub_select_guarded(store, l, pattern, mode, g)
+        })
+        .map_err(|e| fleet_err(guard, e))?;
+        Ok(tag_flatten(per))
+    }
+
+    /// [`sub_select`](ListSet::sub_select) from an *uncompiled* pattern,
+    /// compiled exactly once per bulk call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sub_select_pattern(
+        &self,
+        store: &ObjectStore,
+        class: ClassId,
+        re: &Re<Sym>,
+        anchor_start: bool,
+        anchor_end: bool,
+        mode: MatchMode,
+        cache: Option<&PatternCache>,
+    ) -> Result<Vec<(usize, List)>> {
+        let compiled = compiled_list(store, class, re, anchor_start, anchor_end, cache)?;
+        Ok(self.sub_select(store, &compiled, mode))
+    }
+
     /// Members containing at least one match — set-level `select` with a
     /// list-pattern predicate, the cross-bulk-type composition §1 asks
     /// for.
@@ -212,6 +521,23 @@ impl ListSet {
             })
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// [`select_members`](ListSet::select_members) on up to `threads`
+    /// workers; same members, same order.
+    pub fn par_select_members(
+        &self,
+        store: &ObjectStore,
+        pattern: &ListPattern,
+        threads: usize,
+    ) -> Vec<usize> {
+        exec::par_map(&self.members, threads, |_, l| {
+            !list_ops::find_matches(store, l, pattern, MatchMode::Nonoverlapping).is_empty()
+        })
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, hit)| hit.then_some(i))
+        .collect()
     }
 }
 
@@ -273,6 +599,102 @@ mod tests {
         }
         let mapped = set.apply(|o| o);
         assert_eq!(mapped.len(), 2);
+    }
+
+    #[test]
+    fn par_matches_serial_on_every_operator() {
+        let mut fx = TFx::new();
+        let set = TreeSet::from_trees(vec![
+            fx.tree("r(u x)"),
+            fx.tree("r(x)"),
+            fx.tree("u(u u)"),
+            fx.tree("x(u(x))"),
+        ]);
+        let cp = parse_tree_pattern("u", &fx.env())
+            .unwrap()
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let cfg = MatchConfig::default();
+        let serial = set.sub_select(&fx.store, &cp, &cfg).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = set
+                .par_sub_select(&fx.store, &cp, &cfg, threads, None)
+                .unwrap();
+            assert_eq!(par.len(), serial.len());
+            for ((i, a), (j, b)) in par.iter().zip(&serial) {
+                assert_eq!(i, j);
+                assert!(a.structural_eq(b));
+            }
+        }
+        let s_split = set.split(&fx.store, &cp, &cfg).unwrap();
+        let p_split = set.par_split(&fx.store, &cp, &cfg, 3, None).unwrap();
+        assert_eq!(s_split.len(), p_split.len());
+        for ((i, a), (j, b)) in s_split.iter().zip(&p_split) {
+            assert_eq!(i, j);
+            assert!(a.reassemble().structural_eq(&b.reassemble()));
+        }
+        let pred = PredExpr::eq("label", "u")
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let s_sel = set.select(&fx.store, &pred);
+        let p_sel = set.par_select(&fx.store, &pred, 4);
+        assert_eq!(s_sel.len(), p_sel.len());
+        for ((i, fa), (j, fb)) in s_sel.iter().zip(&p_sel) {
+            assert_eq!(i, j);
+            assert_eq!(fa.len(), fb.len());
+        }
+        let a = set.apply(|o| o);
+        let b = set.par_apply(|o| o, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.members().iter().zip(b.members()) {
+            assert!(x.structural_eq(y));
+        }
+    }
+
+    #[test]
+    fn pattern_entry_points_compile_once_via_cache() {
+        let mut fx = TFx::new();
+        let set = TreeSet::from_trees(vec![fx.tree("r(u)"), fx.tree("u(u)")]);
+        let pattern = parse_tree_pattern("u", &fx.env()).unwrap();
+        let cache = aqua_pattern::PatternCache::new();
+        let cfg = MatchConfig::default();
+        let a = set
+            .sub_select_pattern(&fx.store, fx.class, &pattern, &cfg, Some(&cache))
+            .unwrap();
+        let b = set
+            .par_sub_select_pattern(&fx.store, fx.class, &pattern, &cfg, 2, None, Some(&cache))
+            .unwrap();
+        assert_eq!(cache.misses(), 1, "one compile for both bulk calls");
+        assert_eq!(a.len(), b.len());
+        for ((i, x), (j, y)) in a.iter().zip(&b) {
+            assert_eq!(i, j);
+            assert!(x.structural_eq(y));
+        }
+    }
+
+    #[test]
+    fn par_fleet_budget_stops_bulk_call() {
+        use aqua_guard::{Budget, GuardError, Resource};
+        let mut fx = TFx::new();
+        // Enough members/nodes that a 10-step budget cannot finish.
+        let trees: Vec<_> = (0..6).map(|_| fx.tree("r(u(x u) x(u) u)")).collect();
+        let set = TreeSet::from_trees(trees);
+        let cp = parse_tree_pattern("u", &fx.env())
+            .unwrap()
+            .compile(fx.class, fx.store.class(fx.class))
+            .unwrap();
+        let shared = SharedGuard::new(Budget::unlimited().with_steps(10));
+        let err = set
+            .par_sub_select(&fx.store, &cp, &MatchConfig::default(), 3, Some(&shared))
+            .unwrap_err();
+        match err.as_guard() {
+            Some(GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                limit: 10,
+                progress,
+            }) => assert!(progress.steps > 10),
+            other => panic!("expected fleet budget verdict, got {other:?}"),
+        }
     }
 
     #[test]

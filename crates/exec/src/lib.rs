@@ -1,0 +1,71 @@
+//! # aqua-exec — parallel bulk execution
+//!
+//! The AQUA bulk operators are *stable*: result order is fixed by input
+//! order, never by evaluation order (paper §2). That makes mapping over
+//! the members of a `Set[Tree]` / `Set[List]` embarrassingly parallel —
+//! any schedule produces the same answer as the serial loop, as long as
+//! results are merged back in input order. This crate supplies that
+//! schedule:
+//!
+//! * [`pool`] — a hand-rolled scoped-thread work-stealing pool (the
+//!   workspace builds offline; no rayon). Members are sharded into
+//!   contiguous per-worker ranges; idle workers steal the back half of
+//!   the largest victim. Results carry their input index and are merged
+//!   by sorting on it, so parallel output is byte-identical to serial.
+//! * [`Parallelism`] — the knob callers and the optimizer thread
+//!   through: serial, a fixed degree, or auto (hardware parallelism).
+//!
+//! Guarded variants mint one worker [`ExecGuard`](aqua_guard::ExecGuard)
+//! per thread from a [`SharedGuard`](aqua_guard::SharedGuard), so one
+//! budget / cancel token spans the fleet and the first verdict stops
+//! every worker.
+
+pub mod pool;
+
+pub use pool::{par_map, try_par_map, try_par_map_guarded};
+
+/// Hardware parallelism available to this process (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// How many workers a bulk operator should use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker: the serial path, exactly as before.
+    Serial,
+    /// Use [`available_threads`].
+    #[default]
+    Auto,
+    /// An explicit worker count (clamped to ≥ 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolve to a concrete degree for `members` work items. Never more
+    /// workers than items, never fewer than one.
+    pub fn resolve(self, members: usize) -> usize {
+        let cap = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => available_threads(),
+            Parallelism::Fixed(n) => n.max(1),
+        };
+        cap.min(members.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_clamps() {
+        assert_eq!(Parallelism::Serial.resolve(100), 1);
+        assert_eq!(Parallelism::Fixed(8).resolve(3), 3);
+        assert_eq!(Parallelism::Fixed(0).resolve(3), 1);
+        assert_eq!(Parallelism::Fixed(2).resolve(0), 1);
+        assert!(Parallelism::Auto.resolve(64) >= 1);
+    }
+}

@@ -1,0 +1,323 @@
+//! The scoped-thread work-stealing pool.
+//!
+//! One pool invocation = one bulk operator call. Workers are
+//! `std::thread::scope` threads (they may borrow the store, the compiled
+//! pattern, the member slice — everything is shared `&`-only), sharded
+//! over contiguous index ranges. An idle worker steals the back half of
+//! a victim's remaining range, so skewed member costs still balance.
+//!
+//! Determinism contract: every produced result carries its input index
+//! and the merge sorts on it, so the output `Vec` is byte-identical to
+//! the serial loop's regardless of schedule. On failure the error
+//! reported is the one at the smallest input index any worker observed,
+//! and — when a [`SharedGuard`] is in play — guard verdicts are
+//! re-stamped with the fleet-wide merged [`Progress`](aqua_guard::Progress)
+//! by the caller via [`SharedGuard::verdict`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use aqua_guard::{ExecGuard, SharedGuard};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One worker's slice of the input: a half-open index range behind a
+/// mutex so thieves can carve off the back half. Uncontended in the
+/// common case — the lock is per-item, the work per item is a whole
+/// tree/list match.
+struct Shard {
+    range: Mutex<(usize, usize)>,
+}
+
+impl Shard {
+    fn new(lo: usize, hi: usize) -> Shard {
+        Shard {
+            range: Mutex::new((lo, hi)),
+        }
+    }
+
+    /// The owner takes the next item from the front.
+    fn pop(&self) -> Option<usize> {
+        let mut r = lock(&self.range);
+        if r.0 < r.1 {
+            let i = r.0;
+            r.0 += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// A thief takes the back half (rounded up) of what remains.
+    fn steal(&self) -> Option<(usize, usize)> {
+        let mut r = lock(&self.range);
+        let remaining = r.1 - r.0;
+        if remaining == 0 {
+            return None;
+        }
+        let take = remaining.div_ceil(2);
+        let stolen = (r.1 - take, r.1);
+        r.1 -= take;
+        Some(stolen)
+    }
+
+    fn install(&self, range: (usize, usize)) {
+        *lock(&self.range) = range;
+    }
+}
+
+/// One worker's run loop: drain own shard, then steal until the forest
+/// is exhausted or someone aborted.
+fn run_worker<T, R, E, F>(
+    me: usize,
+    shards: &[Shard],
+    items: &[T],
+    abort: &AtomicBool,
+    guard: Option<&ExecGuard>,
+    f: &F,
+) -> Result<Vec<(usize, R)>, (usize, E)>
+where
+    F: Fn(usize, &T, Option<&ExecGuard>) -> Result<R, E>,
+{
+    let mut out = Vec::new();
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let idx = match shards[me].pop() {
+            Some(i) => i,
+            None => {
+                let mut stolen = None;
+                for (v, shard) in shards.iter().enumerate() {
+                    if v == me {
+                        continue;
+                    }
+                    if let Some(range) = shard.steal() {
+                        stolen = Some(range);
+                        break;
+                    }
+                }
+                match stolen {
+                    // Run the first stolen item now, queue the rest.
+                    Some((lo, hi)) => {
+                        shards[me].install((lo + 1, hi));
+                        lo
+                    }
+                    None => break,
+                }
+            }
+        };
+        match f(idx, &items[idx], guard) {
+            Ok(r) => out.push((idx, r)),
+            Err(e) => {
+                abort.store(true, Ordering::Relaxed);
+                return Err((idx, e));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Map `f` over `items` on up to `threads` workers, merging results in
+/// input order, with an optional fleet guard. `f` receives the input
+/// index, the item, and this worker's guard (minted from `shared`).
+///
+/// With `threads <= 1` (or ≤ 1 item) no thread is spawned: the items run
+/// inline, still under a single worker guard when `shared` is given, so
+/// serial and parallel callers share one code path and one guard
+/// semantics.
+pub fn try_par_map_guarded<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    shared: Option<&SharedGuard>,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T, Option<&ExecGuard>) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let guard = shared.map(|s| s.worker());
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            let r = f(i, item, guard.as_ref());
+            if let Some(g) = &guard {
+                g.flush();
+            }
+            out.push(r?);
+        }
+        return Ok(out);
+    }
+
+    let shards: Vec<Shard> = (0..threads)
+        .map(|w| Shard::new(n * w / threads, n * (w + 1) / threads))
+        .collect();
+    let abort = AtomicBool::new(false);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let shards = &shards;
+            let abort = &abort;
+            let results = &results;
+            let first_err = &first_err;
+            let f = &f;
+            scope.spawn(move || {
+                let guard = shared.map(|s| s.worker());
+                let run = run_worker(me, shards, items, abort, guard.as_ref(), f);
+                if let Some(g) = &guard {
+                    g.flush();
+                }
+                match run {
+                    Ok(part) => lock(results).extend(part),
+                    Err((idx, e)) => {
+                        let mut slot = lock(first_err);
+                        // Keep the smallest-index failure: with abort
+                        // racing, that is the deterministic choice.
+                        match &*slot {
+                            Some((best, _)) if *best <= idx => {}
+                            _ => *slot = Some((idx, e)),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, e)) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+    let mut pairs = results.into_inner().unwrap_or_else(|p| p.into_inner());
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n, "no aborts, so every item produced");
+    Ok(pairs.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Fallible order-preserving parallel map, no guard.
+pub fn try_par_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    try_par_map_guarded(items, threads, None, |i, t, _| f(i, t))
+}
+
+/// Infallible order-preserving parallel map.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_par_map_guarded(items, threads, None, |i, t, _| {
+        Ok::<R, std::convert::Infallible>(f(i, t))
+    }) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_guard::{Budget, CancelToken, GuardError, Resource};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_costs_still_merge_in_order() {
+        // Front-loaded cost: without stealing this serializes on worker 0.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&items, 4, |_, &x| {
+            let spin = if x < 8 { 20_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k ^ x as u64);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn error_reports_smallest_index() {
+        let items: Vec<usize> = (0..100).collect();
+        let err =
+            try_par_map(&items, 4, |_, &x| if x % 10 == 0 { Err(x) } else { Ok(x) }).unwrap_err();
+        assert_eq!(err % 10, 0);
+        // Item 0 always fails before worker 0 does anything else.
+        assert_eq!(err, 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(par_map(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[42u8], 8, |_, &x| x), vec![42]);
+    }
+
+    #[test]
+    fn fleet_budget_stops_all_workers() {
+        let shared = SharedGuard::new(Budget::unlimited().with_steps(5_000));
+        let items: Vec<u64> = (0..64).collect();
+        let err = try_par_map_guarded(&items, 4, Some(&shared), |_, _, g| {
+            let g = g.expect("pool mints worker guards");
+            for _ in 0..10_000 {
+                g.step()?;
+            }
+            Ok::<(), GuardError>(())
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                ..
+            }
+        ));
+        let v = shared.verdict().expect("verdict recorded for the fleet");
+        assert!(v.progress().steps >= 5_000);
+    }
+
+    #[test]
+    fn cancellation_stops_the_fleet() {
+        let token = CancelToken::new();
+        token.cancel();
+        let shared = SharedGuard::cancellable(token);
+        let items: Vec<u64> = (0..16).collect();
+        let err = try_par_map_guarded(&items, 4, Some(&shared), |_, _, g| {
+            g.expect("worker guard").checkpoint()?;
+            Ok::<(), GuardError>(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, GuardError::Cancelled { .. }));
+    }
+
+    #[test]
+    fn serial_inline_path_matches_parallel() {
+        let items: Vec<u64> = (0..257).collect();
+        let a = par_map(&items, 1, |_, &x| x + 1);
+        let b = par_map(&items, 7, |_, &x| x + 1);
+        assert_eq!(a, b);
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`GuardError`] — the typed verdicts ([`GuardError::BudgetExceeded`],
 //!   [`GuardError::Timeout`], [`GuardError::Cancelled`]), each carrying a
 //!   [`Progress`] snapshot so callers can see how far execution got.
+//! * [`SharedGuard`] — the multi-worker form: one budget/token spanning a
+//!   fleet of worker [`ExecGuard`]s (one per thread). Workers batch step
+//!   accounting locally and sync into shared atomics every
+//!   [`CHECK_PERIOD`] steps, so the hot path stays contention-free; the
+//!   first verdict any worker reaches is adopted by every sibling at its
+//!   next checkpoint, and all snapshots merge fleet-wide totals.
 //!
 //! The [`failpoint`] module is a separate concern riding in the same
 //! crate: a tiny hand-rolled fault-injection registry that tests use to
@@ -28,8 +34,8 @@ pub mod failpoint;
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How many steps pass between wall-clock / cancellation checks.
@@ -200,6 +206,17 @@ impl GuardError {
             | GuardError::Cancelled { progress } => *progress,
         }
     }
+
+    /// The same verdict carrying a different progress snapshot — used to
+    /// re-stamp a worker's verdict with the fleet-wide merged totals.
+    pub fn with_progress(mut self, p: Progress) -> GuardError {
+        match &mut self {
+            GuardError::BudgetExceeded { progress, .. }
+            | GuardError::Timeout { progress, .. }
+            | GuardError::Cancelled { progress } => *progress = p,
+        }
+        self
+    }
 }
 
 impl fmt::Display for GuardError {
@@ -229,7 +246,8 @@ impl std::error::Error for GuardError {}
 /// [`CancelToken`]), passed by shared reference — interior mutability via
 /// `Cell` keeps call sites free of `&mut` threading. Not `Sync`:
 /// one guard belongs to one query on one thread; cross-thread control
-/// arrives through the token.
+/// arrives through the token, or — for fleets — through the
+/// [`SharedGuard`] this guard was minted from.
 #[derive(Debug)]
 pub struct ExecGuard {
     budget: Budget,
@@ -239,6 +257,14 @@ pub struct ExecGuard {
     results: Cell<u64>,
     /// Steps until the next clock/cancel check.
     fuse: Cell<u64>,
+    /// Fuse reload value: [`CHECK_PERIOD`] for standalone guards,
+    /// possibly smaller for workers of a tightly-budgeted fleet.
+    sync_period: u64,
+    /// The fleet this guard reports into, if minted by
+    /// [`SharedGuard::worker`].
+    shared: Option<Arc<SharedCore>>,
+    /// Local steps already flushed into the shared counter.
+    flushed: Cell<u64>,
 }
 
 impl ExecGuard {
@@ -251,6 +277,9 @@ impl ExecGuard {
             steps: Cell::new(0),
             results: Cell::new(0),
             fuse: Cell::new(CHECK_PERIOD),
+            sync_period: CHECK_PERIOD,
+            shared: None,
+            flushed: Cell::new(0),
         }
     }
 
@@ -267,13 +296,33 @@ impl ExecGuard {
         ExecGuard::with_cancel(Budget::unlimited(), token)
     }
 
-    /// Current progress snapshot.
+    /// Current progress snapshot. For a fleet worker this merges the
+    /// shared totals with the not-yet-flushed local steps.
     pub fn snapshot(&self) -> Progress {
-        Progress {
-            steps: self.steps.get(),
-            results: self.results.get(),
-            elapsed: self.start.elapsed(),
+        match &self.shared {
+            Some(core) => {
+                let pending = self.steps.get() - self.flushed.get();
+                Progress {
+                    steps: core.steps.load(Ordering::Relaxed) + pending,
+                    results: core.results.load(Ordering::Relaxed),
+                    elapsed: self.start.elapsed(),
+                }
+            }
+            None => Progress {
+                steps: self.steps.get(),
+                results: self.results.get(),
+                elapsed: self.start.elapsed(),
+            },
         }
+    }
+
+    /// Record a verdict in the fleet (if any) so siblings adopt it, and
+    /// hand it back for local propagation.
+    fn fail(&self, e: GuardError) -> GuardError {
+        if let Some(core) = &self.shared {
+            core.trip(e);
+        }
+        e
     }
 
     /// Account one unit of work (a node visit, a VM transition, a matcher
@@ -291,16 +340,16 @@ impl ExecGuard {
         self.steps.set(steps);
         if let Some(max) = self.budget.max_steps {
             if steps > max {
-                return Err(GuardError::BudgetExceeded {
+                return Err(self.fail(GuardError::BudgetExceeded {
                     resource: Resource::Steps,
                     limit: max,
                     progress: self.snapshot(),
-                });
+                }));
             }
         }
         let fuse = self.fuse.get();
         if fuse <= n {
-            self.fuse.set(CHECK_PERIOD);
+            self.fuse.set(self.sync_period);
             self.checkpoint()
         } else {
             self.fuse.set(fuse - n);
@@ -308,9 +357,24 @@ impl ExecGuard {
         }
     }
 
-    /// Account one produced result (a match, an output tree, …).
+    /// Account one produced result (a match, an output tree, …). Fleet
+    /// workers count into the shared total immediately — the output cap
+    /// is exact, never overshot by batching.
     #[inline]
     pub fn result_emitted(&self) -> Result<(), GuardError> {
+        if let Some(core) = &self.shared {
+            let total = core.results.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(max) = core.budget.max_results {
+                if total > max {
+                    return Err(self.fail(GuardError::BudgetExceeded {
+                        resource: Resource::Results,
+                        limit: max,
+                        progress: self.snapshot(),
+                    }));
+                }
+            }
+            return Ok(());
+        }
         let results = self.results.get() + 1;
         self.results.set(results);
         if let Some(max) = self.budget.max_results {
@@ -325,27 +389,194 @@ impl ExecGuard {
         Ok(())
     }
 
+    /// Flush any not-yet-synced local steps into the fleet totals.
+    /// No-op for standalone guards. Call when a worker finishes so the
+    /// final merged [`Progress`] accounts every step.
+    pub fn flush(&self) {
+        if let Some(core) = &self.shared {
+            let total = self.steps.get();
+            let pending = total - self.flushed.get();
+            if pending > 0 {
+                core.steps.fetch_add(pending, Ordering::Relaxed);
+                self.flushed.set(total);
+            }
+        }
+    }
+
     /// Force an immediate deadline + cancellation check, regardless of the
     /// step fuse. Called at coarse boundaries (per query root, per plan
     /// stage) where prompt cancellation matters more than raw throughput.
+    /// Fleet workers also flush their batched steps here, adopt any
+    /// sibling's verdict, and check the shared step budget.
     pub fn checkpoint(&self) -> Result<(), GuardError> {
+        if let Some(core) = &self.shared {
+            self.flush();
+            if core.tripped.load(Ordering::Acquire) {
+                if let Some(e) = core.verdict() {
+                    return Err(e.with_progress(self.snapshot()));
+                }
+            }
+            if let Some(max) = core.budget.max_steps {
+                if core.steps.load(Ordering::Relaxed) > max {
+                    return Err(self.fail(GuardError::BudgetExceeded {
+                        resource: Resource::Steps,
+                        limit: max,
+                        progress: self.snapshot(),
+                    }));
+                }
+            }
+        }
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
-                return Err(GuardError::Cancelled {
+                return Err(self.fail(GuardError::Cancelled {
                     progress: self.snapshot(),
-                });
+                }));
             }
         }
         if let Some(max) = self.budget.max_duration {
             let elapsed = self.start.elapsed();
             if elapsed > max {
-                return Err(GuardError::Timeout {
+                return Err(self.fail(GuardError::Timeout {
                     limit: max,
                     progress: self.snapshot(),
-                });
+                }));
             }
         }
         Ok(())
+    }
+}
+
+/// Shared innards of one fleet-wide guard.
+#[derive(Debug)]
+struct SharedCore {
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    start: Instant,
+    steps: AtomicU64,
+    results: AtomicU64,
+    /// First verdict reached by any worker; siblings adopt it.
+    verdict: Mutex<Option<GuardError>>,
+    /// Fast flag so checkpoints skip the mutex until something tripped.
+    tripped: AtomicBool,
+}
+
+impl SharedCore {
+    fn trip(&self, e: GuardError) {
+        let mut v = self.verdict.lock().unwrap_or_else(|p| p.into_inner());
+        if v.is_none() {
+            *v = Some(e);
+        }
+        drop(v);
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    fn verdict(&self) -> Option<GuardError> {
+        *self.verdict.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// One budget / cancel token spanning a fleet of workers.
+///
+/// Mint one worker [`ExecGuard`] per thread via
+/// [`worker`](SharedGuard::worker). Workers count steps into a local
+/// `Cell` and sync the batch into the shared atomic at every checkpoint
+/// (at most [`CHECK_PERIOD`] steps apart), so the per-step hot path never
+/// touches shared state; result caps are counted shared and exact. The
+/// step budget can therefore be overshot by at most
+/// `workers × min(CHECK_PERIOD, max_steps)` — bounded detection latency,
+/// same deal as the serial fuse. The first verdict any worker reaches
+/// (budget, deadline, cancellation) is recorded here and adopted by every
+/// sibling at its next checkpoint, so one trip stops the whole fleet;
+/// every reported [`Progress`] merges fleet-wide totals.
+///
+/// Clones share the same fleet state.
+#[derive(Debug, Clone)]
+pub struct SharedGuard {
+    core: Arc<SharedCore>,
+}
+
+impl SharedGuard {
+    /// Fleet guard with limits only.
+    pub fn new(budget: Budget) -> SharedGuard {
+        SharedGuard::build(budget, None)
+    }
+
+    /// Fleet guard with limits and a cancellation token.
+    pub fn with_cancel(budget: Budget, token: CancelToken) -> SharedGuard {
+        SharedGuard::build(budget, Some(token))
+    }
+
+    /// Fleet guard that only honours cancellation (no budget).
+    pub fn cancellable(token: CancelToken) -> SharedGuard {
+        SharedGuard::with_cancel(Budget::unlimited(), token)
+    }
+
+    fn build(budget: Budget, cancel: Option<CancelToken>) -> SharedGuard {
+        SharedGuard {
+            core: Arc::new(SharedCore {
+                budget,
+                cancel,
+                start: Instant::now(),
+                steps: AtomicU64::new(0),
+                results: AtomicU64::new(0),
+                verdict: Mutex::new(None),
+                tripped: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The budget every worker shares.
+    pub fn budget(&self) -> &Budget {
+        &self.core.budget
+    }
+
+    /// Mint a worker guard for one thread. The worker shares this
+    /// fleet's start instant (so deadlines are absolute, not per-worker)
+    /// and checks the *shared* step/result budgets; its own `Budget`
+    /// carries no local caps.
+    pub fn worker(&self) -> ExecGuard {
+        let core = &self.core;
+        // A fleet with a step budget tighter than the fuse syncs more
+        // often, so tiny budgets are detected promptly.
+        let sync_period = match core.budget.max_steps {
+            Some(m) => CHECK_PERIOD.min(m.max(1)),
+            None => CHECK_PERIOD,
+        };
+        ExecGuard {
+            budget: Budget {
+                max_steps: None,
+                max_results: None,
+                max_duration: core.budget.max_duration,
+            },
+            cancel: core.cancel.clone(),
+            start: core.start,
+            steps: Cell::new(0),
+            results: Cell::new(0),
+            fuse: Cell::new(sync_period),
+            sync_period,
+            shared: Some(Arc::clone(core)),
+            flushed: Cell::new(0),
+        }
+    }
+
+    /// Fleet-wide progress: totals flushed by the workers so far.
+    pub fn snapshot(&self) -> Progress {
+        Progress {
+            steps: self.core.steps.load(Ordering::Relaxed),
+            results: self.core.results.load(Ordering::Relaxed),
+            elapsed: self.core.start.elapsed(),
+        }
+    }
+
+    /// The first verdict any worker reached, re-stamped with the current
+    /// merged totals. `None` while nothing has tripped.
+    pub fn verdict(&self) -> Option<GuardError> {
+        if !self.core.tripped.load(Ordering::Acquire) {
+            return None;
+        }
+        self.core
+            .verdict()
+            .map(|e| e.with_progress(self.snapshot()))
     }
 }
 
@@ -476,6 +707,130 @@ mod tests {
             g.checkpoint().unwrap_err(),
             GuardError::Timeout { .. }
         ));
+    }
+
+    #[test]
+    fn shared_guard_merges_worker_steps() {
+        let shared = SharedGuard::new(Budget::unlimited());
+        let a = shared.worker();
+        let b = shared.worker();
+        for _ in 0..10 {
+            a.step().unwrap();
+        }
+        for _ in 0..7 {
+            b.step().unwrap();
+        }
+        // Nothing flushed yet (counts below the fuse), but worker
+        // snapshots see their own pending steps.
+        assert_eq!(a.snapshot().steps, 10);
+        a.flush();
+        b.flush();
+        assert_eq!(shared.snapshot().steps, 17);
+        // A worker snapshot now merges the fleet total.
+        assert_eq!(a.snapshot().steps, 17);
+    }
+
+    #[test]
+    fn shared_step_budget_trips_and_siblings_adopt() {
+        let shared =
+            SharedGuard::with_cancel(Budget::unlimited().with_steps(10), CancelToken::new());
+        let a = shared.worker();
+        let mut tripped = None;
+        for _ in 0..100 {
+            if let Err(e) = a.step() {
+                tripped = Some(e);
+                break;
+            }
+        }
+        let e = tripped.expect("tight fleet budget must trip");
+        assert!(matches!(
+            e,
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                limit: 10,
+                ..
+            }
+        ));
+        // A sibling that did no work adopts the verdict at its first
+        // checkpoint, with merged progress.
+        let b = shared.worker();
+        let adopted = b.checkpoint().unwrap_err();
+        assert!(matches!(
+            adopted,
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                ..
+            }
+        ));
+        assert!(adopted.progress().steps >= 10);
+        assert!(shared.verdict().is_some());
+    }
+
+    #[test]
+    fn shared_result_cap_is_exact() {
+        let shared = SharedGuard::new(Budget::unlimited().with_results(3));
+        let a = shared.worker();
+        let b = shared.worker();
+        a.result_emitted().unwrap();
+        b.result_emitted().unwrap();
+        a.result_emitted().unwrap();
+        let e = b.result_emitted().unwrap_err();
+        assert!(matches!(
+            e,
+            GuardError::BudgetExceeded {
+                resource: Resource::Results,
+                limit: 3,
+                ..
+            }
+        ));
+        assert_eq!(e.progress().results, 4);
+    }
+
+    #[test]
+    fn shared_cancellation_reaches_workers() {
+        let token = CancelToken::new();
+        let shared = SharedGuard::cancellable(token.clone());
+        let w = shared.worker();
+        w.checkpoint().unwrap();
+        token.cancel();
+        assert!(matches!(
+            w.checkpoint().unwrap_err(),
+            GuardError::Cancelled { .. }
+        ));
+        assert!(matches!(
+            shared.verdict(),
+            Some(GuardError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_guard_across_real_threads() {
+        let shared = SharedGuard::new(Budget::unlimited().with_steps(50_000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = shared.worker();
+                s.spawn(move || {
+                    loop {
+                        if g.step().is_err() {
+                            break;
+                        }
+                    }
+                    g.flush();
+                });
+            }
+        });
+        let v = shared.verdict().expect("fleet budget must trip");
+        assert!(matches!(
+            v,
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                ..
+            }
+        ));
+        // Bounded overshoot: at most workers × sync_period past the limit.
+        let total = shared.snapshot().steps;
+        assert!(total >= 50_000, "tripped early at {total}");
+        assert!(total <= 50_000 + 5 * CHECK_PERIOD, "overshoot: {total}");
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct CostModel {
     pub probe_step: f64,
     /// Selectivity assumed for a predicate with no statistics.
     pub default_selectivity: f64,
+    /// Cost of spawning one pool worker (scoped-thread startup plus its
+    /// share of the order-preserving merge). Parallelism only pays when
+    /// the per-worker slice of the scan dwarfs this.
+    pub worker_spawn: f64,
 }
 
 impl Default for CostModel {
@@ -27,6 +31,7 @@ impl Default for CostModel {
             pred_test: 1.0,
             probe_step: 2.0,
             default_selectivity: 0.1,
+            worker_spawn: 5_000.0,
         }
     }
 }
@@ -52,6 +57,20 @@ impl CostModel {
     pub fn probe_then_verify(&self, distinct: usize, hits: f64, pattern_size: usize) -> f64 {
         let probe = self.probe_step * (distinct.max(2) as f64).log2();
         probe + hits * (1.0 + pattern_size as f64 * self.pred_test)
+    }
+
+    /// How many pool workers a forest-wide bulk operator should use,
+    /// given the estimated cost of the whole (serial) scan. Parallelism
+    /// is granted one worker per [`worker_spawn`](CostModel::worker_spawn)
+    /// of estimated work, capped by the member count (a member is the
+    /// unit of sharding) and the caller's thread budget. Returns ≥ 1;
+    /// 1 means "stay serial".
+    pub fn parallel_degree(&self, members: usize, est_scan_cost: f64, max_threads: usize) -> usize {
+        if members <= 1 || max_threads <= 1 {
+            return 1;
+        }
+        let by_work = (est_scan_cost / self.worker_spawn.max(1.0)).floor() as usize;
+        by_work.clamp(1, max_threads.min(members))
     }
 }
 

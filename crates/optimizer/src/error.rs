@@ -21,6 +21,9 @@ pub enum OptError {
     Algebra(AlgebraError),
     /// A plan referenced an index the catalog no longer has.
     MissingIndex { attr: String },
+    /// A forest plan was executed with a catalog count that does not
+    /// match the member count (access methods are per member).
+    CatalogMismatch { members: usize, catalogs: usize },
     /// Execution was stopped by an execution guard (budget exhausted,
     /// deadline passed, or cancellation requested).
     Guard(GuardError),
@@ -50,6 +53,12 @@ impl fmt::Display for OptError {
                     "plan requires an index on {attr:?} that the catalog lacks"
                 )
             }
+            OptError::CatalogMismatch { members, catalogs } => {
+                write!(
+                    f,
+                    "forest execution needs one catalog per member: {members} members, {catalogs} catalogs"
+                )
+            }
             OptError::Guard(e) => write!(f, "{e}"),
         }
     }
@@ -62,6 +71,7 @@ impl std::error::Error for OptError {
             OptError::Object(e) => Some(e),
             OptError::Algebra(e) => Some(e),
             OptError::MissingIndex { .. } => None,
+            OptError::CatalogMismatch { .. } => None,
             OptError::Guard(e) => Some(e),
         }
     }

@@ -21,6 +21,10 @@ pub struct Explain {
     /// fault and execution fell back to the naive path. Empty when the
     /// chosen plan ran as planned.
     pub fallbacks: Vec<String>,
+    /// Worker count chosen for bulk (forest/set-wide) execution: 0 for
+    /// plans where parallelism was never considered, 1 for "considered,
+    /// stay serial", ≥ 2 for a parallel fleet.
+    pub parallelism: usize,
 }
 
 impl Explain {
@@ -54,6 +58,17 @@ impl Explain {
     pub fn fell_back(&self) -> bool {
         !self.fallbacks.is_empty()
     }
+
+    /// Record the chosen bulk-execution degree.
+    pub(crate) fn degree(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    /// The chosen bulk-execution degree (1 when parallelism was never
+    /// considered).
+    pub fn chosen_degree(&self) -> usize {
+        self.parallelism.max(1)
+    }
 }
 
 impl fmt::Display for Explain {
@@ -78,6 +93,15 @@ impl fmt::Display for Explain {
         if !self.chosen.is_empty() {
             sep(f)?;
             write!(f, "chosen: {}", self.chosen)?;
+        }
+        if self.parallelism > 0 {
+            sep(f)?;
+            write!(
+                f,
+                "parallelism: {} worker{}",
+                self.parallelism,
+                if self.parallelism == 1 { "" } else { "s" }
+            )?;
         }
         for fb in &self.fallbacks {
             sep(f)?;

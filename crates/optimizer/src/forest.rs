@@ -1,0 +1,110 @@
+//! Forest-wide planning: `sub_select` over a `Set[Tree]` with a chosen
+//! parallel degree.
+//!
+//! The per-member plan (naive scan vs indexed probe) is the §4 story
+//! unchanged; what a forest adds is a *degree* decision — how many pool
+//! workers the bulk call should use — made by
+//! [`CostModel::parallel_degree`](crate::CostModel::parallel_degree)
+//! from the estimated forest-wide scan cost, and recorded in
+//! [`Explain::parallelism`]. Execution shards members over the
+//! [`aqua_exec`] pool; because access methods are per member (a
+//! [`TreeNodeIndex`](aqua_store::TreeNodeIndex) covers one tree), the
+//! executor takes one [`Catalog`] per member. Index-probe faults degrade
+//! that member to the naive scan exactly as in the serial path, with the
+//! fallback recorded per member, in member order, whatever the schedule.
+
+use aqua_algebra::bulk::TreeSet;
+use aqua_algebra::Tree;
+use aqua_exec as exec;
+use aqua_guard::SharedGuard;
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::TreePattern;
+
+use crate::catalog::Catalog;
+use crate::error::{OptError, Result};
+use crate::explain::Explain;
+use crate::plan::TreePlan;
+use crate::Optimizer;
+
+/// A physical plan for `sub_select` over a forest: the per-member plan
+/// plus the chosen worker count.
+pub struct ForestPlan {
+    /// The per-member plan, shared `&`-only across workers.
+    pub plan: TreePlan,
+    /// Chosen worker count (1 = serial).
+    pub degree: usize,
+}
+
+impl Optimizer<'_> {
+    /// Plan `sub_select(pattern)` over a forest whose members have
+    /// `member_sizes` nodes, willing to use up to `max_threads` workers.
+    /// The representative catalog (this optimizer's) chooses the
+    /// per-member plan; the degree comes from the estimated forest-wide
+    /// cost. `Explain::parallelism` records the decision.
+    pub fn plan_forest_sub_select(
+        &self,
+        pattern: &TreePattern,
+        member_sizes: &[usize],
+        max_threads: usize,
+    ) -> Result<(ForestPlan, Explain)> {
+        let members = member_sizes.len();
+        let total: usize = member_sizes.iter().sum();
+        let avg = total.checked_div(members).map_or(1, |a| a.max(1));
+        let (plan, mut explain) = self.plan_tree_sub_select(pattern, avg)?;
+        let est_forest = plan.est_cost() * members as f64;
+        let degree = self.cost.parallel_degree(members, est_forest, max_threads);
+        explain.degree(degree);
+        Ok((ForestPlan { plan, degree }, explain))
+    }
+}
+
+/// Prefer the fleet's merged verdict over whichever worker's error won
+/// the race to the pool.
+fn fleet_err(guard: Option<&SharedGuard>, e: OptError) -> OptError {
+    match guard.and_then(|g| g.verdict()) {
+        Some(v) => OptError::Guard(v),
+        None => e,
+    }
+}
+
+impl ForestPlan {
+    /// Execute over `set`, one catalog per member (access methods are
+    /// per tree). Results are merged in member order — identical to the
+    /// serial loop for every degree — and per-member fallbacks are
+    /// recorded in `explain` in member order.
+    pub fn execute_guarded(
+        &self,
+        catalogs: &[Catalog<'_>],
+        set: &TreeSet,
+        cfg: &MatchConfig,
+        guard: Option<&SharedGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<(usize, Tree)>> {
+        if catalogs.len() != set.len() {
+            return Err(OptError::CatalogMismatch {
+                members: set.len(),
+                catalogs: catalogs.len(),
+            });
+        }
+        explain.degree(self.degree);
+        let per: Vec<(Vec<Tree>, Vec<String>)> =
+            exec::try_par_map_guarded(set.members(), self.degree, guard, |i, tree, g| {
+                let mut local = Explain::default();
+                let out = self
+                    .plan
+                    .execute_guarded(&catalogs[i], tree, cfg, g, &mut local)?;
+                Ok::<_, OptError>((out, local.fallbacks))
+            })
+            .map_err(|e| fleet_err(guard, e))?;
+        let mut out = Vec::new();
+        for (i, (trees, fallbacks)) in per.into_iter().enumerate() {
+            for why in fallbacks {
+                explain.fallback(format!("member {i}: {why}"));
+            }
+            for t in trees {
+                out.push((i, t));
+            }
+        }
+        Ok(out)
+    }
+}

@@ -30,6 +30,7 @@ pub mod catalog;
 pub mod cost;
 pub mod error;
 pub mod explain;
+pub mod forest;
 pub mod plan;
 pub mod rules;
 pub mod select_plan;
@@ -38,6 +39,7 @@ pub use catalog::Catalog;
 pub use cost::CostModel;
 pub use error::{OptError, Result};
 pub use explain::Explain;
+pub use forest::ForestPlan;
 pub use plan::{ListPlan, SetPlan, TreePlan};
 pub use select_plan::{plan_tree_select, TreeSelectPlan};
 

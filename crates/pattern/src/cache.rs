@@ -1,0 +1,204 @@
+//! A compiled-pattern cache.
+//!
+//! Compiling a pattern — resolving alphabet-predicates against the
+//! class, eliminating `∘_α`, building the child-list NFAs (trees) or the
+//! Pike-VM NFA (lists) — is pure per `(pattern, class)` and independent
+//! of the subject data, so a bulk operator over a `Set[Tree]` /
+//! `Set[List]` need compile each pattern exactly once, not once per
+//! member. [`PatternCache`] memoizes compilations behind `Arc`s: the
+//! serial loops reuse them across calls, and parallel workers share them
+//! `&`-only across threads (compiled patterns are plain data — no
+//! interior mutability).
+//!
+//! Keys are `(class, rendered pattern text)`: the `Display` forms of
+//! [`TreePattern`] and list regexes are round-trip faithful (anchors
+//! included), which makes them stable, hashable identities without
+//! requiring `Hash` on the ASTs themselves.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use aqua_object::{ClassDef, ClassId};
+
+use crate::ast::Re;
+use crate::error::Result;
+use crate::list::{ListPattern, Sym};
+use crate::tree_ast::{CompiledTreePattern, TreePattern};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Thread-safe memo of compiled tree and list patterns.
+///
+/// Shareable across threads (`Mutex` inside); misses compile under the
+/// lock, hits clone an `Arc`. Compilation is cheap relative to matching
+/// but not free — the win is structural: bulk calls stop paying it per
+/// member, repeated queries stop paying it at all.
+#[derive(Debug, Default)]
+pub struct PatternCache {
+    trees: Mutex<HashMap<(ClassId, String), Arc<CompiledTreePattern>>>,
+    lists: Mutex<HashMap<(ClassId, String), Arc<ListPattern>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PatternCache {
+    /// An empty cache.
+    pub fn new() -> PatternCache {
+        PatternCache::default()
+    }
+
+    /// The compiled form of `pattern` against `class`, compiling on
+    /// first sight.
+    pub fn tree(
+        &self,
+        pattern: &TreePattern,
+        class_id: ClassId,
+        class: &ClassDef,
+    ) -> Result<Arc<CompiledTreePattern>> {
+        let key = (class_id, pattern.to_string());
+        let mut map = lock(&self.trees);
+        if let Some(hit) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(pattern.compile(class_id, class)?);
+        map.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// The compiled form of the list pattern `(re, anchors)` against
+    /// `class`, compiling on first sight.
+    pub fn list(
+        &self,
+        re: &Re<Sym>,
+        anchor_start: bool,
+        anchor_end: bool,
+        class_id: ClassId,
+        class: &ClassDef,
+    ) -> Result<Arc<ListPattern>> {
+        let key = (
+            class_id,
+            format!(
+                "{}{re}{}",
+                if anchor_start { "^" } else { "" },
+                if anchor_end { "$" } else { "" }
+            ),
+        );
+        let mut map = lock(&self.lists);
+        if let Some(hit) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(ListPattern::compile(
+            re.clone(),
+            anchor_start,
+            anchor_end,
+            class_id,
+            class,
+        )?);
+        map.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compilations performed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct compiled patterns held.
+    pub fn len(&self) -> usize {
+        lock(&self.trees).len() + lock(&self.lists).len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+    use aqua_object::{AttrDef, AttrType, ObjectStore};
+
+    fn store_with_class() -> (ObjectStore, ClassId) {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(
+                ClassDef::new("N", vec![AttrDef::stored("label", AttrType::Str)]).unwrap(),
+            )
+            .unwrap();
+        (store, class)
+    }
+
+    #[test]
+    fn tree_patterns_compile_once() {
+        let (store, class) = store_with_class();
+        let env = PredEnv::with_default_attr("label");
+        let p = parse_tree_pattern("a(b c)", &env).unwrap();
+        let cache = PatternCache::new();
+        let c1 = cache.tree(&p, class, store.class(class)).unwrap();
+        let c2 = cache.tree(&p, class, store.class(class)).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn anchors_are_distinct_keys() {
+        let (store, class) = store_with_class();
+        let env = PredEnv::with_default_attr("label");
+        let plain = parse_tree_pattern("a", &env).unwrap();
+        let rooted = parse_tree_pattern("a", &env).unwrap().anchored_root();
+        let cache = PatternCache::new();
+        cache.tree(&plain, class, store.class(class)).unwrap();
+        cache.tree(&rooted, class, store.class(class)).unwrap();
+        assert_eq!(cache.misses(), 2);
+
+        let (re, _, _) = parse_list_pattern("[A B]", &env).unwrap();
+        let l1 = cache
+            .list(&re, false, false, class, store.class(class))
+            .unwrap();
+        let l2 = cache
+            .list(&re, true, false, class, store.class(class))
+            .unwrap();
+        let l3 = cache
+            .list(&re, false, false, class, store.class(class))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&l1, &l2));
+        assert!(Arc::ptr_eq(&l1, &l3));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let (store, class) = store_with_class();
+        let env = PredEnv::with_default_attr("label");
+        let p = parse_tree_pattern("x(y*)", &env).unwrap();
+        let cache = PatternCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (cache, p, store) = (&cache, &p, &store);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        cache.tree(p, class, store.class(class)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1, "one compilation across the fleet");
+        assert_eq!(cache.hits(), 39);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod alphabet;
 pub mod ast;
+pub mod cache;
 pub mod decompose;
 pub mod dfa;
 pub mod error;
@@ -35,6 +36,7 @@ pub mod tree_match;
 
 pub use alphabet::{CmpOp, Pred, PredExpr};
 pub use ast::Re;
+pub use cache::PatternCache;
 pub use error::{PatternError, Result};
 pub use list::{ListMatch, ListPattern, MatchMode};
 pub use tree_ast::{CcLabel, TreePat, TreePattern};

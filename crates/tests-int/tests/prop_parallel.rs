@@ -1,0 +1,336 @@
+//! Property suite: the parallel bulk operators are *observationally
+//! serial*. AQUA stability (§1) fixes result order by input order, so a
+//! fleet that shards members over workers and merges by member index
+//! must return byte-identical answers at every thread count — including
+//! under budget exhaustion, cancellation, and injected index faults.
+
+use std::sync::Mutex;
+
+use aqua_algebra::bulk::{ListSet, TreeSet};
+use aqua_algebra::tree::ops as tops;
+use aqua_guard::{failpoint, Budget, GuardError, SharedGuard};
+use aqua_object::AttrId;
+use aqua_optimizer::{Catalog, CostModel, Explain, Optimizer};
+use aqua_pattern::list::{ListPattern, MatchMode};
+use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_store::{ColumnStats, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::SongGen;
+use proptest::prelude::*;
+
+/// Thread counts swept by every equivalence property: inline serial,
+/// fewer workers than members, more workers than members.
+const THREADS: &[usize] = &[1, 2, 3, 8];
+
+/// The failpoint registry is process-global; serialize the tests that
+/// arm points so parallel test threads don't observe each other's
+/// faults.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tree fleet ≡ serial loop: `sub_select`, `split`, `select`, and
+    /// `apply` over a random forest, at every thread count.
+    #[test]
+    fn tree_fleet_is_observationally_serial(
+        seed in 0u64..5000,
+        nodes in 2usize..60,
+        members in 1usize..9,
+    ) {
+        let f = RandomTreeGen::new(seed)
+            .nodes(nodes)
+            .label_weights(&[("u", 1), ("x", 4)])
+            .generate_forest(members);
+        let set = TreeSet::from_trees(f.trees);
+        let env = PredEnv::with_default_attr("label");
+        let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+        let compiled = pattern.compile(f.class, f.store.class(f.class)).unwrap();
+        let cfg = MatchConfig::default();
+
+        let serial = set.sub_select(&f.store, &compiled, &cfg).unwrap();
+        let serial_split = set.split(&f.store, &compiled, &cfg).unwrap();
+        let pred = aqua_pattern::PredExpr::eq("label", "u")
+            .compile(f.class, f.store.class(f.class)).unwrap();
+        let serial_select = set.select(&f.store, &pred);
+        let serial_apply = set.apply(|o| o);
+
+        for &t in THREADS {
+            prop_assert_eq!(
+                &set.par_sub_select(&f.store, &compiled, &cfg, t, None).unwrap(),
+                &serial, "sub_select diverged at {} threads", t
+            );
+            let par_split = set.par_split(&f.store, &compiled, &cfg, t, None).unwrap();
+            prop_assert_eq!(par_split.len(), serial_split.len());
+            for ((ia, a), (ib, b)) in par_split.iter().zip(&serial_split) {
+                prop_assert_eq!(ia, ib);
+                prop_assert_eq!(&a.context, &b.context);
+                prop_assert_eq!(&a.matched, &b.matched);
+                prop_assert_eq!(&a.descendants, &b.descendants);
+            }
+            prop_assert_eq!(
+                &set.par_select(&f.store, &pred, t),
+                &serial_select, "select diverged at {} threads", t
+            );
+            let par_apply = set.par_apply(|o| o, t);
+            prop_assert_eq!(
+                par_apply.members(),
+                serial_apply.members(), "apply diverged at {} threads", t
+            );
+        }
+    }
+
+    /// List fleet ≡ serial loop: `find_matches`, `sub_select`, and
+    /// `select_members` over a random song set, at every thread count.
+    #[test]
+    fn list_fleet_is_observationally_serial(
+        seed in 0u64..5000,
+        notes in 4usize..80,
+        members in 1usize..9,
+    ) {
+        let d = SongGen::new(seed)
+            .notes(notes)
+            .plant(vec!["A", "B"], 2)
+            .generate_set(members);
+        let set = ListSet::from_lists(d.songs);
+        let env = PredEnv::with_default_attr("pitch");
+        let (re, s, e) = parse_list_pattern("[A B]", &env).unwrap();
+        let p = ListPattern::compile(re, s, e, d.class, d.store.class(d.class)).unwrap();
+
+        let serial_fm = set.find_matches(&d.store, &p, MatchMode::All);
+        let serial_ss = set.sub_select(&d.store, &p, MatchMode::Nonoverlapping);
+        let serial_sm = set.select_members(&d.store, &p);
+
+        for &t in THREADS {
+            prop_assert_eq!(
+                &set.par_find_matches(&d.store, &p, MatchMode::All, t, None).unwrap(),
+                &serial_fm, "find_matches diverged at {} threads", t
+            );
+            prop_assert_eq!(
+                &set.par_sub_select(&d.store, &p, MatchMode::Nonoverlapping, t, None).unwrap(),
+                &serial_ss, "sub_select diverged at {} threads", t
+            );
+            prop_assert_eq!(
+                &set.par_select_members(&d.store, &p, t),
+                &serial_sm, "select_members diverged at {} threads", t
+            );
+        }
+    }
+
+    /// A pre-cancelled fleet terminates with `Cancelled` at every thread
+    /// count, and the merged progress snapshot is coherent (bounded by
+    /// the total work the forest could ever cost).
+    #[test]
+    fn cancelled_fleet_terminates_with_typed_error(
+        seed in 0u64..1000,
+        members in 1usize..7,
+        threads in 1usize..9,
+    ) {
+        let f = RandomTreeGen::new(seed).nodes(40).generate_forest(members);
+        let set = TreeSet::from_trees(f.trees);
+        let env = PredEnv::with_default_attr("label");
+        let pattern = parse_tree_pattern("a(?*)", &env).unwrap();
+        let compiled = pattern.compile(f.class, f.store.class(f.class)).unwrap();
+
+        let token = aqua_guard::CancelToken::new();
+        token.cancel();
+        let fleet = SharedGuard::cancellable(token);
+        let err = set
+            .par_sub_select(&f.store, &compiled, &MatchConfig::default(), threads, Some(&fleet))
+            .expect_err("pre-cancelled fleet must not produce a result");
+        match err.as_guard() {
+            Some(GuardError::Cancelled { .. }) => {}
+            other => prop_assert!(false, "expected Cancelled, got {:?}", other),
+        }
+    }
+
+    /// A tiny step budget over a large forest terminates with
+    /// `BudgetExceeded`, and the merged progress is coherent: at least
+    /// the limit was spent, and the overshoot is bounded by one batched
+    /// flush per worker — not by forest size.
+    #[test]
+    fn exhausted_fleet_reports_merged_progress(
+        seed in 0u64..1000,
+        threads in 1usize..9,
+    ) {
+        const LIMIT: u64 = 64;
+        let f = RandomTreeGen::new(seed).nodes(400).generate_forest(8);
+        let set = TreeSet::from_trees(f.trees);
+        let env = PredEnv::with_default_attr("label");
+        let pattern = parse_tree_pattern("?(?*)", &env).unwrap();
+        let compiled = pattern.compile(f.class, f.store.class(f.class)).unwrap();
+
+        let fleet = SharedGuard::new(Budget::unlimited().with_steps(LIMIT));
+        let err = set
+            .par_sub_select(&f.store, &compiled, &MatchConfig::default(), threads, Some(&fleet))
+            .expect_err("64 steps cannot cover a 3200-node forest");
+        match err.as_guard() {
+            Some(GuardError::BudgetExceeded { limit, progress, .. }) => {
+                prop_assert_eq!(*limit, LIMIT);
+                prop_assert!(progress.steps >= LIMIT, "merged steps {} < limit", progress.steps);
+                // Each worker checks its guard at least every
+                // `sync_period = min(CHECK_PERIOD, LIMIT)` = 64 steps.
+                let bound = LIMIT + 8 * LIMIT;
+                prop_assert!(
+                    progress.steps <= bound,
+                    "overshoot unbounded: {} > {}", progress.steps, bound
+                );
+            }
+            other => prop_assert!(false, "expected BudgetExceeded, got {:?}", other),
+        }
+    }
+}
+
+/// Build one `TreeNodeIndex`-backed catalog per forest member.
+fn per_member_catalogs<'a>(
+    store: &'a aqua_object::ObjectStore,
+    class: aqua_object::ClassId,
+    idxs: &'a [TreeNodeIndex],
+    stats: &'a ColumnStats,
+) -> Vec<Catalog<'a>> {
+    idxs.iter()
+        .map(|idx| {
+            let mut c = Catalog::new(store, class);
+            c.add_tree_index(idx).add_stats(stats);
+            c
+        })
+        .collect()
+}
+
+/// An indexed forest plan under an injected index fault: every member
+/// degrades to the naive scan, the merged answer equals the serial naive
+/// answer, and `Explain` records both the parallel degree and the
+/// per-member fallbacks.
+#[test]
+fn parallel_indexed_plan_degrades_on_index_fault() {
+    let _serial = lock();
+    let f = RandomTreeGen::new(17)
+        .nodes(600)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate_forest(6);
+    let set = TreeSet::from_trees(f.trees);
+    let idxs: Vec<TreeNodeIndex> = set
+        .members()
+        .iter()
+        .map(|t| TreeNodeIndex::build(&f.store, t, f.class, AttrId(0)))
+        .collect();
+    let stats = ColumnStats::build(&f.store, f.class, AttrId(0));
+    let cats = per_member_catalogs(&f.store, f.class, &idxs, &stats);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+
+    // A near-zero spawn cost forces a real fleet so the fault is hit
+    // from worker threads, not the inline path.
+    let cost = CostModel {
+        worker_spawn: 0.001,
+        ..CostModel::default()
+    };
+    let opt = Optimizer::with_cost_model(&cats[0], cost);
+    let sizes: Vec<usize> = set.members().iter().map(|t| t.len()).collect();
+    let (plan, planned) = opt.plan_forest_sub_select(&pattern, &sizes, 8).unwrap();
+    assert!(
+        plan.plan.is_indexed(),
+        "skewed labels should favour the index"
+    );
+    assert!(
+        planned.chosen_degree() >= 2,
+        "want a fleet: {}",
+        planned.chosen_degree()
+    );
+
+    let compiled = pattern.compile(f.class, f.store.class(f.class)).unwrap();
+    let naive: Vec<(usize, aqua_algebra::Tree)> = set
+        .members()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, t)| {
+            tops::sub_select(&f.store, t, &compiled, &cfg)
+                .unwrap()
+                .into_iter()
+                .map(move |m| (i, m))
+        })
+        .collect();
+
+    let mut explain = Explain::default();
+    let _fp = failpoint::scoped(aqua_store::TREE_INDEX_PROBE, "tree index probe down");
+    let got = plan
+        .execute_guarded(&cats, &set, &cfg, None, &mut explain)
+        .expect("fault must degrade, not fail");
+    assert_eq!(
+        got, naive,
+        "degraded fleet must equal the serial naive answer"
+    );
+    assert!(explain.fell_back());
+    assert!(
+        explain.parallelism >= 2,
+        "explain records the fleet: {}",
+        explain.parallelism
+    );
+    // Fallbacks are merged in member order whatever the schedule.
+    let tagged: Vec<usize> = explain
+        .fallbacks
+        .iter()
+        .map(|s| {
+            s.strip_prefix("member ")
+                .and_then(|r| r.split(':').next())
+                .and_then(|n| n.parse().ok())
+                .expect("fallback tagged with member index")
+        })
+        .collect();
+    let mut sorted = tagged.clone();
+    sorted.sort_unstable();
+    assert_eq!(tagged, sorted, "fallbacks in member order: {tagged:?}");
+    assert_eq!(tagged.len(), set.len(), "every member degraded once");
+}
+
+/// The same indexed forest plan without a fault: identical answer, no
+/// fallbacks — and re-running it at several degrees never changes a byte.
+#[test]
+fn forest_plan_is_deterministic_across_degrees() {
+    let _serial = lock();
+    let f = RandomTreeGen::new(23)
+        .nodes(300)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate_forest(5);
+    let set = TreeSet::from_trees(f.trees);
+    let idxs: Vec<TreeNodeIndex> = set
+        .members()
+        .iter()
+        .map(|t| TreeNodeIndex::build(&f.store, t, f.class, AttrId(0)))
+        .collect();
+    let stats = ColumnStats::build(&f.store, f.class, AttrId(0));
+    let cats = per_member_catalogs(&f.store, f.class, &idxs, &stats);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let opt = Optimizer::new(&cats[0]);
+    let sizes: Vec<usize> = set.members().iter().map(|t| t.len()).collect();
+
+    let mut reference: Option<Vec<(usize, aqua_algebra::Tree)>> = None;
+    for max_threads in [1usize, 2, 8] {
+        let (mut plan, _) = opt
+            .plan_forest_sub_select(&pattern, &sizes, max_threads)
+            .unwrap();
+        // Pin the degree directly too, so the sweep covers real fleets
+        // even where the cost model would stay serial.
+        plan.degree = max_threads;
+        let mut explain = Explain::default();
+        let got = plan
+            .execute_guarded(&cats, &set, &cfg, None, &mut explain)
+            .unwrap();
+        assert!(!explain.fell_back(), "no fault, no fallback");
+        assert_eq!(explain.chosen_degree(), max_threads);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "degree {max_threads} diverged"),
+        }
+    }
+}

@@ -24,6 +24,16 @@ pub struct SongDataset {
     pub planted: Vec<usize>,
 }
 
+/// A multi-song dataset sharing one store — the §6 "large number of
+/// songs" shape the `Set[List]` bulk operators scan.
+pub struct SongSetDataset {
+    pub store: ObjectStore,
+    pub class: ClassId,
+    pub songs: Vec<List>,
+    /// Per-song start positions where the melody was planted.
+    pub planted: Vec<Vec<usize>>,
+}
+
 /// Song generator.
 pub struct SongGen {
     seed: u64,
@@ -74,6 +84,40 @@ impl SongGen {
             .define_class(Self::class_def())
             .expect("fresh store has no class clash");
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let (song, planted) = self.gen_song(&mut store, &mut rng);
+        SongDataset {
+            store,
+            class,
+            song,
+            planted,
+        }
+    }
+
+    /// Generate `members` songs (each of the configured length, each
+    /// with its own plantings) sharing one store. Deterministic under
+    /// the seed.
+    pub fn generate_set(&self, members: usize) -> SongSetDataset {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(Self::class_def())
+            .expect("fresh store has no class clash");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut songs = Vec::with_capacity(members);
+        let mut planted = Vec::with_capacity(members);
+        for _ in 0..members {
+            let (song, sites) = self.gen_song(&mut store, &mut rng);
+            songs.push(song);
+            planted.push(sites);
+        }
+        SongSetDataset {
+            store,
+            class,
+            songs,
+            planted,
+        }
+    }
+
+    fn gen_song(&self, store: &mut ObjectStore, rng: &mut StdRng) -> (List, Vec<usize>) {
         let mut pitches: Vec<String> = (0..self.notes)
             .map(|_| PITCHES[rng.gen_range(0..PITCHES.len())].to_owned())
             .collect();
@@ -113,12 +157,7 @@ impl SongGen {
                 .expect("row matches schema");
             song.push(oid);
         }
-        SongDataset {
-            store,
-            class,
-            song,
-            planted,
-        }
+        (song, planted)
     }
 }
 
@@ -162,6 +201,22 @@ mod tests {
         for site in &d.planted {
             assert!(starts.contains(site), "missing planted site {site}");
         }
+    }
+
+    #[test]
+    fn song_set_shares_one_store() {
+        let d = SongGen::new(6)
+            .notes(40)
+            .plant(vec!["A", "B", "C"], 2)
+            .generate_set(5);
+        assert_eq!(d.songs.len(), 5);
+        assert_eq!(d.planted.len(), 5);
+        assert_eq!(d.store.extent(d.class).len(), 200);
+        let e = SongGen::new(6)
+            .notes(40)
+            .plant(vec!["A", "B", "C"], 2)
+            .generate_set(5);
+        assert_eq!(d.planted, e.planted, "deterministic under seed");
     }
 
     #[test]

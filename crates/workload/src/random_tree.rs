@@ -17,6 +17,22 @@ pub struct TreeDataset {
     pub tree: Tree,
 }
 
+/// A generated forest dataset: many member trees (each of the
+/// generator's configured size) sharing one store — the `Set[Tree]`
+/// shape the parallel bulk operators scan.
+pub struct ForestDataset {
+    pub store: ObjectStore,
+    pub class: ClassId,
+    pub trees: Vec<Tree>,
+}
+
+impl ForestDataset {
+    /// Total node count across all members.
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.len()).sum()
+    }
+}
+
 /// Random-tree generator. Node objects have two stored attributes:
 /// `label: Str` drawn from the weighted alphabet and `num: Int` drawn
 /// uniformly from `0..num_range`.
@@ -98,11 +114,33 @@ impl RandomTreeGen {
             .define_class(Self::class_def())
             .expect("fresh store has no class clash");
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let tree = self.gen_tree(&mut store, &mut rng);
+        TreeDataset { store, class, tree }
+    }
 
+    /// Generate a forest of `members` trees (each of the configured node
+    /// count) sharing one store. Deterministic under the seed.
+    pub fn generate_forest(&self, members: usize) -> ForestDataset {
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(Self::class_def())
+            .expect("fresh store has no class clash");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let trees = (0..members)
+            .map(|_| self.gen_tree(&mut store, &mut rng))
+            .collect();
+        ForestDataset {
+            store,
+            class,
+            trees,
+        }
+    }
+
+    fn gen_tree(&self, store: &mut ObjectStore, rng: &mut StdRng) -> Tree {
         // Create node objects.
         let oids: Vec<Oid> = (0..self.nodes)
             .map(|_| {
-                let label = self.pick_label(&mut rng).to_owned();
+                let label = self.pick_label(rng).to_owned();
                 let num = rng.gen_range(0..self.num_range);
                 store
                     .insert_named(
@@ -140,10 +178,8 @@ impl RandomTreeGen {
                 .collect();
             built[i] = Some(b.node(oids[i], kids));
         }
-        let tree = b
-            .finish(built[0].expect("root built"))
-            .expect("generated tree is well-formed");
-        TreeDataset { store, class, tree }
+        b.finish(built[0].expect("root built"))
+            .expect("generated tree is well-formed")
     }
 }
 
@@ -183,6 +219,19 @@ mod tests {
             .count();
         // ~1% of 2000 = 20; allow generous slack.
         assert!(rare > 3 && rare < 70, "rare = {rare}");
+    }
+
+    #[test]
+    fn forest_shares_one_store() {
+        let f = RandomTreeGen::new(9).nodes(50).generate_forest(6);
+        assert_eq!(f.trees.len(), 6);
+        assert_eq!(f.total_nodes(), 300);
+        assert_eq!(f.store.extent(f.class).len(), 300);
+        // Deterministic under seed, member by member.
+        let g = RandomTreeGen::new(9).nodes(50).generate_forest(6);
+        for (a, b) in f.trees.iter().zip(&g.trees) {
+            assert!(a.structural_eq(b));
+        }
     }
 
     #[test]
