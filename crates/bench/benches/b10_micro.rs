@@ -6,13 +6,15 @@
 //!
 //! Uses the in-repo [`aqua_bench::timing`] harness (median-of-N wall
 //! time) rather than an external benchmark framework, so the workspace
-//! builds offline.
+//! builds offline. `AQUA_BENCH_QUICK` shrinks the iteration count for
+//! the CI gate; `AQUA_BENCH_JSON=<path>` dumps the rows as flat JSON
+//! for `bench_gate`.
 
 use std::hint::black_box;
 
-use aqua_bench::timing::{ms, time_median};
+use aqua_bench::timing::{ms, time_median, Timed};
 use aqua_bench::Table;
-use aqua_guard::{Budget, ExecGuard, SharedGuard};
+use aqua_guard::{Budget, ExecGuard, Metrics, SharedGuard};
 use aqua_object::AttrId;
 use aqua_pattern::list::{ListPattern, MatchMode, Sym};
 use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
@@ -21,9 +23,47 @@ use aqua_pattern::{CcLabel, PredExpr};
 use aqua_workload::random_tree::RandomTreeGen;
 use aqua_workload::SongGen;
 
-const ITERS: usize = 20;
+/// Table plus the machine-readable rows behind it.
+struct Out {
+    table: Table,
+    rows: Vec<(&'static str, Timed)>,
+    iters: usize,
+}
 
-fn bench_pred_eval(table: &mut Table) {
+impl Out {
+    fn new() -> Out {
+        Out {
+            table: Table::new(&["operation", "median ms"]),
+            rows: Vec::new(),
+            iters: aqua_bench::iters_for(20, 5),
+        }
+    }
+
+    fn row(&mut self, name: &'static str, t: Timed) {
+        self.table.row(vec![name.into(), ms(t)]);
+        self.rows.push((name, t));
+    }
+
+    fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"b10_micro\",\n");
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str("  \"rows\": [\n");
+        for (i, (name, t)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"bench\":\"b10\",\"name\":\"{name}\",\"median_ms\":{:.4},\"result_size\":{}}}{comma}\n",
+                t.secs * 1e3,
+                t.result_size
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn bench_pred_eval(out: &mut Out) {
     let d = SongGen::new(1).notes(1).generate();
     let oid = d.song.oids()[0];
     let pred = PredExpr::eq("pitch", "A")
@@ -31,7 +71,7 @@ fn bench_pred_eval(table: &mut Table) {
         .compile(d.class, d.store.class(d.class))
         .unwrap();
     // One predicate evaluation is nanoseconds; time a 100k batch.
-    let t = time_median(ITERS, || {
+    let t = time_median(out.iters, || {
         let mut hits = 0usize;
         for _ in 0..100_000 {
             if pred.eval(&d.store, black_box(oid)) {
@@ -40,24 +80,24 @@ fn bench_pred_eval(table: &mut Table) {
         }
         hits
     });
-    table.row(vec!["alphabet_predicate_eval_100k".into(), ms(t)]);
+    out.row("alphabet_predicate_eval_100k", t);
 }
 
-fn bench_list_scan(table: &mut Table) {
+fn bench_list_scan(out: &mut Out) {
     let d = SongGen::new(2).notes(10_000).generate();
     let re = Sym::pred(PredExpr::eq("pitch", "A"))
         .then(Sym::any())
         .then(Sym::pred(PredExpr::eq("pitch", "F")));
     let p = ListPattern::unanchored(re, d.class, d.store.class(d.class)).unwrap();
     let oids = d.song.oids();
-    let t = time_median(ITERS, || {
+    let t = time_median(out.iters, || {
         p.find_matches(&d.store, &oids, MatchMode::Nonoverlapping)
             .len()
     });
-    table.row(vec!["pike_vm_scan_10k_notes".into(), ms(t)]);
+    out.row("pike_vm_scan_10k_notes", t);
 }
 
-fn bench_concat(table: &mut Table) {
+fn bench_concat(out: &mut Out) {
     let d = RandomTreeGen::new(3).nodes(1000).generate();
     let ctx = aqua_algebra::tree::split::split_pieces(
         &d.store,
@@ -72,23 +112,23 @@ fn bench_concat(table: &mut Table) {
     .into_iter()
     .nth(1)
     .expect("a non-root match exists");
-    let t = time_median(ITERS, || {
+    let t = time_median(out.iters, || {
         aqua_algebra::tree::concat::concat_at(&ctx.context, black_box(&ctx.alpha), &ctx.matched)
             .len()
     });
-    table.row(vec!["concat_at_1k_node_context".into(), ms(t)]);
+    out.row("concat_at_1k_node_context", t);
     let _ = CcLabel::new("keep-import");
 }
 
-fn bench_subtree_copy(table: &mut Table) {
+fn bench_subtree_copy(out: &mut Out) {
     let d = RandomTreeGen::new(4).nodes(5000).generate();
-    let t = time_median(ITERS, || {
+    let t = time_median(out.iters, || {
         aqua_algebra::tree::concat::subtree(&d.tree, d.tree.root()).len()
     });
-    table.row(vec!["subtree_copy_5k_nodes".into(), ms(t)]);
+    out.row("subtree_copy_5k_nodes", t);
 }
 
-fn bench_bool_match(table: &mut Table) {
+fn bench_bool_match(out: &mut Out) {
     let d = RandomTreeGen::new(5)
         .nodes(2000)
         .label_weights(&[("d", 1), ("a", 5), ("x", 14)])
@@ -97,7 +137,7 @@ fn bench_bool_match(table: &mut Table) {
         .unwrap()
         .compile(d.class, d.store.class(d.class))
         .unwrap();
-    let t = time_median(ITERS, || {
+    let t = time_median(out.iters, || {
         let mut m = TreeMatcher::new(&cp, &d.tree, &d.store);
         let mut hits = 0usize;
         for n in 0..2000u32 {
@@ -107,15 +147,18 @@ fn bench_bool_match(table: &mut Table) {
         }
         black_box(hits)
     });
-    table.row(vec!["tree_bool_match_all_nodes_2k".into(), ms(t)]);
+    out.row("tree_bool_match_all_nodes_2k", t);
     let _ = AttrId(0);
 }
 
-/// Guard accounting overhead on the serial path (PR 2 satellite): the
-/// same `sub_select` scan with no guard, with a disarmed (unlimited)
-/// `ExecGuard`, and with a `SharedGuard` worker. Batched step accounting
-/// means all three should be within noise of each other.
-fn bench_guard_overhead(table: &mut Table) {
+/// Guard accounting overhead on the serial path (PR 2 satellite), now
+/// with the observability layer in the picture: the same `sub_select`
+/// scan with no guard, with a disarmed (metrics-free) `ExecGuard`, with
+/// a `SharedGuard` worker, and with a metrics-armed guard. Batched step
+/// accounting plus the hoisted `Option<&Metrics>` probe mean the first
+/// three should be within noise of each other; the armed row prices the
+/// relaxed atomic adds.
+fn bench_guard_overhead(out: &mut Out) {
     let d = RandomTreeGen::new(6)
         .nodes(5000)
         .label_weights(&[("d", 1), ("x", 9)])
@@ -126,38 +169,51 @@ fn bench_guard_overhead(table: &mut Table) {
         .unwrap();
     let cfg = aqua_pattern::tree_match::MatchConfig::first_per_root();
 
-    let none = time_median(ITERS, || {
+    let none = time_median(out.iters, || {
         aqua_algebra::tree::ops::sub_select(&d.store, &d.tree, &cp, &cfg)
             .unwrap()
             .len()
     });
-    table.row(vec!["sub_select_5k_no_guard".into(), ms(none)]);
+    out.row("sub_select_5k_no_guard", none);
 
     let disarmed = ExecGuard::new(Budget::unlimited());
-    let t = time_median(ITERS, || {
+    let t = time_median(out.iters, || {
         aqua_algebra::tree::ops::sub_select_guarded(&d.store, &d.tree, &cp, &cfg, Some(&disarmed))
             .unwrap()
             .len()
     });
-    table.row(vec!["sub_select_5k_disarmed_guard".into(), ms(t)]);
+    out.row("sub_select_5k_disarmed_guard", t);
 
     let fleet = SharedGuard::new(Budget::unlimited());
     let worker = fleet.worker();
-    let t = time_median(ITERS, || {
+    let t = time_median(out.iters, || {
         aqua_algebra::tree::ops::sub_select_guarded(&d.store, &d.tree, &cp, &cfg, Some(&worker))
             .unwrap()
             .len()
     });
-    table.row(vec!["sub_select_5k_shared_worker".into(), ms(t)]);
+    out.row("sub_select_5k_shared_worker", t);
+
+    let armed = ExecGuard::new(Budget::unlimited()).with_metrics(Metrics::new());
+    let t = time_median(out.iters, || {
+        aqua_algebra::tree::ops::sub_select_guarded(&d.store, &d.tree, &cp, &cfg, Some(&armed))
+            .unwrap()
+            .len()
+    });
+    out.row("sub_select_5k_armed_metrics", t);
 }
 
 fn main() {
-    let mut table = Table::new(&["operation", "median ms"]);
-    bench_pred_eval(&mut table);
-    bench_list_scan(&mut table);
-    bench_concat(&mut table);
-    bench_subtree_copy(&mut table);
-    bench_bool_match(&mut table);
-    bench_guard_overhead(&mut table);
-    table.print("B10 — primitive operation micro-benchmarks");
+    let mut out = Out::new();
+    bench_pred_eval(&mut out);
+    bench_list_scan(&mut out);
+    bench_concat(&mut out);
+    bench_subtree_copy(&mut out);
+    bench_bool_match(&mut out);
+    bench_guard_overhead(&mut out);
+    out.table
+        .print("B10 — primitive operation micro-benchmarks");
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        std::fs::write(&path, out.json()).expect("write AQUA_BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
 }

@@ -10,7 +10,9 @@
 //! interesting number is the overhead, which should stay within noise.
 //!
 //! Set `AQUA_BENCH_JSON=<path>` to also write the rows as a JSON
-//! baseline (see `BENCH_baseline.json` at the repo root).
+//! baseline (see `BENCH_baseline.json` at the repo root), and
+//! `AQUA_BENCH_QUICK` for the CI profile: fewer iterations and a
+//! `[1, 4]` thread sweep, same workload sizes.
 
 use std::fmt::Write as _;
 
@@ -22,8 +24,17 @@ use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
 use aqua_pattern::tree_match::MatchConfig;
 use aqua_workload::random_tree::RandomTreeGen;
 
-const ITERS: usize = 7;
-const THREADS: &[usize] = &[1, 2, 4, 8];
+fn iters() -> usize {
+    aqua_bench::iters_for(7, 5)
+}
+
+fn threads() -> &'static [usize] {
+    if aqua_bench::quick() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8]
+    }
+}
 
 struct Row {
     members: usize,
@@ -71,7 +82,7 @@ fn sweep(
         .unwrap();
     let cfg = MatchConfig::first_per_root();
 
-    let serial = time_median(ITERS, || {
+    let serial = time_median(iters(), || {
         set.sub_select(&f.store, &compiled, &cfg).unwrap().len()
     });
     let total = members * nodes_per;
@@ -94,8 +105,8 @@ fn sweep(
         });
     };
     emit("serial".into(), serial);
-    for &t in THREADS {
-        let par = time_median(ITERS, || {
+    for &t in threads() {
+        let par = time_median(iters(), || {
             set.par_sub_select(&f.store, &compiled, &cfg, t, None)
                 .unwrap()
                 .len()
@@ -155,7 +166,7 @@ fn main() {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"bench\": \"b11_parallel_scaling\",");
         let _ = writeln!(out, "  \"host_threads\": {host},");
-        let _ = writeln!(out, "  \"iters\": {ITERS},");
+        let _ = writeln!(out, "  \"iters\": {},", iters());
         out.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
             let sep = if i + 1 < rows.len() { "," } else { "" };

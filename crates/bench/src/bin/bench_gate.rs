@@ -1,0 +1,91 @@
+//! CI perf-regression gate.
+//!
+//! Compare mode (the CI default):
+//!
+//! ```text
+//! cargo run -p aqua-bench --bin bench_gate -- BENCH_baseline.json b10.json b11.json
+//! ```
+//!
+//! exits non-zero when any baseline row's median regresses past
+//! `base * 1.25 + 0.3ms`, or when a baseline row is missing from the
+//! current dumps. Rows the baseline has never seen are reported but do
+//! not fail the gate — re-record to start gating them.
+//!
+//! Record mode (run on a quiet machine, commit the result):
+//!
+//! ```text
+//! cargo run -p aqua-bench --bin bench_gate -- --record BENCH_baseline.json b10.json b11.json
+//! ```
+//!
+//! rewrites the baseline from the dumps' rows verbatim. Both modes use
+//! [`aqua_bench::gate`] for the scanning and comparison logic.
+
+use std::process::ExitCode;
+
+use aqua_bench::gate;
+
+/// Relative band: fail past a 25% median regression.
+const THRESHOLD: f64 = 0.25;
+/// Additive slack so sub-millisecond rows don't trip on scheduler noise.
+const SLACK_MS: f64 = 0.3;
+
+fn read_rows(path: &str) -> Vec<gate::BenchRow> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let rows = gate::scan_rows(&text);
+            if rows.is_empty() {
+                eprintln!("bench_gate: warning: no rows found in {path}");
+            }
+            rows
+        }
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let record = args.first().is_some_and(|a| a == "--record");
+    if record {
+        args.remove(0);
+    }
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate [--record] <baseline.json> <current.json>...");
+        return ExitCode::from(2);
+    }
+    let baseline_path = args.remove(0);
+    let current: Vec<gate::BenchRow> = args.iter().flat_map(|p| read_rows(p)).collect();
+    if current.is_empty() {
+        eprintln!("bench_gate: no current rows — did the benches run with AQUA_BENCH_JSON?");
+        return ExitCode::from(2);
+    }
+
+    if record {
+        let host = aqua_exec::available_threads();
+        let text = gate::render_baseline(&current, host);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("bench_gate: cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "bench_gate: recorded {} rows to {baseline_path}",
+            gate::scan_rows(&text).len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = read_rows(&baseline_path);
+    if baseline.is_empty() {
+        eprintln!("bench_gate: empty baseline {baseline_path} — record one first");
+        return ExitCode::from(2);
+    }
+    let report = gate::compare(&baseline, &current, THRESHOLD, SLACK_MS);
+    print!("{}", report.render(THRESHOLD, SLACK_MS));
+    if report.failures() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

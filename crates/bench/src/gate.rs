@@ -1,0 +1,312 @@
+//! Regression-gate plumbing for the CI perf job.
+//!
+//! The benches (`b10_micro`, `b11_parallel_scaling`) dump flat JSON rows
+//! when `AQUA_BENCH_JSON` is set; `bench_gate` (see `src/bin/`) scans
+//! those dumps, matches rows against `BENCH_baseline.json` by a key
+//! assembled from the row's identifying fields, and fails when a median
+//! regresses past the threshold. Everything here is hand-rolled against
+//! the dumps' own shape — single-line `{...}` objects with no nested
+//! braces and no whitespace around `:` — because the workspace is
+//! dependency-free by design (no serde).
+
+use std::fmt::Write as _;
+
+/// Fields that identify a row across runs, in key order. Absent fields
+/// are simply skipped, so b10 rows (`bench`,`name`) and b11 rows
+/// (`bench`,`members`,…,`mode`) both key cleanly.
+const KEY_FIELDS: &[&str] = &[
+    "bench",
+    "name",
+    "members",
+    "nodes_per_member",
+    "selectivity",
+    "mode",
+];
+
+/// One measured row scraped from a bench dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Identity across runs: the row's key fields joined with `/`.
+    pub key: String,
+    /// The measured median, milliseconds.
+    pub median_ms: f64,
+    /// The row's raw JSON object, kept verbatim for `--record`.
+    pub raw: String,
+}
+
+/// Extract the string or numeric value of `"name":` in a flat object.
+fn field(obj: &str, name: &str) -> Option<String> {
+    let pat = format!("\"{name}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    if let Some(inner) = rest.strip_prefix('"') {
+        let end = inner.find('"')?;
+        Some(inner[..end].to_string())
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        let v = rest[..end].trim();
+        (!v.is_empty()).then(|| v.to_string())
+    }
+}
+
+/// Scan a dump for flat `{...}` objects carrying a `median_ms` field.
+/// Nested objects (e.g. a `MetricsSnapshot` embedded in other output)
+/// are ignored: only innermost brace spans are considered, and only
+/// those that parse a numeric `median_ms`.
+pub fn scan_rows(json: &str) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    let bytes = json.as_bytes();
+    let mut open: Option<usize> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => open = Some(i),
+            b'}' => {
+                if let Some(s) = open.take() {
+                    let obj = &json[s..=i];
+                    if let Some(ms) = field(obj, "median_ms").and_then(|v| v.parse::<f64>().ok()) {
+                        let key: Vec<String> =
+                            KEY_FIELDS.iter().filter_map(|f| field(obj, f)).collect();
+                        if !key.is_empty() {
+                            rows.push(BenchRow {
+                                key: key.join("/"),
+                                median_ms: ms,
+                                raw: obj.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Gate verdict for one baseline row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the allowed band (or faster).
+    Ok,
+    /// Slower than `base * (1 + threshold) + slack_ms`.
+    Regressed,
+    /// Baseline row has no counterpart in the current dumps.
+    Missing,
+}
+
+/// Comparison of one baseline row against the current run.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    pub key: String,
+    pub base_ms: f64,
+    /// `None` when the row is [`Verdict::Missing`].
+    pub cur_ms: Option<f64>,
+    pub verdict: Verdict,
+}
+
+/// Full gate report: one line per baseline row, plus current-run keys
+/// the baseline has never seen (informational — they start gating once
+/// recorded).
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    pub lines: Vec<GateLine>,
+    pub new_keys: Vec<String>,
+}
+
+impl GateReport {
+    /// Number of regressed or missing baseline rows.
+    pub fn failures(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.verdict != Verdict::Ok)
+            .count()
+    }
+
+    /// Human-readable summary, one row per line.
+    pub fn render(&self, threshold: f64, slack_ms: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench gate: fail if median > baseline * {:.2} + {slack_ms:.1}ms",
+            1.0 + threshold
+        );
+        for l in &self.lines {
+            match (l.verdict, l.cur_ms) {
+                (Verdict::Missing, _) | (_, None) => {
+                    let _ = writeln!(out, "  MISSING  {:<60} base {:.3}ms", l.key, l.base_ms);
+                }
+                (v, Some(cur)) => {
+                    let tag = if v == Verdict::Ok { "ok" } else { "REGRESSED" };
+                    let _ = writeln!(
+                        out,
+                        "  {tag:<9}{:<60} base {:.3}ms -> {:.3}ms ({:+.1}%)",
+                        l.key,
+                        l.base_ms,
+                        cur,
+                        (cur / l.base_ms.max(1e-9) - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+        for k in &self.new_keys {
+            let _ = writeln!(out, "  new      {k:<60} (not in baseline; record to gate)");
+        }
+        let _ = writeln!(
+            out,
+            "bench gate: {} baseline rows, {} failures, {} new",
+            self.lines.len(),
+            self.failures(),
+            self.new_keys.len()
+        );
+        out
+    }
+}
+
+/// Compare current rows against the baseline. A row regresses when its
+/// median exceeds `base * (1 + threshold) + slack_ms`; the additive
+/// slack keeps sub-millisecond rows from tripping on scheduler noise.
+/// Duplicate keys in `current` keep the last occurrence.
+pub fn compare(
+    baseline: &[BenchRow],
+    current: &[BenchRow],
+    threshold: f64,
+    slack_ms: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    let find = |key: &str| current.iter().rev().find(|r| r.key == key);
+    for b in baseline {
+        let line = match find(&b.key) {
+            None => GateLine {
+                key: b.key.clone(),
+                base_ms: b.median_ms,
+                cur_ms: None,
+                verdict: Verdict::Missing,
+            },
+            Some(c) => GateLine {
+                key: b.key.clone(),
+                base_ms: b.median_ms,
+                cur_ms: Some(c.median_ms),
+                verdict: if c.median_ms > b.median_ms * (1.0 + threshold) + slack_ms {
+                    Verdict::Regressed
+                } else {
+                    Verdict::Ok
+                },
+            },
+        };
+        report.lines.push(line);
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.key == c.key) && !report.new_keys.contains(&c.key) {
+            report.new_keys.push(c.key.clone());
+        }
+    }
+    report
+}
+
+/// Render a baseline file from rows: the raw row objects, one per line,
+/// inside a small envelope. Duplicate keys keep the *slowest* occurrence
+/// — feed `--record` dumps from several runs and the baseline absorbs
+/// the run-to-run noise instead of enshrining one lucky median.
+pub fn render_baseline(rows: &[BenchRow], host_threads: usize) -> String {
+    let mut keep: Vec<&BenchRow> = Vec::new();
+    for r in rows {
+        if let Some(slot) = keep.iter_mut().find(|k| k.key == r.key) {
+            if r.median_ms > slot.median_ms {
+                *slot = r;
+            }
+        } else {
+            keep.push(r);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"baseline\",");
+    let _ = writeln!(out, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(out, "  \"profile\": \"quick\",");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in keep.iter().enumerate() {
+        let comma = if i + 1 == keep.len() { "" } else { "," };
+        let _ = writeln!(out, "    {}{comma}", r.raw);
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUMP: &str = r#"{
+  "bench": "b11_parallel_scaling",
+  "host_threads": 4,
+  "rows": [
+    {"bench":"b11","members":40,"nodes_per_member":500,"selectivity":"~1%","mode":"serial","median_ms":7.2438,"result_size":193},
+    {"bench":"b11","members":40,"nodes_per_member":500,"selectivity":"~1%","mode":"par x4","median_ms":3.1000,"result_size":193}
+  ]
+}"#;
+
+    #[test]
+    fn scans_flat_rows_and_keys_them() {
+        let rows = scan_rows(DUMP);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].key, "b11/40/500/~1%/serial");
+        assert_eq!(rows[1].key, "b11/40/500/~1%/par x4");
+        assert!((rows[0].median_ms - 7.2438).abs() < 1e-9);
+        assert!(rows[1].raw.starts_with('{') && rows[1].raw.ends_with('}'));
+    }
+
+    #[test]
+    fn b10_rows_key_on_name() {
+        let rows = scan_rows(r#"{"bench":"b10","name":"pike_vm_scan_10k_notes","median_ms":1.25}"#);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key, "b10/pike_vm_scan_10k_notes");
+    }
+
+    #[test]
+    fn envelope_without_median_is_not_a_row() {
+        // The outer `{"bench": ..., "host_threads": ...}` span nests the
+        // row objects, so only the innermost flat spans are scanned.
+        let rows = scan_rows(DUMP);
+        assert!(rows.iter().all(|r| !r.raw.contains("host_threads")));
+    }
+
+    fn row(key: &str, ms: f64) -> BenchRow {
+        BenchRow {
+            key: key.into(),
+            median_ms: ms,
+            raw: format!("{{\"name\":{key:?},\"median_ms\":{ms:.4}}}"),
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_band_and_fails_past_it() {
+        let base = vec![row("a", 10.0), row("b", 10.0), row("c", 10.0)];
+        let cur = vec![row("a", 12.0), row("b", 13.1), row("d", 1.0)];
+        let rep = compare(&base, &cur, 0.25, 0.3);
+        assert_eq!(rep.lines[0].verdict, Verdict::Ok); // 12.0 <= 12.8
+        assert_eq!(rep.lines[1].verdict, Verdict::Regressed); // 13.1 > 12.8
+        assert_eq!(rep.lines[2].verdict, Verdict::Missing);
+        assert_eq!(rep.failures(), 2);
+        assert_eq!(rep.new_keys, vec!["d".to_string()]);
+        let text = rep.render(0.25, 0.3);
+        assert!(text.contains("REGRESSED") && text.contains("MISSING") && text.contains("new"));
+    }
+
+    #[test]
+    fn additive_slack_forgives_tiny_rows() {
+        let base = vec![row("tiny", 0.010)];
+        // 4x slower but only +0.03ms in absolute terms: inside the slack.
+        let rep = compare(&base, &[row("tiny", 0.040)], 0.25, 0.3);
+        assert_eq!(rep.failures(), 0);
+    }
+
+    #[test]
+    fn recorded_baseline_round_trips_and_keeps_slowest() {
+        let rows = vec![row("a", 1.0), row("b", 2.0), row("a", 3.0), row("b", 0.5)];
+        let text = render_baseline(&rows, 4);
+        let back = scan_rows(&text);
+        assert_eq!(back.len(), 2);
+        assert!((back.iter().find(|r| r.key == "a").unwrap().median_ms - 3.0).abs() < 1e-9);
+        assert!((back.iter().find(|r| r.key == "b").unwrap().median_ms - 2.0).abs() < 1e-9);
+    }
+}

@@ -3,9 +3,28 @@
 //! Each bench target reproduces one experiment from DESIGN.md §4 and
 //! prints the corresponding EXPERIMENTS.md table rows.
 
+pub mod gate;
 pub mod table;
 
 pub use table::Table;
 
 pub mod timing;
 pub use timing::{time_median, Timed};
+
+/// True when `AQUA_BENCH_QUICK` asks for the abbreviated CI profile:
+/// fewer timed iterations (and a smaller thread sweep in b11), with the
+/// workload sizes untouched so row names keep meaning the same thing.
+/// Any value other than empty or `0` enables it.
+pub fn quick() -> bool {
+    std::env::var_os("AQUA_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Timed-iteration count for a bench: `full` normally, `quick_iters`
+/// under [`quick`] mode.
+pub fn iters_for(full: usize, quick_iters: usize) -> usize {
+    if quick() {
+        quick_iters
+    } else {
+        full
+    }
+}

@@ -165,8 +165,13 @@ fn pieces_outcome(
     guard: Option<&ExecGuard>,
 ) -> Result<SplitOutcome> {
     let mut pieces = Vec::with_capacity(outcome.matches.len());
+    let obs = guard.and_then(ExecGuard::metrics);
     for m in outcome.matches {
         aqua_guard::steps_n(guard, m.nodes.len() as u64 + 1)?;
+        if let Some(mx) = obs {
+            mx.split_pieces.inc();
+            mx.split_cuts.record(m.cuts.len() as u64);
+        }
         pieces.push(pieces_for_match(tree, m)?);
         aqua_guard::result_emitted(guard)?;
     }

@@ -82,6 +82,7 @@ where
     F: Fn(usize, &T, Option<&ExecGuard>) -> Result<R, E>,
 {
     let mut out = Vec::new();
+    let obs = guard.and_then(ExecGuard::metrics);
     loop {
         if abort.load(Ordering::Relaxed) {
             break;
@@ -102,6 +103,9 @@ where
                 match stolen {
                     // Run the first stolen item now, queue the rest.
                     Some((lo, hi)) => {
+                        if let Some(m) = obs {
+                            m.pool_steals.inc();
+                        }
                         shards[me].install((lo + 1, hi));
                         lo
                     }
@@ -109,6 +113,9 @@ where
                 }
             }
         };
+        if let Some(m) = obs {
+            m.pool_items.inc();
+        }
         match f(idx, &items[idx], guard) {
             Ok(r) => out.push((idx, r)),
             Err(e) => {
@@ -144,11 +151,19 @@ where
     let threads = threads.max(1).min(n.max(1));
     if threads <= 1 {
         let guard = shared.map(|s| s.worker());
+        let obs = guard.as_ref().and_then(ExecGuard::metrics);
+        if let Some(m) = obs {
+            m.pool_workers.inc();
+        }
         let mut out = Vec::with_capacity(n);
         for (i, item) in items.iter().enumerate() {
             let r = f(i, item, guard.as_ref());
             if let Some(g) = &guard {
                 g.flush();
+                if let Some(m) = obs {
+                    m.pool_items.inc();
+                    m.pool_flushes.inc();
+                }
             }
             out.push(r?);
         }
@@ -171,9 +186,15 @@ where
             let f = &f;
             scope.spawn(move || {
                 let guard = shared.map(|s| s.worker());
+                if let Some(m) = guard.as_ref().and_then(ExecGuard::metrics) {
+                    m.pool_workers.inc();
+                }
                 let run = run_worker(me, shards, items, abort, guard.as_ref(), f);
                 if let Some(g) = &guard {
                     g.flush();
+                    if let Some(m) = g.metrics() {
+                        m.pool_flushes.inc();
+                    }
                 }
                 match run {
                     Ok(part) => lock(results).extend(part),

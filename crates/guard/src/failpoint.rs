@@ -3,8 +3,8 @@
 //! Production query engines are tested by forcing their dependencies to
 //! fail: an index probe that errors mid-query, a store lookup that goes
 //! away. This module provides named failpoints with no external
-//! dependencies. Code under test calls [`check("store.attr_index.probe")`]
-//! [`check`] at a boundary; tests arm that name with [`arm`] (or
+//! dependencies. Code under test calls `check("store.attr_index.probe")`
+//! ([`check`]) at a boundary; tests arm that name with [`arm`] (or
 //! [`arm_times`]) to make the boundary fail.
 //!
 //! The hot path is a single relaxed atomic load: with nothing armed,

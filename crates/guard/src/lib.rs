@@ -32,10 +32,12 @@
 
 pub mod failpoint;
 
+pub use aqua_obs::{Metrics, MetricsSnapshot};
+
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How many steps pass between wall-clock / cancellation checks.
@@ -265,6 +267,10 @@ pub struct ExecGuard {
     shared: Option<Arc<SharedCore>>,
     /// Local steps already flushed into the shared counter.
     flushed: Cell<u64>,
+    /// Detailed-metrics sink, when armed. `None` (the default) keeps
+    /// every instrumentation probe down to one branch — the disarmed
+    /// contract [`aqua_obs`] documents.
+    obs: Option<Metrics>,
 }
 
 impl ExecGuard {
@@ -280,6 +286,7 @@ impl ExecGuard {
             sync_period: CHECK_PERIOD,
             shared: None,
             flushed: Cell::new(0),
+            obs: None,
         }
     }
 
@@ -294,6 +301,34 @@ impl ExecGuard {
     /// Guard that only honours cancellation (no budget).
     pub fn cancellable(token: CancelToken) -> ExecGuard {
         ExecGuard::with_cancel(Budget::unlimited(), token)
+    }
+
+    /// Arm detailed metrics: operators running under this guard record
+    /// into `sink`. Without this, [`metrics`](ExecGuard::metrics) stays
+    /// `None` and instrumentation costs one branch per probe.
+    pub fn with_metrics(mut self, sink: Metrics) -> ExecGuard {
+        self.obs = Some(sink);
+        self
+    }
+
+    /// The armed metrics sink, if any. Hot paths hoist this once per
+    /// loop and poke counters only when `Some`.
+    #[inline]
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.obs.as_ref()
+    }
+
+    /// Freeze the armed sink (zeros when disarmed) and stamp the
+    /// engine-progress fields from this guard's own [`Progress`] — so
+    /// `engine_steps` equals [`snapshot`](ExecGuard::snapshot)`.steps`
+    /// exactly, by construction.
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        let mut s = self.obs.as_ref().map(Metrics::snapshot).unwrap_or_default();
+        let p = self.snapshot();
+        s.engine_steps = p.steps;
+        s.engine_results = p.results;
+        s.engine_elapsed_nanos = p.elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        s
     }
 
     /// Current progress snapshot. For a fleet worker this merges the
@@ -458,6 +493,9 @@ struct SharedCore {
     verdict: Mutex<Option<GuardError>>,
     /// Fast flag so checkpoints skip the mutex until something tripped.
     tripped: AtomicBool,
+    /// Fleet-wide metrics sink; workers minted after
+    /// [`SharedGuard::attach_metrics`] record into clones of it.
+    obs: OnceLock<Metrics>,
 }
 
 impl SharedCore {
@@ -521,8 +559,40 @@ impl SharedGuard {
                 results: AtomicU64::new(0),
                 verdict: Mutex::new(None),
                 tripped: AtomicBool::new(false),
+                obs: OnceLock::new(),
             }),
         }
+    }
+
+    /// Arm fleet-wide detailed metrics. Every worker minted *after*
+    /// this call records into `sink` (one shared registry — relaxed
+    /// atomics, no per-worker merging needed). Returns `false` if a
+    /// sink was already attached (the first one wins).
+    pub fn attach_metrics(&self, sink: Metrics) -> bool {
+        self.core.obs.set(sink).is_ok()
+    }
+
+    /// The attached fleet metrics sink, if any.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.core.obs.get()
+    }
+
+    /// Freeze the fleet sink (zeros when disarmed) and stamp the
+    /// engine-progress fields from the merged fleet
+    /// [`Progress`](SharedGuard::snapshot). Call after workers have
+    /// flushed so `engine_steps` carries the full fleet total.
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        let mut s = self
+            .core
+            .obs
+            .get()
+            .map(Metrics::snapshot)
+            .unwrap_or_default();
+        let p = self.snapshot();
+        s.engine_steps = p.steps;
+        s.engine_results = p.results;
+        s.engine_elapsed_nanos = p.elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        s
     }
 
     /// The budget every worker shares.
@@ -556,6 +626,7 @@ impl SharedGuard {
             sync_period,
             shared: Some(Arc::clone(core)),
             flushed: Cell::new(0),
+            obs: core.obs.get().cloned(),
         }
     }
 
@@ -831,6 +902,60 @@ mod tests {
         let total = shared.snapshot().steps;
         assert!(total >= 50_000, "tripped early at {total}");
         assert!(total <= 50_000 + 5 * CHECK_PERIOD, "overshoot: {total}");
+    }
+
+    #[test]
+    fn obs_snapshot_stamps_engine_progress() {
+        // Disarmed: detailed counters zero, engine fields still stamped.
+        let g = ExecGuard::new(Budget::unlimited());
+        for _ in 0..5 {
+            g.step().unwrap();
+        }
+        g.result_emitted().unwrap();
+        let s = g.obs_snapshot();
+        assert!(s.is_disarmed_zero());
+        assert_eq!(s.engine_steps, g.snapshot().steps);
+        assert_eq!(s.engine_results, 1);
+
+        // Armed: counters flow through, engine fields agree with the
+        // guard's own Progress exactly.
+        let sink = Metrics::new();
+        let g = ExecGuard::new(Budget::unlimited()).with_metrics(sink.clone());
+        for _ in 0..7 {
+            g.step().unwrap();
+            if let Some(m) = g.metrics() {
+                m.vm_steps.inc();
+            }
+        }
+        let s = g.obs_snapshot();
+        assert_eq!(s.vm_steps, 7);
+        assert_eq!(s.engine_steps, 7);
+        assert_eq!(s.engine_steps, g.snapshot().steps);
+        assert!(sink.same_sink(g.metrics().unwrap()));
+    }
+
+    #[test]
+    fn fleet_workers_share_the_attached_sink() {
+        let shared = SharedGuard::new(Budget::unlimited());
+        let sink = Metrics::new();
+        assert!(shared.attach_metrics(sink.clone()));
+        assert!(!shared.attach_metrics(Metrics::new()), "first sink wins");
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let g = shared.worker();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        g.step().unwrap();
+                        g.metrics().expect("inherited sink").match_visits.inc();
+                    }
+                    g.flush();
+                });
+            }
+        });
+        let s = shared.obs_snapshot();
+        assert_eq!(s.match_visits, 30);
+        assert_eq!(s.engine_steps, 30, "fleet total after flushes");
+        assert_eq!(s.engine_steps, shared.snapshot().steps);
     }
 
     #[test]

@@ -1,0 +1,644 @@
+//! # aqua-obs — lightweight execution observability
+//!
+//! Zero-dependency metrics primitives for the AQUA engine: relaxed
+//! atomic [`Counter`]s, log2-bucketed [`Histogram`]s, and a bounded
+//! [`SpanEvent`] log, gathered behind one shareable [`Metrics`] handle.
+//!
+//! The design contract mirrors how `aqua-guard` batches step
+//! accounting: instrumentation is **disarmed by default**. Hot paths
+//! hold an `Option<&Metrics>`; when it is `None` the cost of a probe is
+//! one branch, and a [`MetricsSnapshot`] taken from nowhere reports
+//! zeros. When armed, every probe is a single relaxed atomic add —
+//! never a lock, never an allocation (spans excepted, and spans sit on
+//! cold paths only).
+//!
+//! Counter taxonomy (who increments what):
+//!
+//! | counter                  | incremented by                               |
+//! |--------------------------|----------------------------------------------|
+//! | `vm_steps`               | Pike-VM state-set sweeps (`pike.rs`)         |
+//! | `vm_state_set` (hist)    | NFA state-set size per input position        |
+//! | `vm_path_visits`         | parse-DAG node visits (`dfs`/`enum_dfs`)     |
+//! | `match_visits`           | tree-matcher node visits (`tree_match.rs`)   |
+//! | `match_memo_hits`        | memoized `pat_matches` answers reused        |
+//! | `match_candidates`       | candidate roots examined                     |
+//! | `match_candidates_pruned`| candidates rejected before emitting a match  |
+//! | `matches_found`          | tree matches emitted                         |
+//! | `split_pieces`           | split pieces assembled (`split.rs`)          |
+//! | `split_cuts` (hist)      | concatenation points α per piece             |
+//! | `cache_lookups/hits/misses` | `PatternCache` traffic                    |
+//! | `pool_items/steals/flushes/workers` | work-stealing pool (`pool.rs`)    |
+//!
+//! Snapshots [`merge`](MetricsSnapshot::merge) field-wise (sums and
+//! bucket-wise histogram sums), which is commutative and associative:
+//! merging per-worker snapshots is order-independent by construction.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `k ≥ 1`
+/// holds values in `[2^(k-1), 2^k)`. 65 buckets cover all of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Spans kept per [`Metrics`] sink; later spans bump `spans_dropped`.
+pub const SPAN_CAP: usize = 256;
+
+/// A relaxed atomic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The log2 bucket a value falls in.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// A log2-bucketed histogram of `u64` observations (sizes, latencies).
+///
+/// Recording is one relaxed atomic add on the owning bucket — no locks,
+/// so concurrent workers may record freely.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation of `v`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot (trailing empty buckets trimmed).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// A frozen [`Histogram`]: bucket `k` counts observations in
+/// `[2^(k-1), 2^k)` (bucket 0 counts zeros). Trailing zero buckets are
+/// trimmed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Exclusive upper bound on the largest observation (`None` when
+    /// empty).
+    pub fn max_bound(&self) -> Option<u64> {
+        let top = self.buckets.iter().rposition(|&c| c > 0)?;
+        Some(if top == 0 { 1 } else { 1u64 << top })
+    }
+
+    /// Bucket-wise sum with `other` (commutative).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        use fmt::Write;
+        let _ = write!(out, "{{\"count\":{},\"buckets\":[", self.count());
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// One timed phase: a name and its wall-clock duration.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpanEvent {
+    /// Phase name (static so recording never allocates for the name).
+    pub name: &'static str,
+    /// Wall-clock nanoseconds spent in the phase.
+    pub nanos: u64,
+}
+
+/// The shared counter registry behind a [`Metrics`] handle. All fields
+/// are public: instrumentation sites poke them directly.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Pike-VM simulation steps (one per live NFA state per position).
+    pub vm_steps: Counter,
+    /// NFA state-set size, sampled once per input position.
+    pub vm_state_set: Histogram,
+    /// Parse-DAG node visits during path extraction/enumeration.
+    pub vm_path_visits: Counter,
+    /// Tree-matcher node visits.
+    pub match_visits: Counter,
+    /// Memoized sub-pattern answers reused instead of re-derived.
+    pub match_memo_hits: Counter,
+    /// Candidate roots examined for a full-pattern match.
+    pub match_candidates: Counter,
+    /// Candidates rejected before any match was emitted.
+    pub match_candidates_pruned: Counter,
+    /// Tree matches emitted.
+    pub matches_found: Counter,
+    /// Split pieces assembled.
+    pub split_pieces: Counter,
+    /// Concatenation points (α) per assembled piece.
+    pub split_cuts: Histogram,
+    /// Compiled-pattern cache lookups.
+    pub cache_lookups: Counter,
+    /// Compiled-pattern cache hits.
+    pub cache_hits: Counter,
+    /// Compiled-pattern cache misses (compilations performed).
+    pub cache_misses: Counter,
+    /// Items processed by pool workers (own shard + stolen).
+    pub pool_items: Counter,
+    /// Successful steals of a victim's back half.
+    pub pool_steals: Counter,
+    /// Worker guard flushes into the fleet core.
+    pub pool_flushes: Counter,
+    /// Workers minted (1 for the inline serial path).
+    pub pool_workers: Counter,
+    spans: Mutex<Vec<SpanEvent>>,
+    spans_dropped: Counter,
+}
+
+/// A cheaply cloneable handle on a shared [`Registry`]. Clones observe
+/// the same counters, so a fleet of workers can all record into one
+/// sink. Derefs to [`Registry`] for direct counter access.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics(Arc<Registry>);
+
+impl std::ops::Deref for Metrics {
+    type Target = Registry;
+    fn deref(&self) -> &Registry {
+        &self.0
+    }
+}
+
+impl Metrics {
+    /// A fresh sink with all counters at zero.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Whether two handles share one registry.
+    pub fn same_sink(&self, other: &Metrics) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Record a completed span. Beyond [`SPAN_CAP`] the event is
+    /// dropped and counted in `spans_dropped`.
+    pub fn record_span(&self, name: &'static str, nanos: u64) {
+        let mut spans = self.0.spans.lock().unwrap_or_else(|p| p.into_inner());
+        if spans.len() < SPAN_CAP {
+            spans.push(SpanEvent { name, nanos });
+        } else {
+            self.0.spans_dropped.inc();
+        }
+    }
+
+    /// Time `f` as a span named `name` and return its value.
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let r = f();
+        self.record_span(
+            name,
+            start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+        r
+    }
+
+    /// Freeze every counter into a [`MetricsSnapshot`]. The engine
+    /// progress fields (`engine_steps`, `engine_results`,
+    /// `engine_elapsed_nanos`) stay zero — the guard layer stamps them
+    /// from its own `Progress`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = &*self.0;
+        let mut spans = r.spans.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        spans.sort();
+        MetricsSnapshot {
+            engine_steps: 0,
+            engine_results: 0,
+            engine_elapsed_nanos: 0,
+            vm_steps: r.vm_steps.get(),
+            vm_state_set: r.vm_state_set.snapshot(),
+            vm_path_visits: r.vm_path_visits.get(),
+            match_visits: r.match_visits.get(),
+            match_memo_hits: r.match_memo_hits.get(),
+            match_candidates: r.match_candidates.get(),
+            match_candidates_pruned: r.match_candidates_pruned.get(),
+            matches_found: r.matches_found.get(),
+            split_pieces: r.split_pieces.get(),
+            split_cuts: r.split_cuts.snapshot(),
+            cache_lookups: r.cache_lookups.get(),
+            cache_hits: r.cache_hits.get(),
+            cache_misses: r.cache_misses.get(),
+            pool_items: r.pool_items.get(),
+            pool_steals: r.pool_steals.get(),
+            pool_flushes: r.pool_flushes.get(),
+            pool_workers: r.pool_workers.get(),
+            spans,
+            spans_dropped: r.spans_dropped.get(),
+        }
+    }
+}
+
+/// A frozen, mergeable view of one execution's metrics. Everything is
+/// plain data; [`to_json`](MetricsSnapshot::to_json) renders the
+/// single-line hand-rolled JSON the bench harness already speaks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Guard-accounted steps (stamped from `Progress` by the guard
+    /// layer; equals the guard's step count exactly).
+    pub engine_steps: u64,
+    /// Guard-accounted results emitted.
+    pub engine_results: u64,
+    /// Wall-clock nanoseconds since the guard started.
+    pub engine_elapsed_nanos: u64,
+    /// See [`Registry::vm_steps`].
+    pub vm_steps: u64,
+    /// See [`Registry::vm_state_set`].
+    pub vm_state_set: HistogramSnapshot,
+    /// See [`Registry::vm_path_visits`].
+    pub vm_path_visits: u64,
+    /// See [`Registry::match_visits`].
+    pub match_visits: u64,
+    /// See [`Registry::match_memo_hits`].
+    pub match_memo_hits: u64,
+    /// See [`Registry::match_candidates`].
+    pub match_candidates: u64,
+    /// See [`Registry::match_candidates_pruned`].
+    pub match_candidates_pruned: u64,
+    /// See [`Registry::matches_found`].
+    pub matches_found: u64,
+    /// See [`Registry::split_pieces`].
+    pub split_pieces: u64,
+    /// See [`Registry::split_cuts`].
+    pub split_cuts: HistogramSnapshot,
+    /// See [`Registry::cache_lookups`].
+    pub cache_lookups: u64,
+    /// See [`Registry::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Registry::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Registry::pool_items`].
+    pub pool_items: u64,
+    /// See [`Registry::pool_steals`].
+    pub pool_steals: u64,
+    /// See [`Registry::pool_flushes`].
+    pub pool_flushes: u64,
+    /// See [`Registry::pool_workers`].
+    pub pool_workers: u64,
+    /// Completed spans, canonically sorted.
+    pub spans: Vec<SpanEvent>,
+    /// Spans discarded past [`SPAN_CAP`].
+    pub spans_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Field-wise sum with `other` — commutative and associative, so
+    /// merging per-worker snapshots is order-independent. Spans
+    /// concatenate and re-sort canonically. Only merge snapshots taken
+    /// from *distinct* sinks, or counts double.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.engine_steps += other.engine_steps;
+        self.engine_results += other.engine_results;
+        self.engine_elapsed_nanos += other.engine_elapsed_nanos;
+        self.vm_steps += other.vm_steps;
+        self.vm_state_set.merge(&other.vm_state_set);
+        self.vm_path_visits += other.vm_path_visits;
+        self.match_visits += other.match_visits;
+        self.match_memo_hits += other.match_memo_hits;
+        self.match_candidates += other.match_candidates;
+        self.match_candidates_pruned += other.match_candidates_pruned;
+        self.matches_found += other.matches_found;
+        self.split_pieces += other.split_pieces;
+        self.split_cuts.merge(&other.split_cuts);
+        self.cache_lookups += other.cache_lookups;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.pool_items += other.pool_items;
+        self.pool_steals += other.pool_steals;
+        self.pool_flushes += other.pool_flushes;
+        self.pool_workers += other.pool_workers;
+        self.spans.extend(other.spans.iter().cloned());
+        self.spans.sort();
+        self.spans_dropped += other.spans_dropped;
+    }
+
+    /// Whether every counter is zero — what a disarmed run reports
+    /// (engine progress fields excluded; the guard stamps those whether
+    /// or not detailed metrics are armed).
+    pub fn is_disarmed_zero(&self) -> bool {
+        self.vm_steps == 0
+            && self.vm_state_set.count() == 0
+            && self.vm_path_visits == 0
+            && self.match_visits == 0
+            && self.match_memo_hits == 0
+            && self.match_candidates == 0
+            && self.match_candidates_pruned == 0
+            && self.matches_found == 0
+            && self.split_pieces == 0
+            && self.split_cuts.count() == 0
+            && self.cache_lookups == 0
+            && self.cache_hits == 0
+            && self.cache_misses == 0
+            && self.pool_items == 0
+            && self.pool_steals == 0
+            && self.pool_flushes == 0
+            && self.pool_workers == 0
+            && self.spans.is_empty()
+            && self.spans_dropped == 0
+    }
+
+    /// Single-line JSON in the bench harness's hand-rolled style.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"engine_steps\":{},\"engine_results\":{},\"engine_elapsed_nanos\":{}",
+            self.engine_steps, self.engine_results, self.engine_elapsed_nanos
+        );
+        let _ = write!(out, ",\"vm_steps\":{}", self.vm_steps);
+        out.push_str(",\"vm_state_set\":");
+        self.vm_state_set.json_into(&mut out);
+        let _ = write!(
+            out,
+            ",\"vm_path_visits\":{},\"match_visits\":{},\"match_memo_hits\":{}",
+            self.vm_path_visits, self.match_visits, self.match_memo_hits
+        );
+        let _ = write!(
+            out,
+            ",\"match_candidates\":{},\"match_candidates_pruned\":{},\"matches_found\":{}",
+            self.match_candidates, self.match_candidates_pruned, self.matches_found
+        );
+        let _ = write!(out, ",\"split_pieces\":{}", self.split_pieces);
+        out.push_str(",\"split_cuts\":");
+        self.split_cuts.json_into(&mut out);
+        let _ = write!(
+            out,
+            ",\"cache_lookups\":{},\"cache_hits\":{},\"cache_misses\":{}",
+            self.cache_lookups, self.cache_hits, self.cache_misses
+        );
+        let _ = write!(
+            out,
+            ",\"pool_items\":{},\"pool_steals\":{},\"pool_flushes\":{},\"pool_workers\":{}",
+            self.pool_items, self.pool_steals, self.pool_flushes, self.pool_workers
+        );
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"nanos\":{}}}",
+                escape(s.name),
+                s.nanos
+            );
+        }
+        let _ = write!(out, "],\"spans_dropped\":{}}}", self.spans_dropped);
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Human-oriented multi-line rendering (zero rows elided).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {} steps, {} results, {:.3}ms",
+            self.engine_steps,
+            self.engine_results,
+            self.engine_elapsed_nanos as f64 / 1e6
+        )?;
+        let rows: [(&str, u64); 14] = [
+            ("pike-vm steps", self.vm_steps),
+            ("parse-dag visits", self.vm_path_visits),
+            ("tree visits", self.match_visits),
+            ("memo hits", self.match_memo_hits),
+            ("candidates", self.match_candidates),
+            ("candidates pruned", self.match_candidates_pruned),
+            ("matches", self.matches_found),
+            ("split pieces", self.split_pieces),
+            ("cache lookups", self.cache_lookups),
+            ("cache hits", self.cache_hits),
+            ("cache misses", self.cache_misses),
+            ("pool items", self.pool_items),
+            ("pool steals", self.pool_steals),
+            ("pool workers", self.pool_workers),
+        ];
+        for (name, v) in rows {
+            if v > 0 {
+                writeln!(f, "{name}: {v}")?;
+            }
+        }
+        if self.vm_state_set.count() > 0 {
+            writeln!(
+                f,
+                "state-set sizes: {} samples, max < {}",
+                self.vm_state_set.count(),
+                self.vm_state_set.max_bound().unwrap_or(0)
+            )?;
+        }
+        for s in &self.spans {
+            writeln!(f, "span {}: {:.3}ms", s.name, s.nanos as f64 / 1e6)?;
+        }
+        Ok(())
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // 0→b0, 1→b1, {2,3}→b2, {4,7}→b3, 8→b4, 1024→b11.
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[3], 2);
+        assert_eq!(s.buckets[4], 1);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.buckets.len(), 12, "trailing zeros trimmed");
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.max_bound(), Some(2048));
+        assert!(u64::MAX.leading_zeros() == 0, "top bucket exists");
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let a = Metrics::new();
+        a.vm_steps.add(10);
+        a.vm_state_set.record(3);
+        a.record_span("scan", 5);
+        let b = Metrics::new();
+        b.vm_steps.add(7);
+        b.matches_found.add(2);
+        b.record_span("probe", 9);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.vm_steps, 17);
+        assert_eq!(ab.spans.len(), 2);
+    }
+
+    #[test]
+    fn disarmed_zero_detection() {
+        let fresh = Metrics::new().snapshot();
+        assert!(fresh.is_disarmed_zero());
+        let mut stamped = fresh.clone();
+        stamped.engine_steps = 99;
+        assert!(
+            stamped.is_disarmed_zero(),
+            "engine progress does not arm detailed counters"
+        );
+        let armed = {
+            let m = Metrics::new();
+            m.match_visits.inc();
+            m.snapshot()
+        };
+        assert!(!armed.is_disarmed_zero());
+    }
+
+    #[test]
+    fn span_cap_drops_and_counts() {
+        let m = Metrics::new();
+        for _ in 0..(SPAN_CAP + 3) {
+            m.record_span("x", 1);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.spans.len(), SPAN_CAP);
+        assert_eq!(s.spans_dropped, 3);
+    }
+
+    #[test]
+    fn json_is_single_line_and_balanced() {
+        let m = Metrics::new();
+        m.vm_steps.add(5);
+        m.vm_state_set.record(2);
+        m.record_span("phase \"q\"", 123);
+        let mut s = m.snapshot();
+        s.engine_steps = 5;
+        let j = s.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces: {j}"
+        );
+        assert!(j.contains("\"engine_steps\":5"));
+        assert!(j.contains("\\\"q\\\""), "span names escaped: {j}");
+    }
+
+    #[test]
+    fn clones_share_a_sink() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.pool_items.add(4);
+        assert!(m.same_sink(&m2));
+        assert_eq!(m.snapshot().pool_items, 4);
+        assert!(!m.same_sink(&Metrics::new()));
+    }
+
+    #[test]
+    fn time_records_a_span() {
+        let m = Metrics::new();
+        let v = m.time("work", || 7);
+        assert_eq!(v, 7);
+        let s = m.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].name, "work");
+    }
+}

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use aqua_obs::MetricsSnapshot;
+
 /// Record of one planning session.
 #[derive(Debug, Clone, Default)]
 pub struct Explain {
@@ -17,6 +19,10 @@ pub struct Explain {
     pub rules: Vec<String>,
     /// Rendered chosen plan.
     pub chosen: String,
+    /// The chosen plan's estimated cost (cost-model units), kept as a
+    /// number so it can be compared against [`Explain::metrics`] without
+    /// re-parsing the rendered plan.
+    pub predicted_cost: Option<f64>,
     /// Execution-time degradations: an indexed stage hit an injected
     /// fault and execution fell back to the naive path. Empty when the
     /// chosen plan ran as planned.
@@ -25,6 +31,13 @@ pub struct Explain {
     /// plans where parallelism was never considered, 1 for "considered,
     /// stay serial", ≥ 2 for a parallel fleet.
     pub parallelism: usize,
+    /// What execution actually did, frozen from the guard when the plan
+    /// ran guarded: every guarded `execute_*` stamps one, with the
+    /// engine-progress fields equal to the guard's own `Progress` and
+    /// the detailed counters live whenever a metrics sink was armed
+    /// (zeros otherwise). `None` for unguarded executions and plans that
+    /// were never executed.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl Explain {
@@ -42,6 +55,16 @@ impl Explain {
 
     pub(crate) fn choose(&mut self, plan: &impl fmt::Display) {
         self.chosen = plan.to_string();
+    }
+
+    /// Record the chosen plan's estimated cost.
+    pub(crate) fn cost(&mut self, units: f64) {
+        self.predicted_cost = Some(units);
+    }
+
+    /// Stamp what execution observed (see [`Explain::metrics`]).
+    pub(crate) fn observe(&mut self, snapshot: MetricsSnapshot) {
+        self.metrics = Some(snapshot);
     }
 
     /// Did the named rule fire during planning?
@@ -94,6 +117,10 @@ impl fmt::Display for Explain {
             sep(f)?;
             write!(f, "chosen: {}", self.chosen)?;
         }
+        if let Some(c) = self.predicted_cost {
+            sep(f)?;
+            write!(f, "predicted cost: {c:.1} units")?;
+        }
         if self.parallelism > 0 {
             sep(f)?;
             write!(
@@ -106,6 +133,46 @@ impl fmt::Display for Explain {
         for fb in &self.fallbacks {
             sep(f)?;
             write!(f, "fallback: {fb}")?;
+        }
+        if let Some(m) = &self.metrics {
+            sep(f)?;
+            write!(
+                f,
+                "observed: {} steps, {} results, {:.1}ms",
+                m.engine_steps,
+                m.engine_results,
+                m.engine_elapsed_nanos as f64 / 1e6
+            )?;
+            if m.vm_steps > 0 {
+                write!(f, "\n  pike-vm: {} steps", m.vm_steps)?;
+                if let Some(bound) = m.vm_state_set.max_bound() {
+                    write!(f, ", state sets < {bound}")?;
+                }
+            }
+            if m.match_candidates > 0 {
+                write!(
+                    f,
+                    "\n  matcher: {} candidates, {} pruned, {} matches, {} visits",
+                    m.match_candidates, m.match_candidates_pruned, m.matches_found, m.match_visits
+                )?;
+            }
+            if m.split_pieces > 0 {
+                write!(f, "\n  split: {} pieces", m.split_pieces)?;
+            }
+            if m.cache_lookups > 0 {
+                write!(
+                    f,
+                    "\n  pattern cache: {}/{} hits",
+                    m.cache_hits, m.cache_lookups
+                )?;
+            }
+            if m.pool_workers > 0 {
+                write!(
+                    f,
+                    "\n  pool: {} workers, {} items, {} steals",
+                    m.pool_workers, m.pool_items, m.pool_steals
+                )?;
+            }
         }
         Ok(())
     }

@@ -54,6 +54,7 @@ impl Optimizer<'_> {
         let est_forest = plan.est_cost() * members as f64;
         let degree = self.cost.parallel_degree(members, est_forest, max_threads);
         explain.degree(degree);
+        explain.cost(est_forest);
         Ok((ForestPlan { plan, degree }, explain))
     }
 }
@@ -87,15 +88,23 @@ impl ForestPlan {
             });
         }
         explain.degree(self.degree);
-        let per: Vec<(Vec<Tree>, Vec<String>)> =
+        type MemberOut = (Vec<Tree>, Vec<String>);
+        let run: std::result::Result<Vec<MemberOut>, OptError> =
             exec::try_par_map_guarded(set.members(), self.degree, guard, |i, tree, g| {
                 let mut local = Explain::default();
+                // The non-stamping core: members share the fleet sink,
+                // so one fleet-wide snapshot (below) covers them all.
                 let out = self
                     .plan
-                    .execute_guarded(&catalogs[i], tree, cfg, g, &mut local)?;
+                    .execute_core(&catalogs[i], tree, cfg, g, &mut local)?;
                 Ok::<_, OptError>((out, local.fallbacks))
-            })
-            .map_err(|e| fleet_err(guard, e))?;
+            });
+        // Workers have flushed by now; stamp the merged fleet totals
+        // whether execution succeeded or tripped.
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        let per = run.map_err(|e| fleet_err(guard, e))?;
         let mut out = Vec::new();
         for (i, (trees, fallbacks)) in per.into_iter().enumerate() {
             for why in fallbacks {

@@ -87,6 +87,7 @@ impl<'a> Optimizer<'a> {
             }
         }
         explain.choose(&best);
+        explain.cost(best.est_cost());
         Ok((best, explain))
     }
 
@@ -115,6 +116,7 @@ impl<'a> Optimizer<'a> {
             }
         }
         explain.choose(&best);
+        explain.cost(best.est_cost());
         Ok((best, explain))
     }
 
@@ -152,6 +154,7 @@ impl<'a> Optimizer<'a> {
             }
         }
         explain.choose(&best);
+        explain.cost(best.est_cost());
         Ok((best, explain))
     }
 }

@@ -94,8 +94,28 @@ impl TreePlan {
     ///
     /// If the index probe of an indexed plan fails (an injected fault),
     /// execution degrades gracefully to the naive full-pattern scan and
-    /// the fallback is recorded in `explain`.
+    /// the fallback is recorded in `explain`. When a guard is present,
+    /// `explain` is stamped with a [`MetricsSnapshot`](aqua_obs) of what
+    /// execution did — success or failure.
     pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<Tree>> {
+        let out = self.execute_core(catalog, tree, cfg, guard, explain);
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        out
+    }
+
+    /// [`execute_guarded`](Self::execute_guarded) without the metrics
+    /// stamp — the per-member path of a forest fleet, whose callers
+    /// snapshot once fleet-wide rather than once per member.
+    pub(crate) fn execute_core(
         &self,
         catalog: &Catalog<'_>,
         tree: &Tree,
@@ -162,8 +182,25 @@ impl TreePlan {
 
     /// [`execute_split`](Self::execute_split) under an optional
     /// execution guard, with failpoint-driven fallback recorded in
-    /// `explain`.
+    /// `explain` and — when guarded — a metrics stamp.
     pub fn execute_split_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<aqua_algebra::tree::split::SplitPieces>> {
+        let out = self.execute_split_core(catalog, tree, cfg, guard, explain);
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        out
+    }
+
+    /// [`execute_split_guarded`](Self::execute_split_guarded) without
+    /// the metrics stamp (see [`execute_core`](Self::execute_core)).
+    pub(crate) fn execute_split_core(
         &self,
         catalog: &Catalog<'_>,
         tree: &Tree,
@@ -293,8 +330,22 @@ impl SetPlan {
     }
 
     /// [`execute`](Self::execute) under an optional execution guard,
-    /// with failpoint-driven fallback recorded in `explain`.
+    /// with failpoint-driven fallback recorded in `explain` and — when
+    /// guarded — a metrics stamp.
     pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<Oid>> {
+        let out = self.execute_core(catalog, guard, explain);
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        out
+    }
+
+    fn execute_core(
         &self,
         catalog: &Catalog<'_>,
         guard: Option<&ExecGuard>,
@@ -443,8 +494,23 @@ impl ListPlan {
     }
 
     /// [`execute`](Self::execute) under an optional execution guard,
-    /// with failpoint-driven fallback recorded in `explain`.
+    /// with failpoint-driven fallback recorded in `explain` and — when
+    /// guarded — a metrics stamp.
     pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        list: &List,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<ListMatch>> {
+        let out = self.execute_core(catalog, list, guard, explain);
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        out
+    }
+
+    fn execute_core(
         &self,
         catalog: &Catalog<'_>,
         list: &List,

@@ -68,8 +68,23 @@ impl TreeSelectPlan {
     ///
     /// If the node-index probe of an indexed plan fails (an injected
     /// fault), execution degrades gracefully to the naive full walk and
-    /// the fallback is recorded in `explain`.
+    /// the fallback is recorded in `explain`. When a guard is present,
+    /// `explain` is stamped with a metrics snapshot of the run.
     pub fn execute_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<Tree>> {
+        let out = self.execute_core(catalog, tree, guard, explain);
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        out
+    }
+
+    fn execute_core(
         &self,
         catalog: &Catalog<'_>,
         tree: &Tree,
@@ -251,6 +266,7 @@ pub fn plan_tree_select(
         }
     }
     explain.choose(&best);
+    explain.cost(best.est_cost());
     Ok((best, explain))
 }
 

@@ -10,16 +10,27 @@
 //! `&`-only across threads (compiled patterns are plain data — no
 //! interior mutability).
 //!
-//! Keys are `(class, rendered pattern text)`: the `Display` forms of
-//! [`TreePattern`] and list regexes are round-trip faithful (anchors
-//! included), which makes them stable, hashable identities without
-//! requiring `Hash` on the ASTs themselves.
+//! Keys are `(class, anchors, Debug-encoded AST)`. The *Debug* form —
+//! not `Display` — because rendered pattern text is ambiguous: attr
+//! names are arbitrary strings that `Display` interpolates raw, so an
+//! attr literally named `x = 1} {y` renders the one-leaf pattern
+//! `{x = 1} {y = 1}` byte-identical to the two-leaf concatenation
+//! `{x = 1}{y = 1}`'s display. Debug encoding carries variant names and
+//! escapes string literals, so structurally different ASTs never
+//! collide; anchors travel as separate key fields rather than rendered
+//! sigils for the same reason.
+//!
+//! When a [`Metrics`] sink is
+//! [attached](PatternCache::attach_metrics), lookups/hits/misses are
+//! mirrored into its `cache_*` counters so execution snapshots report
+//! cache effectiveness.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use aqua_object::{ClassDef, ClassId};
+use aqua_obs::Metrics;
 
 use crate::ast::Re;
 use crate::error::Result;
@@ -30,6 +41,9 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// List-pattern cache key: `(class, anchor_start, anchor_end, Debug AST)`.
+type ListKey = (ClassId, bool, bool, String);
+
 /// Thread-safe memo of compiled tree and list patterns.
 ///
 /// Shareable across threads (`Mutex` inside); misses compile under the
@@ -39,9 +53,11 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 #[derive(Debug, Default)]
 pub struct PatternCache {
     trees: Mutex<HashMap<(ClassId, String), Arc<CompiledTreePattern>>>,
-    lists: Mutex<HashMap<(ClassId, String), Arc<ListPattern>>>,
+    lists: Mutex<HashMap<ListKey, Arc<ListPattern>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    lookups: AtomicU64,
+    obs: OnceLock<Metrics>,
 }
 
 impl PatternCache {
@@ -50,28 +66,53 @@ impl PatternCache {
         PatternCache::default()
     }
 
+    /// Mirror this cache's traffic into `sink`'s `cache_*` counters.
+    /// The first attached sink wins; returns `false` if one was already
+    /// attached.
+    pub fn attach_metrics(&self, sink: Metrics) -> bool {
+        self.obs.set(sink).is_ok()
+    }
+
+    /// Account one lookup and its outcome, on both the local counters
+    /// and any attached sink.
+    fn account(&self, hit: bool) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let ctr = if hit { &self.hits } else { &self.misses };
+        ctr.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.obs.get() {
+            m.cache_lookups.inc();
+            if hit {
+                m.cache_hits.inc();
+            } else {
+                m.cache_misses.inc();
+            }
+        }
+    }
+
     /// The compiled form of `pattern` against `class`, compiling on
-    /// first sight.
+    /// first sight. Anchors are part of the Debug encoding
+    /// (`at_root`/`at_leaves` fields), so anchored variants key apart.
     pub fn tree(
         &self,
         pattern: &TreePattern,
         class_id: ClassId,
         class: &ClassDef,
     ) -> Result<Arc<CompiledTreePattern>> {
-        let key = (class_id, pattern.to_string());
+        let key = (class_id, format!("{pattern:?}"));
         let mut map = lock(&self.trees);
         if let Some(hit) = map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.account(true);
             return Ok(Arc::clone(hit));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.account(false);
         let compiled = Arc::new(pattern.compile(class_id, class)?);
         map.insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
 
     /// The compiled form of the list pattern `(re, anchors)` against
-    /// `class`, compiling on first sight.
+    /// `class`, compiling on first sight. Anchors are distinct key
+    /// fields — never folded into the pattern text.
     pub fn list(
         &self,
         re: &Re<Sym>,
@@ -80,20 +121,13 @@ impl PatternCache {
         class_id: ClassId,
         class: &ClassDef,
     ) -> Result<Arc<ListPattern>> {
-        let key = (
-            class_id,
-            format!(
-                "{}{re}{}",
-                if anchor_start { "^" } else { "" },
-                if anchor_end { "$" } else { "" }
-            ),
-        );
+        let key = (class_id, anchor_start, anchor_end, format!("{re:?}"));
         let mut map = lock(&self.lists);
         if let Some(hit) = map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.account(true);
             return Ok(Arc::clone(hit));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.account(false);
         let compiled = Arc::new(ListPattern::compile(
             re.clone(),
             anchor_start,
@@ -113,6 +147,11 @@ impl PatternCache {
     /// Cache misses (= compilations performed) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups so far (`hits() + misses()`, maintained exactly).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// Number of distinct compiled patterns held.
@@ -180,6 +219,71 @@ mod tests {
         assert!(!Arc::ptr_eq(&l1, &l2));
         assert!(Arc::ptr_eq(&l1, &l3));
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn identical_render_distinct_ast_do_not_collide() {
+        use crate::alphabet::PredExpr;
+        use aqua_object::ObjectStore;
+
+        // Attr names are arbitrary strings and `Display` interpolates
+        // them raw, so an attr literally named `x = 1} {y` makes this
+        // one-leaf pattern render byte-identical to the two-leaf
+        // concatenation below. A text-keyed cache would hand one
+        // compilation to both queries; Debug-encoded keys must not.
+        let mut store = ObjectStore::new();
+        let class = store
+            .define_class(
+                ClassDef::new(
+                    "N",
+                    vec![
+                        AttrDef::stored("x", AttrType::Int),
+                        AttrDef::stored("y", AttrType::Int),
+                        AttrDef::stored("x = 1} {y", AttrType::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let leaf = |p: PredExpr| Re::Leaf(Sym::Pred(p));
+        let one = leaf(PredExpr::eq("x = 1} {y", 1));
+        let two = leaf(PredExpr::eq("x", 1)).then(leaf(PredExpr::eq("y", 1)));
+        assert_eq!(one.to_string(), two.to_string(), "the trap is real");
+
+        let cache = PatternCache::new();
+        let c1 = cache
+            .list(&one, false, false, class, store.class(class))
+            .unwrap();
+        let c2 = cache
+            .list(&two, false, false, class, store.class(class))
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&c1, &c2),
+            "identically-rendered patterns must not share a compilation"
+        );
+        assert_eq!(cache.misses(), 2, "two distinct compilations");
+        assert_eq!(c1.leaves().len(), 1, "one-leaf NFA");
+        assert_eq!(c2.leaves().len(), 2, "two-leaf NFA");
+        assert_eq!(cache.lookups(), cache.hits() + cache.misses());
+    }
+
+    #[test]
+    fn metrics_mirror_cache_traffic() {
+        let (store, class) = store_with_class();
+        let env = PredEnv::with_default_attr("label");
+        let p = parse_tree_pattern("a(b)", &env).unwrap();
+        let cache = PatternCache::new();
+        let sink = Metrics::new();
+        assert!(cache.attach_metrics(sink.clone()));
+        assert!(!cache.attach_metrics(Metrics::new()), "first sink wins");
+        for _ in 0..3 {
+            cache.tree(&p, class, store.class(class)).unwrap();
+        }
+        let s = sink.snapshot();
+        assert_eq!(s.cache_lookups, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_hits + s.cache_misses, s.cache_lookups);
     }
 
     #[test]

@@ -86,9 +86,15 @@ pub fn accepting_ends_guarded(
     let mut next: Vec<StateId> = Vec::with_capacity(nfa.len());
     let mut seen = vec![false; nfa.len()];
 
+    // Hoisted once: disarmed runs pay one branch per position.
+    let obs = guard.and_then(ExecGuard::metrics);
     add_state(nfa, nfa.start(), &mut current, &mut seen);
     for pos in 0..=len {
         aqua_guard::steps_n(guard, current.len() as u64 + 1)?;
+        if let Some(m) = obs {
+            m.vm_steps.add(current.len() as u64 + 1);
+            m.vm_state_set.record(current.len() as u64);
+        }
         if current
             .iter()
             .any(|s| matches!(nfa.state(*s), State::Accept))
@@ -177,6 +183,9 @@ fn dfs(
     guard: Option<&ExecGuard>,
 ) -> Result<bool, GuardError> {
     aqua_guard::step(guard)?;
+    if let Some(m) = guard.and_then(ExecGuard::metrics) {
+        m.vm_path_visits.inc();
+    }
     let key = (state.0, pos);
     if failed.contains(&key) || !on_stack.insert(key) {
         return Ok(false);
@@ -304,6 +313,9 @@ fn enum_dfs(
         return Ok(false);
     }
     aqua_guard::step(guard)?;
+    if let Some(m) = guard.and_then(ExecGuard::metrics) {
+        m.vm_path_visits.inc();
+    }
     let key = (state.0, pos);
     if failed.contains(&key) || !on_stack.insert(key) {
         return Ok(false);

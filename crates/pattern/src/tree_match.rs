@@ -216,6 +216,9 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
             return false;
         }
         if let Some(g) = self.guard {
+            if let Some(m) = g.metrics() {
+                m.match_visits.inc();
+            }
             if let Err(e) = g.step() {
                 self.tripped = Some(e);
                 return false;
@@ -273,6 +276,9 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
         let key = (pat.0, node);
         if self.memoize {
             if let Some(&v) = self.memo.get(&key) {
+                if let Some(m) = self.guard.and_then(ExecGuard::metrics) {
+                    m.match_memo_hits.inc();
+                }
                 return v;
             }
         }
@@ -410,8 +416,14 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
         self.trunc = TruncCounters::default();
         let mut out = Vec::new();
         let mut candidates_left = candidates.len();
+        // Hoisted once; `self.guard` holds a `&'a ExecGuard`, so the
+        // borrow does not pin `self`.
+        let obs = self.guard.and_then(ExecGuard::metrics);
         for &node in candidates {
             candidates_left -= 1;
+            if let Some(m) = obs {
+                m.match_candidates.inc();
+            }
             if let Some(g) = self.guard {
                 if let Err(e) = g.checkpoint() {
                     self.tripped = None;
@@ -419,11 +431,17 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
                 }
             }
             if self.cp.at_root && node != self.tree.root() {
+                if let Some(m) = obs {
+                    m.match_candidates_pruned.inc();
+                }
                 continue;
             }
             let root_pat = self.cp.root();
             if !self.pat_matches(root_pat, node) {
                 self.take_tripped()?;
+                if let Some(m) = obs {
+                    m.match_candidates_pruned.inc();
+                }
                 continue;
             }
             let mut partials = Vec::new();
@@ -452,6 +470,9 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
                     nodes: p.nodes,
                     cuts: p.cuts,
                 });
+                if let Some(m) = obs {
+                    m.matches_found.inc();
+                }
                 kept += 1;
                 if kept >= cfg.per_root_limit || out.len() >= cfg.max_matches {
                     if partials_left > 0 {

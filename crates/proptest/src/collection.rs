@@ -38,7 +38,7 @@ pub fn vec<S: Strategy, B: SizeBounds>(elem: S, size: B) -> VecStrategy<S, B> {
     VecStrategy { elem, size }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec()`].
 pub struct VecStrategy<S, B> {
     elem: S,
     size: B,

@@ -87,7 +87,7 @@ impl TestRunner {
     }
 
     /// Run `f` until `cfg.cases` cases pass. A case that unwinds with a
-    /// [`Rejection`] payload is discarded; any other unwind fails the test
+    /// `Rejection` payload is discarded; any other unwind fails the test
     /// after printing the case's seed and generated inputs.
     pub fn run(&mut self, mut f: impl FnMut(&mut TestRng)) {
         let max_rejects = 16 * self.cfg.cases as u64;

@@ -1,0 +1,312 @@
+//! Property suite for the observability layer: the counters a metrics
+//! sink accumulates must cohere with what execution actually did — and
+//! with the guard's own progress accounting — at every scale proptest
+//! throws at them. Four invariant families:
+//!
+//! 1. *Engine agreement*: for a pure Pike-VM run, `vm_steps` equals the
+//!    guard's `Progress.steps` exactly (the same increments feed both),
+//!    and every `obs_snapshot` stamps `engine_steps` from the guard.
+//! 2. *Counter sanity*: visits ≥ matches, candidates ≥ pruned,
+//!    cache hits + misses == lookups.
+//! 3. *Merge algebra*: per-worker snapshots merge field-wise, so any
+//!    merge order yields the same total.
+//! 4. *Disarmed honesty*: a guard without a sink reports all-zero
+//!    detail counters while still stamping engine progress.
+
+use aqua_algebra::tree::ops as tops;
+use aqua_guard::{Budget, ExecGuard, Metrics, MetricsSnapshot, SharedGuard};
+use aqua_object::AttrId;
+use aqua_optimizer::{Catalog, Explain, Optimizer};
+use aqua_pattern::nfa::{LeafId, Nfa};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::pike;
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::{PatternCache, PredExpr, Re};
+use aqua_store::{ColumnStats, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+use proptest::prelude::*;
+
+/// Compile a `Re<char>` the way the pike unit tests do: leaves intern
+/// to their index, `?` matches anything.
+fn compile_chars(re: &Re<char>) -> (Nfa, Vec<char>) {
+    let mut leaves = Vec::new();
+    let nfa = Nfa::compile(re, &mut |c: &char| {
+        leaves.push(*c);
+        (LeafId(leaves.len() as u32 - 1), false)
+    });
+    (nfa, leaves)
+}
+
+/// Run an armed guarded `sub_select` over a random tree and return
+/// (snapshot, result size, guard steps).
+fn armed_sub_select(seed: u64, nodes: usize) -> (MetricsSnapshot, usize, u64) {
+    let d = RandomTreeGen::new(seed)
+        .nodes(nodes)
+        .label_weights(&[("d", 1), ("a", 3), ("x", 6)])
+        .generate();
+    let cp = parse_tree_pattern("d(?* a ?*)", &PredEnv::with_default_attr("label"))
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let guard = ExecGuard::new(Budget::unlimited()).with_metrics(Metrics::new());
+    let got = tops::sub_select_guarded(
+        &d.store,
+        &d.tree,
+        &cp,
+        &MatchConfig::first_per_root(),
+        Some(&guard),
+    )
+    .unwrap();
+    (guard.obs_snapshot(), got.len(), guard.snapshot().steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pure Pike-VM run: the sink's `vm_steps` and the guard's
+    /// `Progress.steps` are fed by the very same increments, so they
+    /// agree exactly — and `obs_snapshot` stamps that number into
+    /// `engine_steps`.
+    #[test]
+    fn pike_vm_steps_equal_guard_progress(
+        picks in proptest::collection::vec(0usize..3, 0..40),
+    ) {
+        let input: Vec<char> = picks.iter().map(|&i| ['a', 'b', 'x'][i]).collect();
+        let re = Re::Leaf('?').star().then(Re::Leaf('a')).then(Re::Leaf('?').star());
+        let (nfa, leaves) = compile_chars(&re);
+        let guard = ExecGuard::new(Budget::unlimited()).with_metrics(Metrics::new());
+        let ends = pike::accepting_ends_guarded(
+            &nfa,
+            input.len(),
+            &mut |l, p| leaves[l.0 as usize] == input[p] || leaves[l.0 as usize] == '?',
+            Some(&guard),
+        ).unwrap();
+        let snap = guard.obs_snapshot();
+        let progress = guard.snapshot();
+        prop_assert!(progress.steps > 0, "simulation always takes at least one step");
+        prop_assert_eq!(snap.vm_steps, progress.steps,
+            "vm_steps and guard steps mirror the same increments");
+        prop_assert_eq!(snap.engine_steps, progress.steps);
+        prop_assert!(snap.vm_state_set.count() > 0);
+        prop_assert!(ends.len() <= input.len() + 1);
+    }
+
+    /// Tree-matcher counters bound each other: you cannot find more
+    /// matches than you made node visits or considered candidates, and
+    /// pruning never exceeds the candidate count.
+    #[test]
+    fn matcher_visits_bound_matches(seed in 0u64..4000, nodes in 2usize..120) {
+        let (snap, found, _) = armed_sub_select(seed, nodes);
+        prop_assert_eq!(snap.matches_found, found as u64,
+            "matches_found counts exactly the emitted matches");
+        prop_assert!(snap.match_visits >= snap.matches_found,
+            "visits {} < matches {}", snap.match_visits, snap.matches_found);
+        prop_assert!(snap.match_candidates >= snap.matches_found);
+        prop_assert!(snap.match_candidates >= snap.match_candidates_pruned);
+    }
+
+    /// The pattern cache balances its books: hits + misses == lookups,
+    /// on its own counters and on the mirrored metrics sink alike.
+    #[test]
+    fn cache_hits_plus_misses_equal_lookups(
+        picks in proptest::collection::vec(0usize..4, 1..24),
+    ) {
+        let d = RandomTreeGen::new(7).nodes(8).generate();
+        let cache = PatternCache::new();
+        let sink = Metrics::new();
+        prop_assert!(cache.attach_metrics(sink.clone()));
+        let env = PredEnv::with_default_attr("label");
+        let pool = ["a", "a(?*)", "?(a ?*)", "d(?* a ?*)"];
+        for &i in &picks {
+            let p = parse_tree_pattern(pool[i], &env).unwrap();
+            cache.tree(&p, d.class, d.store.class(d.class)).unwrap();
+        }
+        prop_assert_eq!(cache.lookups(), picks.len() as u64);
+        prop_assert_eq!(cache.hits() + cache.misses(), cache.lookups());
+        let snap = sink.snapshot();
+        prop_assert_eq!(snap.cache_lookups, cache.lookups());
+        prop_assert_eq!(snap.cache_hits + snap.cache_misses, snap.cache_lookups);
+    }
+
+    /// Per-worker snapshots merge to the same total whatever the order:
+    /// three distinct armed runs, folded forwards and backwards.
+    #[test]
+    fn snapshot_merge_is_order_independent(
+        seeds in proptest::collection::vec(0u64..4000, 3),
+        nodes in 2usize..60,
+    ) {
+        let snaps: Vec<MetricsSnapshot> = seeds
+            .iter()
+            .map(|&s| armed_sub_select(s, nodes).0)
+            .collect();
+        let mut fwd = MetricsSnapshot::default();
+        for s in &snaps {
+            fwd.merge(s);
+        }
+        let mut rev = MetricsSnapshot::default();
+        for s in snaps.iter().rev() {
+            rev.merge(s);
+        }
+        prop_assert_eq!(&fwd, &rev, "merge must be order-independent");
+        let total: u64 = snaps.iter().map(|s| s.match_visits).sum();
+        prop_assert_eq!(fwd.match_visits, total, "merge sums, never clamps");
+        prop_assert_eq!(
+            fwd.vm_state_set.count(),
+            snaps.iter().map(|s| s.vm_state_set.count()).sum::<u64>()
+        );
+    }
+
+    /// A guard without a sink is honest about it: every detail counter
+    /// zero, engine progress still stamped from the guard.
+    #[test]
+    fn disarmed_guard_reports_zero_detail(seed in 0u64..4000, nodes in 2usize..120) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(nodes)
+            .label_weights(&[("d", 1), ("x", 6)])
+            .generate();
+        let cp = parse_tree_pattern("d(?*)", &PredEnv::with_default_attr("label"))
+            .unwrap()
+            .compile(d.class, d.store.class(d.class))
+            .unwrap();
+        let guard = ExecGuard::new(Budget::unlimited());
+        tops::sub_select_guarded(
+            &d.store, &d.tree, &cp, &MatchConfig::first_per_root(), Some(&guard),
+        ).unwrap();
+        let snap = guard.obs_snapshot();
+        prop_assert!(snap.is_disarmed_zero(), "disarmed run must report zeros: {snap:?}");
+        let progress = guard.snapshot();
+        prop_assert_eq!(snap.engine_steps, progress.steps);
+        prop_assert!(snap.engine_steps > 0, "the guard itself still counted");
+    }
+}
+
+/// A guarded optimizer execution always carries a `MetricsSnapshot` in
+/// its `Explain`, with `engine_steps` equal to the guard's own count —
+/// armed or not — alongside the predicted cost it can be compared to.
+#[test]
+fn explain_carries_snapshot_on_guarded_execution() {
+    let d = RandomTreeGen::new(11)
+        .nodes(400)
+        .label_weights(&[("u", 1), ("x", 9)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let opt = Optimizer::new(&cat);
+    let pattern = parse_tree_pattern("u(?*)", &PredEnv::with_default_attr("label")).unwrap();
+    let (plan, mut explain) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+    assert!(
+        explain.predicted_cost.is_some(),
+        "planning records the winner's cost"
+    );
+
+    let guard = ExecGuard::new(Budget::unlimited()).with_metrics(Metrics::new());
+    plan.execute_guarded(
+        &cat,
+        &d.tree,
+        &MatchConfig::first_per_root(),
+        Some(&guard),
+        &mut explain,
+    )
+    .unwrap();
+    let snap = explain.metrics.as_ref().expect("guarded execution stamps");
+    assert_eq!(snap.engine_steps, guard.snapshot().steps);
+    assert!(
+        !snap.is_disarmed_zero(),
+        "armed run must show detail counters"
+    );
+    let shown = explain.to_string();
+    assert!(
+        shown.contains("observed:") && shown.contains("predicted cost:"),
+        "Explain renders both sides of the predicted-vs-observed story:\n{shown}"
+    );
+
+    // The same plan run under a sink-less guard still stamps a snapshot
+    // — all-zero detail, real engine progress.
+    let plain = ExecGuard::new(Budget::unlimited());
+    let mut explain2 = Explain::default();
+    let (plan2, _) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+    let _ = plan2
+        .execute_guarded(
+            &cat,
+            &d.tree,
+            &MatchConfig::first_per_root(),
+            Some(&plain),
+            &mut explain2,
+        )
+        .unwrap();
+    let snap2 = explain2.metrics.as_ref().expect("disarmed still stamps");
+    assert!(snap2.is_disarmed_zero());
+    assert_eq!(snap2.engine_steps, plain.snapshot().steps);
+}
+
+/// A forest fleet shares one sink: workers minted after `attach_metrics`
+/// inherit it, the `Explain` carries the fleet-wide merged snapshot, and
+/// its engine numbers equal the `SharedGuard`'s merged progress.
+#[test]
+fn forest_explain_carries_fleet_snapshot() {
+    let f = RandomTreeGen::new(29)
+        .nodes(300)
+        .label_weights(&[("u", 1), ("x", 9)])
+        .generate_forest(6);
+    let set = aqua_algebra::bulk::TreeSet::from_trees(f.trees);
+    let idxs: Vec<TreeNodeIndex> = set
+        .members()
+        .iter()
+        .map(|t| TreeNodeIndex::build(&f.store, t, f.class, AttrId(0)))
+        .collect();
+    let stats = ColumnStats::build(&f.store, f.class, AttrId(0));
+    let cats: Vec<Catalog<'_>> = idxs
+        .iter()
+        .map(|idx| {
+            let mut c = Catalog::new(&f.store, f.class);
+            c.add_tree_index(idx).add_stats(&stats);
+            c
+        })
+        .collect();
+    let opt = Optimizer::new(&cats[0]);
+    let pattern = parse_tree_pattern("u(?*)", &PredEnv::with_default_attr("label")).unwrap();
+    let sizes: Vec<usize> = set.members().iter().map(|t| t.len()).collect();
+    let (mut plan, _) = opt.plan_forest_sub_select(&pattern, &sizes, 4).unwrap();
+    plan.degree = 4;
+
+    let fleet = SharedGuard::new(Budget::unlimited());
+    assert!(fleet.attach_metrics(Metrics::new()), "first attach wins");
+    let mut explain = Explain::default();
+    plan.execute_guarded(
+        &cats,
+        &set,
+        &MatchConfig::first_per_root(),
+        Some(&fleet),
+        &mut explain,
+    )
+    .unwrap();
+
+    let snap = explain.metrics.as_ref().expect("fleet execution stamps");
+    assert_eq!(snap.engine_steps, fleet.snapshot().steps);
+    assert!(snap.match_visits > 0, "workers fed the shared sink");
+    assert!(snap.pool_workers >= 1, "the pool accounted its workers");
+    // The sink the fleet carries is the very one we attached.
+    assert_eq!(fleet.metrics().unwrap().snapshot().vm_steps, snap.vm_steps);
+}
+
+/// Alphabet-predicate compile check kept alive so the imports above stay
+/// honest about what this suite exercises.
+#[test]
+fn predicate_counters_survive_json_round_trip() {
+    let d = RandomTreeGen::new(3).nodes(40).generate();
+    let _ = PredExpr::eq("label", "a").compile(d.class, d.store.class(d.class));
+    let (snap, _, _) = armed_sub_select(5, 50);
+    let json = snap.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    for field in [
+        "\"engine_steps\":",
+        "\"vm_steps\":",
+        "\"match_visits\":",
+        "\"cache_lookups\":",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    assert!(!json.contains('\n'), "snapshot JSON is single-line");
+}

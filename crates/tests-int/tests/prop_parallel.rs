@@ -20,8 +20,19 @@ use aqua_workload::SongGen;
 use proptest::prelude::*;
 
 /// Thread counts swept by every equivalence property: inline serial,
-/// fewer workers than members, more workers than members.
-const THREADS: &[usize] = &[1, 2, 3, 8];
+/// fewer workers than members, more workers than members by default.
+/// `AQUA_TEST_THREADS=<n>` (the CI matrix) pins the sweep to `[1, n]`
+/// so each matrix leg genuinely runs at its advertised degree.
+fn threads() -> Vec<usize> {
+    match std::env::var("AQUA_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 1 => vec![1, n],
+        Some(_) => vec![1],
+        None => vec![1, 2, 3, 8],
+    }
+}
 
 /// The failpoint registry is process-global; serialize the tests that
 /// arm points so parallel test threads don't observe each other's
@@ -60,7 +71,7 @@ proptest! {
         let serial_select = set.select(&f.store, &pred);
         let serial_apply = set.apply(|o| o);
 
-        for &t in THREADS {
+        for &t in &threads() {
             prop_assert_eq!(
                 &set.par_sub_select(&f.store, &compiled, &cfg, t, None).unwrap(),
                 &serial, "sub_select diverged at {} threads", t
@@ -106,7 +117,7 @@ proptest! {
         let serial_ss = set.sub_select(&d.store, &p, MatchMode::Nonoverlapping);
         let serial_sm = set.select_members(&d.store, &p);
 
-        for &t in THREADS {
+        for &t in &threads() {
             prop_assert_eq!(
                 &set.par_find_matches(&d.store, &p, MatchMode::All, t, None).unwrap(),
                 &serial_fm, "find_matches diverged at {} threads", t
