@@ -1,0 +1,168 @@
+//! B12 — serving-layer overhead: the same optimizer plan executed
+//! directly versus through the `aqua-service` front end (admission →
+//! deadline → retry → breaker) with nothing armed and nothing faulted.
+//!
+//! The pipeline's unfaulted cost is one admission lock round-trip, one
+//! breaker decision, one submission-counter bump, and two disarmed
+//! failpoint loads — all O(1) per submission — so the service rows must
+//! stay within the bench gate's band of their direct twins. The gate
+//! keys on the row names, so a regression in the front door itself (not
+//! the engine) fails CI.
+//!
+//! `AQUA_BENCH_QUICK` shrinks iterations for the CI gate;
+//! `AQUA_BENCH_JSON=<path>` dumps the rows for `bench_gate`.
+
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_guard::{Budget, ExecGuard};
+use aqua_object::AttrId;
+use aqua_optimizer::{Catalog, Explain, Optimizer};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_service::{QueryService, Request};
+use aqua_store::{AttrIndex, ColumnStats, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+
+struct Out {
+    table: Table,
+    rows: Vec<(&'static str, Timed)>,
+    iters: usize,
+}
+
+impl Out {
+    fn new() -> Out {
+        Out {
+            table: Table::new(&["path", "median ms"]),
+            rows: Vec::new(),
+            iters: aqua_bench::iters_for(20, 5),
+        }
+    }
+
+    fn row(&mut self, name: &'static str, t: Timed) {
+        self.table.row(vec![name.into(), ms(t)]);
+        self.rows.push((name, t));
+    }
+
+    fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"b12_service_overhead\",\n");
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str("  \"rows\": [\n");
+        for (i, (name, t)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"bench\":\"b12\",\"name\":\"{name}\",\"median_ms\":{:.4},\"result_size\":{}}}{comma}\n",
+                t.secs * 1e3,
+                t.result_size
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Tree `sub_select` over the same 5k-node dataset `b10`'s guard rows
+/// use: direct plan execution with a disarmed guard vs the full service
+/// pipeline.
+fn bench_tree(out: &mut Out, svc: &QueryService) {
+    let d = RandomTreeGen::new(6)
+        .nodes(5000)
+        .label_weights(&[("d", 1), ("x", 9)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+
+    let pattern = parse_tree_pattern("d(?*)", &PredEnv::with_default_attr("label")).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let (plan, _) = Optimizer::new(&cat)
+        .plan_tree_sub_select(&pattern, d.tree.len())
+        .unwrap();
+
+    let direct = time_median(out.iters, || {
+        let guard = ExecGuard::new(Budget::unlimited());
+        let mut explain = Explain::default();
+        plan.execute_guarded(&cat, &d.tree, &cfg, Some(&guard), &mut explain)
+            .unwrap()
+            .len()
+    });
+    out.row("sub_select_5k_direct", direct);
+
+    let req = Request::new("bench");
+    let service = time_median(out.iters, || {
+        svc.tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+            .unwrap()
+            .value
+            .len()
+    });
+    assert_eq!(
+        service.result_size, direct.result_size,
+        "service answer must match direct execution"
+    );
+    out.row("sub_select_5k_service", service);
+}
+
+/// Set select over a 50k-object extent: direct capped-plan execution vs
+/// the service pipeline.
+fn bench_set(out: &mut Out, svc: &QueryService) {
+    let mut store = aqua_object::ObjectStore::new();
+    let class = store
+        .define_class(
+            aqua_object::ClassDef::new(
+                "P",
+                vec![aqua_object::AttrDef::stored(
+                    "age",
+                    aqua_object::AttrType::Int,
+                )],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for i in 0..50_000 {
+        store
+            .insert_named("P", &[("age", aqua_object::Value::Int(i % 97))])
+            .unwrap();
+    }
+    let idx = AttrIndex::build(&store, class, AttrId(0));
+    let stats = ColumnStats::build(&store, class, AttrId(0));
+    let mut cat = Catalog::new(&store, class);
+    cat.add_attr_index(&idx).add_stats(&stats);
+
+    let pred = PredExpr::eq("age", 41);
+    let (plan, _) = Optimizer::new(&cat).plan_set_select(&pred).unwrap();
+
+    let direct = time_median(out.iters, || {
+        let guard = ExecGuard::new(Budget::unlimited());
+        let mut explain = Explain::default();
+        plan.execute_guarded(&cat, Some(&guard), &mut explain)
+            .unwrap()
+            .len()
+    });
+    out.row("set_select_50k_direct", direct);
+
+    let req = Request::new("bench");
+    let service = time_median(out.iters, || {
+        svc.set_select(&req, &cat, &pred).unwrap().value.len()
+    });
+    assert_eq!(
+        service.result_size, direct.result_size,
+        "service answer must match direct execution"
+    );
+    out.row("set_select_50k_service", service);
+}
+
+fn main() {
+    let mut out = Out::new();
+    let svc = QueryService::default();
+    bench_tree(&mut out, &svc);
+    bench_set(&mut out, &svc);
+    out.table
+        .print("B12 — service front-end overhead (unfaulted path)");
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        std::fs::write(&path, out.json()).expect("write AQUA_BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
+}

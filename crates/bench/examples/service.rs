@@ -1,0 +1,132 @@
+//! A fault storm absorbed by the `aqua-service` front end.
+//!
+//! One `QueryService` fronts a tree store while a failpoint storm
+//! strikes the dispatch boundary: transient faults are retried with
+//! seeded backoff, repeated failures trip the plan class's circuit
+//! breaker, callers behind the open breaker get *degraded* (truncated,
+//! flagged) answers instead of errors, and a half-open probe restores
+//! full fidelity once the storm passes. Run with:
+//!
+//! ```text
+//! cargo run -p aqua-bench --example service
+//! ```
+
+use std::time::Duration;
+
+use aqua_guard::failpoint;
+use aqua_object::AttrId;
+use aqua_optimizer::{Catalog, Optimizer};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_service::{
+    BreakerConfig, PlanClass, QueryService, Request, RetryPolicy, ServiceConfig,
+    SERVICE_DISPATCH_PROBE,
+};
+use aqua_store::{ColumnStats, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn main() {
+    // A 2k-node tree with a skewed label mix, indexed and cataloged.
+    let d = RandomTreeGen::new(11)
+        .nodes(2000)
+        .label_weights(&[("u", 1), ("x", 15)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+    let _ = Optimizer::new(&cat); // the service plans internally
+
+    let svc = QueryService::new(ServiceConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(5),
+            seed: 7,
+        },
+        breaker: BreakerConfig {
+            window: 4,
+            failure_threshold: 2,
+            probe_after: 2,
+        },
+        degraded_cap: 3,
+        ..ServiceConfig::default()
+    });
+    let req = Request::new("demo");
+    let show = |tag: &str, r: &aqua_service::Response<Vec<aqua_algebra::Tree>>| {
+        println!(
+            "  {tag:<12} {:?} — {} trees, {} attempt(s), {} retries, truncated: {}",
+            r.meta.dispatch,
+            r.value.len(),
+            r.meta.attempts,
+            r.meta.retries,
+            r.meta.truncation.truncated,
+        );
+    };
+
+    println!("== calm seas ==");
+    let clean = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .unwrap();
+    show("clean", &clean);
+
+    println!("\n== flaky backend: each submission's first 2 attempts fault ==");
+    for i in 0..2 {
+        failpoint::arm_times(SERVICE_DISPATCH_PROBE, "index shard flapping", 2);
+        let r = svc
+            .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+            .unwrap();
+        show(&format!("retried #{}", i + 1), &r);
+    }
+
+    println!("\n== storm: the backend goes down hard ==");
+    failpoint::arm(SERVICE_DISPATCH_PROBE, "index shard down");
+    for i in 0..2 {
+        let err = svc
+            .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+            .unwrap_err();
+        println!("  failure #{}   {err}", i + 1);
+    }
+    println!(
+        "  breaker({}) is now {:?}",
+        PlanClass::TreeSubSelect,
+        svc.breaker_state(PlanClass::TreeSubSelect)
+    );
+    failpoint::reset();
+
+    println!("\n== behind the open breaker: degraded but answering ==");
+    let degraded = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .unwrap();
+    show("degraded", &degraded);
+
+    println!("\n== half-open probe restores full fidelity ==");
+    let probe = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .unwrap();
+    show("probe", &probe);
+    let after = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .unwrap();
+    show("recovered", &after);
+    println!(
+        "  breaker({}) is back to {:?}",
+        PlanClass::TreeSubSelect,
+        svc.breaker_state(PlanClass::TreeSubSelect)
+    );
+    for ev in &probe.explain.service_events {
+        println!("  explain: {ev}");
+    }
+
+    println!("\n== the service's own ledger ==");
+    let snap = svc.metrics_snapshot();
+    println!(
+        "  admitted {}  shed {}  retried {}  tripped {}  degraded {}",
+        snap.svc_admitted, snap.svc_shed, snap.svc_retried, snap.svc_tripped, snap.svc_degraded
+    );
+    assert_eq!(after.value.len(), clean.value.len(), "fidelity restored");
+}

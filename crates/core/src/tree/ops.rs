@@ -145,18 +145,61 @@ pub fn sub_select_guarded(
     cfg: &MatchConfig,
     guard: Option<&ExecGuard>,
 ) -> Result<Vec<Tree>> {
+    Ok(sub_select_outcome_guarded(store, tree, pattern, cfg, guard)?.trees)
+}
+
+/// A `sub_select` result with its truncation provenance: the trees plus
+/// the [`MatchOutcome`](aqua_pattern::tree_match::MatchOutcome) clipping
+/// flags, so a serving layer can report *partial* results as partial
+/// instead of silently dropping the distinction.
+#[derive(Debug, Clone, Default)]
+pub struct SubSelectOutcome {
+    /// Result trees, in document order of their match roots.
+    pub trees: Vec<Tree>,
+    /// `true` if any [`MatchConfig`] limit clipped enumeration.
+    pub truncated: bool,
+    /// Child-list parse enumerations clipped by `parse_limit`.
+    pub clipped_parses: usize,
+    /// Roots whose instance list was clipped by `per_root_limit`.
+    pub clipped_roots: usize,
+    /// `true` if the scan stopped early at `max_matches`.
+    pub hit_max_matches: bool,
+}
+
+fn build_sub_select_outcome(
+    tree: &Tree,
+    outcome: aqua_pattern::tree_match::MatchOutcome,
+    guard: Option<&ExecGuard>,
+) -> Result<SubSelectOutcome> {
+    let mut trees = Vec::with_capacity(outcome.matches.len());
+    for m in &outcome.matches {
+        aqua_guard::steps_n(guard, m.nodes.len() as u64 + 1)?;
+        trees.push(reduced_match_tree(tree, m)?);
+        aqua_guard::result_emitted(guard)?;
+    }
+    Ok(SubSelectOutcome {
+        trees,
+        truncated: outcome.truncated,
+        clipped_parses: outcome.clipped_parses,
+        clipped_roots: outcome.clipped_roots,
+        hit_max_matches: outcome.hit_max_matches,
+    })
+}
+
+/// [`sub_select_guarded`] keeping the truncation flags.
+pub fn sub_select_outcome_guarded(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    guard: Option<&ExecGuard>,
+) -> Result<SubSelectOutcome> {
     let mut matcher = TreeMatcher::new(pattern, tree, store);
     if let Some(g) = guard {
         matcher = matcher.with_guard(g);
     }
     let outcome = matcher.find_matches_outcome(cfg)?;
-    let mut out = Vec::with_capacity(outcome.matches.len());
-    for m in &outcome.matches {
-        aqua_guard::steps_n(guard, m.nodes.len() as u64 + 1)?;
-        out.push(reduced_match_tree(tree, m)?);
-        aqua_guard::result_emitted(guard)?;
-    }
-    Ok(out)
+    build_sub_select_outcome(tree, outcome, guard)
 }
 
 /// Build `b ∘_{α_1…α_n} []` directly from a match: copy only the kept
@@ -212,18 +255,24 @@ pub fn sub_select_from_guarded(
     candidates: &[u32],
     guard: Option<&ExecGuard>,
 ) -> Result<Vec<Tree>> {
+    Ok(sub_select_from_outcome_guarded(store, tree, pattern, cfg, candidates, guard)?.trees)
+}
+
+/// [`sub_select_from_guarded`] keeping the truncation flags.
+pub fn sub_select_from_outcome_guarded(
+    store: &ObjectStore,
+    tree: &Tree,
+    pattern: &CompiledTreePattern,
+    cfg: &MatchConfig,
+    candidates: &[u32],
+    guard: Option<&ExecGuard>,
+) -> Result<SubSelectOutcome> {
     let mut matcher = TreeMatcher::new(pattern, tree, store);
     if let Some(g) = guard {
         matcher = matcher.with_guard(g);
     }
     let outcome = matcher.find_matches_from_outcome(candidates, cfg)?;
-    let mut out = Vec::with_capacity(outcome.matches.len());
-    for m in &outcome.matches {
-        aqua_guard::steps_n(guard, m.nodes.len() as u64 + 1)?;
-        out.push(reduced_match_tree(tree, m)?);
-        aqua_guard::result_emitted(guard)?;
-    }
-    Ok(out)
+    build_sub_select_outcome(tree, outcome, guard)
 }
 
 /// Remove exactly the cut holes from a match piece (pre-existing holes

@@ -22,7 +22,7 @@
 
 pub mod pool;
 
-pub use pool::{par_map, try_par_map, try_par_map_guarded};
+pub use pool::{par_map, try_par_map, try_par_map_guarded, Permits, WorkerPermits};
 
 /// Hardware parallelism available to this process (≥ 1).
 pub fn available_threads() -> usize {

@@ -15,12 +15,103 @@
 //! by the caller via [`SharedGuard::verdict`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use aqua_guard::{ExecGuard, SharedGuard};
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A shared cap on pool workers across concurrent bulk operations — the
+/// backpressure hook a serving layer puts in front of
+/// [`try_par_map_guarded`]. Each submission [`WorkerPermits::acquire`]s
+/// permits before
+/// spawning workers; when the machine is saturated the call blocks (a
+/// queue, not a spin), and a late submission that can only get one
+/// permit simply runs serially inline. Dropping the returned [`Permits`]
+/// releases the slots and wakes one waiter.
+#[derive(Debug)]
+pub struct WorkerPermits {
+    cap: usize,
+    inner: Arc<PermitInner>,
+}
+
+#[derive(Debug)]
+struct PermitInner {
+    in_use: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl WorkerPermits {
+    /// A permit pool with `cap` total worker slots (minimum 1).
+    pub fn new(cap: usize) -> WorkerPermits {
+        WorkerPermits {
+            cap: cap.max(1),
+            inner: Arc::new(PermitInner {
+                in_use: Mutex::new(0),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Total worker slots.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Slots currently held.
+    pub fn in_use(&self) -> usize {
+        *lock(&self.inner.in_use)
+    }
+
+    /// Block until at least one slot is free, then take up to `want`
+    /// (at least 1) of the free slots. Degrading the grant instead of
+    /// waiting for all `want` keeps latency bounded under load: a
+    /// starved submission runs narrower rather than queueing longer.
+    pub fn acquire(&self, want: usize) -> Permits {
+        let want = want.clamp(1, self.cap);
+        let mut in_use = lock(&self.inner.in_use);
+        while *in_use >= self.cap {
+            in_use = self
+                .inner
+                .freed
+                .wait(in_use)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        let granted = want.min(self.cap - *in_use);
+        *in_use += granted;
+        Permits {
+            granted,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// RAII grant from [`WorkerPermits::acquire`]; releases its slots and
+/// wakes waiters on drop.
+#[derive(Debug)]
+#[must_use = "dropping the grant releases the worker slots"]
+pub struct Permits {
+    granted: usize,
+    inner: Arc<PermitInner>,
+}
+
+impl Permits {
+    /// Number of worker slots granted — the thread count to hand to
+    /// [`try_par_map_guarded`].
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for Permits {
+    fn drop(&mut self) {
+        let mut in_use = lock(&self.inner.in_use);
+        *in_use -= self.granted;
+        drop(in_use);
+        self.inner.freed.notify_all();
+    }
 }
 
 /// One worker's slice of the input: a half-open index range behind a
@@ -332,6 +423,45 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, GuardError::Cancelled { .. }));
+    }
+
+    #[test]
+    fn permits_grant_and_release() {
+        let permits = WorkerPermits::new(4);
+        assert_eq!(permits.cap(), 4);
+        let a = permits.acquire(3);
+        assert_eq!(a.granted(), 3);
+        assert_eq!(permits.in_use(), 3);
+        // Only one slot left: the grant degrades instead of waiting.
+        let b = permits.acquire(4);
+        assert_eq!(b.granted(), 1);
+        assert_eq!(permits.in_use(), 4);
+        drop(a);
+        assert_eq!(permits.in_use(), 1);
+        let c = permits.acquire(8);
+        assert_eq!(c.granted(), 3, "want clamped to cap minus in-use");
+    }
+
+    #[test]
+    fn permits_block_until_freed() {
+        let permits = std::sync::Arc::new(WorkerPermits::new(2));
+        let all = permits.acquire(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let p2 = std::sync::Arc::clone(&permits);
+        let waiter = std::thread::spawn(move || {
+            let got = p2.acquire(1);
+            tx.send(got.granted()).unwrap();
+        });
+        // The waiter cannot proceed while both slots are held.
+        assert!(rx
+            .recv_timeout(std::time::Duration::from_millis(50))
+            .is_err());
+        drop(all);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            1
+        );
+        waiter.join().unwrap();
     }
 
     #[test]

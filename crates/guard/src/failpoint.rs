@@ -36,6 +36,15 @@ pub struct FailpointError {
     pub msg: String,
 }
 
+impl FailpointError {
+    /// Injected faults model transient infrastructure failures (an index
+    /// probe timing out, a store page momentarily unavailable), so they
+    /// are always [`crate::ErrorClass::Transient`] — the retry-safe class.
+    pub fn class(&self) -> crate::ErrorClass {
+        crate::ErrorClass::Transient
+    }
+}
+
 impl fmt::Display for FailpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "failpoint {:?} fired: {}", self.point, self.msg)

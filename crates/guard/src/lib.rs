@@ -46,6 +46,76 @@ use std::time::{Duration, Instant};
 /// unmeasurable while bounding detection latency.
 pub const CHECK_PERIOD: u64 = 1024;
 
+/// An absolute point in time every stage of a query observes as one
+/// shared budget.
+///
+/// [`Budget::max_duration`] is *relative* — measured from guard
+/// construction, so a retried attempt under a fresh guard would get a
+/// fresh clock. A `Deadline` is *absolute*: the serving layer stamps it
+/// once at admission, threads it through every attempt, every
+/// [`SharedGuard`] worker, and every stage (compile, plan, match,
+/// merge), and they all run out together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline(Instant);
+
+impl Deadline {
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline(instant)
+    }
+
+    /// A deadline `budget` from now.
+    pub fn from_now(budget: Duration) -> Deadline {
+        Deadline(Instant::now() + budget)
+    }
+
+    /// The absolute instant.
+    pub fn instant(&self) -> Instant {
+        self.0
+    }
+
+    /// Time left before the deadline (zero once passed).
+    pub fn remaining(&self) -> Duration {
+        self.0.saturating_duration_since(Instant::now())
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.0
+    }
+}
+
+/// Coarse failure taxonomy the serving layer keys its policies on:
+/// retry [`Transient`](ErrorClass::Transient) failures, surface
+/// [`Resource`](ErrorClass::Resource) exhaustion as a final (but
+/// well-explained) answer, and never retry
+/// [`Permanent`](ErrorClass::Permanent) errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// The operation may succeed if simply re-run: injected faults,
+    /// flaky probes, briefly unavailable dependencies. AQUA query
+    /// stages are idempotent and side-effect-free (a rewritten
+    /// sub-pattern probe can always be re-asked), so transient retries
+    /// are always safe.
+    Transient,
+    /// A budget axis ran out (steps, results, deadline). Retrying
+    /// without a bigger budget re-fails; the verdict is an answer.
+    Resource,
+    /// Retrying can never help: cancellation, malformed queries,
+    /// missing schema.
+    Permanent,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorClass::Transient => write!(f, "transient"),
+            ErrorClass::Resource => write!(f, "resource"),
+            ErrorClass::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
 /// Declarative resource limits for one query execution.
 ///
 /// `Budget::default()` (alias [`Budget::unlimited`]) imposes nothing;
@@ -65,6 +135,10 @@ pub struct Budget {
     /// Maximum number of produced results (matches, output trees, …)
     /// before [`GuardError::BudgetExceeded`].
     pub max_results: Option<u64>,
+    /// Absolute deadline, shared by every attempt and every stage —
+    /// unlike [`max_duration`](Budget::max_duration), which restarts
+    /// with each guard.
+    pub deadline: Option<Deadline>,
 }
 
 impl Budget {
@@ -96,10 +170,33 @@ impl Budget {
         self
     }
 
+    /// Impose an absolute deadline (see [`Deadline`]). Guards observe
+    /// it at every checkpoint alongside the relative
+    /// [`max_duration`](Budget::max_duration).
+    pub fn with_deadline_at(mut self, deadline: Deadline) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Whether this budget can ever trip (used to skip guard plumbing
     /// entirely for unlimited executions).
     pub fn is_unlimited(&self) -> bool {
-        self.max_steps.is_none() && self.max_duration.is_none() && self.max_results.is_none()
+        self.max_steps.is_none()
+            && self.max_duration.is_none()
+            && self.max_results.is_none()
+            && self.deadline.is_none()
+    }
+
+    /// The budget a *retry attempt* runs under after `spent` steps were
+    /// already charged by earlier attempts: the step axis shrinks so
+    /// total spend across attempts never exceeds the configured budget,
+    /// while the deadline (absolute) and the other axes carry over
+    /// unchanged.
+    pub fn remaining_after(mut self, spent: u64) -> Budget {
+        if let Some(max) = self.max_steps {
+            self.max_steps = Some(max.saturating_sub(spent));
+        }
+        self
     }
 }
 
@@ -206,6 +303,17 @@ impl GuardError {
             GuardError::BudgetExceeded { progress, .. }
             | GuardError::Timeout { progress, .. }
             | GuardError::Cancelled { progress } => *progress,
+        }
+    }
+
+    /// Which [`ErrorClass`] this verdict falls in: budget and deadline
+    /// exhaustion are [`Resource`](ErrorClass::Resource) (a bigger
+    /// budget, not a retry, is the remedy); cancellation is
+    /// [`Permanent`](ErrorClass::Permanent) (the caller asked).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            GuardError::BudgetExceeded { .. } | GuardError::Timeout { .. } => ErrorClass::Resource,
+            GuardError::Cancelled { .. } => ErrorClass::Permanent,
         }
     }
 
@@ -477,6 +585,16 @@ impl ExecGuard {
                 }));
             }
         }
+        if let Some(deadline) = self.budget.deadline {
+            if deadline.expired() {
+                // Report the budget this guard effectively had: from its
+                // start to the shared absolute deadline.
+                return Err(self.fail(GuardError::Timeout {
+                    limit: deadline.instant().saturating_duration_since(self.start),
+                    progress: self.snapshot(),
+                }));
+            }
+        }
         Ok(())
     }
 }
@@ -617,6 +735,7 @@ impl SharedGuard {
                 max_steps: None,
                 max_results: None,
                 max_duration: core.budget.max_duration,
+                deadline: core.budget.deadline,
             },
             cancel: core.cancel.clone(),
             start: core.start,
@@ -956,6 +1075,65 @@ mod tests {
         assert_eq!(s.match_visits, 30);
         assert_eq!(s.engine_steps, 30, "fleet total after flushes");
         assert_eq!(s.engine_steps, shared.snapshot().steps);
+    }
+
+    #[test]
+    fn absolute_deadline_trips_and_spans_guards() {
+        let deadline = Deadline::from_now(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(deadline.expired());
+        assert_eq!(deadline.remaining(), Duration::ZERO);
+        // A fresh guard (a "retry attempt") still observes the expired
+        // deadline — unlike max_duration, which would have restarted.
+        let g = ExecGuard::new(Budget::unlimited().with_deadline_at(deadline));
+        assert!(matches!(
+            g.checkpoint().unwrap_err(),
+            GuardError::Timeout { .. }
+        ));
+        // Fleet workers inherit the same absolute deadline.
+        let shared = SharedGuard::new(Budget::unlimited().with_deadline_at(deadline));
+        let w = shared.worker();
+        assert!(matches!(
+            w.checkpoint().unwrap_err(),
+            GuardError::Timeout { .. }
+        ));
+    }
+
+    #[test]
+    fn remaining_after_shrinks_only_steps() {
+        let b = Budget::unlimited()
+            .with_steps(100)
+            .with_results(5)
+            .with_deadline_at(Deadline::from_now(Duration::from_secs(60)));
+        let r = b.remaining_after(30);
+        assert_eq!(r.max_steps, Some(70));
+        assert_eq!(r.max_results, Some(5));
+        assert_eq!(r.deadline, b.deadline);
+        // Overspent: the next attempt trips on its first step.
+        let g = ExecGuard::new(b.remaining_after(1000));
+        assert!(matches!(
+            g.step().unwrap_err(),
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                limit: 0,
+                ..
+            }
+        ));
+        // No step cap to begin with: nothing to shrink.
+        assert_eq!(Budget::unlimited().remaining_after(10).max_steps, None);
+    }
+
+    #[test]
+    fn guard_errors_classify() {
+        let g = ExecGuard::new(Budget::unlimited().with_steps(0));
+        assert_eq!(g.step().unwrap_err().class(), ErrorClass::Resource);
+        let g = ExecGuard::new(Budget::unlimited().with_deadline(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(g.checkpoint().unwrap_err().class(), ErrorClass::Resource);
+        let token = CancelToken::new();
+        token.cancel();
+        let g = ExecGuard::cancellable(token);
+        assert_eq!(g.checkpoint().unwrap_err().class(), ErrorClass::Permanent);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | `split_cuts` (hist)      | concatenation points α per piece             |
 //! | `cache_lookups/hits/misses` | `PatternCache` traffic                    |
 //! | `pool_items/steals/flushes/workers` | work-stealing pool (`pool.rs`)    |
+//! | `svc_admitted/shed/retried/tripped/degraded` | `aqua-service` front end |
 //!
 //! Snapshots [`merge`](MetricsSnapshot::merge) field-wise (sums and
 //! bucket-wise histogram sums), which is commutative and associative:
@@ -213,6 +214,17 @@ pub struct Registry {
     pub pool_flushes: Counter,
     /// Workers minted (1 for the inline serial path).
     pub pool_workers: Counter,
+    /// Submissions admitted past the service front door.
+    pub svc_admitted: Counter,
+    /// Submissions shed (rejected) by admission control.
+    pub svc_shed: Counter,
+    /// Retry attempts launched after a transient failure.
+    pub svc_retried: Counter,
+    /// Circuit-breaker trips (closed → open transitions).
+    pub svc_tripped: Counter,
+    /// Degraded (partial/bounded) responses served while a breaker was
+    /// open.
+    pub svc_degraded: Counter,
     spans: Mutex<Vec<SpanEvent>>,
     spans_dropped: Counter,
 }
@@ -292,6 +304,11 @@ impl Metrics {
             pool_steals: r.pool_steals.get(),
             pool_flushes: r.pool_flushes.get(),
             pool_workers: r.pool_workers.get(),
+            svc_admitted: r.svc_admitted.get(),
+            svc_shed: r.svc_shed.get(),
+            svc_retried: r.svc_retried.get(),
+            svc_tripped: r.svc_tripped.get(),
+            svc_degraded: r.svc_degraded.get(),
             spans,
             spans_dropped: r.spans_dropped.get(),
         }
@@ -344,6 +361,16 @@ pub struct MetricsSnapshot {
     pub pool_flushes: u64,
     /// See [`Registry::pool_workers`].
     pub pool_workers: u64,
+    /// See [`Registry::svc_admitted`].
+    pub svc_admitted: u64,
+    /// See [`Registry::svc_shed`].
+    pub svc_shed: u64,
+    /// See [`Registry::svc_retried`].
+    pub svc_retried: u64,
+    /// See [`Registry::svc_tripped`].
+    pub svc_tripped: u64,
+    /// See [`Registry::svc_degraded`].
+    pub svc_degraded: u64,
     /// Completed spans, canonically sorted.
     pub spans: Vec<SpanEvent>,
     /// Spans discarded past [`SPAN_CAP`].
@@ -376,6 +403,11 @@ impl MetricsSnapshot {
         self.pool_steals += other.pool_steals;
         self.pool_flushes += other.pool_flushes;
         self.pool_workers += other.pool_workers;
+        self.svc_admitted += other.svc_admitted;
+        self.svc_shed += other.svc_shed;
+        self.svc_retried += other.svc_retried;
+        self.svc_tripped += other.svc_tripped;
+        self.svc_degraded += other.svc_degraded;
         self.spans.extend(other.spans.iter().cloned());
         self.spans.sort();
         self.spans_dropped += other.spans_dropped;
@@ -402,6 +434,11 @@ impl MetricsSnapshot {
             && self.pool_steals == 0
             && self.pool_flushes == 0
             && self.pool_workers == 0
+            && self.svc_admitted == 0
+            && self.svc_shed == 0
+            && self.svc_retried == 0
+            && self.svc_tripped == 0
+            && self.svc_degraded == 0
             && self.spans.is_empty()
             && self.spans_dropped == 0
     }
@@ -441,6 +478,11 @@ impl MetricsSnapshot {
             ",\"pool_items\":{},\"pool_steals\":{},\"pool_flushes\":{},\"pool_workers\":{}",
             self.pool_items, self.pool_steals, self.pool_flushes, self.pool_workers
         );
+        let _ = write!(
+            out,
+            ",\"svc_admitted\":{},\"svc_shed\":{},\"svc_retried\":{},\"svc_tripped\":{},\"svc_degraded\":{}",
+            self.svc_admitted, self.svc_shed, self.svc_retried, self.svc_tripped, self.svc_degraded
+        );
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -468,7 +510,7 @@ impl fmt::Display for MetricsSnapshot {
             self.engine_results,
             self.engine_elapsed_nanos as f64 / 1e6
         )?;
-        let rows: [(&str, u64); 14] = [
+        let rows: [(&str, u64); 19] = [
             ("pike-vm steps", self.vm_steps),
             ("parse-dag visits", self.vm_path_visits),
             ("tree visits", self.match_visits),
@@ -483,6 +525,11 @@ impl fmt::Display for MetricsSnapshot {
             ("pool items", self.pool_items),
             ("pool steals", self.pool_steals),
             ("pool workers", self.pool_workers),
+            ("service admitted", self.svc_admitted),
+            ("service shed", self.svc_shed),
+            ("service retried", self.svc_retried),
+            ("service tripped", self.svc_tripped),
+            ("service degraded", self.svc_degraded),
         ];
         for (name, v) in rows {
             if v > 0 {

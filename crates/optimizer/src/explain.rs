@@ -38,6 +38,13 @@ pub struct Explain {
     /// (zeros otherwise). `None` for unguarded executions and plans that
     /// were never executed.
     pub metrics: Option<MetricsSnapshot>,
+    /// Retry attempts a serving layer launched beyond the first (0 when
+    /// the plan ran once, or ran bare).
+    pub retries: usize,
+    /// Serving-layer decisions taken around this execution, in order:
+    /// retries with their cause, circuit-breaker trips, degraded
+    /// dispatches. Empty for bare library calls.
+    pub service_events: Vec<String>,
 }
 
 impl Explain {
@@ -92,6 +99,20 @@ impl Explain {
     pub fn chosen_degree(&self) -> usize {
         self.parallelism.max(1)
     }
+
+    /// Record a serving-layer retry and its cause. Public: the service
+    /// crate sits outside the optimizer.
+    pub fn record_retry(&mut self, why: &str) {
+        self.retries += 1;
+        self.service_events
+            .push(format!("retry #{}: {why}", self.retries));
+    }
+
+    /// Record a serving-layer decision (breaker trip, degraded dispatch,
+    /// probe) that shaped this execution.
+    pub fn record_service_event(&mut self, event: impl Into<String>) {
+        self.service_events.push(event.into());
+    }
 }
 
 impl fmt::Display for Explain {
@@ -133,6 +154,10 @@ impl fmt::Display for Explain {
         for fb in &self.fallbacks {
             sep(f)?;
             write!(f, "fallback: {fb}")?;
+        }
+        for ev in &self.service_events {
+            sep(f)?;
+            write!(f, "service: {ev}")?;
         }
         if let Some(m) = &self.metrics {
             sep(f)?;

@@ -81,16 +81,34 @@ impl ForestPlan {
         guard: Option<&SharedGuard>,
         explain: &mut Explain,
     ) -> Result<Vec<(usize, Tree)>> {
+        self.execute_guarded_at(self.degree, catalogs, set, cfg, guard, explain)
+    }
+
+    /// [`execute_guarded`](Self::execute_guarded) at an explicit worker
+    /// count, overriding the planned degree — the hook a serving layer
+    /// under backpressure uses to run a plan narrower than planned (a
+    /// [`WorkerPermits`](aqua_exec::WorkerPermits) grant) without
+    /// replanning.
+    pub fn execute_guarded_at(
+        &self,
+        degree: usize,
+        catalogs: &[Catalog<'_>],
+        set: &TreeSet,
+        cfg: &MatchConfig,
+        guard: Option<&SharedGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<(usize, Tree)>> {
         if catalogs.len() != set.len() {
             return Err(OptError::CatalogMismatch {
                 members: set.len(),
                 catalogs: catalogs.len(),
             });
         }
-        explain.degree(self.degree);
+        let degree = degree.max(1);
+        explain.degree(degree);
         type MemberOut = (Vec<Tree>, Vec<String>);
         let run: std::result::Result<Vec<MemberOut>, OptError> =
-            exec::try_par_map_guarded(set.members(), self.degree, guard, |i, tree, g| {
+            exec::try_par_map_guarded(set.members(), degree, guard, |i, tree, g| {
                 let mut local = Explain::default();
                 // The non-stamping core: members share the fleet sink,
                 // so one fleet-wide snapshot (below) covers them all.

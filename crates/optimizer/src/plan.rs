@@ -123,8 +123,40 @@ impl TreePlan {
         guard: Option<&ExecGuard>,
         explain: &mut Explain,
     ) -> Result<Vec<Tree>> {
+        Ok(self
+            .execute_outcome_core(catalog, tree, cfg, guard, explain)?
+            .trees)
+    }
+
+    /// [`execute_guarded`](Self::execute_guarded) keeping the truncation
+    /// flags ([`tree_ops::SubSelectOutcome`]) — what a serving layer
+    /// needs to report a clamped-`MatchConfig` degraded response as
+    /// *partial* instead of passing it off as complete.
+    pub fn execute_outcome_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<tree_ops::SubSelectOutcome> {
+        let out = self.execute_outcome_core(catalog, tree, cfg, guard, explain);
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        out
+    }
+
+    fn execute_outcome_core(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<tree_ops::SubSelectOutcome> {
         match self {
-            TreePlan::FullPatternScan { pattern, .. } => Ok(tree_ops::sub_select_guarded(
+            TreePlan::FullPatternScan { pattern, .. } => Ok(tree_ops::sub_select_outcome_guarded(
                 catalog.store,
                 tree,
                 pattern,
@@ -142,7 +174,7 @@ impl TreePlan {
                     .tree_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
                 match idx.try_lookup_cmp(*op, value) {
-                    Ok(candidates) => Ok(tree_ops::sub_select_from_guarded(
+                    Ok(candidates) => Ok(tree_ops::sub_select_from_outcome_guarded(
                         catalog.store,
                         tree,
                         pattern,
@@ -152,7 +184,7 @@ impl TreePlan {
                     )?),
                     Err(e) => {
                         explain.fallback(format!("index probe failed ({e}); full pattern scan"));
-                        Ok(tree_ops::sub_select_guarded(
+                        Ok(tree_ops::sub_select_outcome_guarded(
                             catalog.store,
                             tree,
                             pattern,
@@ -351,19 +383,52 @@ impl SetPlan {
         guard: Option<&ExecGuard>,
         explain: &mut Explain,
     ) -> Result<Vec<Oid>> {
-        fn scan(catalog: &Catalog<'_>, pred: &Pred, guard: Option<&ExecGuard>) -> Result<Vec<Oid>> {
+        Ok(self.execute_capped_core(catalog, None, guard, explain)?.0)
+    }
+
+    /// [`execute_guarded`](Self::execute_guarded) with an optional cap
+    /// on emitted OIDs: scanning stops early once `cap` results are
+    /// found and the `bool` reports whether the answer was clipped. The
+    /// degraded-response path of a serving layer — a prefix (in extent
+    /// order) of the full answer, flagged as partial.
+    pub fn execute_capped_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        cap: Option<u64>,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<(Vec<Oid>, bool)> {
+        let out = self.execute_capped_core(catalog, cap, guard, explain);
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        out
+    }
+
+    fn execute_capped_core(
+        &self,
+        catalog: &Catalog<'_>,
+        cap: Option<u64>,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<(Vec<Oid>, bool)> {
+        let full = |out: &Vec<Oid>| cap.is_some_and(|c| out.len() as u64 >= c);
+        let scan = |pred: &Pred, guard: Option<&ExecGuard>| -> Result<(Vec<Oid>, bool)> {
             let mut out = Vec::new();
             for &o in catalog.store.extent(catalog.class) {
+                if full(&out) {
+                    return Ok((out, true));
+                }
                 aqua_guard::step(guard)?;
                 if pred.eval(catalog.store, o) {
                     out.push(o);
                     aqua_guard::result_emitted(guard)?;
                 }
             }
-            Ok(out)
-        }
+            Ok((out, false))
+        };
         match self {
-            SetPlan::ExtentScan { pred, .. } => scan(catalog, pred, guard),
+            SetPlan::ExtentScan { pred, .. } => scan(pred, guard),
             SetPlan::IndexedExtentScan {
                 attr,
                 op,
@@ -379,20 +444,23 @@ impl SetPlan {
                     Ok(hits) => hits,
                     Err(e) => {
                         explain.fallback(format!("index probe failed ({e}); extent scan"));
-                        return scan(catalog, pred, guard);
+                        return scan(pred, guard);
                     }
                 };
                 // Extent order == OID order for a single class.
                 hits.sort_unstable();
                 let mut out = Vec::new();
                 for o in hits {
+                    if full(&out) {
+                        return Ok((out, true));
+                    }
                     aqua_guard::step(guard)?;
                     if residual.as_ref().is_none_or(|r| r.eval(catalog.store, o)) {
                         out.push(o);
                         aqua_guard::result_emitted(guard)?;
                     }
                 }
-                Ok(out)
+                Ok((out, false))
             }
         }
     }

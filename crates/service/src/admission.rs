@@ -1,0 +1,279 @@
+//! Admission control: a bounded submission queue with load shedding and
+//! per-tenant concurrency caps.
+//!
+//! A submission either (a) starts immediately when an execution slot and
+//! its tenant's cap allow, (b) queues — bounded in both depth and bytes —
+//! until a slot frees or its deadline expires, or (c) is *shed* with a
+//! typed [`ServiceError::Rejected`] carrying the queue depth and a
+//! back-off hint. Shedding at the front door is what keeps an overloaded
+//! service's latency bounded: work that cannot meet its deadline is
+//! refused in O(1) instead of timing out after consuming resources.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use aqua_guard::Deadline;
+
+use crate::error::ServiceError;
+
+/// Admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Submissions executing concurrently (minimum 1).
+    pub max_inflight: usize,
+    /// Submissions waiting for a slot before new arrivals are shed.
+    pub max_queue_depth: usize,
+    /// Total request payload bytes allowed in the queue.
+    pub max_queued_bytes: usize,
+    /// Concurrent executions per tenant (minimum 1).
+    pub max_per_tenant: usize,
+    /// Upper bound a queued submission waits for a slot when it has no
+    /// deadline of its own.
+    pub default_patience: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_inflight: 8,
+            max_queue_depth: 32,
+            max_queued_bytes: 1 << 20,
+            max_per_tenant: 4,
+            default_patience: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    inflight: usize,
+    queued: usize,
+    queued_bytes: usize,
+    per_tenant: HashMap<String, usize>,
+}
+
+/// The front door. One per [`QueryService`](crate::QueryService).
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+/// RAII execution slot from [`Admission::admit`]; releases on drop and
+/// wakes queued submissions.
+#[derive(Debug)]
+#[must_use = "dropping the permit releases the execution slot"]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+    tenant: String,
+}
+
+impl Admission {
+    /// A front door with the given limits.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg: AdmissionConfig {
+                max_inflight: cfg.max_inflight.max(1),
+                max_per_tenant: cfg.max_per_tenant.max(1),
+                ..cfg
+            },
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Submissions currently executing.
+    pub fn inflight(&self) -> usize {
+        self.lock().inflight
+    }
+
+    /// Submissions currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().queued
+    }
+
+    fn runnable(&self, s: &State, tenant: &str) -> bool {
+        s.inflight < self.cfg.max_inflight
+            && s.per_tenant.get(tenant).copied().unwrap_or(0) < self.cfg.max_per_tenant
+    }
+
+    fn reject(&self, s: &State) -> ServiceError {
+        // Hint scales with backlog: each queued submission ahead is
+        // roughly one execution slot's worth of waiting.
+        ServiceError::Rejected {
+            queue_depth: s.queued,
+            retry_after_hint: Duration::from_millis(1 + s.queued as u64),
+        }
+    }
+
+    /// Admit a submission of `bytes` payload for `tenant`, queueing up to
+    /// the submission's deadline (or the configured patience) for a slot.
+    pub fn admit(
+        &self,
+        tenant: &str,
+        bytes: usize,
+        deadline: Option<Deadline>,
+    ) -> Result<Permit<'_>, ServiceError> {
+        let mut s = self.lock();
+        if !self.runnable(&s, tenant) {
+            // Full queue (by depth or bytes) sheds immediately.
+            if s.queued >= self.cfg.max_queue_depth
+                || s.queued_bytes.saturating_add(bytes) > self.cfg.max_queued_bytes
+            {
+                return Err(self.reject(&s));
+            }
+            s.queued += 1;
+            s.queued_bytes += bytes;
+            let patience = deadline.map_or(self.cfg.default_patience, |d| d.remaining());
+            let gone = std::time::Instant::now() + patience;
+            while !self.runnable(&s, tenant) {
+                let now = std::time::Instant::now();
+                if now >= gone {
+                    s.queued -= 1;
+                    s.queued_bytes -= bytes;
+                    return Err(self.reject(&s));
+                }
+                let (guard, _timeout) = self
+                    .freed
+                    .wait_timeout(s, gone - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                s = guard;
+            }
+            s.queued -= 1;
+            s.queued_bytes -= bytes;
+        }
+        s.inflight += 1;
+        *s.per_tenant.entry(tenant.to_owned()).or_insert(0) += 1;
+        Ok(Permit {
+            admission: self,
+            tenant: tenant.to_owned(),
+        })
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.admission.lock();
+        s.inflight -= 1;
+        match s.per_tenant.get_mut(&self.tenant) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                s.per_tenant.remove(&self.tenant);
+            }
+        }
+        drop(s);
+        self.admission.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Admission {
+        Admission::new(AdmissionConfig {
+            max_inflight: 2,
+            max_queue_depth: 1,
+            max_queued_bytes: 100,
+            max_per_tenant: 1,
+            default_patience: Duration::from_millis(10),
+        })
+    }
+
+    #[test]
+    fn sheds_when_queue_full() {
+        let a = tiny();
+        let _p1 = a.admit("alice", 10, None).unwrap();
+        let _p2 = a.admit("bob", 10, None).unwrap();
+        assert_eq!(a.inflight(), 2);
+        // Machine full; a zero-deadline arrival queues then times out.
+        let d = Some(Deadline::from_now(Duration::ZERO));
+        let err = a.admit("carol", 10, d).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected { .. }));
+    }
+
+    #[test]
+    fn sheds_on_byte_budget() {
+        let a = tiny();
+        let _p1 = a.admit("alice", 10, None).unwrap();
+        let _p2 = a.admit("bob", 10, None).unwrap();
+        let err = a.admit("carol", 1000, None).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Rejected { .. }),
+            "oversized payload cannot even queue"
+        );
+    }
+
+    #[test]
+    fn per_tenant_cap_holds_even_with_free_slots() {
+        let a = tiny();
+        let _p1 = a.admit("alice", 1, None).unwrap();
+        assert_eq!(a.inflight(), 1, "a machine slot remains free");
+        let d = Some(Deadline::from_now(Duration::ZERO));
+        let err = a.admit("alice", 1, d).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected { .. }));
+        // A different tenant takes the free slot immediately.
+        let _p2 = a.admit("bob", 1, d).unwrap();
+    }
+
+    #[test]
+    fn queued_submission_runs_when_slot_frees() {
+        let a = std::sync::Arc::new(Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue_depth: 4,
+            max_queued_bytes: 100,
+            max_per_tenant: 1,
+            default_patience: Duration::from_secs(10),
+        }));
+        let p1 = a.admit("alice", 1, None).unwrap();
+        let a2 = std::sync::Arc::clone(&a);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t = std::thread::spawn(move || {
+            let p = a2.admit("bob", 1, None);
+            tx.send(p.is_ok()).unwrap();
+        });
+        assert!(
+            rx.recv_timeout(Duration::from_millis(50)).is_err(),
+            "bob waits while alice holds the only slot"
+        );
+        drop(p1);
+        assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        t.join().unwrap();
+        assert_eq!(a.queue_depth(), 0);
+    }
+
+    #[test]
+    fn rejected_reports_depth_and_hint() {
+        let a = tiny();
+        let _p1 = a.admit("alice", 1, None).unwrap();
+        let _p2 = a.admit("bob", 1, None).unwrap();
+        // One queued occupant fills the 1-deep queue...
+        let d = Some(Deadline::from_now(Duration::from_millis(200)));
+        let a_ref = &a;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let _ = a_ref.admit("dave", 1, d);
+            });
+            while a.queue_depth() == 0 {
+                std::thread::yield_now();
+            }
+            // ...so the next arrival is shed instantly, seeing depth 1.
+            match a.admit("erin", 1, None).unwrap_err() {
+                ServiceError::Rejected {
+                    queue_depth,
+                    retry_after_hint,
+                } => {
+                    assert_eq!(queue_depth, 1);
+                    assert!(retry_after_hint >= Duration::from_millis(2));
+                }
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+        });
+    }
+}

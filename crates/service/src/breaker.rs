@@ -1,0 +1,253 @@
+//! Per-plan-class circuit breaker on a rolling outcome window.
+//!
+//! Closed → trips open once the last `window` full-fidelity executions
+//! contain `failure_threshold` transient failures. Open → serves
+//! degraded dispatches until `probe_after` submissions have arrived (a
+//! *submission-count* clock: no wall time, so tests replay exactly),
+//! then half-opens and lets exactly one probe through at full fidelity.
+//! Probe success closes the breaker and clears the window; probe failure
+//! re-opens it and restarts the clock.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Rolling window length (full-fidelity outcomes tracked).
+    pub window: usize,
+    /// Transient failures within the window that trip the breaker.
+    pub failure_threshold: usize,
+    /// Submissions served degraded before half-opening for a probe.
+    pub probe_after: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 4,
+            probe_after: 4,
+        }
+    }
+}
+
+/// Where the breaker is in its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: everything runs at full fidelity.
+    Closed,
+    /// Tripped: submissions are served degraded.
+    Open,
+    /// One probe is in flight at full fidelity; everyone else degrades.
+    HalfOpen,
+}
+
+/// How one submission should run, decided at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Full-fidelity execution; outcome feeds the rolling window.
+    Full,
+    /// Partial/bounded execution behind an open breaker.
+    Degraded,
+    /// The half-open health probe: full fidelity, outcome decides the
+    /// breaker's fate.
+    Probe,
+}
+
+/// What a result did to the breaker — the service layer turns these into
+/// counters and explain events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// Closed → Open.
+    Tripped,
+    /// HalfOpen → Closed (probe succeeded).
+    Recovered,
+    /// HalfOpen → Open (probe failed).
+    Reopened,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    /// Rolling outcomes of full-fidelity executions; `true` = failure.
+    window: VecDeque<bool>,
+    failures: usize,
+    /// Submissions seen since the breaker opened.
+    since_open: u64,
+}
+
+/// One plan class's breaker. All methods are lock-per-call and cheap —
+/// the window is a few booleans.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg: BreakerConfig {
+                window: cfg.window.max(1),
+                failure_threshold: cfg.failure_threshold.max(1),
+                probe_after: cfg.probe_after.max(1),
+            },
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                window: VecDeque::new(),
+                failures: 0,
+                since_open: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Decide how the next submission runs.
+    pub fn on_submission(&self) -> Dispatch {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => Dispatch::Full,
+            BreakerState::HalfOpen => Dispatch::Degraded,
+            BreakerState::Open => {
+                inner.since_open += 1;
+                if inner.since_open >= self.cfg.probe_after {
+                    inner.state = BreakerState::HalfOpen;
+                    Dispatch::Probe
+                } else {
+                    Dispatch::Degraded
+                }
+            }
+        }
+    }
+
+    /// Feed a submission's terminal outcome back. `failed` should be
+    /// `true` only for failures that indict the backend (transient
+    /// faults) — caller-induced budget exhaustion and cancellations pass
+    /// `false`-like by never calling this with `Full`.
+    pub fn on_result(&self, dispatch: Dispatch, failed: bool) -> Transition {
+        let mut inner = self.lock();
+        match dispatch {
+            Dispatch::Degraded => Transition::None,
+            Dispatch::Probe => {
+                if failed {
+                    inner.state = BreakerState::Open;
+                    inner.since_open = 0;
+                    Transition::Reopened
+                } else {
+                    inner.state = BreakerState::Closed;
+                    inner.window.clear();
+                    inner.failures = 0;
+                    inner.since_open = 0;
+                    Transition::Recovered
+                }
+            }
+            Dispatch::Full => {
+                // A Full outcome landing after the breaker already
+                // tripped (a racing submission) must not perturb the
+                // open/half-open cycle.
+                if inner.state != BreakerState::Closed {
+                    return Transition::None;
+                }
+                if inner.window.len() == self.cfg.window && inner.window.pop_front() == Some(true) {
+                    inner.failures -= 1;
+                }
+                inner.window.push_back(failed);
+                if failed {
+                    inner.failures += 1;
+                }
+                if inner.failures >= self.cfg.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.since_open = 0;
+                    Transition::Tripped
+                } else {
+                    Transition::None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            failure_threshold: 2,
+            probe_after: 3,
+        })
+    }
+
+    #[test]
+    fn full_cycle_trip_probe_recover() {
+        let b = breaker();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.on_submission(), Dispatch::Full);
+        assert_eq!(b.on_result(Dispatch::Full, true), Transition::None);
+        assert_eq!(b.on_result(Dispatch::Full, true), Transition::Tripped);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Degraded until the submission clock reaches probe_after.
+        assert_eq!(b.on_submission(), Dispatch::Degraded);
+        assert_eq!(b.on_result(Dispatch::Degraded, true), Transition::None);
+        assert_eq!(b.on_submission(), Dispatch::Degraded);
+        assert_eq!(b.on_submission(), Dispatch::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Concurrent submissions while the probe flies still degrade.
+        assert_eq!(b.on_submission(), Dispatch::Degraded);
+        assert_eq!(b.on_result(Dispatch::Probe, false), Transition::Recovered);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Recovery cleared the window: one failure does not re-trip.
+        assert_eq!(b.on_result(Dispatch::Full, true), Transition::None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_clock_restarts() {
+        let b = breaker();
+        b.on_result(Dispatch::Full, true);
+        b.on_result(Dispatch::Full, true);
+        b.on_submission();
+        b.on_submission();
+        assert_eq!(b.on_submission(), Dispatch::Probe);
+        assert_eq!(b.on_result(Dispatch::Probe, true), Transition::Reopened);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.on_submission(), Dispatch::Degraded);
+        assert_eq!(b.on_submission(), Dispatch::Degraded);
+        assert_eq!(b.on_submission(), Dispatch::Probe);
+    }
+
+    #[test]
+    fn window_rolls_old_failures_out() {
+        let b = breaker();
+        b.on_result(Dispatch::Full, true);
+        for _ in 0..4 {
+            assert_eq!(b.on_result(Dispatch::Full, false), Transition::None);
+        }
+        // The early failure rolled out of the 4-wide window.
+        assert_eq!(b.on_result(Dispatch::Full, true), Transition::None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn late_full_result_cannot_perturb_open_state() {
+        let b = breaker();
+        b.on_result(Dispatch::Full, true);
+        b.on_result(Dispatch::Full, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.on_result(Dispatch::Full, false), Transition::None);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

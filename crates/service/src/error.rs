@@ -1,0 +1,131 @@
+//! The service error surface: shed submissions and classified failures.
+
+use std::fmt;
+use std::time::Duration;
+
+use aqua_guard::ErrorClass;
+use aqua_object::ObjectError;
+use aqua_optimizer::OptError;
+
+/// Result alias for service operations.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// A terminal verdict the service hands back instead of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control shed the submission: the queue was full (or the
+    /// deadline expired while queued). The caller should back off for at
+    /// least `retry_after_hint` before resubmitting.
+    Rejected {
+        /// Submissions queued at the moment of rejection.
+        queue_depth: usize,
+        /// Suggested minimum back-off before resubmitting.
+        retry_after_hint: Duration,
+    },
+    /// The query ran (possibly several times) and failed.
+    Failed {
+        /// The terminal failure's class — [`ErrorClass::Transient`] here
+        /// means the retry budget ran out before the fault cleared.
+        class: ErrorClass,
+        /// Execution attempts launched (≥ 1).
+        attempts: usize,
+        /// Guard steps spent across every attempt.
+        steps: u64,
+        /// Rendered terminal error.
+        message: String,
+    },
+}
+
+impl ServiceError {
+    /// The failure class ([`ErrorClass::Resource`] for shed submissions:
+    /// the scarce resource was a queue slot).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ServiceError::Rejected { .. } => ErrorClass::Resource,
+            ServiceError::Failed { class, .. } => *class,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Rejected {
+                queue_depth,
+                retry_after_hint,
+            } => write!(
+                f,
+                "submission shed: queue depth {queue_depth}, retry after {retry_after_hint:?}"
+            ),
+            ServiceError::Failed {
+                class,
+                attempts,
+                steps,
+                message,
+            } => write!(
+                f,
+                "query failed ({class}) after {attempts} attempt{}, {steps} steps: {message}",
+                if *attempts == 1 { "" } else { "s" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Classify an execution error for the retry policy. Guard verdicts keep
+/// their own class (budget/deadline → `Resource`, cancellation →
+/// `Permanent`); injected store faults are `Transient` (the §4 probes
+/// are idempotent, so re-running one is always safe); everything else —
+/// compilation errors, missing indexes, malformed trees — is `Permanent`
+/// and retrying cannot help.
+pub fn classify(err: &OptError) -> ErrorClass {
+    if let Some(g) = err.as_guard() {
+        return g.class();
+    }
+    match err {
+        OptError::Object(ObjectError::Injected { .. }) => ErrorClass::Transient,
+        OptError::Algebra(aqua_algebra::AlgebraError::Object(ObjectError::Injected { .. })) => {
+            ErrorClass::Transient
+        }
+        _ => ErrorClass::Permanent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_guard::{Budget, ExecGuard};
+
+    #[test]
+    fn classification_covers_the_taxonomy() {
+        let g = ExecGuard::new(Budget::unlimited().with_steps(0));
+        let resource = OptError::Guard(g.step().unwrap_err());
+        assert_eq!(classify(&resource), ErrorClass::Resource);
+        let transient = OptError::Object(ObjectError::Injected {
+            point: "store.page".into(),
+            msg: "io".into(),
+        });
+        assert_eq!(classify(&transient), ErrorClass::Transient);
+        let permanent = OptError::MissingIndex { attr: "d".into() };
+        assert_eq!(classify(&permanent), ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn display_carries_the_facts() {
+        let e = ServiceError::Rejected {
+            queue_depth: 9,
+            retry_after_hint: Duration::from_millis(5),
+        };
+        assert_eq!(e.class(), ErrorClass::Resource);
+        assert!(e.to_string().contains("depth 9"));
+        let e = ServiceError::Failed {
+            class: ErrorClass::Transient,
+            attempts: 3,
+            steps: 40,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 attempts") && s.contains("40 steps") && s.contains("boom"));
+    }
+}

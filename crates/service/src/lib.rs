@@ -1,0 +1,54 @@
+//! # aqua-service — the resilient query front end
+//!
+//! Every other crate in this workspace is a bare library call: a caller
+//! under load gets no queueing, no deadline, no retry, no blast-radius
+//! control. This crate composes the guard substrate (`aqua-guard`), the
+//! pool (`aqua-exec`), and the metrics layer (`aqua-obs`) into the
+//! serving-layer patterns a production query service needs:
+//!
+//! * **Admission control** ([`admission`]) — a bounded submission queue
+//!   (depth *and* bytes) with per-tenant concurrency caps; overload is
+//!   shed in O(1) with a typed [`ServiceError::Rejected`] carrying a
+//!   back-off hint.
+//! * **Deadline propagation** — one absolute
+//!   [`Deadline`](aqua_guard::Deadline) inside the request's
+//!   [`Budget`](aqua_guard::Budget) bounds queueing, every retry
+//!   attempt, and every backoff sleep; each engine stage observes it at
+//!   its existing guard checkpoints.
+//! * **Classified retries** ([`retry`]) — failures carry an
+//!   [`ErrorClass`](aqua_guard::ErrorClass); only `Transient` ones
+//!   (injected store faults — the paper's §4 probes are idempotent, so
+//!   re-running is always safe) are retried, with seeded
+//!   decorrelated-jitter backoff and the *remaining* step budget, never
+//!   a fresh one.
+//! * **Circuit breaking** ([`breaker`]) — per-plan-class rolling failure
+//!   windows trip open and serve degraded (partial, truncation-flagged)
+//!   responses until a half-open probe on a submission-count clock
+//!   proves the fault cleared.
+//!
+//! Everything is deterministic under test: no wall-clock in any decision
+//! except the deadline itself, no global RNG, and the chaos harness in
+//! `tests-int` replays seeded fault storms exactly.
+
+pub mod admission;
+pub mod breaker;
+pub mod error;
+pub mod retry;
+mod service;
+
+pub use admission::{Admission, AdmissionConfig, Permit};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Dispatch, Transition};
+pub use error::{classify, Result, ServiceError};
+pub use retry::{Backoff, RetryPolicy};
+pub use service::{
+    PlanClass, QueryService, Request, Response, ResponseMeta, ServiceConfig, Truncation,
+};
+
+/// Failpoint fired before each execution attempt dispatches — models a
+/// transient fault at the service/store boundary (nothing spent yet).
+pub const SERVICE_DISPATCH_PROBE: &str = "service.dispatch";
+
+/// Failpoint fired after plan execution, before the response is
+/// assembled — models a transient fault that strikes *after* real work
+/// was done, so a retry must resume from the remaining budget.
+pub const SERVICE_COMMIT_PROBE: &str = "service.commit";

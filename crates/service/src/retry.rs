@@ -1,0 +1,128 @@
+//! Decorrelated-jitter backoff, seeded and allocation-free.
+//!
+//! The AWS "decorrelated jitter" recurrence: each delay is drawn
+//! uniformly from `[base, prev * 3]` and capped. Randomness comes from an
+//! inline SplitMix64 stream seeded per submission, so a fixed seed
+//! replays the exact delay sequence — the chaos harness depends on that,
+//! and the hot path never touches a clock or a global RNG.
+
+use std::time::Duration;
+
+/// How the service retries transient failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total execution attempts (first try included, minimum 1).
+    pub max_attempts: usize,
+    /// Minimum backoff delay. `Duration::ZERO` disables sleeping
+    /// entirely — the deterministic-test configuration.
+    pub base: Duration,
+    /// Maximum backoff delay.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Start the delay stream for one submission. Mixing `salt` (e.g. a
+    /// submission counter) decorrelates concurrent submissions sharing
+    /// one policy.
+    pub fn backoff(&self, salt: u64) -> Backoff {
+        Backoff {
+            state: self.seed ^ salt.wrapping_mul(0xff51_afd7_ed55_8ccd),
+            prev: self.base,
+            base: self.base,
+            cap: self.cap,
+        }
+    }
+}
+
+/// One submission's delay stream (see [`RetryPolicy::backoff`]).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    state: u64,
+    prev: Duration,
+    base: Duration,
+    cap: Duration,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Backoff {
+    /// The next delay: uniform in `[base, max(base, prev * 3)]`, capped.
+    /// A zero-`base` policy always yields `Duration::ZERO`.
+    pub fn next_delay(&mut self) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let lo = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64).saturating_mul(3).max(lo);
+        let span = hi - lo;
+        let draw = if span == 0 {
+            lo
+        } else {
+            lo + splitmix64(&mut self.state) % (span + 1)
+        };
+        let next = Duration::from_nanos(draw).min(self.cap);
+        self.prev = next;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            seed: 42,
+        };
+        let a: Vec<Duration> = {
+            let mut b = policy.backoff(7);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        let b: Vec<Duration> = {
+            let mut b = policy.backoff(7);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(a, b, "same seed+salt replays exactly");
+        assert!(a.iter().all(|d| *d >= policy.base && *d <= policy.cap));
+        let c: Vec<Duration> = {
+            let mut b = policy.backoff(8);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_ne!(a, c, "different salt decorrelates");
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let policy = RetryPolicy {
+            base: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let mut b = policy.backoff(0);
+        for _ in 0..10 {
+            assert_eq!(b.next_delay(), Duration::ZERO);
+        }
+    }
+}

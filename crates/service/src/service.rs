@@ -1,0 +1,599 @@
+//! The [`QueryService`] front end: admission → deadline → retry →
+//! breaker, wrapped around optimizer plan execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aqua_algebra::bulk::TreeSet;
+use aqua_algebra::{List, Tree};
+use aqua_exec::WorkerPermits;
+use aqua_guard::{failpoint, Budget, CancelToken, ErrorClass, ExecGuard, SharedGuard};
+use aqua_object::Oid;
+use aqua_obs::{Metrics, MetricsSnapshot};
+use aqua_optimizer::{Catalog, Explain, OptError, Optimizer};
+use aqua_pattern::ast::Re;
+use aqua_pattern::list::{ListMatch, Sym};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::{PredExpr, TreePattern};
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Dispatch, Transition};
+use crate::error::{classify, Result, ServiceError};
+use crate::retry::RetryPolicy;
+use crate::{SERVICE_COMMIT_PROBE, SERVICE_DISPATCH_PROBE};
+
+/// The plan families the service fronts; each gets its own circuit
+/// breaker (a fault storm against tree indexes should not degrade set
+/// selects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanClass {
+    /// `sub_select` over one tree.
+    TreeSubSelect,
+    /// `select` over a class extent.
+    SetSelect,
+    /// `sub_select` over one list.
+    ListSubSelect,
+    /// `sub_select` over a `Set[Tree]` fleet.
+    ForestSubSelect,
+}
+
+impl PlanClass {
+    /// Every class, breaker-array order.
+    pub const ALL: [PlanClass; 4] = [
+        PlanClass::TreeSubSelect,
+        PlanClass::SetSelect,
+        PlanClass::ListSubSelect,
+        PlanClass::ForestSubSelect,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            PlanClass::TreeSubSelect => 0,
+            PlanClass::SetSelect => 1,
+            PlanClass::ListSubSelect => 2,
+            PlanClass::ForestSubSelect => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for PlanClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PlanClass::TreeSubSelect => "tree-sub-select",
+            PlanClass::SetSelect => "set-select",
+            PlanClass::ListSubSelect => "list-sub-select",
+            PlanClass::ForestSubSelect => "forest-sub-select",
+        })
+    }
+}
+
+/// Service-wide tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Front-door limits.
+    pub admission: AdmissionConfig,
+    /// Transient-failure retry policy.
+    pub retry: RetryPolicy,
+    /// Per-plan-class breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Result cap for degraded responses (applied as a `max_matches`
+    /// clamp for trees/forests, a scan cap for sets, and a prefix
+    /// truncation for lists).
+    pub degraded_cap: usize,
+    /// Pool-worker slots shared by every forest execution.
+    pub worker_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            admission: AdmissionConfig::default(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            degraded_cap: 8,
+            worker_cap: aqua_exec::available_threads(),
+        }
+    }
+}
+
+/// One submission's envelope: who, under what budget, cancellable how,
+/// and how heavy it counts against the queue's byte limit.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Tenant identifier for the per-tenant concurrency cap.
+    pub tenant: String,
+    /// Execution budget — one budget for the whole submission. Its
+    /// `deadline` (if any) bounds queueing, every retry attempt, and
+    /// every backoff sleep; its `max_steps` is the total across
+    /// attempts, not per attempt.
+    pub budget: Budget,
+    /// Cooperative cancellation handle.
+    pub cancel: Option<CancelToken>,
+    /// Payload weight against [`AdmissionConfig::max_queued_bytes`].
+    pub cost_bytes: usize,
+}
+
+impl Request {
+    /// A request for `tenant` with an unlimited budget.
+    pub fn new(tenant: &str) -> Request {
+        Request {
+            tenant: tenant.to_owned(),
+            ..Request::default()
+        }
+    }
+
+    /// Replace the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Request {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Request {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Set the queue-accounting weight.
+    pub fn with_cost_bytes(mut self, bytes: usize) -> Request {
+        self.cost_bytes = bytes;
+        self
+    }
+}
+
+/// Truncation provenance carried into [`ResponseMeta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Truncation {
+    /// Any limit clipped the answer.
+    pub truncated: bool,
+    /// Parse enumerations clipped (trees only).
+    pub clipped_parses: usize,
+    /// Per-root instance lists clipped (trees only).
+    pub clipped_roots: usize,
+    /// The overall result cap stopped the scan early.
+    pub hit_max_matches: bool,
+}
+
+/// First-class response metadata: what the serving layer did to produce
+/// this answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Execution attempts launched (≥ 1).
+    pub attempts: usize,
+    /// Retries beyond the first attempt.
+    pub retries: usize,
+    /// How the breaker dispatched this submission.
+    pub dispatch: Dispatch,
+    /// `true` when served behind an open breaker at reduced fidelity.
+    pub degraded: bool,
+    /// Truncation flags — a degraded or clamped answer is *partial*, and
+    /// this says exactly how.
+    pub truncation: Truncation,
+    /// Guard steps spent across every attempt.
+    pub steps: u64,
+}
+
+/// A successful service response.
+#[derive(Debug)]
+pub struct Response<T> {
+    /// The query answer (possibly partial — see `meta.truncation`).
+    pub value: T,
+    /// Planning + execution record, including retry/breaker events.
+    pub explain: Explain,
+    /// What the serving layer did.
+    pub meta: ResponseMeta,
+}
+
+struct AttemptFail {
+    class: ErrorClass,
+    message: String,
+    steps: u64,
+}
+
+impl AttemptFail {
+    fn from_opt(e: OptError, steps: u64) -> AttemptFail {
+        AttemptFail {
+            class: classify(&e),
+            message: e.to_string(),
+            steps,
+        }
+    }
+}
+
+fn probe(point: &str, steps: u64) -> std::result::Result<(), AttemptFail> {
+    failpoint::check(point).map_err(|e| AttemptFail {
+        class: e.class(),
+        message: e.to_string(),
+        steps,
+    })
+}
+
+/// The resilient query front end. One instance fronts one store for many
+/// concurrent callers; all methods take `&self`.
+pub struct QueryService {
+    cfg: ServiceConfig,
+    admission: Admission,
+    breakers: [CircuitBreaker; 4],
+    permits: WorkerPermits,
+    metrics: Metrics,
+    submissions: AtomicU64,
+}
+
+impl Default for QueryService {
+    fn default() -> QueryService {
+        QueryService::new(ServiceConfig::default())
+    }
+}
+
+impl QueryService {
+    /// A service with the given tuning.
+    pub fn new(cfg: ServiceConfig) -> QueryService {
+        QueryService {
+            admission: Admission::new(cfg.admission),
+            breakers: std::array::from_fn(|_| CircuitBreaker::new(cfg.breaker)),
+            permits: WorkerPermits::new(cfg.worker_cap),
+            metrics: Metrics::new(),
+            submissions: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// The service's own counters (`svc_*`; engine-progress fields stay
+    /// zero — per-query engine metrics live in each response's Explain).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// One class's breaker state, for health endpoints and tests.
+    pub fn breaker_state(&self, class: PlanClass) -> BreakerState {
+        self.breakers[class.idx()].state()
+    }
+
+    /// Submissions currently queued at the front door.
+    pub fn queue_depth(&self) -> usize {
+        self.admission.queue_depth()
+    }
+
+    /// Submissions currently executing.
+    pub fn inflight(&self) -> usize {
+        self.admission.inflight()
+    }
+
+    fn guard(&self, budget: Budget, cancel: &Option<CancelToken>) -> ExecGuard {
+        match cancel {
+            Some(t) => ExecGuard::with_cancel(budget, t.clone()),
+            None => ExecGuard::new(budget),
+        }
+    }
+
+    fn note_transition(&self, t: Transition, class: PlanClass, explain: &mut Explain) {
+        match t {
+            Transition::None => {}
+            Transition::Tripped => {
+                self.metrics.svc_tripped.inc();
+                explain.record_service_event(format!("breaker tripped open ({class})"));
+            }
+            Transition::Recovered => {
+                explain.record_service_event(format!("breaker recovered ({class})"));
+            }
+            Transition::Reopened => {
+                explain.record_service_event(format!("probe failed, breaker re-opened ({class})"));
+            }
+        }
+    }
+
+    /// The admission → deadline → retry → breaker pipeline shared by
+    /// every entry point. `attempt` runs one execution under the given
+    /// dispatch and *remaining* budget, returning the value, its
+    /// truncation flags, and the guard steps it spent; a failed attempt
+    /// reports its spent steps inside [`AttemptFail`] so the next
+    /// attempt resumes from the same budget rather than a fresh one.
+    fn run<T>(
+        &self,
+        class: PlanClass,
+        req: &Request,
+        mut explain: Explain,
+        mut attempt: impl FnMut(
+            Dispatch,
+            Budget,
+            &mut Explain,
+        ) -> std::result::Result<(T, Truncation, u64), AttemptFail>,
+    ) -> Result<Response<T>> {
+        let deadline = req.budget.deadline;
+        let _permit = match self.admission.admit(&req.tenant, req.cost_bytes, deadline) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.svc_shed.inc();
+                return Err(e);
+            }
+        };
+        self.metrics.svc_admitted.inc();
+        let dispatch = self.breakers[class.idx()].on_submission();
+        let degraded = dispatch == Dispatch::Degraded;
+        if degraded {
+            self.metrics.svc_degraded.inc();
+            explain.record_service_event(format!("degraded dispatch: breaker open ({class})"));
+        } else if dispatch == Dispatch::Probe {
+            explain.record_service_event(format!("half-open probe ({class})"));
+        }
+        let salt = self.submissions.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = self.cfg.retry.backoff(salt);
+        let max_attempts = self.cfg.retry.max_attempts.max(1);
+        let mut spent: u64 = 0;
+
+        let terminal = |fail: AttemptFail, attempts: usize, spent: u64, explain: &mut Explain| {
+            // Only backend-indicting failures feed the breaker window;
+            // budget exhaustion and cancellation are the caller's.
+            let t =
+                self.breakers[class.idx()].on_result(dispatch, fail.class == ErrorClass::Transient);
+            self.note_transition(t, class, explain);
+            ServiceError::Failed {
+                class: fail.class,
+                attempts,
+                steps: spent,
+                message: fail.message,
+            }
+        };
+
+        for attempt_no in 1..=max_attempts {
+            if deadline.is_some_and(|d| d.expired()) {
+                let fail = AttemptFail {
+                    class: ErrorClass::Resource,
+                    message: format!("deadline expired before attempt {attempt_no}"),
+                    steps: 0,
+                };
+                return Err(terminal(fail, attempt_no - 1, spent, &mut explain));
+            }
+            match attempt(dispatch, req.budget.remaining_after(spent), &mut explain) {
+                Ok((value, truncation, steps)) => {
+                    spent += steps;
+                    let t = self.breakers[class.idx()].on_result(dispatch, false);
+                    self.note_transition(t, class, &mut explain);
+                    let retries = explain.retries;
+                    return Ok(Response {
+                        value,
+                        explain,
+                        meta: ResponseMeta {
+                            attempts: attempt_no,
+                            retries,
+                            dispatch,
+                            degraded,
+                            truncation,
+                            steps: spent,
+                        },
+                    });
+                }
+                Err(fail) => {
+                    spent += fail.steps;
+                    if fail.class != ErrorClass::Transient || attempt_no == max_attempts {
+                        return Err(terminal(fail, attempt_no, spent, &mut explain));
+                    }
+                    let delay = backoff.next_delay();
+                    if let Some(d) = deadline {
+                        if d.remaining() <= delay {
+                            let fail = AttemptFail {
+                                class: ErrorClass::Resource,
+                                message: format!(
+                                    "deadline cannot cover {delay:?} backoff after: {}",
+                                    fail.message
+                                ),
+                                steps: 0,
+                            };
+                            return Err(terminal(fail, attempt_no, spent, &mut explain));
+                        }
+                    }
+                    self.metrics.svc_retried.inc();
+                    explain.record_retry(&fail.message);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on every terminal path")
+    }
+
+    /// Serve `sub_select(pattern)` over one tree.
+    pub fn tree_sub_select(
+        &self,
+        req: &Request,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        pattern: &TreePattern,
+        cfg: &MatchConfig,
+    ) -> Result<Response<Vec<Tree>>> {
+        let (plan, explain) = Optimizer::new(catalog)
+            .plan_tree_sub_select(pattern, tree.len())
+            .map_err(plan_failed)?;
+        let degraded_cfg = MatchConfig {
+            max_matches: cfg.max_matches.min(self.cfg.degraded_cap),
+            ..*cfg
+        };
+        self.run(
+            PlanClass::TreeSubSelect,
+            req,
+            explain,
+            |dispatch, budget, explain| {
+                let guard = self.guard(budget, &req.cancel);
+                probe(SERVICE_DISPATCH_PROBE, 0)?;
+                let run_cfg = if dispatch == Dispatch::Degraded {
+                    &degraded_cfg
+                } else {
+                    cfg
+                };
+                let out = plan
+                    .execute_outcome_guarded(catalog, tree, run_cfg, Some(&guard), explain)
+                    .map_err(|e| AttemptFail::from_opt(e, guard.snapshot().steps))?;
+                let steps = guard.snapshot().steps;
+                probe(SERVICE_COMMIT_PROBE, steps)?;
+                Ok((
+                    out.trees,
+                    Truncation {
+                        truncated: out.truncated,
+                        clipped_parses: out.clipped_parses,
+                        clipped_roots: out.clipped_roots,
+                        hit_max_matches: out.hit_max_matches,
+                    },
+                    steps,
+                ))
+            },
+        )
+    }
+
+    /// Serve `select(pred)` over the catalog class's extent.
+    pub fn set_select(
+        &self,
+        req: &Request,
+        catalog: &Catalog<'_>,
+        pred: &PredExpr,
+    ) -> Result<Response<Vec<Oid>>> {
+        let (plan, explain) = Optimizer::new(catalog)
+            .plan_set_select(pred)
+            .map_err(plan_failed)?;
+        self.run(
+            PlanClass::SetSelect,
+            req,
+            explain,
+            |dispatch, budget, explain| {
+                let guard = self.guard(budget, &req.cancel);
+                probe(SERVICE_DISPATCH_PROBE, 0)?;
+                let cap = (dispatch == Dispatch::Degraded).then_some(self.cfg.degraded_cap as u64);
+                let (oids, clipped) = plan
+                    .execute_capped_guarded(catalog, cap, Some(&guard), explain)
+                    .map_err(|e| AttemptFail::from_opt(e, guard.snapshot().steps))?;
+                let steps = guard.snapshot().steps;
+                probe(SERVICE_COMMIT_PROBE, steps)?;
+                Ok((
+                    oids,
+                    Truncation {
+                        truncated: clipped,
+                        hit_max_matches: clipped,
+                        ..Truncation::default()
+                    },
+                    steps,
+                ))
+            },
+        )
+    }
+
+    /// Serve list `sub_select` (all matches of `re`) over one list.
+    pub fn list_sub_select(
+        &self,
+        req: &Request,
+        catalog: &Catalog<'_>,
+        list: &List,
+        re: &Re<Sym>,
+        anchor_start: bool,
+        anchor_end: bool,
+    ) -> Result<Response<Vec<ListMatch>>> {
+        let (plan, explain) = Optimizer::new(catalog)
+            .plan_list_sub_select(re, anchor_start, anchor_end, list.len())
+            .map_err(plan_failed)?;
+        self.run(
+            PlanClass::ListSubSelect,
+            req,
+            explain,
+            |dispatch, budget, explain| {
+                let guard = self.guard(budget, &req.cancel);
+                probe(SERVICE_DISPATCH_PROBE, 0)?;
+                let mut matches = plan
+                    .execute_guarded(catalog, list, Some(&guard), explain)
+                    .map_err(|e| AttemptFail::from_opt(e, guard.snapshot().steps))?;
+                let steps = guard.snapshot().steps;
+                probe(SERVICE_COMMIT_PROBE, steps)?;
+                // Lists have no native result cap; a degraded response keeps
+                // the first `degraded_cap` matches (match order is start
+                // order, so this is a deterministic prefix).
+                let mut trunc = Truncation::default();
+                if dispatch == Dispatch::Degraded && matches.len() > self.cfg.degraded_cap {
+                    matches.truncate(self.cfg.degraded_cap);
+                    trunc.truncated = true;
+                    trunc.hit_max_matches = true;
+                }
+                Ok((matches, trunc, steps))
+            },
+        )
+    }
+
+    /// Serve `sub_select(pattern)` over a forest, one catalog per
+    /// member, running on pool workers granted by the service-wide
+    /// [`WorkerPermits`] — concurrent forest submissions share the
+    /// machine instead of oversubscribing it.
+    pub fn forest_sub_select(
+        &self,
+        req: &Request,
+        catalogs: &[Catalog<'_>],
+        set: &TreeSet,
+        pattern: &TreePattern,
+        cfg: &MatchConfig,
+    ) -> Result<Response<Vec<(usize, Tree)>>> {
+        let sizes: Vec<usize> = set.members().iter().map(Tree::len).collect();
+        let (plan, explain) = catalogs
+            .first()
+            .map(|c| Optimizer::new(c).plan_forest_sub_select(pattern, &sizes, self.permits.cap()))
+            .unwrap_or_else(|| {
+                Err(OptError::CatalogMismatch {
+                    members: set.len(),
+                    catalogs: 0,
+                })
+            })
+            .map_err(plan_failed)?;
+        let degraded_cfg = MatchConfig {
+            max_matches: cfg.max_matches.min(self.cfg.degraded_cap),
+            ..*cfg
+        };
+        self.run(
+            PlanClass::ForestSubSelect,
+            req,
+            explain,
+            |dispatch, budget, explain| {
+                probe(SERVICE_DISPATCH_PROBE, 0)?;
+                let grant = self.permits.acquire(plan.degree);
+                if grant.granted() < plan.degree {
+                    explain.record_service_event(format!(
+                        "backpressure: {} of {} planned workers granted",
+                        grant.granted(),
+                        plan.degree
+                    ));
+                }
+                let shared = match &req.cancel {
+                    Some(t) => SharedGuard::with_cancel(budget, t.clone()),
+                    None => SharedGuard::new(budget),
+                };
+                let run_cfg = if dispatch == Dispatch::Degraded {
+                    &degraded_cfg
+                } else {
+                    cfg
+                };
+                let out = plan
+                    .execute_guarded_at(
+                        grant.granted(),
+                        catalogs,
+                        set,
+                        run_cfg,
+                        Some(&shared),
+                        explain,
+                    )
+                    .map_err(|e| AttemptFail::from_opt(e, shared.snapshot().steps))?;
+                let steps = shared.snapshot().steps;
+                probe(SERVICE_COMMIT_PROBE, steps)?;
+                // Fleet members clamp per member; the degraded flag (not
+                // per-member tallies) is the truncation signal here.
+                let trunc = Truncation {
+                    truncated: dispatch == Dispatch::Degraded,
+                    hit_max_matches: dispatch == Dispatch::Degraded,
+                    ..Truncation::default()
+                };
+                Ok((out, trunc, steps))
+            },
+        )
+    }
+}
+
+fn plan_failed(e: OptError) -> ServiceError {
+    ServiceError::Failed {
+        class: classify(&e),
+        attempts: 0,
+        steps: 0,
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,296 @@
+//! Chaos harness for the `aqua-service` front end: a seeded fault storm
+//! flips service failpoints on and off while worker threads submit a
+//! randomized mix of queries — clean, step-bounded, deadline-bounded,
+//! and pre-cancelled — across a thread-count matrix. Invariants:
+//!
+//! 1. **No panics** — every worker and the storm thread join cleanly.
+//! 2. **Exactly one terminal verdict per submission** — each call
+//!    returns one `Ok` or one typed `Err`; nothing hangs or vanishes.
+//! 3. **Successful full-fidelity responses are identical to the
+//!    unfaulted serial run**; degraded responses are its flagged prefix.
+//! 4. **The breaker always recovers** once faults clear, within a
+//!    bounded number of clean submissions.
+//!
+//! Seeded via `AQUA_CHAOS_SEED` (default 7); the CI matrix crosses that
+//! with `AQUA_TEST_THREADS`. Set `AQUA_CHAOS_SNAPSHOT=<path>` to dump
+//! the merged service `MetricsSnapshot` JSON for artifact upload.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use aqua_guard::{failpoint, Budget, CancelToken, Deadline};
+use aqua_object::AttrId;
+use aqua_obs::MetricsSnapshot;
+use aqua_optimizer::{Catalog, Explain, Optimizer};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_service::{
+    AdmissionConfig, BreakerConfig, BreakerState, PlanClass, QueryService, Request, RetryPolicy,
+    ServiceConfig, ServiceError, SERVICE_COMMIT_PROBE, SERVICE_DISPATCH_PROBE,
+};
+use aqua_store::{ColumnStats, TreeNodeIndex};
+use aqua_workload::random_tree::RandomTreeGen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Submissions per worker thread, per matrix leg.
+const PER_WORKER: usize = 40;
+
+fn chaos_seed() -> u64 {
+    std::env::var("AQUA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Same sweep contract as `prop_parallel.rs`: `AQUA_TEST_THREADS=<n>`
+/// pins the matrix leg; unset sweeps a spread locally.
+fn threads() -> Vec<usize> {
+    match std::env::var("AQUA_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 1 => vec![1, n],
+        Some(_) => vec![1],
+        None => vec![1, 4],
+    }
+}
+
+fn service(seed: u64) -> QueryService {
+    QueryService::new(ServiceConfig {
+        admission: AdmissionConfig {
+            max_inflight: 4,
+            max_queue_depth: 2,
+            max_per_tenant: 2,
+            default_patience: Duration::from_secs(10),
+            ..AdmissionConfig::default()
+        },
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed,
+        },
+        breaker: BreakerConfig {
+            window: 4,
+            failure_threshold: 2,
+            probe_after: 2,
+        },
+        degraded_cap: 4,
+        ..ServiceConfig::default()
+    })
+}
+
+#[test]
+fn chaos_storm_absorbed() {
+    let seed = chaos_seed();
+
+    // Shared dataset and the unfaulted serial expectations.
+    let d = RandomTreeGen::new(seed ^ 0xA0A0)
+        .nodes(400)
+        .label_weights(&[("u", 1), ("x", 12)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+    let (plan, _) = Optimizer::new(&cat)
+        .plan_tree_sub_select(&pattern, d.tree.len())
+        .unwrap();
+    let expected_trees = plan
+        .execute_guarded(&cat, &d.tree, &cfg, None, &mut Explain::default())
+        .unwrap();
+    assert!(expected_trees.len() > 1, "fixture needs multiple matches");
+
+    let pred = PredExpr::eq("label", "u");
+    let (splan, _) = Optimizer::new(&cat).plan_set_select(&pred).unwrap();
+    let expected_oids = splan.execute(&cat).unwrap();
+    assert!(!expected_oids.is_empty());
+
+    let mut merged = MetricsSnapshot::default();
+    for &t in &threads() {
+        let svc = service(seed);
+        let submissions = AtomicU64::new(0);
+        let storm_done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            // The storm: flip service failpoints with seeded arm counts
+            // until every worker has finished, then clear them.
+            let storm_ref = &storm_done;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5707);
+                while !storm_ref.load(Ordering::Acquire) {
+                    let point = if rng.gen_bool(0.5) {
+                        SERVICE_DISPATCH_PROBE
+                    } else {
+                        SERVICE_COMMIT_PROBE
+                    };
+                    failpoint::arm_times(point, "chaos storm", rng.gen_range(1usize..4));
+                    if rng.gen_bool(0.3) {
+                        failpoint::reset();
+                    }
+                    std::thread::sleep(Duration::from_micros(rng.gen_range(50u64..500)));
+                }
+                failpoint::reset();
+            });
+
+            let mut workers = Vec::new();
+            for w in 0..t {
+                let (svc, cat, tree, pattern, cfg, pred) =
+                    (&svc, &cat, &d.tree, &pattern, &cfg, &pred);
+                let (expected_trees, expected_oids) = (&expected_trees, &expected_oids);
+                let submissions = &submissions;
+                workers.push(scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ ((w as u64 + 1) * 0x9E37));
+                    let tenant = format!("w{w}");
+                    let mut verdicts = 0usize;
+                    for _ in 0..PER_WORKER {
+                        // A randomized envelope: clean, step-bounded,
+                        // deadline-bounded, or pre-cancelled.
+                        let mut req = Request::new(&tenant);
+                        match rng.gen_range(0u32..8) {
+                            0 => {
+                                req = req.with_budget(
+                                    Budget::unlimited().with_steps(rng.gen_range(50u64..50_000)),
+                                );
+                            }
+                            1 => {
+                                req = req.with_budget(Budget::unlimited().with_deadline_at(
+                                    Deadline::from_now(Duration::from_micros(
+                                        rng.gen_range(0u64..300),
+                                    )),
+                                ));
+                            }
+                            2 => {
+                                let token = CancelToken::new();
+                                token.cancel();
+                                req = req.with_cancel(token);
+                            }
+                            _ => {}
+                        }
+                        submissions.fetch_add(1, Ordering::Relaxed);
+                        if rng.gen_bool(0.3) {
+                            match svc.set_select(&req, cat, pred) {
+                                Ok(resp) => {
+                                    verdicts += 1;
+                                    if resp.meta.degraded {
+                                        let n = resp.value.len();
+                                        assert_eq!(resp.value[..], expected_oids[..n]);
+                                        assert!(
+                                            resp.meta.truncation.truncated
+                                                || n == expected_oids.len()
+                                        );
+                                    } else {
+                                        assert_eq!(&resp.value, expected_oids);
+                                    }
+                                }
+                                Err(e) => {
+                                    verdicts += 1;
+                                    assert_typed(&e);
+                                }
+                            }
+                        } else {
+                            match svc.tree_sub_select(&req, cat, tree, pattern, cfg) {
+                                Ok(resp) => {
+                                    verdicts += 1;
+                                    if resp.meta.degraded {
+                                        // A degraded answer is the flagged
+                                        // prefix of the serial run.
+                                        assert!(resp.value.len() <= expected_trees.len());
+                                        for (a, b) in resp.value.iter().zip(expected_trees) {
+                                            assert!(a.structural_eq(b));
+                                        }
+                                    } else {
+                                        assert_eq!(resp.value.len(), expected_trees.len());
+                                        for (a, b) in resp.value.iter().zip(expected_trees) {
+                                            assert!(a.structural_eq(b));
+                                        }
+                                    }
+                                }
+                                Err(e) => {
+                                    verdicts += 1;
+                                    assert_typed(&e);
+                                }
+                            }
+                        }
+                    }
+                    verdicts
+                }));
+            }
+
+            let mut total_verdicts = 0usize;
+            for w in workers {
+                total_verdicts += w.join().expect("no worker may panic");
+            }
+            storm_done.store(true, Ordering::Release);
+            // Invariant 2: one terminal verdict per submission.
+            assert_eq!(total_verdicts, t * PER_WORKER);
+        });
+
+        // Invariant 4: with failpoints cleared, every breaker recovers
+        // to Closed within a bounded number of clean submissions.
+        let req = Request::new("recovery");
+        for _ in 0..8 {
+            if svc.breaker_state(PlanClass::TreeSubSelect) == BreakerState::Closed {
+                break;
+            }
+            submissions.fetch_add(1, Ordering::Relaxed);
+            let _ = svc.tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg);
+        }
+        for _ in 0..8 {
+            if svc.breaker_state(PlanClass::SetSelect) == BreakerState::Closed {
+                break;
+            }
+            submissions.fetch_add(1, Ordering::Relaxed);
+            let _ = svc.set_select(&req, &cat, &pred);
+        }
+        assert_eq!(
+            svc.breaker_state(PlanClass::TreeSubSelect),
+            BreakerState::Closed,
+            "tree breaker must recover after faults clear ({t} threads)"
+        );
+        assert_eq!(
+            svc.breaker_state(PlanClass::SetSelect),
+            BreakerState::Closed,
+            "set breaker must recover after faults clear ({t} threads)"
+        );
+        // A clean submission now serves full fidelity.
+        let clean = svc
+            .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+            .expect("recovered service serves clean queries");
+        submissions.fetch_add(1, Ordering::Relaxed);
+        assert!(!clean.meta.degraded);
+        assert_eq!(clean.value.len(), expected_trees.len());
+
+        // Every submission was either admitted or shed — none lost.
+        let m = svc.metrics_snapshot();
+        assert_eq!(
+            m.svc_admitted + m.svc_shed,
+            submissions.load(Ordering::Relaxed),
+            "admission accounting must cover every submission ({t} threads)"
+        );
+        merged.merge(&m);
+    }
+
+    if let Ok(path) = std::env::var("AQUA_CHAOS_SNAPSHOT") {
+        if !path.is_empty() {
+            std::fs::write(&path, merged.to_json()).expect("write chaos snapshot");
+        }
+    }
+}
+
+/// Errors escaping the service are always typed service errors — the
+/// storm must never surface a panic or an unclassified failure.
+fn assert_typed(e: &ServiceError) {
+    match e {
+        ServiceError::Rejected { .. } => {}
+        ServiceError::Failed { message, .. } => {
+            assert!(!message.is_empty(), "failure carries its cause");
+        }
+    }
+}

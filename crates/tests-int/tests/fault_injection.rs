@@ -211,6 +211,84 @@ fn select_plan_survives_index_fault() {
     assert!(explain.to_string().contains("full walk"));
 }
 
+/// The registry under a concurrent arm/disarm storm: checkers running
+/// full tilt on other threads must only ever see fully-formed verdicts —
+/// an `Ok`, or an error carrying exactly one of the armed messages
+/// (never a torn point/msg pair) — an unrelated point must stay clean
+/// throughout, and the final disarm must be promptly observed once the
+/// toggler is done.
+#[test]
+fn registry_survives_concurrent_arm_disarm() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _serial = lock();
+    const POINT: &str = "fp.race.primary";
+    const OTHER: &str = "fp.race.unrelated";
+    const MSGS: [&str; 2] = ["first cause", "second cause"];
+    const TOGGLES: usize = 4000;
+
+    let stop = AtomicBool::new(false);
+    let (fired, clean) = std::thread::scope(|scope| {
+        let stop = &stop;
+        let toggler = scope.spawn(move || {
+            for i in 0..TOGGLES {
+                if i % 3 == 2 {
+                    failpoint::disarm(POINT);
+                } else {
+                    failpoint::arm(POINT, MSGS[i % 2]);
+                }
+                if i % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            failpoint::disarm(POINT);
+            stop.store(true, Ordering::Release);
+        });
+
+        let checkers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (mut fired, mut clean) = (0u64, 0u64);
+                    while !stop.load(Ordering::Acquire) {
+                        match failpoint::check(POINT) {
+                            Ok(()) => clean += 1,
+                            Err(e) => {
+                                fired += 1;
+                                assert_eq!(e.point, POINT, "error names the right point");
+                                assert!(
+                                    MSGS.contains(&e.msg.as_str()),
+                                    "torn or stale message: {:?}",
+                                    e.msg
+                                );
+                            }
+                        }
+                        assert!(
+                            failpoint::check(OTHER).is_ok(),
+                            "arming {POINT} must never fire {OTHER}"
+                        );
+                    }
+                    (fired, clean)
+                })
+            })
+            .collect();
+
+        toggler.join().expect("toggler must not panic");
+        checkers
+            .into_iter()
+            .map(|c| c.join().expect("checkers must not panic"))
+            .fold((0, 0), |(f, c), (df, dc)| (f + df, c + dc))
+    });
+    assert!(fired > 0, "checkers never saw the point armed");
+    assert!(clean > 0, "checkers never saw the point disarmed");
+
+    // The toggler's final disarm happened-before its join: every
+    // subsequent check observes it, immediately and forever.
+    for _ in 0..100 {
+        assert!(failpoint::check(POINT).is_ok(), "disarm must stick");
+    }
+    assert!(failpoint::check(OTHER).is_ok());
+}
+
 #[test]
 fn one_shot_fault_heals_after_firing() {
     let _serial = lock();

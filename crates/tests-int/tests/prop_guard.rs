@@ -7,7 +7,7 @@
 
 use aqua_algebra::list::ops as lops;
 use aqua_algebra::tree::{ops as tops, split};
-use aqua_guard::{Budget, CancelToken, ExecGuard, GuardError, Resource};
+use aqua_guard::{Budget, CancelToken, ExecGuard, GuardError, Resource, SharedGuard};
 use aqua_pattern::list::{ListPattern, MatchMode};
 use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
 use aqua_pattern::tree_match::{MatchConfig, TreeMatcher};
@@ -187,6 +187,82 @@ fn expired_deadline_times_out() {
         err.as_guard().unwrap(),
         GuardError::Timeout { .. }
     ));
+}
+
+/// First-trip-wins under a budget/cancellation race: whatever verdict
+/// any fleet worker reaches first is the fleet's verdict forever.
+/// Sibling trips, repeated reads, and even a *late* cancellation after
+/// the budget already tripped must never change its discriminant.
+#[test]
+fn shared_guard_verdict_is_first_trip_wins_under_race() {
+    const WORKERS: usize = 4;
+    for round in 0..200u64 {
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().with_steps(64 + round % 192);
+        let fleet = SharedGuard::with_cancel(budget, token.clone());
+        let cancel_early = round % 2 == 0;
+
+        let worker_errors: Vec<GuardError> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    let fleet = fleet.clone();
+                    scope.spawn(move || {
+                        let guard = fleet.worker();
+                        loop {
+                            if let Err(e) = guard.step() {
+                                return e;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            if cancel_early {
+                // Race the signal against the budget from outside.
+                token.cancel();
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("workers must not panic"))
+                .collect()
+        });
+
+        let verdict = fleet.verdict().expect("a tripped fleet has a verdict");
+        let d0 = std::mem::discriminant(&verdict);
+        assert!(
+            worker_errors
+                .iter()
+                .any(|e| std::mem::discriminant(e) == d0),
+            "fleet verdict {verdict} must be one a worker actually saw"
+        );
+        if !cancel_early {
+            // No signal was ever sent while workers ran: the budget won.
+            assert!(
+                matches!(verdict, GuardError::BudgetExceeded { .. }),
+                "round {round}: {verdict}"
+            );
+        }
+
+        // A late cancellation plus a fresh worker adopting the verdict
+        // must replay the original trip, not manufacture a new one.
+        token.cancel();
+        let late = fleet
+            .worker()
+            .checkpoint()
+            .expect_err("tripped fleet stays dead");
+        assert_eq!(
+            std::mem::discriminant(&late),
+            d0,
+            "round {round}: late worker adopted {late}, first trip was {verdict}"
+        );
+        for _ in 0..4 {
+            let again = fleet.verdict().expect("verdict cannot vanish");
+            assert_eq!(
+                std::mem::discriminant(&again),
+                d0,
+                "round {round}: verdict drifted from {verdict} to {again}"
+            );
+        }
+    }
 }
 
 /// The same shareable token cancels concurrent queries on other threads.

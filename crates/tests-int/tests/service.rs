@@ -1,0 +1,636 @@
+//! Integration suite for the `aqua-service` front end: the admission →
+//! deadline → retry → breaker pipeline must (a) return exactly the
+//! answers direct plan execution returns, (b) shed overload with typed
+//! rejections, (c) retry only transient faults against one shared step
+//! budget, and (d) trip, degrade, probe, and recover its per-class
+//! circuit breakers deterministically.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use aqua_guard::{failpoint, Budget, CancelToken, Deadline, ErrorClass};
+use aqua_object::AttrId;
+use aqua_optimizer::{Catalog, Explain, Optimizer};
+use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_service::{
+    AdmissionConfig, BreakerConfig, BreakerState, Dispatch, PlanClass, QueryService, Request,
+    RetryPolicy, ServiceConfig, ServiceError, SERVICE_COMMIT_PROBE, SERVICE_DISPATCH_PROBE,
+};
+use aqua_store::{AttrIndex, ColumnStats, ListPosIndex, TreeNodeIndex};
+use aqua_workload::random_tree::{RandomTreeGen, TreeDataset};
+use aqua_workload::SongGen;
+
+/// The failpoint registry is process-global; serialize the tests that
+/// arm points so parallel test threads don't observe each other's
+/// faults.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tree_fixture() -> (TreeDataset, TreeNodeIndex, ColumnStats) {
+    let d = RandomTreeGen::new(8)
+        .nodes(600)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0));
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    (d, idx, stats)
+}
+
+/// Retry policy that never sleeps — the deterministic-test shape.
+fn no_sleep_retry(max_attempts: usize) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base: Duration::ZERO,
+        cap: Duration::ZERO,
+        seed: 1,
+    }
+}
+
+#[test]
+fn tree_answer_matches_direct_execution() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+
+    let (plan, _) = Optimizer::new(&cat)
+        .plan_tree_sub_select(&pattern, d.tree.len())
+        .unwrap();
+    let mut direct_explain = Explain::default();
+    let direct = plan
+        .execute_guarded(&cat, &d.tree, &cfg, None, &mut direct_explain)
+        .unwrap();
+    assert!(!direct.is_empty());
+
+    let svc = QueryService::default();
+    let resp = svc
+        .tree_sub_select(&Request::new("alice"), &cat, &d.tree, &pattern, &cfg)
+        .expect("healthy service serves the query");
+    assert_eq!(resp.value.len(), direct.len());
+    for (a, b) in resp.value.iter().zip(&direct) {
+        assert!(a.structural_eq(b), "service answer diverged from direct");
+    }
+    assert_eq!(resp.meta.attempts, 1);
+    assert_eq!(resp.meta.retries, 0);
+    assert_eq!(resp.meta.dispatch, Dispatch::Full);
+    assert!(!resp.meta.degraded);
+    assert!(!resp.meta.truncation.truncated);
+    assert!(resp.meta.steps > 0, "guard steps surface in the meta");
+
+    let m = svc.metrics_snapshot();
+    assert_eq!(m.svc_admitted, 1);
+    assert_eq!(m.svc_shed, 0);
+    assert_eq!(m.svc_retried, 0);
+    assert_eq!(m.svc_tripped, 0);
+    assert_eq!(m.svc_degraded, 0);
+}
+
+#[test]
+fn set_and_list_answers_match_direct_execution() {
+    let _serial = lock();
+    // Set select over a class extent.
+    let mut store = aqua_object::ObjectStore::new();
+    let class = store
+        .define_class(
+            aqua_object::ClassDef::new(
+                "P",
+                vec![
+                    aqua_object::AttrDef::stored("age", aqua_object::AttrType::Int),
+                    aqua_object::AttrDef::stored("citizen", aqua_object::AttrType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for i in 0..300 {
+        store
+            .insert_named(
+                "P",
+                &[
+                    ("age", aqua_object::Value::Int(i % 90)),
+                    (
+                        "citizen",
+                        aqua_object::Value::str(if i % 7 == 0 { "Brazil" } else { "USA" }),
+                    ),
+                ],
+            )
+            .unwrap();
+    }
+    let idx = AttrIndex::build(&store, class, AttrId(1));
+    let stats = ColumnStats::build(&store, class, AttrId(1));
+    let mut cat = Catalog::new(&store, class);
+    cat.add_attr_index(&idx).add_stats(&stats);
+
+    let pred =
+        PredExpr::eq("citizen", "Brazil").and(PredExpr::cmp("age", aqua_pattern::CmpOp::Lt, 40));
+    let (plan, _) = Optimizer::new(&cat).plan_set_select(&pred).unwrap();
+    let direct = plan.execute(&cat).unwrap();
+    assert!(!direct.is_empty());
+
+    let svc = QueryService::default();
+    let resp = svc.set_select(&Request::new("alice"), &cat, &pred).unwrap();
+    assert_eq!(resp.value, direct);
+    assert!(!resp.meta.truncation.truncated);
+
+    // List sub_select over a song.
+    let d = SongGen::new(5)
+        .notes(800)
+        .plant(vec!["A", "B", "C"], 6)
+        .generate();
+    let lidx = ListPosIndex::build(&d.store, &d.song, d.class, AttrId(0));
+    let mut lcat = Catalog::new(&d.store, d.class);
+    lcat.add_list_index(&lidx);
+    let env = PredEnv::with_default_attr("pitch");
+    let (re, s, e) = parse_list_pattern("[A B C]", &env).unwrap();
+    let (lplan, _) = Optimizer::new(&lcat)
+        .plan_list_sub_select(&re, s, e, d.song.len())
+        .unwrap();
+    let ldirect = lplan.execute(&lcat, &d.song).unwrap();
+    assert!(!ldirect.is_empty());
+
+    let resp = svc
+        .list_sub_select(&Request::new("alice"), &lcat, &d.song, &re, s, e)
+        .unwrap();
+    assert_eq!(resp.value, ldirect);
+    assert_eq!(svc.metrics_snapshot().svc_admitted, 2);
+}
+
+#[test]
+fn forest_answer_matches_serial_naive() {
+    let _serial = lock();
+    let f = RandomTreeGen::new(17)
+        .nodes(200)
+        .label_weights(&[("u", 1), ("x", 10)])
+        .generate_forest(5);
+    let set = aqua_algebra::bulk::TreeSet::from_trees(f.trees);
+    let idxs: Vec<TreeNodeIndex> = set
+        .members()
+        .iter()
+        .map(|t| TreeNodeIndex::build(&f.store, t, f.class, AttrId(0)))
+        .collect();
+    let stats = ColumnStats::build(&f.store, f.class, AttrId(0));
+    let cats: Vec<Catalog<'_>> = idxs
+        .iter()
+        .map(|idx| {
+            let mut c = Catalog::new(&f.store, f.class);
+            c.add_tree_index(idx).add_stats(&stats);
+            c
+        })
+        .collect();
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let compiled = pattern.compile(f.class, f.store.class(f.class)).unwrap();
+    let naive: Vec<(usize, aqua_algebra::Tree)> = set
+        .members()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, t)| {
+            aqua_algebra::tree::ops::sub_select(&f.store, t, &compiled, &cfg)
+                .unwrap()
+                .into_iter()
+                .map(move |m| (i, m))
+        })
+        .collect();
+
+    let svc = QueryService::default();
+    let resp = svc
+        .forest_sub_select(&Request::new("alice"), &cats, &set, &pattern, &cfg)
+        .expect("healthy forest query serves");
+    assert_eq!(resp.value, naive, "fleet merge must equal the serial loop");
+    assert!(!resp.meta.degraded);
+}
+
+#[test]
+fn transient_fault_retries_to_success() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+
+    let svc = QueryService::new(ServiceConfig {
+        retry: no_sleep_retry(3),
+        ..ServiceConfig::default()
+    });
+    failpoint::arm_times(SERVICE_DISPATCH_PROBE, "dispatch flaking", 2);
+    let resp = svc
+        .tree_sub_select(&Request::new("alice"), &cat, &d.tree, &pattern, &cfg)
+        .expect("two transient faults are inside the attempt budget");
+    failpoint::reset();
+
+    assert_eq!(resp.meta.attempts, 3);
+    assert_eq!(resp.meta.retries, 2);
+    assert!(!resp.value.is_empty());
+    assert_eq!(svc.metrics_snapshot().svc_retried, 2);
+    assert_eq!(
+        svc.breaker_state(PlanClass::TreeSubSelect),
+        BreakerState::Closed,
+        "a retried-to-success submission never feeds a failure to the breaker"
+    );
+    assert_eq!(resp.explain.retries, 2);
+    let text = resp.explain.to_string();
+    assert!(text.contains("retry #1"), "explain records retries: {text}");
+    assert!(text.contains("dispatch flaking"), "{text}");
+}
+
+#[test]
+fn permanent_failure_is_not_retried() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+
+    let svc = QueryService::new(ServiceConfig {
+        retry: no_sleep_retry(5),
+        ..ServiceConfig::default()
+    });
+    let token = CancelToken::new();
+    token.cancel();
+    let req = Request::new("alice").with_cancel(token);
+    let err = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &MatchConfig::default())
+        .expect_err("pre-cancelled submission cannot succeed");
+    match err {
+        ServiceError::Failed {
+            class, attempts, ..
+        } => {
+            assert_eq!(class, ErrorClass::Permanent);
+            assert_eq!(attempts, 1, "cancellation must not be retried");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(svc.metrics_snapshot().svc_retried, 0);
+}
+
+#[test]
+fn expired_deadline_fails_fast_with_resource_class() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+
+    let svc = QueryService::default();
+    let req = Request::new("alice")
+        .with_budget(Budget::unlimited().with_deadline_at(Deadline::from_now(Duration::ZERO)));
+    let err = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &MatchConfig::default())
+        .expect_err("expired deadline cannot launch an attempt");
+    match err {
+        ServiceError::Failed {
+            class,
+            attempts,
+            steps,
+            ..
+        } => {
+            assert_eq!(class, ErrorClass::Resource);
+            assert_eq!(attempts, 0, "no attempt launched");
+            assert_eq!(steps, 0, "no work spent");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+/// Overload sheds with the typed rejection: while one slow submission
+/// holds the single execution slot (pinned there by retry backoff
+/// sleeps), a second arrival finds the zero-depth queue full and is
+/// refused in O(1) with queue depth and a back-off hint.
+#[test]
+fn overload_sheds_with_typed_rejection() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+
+    let svc = QueryService::new(ServiceConfig {
+        admission: AdmissionConfig {
+            max_inflight: 1,
+            max_queue_depth: 0,
+            ..AdmissionConfig::default()
+        },
+        // Every attempt faults; ~29 × 10ms backoff pins the slot long
+        // enough for the shed below to be deterministic.
+        retry: RetryPolicy {
+            max_attempts: 30,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(10),
+            seed: 1,
+        },
+        ..ServiceConfig::default()
+    });
+    failpoint::arm(SERVICE_DISPATCH_PROBE, "backend down");
+
+    std::thread::scope(|scope| {
+        let svc_ref = &svc;
+        let (cat_ref, tree_ref, pat_ref, cfg_ref) = (&cat, &d.tree, &pattern, &cfg);
+        let slow = scope.spawn(move || {
+            svc_ref.tree_sub_select(&Request::new("alice"), cat_ref, tree_ref, pat_ref, cfg_ref)
+        });
+        while svc.inflight() == 0 {
+            std::thread::yield_now();
+        }
+        let err = svc
+            .tree_sub_select(&Request::new("bob"), &cat, &d.tree, &pattern, &cfg)
+            .expect_err("second arrival must be shed, not queued");
+        match err {
+            ServiceError::Rejected {
+                queue_depth,
+                retry_after_hint,
+            } => {
+                assert_eq!(queue_depth, 0, "nothing can queue behind a 0-deep queue");
+                assert!(retry_after_hint > Duration::ZERO);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        let slow_result = slow.join().unwrap();
+        assert!(
+            matches!(
+                slow_result,
+                Err(ServiceError::Failed {
+                    class: ErrorClass::Transient,
+                    ..
+                })
+            ),
+            "armed-forever dispatch fault exhausts the attempt budget"
+        );
+    });
+    failpoint::reset();
+
+    let m = svc.metrics_snapshot();
+    assert_eq!(m.svc_admitted, 1);
+    assert_eq!(m.svc_shed, 1);
+}
+
+/// Satellite: a retried submission resumes spending from the *same*
+/// step budget. Total steps across attempts never exceed the configured
+/// budget — a fresh-budget-per-attempt implementation would pass the
+/// generous case below but not fail the tight one.
+#[test]
+fn step_budget_spans_retry_attempts() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+
+    // Calibrate: one clean execution costs `s` guard steps.
+    let svc = QueryService::new(ServiceConfig {
+        retry: no_sleep_retry(3),
+        ..ServiceConfig::default()
+    });
+    let clean = svc
+        .tree_sub_select(&Request::new("alice"), &cat, &d.tree, &pattern, &cfg)
+        .unwrap();
+    let s = clean.meta.steps;
+    assert!(s > 100, "fixture must cost real work, got {s} steps");
+
+    // Generous budget (2s + slack): the commit fault burns one full
+    // execution, the retry completes inside the remainder, and the
+    // reported total is exactly two executions' worth.
+    let generous = 2 * s + 16;
+    failpoint::arm_times(SERVICE_COMMIT_PROBE, "commit fault", 1);
+    let resp = svc
+        .tree_sub_select(
+            &Request::new("alice").with_budget(Budget::unlimited().with_steps(generous)),
+            &cat,
+            &d.tree,
+            &pattern,
+            &cfg,
+        )
+        .expect("2s+slack covers a retried execution");
+    failpoint::reset();
+    assert_eq!(resp.meta.attempts, 2);
+    assert_eq!(resp.meta.retries, 1);
+    assert_eq!(resp.meta.steps, 2 * s, "both attempts billed to one budget");
+    assert!(resp.meta.steps <= generous);
+
+    // Tight budget (1.5s): attempt one spends s, the retry gets only
+    // s/2 remaining and must trip BudgetExceeded — it may NOT restart
+    // from a fresh budget and succeed.
+    let tight = s + s / 2;
+    failpoint::arm_times(SERVICE_COMMIT_PROBE, "commit fault", 1);
+    let err = svc
+        .tree_sub_select(
+            &Request::new("alice").with_budget(Budget::unlimited().with_steps(tight)),
+            &cat,
+            &d.tree,
+            &pattern,
+            &cfg,
+        )
+        .expect_err("1.5s cannot cover two executions under one budget");
+    failpoint::reset();
+    match err {
+        ServiceError::Failed {
+            class,
+            attempts,
+            steps,
+            ..
+        } => {
+            assert_eq!(class, ErrorClass::Resource);
+            assert_eq!(attempts, 2);
+            assert!(steps >= s, "first attempt's spend is on the bill");
+            // Overshoot is bounded by one guard batch, not by re-running
+            // the whole query.
+            assert!(
+                steps <= tight + 2048,
+                "total steps {steps} blew past the {tight}-step budget"
+            );
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+/// The full breaker cycle through the service: transient failures trip
+/// the class open, degraded dispatches serve partial answers whose
+/// truncation is first-class response metadata, the half-open probe
+/// runs at full fidelity, and recovery closes the breaker.
+#[test]
+fn breaker_trips_serves_degraded_and_recovers() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+
+    let svc = QueryService::new(ServiceConfig {
+        retry: no_sleep_retry(1),
+        breaker: BreakerConfig {
+            window: 2,
+            failure_threshold: 2,
+            probe_after: 2,
+        },
+        degraded_cap: 1,
+        ..ServiceConfig::default()
+    });
+    let req = Request::new("alice");
+
+    // Full-fidelity answer for later comparison.
+    let full = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .unwrap();
+    assert!(full.value.len() > 1, "fixture needs multiple matches");
+
+    // Two transient failures trip the breaker.
+    failpoint::arm(SERVICE_DISPATCH_PROBE, "backend down");
+    for _ in 0..2 {
+        let err = svc
+            .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+            .expect_err("armed dispatch fault with one attempt");
+        assert_eq!(err.class(), ErrorClass::Transient);
+    }
+    failpoint::reset();
+    assert_eq!(
+        svc.breaker_state(PlanClass::TreeSubSelect),
+        BreakerState::Open
+    );
+    assert_eq!(svc.metrics_snapshot().svc_tripped, 1);
+    assert_eq!(
+        svc.breaker_state(PlanClass::SetSelect),
+        BreakerState::Closed,
+        "breakers are per plan class"
+    );
+
+    // The fault is gone, but the breaker is open: submission 1 of the
+    // probe_after=2 clock serves degraded — a 1-match partial answer
+    // with its truncation flagged in the response metadata.
+    let degraded = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .expect("degraded dispatch still answers");
+    assert_eq!(degraded.meta.dispatch, Dispatch::Degraded);
+    assert!(degraded.meta.degraded);
+    assert_eq!(degraded.value.len(), 1, "degraded_cap clamps the answer");
+    assert!(degraded.value[0].structural_eq(&full.value[0]));
+    assert!(degraded.meta.truncation.truncated);
+    assert!(degraded.meta.truncation.hit_max_matches);
+    assert!(degraded.explain.to_string().contains("degraded dispatch"));
+    assert_eq!(svc.metrics_snapshot().svc_degraded, 1);
+
+    // Submission 2 reaches the probe threshold: full fidelity, and its
+    // success recovers the breaker.
+    let probe = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .expect("half-open probe runs at full fidelity");
+    assert_eq!(probe.meta.dispatch, Dispatch::Probe);
+    assert!(!probe.meta.degraded);
+    assert_eq!(probe.value.len(), full.value.len());
+    let text = probe.explain.to_string();
+    assert!(text.contains("half-open probe"), "{text}");
+    assert!(text.contains("breaker recovered"), "{text}");
+    assert_eq!(
+        svc.breaker_state(PlanClass::TreeSubSelect),
+        BreakerState::Closed
+    );
+
+    // Healthy again: the next submission is Full and untruncated.
+    let after = svc
+        .tree_sub_select(&req, &cat, &d.tree, &pattern, &cfg)
+        .unwrap();
+    assert_eq!(after.meta.dispatch, Dispatch::Full);
+    assert_eq!(after.value.len(), full.value.len());
+}
+
+/// A degraded set select is a capped scan; a degraded list answer is a
+/// deterministic prefix — both flagged.
+#[test]
+fn degraded_set_and_list_responses_flag_truncation() {
+    let _serial = lock();
+    let mut store = aqua_object::ObjectStore::new();
+    let class = store
+        .define_class(
+            aqua_object::ClassDef::new(
+                "P",
+                vec![aqua_object::AttrDef::stored(
+                    "age",
+                    aqua_object::AttrType::Int,
+                )],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for i in 0..100 {
+        store
+            .insert_named("P", &[("age", aqua_object::Value::Int(i % 9))])
+            .unwrap();
+    }
+    let cat = Catalog::new(&store, class);
+    let pred = PredExpr::cmp("age", aqua_pattern::CmpOp::Lt, 8);
+
+    let svc = QueryService::new(ServiceConfig {
+        retry: no_sleep_retry(1),
+        breaker: BreakerConfig {
+            window: 1,
+            failure_threshold: 1,
+            probe_after: 100,
+        },
+        degraded_cap: 3,
+        ..ServiceConfig::default()
+    });
+    let req = Request::new("alice");
+
+    let full = svc.set_select(&req, &cat, &pred).unwrap().value;
+    assert!(full.len() > 3);
+
+    failpoint::arm_times(SERVICE_DISPATCH_PROBE, "backend down", 1);
+    let _ = svc.set_select(&req, &cat, &pred).expect_err("trips open");
+    failpoint::reset();
+    assert_eq!(svc.breaker_state(PlanClass::SetSelect), BreakerState::Open);
+
+    let degraded = svc.set_select(&req, &cat, &pred).unwrap();
+    assert_eq!(degraded.value.len(), 3, "scan capped at degraded_cap");
+    assert_eq!(degraded.value[..], full[..3], "cap keeps the stable prefix");
+    assert!(degraded.meta.truncation.truncated);
+    assert!(degraded.meta.truncation.hit_max_matches);
+
+    // Same cycle for a list query.
+    let d = SongGen::new(5)
+        .notes(800)
+        .plant(vec!["A", "B"], 10)
+        .generate();
+    let mut lcat = Catalog::new(&d.store, d.class);
+    let lidx = ListPosIndex::build(&d.store, &d.song, d.class, AttrId(0));
+    lcat.add_list_index(&lidx);
+    let env = PredEnv::with_default_attr("pitch");
+    let (re, s, e) = parse_list_pattern("[A B]", &env).unwrap();
+
+    let lfull = svc
+        .list_sub_select(&req, &lcat, &d.song, &re, s, e)
+        .unwrap()
+        .value;
+    assert!(lfull.len() > 3);
+
+    failpoint::arm_times(SERVICE_DISPATCH_PROBE, "backend down", 1);
+    let _ = svc
+        .list_sub_select(&req, &lcat, &d.song, &re, s, e)
+        .expect_err("trips open");
+    failpoint::reset();
+
+    let ldeg = svc
+        .list_sub_select(&req, &lcat, &d.song, &re, s, e)
+        .unwrap();
+    assert_eq!(ldeg.value.len(), 3, "prefix truncation at degraded_cap");
+    assert_eq!(ldeg.value[..], lfull[..3]);
+    assert!(ldeg.meta.truncation.truncated);
+}
