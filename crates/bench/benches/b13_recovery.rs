@@ -1,0 +1,153 @@
+//! B13 — durability costs: WAL append throughput, cold-open replay
+//! rate, and snapshot-assisted cold-open latency.
+//!
+//! Three rows, one per durability phase:
+//!
+//! * `wal_append_1k_ops` — a fresh `DurableStore` absorbing a 1k-op
+//!   seeded mutation storm (validate → log → apply per op).
+//! * `replay_cold_open_2k_frames` — opening a directory whose entire
+//!   state lives in the WAL: every frame checksummed, decoded, and
+//!   replayed, then all four indexes rebuilt.
+//! * `cold_open_snapshot_tail` — the same state after a checkpoint:
+//!   snapshot load plus a short WAL tail, the steady-state restart
+//!   shape.
+//!
+//! `AQUA_BENCH_QUICK` shrinks iterations for the CI gate;
+//! `AQUA_BENCH_JSON=<path>` dumps the rows for `bench_gate`.
+
+use std::path::PathBuf;
+
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_store::{DurableConfig, DurableStore};
+use aqua_workload::storm::{MutationStorm, BOOT_OPS};
+
+struct Out {
+    table: Table,
+    rows: Vec<(&'static str, Timed)>,
+    iters: usize,
+}
+
+impl Out {
+    fn new() -> Out {
+        Out {
+            table: Table::new(&["phase", "median ms"]),
+            rows: Vec::new(),
+            iters: aqua_bench::iters_for(10, 3),
+        }
+    }
+
+    fn row(&mut self, name: &'static str, t: Timed) {
+        self.table.row(vec![name.into(), ms(t)]);
+        self.rows.push((name, t));
+    }
+
+    fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"b13_recovery\",\n");
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str("  \"rows\": [\n");
+        for (i, (name, t)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"bench\":\"b13\",\"name\":\"{name}\",\"median_ms\":{:.4},\"result_size\":{}}}{comma}\n",
+                t.secs * 1e3,
+                t.result_size
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn scratch(tag: &str, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aqua-b13-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg() -> DurableConfig {
+    DurableConfig {
+        segment_bytes: 64 * 1024,
+        checkpoint_every: 0,
+        prune: true,
+    }
+}
+
+/// WAL append throughput: fresh store, 1k storm ops straight through
+/// the validate → log → apply path.
+fn bench_append(out: &mut Out) {
+    const OPS: u64 = BOOT_OPS + 1000;
+    let storm = MutationStorm::new(7);
+    let mut n = 0;
+    let t = time_median(out.iters, || {
+        let dir = scratch("append", n);
+        n += 1;
+        let (mut ds, _) = DurableStore::open(&dir, cfg()).expect("fresh open");
+        let applied = storm.apply(&mut ds, 0..OPS).expect("storm applies") as usize;
+        drop(ds);
+        let _ = std::fs::remove_dir_all(&dir);
+        applied
+    });
+    out.row("wal_append_1k_ops", t);
+}
+
+/// Cold-open replay rate: the whole state lives in the WAL; every
+/// frame is checksummed, decoded, replayed, and the indexes rebuilt.
+fn bench_replay(out: &mut Out) {
+    const OPS: u64 = BOOT_OPS + 2000;
+    let storm = MutationStorm::new(7);
+    let dir = scratch("replay", 0);
+    {
+        let (mut ds, _) = DurableStore::open(&dir, cfg()).expect("fresh open");
+        storm.apply(&mut ds, 0..OPS).expect("storm applies");
+        ds.sync().expect("sync");
+    }
+    let t = time_median(out.iters, || {
+        let (ds, rep) = DurableStore::open(&dir, cfg()).expect("cold open");
+        assert_eq!(ds.epoch(), OPS);
+        rep.frames_replayed as usize
+    });
+    out.row("replay_cold_open_2k_frames", t);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshot-assisted cold open: a checkpoint covers the bulk, the WAL
+/// holds a 200-op tail — the steady-state restart shape.
+fn bench_snapshot_open(out: &mut Out) {
+    const BULK: u64 = BOOT_OPS + 2000;
+    const TAIL: u64 = 200;
+    let storm = MutationStorm::new(7);
+    let dir = scratch("snap", 0);
+    {
+        let (mut ds, _) = DurableStore::open(&dir, cfg()).expect("fresh open");
+        storm.apply(&mut ds, 0..BULK).expect("storm applies");
+        ds.checkpoint().expect("checkpoint");
+        storm
+            .apply(&mut ds, BULK..BULK + TAIL)
+            .expect("tail applies");
+        ds.sync().expect("sync");
+    }
+    let t = time_median(out.iters, || {
+        let (ds, rep) = DurableStore::open(&dir, cfg()).expect("cold open");
+        assert_eq!(ds.epoch(), BULK + TAIL);
+        assert_eq!(rep.frames_replayed, TAIL);
+        rep.frames_replayed as usize
+    });
+    out.row("cold_open_snapshot_tail", t);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let mut out = Out::new();
+    bench_append(&mut out);
+    bench_replay(&mut out);
+    bench_snapshot_open(&mut out);
+    out.table
+        .print("B13 — durability: WAL append, replay, cold open");
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        std::fs::write(&path, out.json()).expect("write AQUA_BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
+}

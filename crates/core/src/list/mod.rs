@@ -111,6 +111,17 @@ impl List {
         self.elems.push(ListElem::Hole(label.into()));
     }
 
+    /// Remove and return the element at `i`; `None` (list untouched)
+    /// when `i` is out of bounds. Later elements shift left, preserving
+    /// relative order — the stability contract of the algebra.
+    pub fn remove(&mut self, i: usize) -> Option<ListElem> {
+        if i < self.elems.len() {
+            Some(self.elems.remove(i))
+        } else {
+            None
+        }
+    }
+
     /// `self ∘_label other`: splice a copy of `other` into every hole of
     /// `self` carrying `label`; identity when no such hole exists
     /// (paper §3.3's list analogue).
@@ -277,6 +288,19 @@ mod tests {
         let oid = l.oids()[0];
         let dup = List::from_oids([oid, oid, oid]);
         assert_eq!(dup.len(), 3); // three unique nodes, one object
+    }
+
+    #[test]
+    fn remove_shifts_and_bounds_checks() {
+        let mut fx = Fx::new();
+        let mut l = fx.song("a@xbc");
+        assert!(l.remove(99).is_none());
+        assert_eq!(fx.render(&l), "[a@xbc]");
+        let hole = l.remove(1).unwrap();
+        assert!(hole.hole().is_some());
+        assert_eq!(fx.render(&l), "[abc]");
+        l.remove(0).unwrap();
+        assert_eq!(fx.render(&l), "[bc]");
     }
 
     #[test]

@@ -136,6 +136,12 @@ impl ObjectStore {
         &self.extents[class.0 as usize]
     }
 
+    /// Number of registered classes. `ClassId`s are dense, so classes
+    /// are exactly `ClassId(0)..ClassId(class_count())`.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
     /// Total number of objects in the store.
     pub fn len(&self) -> usize {
         self.objects.len()

@@ -29,6 +29,12 @@
 //! | `cache_lookups/hits/misses` | `PatternCache` traffic                    |
 //! | `pool_items/steals/flushes/workers` | work-stealing pool (`pool.rs`)    |
 //! | `svc_admitted/shed/retried/tripped/degraded` | `aqua-service` front end |
+//! | `wal_appends/wal_bytes`  | WAL frame appends (`aqua-store::wal`)        |
+//! | `snapshots_written`      | checkpoints completed (`aqua-store`)         |
+//! | `recoveries`             | successful `DurableStore` opens              |
+//! | `recovery_frames_replayed` | WAL frames re-applied during recovery      |
+//! | `recovery_bytes_truncated` | torn-tail bytes discarded during recovery  |
+//! | `recovery_indices_rebuilt` | indices rebuilt from specs after replay    |
 //!
 //! Snapshots [`merge`](MetricsSnapshot::merge) field-wise (sums and
 //! bucket-wise histogram sums), which is commutative and associative:
@@ -225,6 +231,20 @@ pub struct Registry {
     /// Degraded (partial/bounded) responses served while a breaker was
     /// open.
     pub svc_degraded: Counter,
+    /// WAL frames appended by the durability layer.
+    pub wal_appends: Counter,
+    /// WAL bytes appended (frame headers included).
+    pub wal_bytes: Counter,
+    /// Checkpoints (snapshots) written to completion.
+    pub snapshots_written: Counter,
+    /// Successful durable-store opens (each one is a recovery).
+    pub recoveries: Counter,
+    /// WAL frames re-applied while recovering.
+    pub recovery_frames_replayed: Counter,
+    /// Torn-tail bytes discarded while recovering.
+    pub recovery_bytes_truncated: Counter,
+    /// Indices rebuilt from registered specs after replay.
+    pub recovery_indices_rebuilt: Counter,
     spans: Mutex<Vec<SpanEvent>>,
     spans_dropped: Counter,
 }
@@ -309,6 +329,13 @@ impl Metrics {
             svc_retried: r.svc_retried.get(),
             svc_tripped: r.svc_tripped.get(),
             svc_degraded: r.svc_degraded.get(),
+            wal_appends: r.wal_appends.get(),
+            wal_bytes: r.wal_bytes.get(),
+            snapshots_written: r.snapshots_written.get(),
+            recoveries: r.recoveries.get(),
+            recovery_frames_replayed: r.recovery_frames_replayed.get(),
+            recovery_bytes_truncated: r.recovery_bytes_truncated.get(),
+            recovery_indices_rebuilt: r.recovery_indices_rebuilt.get(),
             spans,
             spans_dropped: r.spans_dropped.get(),
         }
@@ -371,6 +398,20 @@ pub struct MetricsSnapshot {
     pub svc_tripped: u64,
     /// See [`Registry::svc_degraded`].
     pub svc_degraded: u64,
+    /// See [`Registry::wal_appends`].
+    pub wal_appends: u64,
+    /// See [`Registry::wal_bytes`].
+    pub wal_bytes: u64,
+    /// See [`Registry::snapshots_written`].
+    pub snapshots_written: u64,
+    /// See [`Registry::recoveries`].
+    pub recoveries: u64,
+    /// See [`Registry::recovery_frames_replayed`].
+    pub recovery_frames_replayed: u64,
+    /// See [`Registry::recovery_bytes_truncated`].
+    pub recovery_bytes_truncated: u64,
+    /// See [`Registry::recovery_indices_rebuilt`].
+    pub recovery_indices_rebuilt: u64,
     /// Completed spans, canonically sorted.
     pub spans: Vec<SpanEvent>,
     /// Spans discarded past [`SPAN_CAP`].
@@ -408,6 +449,13 @@ impl MetricsSnapshot {
         self.svc_retried += other.svc_retried;
         self.svc_tripped += other.svc_tripped;
         self.svc_degraded += other.svc_degraded;
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes += other.wal_bytes;
+        self.snapshots_written += other.snapshots_written;
+        self.recoveries += other.recoveries;
+        self.recovery_frames_replayed += other.recovery_frames_replayed;
+        self.recovery_bytes_truncated += other.recovery_bytes_truncated;
+        self.recovery_indices_rebuilt += other.recovery_indices_rebuilt;
         self.spans.extend(other.spans.iter().cloned());
         self.spans.sort();
         self.spans_dropped += other.spans_dropped;
@@ -439,6 +487,13 @@ impl MetricsSnapshot {
             && self.svc_retried == 0
             && self.svc_tripped == 0
             && self.svc_degraded == 0
+            && self.wal_appends == 0
+            && self.wal_bytes == 0
+            && self.snapshots_written == 0
+            && self.recoveries == 0
+            && self.recovery_frames_replayed == 0
+            && self.recovery_bytes_truncated == 0
+            && self.recovery_indices_rebuilt == 0
             && self.spans.is_empty()
             && self.spans_dropped == 0
     }
@@ -483,6 +538,19 @@ impl MetricsSnapshot {
             ",\"svc_admitted\":{},\"svc_shed\":{},\"svc_retried\":{},\"svc_tripped\":{},\"svc_degraded\":{}",
             self.svc_admitted, self.svc_shed, self.svc_retried, self.svc_tripped, self.svc_degraded
         );
+        let _ = write!(
+            out,
+            ",\"wal_appends\":{},\"wal_bytes\":{},\"snapshots_written\":{}",
+            self.wal_appends, self.wal_bytes, self.snapshots_written
+        );
+        let _ = write!(
+            out,
+            ",\"recoveries\":{},\"recovery_frames_replayed\":{},\"recovery_bytes_truncated\":{},\"recovery_indices_rebuilt\":{}",
+            self.recoveries,
+            self.recovery_frames_replayed,
+            self.recovery_bytes_truncated,
+            self.recovery_indices_rebuilt
+        );
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -510,7 +578,7 @@ impl fmt::Display for MetricsSnapshot {
             self.engine_results,
             self.engine_elapsed_nanos as f64 / 1e6
         )?;
-        let rows: [(&str, u64); 19] = [
+        let rows: [(&str, u64); 26] = [
             ("pike-vm steps", self.vm_steps),
             ("parse-dag visits", self.vm_path_visits),
             ("tree visits", self.match_visits),
@@ -530,6 +598,13 @@ impl fmt::Display for MetricsSnapshot {
             ("service retried", self.svc_retried),
             ("service tripped", self.svc_tripped),
             ("service degraded", self.svc_degraded),
+            ("wal appends", self.wal_appends),
+            ("wal bytes", self.wal_bytes),
+            ("snapshots written", self.snapshots_written),
+            ("recoveries", self.recoveries),
+            ("recovery frames replayed", self.recovery_frames_replayed),
+            ("recovery bytes truncated", self.recovery_bytes_truncated),
+            ("recovery indices rebuilt", self.recovery_indices_rebuilt),
         ];
         for (name, v) in rows {
             if v > 0 {

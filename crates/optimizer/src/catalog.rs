@@ -19,6 +19,7 @@ pub struct Catalog<'a> {
     list_indices: HashMap<String, &'a ListPosIndex>,
     stats: HashMap<String, &'a ColumnStats>,
     structural: Option<&'a StructuralIndex>,
+    epoch: Option<u64>,
 }
 
 impl<'a> Catalog<'a> {
@@ -32,7 +33,25 @@ impl<'a> Catalog<'a> {
             list_indices: HashMap::new(),
             stats: HashMap::new(),
             structural: None,
+            epoch: None,
         }
+    }
+
+    /// Declare the store's current mutation epoch. When set, every
+    /// index probe passes it through the staleness gate: an index built
+    /// at an older epoch refuses to answer
+    /// ([`aqua_store::StoreError::StaleIndex`]) and the plan falls back
+    /// to a scan, recording the fallback in its `Explain`. When unset
+    /// (the default), staleness checking is off — the legacy trust-the-
+    /// caller mode.
+    pub fn set_epoch(&mut self, epoch: u64) -> &mut Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// The declared store epoch, if any.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
     }
 
     fn attr_name(&self, attr: aqua_object::AttrId) -> String {

@@ -173,7 +173,7 @@ impl TreePlan {
                 let idx = catalog
                     .tree_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                match idx.try_lookup_cmp(*op, value) {
+                match idx.try_lookup_cmp(*op, value, catalog.epoch()) {
                     Ok(candidates) => Ok(tree_ops::sub_select_from_outcome_guarded(
                         catalog.store,
                         tree,
@@ -255,7 +255,7 @@ impl TreePlan {
                 let idx = catalog
                     .tree_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                match idx.try_lookup_cmp(*op, value) {
+                match idx.try_lookup_cmp(*op, value, catalog.epoch()) {
                     Ok(candidates) => Ok(split::split_pieces_from_guarded(
                         catalog.store,
                         tree,
@@ -440,7 +440,7 @@ impl SetPlan {
                 let idx = catalog
                     .attr_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                let mut hits = match idx.try_lookup_cmp(*op, value) {
+                let mut hits = match idx.try_lookup_cmp(*op, value, catalog.epoch()) {
                     Ok(hits) => hits,
                     Err(e) => {
                         explain.fallback(format!("index probe failed ({e}); extent scan"));
@@ -612,7 +612,7 @@ impl ListPlan {
                 let idx = catalog
                     .list_index(attr)
                     .ok_or_else(|| OptError::MissingIndex { attr: attr.clone() })?;
-                let starts = match idx.try_candidate_starts(value, *offset) {
+                let starts = match idx.try_candidate_starts(value, *offset, catalog.epoch()) {
                     Ok(starts) => starts,
                     Err(e) => {
                         explain.fallback(format!("index probe failed ({e}); full list scan"));

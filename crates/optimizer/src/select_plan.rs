@@ -108,7 +108,7 @@ impl TreeSelectPlan {
                 let sidx = catalog.structural().ok_or_else(|| OptError::MissingIndex {
                     attr: "<structural>".into(),
                 })?;
-                let hits = match idx.try_lookup_cmp(*op, value) {
+                let hits = match idx.try_lookup_cmp(*op, value, catalog.epoch()) {
                     Ok(hits) => hits,
                     Err(e) => {
                         explain.fallback(format!("index probe failed ({e}); full walk"));

@@ -1,7 +1,9 @@
 //! The [`QueryService`] front end: admission → deadline → retry →
 //! breaker, wrapped around optimizer plan execution.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use aqua_algebra::bulk::TreeSet;
 use aqua_algebra::{List, Tree};
@@ -14,6 +16,7 @@ use aqua_pattern::ast::Re;
 use aqua_pattern::list::{ListMatch, Sym};
 use aqua_pattern::tree_match::MatchConfig;
 use aqua_pattern::{PredExpr, TreePattern};
+use aqua_store::{DurableConfig, DurableStore, RecoveryReport};
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Dispatch, Transition};
@@ -216,6 +219,7 @@ pub struct QueryService {
     permits: WorkerPermits,
     metrics: Metrics,
     submissions: AtomicU64,
+    recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl Default for QueryService {
@@ -233,8 +237,42 @@ impl QueryService {
             permits: WorkerPermits::new(cfg.worker_cap),
             metrics: Metrics::new(),
             submissions: AtomicU64::new(0),
+            recovery: Mutex::new(None),
             cfg,
         }
+    }
+
+    /// Open (recovering if necessary) the durable store at `dir` as part
+    /// of service startup. The [`RecoveryReport`] is stamped into this
+    /// service's metrics (`recoveries`, `recovery_frames_replayed`,
+    /// `recovery_bytes_truncated`, `recovery_indices_rebuilt`), retained
+    /// for [`recovery_report`](Self::recovery_report), and the store is
+    /// armed with the service metrics so its WAL/checkpoint traffic shows
+    /// up in [`metrics_snapshot`](Self::metrics_snapshot). Recovery
+    /// failures surface as a typed [`ServiceError::Failed`] carrying the
+    /// store error's class — never a panic.
+    pub fn open_durable(&self, dir: &Path, cfg: DurableConfig) -> Result<DurableStore> {
+        match DurableStore::open(dir, cfg) {
+            Ok((mut store, report)) => {
+                report.stamp(&self.metrics);
+                store.set_metrics(self.metrics.clone());
+                *self.recovery.lock().unwrap() = Some(report);
+                Ok(store)
+            }
+            Err(e) => Err(ServiceError::Failed {
+                class: e.class(),
+                attempts: 1,
+                steps: 0,
+                message: format!("durable store open failed: {e}"),
+            }),
+        }
+    }
+
+    /// What the last [`open_durable`](Self::open_durable) found and did,
+    /// for health endpoints and CI artifacts. `None` until a durable
+    /// store has been opened through this service.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery.lock().unwrap().clone()
     }
 
     /// The service's own counters (`svc_*`; engine-progress fields stay

@@ -10,9 +10,25 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 
 use aqua_algebra::Tree;
-use aqua_guard::failpoint::{self, FailpointError};
+use aqua_guard::failpoint;
 use aqua_object::{AttrId, ClassId, ObjectStore, Oid, Value};
 use aqua_pattern::CmpOp;
+
+use crate::error::{Result, StoreError};
+
+/// Staleness gate shared by all four index types: `built` is the epoch
+/// the index was stamped with, `current` the store's epoch at probe
+/// time (`None` disables the check for epoch-unaware callers).
+#[inline]
+pub(crate) fn ensure_fresh(built: u64, current: Option<u64>) -> Result<()> {
+    match current {
+        Some(store_epoch) if store_epoch != built => Err(StoreError::StaleIndex {
+            built_epoch: built,
+            store_epoch,
+        }),
+        _ => Ok(()),
+    }
+}
 
 /// Failpoint checked by [`AttrIndex`] probe wrappers
 /// ([`AttrIndex::try_lookup`], [`AttrIndex::try_lookup_cmp`]).
@@ -47,17 +63,57 @@ pub struct AttrIndex {
     class: ClassId,
     attr: AttrId,
     map: BTreeMap<OrdValue, Vec<Oid>>,
+    epoch: u64,
 }
 
 impl AttrIndex {
-    /// Build over the current extent of `class`.
+    /// Build over the current extent of `class`. Infallible for OIDs
+    /// the extent itself vouches for, but panics if `attr` is out of
+    /// the class layout — use [`try_build`](Self::try_build) for
+    /// untrusted specs. The index is stamped with epoch 0; see
+    /// [`with_epoch`](Self::with_epoch).
     pub fn build(store: &ObjectStore, class: ClassId, attr: AttrId) -> AttrIndex {
         let mut map: BTreeMap<OrdValue, Vec<Oid>> = BTreeMap::new();
         for &oid in store.extent(class) {
             let v = store.attr(oid, attr).clone();
             map.entry(OrdValue(v)).or_default().push(oid);
         }
-        AttrIndex { class, attr, map }
+        AttrIndex {
+            class,
+            attr,
+            map,
+            epoch: 0,
+        }
+    }
+
+    /// Panic-free [`build`](Self::build): validates `class` and `attr`
+    /// against the store's schema and dereferences through the typed
+    /// [`ObjectStore::get`], so adversarial specs yield a
+    /// [`StoreError`] instead of a slice-index panic.
+    pub fn try_build(store: &ObjectStore, class: ClassId, attr: AttrId) -> Result<AttrIndex> {
+        check_attr(store, class, attr)?;
+        let mut map: BTreeMap<OrdValue, Vec<Oid>> = BTreeMap::new();
+        for &oid in store.extent(class) {
+            let v = store.get(oid)?.get(attr).clone();
+            map.entry(OrdValue(v)).or_default().push(oid);
+        }
+        Ok(AttrIndex {
+            class,
+            attr,
+            map,
+            epoch: 0,
+        })
+    }
+
+    /// Stamp the store generation this index was built at.
+    pub fn with_epoch(mut self, epoch: u64) -> AttrIndex {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The store generation this index was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The indexed class.
@@ -70,18 +126,27 @@ impl AttrIndex {
         self.attr
     }
 
-    /// Fallible exact-match probe, checking the [`ATTR_INDEX_PROBE`]
-    /// failpoint — the probe the optimizer routes through so injected
-    /// index faults trigger plan fallback.
-    pub fn try_lookup(&self, v: &Value) -> Result<&[Oid], FailpointError> {
+    /// Fallible exact-match probe — the probe the optimizer routes
+    /// through. Checks the [`ATTR_INDEX_PROBE`] failpoint and, when
+    /// `current_epoch` is `Some`, refuses to answer for a store that
+    /// has mutated since the build ([`StoreError::StaleIndex`]) rather
+    /// than silently returning wrong candidates.
+    pub fn try_lookup(&self, v: &Value, current_epoch: Option<u64>) -> Result<&[Oid]> {
         failpoint::check(ATTR_INDEX_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
         Ok(self.lookup(v))
     }
 
-    /// Fallible [`lookup_cmp`](Self::lookup_cmp), checking the
-    /// [`ATTR_INDEX_PROBE`] failpoint.
-    pub fn try_lookup_cmp(&self, op: CmpOp, v: &Value) -> Result<Vec<Oid>, FailpointError> {
+    /// Fallible [`lookup_cmp`](Self::lookup_cmp); same failpoint and
+    /// staleness gates as [`try_lookup`](Self::try_lookup).
+    pub fn try_lookup_cmp(
+        &self,
+        op: CmpOp,
+        v: &Value,
+        current_epoch: Option<u64>,
+    ) -> Result<Vec<Oid>> {
         failpoint::check(ATTR_INDEX_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
         Ok(self.lookup_cmp(op, v))
     }
 
@@ -141,6 +206,27 @@ impl AttrIndex {
     }
 }
 
+/// Validate an index spec against the store schema: the class must be
+/// registered and `attr` inside its layout.
+pub(crate) fn check_attr(store: &ObjectStore, class: ClassId, attr: AttrId) -> Result<()> {
+    if class.0 as usize >= store.class_count() {
+        return Err(StoreError::OutOfBounds {
+            what: "class id",
+            index: class.0 as usize,
+            len: store.class_count(),
+        });
+    }
+    let arity = store.class(class).arity();
+    if attr.index() >= arity {
+        return Err(StoreError::OutOfBounds {
+            what: "attribute id",
+            index: attr.index(),
+            len: arity,
+        });
+    }
+    Ok(())
+}
+
 /// An index over the nodes of one tree: maps an attribute value of the
 /// node's *object* to the node ids, in document (preorder) order. Holes
 /// are not indexed. This is the "index on d" of §4's rewrite example.
@@ -149,11 +235,14 @@ pub struct TreeNodeIndex {
     attr: AttrId,
     class: ClassId,
     map: BTreeMap<OrdValue, Vec<u32>>,
+    epoch: u64,
 }
 
 impl TreeNodeIndex {
     /// Build over `tree`, indexing `attr` of objects of `class` (nodes
-    /// holding objects of other classes are skipped).
+    /// holding objects of other classes are skipped). Panics on a tree
+    /// whose cells dangle outside `store` — use
+    /// [`try_build`](Self::try_build) for untrusted trees.
     pub fn build(store: &ObjectStore, tree: &Tree, class: ClassId, attr: AttrId) -> TreeNodeIndex {
         let mut map: BTreeMap<OrdValue, Vec<u32>> = BTreeMap::new();
         for node in tree.iter_preorder() {
@@ -166,7 +255,52 @@ impl TreeNodeIndex {
                 }
             }
         }
-        TreeNodeIndex { attr, class, map }
+        TreeNodeIndex {
+            attr,
+            class,
+            map,
+            epoch: 0,
+        }
+    }
+
+    /// Panic-free [`build`](Self::build): dangling cell OIDs (a tree
+    /// from a different store) and out-of-layout attributes surface as
+    /// typed [`StoreError`]s instead of index panics.
+    pub fn try_build(
+        store: &ObjectStore,
+        tree: &Tree,
+        class: ClassId,
+        attr: AttrId,
+    ) -> Result<TreeNodeIndex> {
+        check_attr(store, class, attr)?;
+        let mut map: BTreeMap<OrdValue, Vec<u32>> = BTreeMap::new();
+        for node in tree.iter_preorder() {
+            if let Some(oid) = tree.oid(node) {
+                let obj = store.get(oid)?;
+                if obj.class() == class {
+                    map.entry(OrdValue(obj.get(attr).clone()))
+                        .or_default()
+                        .push(node.0);
+                }
+            }
+        }
+        Ok(TreeNodeIndex {
+            attr,
+            class,
+            map,
+            epoch: 0,
+        })
+    }
+
+    /// Stamp the store generation this index was built at.
+    pub fn with_epoch(mut self, epoch: u64) -> TreeNodeIndex {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The store generation this index was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The indexed attribute.
@@ -179,17 +313,25 @@ impl TreeNodeIndex {
         self.class
     }
 
-    /// Fallible [`lookup`](Self::lookup), checking the
-    /// [`TREE_INDEX_PROBE`] failpoint.
-    pub fn try_lookup(&self, v: &Value) -> Result<&[u32], FailpointError> {
+    /// Fallible [`lookup`](Self::lookup): checks the
+    /// [`TREE_INDEX_PROBE`] failpoint and the staleness gate (see
+    /// [`AttrIndex::try_lookup`]).
+    pub fn try_lookup(&self, v: &Value, current_epoch: Option<u64>) -> Result<&[u32]> {
         failpoint::check(TREE_INDEX_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
         Ok(self.lookup(v))
     }
 
-    /// Fallible [`lookup_cmp`](Self::lookup_cmp), checking the
-    /// [`TREE_INDEX_PROBE`] failpoint.
-    pub fn try_lookup_cmp(&self, op: CmpOp, v: &Value) -> Result<Vec<u32>, FailpointError> {
+    /// Fallible [`lookup_cmp`](Self::lookup_cmp); same gates as
+    /// [`try_lookup`](Self::try_lookup).
+    pub fn try_lookup_cmp(
+        &self,
+        op: CmpOp,
+        v: &Value,
+        current_epoch: Option<u64>,
+    ) -> Result<Vec<u32>> {
         failpoint::check(TREE_INDEX_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
         Ok(self.lookup_cmp(op, v))
     }
 
@@ -310,6 +452,58 @@ mod tests {
         // Document order: root before second child.
         assert!(hits[0] == root.0 && hits[1] == k2.0);
         assert_eq!(idx.lookup_cmp(CmpOp::Ge, &Value::Int(8)), vec![k1.0]);
+    }
+
+    #[test]
+    fn try_build_rejects_adversarial_specs_typed() {
+        let (s, c, a) = setup();
+        // Class id beyond the registry.
+        assert!(matches!(
+            AttrIndex::try_build(&s, ClassId(99), a),
+            Err(crate::error::StoreError::OutOfBounds {
+                what: "class id",
+                ..
+            })
+        ));
+        // Attribute outside the class layout (would be a slice panic in
+        // the trusting builder).
+        assert!(matches!(
+            AttrIndex::try_build(&s, c, AttrId(7)),
+            Err(crate::error::StoreError::OutOfBounds {
+                what: "attribute id",
+                ..
+            })
+        ));
+        // A tree whose cells dangle outside the store (foreign tree).
+        let foreign = Tree::leaf(Oid(9999));
+        assert!(matches!(
+            TreeNodeIndex::try_build(&s, &foreign, c, a),
+            Err(crate::error::StoreError::Object(_))
+        ));
+        // Well-formed spec matches the trusting builder.
+        let idx = AttrIndex::try_build(&s, c, a).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(0)).len(), 4);
+    }
+
+    #[test]
+    fn stale_probe_is_detected_not_wrong() {
+        let (s, c, a) = setup();
+        let idx = AttrIndex::build(&s, c, a).with_epoch(3);
+        assert_eq!(idx.epoch(), 3);
+        // Matching epoch and epoch-unaware probes answer.
+        assert!(idx.try_lookup(&Value::Int(0), Some(3)).is_ok());
+        assert!(idx.try_lookup(&Value::Int(0), None).is_ok());
+        // A mutated store refuses with the facts.
+        match idx.try_lookup(&Value::Int(0), Some(5)) {
+            Err(crate::error::StoreError::StaleIndex {
+                built_epoch: 3,
+                store_epoch: 5,
+            }) => {}
+            other => panic!("expected StaleIndex, got {other:?}"),
+        }
+        assert!(idx
+            .try_lookup_cmp(CmpOp::Ge, &Value::Int(0), Some(5))
+            .is_err());
     }
 
     #[test]

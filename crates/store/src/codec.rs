@@ -1,0 +1,724 @@
+//! Hand-rolled binary codec for the durability subsystem.
+//!
+//! The workspace is dependency-free by design, so WAL records and
+//! snapshots use a small fixed-layout little-endian encoding defined
+//! here, protected by the classic [CRC-32/ISO-HDLC](crc32) checksum.
+//! Decoding is strictly bounds-checked: a truncated or bit-flipped
+//! buffer yields a typed [`StoreError::Corrupt`], never a panic —
+//! that is the property the recovery path's torn-tail handling and the
+//! chaos harness's bit-flip legs rely on.
+
+use aqua_algebra::{List, ListElem, Payload, Tree, TreeBuilder};
+use aqua_object::{AttrDef, AttrId, AttrKind, AttrType, ClassDef, ClassId, Oid, Value};
+use aqua_pattern::CcLabel;
+
+use crate::error::{Result, StoreError};
+
+// ------------------------------------------------------------- crc32
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial, reflected 0xEDB88320).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ------------------------------------------------------------ encoder
+
+/// Append-only byte sink with fixed-layout primitives.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Float(x) => {
+                self.u8(3);
+                self.u64(x.to_bits());
+            }
+            Value::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+            Value::Ref(oid) => {
+                self.u8(5);
+                self.u64(oid.0);
+            }
+        }
+    }
+
+    pub fn class_def(&mut self, def: &ClassDef) {
+        self.str(def.name());
+        self.u32(def.arity() as u32);
+        for a in def.attrs() {
+            self.str(&a.name);
+            self.u8(match a.ty {
+                AttrType::Bool => 0,
+                AttrType::Int => 1,
+                AttrType::Float => 2,
+                AttrType::Str => 3,
+                AttrType::Ref => 4,
+            });
+            self.u8(match a.kind {
+                AttrKind::Stored => 0,
+                AttrKind::Computed => 1,
+            });
+        }
+    }
+
+    /// Trees serialize as their arena, slot by slot. Every tree built
+    /// through [`TreeBuilder`] lists children before their parent, so
+    /// decoding can re-run the builder in arena order and reproduce the
+    /// exact same [`aqua_algebra::NodeId`] layout.
+    pub fn tree(&mut self, t: &Tree) {
+        self.u32(t.root().0);
+        self.u32(t.len() as u32);
+        for i in 0..t.len() {
+            let node = aqua_algebra::NodeId(i as u32);
+            match t.payload(node) {
+                Payload::Cell(c) => {
+                    self.u8(0);
+                    self.u64(c.contents().0);
+                }
+                Payload::Hole(l) => {
+                    self.u8(1);
+                    self.str(&l.0);
+                }
+            }
+            let kids = t.children(node);
+            self.u32(kids.len() as u32);
+            for k in kids {
+                self.u32(k.0);
+            }
+        }
+    }
+
+    pub fn list(&mut self, l: &List) {
+        self.u32(l.len() as u32);
+        for e in l.elems() {
+            match e {
+                ListElem::Cell(c) => {
+                    self.u8(0);
+                    self.u64(c.contents().0);
+                }
+                ListElem::Hole(label) => {
+                    self.u8(1);
+                    self.str(&label.0);
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ decoder
+
+/// Bounds-checked reader over an encoded buffer. Every accessor returns
+/// a typed error on underflow or an invalid tag; `path` names the file
+/// the buffer came from so corruption reports point at the evidence.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    path: &'a str,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`, reporting corruption against `path`.
+    pub fn new(buf: &'a [u8], path: &'a str) -> Dec<'a> {
+        Dec { buf, pos: 0, path }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the whole buffer was consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn corrupt(&self, what: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            path: self.path.to_owned(),
+            offset: self.pos as u64,
+            what: what.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.corrupt(format!(
+                "need {n} bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid utf-8 in string"))
+    }
+
+    pub fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(f64::from_bits(self.u64()?)),
+            4 => Value::Str(self.str()?),
+            5 => Value::Ref(Oid(self.u64()?)),
+            t => return Err(self.corrupt(format!("unknown value tag {t}"))),
+        })
+    }
+
+    pub fn class_def(&mut self) -> Result<ClassDef> {
+        let name = self.str()?;
+        let n = self.u32()? as usize;
+        if n > u16::MAX as usize {
+            return Err(self.corrupt(format!("class {name:?} claims {n} attributes")));
+        }
+        let mut attrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let attr_name = self.str()?;
+            let ty = match self.u8()? {
+                0 => AttrType::Bool,
+                1 => AttrType::Int,
+                2 => AttrType::Float,
+                3 => AttrType::Str,
+                4 => AttrType::Ref,
+                t => return Err(self.corrupt(format!("unknown attr type tag {t}"))),
+            };
+            attrs.push(match self.u8()? {
+                0 => AttrDef::stored(attr_name, ty),
+                1 => AttrDef::computed(attr_name, ty),
+                t => return Err(self.corrupt(format!("unknown attr kind tag {t}"))),
+            });
+        }
+        ClassDef::new(name, attrs).map_err(|e| self.corrupt(e.to_string()))
+    }
+
+    pub fn tree(&mut self) -> Result<Tree> {
+        let root = self.u32()?;
+        let len = self.u32()? as usize;
+        if len == 0 {
+            return Err(self.corrupt("tree with zero nodes"));
+        }
+        if len > self.buf.len() - self.pos + 1 {
+            // Each node costs at least one payload byte; a length
+            // larger than the remaining buffer is corruption, caught
+            // before any allocation sized by it.
+            return Err(self.corrupt(format!("tree claims {len} nodes beyond buffer")));
+        }
+        let mut b = TreeBuilder::new();
+        for i in 0..len {
+            let payload = match self.u8()? {
+                0 => Payload::Cell(aqua_object::Cell::new(Oid(self.u64()?))),
+                1 => Payload::Hole(CcLabel::new(self.str()?)),
+                t => return Err(self.corrupt(format!("unknown payload tag {t}"))),
+            };
+            let nkids = self.u32()? as usize;
+            let mut kids = Vec::with_capacity(nkids.min(len));
+            for _ in 0..nkids {
+                let k = self.u32()? as usize;
+                if k >= i {
+                    return Err(self.corrupt(format!("node {i} lists child {k} not yet built")));
+                }
+                kids.push(aqua_algebra::NodeId(k as u32));
+            }
+            b.payload_node(payload, kids);
+        }
+        if root as usize >= len {
+            return Err(self.corrupt(format!("root {root} out of bounds ({len} nodes)")));
+        }
+        b.finish(aqua_algebra::NodeId(root))
+            .map_err(|e| self.corrupt(format!("decoded tree is malformed: {e}")))
+    }
+
+    pub fn list(&mut self) -> Result<List> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() - self.pos + 1 {
+            return Err(self.corrupt(format!("list claims {len} elements beyond buffer")));
+        }
+        let mut elems = Vec::with_capacity(len);
+        for _ in 0..len {
+            elems.push(match self.u8()? {
+                0 => ListElem::Cell(aqua_object::Cell::new(Oid(self.u64()?))),
+                1 => ListElem::Hole(CcLabel::new(self.str()?)),
+                t => return Err(self.corrupt(format!("unknown list element tag {t}"))),
+            });
+        }
+        Ok(List::from_elems(elems))
+    }
+}
+
+// --------------------------------------------------------- WAL records
+
+/// Which access method an index-maintenance record (re)registers.
+/// Recovery rebuilds every registered index from the recovered extents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexSpec {
+    /// An [`AttrIndex`](crate::AttrIndex) over a class extent.
+    Attr { class: ClassId, attr: AttrId },
+    /// A [`TreeNodeIndex`](crate::TreeNodeIndex) over one named tree.
+    TreeNode {
+        tree: String,
+        class: ClassId,
+        attr: AttrId,
+    },
+    /// A [`ListPosIndex`](crate::ListPosIndex) over one named list.
+    ListPos {
+        list: String,
+        class: ClassId,
+        attr: AttrId,
+    },
+    /// A [`StructuralIndex`](crate::StructuralIndex) over one named tree.
+    Structural { tree: String },
+}
+
+/// One logged extent mutation (or index-maintenance event). The WAL is
+/// logical: records name the operation, not the resulting bytes, and
+/// replaying them through the same code paths reproduces the state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// `define_class`.
+    DefineClass { def: ClassDef },
+    /// Object insertion; the assigned OID is deterministic (next slot).
+    Insert { class: ClassId, row: Vec<Value> },
+    /// Point update of one stored attribute.
+    Update {
+        oid: Oid,
+        attr: AttrId,
+        value: Value,
+    },
+    /// A named tree extent was created (or wholly replaced).
+    TreeCreate { name: String, tree: Tree },
+    /// Functional child insertion on a named tree.
+    TreeInsertChild {
+        name: String,
+        parent: u32,
+        index: u32,
+        child: Tree,
+    },
+    /// Functional subtree removal on a named tree.
+    TreeRemoveSubtree { name: String, at: u32 },
+    /// Payload point-update on a named tree.
+    TreeSetOid { name: String, at: u32, oid: Oid },
+    /// A named list extent was created.
+    ListCreate { name: String },
+    /// Element append on a named list.
+    ListPush { name: String, oid: Oid },
+    /// Labeled-NULL append on a named list.
+    ListPushHole { name: String, label: String },
+    /// Element removal on a named list.
+    ListRemove { name: String, index: u32 },
+    /// Index maintenance: the spec joins the registry and is rebuilt on
+    /// recovery.
+    RegisterIndex { spec: IndexSpec },
+}
+
+impl WalRecord {
+    /// Encode into `enc`.
+    pub fn encode(&self, enc: &mut Enc) {
+        match self {
+            WalRecord::DefineClass { def } => {
+                enc.u8(0);
+                enc.class_def(def);
+            }
+            WalRecord::Insert { class, row } => {
+                enc.u8(1);
+                enc.u32(class.0);
+                enc.u32(row.len() as u32);
+                for v in row {
+                    enc.value(v);
+                }
+            }
+            WalRecord::Update { oid, attr, value } => {
+                enc.u8(2);
+                enc.u64(oid.0);
+                enc.u16(attr.0);
+                enc.value(value);
+            }
+            WalRecord::TreeCreate { name, tree } => {
+                enc.u8(3);
+                enc.str(name);
+                enc.tree(tree);
+            }
+            WalRecord::TreeInsertChild {
+                name,
+                parent,
+                index,
+                child,
+            } => {
+                enc.u8(4);
+                enc.str(name);
+                enc.u32(*parent);
+                enc.u32(*index);
+                enc.tree(child);
+            }
+            WalRecord::TreeRemoveSubtree { name, at } => {
+                enc.u8(5);
+                enc.str(name);
+                enc.u32(*at);
+            }
+            WalRecord::TreeSetOid { name, at, oid } => {
+                enc.u8(6);
+                enc.str(name);
+                enc.u32(*at);
+                enc.u64(oid.0);
+            }
+            WalRecord::ListCreate { name } => {
+                enc.u8(7);
+                enc.str(name);
+            }
+            WalRecord::ListPush { name, oid } => {
+                enc.u8(8);
+                enc.str(name);
+                enc.u64(oid.0);
+            }
+            WalRecord::ListPushHole { name, label } => {
+                enc.u8(9);
+                enc.str(name);
+                enc.str(label);
+            }
+            WalRecord::ListRemove { name, index } => {
+                enc.u8(10);
+                enc.str(name);
+                enc.u32(*index);
+            }
+            WalRecord::RegisterIndex { spec } => {
+                enc.u8(11);
+                match spec {
+                    IndexSpec::Attr { class, attr } => {
+                        enc.u8(0);
+                        enc.u32(class.0);
+                        enc.u16(attr.0);
+                    }
+                    IndexSpec::TreeNode { tree, class, attr } => {
+                        enc.u8(1);
+                        enc.str(tree);
+                        enc.u32(class.0);
+                        enc.u16(attr.0);
+                    }
+                    IndexSpec::ListPos { list, class, attr } => {
+                        enc.u8(2);
+                        enc.str(list);
+                        enc.u32(class.0);
+                        enc.u16(attr.0);
+                    }
+                    IndexSpec::Structural { tree } => {
+                        enc.u8(3);
+                        enc.str(tree);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encoded bytes of this record alone.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decode one record from `dec`.
+    pub fn decode(dec: &mut Dec<'_>) -> Result<WalRecord> {
+        Ok(match dec.u8()? {
+            0 => WalRecord::DefineClass {
+                def: dec.class_def()?,
+            },
+            1 => {
+                let class = ClassId(dec.u32()?);
+                let n = dec.u32()? as usize;
+                if n > u16::MAX as usize {
+                    return Err(StoreError::Corrupt {
+                        path: dec.path.to_owned(),
+                        offset: dec.pos as u64,
+                        what: format!("insert row claims {n} values"),
+                    });
+                }
+                let mut row = Vec::with_capacity(n);
+                for _ in 0..n {
+                    row.push(dec.value()?);
+                }
+                WalRecord::Insert { class, row }
+            }
+            2 => WalRecord::Update {
+                oid: Oid(dec.u64()?),
+                attr: AttrId(dec.u16()?),
+                value: dec.value()?,
+            },
+            3 => WalRecord::TreeCreate {
+                name: dec.str()?,
+                tree: dec.tree()?,
+            },
+            4 => WalRecord::TreeInsertChild {
+                name: dec.str()?,
+                parent: dec.u32()?,
+                index: dec.u32()?,
+                child: dec.tree()?,
+            },
+            5 => WalRecord::TreeRemoveSubtree {
+                name: dec.str()?,
+                at: dec.u32()?,
+            },
+            6 => WalRecord::TreeSetOid {
+                name: dec.str()?,
+                at: dec.u32()?,
+                oid: Oid(dec.u64()?),
+            },
+            7 => WalRecord::ListCreate { name: dec.str()? },
+            8 => WalRecord::ListPush {
+                name: dec.str()?,
+                oid: Oid(dec.u64()?),
+            },
+            9 => WalRecord::ListPushHole {
+                name: dec.str()?,
+                label: dec.str()?,
+            },
+            10 => WalRecord::ListRemove {
+                name: dec.str()?,
+                index: dec.u32()?,
+            },
+            11 => {
+                let spec = match dec.u8()? {
+                    0 => IndexSpec::Attr {
+                        class: ClassId(dec.u32()?),
+                        attr: AttrId(dec.u16()?),
+                    },
+                    1 => IndexSpec::TreeNode {
+                        tree: dec.str()?,
+                        class: ClassId(dec.u32()?),
+                        attr: AttrId(dec.u16()?),
+                    },
+                    2 => IndexSpec::ListPos {
+                        list: dec.str()?,
+                        class: ClassId(dec.u32()?),
+                        attr: AttrId(dec.u16()?),
+                    },
+                    3 => IndexSpec::Structural { tree: dec.str()? },
+                    t => {
+                        return Err(StoreError::Corrupt {
+                            path: dec.path.to_owned(),
+                            offset: dec.pos as u64,
+                            what: format!("unknown index spec tag {t}"),
+                        })
+                    }
+                };
+                WalRecord::RegisterIndex { spec }
+            }
+            t => {
+                return Err(StoreError::Corrupt {
+                    path: dec.path.to_owned(),
+                    offset: dec.pos as u64,
+                    what: format!("unknown record tag {t}"),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::str("héllo"),
+            Value::Ref(Oid(9)),
+        ];
+        let mut enc = Enc::new();
+        for v in &vals {
+            enc.value(v);
+        }
+        let bytes = enc.finish();
+        let mut dec = Dec::new(&bytes, "test");
+        for v in &vals {
+            let back = dec.value().unwrap();
+            if let (Value::Float(a), Value::Float(b)) = (v, &back) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            } else {
+                assert_eq!(&back, v);
+            }
+        }
+        assert!(dec.done());
+    }
+
+    #[test]
+    fn trees_round_trip_with_identical_arena() {
+        let mut b = TreeBuilder::new();
+        let k1 = b.node(Oid(1), vec![]);
+        let h = b.hole_node(CcLabel::new("x"), vec![]);
+        let k2 = b.node(Oid(2), vec![h]);
+        let root = b.node(Oid(0), vec![k1, k2]);
+        let t = b.finish(root).unwrap();
+
+        let mut enc = Enc::new();
+        enc.tree(&t);
+        let bytes = enc.finish();
+        let back = Dec::new(&bytes, "test").tree().unwrap();
+        assert_eq!(back, t, "arena layout reproduced exactly");
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let recs = vec![
+            WalRecord::DefineClass {
+                def: ClassDef::new("P", vec![AttrDef::stored("v", AttrType::Int)]).unwrap(),
+            },
+            WalRecord::Insert {
+                class: ClassId(0),
+                row: vec![Value::Int(7)],
+            },
+            WalRecord::Update {
+                oid: Oid(0),
+                attr: AttrId(0),
+                value: Value::Int(8),
+            },
+            WalRecord::TreeCreate {
+                name: "t".into(),
+                tree: Tree::leaf(Oid(0)),
+            },
+            WalRecord::ListCreate { name: "l".into() },
+            WalRecord::ListPush {
+                name: "l".into(),
+                oid: Oid(0),
+            },
+            WalRecord::ListPushHole {
+                name: "l".into(),
+                label: "x".into(),
+            },
+            WalRecord::ListRemove {
+                name: "l".into(),
+                index: 1,
+            },
+            WalRecord::RegisterIndex {
+                spec: IndexSpec::TreeNode {
+                    tree: "t".into(),
+                    class: ClassId(0),
+                    attr: AttrId(0),
+                },
+            },
+        ];
+        for r in &recs {
+            let bytes = r.to_bytes();
+            let mut dec = Dec::new(&bytes, "test");
+            assert_eq!(&WalRecord::decode(&mut dec).unwrap(), r);
+            assert!(dec.done(), "{r:?} leaves trailing bytes");
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_are_typed_errors() {
+        let rec = WalRecord::TreeCreate {
+            name: "t".into(),
+            tree: Tree::leaf(Oid(3)),
+        };
+        let bytes = rec.to_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..cut], "test");
+            match WalRecord::decode(&mut dec) {
+                Err(StoreError::Corrupt { .. }) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_typed_errors() {
+        let mut dec = Dec::new(&[99], "test");
+        assert!(matches!(
+            WalRecord::decode(&mut dec),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

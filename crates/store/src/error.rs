@@ -1,0 +1,213 @@
+//! Typed errors for the storage layer.
+//!
+//! Everything that can go wrong in `aqua-store` — an injected probe
+//! fault, a stale index answering for a mutated store, an I/O failure
+//! in the durability subsystem, or corruption detected by a checksum —
+//! surfaces as a [`StoreError`] variant instead of a panic. Recovery in
+//! particular is *panic-free and typed*: a torn WAL tail or a
+//! bit-flipped snapshot is reported, truncated, and survived, never
+//! unwrapped.
+
+use std::fmt;
+
+use aqua_algebra::AlgebraError;
+use aqua_guard::failpoint::FailpointError;
+use aqua_guard::ErrorClass;
+use aqua_object::ObjectError;
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors raised by indices, the WAL, snapshots, and recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A fault-injection point fired (see [`aqua_guard::failpoint`]).
+    Injected {
+        /// The failpoint name.
+        point: String,
+        /// The message the test armed it with.
+        msg: String,
+    },
+    /// An index built at one store generation was probed after the store
+    /// mutated: its candidates may be wrong, so the probe refuses to
+    /// answer instead of silently lying. Callers fall back to a scan.
+    StaleIndex {
+        /// Generation the index was built at.
+        built_epoch: u64,
+        /// The store's generation at probe time.
+        store_epoch: u64,
+    },
+    /// An index was asked about a node/position it never covered (for
+    /// example a [`NodeId`](aqua_algebra::NodeId) from a different
+    /// tree). Converted from what used to be a slice-index panic.
+    OutOfBounds {
+        /// What was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The valid bound.
+        len: usize,
+    },
+    /// An I/O operation of the durability subsystem failed.
+    Io {
+        /// The operation (`"append"`, `"fsync"`, `"rename"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// Rendered `std::io::Error`.
+        msg: String,
+    },
+    /// A frame or snapshot failed its checksum or could not be decoded.
+    Corrupt {
+        /// The file involved.
+        path: String,
+        /// Byte offset of the bad region.
+        offset: u64,
+        /// What was wrong.
+        what: String,
+    },
+    /// A durable mutation named a tree or list extent that does not
+    /// exist.
+    NoSuchExtent {
+        /// `"tree"` or `"list"`.
+        kind: &'static str,
+        /// The missing extent's name.
+        name: String,
+    },
+    /// A checksum-valid WAL record could not be re-applied to the
+    /// recovered state (schema drift, impossible mutation).
+    Replay {
+        /// The record's log sequence number.
+        lsn: u64,
+        /// Rendered cause.
+        msg: String,
+    },
+    /// Propagated object-layer error (typed insert/update failures).
+    Object(ObjectError),
+    /// Propagated algebra-layer error (tree/list mutation failures).
+    Algebra(AlgebraError),
+}
+
+impl StoreError {
+    /// Retry taxonomy: injected faults and I/O failures are
+    /// [`ErrorClass::Transient`] (safe to retry), a stale index is
+    /// `Transient` too (a rebuild clears it), corruption and replay
+    /// failures are [`ErrorClass::Permanent`].
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            StoreError::Injected { .. } | StoreError::Io { .. } | StoreError::StaleIndex { .. } => {
+                ErrorClass::Transient
+            }
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// Shorthand for wrapping an `std::io::Error` with its context.
+    pub fn io(op: &'static str, path: impl fmt::Display, e: std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.to_string(),
+            msg: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Injected { point, msg } => {
+                write!(f, "injected fault at {point:?}: {msg}")
+            }
+            StoreError::StaleIndex {
+                built_epoch,
+                store_epoch,
+            } => write!(
+                f,
+                "stale index: built at epoch {built_epoch}, store is at epoch {store_epoch}"
+            ),
+            StoreError::OutOfBounds { what, index, len } => {
+                write!(f, "{what} {index} out of bounds (len {len})")
+            }
+            StoreError::Io { op, path, msg } => {
+                write!(f, "durability {op} failed on {path:?}: {msg}")
+            }
+            StoreError::Corrupt { path, offset, what } => {
+                write!(f, "corruption in {path:?} at byte {offset}: {what}")
+            }
+            StoreError::NoSuchExtent { kind, name } => {
+                write!(f, "no such {kind} extent: {name:?}")
+            }
+            StoreError::Replay { lsn, msg } => {
+                write!(f, "WAL replay failed at lsn {lsn}: {msg}")
+            }
+            StoreError::Object(e) => write!(f, "{e}"),
+            StoreError::Algebra(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Object(e) => Some(e),
+            StoreError::Algebra(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FailpointError> for StoreError {
+    fn from(e: FailpointError) -> Self {
+        StoreError::Injected {
+            point: e.point,
+            msg: e.msg,
+        }
+    }
+}
+
+impl From<ObjectError> for StoreError {
+    fn from(e: ObjectError) -> Self {
+        StoreError::Object(e)
+    }
+}
+
+impl From<AlgebraError> for StoreError {
+    fn from(e: AlgebraError) -> Self {
+        StoreError::Algebra(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_facts() {
+        let e = StoreError::StaleIndex {
+            built_epoch: 3,
+            store_epoch: 7,
+        };
+        assert_eq!(e.class(), ErrorClass::Transient);
+        let s = e.to_string();
+        assert!(s.contains("epoch 3") && s.contains("epoch 7"), "{s}");
+
+        let e = StoreError::Corrupt {
+            path: "wal-0.log".into(),
+            offset: 128,
+            what: "crc mismatch".into(),
+        };
+        assert_eq!(e.class(), ErrorClass::Permanent);
+        assert!(e.to_string().contains("byte 128"));
+    }
+
+    #[test]
+    fn failpoint_conversion_is_transient() {
+        let e: StoreError = FailpointError {
+            point: "store.wal.append".into(),
+            msg: "disk gone".into(),
+        }
+        .into();
+        assert_eq!(e.class(), ErrorClass::Transient);
+        assert!(e.to_string().contains("store.wal.append"));
+    }
+}

@@ -17,13 +17,33 @@
 //!   O(1) ancestor/descendant tests (experiment B8).
 //! * [`ColumnStats`] — per-attribute statistics feeding the optimizer's
 //!   cost model.
+//!
+//! On top of the access methods sits the **durability subsystem**
+//! (PR 5): a checksummed, segmented write-ahead log of extent mutations
+//! ([`wal`]), atomic snapshot checkpoints ([`snapshot`]), and a
+//! panic-free typed recovery path ([`recovery`]) that rebuilds every
+//! registered index from snapshot + WAL tail on open. The four indices
+//! are epoch-stamped: probing one after the store mutated yields
+//! [`StoreError::StaleIndex`] instead of stale candidates.
 
 pub mod attr_index;
+pub mod codec;
+pub mod error;
 pub mod positional;
+pub mod recovery;
+pub mod snapshot;
 pub mod stats;
 pub mod structural;
+pub mod wal;
 
 pub use attr_index::{AttrIndex, TreeNodeIndex, ATTR_INDEX_PROBE, TREE_INDEX_PROBE};
+pub use codec::{crc32, IndexSpec, WalRecord};
+pub use error::{Result, StoreError};
 pub use positional::{ListPosIndex, LIST_INDEX_PROBE};
+pub use recovery::{DurableConfig, DurableStore, RebuiltIndexes, RecoveryReport, RECOVER_PROBE};
+pub use snapshot::{
+    list_snapshots, read_snapshot, write_snapshot, SnapshotState, SNAPSHOT_WRITE_PROBE,
+};
 pub use stats::ColumnStats;
 pub use structural::{StructuralIndex, STRUCTURAL_PROBE};
+pub use wal::{list_segments, scan_segment, SegmentScan, Wal, WalConfig, WAL_APPEND_PROBE};

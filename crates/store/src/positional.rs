@@ -9,10 +9,11 @@
 use std::collections::BTreeMap;
 
 use aqua_algebra::List;
-use aqua_guard::failpoint::{self, FailpointError};
+use aqua_guard::failpoint;
 use aqua_object::{AttrId, ClassId, ObjectStore, Value};
 
-use crate::attr_index::OrdValue;
+use crate::attr_index::{check_attr, ensure_fresh, OrdValue};
+use crate::error::Result;
 
 /// Failpoint checked by [`ListPosIndex`] probe wrappers.
 pub const LIST_INDEX_PROBE: &str = "store.list_index.probe";
@@ -24,10 +25,13 @@ pub struct ListPosIndex {
     class: ClassId,
     map: BTreeMap<OrdValue, Vec<usize>>,
     len: usize,
+    epoch: u64,
 }
 
 impl ListPosIndex {
     /// Build over `list`, indexing `attr` of elements of `class`.
+    /// Panics if the list's cells dangle outside `store` — use
+    /// [`try_build`](Self::try_build) for untrusted lists.
     pub fn build(store: &ObjectStore, list: &List, class: ClassId, attr: AttrId) -> ListPosIndex {
         let mut map: BTreeMap<OrdValue, Vec<usize>> = BTreeMap::new();
         for (i, obj) in list.iter_objects(store) {
@@ -42,7 +46,48 @@ impl ListPosIndex {
             class,
             map,
             len: list.len(),
+            epoch: 0,
         }
+    }
+
+    /// Panic-free [`build`](Self::build): dangling OIDs and
+    /// out-of-layout attributes become typed [`StoreError`](crate::StoreError)s
+    /// (see [`crate::AttrIndex::try_build`]).
+    pub fn try_build(
+        store: &ObjectStore,
+        list: &List,
+        class: ClassId,
+        attr: AttrId,
+    ) -> Result<ListPosIndex> {
+        check_attr(store, class, attr)?;
+        let mut map: BTreeMap<OrdValue, Vec<usize>> = BTreeMap::new();
+        for (i, elem) in list.elems().iter().enumerate() {
+            let Some(oid) = elem.oid() else { continue };
+            let obj = store.get(oid)?;
+            if obj.class() == class {
+                map.entry(OrdValue(obj.get(attr).clone()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        Ok(ListPosIndex {
+            attr,
+            class,
+            map,
+            len: list.len(),
+            epoch: 0,
+        })
+    }
+
+    /// Stamp the store generation this index was built at.
+    pub fn with_epoch(mut self, epoch: u64) -> ListPosIndex {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The store generation this index was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The indexed attribute.
@@ -55,21 +100,25 @@ impl ListPosIndex {
         self.class
     }
 
-    /// Fallible [`positions`](Self::positions), checking the
-    /// [`LIST_INDEX_PROBE`] failpoint.
-    pub fn try_positions(&self, v: &Value) -> Result<&[usize], FailpointError> {
+    /// Fallible [`positions`](Self::positions): checks the
+    /// [`LIST_INDEX_PROBE`] failpoint and the staleness gate (see
+    /// [`crate::AttrIndex::try_lookup`]).
+    pub fn try_positions(&self, v: &Value, current_epoch: Option<u64>) -> Result<&[usize]> {
         failpoint::check(LIST_INDEX_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
         Ok(self.positions(v))
     }
 
-    /// Fallible [`candidate_starts`](Self::candidate_starts), checking
-    /// the [`LIST_INDEX_PROBE`] failpoint.
+    /// Fallible [`candidate_starts`](Self::candidate_starts); same
+    /// gates as [`try_positions`](Self::try_positions).
     pub fn try_candidate_starts(
         &self,
         v: &Value,
         offset: usize,
-    ) -> Result<Vec<usize>, FailpointError> {
+        current_epoch: Option<u64>,
+    ) -> Result<Vec<usize>> {
         failpoint::check(LIST_INDEX_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
         Ok(self.candidate_starts(v, offset))
     }
 
@@ -156,5 +205,83 @@ mod tests {
         l.push(oid);
         let idx = ListPosIndex::build(&s, &l, c, AttrId(0));
         assert_eq!(idx.positions(&Value::str("A")), &[1]);
+    }
+
+    #[test]
+    fn empty_list_builds_an_empty_index() {
+        let (s, c, _) = setup();
+        let l = List::new();
+        let idx = ListPosIndex::build(&s, &l, c, AttrId(0));
+        assert_eq!(idx.len(), 0);
+        assert!(idx.is_empty());
+        assert!(idx.positions(&Value::str("A")).is_empty());
+        assert!(idx.candidate_starts(&Value::str("A"), 0).is_empty());
+        assert!(idx.try_positions(&Value::str("A"), Some(0)).is_ok());
+    }
+
+    #[test]
+    fn all_duplicate_values_report_every_position() {
+        let (mut s, c, _) = setup();
+        let mut l = List::new();
+        for _ in 0..4 {
+            let oid = s
+                .insert_named("Note", &[("pitch", Value::str("A"))])
+                .unwrap();
+            l.push(oid);
+        }
+        let idx = ListPosIndex::build(&s, &l, c, AttrId(0));
+        assert_eq!(idx.positions(&Value::str("A")), &[0, 1, 2, 3]);
+        // Offset subtraction drops underflowing candidates only.
+        assert_eq!(idx.candidate_starts(&Value::str("A"), 2), vec![0, 1]);
+    }
+
+    /// Mutate the list, rebuild, and check the index against a linear
+    /// scan for every value that ever appeared.
+    #[test]
+    fn rebuild_after_mutation_matches_linear_scan() {
+        let (mut s, c, mut l) = setup();
+        l.remove(1);
+        let oid = s
+            .insert_named("Note", &[("pitch", Value::str("A"))])
+            .unwrap();
+        l.push(oid);
+        l.remove(0);
+        let idx = ListPosIndex::build(&s, &l, c, AttrId(0));
+        for v in ["A", "G", "X", "F", "Z"] {
+            let v = Value::str(v);
+            let scan: Vec<usize> = l
+                .elems()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.oid().is_some_and(|o| s.attr(o, AttrId(0)) == &v))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(idx.positions(&v), scan, "positions diverge for {v:?}");
+        }
+    }
+
+    /// The staleness gate: an index built at an older epoch refuses
+    /// typed, and refreshing the epoch un-refuses it.
+    #[test]
+    fn stale_epoch_probe_is_typed() {
+        let (s, c, l) = setup();
+        let idx = ListPosIndex::build(&s, &l, c, AttrId(0)).with_epoch(3);
+        let v = Value::str("A");
+        assert!(idx.try_positions(&v, Some(3)).is_ok());
+        assert!(idx.try_candidate_starts(&v, 1, None).is_ok());
+        assert!(matches!(
+            idx.try_positions(&v, Some(4)),
+            Err(crate::StoreError::StaleIndex {
+                built_epoch: 3,
+                store_epoch: 4
+            })
+        ));
+        assert!(matches!(
+            idx.try_candidate_starts(&v, 1, Some(9)),
+            Err(crate::StoreError::StaleIndex {
+                built_epoch: 3,
+                store_epoch: 9
+            })
+        ));
     }
 }

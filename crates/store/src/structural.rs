@@ -7,7 +7,10 @@
 //! `all_desc`-style context computations cheap on large trees.
 
 use aqua_algebra::{NodeId, Tree};
-use aqua_guard::failpoint::{self, FailpointError};
+use aqua_guard::failpoint;
+
+use crate::attr_index::ensure_fresh;
+use crate::error::{Result, StoreError};
 
 /// Failpoint checked by [`StructuralIndex`] probe wrappers.
 pub const STRUCTURAL_PROBE: &str = "store.structural.probe";
@@ -22,6 +25,7 @@ pub struct StructuralIndex {
     rank: Vec<u32>,
     /// Node → subtree size (number of nodes including self).
     size: Vec<u32>,
+    epoch: u64,
 }
 
 impl StructuralIndex {
@@ -48,20 +52,57 @@ impl StructuralIndex {
             preorder,
             rank,
             size,
+            epoch: 0,
         }
     }
 
-    /// Fallible [`is_ancestor`](Self::is_ancestor), checking the
-    /// [`STRUCTURAL_PROBE`] failpoint.
-    pub fn try_is_ancestor(&self, anc: NodeId, node: NodeId) -> Result<bool, FailpointError> {
+    /// Stamp the store generation this index was built at.
+    pub fn with_epoch(mut self, epoch: u64) -> StructuralIndex {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The store generation this index was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bounds gate for the fallible probes: a [`NodeId`] from a
+    /// *different* tree is a typed error, not a slice panic.
+    fn check_node(&self, node: NodeId) -> Result<()> {
+        if node.index() < self.rank.len() {
+            Ok(())
+        } else {
+            Err(StoreError::OutOfBounds {
+                what: "tree node",
+                index: node.index(),
+                len: self.rank.len(),
+            })
+        }
+    }
+
+    /// Fallible [`is_ancestor`](Self::is_ancestor): checks the
+    /// [`STRUCTURAL_PROBE`] failpoint, the staleness gate, and that
+    /// both nodes belong to the indexed tree.
+    pub fn try_is_ancestor(
+        &self,
+        anc: NodeId,
+        node: NodeId,
+        current_epoch: Option<u64>,
+    ) -> Result<bool> {
         failpoint::check(STRUCTURAL_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
+        self.check_node(anc)?;
+        self.check_node(node)?;
         Ok(self.is_ancestor(anc, node))
     }
 
-    /// Fallible [`descendants`](Self::descendants), checking the
-    /// [`STRUCTURAL_PROBE`] failpoint.
-    pub fn try_descendants(&self, node: NodeId) -> Result<&[NodeId], FailpointError> {
+    /// Fallible [`descendants`](Self::descendants); same gates as
+    /// [`try_is_ancestor`](Self::try_is_ancestor).
+    pub fn try_descendants(&self, node: NodeId, current_epoch: Option<u64>) -> Result<&[NodeId]> {
         failpoint::check(STRUCTURAL_PROBE)?;
+        ensure_fresh(self.epoch, current_epoch)?;
+        self.check_node(node)?;
         Ok(self.descendants(node))
     }
 
@@ -159,5 +200,64 @@ mod tests {
         let idx = StructuralIndex::build(&t);
         assert_eq!(idx.preorder_rank(ids[0]), 0);
         assert!(idx.doc_cmp(ids[1], ids[4]).is_lt()); // b before c
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = Tree::leaf(Oid(0));
+        let idx = StructuralIndex::build(&t);
+        let r = t.root();
+        assert!(idx.is_ancestor(r, r));
+        assert_eq!(idx.subtree_size(r), 1);
+        assert_eq!(idx.descendants(r), &[r]);
+        assert_eq!(idx.preorder_rank(r), 0);
+        assert_eq!(idx.try_descendants(r, Some(0)).unwrap(), &[r]);
+    }
+
+    /// Mutate the tree (persistent rebuilds renumber the arena),
+    /// rebuild the index, and check every pair against the walk.
+    #[test]
+    fn rebuild_after_mutation_matches_walk() {
+        let (t, ids) = sample();
+        let t = t.insert_child(ids[4], 0, &Tree::leaf(Oid(5))).unwrap();
+        let bb = t
+            .iter_preorder()
+            .find(|&n| t.oid(n) == Some(Oid(1)))
+            .unwrap();
+        let t = t.remove_subtree(bb).unwrap();
+        let idx = StructuralIndex::build(&t);
+        for u in t.iter_preorder() {
+            for v in t.iter_preorder() {
+                assert_eq!(idx.is_ancestor(u, v), t.is_ancestor(u, v));
+            }
+            let walk: Vec<NodeId> = t.iter_preorder().filter(|&n| t.is_ancestor(u, n)).collect();
+            let mut slice = idx.descendants(u).to_vec();
+            slice.sort_by(|&a, &b| idx.doc_cmp(a, b));
+            assert_eq!(slice, walk);
+            assert_eq!(idx.subtree_size(u), walk.len());
+        }
+    }
+
+    /// Probes past the arena and stale-epoch probes both refuse typed.
+    #[test]
+    fn out_of_bounds_and_stale_probes_are_typed() {
+        let (t, ids) = sample();
+        let idx = StructuralIndex::build(&t).with_epoch(2);
+        let beyond = NodeId(t.len() as u32);
+        assert!(matches!(
+            idx.try_descendants(beyond, Some(2)),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            idx.try_is_ancestor(ids[0], beyond, None),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            idx.try_descendants(ids[0], Some(5)),
+            Err(StoreError::StaleIndex {
+                built_epoch: 2,
+                store_epoch: 5
+            })
+        ));
     }
 }

@@ -319,3 +319,62 @@ fn one_shot_fault_heals_after_firing() {
     assert!(store.get(oid).is_ok());
     failpoint::reset();
 }
+
+/// Satellite regression: a probe against an index built at an older
+/// mutation epoch refuses with `StoreError::StaleIndex`; the plan
+/// degrades to the scan, records the staleness in `Explain`, and still
+/// answers exactly like the naive operator. Re-declaring the current
+/// epoch (a rebuilt index) restores the indexed path.
+#[test]
+fn stale_epoch_probe_degrades_to_scan() {
+    let d = RandomTreeGen::new(8)
+        .nodes(1500)
+        .label_weights(&[("u", 1), ("x", 20)])
+        .generate();
+    let idx = TreeNodeIndex::build(&d.store, &d.tree, d.class, AttrId(0)); // built at epoch 0
+    let stats = ColumnStats::build(&d.store, d.class, AttrId(0));
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    cat.set_epoch(7); // the store has since mutated
+    let opt = Optimizer::new(&cat);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let (plan, _) = opt.plan_tree_sub_select(&pattern, d.tree.len()).unwrap();
+    assert!(plan.is_indexed(), "skewed labels should favour the index");
+
+    let compiled = pattern.compile(d.class, d.store.class(d.class)).unwrap();
+    let naive = tops::sub_select(&d.store, &d.tree, &compiled, &cfg).unwrap();
+
+    let mut explain = Explain::default();
+    let got = plan
+        .execute_guarded(&cat, &d.tree, &cfg, None, &mut explain)
+        .expect("staleness must degrade, not fail");
+    assert_eq!(got.len(), naive.len());
+    for (a, b) in got.iter().zip(&naive) {
+        assert!(a.structural_eq(b));
+    }
+    assert!(explain.fell_back());
+    let text = explain.to_string();
+    assert!(
+        text.contains("stale index"),
+        "explain names the cause: {text}"
+    );
+    assert!(text.contains("built at epoch 0"), "{text}");
+
+    // An index rebuilt at the current epoch answers without fallback.
+    let fresh = idx.clone().with_epoch(7);
+    let mut cat2 = Catalog::new(&d.store, d.class);
+    cat2.add_tree_index(&fresh).add_stats(&stats);
+    cat2.set_epoch(7);
+    let mut explain2 = Explain::default();
+    let got2 = Optimizer::new(&cat2)
+        .plan_tree_sub_select(&pattern, d.tree.len())
+        .unwrap()
+        .0
+        .execute_guarded(&cat2, &d.tree, &cfg, None, &mut explain2)
+        .unwrap();
+    assert!(!explain2.fell_back(), "fresh epoch probes clean");
+    assert_eq!(got2.len(), naive.len());
+}

@@ -1,0 +1,413 @@
+//! Kill-and-recover chaos harness for the durable store: seeded
+//! mutation storms are interrupted at random WAL byte offsets (torn
+//! tails, bit flips, whole-segment loss) and recovered. Invariants:
+//!
+//! 1. **No panics** — every crash style recovers through the typed
+//!    [`RecoveryReport`] path; damage is survived, not thrown.
+//! 2. **Prefix semantics** — the recovered store equals a never-crashed
+//!    reference that applied exactly the surviving storm prefix
+//!    (`next_lsn - 1` ops): every tier-1 query (`select`,
+//!    `sub_select` over tree and list, `split`) answers
+//!    byte-identically on both.
+//! 3. **Index-vs-scan parity** — after every recovery the rebuilt
+//!    indexes answer exactly like bare scans, at the recovered epoch.
+//! 4. **The store keeps working** — post-recovery mutations continue
+//!    the same deterministic storm, and a second crash/recover cycle
+//!    holds the same invariants.
+//!
+//! Seeded via `AQUA_CHAOS_SEED` (default 7); the CI matrix crosses that
+//! with `AQUA_TEST_THREADS` (legs run concurrently). Set
+//! `AQUA_CHAOS_SNAPSHOT=<path>` to dump the merged recovery reports and
+//! service metrics JSON for artifact upload.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use aqua_algebra::{NodeId, Tree};
+use aqua_object::AttrId;
+use aqua_optimizer::{Catalog, Optimizer};
+use aqua_pattern::parser::{parse_list_pattern, parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_pattern::PredExpr;
+use aqua_service::QueryService;
+use aqua_store::{ColumnStats, DurableConfig, DurableStore, RecoveryReport};
+use aqua_workload::storm::{MutationStorm, BOOT_OPS, STORM_LIST, STORM_TREE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Storm ops applied before the first crash of each leg.
+const STORM_OPS: u64 = BOOT_OPS + 120;
+/// Storm ops applied between crash rounds.
+const EXTRA_OPS: u64 = 60;
+/// Crash/recover rounds per leg.
+const ROUNDS: usize = 3;
+
+fn chaos_seed() -> u64 {
+    std::env::var("AQUA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Same sweep contract as `chaos.rs`: `AQUA_TEST_THREADS=<n>` pins the
+/// matrix leg; unset sweeps a spread locally.
+fn threads() -> Vec<usize> {
+    match std::env::var("AQUA_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 1 => vec![1, n],
+        Some(_) => vec![1],
+        None => vec![1, 4],
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("aqua-rchaos-{tag}-{}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+/// Canonical rendering of one tree (preorder, by payload OID) — the
+/// byte-comparable answer format.
+fn render_tree(t: &Tree, node: NodeId, out: &mut String) {
+    match t.oid(node) {
+        Some(o) => {
+            let _ = write!(out, "{}", o.0);
+        }
+        None => out.push('_'),
+    }
+    if !t.children(node).is_empty() {
+        out.push('(');
+        for &c in t.children(node) {
+            render_tree(t, c, out);
+            out.push(' ');
+        }
+        out.push(')');
+    }
+}
+
+/// Run every tier-1 query against `ds` and render the answers into one
+/// canonical byte string. `indexed` routes the probes through the
+/// recovery-rebuilt indexes (at the recovered epoch); otherwise the
+/// catalog is bare and every plan is a scan.
+fn fingerprint(ds: &DurableStore, indexed: bool) -> String {
+    let store = ds.store();
+    let mut out = String::new();
+    let class = match store.class_id("Note") {
+        Ok(c) => c,
+        Err(_) => return "pristine".to_owned(),
+    };
+    let stats = ColumnStats::build(store, class, AttrId(0));
+    let mut cat = Catalog::new(store, class);
+    cat.add_stats(&stats);
+    if indexed {
+        cat.set_epoch(ds.epoch());
+        let idx = ds.indexes();
+        if let Some(i) = idx.attr_index(class, AttrId(0)) {
+            cat.add_attr_index(i);
+        }
+        if let Some(i) = idx.tree_index(STORM_TREE) {
+            cat.add_tree_index(i);
+        }
+        if let Some(i) = idx.list_index(STORM_LIST) {
+            cat.add_list_index(i);
+        }
+        if let Some(i) = idx.structural_index(STORM_TREE) {
+            cat.add_structural_index(i);
+        }
+    }
+    let opt = Optimizer::new(&cat);
+    let env = PredEnv::with_default_attr("pitch");
+
+    // Tier-1 `select` over the class extent.
+    let pred = PredExpr::eq("pitch", "E");
+    let (plan, _) = opt.plan_set_select(&pred).expect("plan select");
+    let _ = writeln!(out, "select:{:?}", plan.execute(&cat).expect("select"));
+
+    // Tier-1 `sub_select` and `split` over the storm tree.
+    if let Some(tree) = ds.tree(STORM_TREE) {
+        let pattern = parse_tree_pattern("E(?*)", &env).unwrap();
+        let (tplan, _) = opt
+            .plan_tree_sub_select(&pattern, tree.len())
+            .expect("plan tree sub_select");
+        let cfg = MatchConfig::default();
+        out.push_str("sub_select:");
+        for m in tplan.execute(&cat, tree, &cfg).expect("tree sub_select") {
+            render_tree(&m, m.root(), &mut out);
+            out.push(';');
+        }
+        out.push('\n');
+        let cfg = MatchConfig::first_per_root();
+        out.push_str("split:");
+        for p in tplan.execute_split(&cat, tree, &cfg).expect("tree split") {
+            render_tree(&p.matched, p.matched.root(), &mut out);
+            out.push('~');
+            let whole = p.reassemble();
+            render_tree(&whole, whole.root(), &mut out);
+            out.push(';');
+        }
+        out.push('\n');
+    }
+
+    // Tier-1 `sub_select` over the storm list.
+    if let Some(list) = ds.list(STORM_LIST) {
+        let (re, s, e) = parse_list_pattern("[E ? G]", &env).unwrap();
+        let (lplan, _) = opt
+            .plan_list_sub_select(&re, s, e, list.len())
+            .expect("plan list sub_select");
+        let _ = writeln!(
+            out,
+            "list:{:?}",
+            lplan.execute(&cat, list).expect("list sub_select")
+        );
+    }
+    out
+}
+
+fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+/// Crash the store directory: mutilate the WAL like a power cut would.
+/// Returns a label for diagnostics plus the mutilated segment (for the
+/// operator-repair path when recovery detects an LSN gap).
+fn crash(dir: &Path, rng: &mut StdRng) -> (&'static str, Option<PathBuf>) {
+    let segs = wal_segments(dir);
+    let Some(last) = segs.last() else {
+        return ("no-wal", None);
+    };
+    match rng.gen_range(0u32..3) {
+        0 => {
+            // Torn tail: truncate the newest segment mid-byte.
+            let len = std::fs::metadata(last).unwrap().len();
+            let at = rng.gen_range(0..=len);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(last)
+                .unwrap()
+                .set_len(at)
+                .unwrap();
+            ("torn-tail", Some(last.clone()))
+        }
+        1 => {
+            // Bit flip somewhere in the newest segment.
+            let mut bytes = std::fs::read(last).unwrap();
+            if bytes.is_empty() {
+                return ("empty-seg", None);
+            }
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0..8u32);
+            std::fs::write(last, bytes).unwrap();
+            ("bit-flip", Some(last.clone()))
+        }
+        _ => {
+            // Mid-history truncation: tear a random segment; recovery
+            // truncates there and drops every later segment — unless
+            // the cut lands exactly on a frame boundary, in which case
+            // the gap is indistinguishable from lost committed data
+            // and recovery must *refuse* with a typed Replay error.
+            let victim = &segs[rng.gen_range(0..segs.len())];
+            let len = std::fs::metadata(victim).unwrap().len();
+            let at = rng.gen_range(0..=len);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(victim)
+                .unwrap()
+                .set_len(at)
+                .unwrap();
+            ("mid-history", Some(victim.clone()))
+        }
+    }
+}
+
+/// One leg: storm → crash → recover → compare against the surviving
+/// prefix's never-crashed reference → keep storming. Returns every
+/// round's report.
+fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
+    let dir = temp_dir(&format!("leg{leg}"));
+    let mut rng = StdRng::seed_from_u64(seed ^ ((leg as u64 + 1) * 0xC3A5));
+    let storm = MutationStorm::new(seed);
+    // Small segments + sometimes-on checkpoints: multiple files for the
+    // crash to aim at, and snapshot recovery in the mix.
+    let cfg = DurableConfig {
+        segment_bytes: 512,
+        checkpoint_every: if rng.gen_bool(0.5) { 16 } else { 0 },
+        prune: true,
+    };
+
+    let (mut ds, rep) = DurableStore::open(&dir, cfg.clone()).expect("fresh open");
+    assert!(rep.clean(), "a fresh directory recovers clean");
+    let mut applied: u64 = storm.apply(&mut ds, 0..STORM_OPS).expect("storm applies");
+    let mut reports = Vec::new();
+
+    for round in 0..ROUNDS {
+        drop(ds);
+        let (style, victim) = crash(&dir, &mut rng);
+
+        let (recovered, rep) = match DurableStore::open(&dir, cfg.clone()) {
+            Ok(ok) => ok,
+            Err(aqua_store::StoreError::Replay { .. }) if style == "mid-history" => {
+                // A mid-history cut on an exact frame boundary leaves
+                // whole frames followed by an LSN gap — refusing (not
+                // silently dropping committed data) is the contract.
+                // Model the operator runbook: remove the post-gap
+                // segments, then recovery must succeed.
+                let victim = victim.expect("mid-history names its victim");
+                for seg in wal_segments(&dir) {
+                    if seg > victim {
+                        std::fs::remove_file(&seg).unwrap();
+                    }
+                }
+                DurableStore::open(&dir, cfg.clone()).unwrap_or_else(|e| {
+                    panic!("round {round} ({style}): post-repair recovery must not fail: {e}")
+                })
+            }
+            Err(e) => panic!("round {round} ({style}): recovery must not fail: {e}"),
+        };
+        let survived = rep.next_lsn - 1;
+        assert!(
+            survived <= applied,
+            "round {round} ({style}): recovery cannot invent ops ({survived} > {applied})"
+        );
+        assert_eq!(recovered.epoch(), survived, "epoch is the surviving LSN");
+
+        // Invariant 2: byte-identical tier-1 answers vs the reference
+        // that applied exactly the surviving prefix.
+        let ref_dir = temp_dir(&format!("ref{leg}-{round}"));
+        let mut reference = DurableStore::open(&ref_dir, DurableConfig::default())
+            .expect("reference open")
+            .0;
+        storm
+            .apply(&mut reference, 0..survived)
+            .expect("reference replay");
+        assert_eq!(
+            fingerprint(&recovered, false),
+            fingerprint(&reference, false),
+            "round {round} ({style}, {survived} ops survived): recovered answers diverge"
+        );
+
+        // Invariant 3: rebuilt indexes ≡ bare scans at the new epoch.
+        assert_eq!(
+            fingerprint(&recovered, true),
+            fingerprint(&recovered, false),
+            "round {round} ({style}): index-vs-scan parity after recovery"
+        );
+        if survived >= BOOT_OPS {
+            assert!(
+                rep.indices_rebuilt >= 4,
+                "round {round}: all four registered indexes rebuild"
+            );
+        }
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        reports.push(rep);
+
+        // Invariant 4: the recovered store keeps taking the same
+        // deterministic storm.
+        ds = recovered;
+        storm
+            .apply(&mut ds, survived..survived + EXTRA_OPS)
+            .expect("post-recovery storm applies");
+        applied = survived + EXTRA_OPS;
+    }
+
+    drop(ds);
+    std::fs::remove_dir_all(&dir).unwrap();
+    reports
+}
+
+#[test]
+fn kill_and_recover_matrix() {
+    let seed = chaos_seed();
+    let all: Mutex<Vec<RecoveryReport>> = Mutex::new(Vec::new());
+
+    for &t in &threads() {
+        std::thread::scope(|scope| {
+            let mut legs = Vec::new();
+            for leg in 0..t {
+                let all = &all;
+                legs.push(scope.spawn(move || {
+                    let reports = kill_and_recover_leg(seed ^ (t as u64) << 32, leg);
+                    all.lock().unwrap().extend(reports);
+                }));
+            }
+            for leg in legs {
+                leg.join().expect("no leg may panic");
+            }
+        });
+    }
+
+    // Service startup path: recover one more stormed-and-crashed
+    // directory *through* the query service and check the report and
+    // counters are exposed.
+    let dir = temp_dir("svc");
+    let storm = MutationStorm::new(seed);
+    let cfg = DurableConfig {
+        segment_bytes: 512,
+        ..DurableConfig::default()
+    };
+    let mut ds = DurableStore::open(&dir, cfg.clone()).unwrap().0;
+    storm.apply(&mut ds, 0..STORM_OPS).unwrap();
+    drop(ds);
+    // A torn tail on the newest segment: always recoverable in place.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let last = wal_segments(&dir).pop().expect("storm wrote segments");
+    let len = std::fs::metadata(&last).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&last)
+        .unwrap()
+        .set_len(rng.gen_range(0..=len))
+        .unwrap();
+
+    let svc = QueryService::default();
+    assert!(svc.recovery_report().is_none(), "no report before startup");
+    let ds = svc
+        .open_durable(&dir, cfg)
+        .expect("service startup recovery is typed, not fatal");
+    let rep = svc.recovery_report().expect("report retained");
+    assert_eq!(rep.next_lsn, ds.epoch() + 1);
+    let m = svc.metrics_snapshot();
+    assert_eq!(m.recoveries, 1, "report stamped into service metrics");
+    assert_eq!(m.recovery_frames_replayed, rep.frames_replayed);
+    assert_eq!(m.recovery_bytes_truncated, rep.bytes_truncated);
+    drop(ds);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let reports = all.into_inner().unwrap();
+    assert!(!reports.is_empty());
+
+    if let Ok(path) = std::env::var("AQUA_CHAOS_SNAPSHOT") {
+        if !path.is_empty() {
+            let mut json = String::from("{\"recovery_reports\":[");
+            for (i, r) in reports.iter().enumerate() {
+                if i > 0 {
+                    json.push(',');
+                }
+                json.push_str(&r.to_json());
+            }
+            let _ = write!(
+                json,
+                "],\"service_metrics\":{}}}",
+                svc.metrics_snapshot().to_json()
+            );
+            std::fs::write(&path, json).expect("write recovery chaos snapshot");
+        }
+    }
+}

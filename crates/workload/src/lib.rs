@@ -13,15 +13,21 @@
 //!   multimedia motivation from §1.
 //! * [`random_tree`] — parameterized random trees with weighted label
 //!   distributions (the selectivity dial for benchmarks B1/B6/B7/B8).
+//! * [`storm`] — seeded mutation storms against a
+//!   [`DurableStore`](aqua_store::DurableStore), prefix-stable so the
+//!   kill-and-recover chaos harness can rebuild a never-crashed
+//!   reference for any crash point.
 
 pub mod document;
 pub mod family;
 pub mod music;
 pub mod parse_tree;
 pub mod random_tree;
+pub mod storm;
 
 pub use document::DocumentGen;
 pub use family::FamilyGen;
 pub use music::SongGen;
 pub use parse_tree::ParseTreeGen;
 pub use random_tree::RandomTreeGen;
+pub use storm::MutationStorm;

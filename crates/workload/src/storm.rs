@@ -1,0 +1,262 @@
+//! Seeded mutation storms against a [`DurableStore`] — the chaos
+//! harness's workload.
+//!
+//! A [`MutationStorm`] is a pure function of its seed: op `i` draws
+//! from an RNG seeded by `(seed, i)` and from the *live* store state,
+//! so applying ops `0..n` to any store that started from the same
+//! (empty) state always produces the same WAL, byte for byte. That
+//! prefix-stability is what the kill-and-recover tests lean on: after a
+//! crash truncates the log at record `R`, a never-crashed reference
+//! built by applying ops `0..R` must answer every query identically.
+//!
+//! Every op appends **exactly one** WAL record, so the recovered
+//! store's `next_lsn` maps 1:1 to a storm prefix length.
+
+use std::ops::Range;
+
+use aqua_algebra::{NodeId, Tree};
+use aqua_object::{AttrDef, AttrId, AttrType, ClassDef, Oid, Value};
+use aqua_store::{DurableStore, IndexSpec, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::music::PITCHES;
+
+/// Ops `0..BOOT_OPS` are the fixed bootstrap: class, first note, the
+/// `"song"` list, the `"doc"` tree, and all four index registrations.
+pub const BOOT_OPS: u64 = 8;
+
+/// The extent names the storm mutates.
+pub const STORM_LIST: &str = "song";
+/// The tree extent the storm mutates.
+pub const STORM_TREE: &str = "doc";
+
+/// A deterministic mutation storm. See the module docs for the
+/// prefix-stability contract.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationStorm {
+    seed: u64,
+}
+
+impl MutationStorm {
+    /// A storm with `seed`.
+    pub fn new(seed: u64) -> Self {
+        MutationStorm { seed }
+    }
+
+    /// The storm's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `Note` class the storm inserts: pitch and duration, stored.
+    pub fn class_def() -> ClassDef {
+        ClassDef::new(
+            "Note",
+            vec![
+                AttrDef::stored("pitch", AttrType::Str),
+                AttrDef::stored("duration", AttrType::Int),
+            ],
+        )
+        .expect("static class definition is valid")
+    }
+
+    /// Per-op RNG: a fresh stream keyed by `(seed, i)`, so replaying
+    /// any prefix redraws identical choices.
+    fn op_rng(&self, i: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Apply ops `range` in order. Returns how many ops were applied.
+    /// Each op appends exactly one WAL record; a typed error aborts at
+    /// the failing op.
+    pub fn apply(&self, ds: &mut DurableStore, range: Range<u64>) -> Result<u64> {
+        let mut applied = 0;
+        for i in range {
+            self.apply_op(ds, i)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Apply op `i` (bootstrap for `i < BOOT_OPS`, then the seeded mix
+    /// of inserts, updates, list pushes/removes, and tree edits).
+    pub fn apply_op(&self, ds: &mut DurableStore, i: u64) -> Result<()> {
+        let mut rng = self.op_rng(i);
+        match i {
+            0 => {
+                ds.define_class(Self::class_def())?;
+                return Ok(());
+            }
+            1 => {
+                let class = ds.store().class_id("Note")?;
+                ds.insert(class, vec![Value::str("E"), Value::Int(4)])?;
+                return Ok(());
+            }
+            2 => {
+                ds.create_list(STORM_LIST)?;
+                return Ok(());
+            }
+            3 => {
+                ds.create_tree(STORM_TREE, Tree::leaf(Oid(0)))?;
+                return Ok(());
+            }
+            4..=7 => {
+                let class = ds.store().class_id("Note")?;
+                let spec = match i {
+                    4 => IndexSpec::Attr {
+                        class,
+                        attr: AttrId(0),
+                    },
+                    5 => IndexSpec::ListPos {
+                        list: STORM_LIST.to_owned(),
+                        class,
+                        attr: AttrId(0),
+                    },
+                    6 => IndexSpec::TreeNode {
+                        tree: STORM_TREE.to_owned(),
+                        class,
+                        attr: AttrId(0),
+                    },
+                    _ => IndexSpec::Structural {
+                        tree: STORM_TREE.to_owned(),
+                    },
+                };
+                ds.register_index(spec)?;
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        let class = ds.store().class_id("Note")?;
+        let objects = ds.store().len();
+        let pick_oid = |rng: &mut StdRng| Oid(rng.gen_range(0..objects) as u64);
+        match rng.gen_range(0..100u32) {
+            0..=44 => {
+                let pitch = PITCHES[rng.gen_range(0..PITCHES.len())];
+                let duration = rng.gen_range(1..=8i64);
+                ds.insert(class, vec![Value::str(pitch), Value::Int(duration)])?;
+            }
+            45..=64 => {
+                let oid = pick_oid(&mut rng);
+                ds.list_push(STORM_LIST, oid)?;
+            }
+            65..=74 => {
+                let oid = pick_oid(&mut rng);
+                let duration = rng.gen_range(1..=8i64);
+                ds.update(oid, AttrId(1), Value::Int(duration))?;
+            }
+            75..=84 => {
+                let tree = ds.tree(STORM_TREE).expect("bootstrap created the tree");
+                let parent = NodeId(rng.gen_range(0..tree.len()) as u32);
+                let index = rng.gen_range(0..=tree.children(parent).len());
+                let child = Tree::leaf(pick_oid(&mut rng));
+                ds.tree_insert_child(STORM_TREE, parent, index, child)?;
+            }
+            85..=91 => {
+                let len = ds
+                    .list(STORM_LIST)
+                    .expect("bootstrap created the list")
+                    .len();
+                if len == 0 {
+                    let oid = pick_oid(&mut rng);
+                    ds.list_push(STORM_LIST, oid)?;
+                } else {
+                    let at = rng.gen_range(0..len);
+                    ds.list_remove(STORM_LIST, at)?;
+                }
+            }
+            _ => {
+                let tree = ds.tree(STORM_TREE).expect("bootstrap created the tree");
+                if tree.len() <= 1 {
+                    let child = Tree::leaf(pick_oid(&mut rng));
+                    ds.tree_insert_child(STORM_TREE, tree.root(), 0, child)?;
+                } else {
+                    // Any arena id but the root is removable; ids are
+                    // compact after every rebuild.
+                    let root = tree.root().index();
+                    let k = rng.gen_range(0..tree.len() - 1);
+                    let at = if k >= root { k + 1 } else { k };
+                    ds.tree_remove_subtree(STORM_TREE, NodeId(at as u32))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use aqua_store::DurableConfig;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("aqua-storm-{tag}-{}-{n}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        dir
+    }
+
+    fn open(dir: &std::path::Path) -> DurableStore {
+        DurableStore::open(dir, DurableConfig::default()).unwrap().0
+    }
+
+    #[test]
+    fn one_op_is_one_wal_record() {
+        let dir = temp_dir("lsn");
+        let mut ds = open(&dir);
+        let storm = MutationStorm::new(7);
+        for i in 0..(BOOT_OPS + 50) {
+            storm.apply_op(&mut ds, i).unwrap();
+            assert_eq!(ds.epoch(), i + 1, "op {i} must burn exactly one LSN");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_prefix_same_state() {
+        let (da, db) = (temp_dir("pfx-a"), temp_dir("pfx-b"));
+        let storm = MutationStorm::new(42);
+        let (mut a, mut b) = (open(&da), open(&db));
+        storm.apply(&mut a, 0..BOOT_OPS + 120).unwrap();
+        storm.apply(&mut b, 0..BOOT_OPS + 120).unwrap();
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.store().len(), b.store().len());
+        assert_eq!(
+            a.list(STORM_LIST).unwrap().elems(),
+            b.list(STORM_LIST).unwrap().elems()
+        );
+        assert!(a
+            .tree(STORM_TREE)
+            .unwrap()
+            .structural_eq(b.tree(STORM_TREE).unwrap()));
+        std::fs::remove_dir_all(&da).unwrap();
+        std::fs::remove_dir_all(&db).unwrap();
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let (da, db) = (temp_dir("div-a"), temp_dir("div-b"));
+        let (mut a, mut b) = (open(&da), open(&db));
+        MutationStorm::new(1)
+            .apply(&mut a, 0..BOOT_OPS + 200)
+            .unwrap();
+        MutationStorm::new(2)
+            .apply(&mut b, 0..BOOT_OPS + 200)
+            .unwrap();
+        let same = a.store().len() == b.store().len()
+            && a.list(STORM_LIST).unwrap().elems() == b.list(STORM_LIST).unwrap().elems()
+            && a.tree(STORM_TREE)
+                .unwrap()
+                .structural_eq(b.tree(STORM_TREE).unwrap());
+        assert!(!same, "seeds 1 and 2 produced identical storms");
+        std::fs::remove_dir_all(&da).unwrap();
+        std::fs::remove_dir_all(&db).unwrap();
+    }
+}
