@@ -72,6 +72,10 @@ fn cfg() -> DurableConfig {
         segment_bytes: 64 * 1024,
         checkpoint_every: 0,
         prune: true,
+        // Root tracking off: these rows isolate raw durability costs so
+        // they stay comparable with the recorded baseline; the
+        // authenticated deltas are b14's job.
+        authenticate: false,
     }
 }
 

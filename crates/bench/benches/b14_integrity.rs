@@ -1,0 +1,144 @@
+//! B14 — integrity costs: merkle root recomputation rate and the price
+//! of split reassembly certificates.
+//!
+//! Four rows:
+//!
+//! * `tree_root_recompute_10k_nodes` — recomputing a 10k-node tree
+//!   extent's merkle root from scratch (the per-extent recovery
+//!   verification step, and the worst case of incremental tracking).
+//! * `split_5k_8cuts_plain` — the b10-shape `split` over a 5k-node
+//!   tree, capped at 8 matches (the service's default `degraded_cap`),
+//!   no certificates: the baseline the next two rows are priced
+//!   against.
+//! * `split_5k_8cuts_cert_emit` — the same split plus one reassembly
+//!   certificate emitted per decomposition (canonical serialization +
+//!   SHA-256 per piece; each certificate carries the full ~5k-node
+//!   context, so this is the dominant verified-serving cost).
+//! * `split_5k_8cuts_cert_emit_check` — emit *and* inline revalidation
+//!   by the independent `aqua-check` crate (parse, rehash, reassemble,
+//!   recompute the extent root) — the full `verify=true` serving path.
+//!
+//! `AQUA_BENCH_QUICK` shrinks iterations for the CI gate;
+//! `AQUA_BENCH_JSON=<path>` dumps the rows for `bench_gate`.
+
+use std::hint::black_box;
+
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_store::SplitCertificate;
+use aqua_workload::random_tree::RandomTreeGen;
+
+struct Out {
+    table: Table,
+    rows: Vec<(&'static str, Timed)>,
+    iters: usize,
+}
+
+impl Out {
+    fn new() -> Out {
+        Out {
+            table: Table::new(&["operation", "median ms"]),
+            rows: Vec::new(),
+            iters: aqua_bench::iters_for(20, 5),
+        }
+    }
+
+    fn row(&mut self, name: &'static str, t: Timed) {
+        self.table.row(vec![name.into(), ms(t)]);
+        self.rows.push((name, t));
+    }
+
+    fn json(&self) -> String {
+        let par = aqua_exec::available_threads();
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"b14_integrity\",\n");
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str("  \"rows\": [\n");
+        for (i, (name, t)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"bench\":\"b14\",\"name\":\"{name}\",\"median_ms\":{:.4},\"result_size\":{},\"parallelism\":{par}}}{comma}\n",
+                t.secs * 1e3,
+                t.result_size
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Recompute a 10k-node tree extent's merkle root from scratch: leaf
+/// hash per node (interval + payload) plus the binary fold.
+fn bench_root_recompute(out: &mut Out) {
+    let d = RandomTreeGen::new(11).nodes(10_000).generate();
+    let t = time_median(out.iters, || {
+        black_box(aqua_store::tree_root(&d.store, &d.tree));
+        d.tree.len()
+    });
+    out.row("tree_root_recompute_10k_nodes", t);
+}
+
+/// The split workload shared by the certificate rows: b10's 5k-node
+/// random tree, cut at every `d` node's children.
+fn bench_split_certs(out: &mut Out) {
+    let d = RandomTreeGen::new(6)
+        .nodes(5000)
+        .label_weights(&[("d", 1), ("x", 9)])
+        .generate();
+    let cp = parse_tree_pattern("d(!?*)", &PredEnv::with_default_attr("label"))
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let cfg = MatchConfig {
+        max_matches: 8,
+        ..MatchConfig::first_per_root()
+    };
+    let root = aqua_store::tree_root(&d.store, &d.tree);
+
+    let t = time_median(out.iters, || {
+        aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &cp, &cfg)
+            .unwrap()
+            .len()
+    });
+    out.row("split_5k_8cuts_plain", t);
+
+    let t = time_median(out.iters, || {
+        let pieces = aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &cp, &cfg).unwrap();
+        let mut emitted = 0usize;
+        for p in &pieces {
+            let cert = SplitCertificate::emit(&d.store, "tree:bench", root, p);
+            black_box(cert.to_text().len());
+            emitted += 1;
+        }
+        emitted
+    });
+    out.row("split_5k_8cuts_cert_emit", t);
+
+    let t = time_median(out.iters, || {
+        let pieces = aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &cp, &cfg).unwrap();
+        let mut checked = 0usize;
+        for p in &pieces {
+            let cert = SplitCertificate::emit(&d.store, "tree:bench", root, p);
+            let rep = aqua_check::verify(&cert.to_text()).expect("certificate parses");
+            assert!(rep.ok(), "true certificate must verify: {:?}", rep.failures);
+            checked += 1;
+        }
+        checked
+    });
+    out.row("split_5k_8cuts_cert_emit_check", t);
+}
+
+fn main() {
+    let mut out = Out::new();
+    bench_root_recompute(&mut out);
+    bench_split_certs(&mut out);
+    out.table
+        .print("B14 — integrity: root recompute, certificate emit/check");
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        std::fs::write(&path, out.json()).expect("write AQUA_BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
+}

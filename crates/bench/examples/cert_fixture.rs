@@ -1,0 +1,36 @@
+//! Emit the deterministic split-certificate fixture that CI smokes
+//! through the independent `aqua-check` binary.
+//!
+//! The workload is fully seeded, so the emitted text is a pure function
+//! of the code: CI regenerates it and diffs against the committed copy
+//! before checking it, which catches accidental drift in either the
+//! canonical serialization or the hash schema. Regenerate with:
+//!
+//! ```text
+//! cargo run -p aqua-bench --example cert_fixture > crates/check/fixtures/split.cert
+//! ```
+
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_store::SplitCertificate;
+use aqua_workload::random_tree::RandomTreeGen;
+
+fn main() {
+    let d = RandomTreeGen::new(5)
+        .nodes(64)
+        .label_weights(&[("d", 1), ("x", 5)])
+        .generate();
+    let cp = parse_tree_pattern("d(!?*)", &PredEnv::with_default_attr("label"))
+        .unwrap()
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let root = aqua_store::tree_root(&d.store, &d.tree);
+    let pieces = aqua_algebra::tree::split::split_pieces(&d.store, &d.tree, &cp, &cfg)
+        .expect("seeded split succeeds");
+    let p = pieces
+        .first()
+        .expect("seeded workload yields at least one decomposition");
+    let cert = SplitCertificate::emit(&d.store, "tree:fixture", root, p);
+    print!("{}", cert.to_text());
+}

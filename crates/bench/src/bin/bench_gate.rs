@@ -81,7 +81,13 @@ fn main() -> ExitCode {
         eprintln!("bench_gate: empty baseline {baseline_path} — record one first");
         return ExitCode::from(2);
     }
-    let report = gate::compare(&baseline, &current, THRESHOLD, SLACK_MS);
+    let report = gate::compare(
+        &baseline,
+        &current,
+        THRESHOLD,
+        SLACK_MS,
+        aqua_exec::available_threads(),
+    );
     print!("{}", report.render(THRESHOLD, SLACK_MS));
     if report.failures() > 0 {
         ExitCode::FAILURE

@@ -30,6 +30,10 @@ pub struct BenchRow {
     pub key: String,
     /// The measured median, milliseconds.
     pub median_ms: f64,
+    /// Host core count recorded with the row (`"parallelism"` field),
+    /// when present. Scaling-sensitive rows recorded on a different
+    /// host warn instead of failing the gate.
+    pub parallelism: Option<usize>,
     /// The row's raw JSON object, kept verbatim for `--record`.
     pub raw: String,
 }
@@ -70,6 +74,7 @@ pub fn scan_rows(json: &str) -> Vec<BenchRow> {
                             rows.push(BenchRow {
                                 key: key.join("/"),
                                 median_ms: ms,
+                                parallelism: field(obj, "parallelism").and_then(|v| v.parse().ok()),
                                 raw: obj.to_string(),
                             });
                         }
@@ -91,6 +96,10 @@ pub enum Verdict {
     Regressed,
     /// Baseline row has no counterpart in the current dumps.
     Missing,
+    /// Out of band, but the row is scaling-sensitive (b11) and was
+    /// recorded on a host with a different core count — reported, not
+    /// failed, because parallel speedups don't transfer across hosts.
+    Warned,
 }
 
 /// Comparison of one baseline row against the current run.
@@ -113,11 +122,12 @@ pub struct GateReport {
 }
 
 impl GateReport {
-    /// Number of regressed or missing baseline rows.
+    /// Number of regressed or missing baseline rows (warned rows don't
+    /// count — they were measured under a different host shape).
     pub fn failures(&self) -> usize {
         self.lines
             .iter()
-            .filter(|l| l.verdict != Verdict::Ok)
+            .filter(|l| l.verdict != Verdict::Ok && l.verdict != Verdict::Warned)
             .count()
     }
 
@@ -135,7 +145,11 @@ impl GateReport {
                     let _ = writeln!(out, "  MISSING  {:<60} base {:.3}ms", l.key, l.base_ms);
                 }
                 (v, Some(cur)) => {
-                    let tag = if v == Verdict::Ok { "ok" } else { "REGRESSED" };
+                    let tag = match v {
+                        Verdict::Ok => "ok",
+                        Verdict::Warned => "warned",
+                        _ => "REGRESSED",
+                    };
                     let _ = writeln!(
                         out,
                         "  {tag:<9}{:<60} base {:.3}ms -> {:.3}ms ({:+.1}%)",
@@ -165,14 +179,23 @@ impl GateReport {
 /// median exceeds `base * (1 + threshold) + slack_ms`; the additive
 /// slack keeps sub-millisecond rows from tripping on scheduler noise.
 /// Duplicate keys in `current` keep the last occurrence.
+///
+/// `host_threads` is the current machine's core count: a b11
+/// (parallel-scaling) baseline row recorded with a different
+/// `parallelism` can't regress meaningfully here, so an out-of-band
+/// median on such a row is [`Verdict::Warned`] instead of failed.
 pub fn compare(
     baseline: &[BenchRow],
     current: &[BenchRow],
     threshold: f64,
     slack_ms: f64,
+    host_threads: usize,
 ) -> GateReport {
     let mut report = GateReport::default();
     let find = |key: &str| current.iter().rev().find(|r| r.key == key);
+    let foreign_host = |b: &BenchRow| {
+        b.key.starts_with("b11/") && b.parallelism.is_some_and(|p| p != host_threads)
+    };
     for b in baseline {
         let line = match find(&b.key) {
             None => GateLine {
@@ -186,7 +209,11 @@ pub fn compare(
                 base_ms: b.median_ms,
                 cur_ms: Some(c.median_ms),
                 verdict: if c.median_ms > b.median_ms * (1.0 + threshold) + slack_ms {
-                    Verdict::Regressed
+                    if foreign_host(b) {
+                        Verdict::Warned
+                    } else {
+                        Verdict::Regressed
+                    }
                 } else {
                     Verdict::Ok
                 },
@@ -205,7 +232,11 @@ pub fn compare(
 /// Render a baseline file from rows: the raw row objects, one per line,
 /// inside a small envelope. Duplicate keys keep the *slowest* occurrence
 /// — feed `--record` dumps from several runs and the baseline absorbs
-/// the run-to-run noise instead of enshrining one lucky median.
+/// the run-to-run noise instead of enshrining one lucky median. Every
+/// recorded row carries a `"parallelism"` field (the recording host's
+/// core count, injected here when the dump didn't emit one) so a later
+/// gate run on a different host can warn instead of fail on
+/// scaling-sensitive rows.
 pub fn render_baseline(rows: &[BenchRow], host_threads: usize) -> String {
     let mut keep: Vec<&BenchRow> = Vec::new();
     for r in rows {
@@ -225,7 +256,13 @@ pub fn render_baseline(rows: &[BenchRow], host_threads: usize) -> String {
     let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in keep.iter().enumerate() {
         let comma = if i + 1 == keep.len() { "" } else { "," };
-        let _ = writeln!(out, "    {}{comma}", r.raw);
+        let raw = if r.parallelism.is_some() {
+            r.raw.clone()
+        } else {
+            let body = r.raw.trim_end().trim_end_matches('}');
+            format!("{body},\"parallelism\":{host_threads}}}")
+        };
+        let _ = writeln!(out, "    {raw}{comma}");
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
@@ -274,7 +311,17 @@ mod tests {
         BenchRow {
             key: key.into(),
             median_ms: ms,
+            parallelism: None,
             raw: format!("{{\"name\":{key:?},\"median_ms\":{ms:.4}}}"),
+        }
+    }
+
+    fn row_par(key: &str, ms: f64, par: usize) -> BenchRow {
+        BenchRow {
+            key: key.into(),
+            median_ms: ms,
+            parallelism: Some(par),
+            raw: format!("{{\"name\":{key:?},\"median_ms\":{ms:.4},\"parallelism\":{par}}}"),
         }
     }
 
@@ -282,7 +329,7 @@ mod tests {
     fn gate_passes_within_band_and_fails_past_it() {
         let base = vec![row("a", 10.0), row("b", 10.0), row("c", 10.0)];
         let cur = vec![row("a", 12.0), row("b", 13.1), row("d", 1.0)];
-        let rep = compare(&base, &cur, 0.25, 0.3);
+        let rep = compare(&base, &cur, 0.25, 0.3, 4);
         assert_eq!(rep.lines[0].verdict, Verdict::Ok); // 12.0 <= 12.8
         assert_eq!(rep.lines[1].verdict, Verdict::Regressed); // 13.1 > 12.8
         assert_eq!(rep.lines[2].verdict, Verdict::Missing);
@@ -296,8 +343,30 @@ mod tests {
     fn additive_slack_forgives_tiny_rows() {
         let base = vec![row("tiny", 0.010)];
         // 4x slower but only +0.03ms in absolute terms: inside the slack.
-        let rep = compare(&base, &[row("tiny", 0.040)], 0.25, 0.3);
+        let rep = compare(&base, &[row("tiny", 0.040)], 0.25, 0.3, 4);
         assert_eq!(rep.failures(), 0);
+    }
+
+    #[test]
+    fn foreign_host_b11_rows_warn_instead_of_fail() {
+        // Recorded on a 16-core machine, gated on a 4-core one: the b11
+        // scaling row is out of band but warns; the b10 row (same host
+        // mismatch irrelevant — not scaling-sensitive) still fails.
+        let base = vec![
+            row_par("b11/40/500/~1%/par x4", 3.0, 16),
+            row_par("b10/pike_vm", 1.0, 16),
+        ];
+        let cur = vec![row("b11/40/500/~1%/par x4", 9.0), row("b10/pike_vm", 9.0)];
+        let rep = compare(&base, &cur, 0.25, 0.3, 4);
+        assert_eq!(rep.lines[0].verdict, Verdict::Warned);
+        assert_eq!(rep.lines[1].verdict, Verdict::Regressed);
+        assert_eq!(rep.failures(), 1, "only the non-b11 regression fails");
+        assert!(rep.render(0.25, 0.3).contains("warned"));
+
+        // Same core count: b11 rows gate normally again.
+        let rep = compare(&base, &cur, 0.25, 0.3, 16);
+        assert_eq!(rep.lines[0].verdict, Verdict::Regressed);
+        assert_eq!(rep.failures(), 2);
     }
 
     #[test]
@@ -308,5 +377,22 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert!((back.iter().find(|r| r.key == "a").unwrap().median_ms - 3.0).abs() < 1e-9);
         assert!((back.iter().find(|r| r.key == "b").unwrap().median_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recording_stamps_parallelism_per_row() {
+        // Rows without the field get the recording host's count; rows
+        // that already carry one keep it.
+        let rows = vec![row("plain", 1.0), row_par("tagged", 2.0, 8)];
+        let text = render_baseline(&rows, 4);
+        let back = scan_rows(&text);
+        assert_eq!(
+            back.iter().find(|r| r.key == "plain").unwrap().parallelism,
+            Some(4)
+        );
+        assert_eq!(
+            back.iter().find(|r| r.key == "tagged").unwrap().parallelism,
+            Some(8)
+        );
     }
 }

@@ -1,0 +1,664 @@
+//! Independent verifier for AQUA split reassembly certificates.
+//!
+//! The engine's `split` operator decomposes a tree extent into a
+//! context, a matched piece, and cut-off descendant subtrees, and can
+//! emit a certificate: canonical bytes + SHA-256 of every piece, the
+//! concatenation labels, and the merkle root of the extent the match
+//! came from. This crate re-verifies that claim **from the published
+//! specification alone** — it depends on no engine crate, carries its
+//! own SHA-256, parser, reassembly, and merkle fold — so a bug in the
+//! engine's hashing or concatenation cannot vouch for itself.
+//!
+//! Verification steps, per certificate:
+//!
+//! 1. every piece's hash is SHA-256 of its canonical bytes;
+//! 2. the pieces decode as well-formed trees (preorder + child counts);
+//! 3. reassembly `context ∘_α matched ∘_{cut_i} descendant_i` (where
+//!    `∘_l` replaces *every* hole labeled `l`) yields a tree;
+//! 4. the reassembled tree's interval numbering, leaf hashes, and
+//!    merkle fold reproduce the certified extent root.
+//!
+//! ## The specification being checked against
+//!
+//! Canonical tree bytes: `nnodes:u32le`, then per node in preorder its
+//! payload bytes and `nchildren:u32le`. Payload bytes are either a cell
+//! — `0x01 oid:u64le class:u32le nvals:u32le value*` (a dangling OID is
+//! class `u32::MAX` with zero values) — or a hole, `0x02 len:u32le
+//! label`. Values: `0x00` null; `0x01 b` bool; `0x02 i64le`;
+//! `0x03 f64-bits-le`; `0x04 len:u32le utf8`; `0x05 oid:u64le`.
+//!
+//! Tree leaf hash: `SHA256(0x00 "TL" pre:u32le post:u32le payload)`
+//! where `(pre, post)` are the node's interval numbers from a single
+//! clock starting at 0 (`entry(n) = clock++`, children in order,
+//! `exit(n) = clock++`), leaves in preorder. Merkle fold: pairwise
+//! `SHA256(0x01 left right)`, an odd last node promoted unchanged; an
+//! empty column folds to `SHA256("AQUA-EMPTY")`.
+
+pub mod sha;
+
+use sha::sha256;
+
+// ---------------------------------------------------------------------
+// Certificate parsing
+// ---------------------------------------------------------------------
+
+/// One piece: its role, claimed hash, and canonical bytes.
+#[derive(Debug, Clone)]
+pub struct Piece {
+    /// `"context"`, `"matched"`, or `"descendant"`.
+    pub role: String,
+    /// The claimed SHA-256 of `bytes`.
+    pub hash: [u8; 32],
+    /// Canonical tree bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A parsed certificate.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Extent label, e.g. `tree:doc`.
+    pub extent: String,
+    /// Claimed merkle root of the extent.
+    pub extent_root: [u8; 32],
+    /// The context↔matched concatenation label (raw bytes).
+    pub alpha: Vec<u8>,
+    /// The matched↔descendant labels, in cut order.
+    pub cuts: Vec<Vec<u8>>,
+    /// Context, matched, then descendants.
+    pub pieces: Vec<Piece>,
+}
+
+fn unhex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex: {s:?}"));
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|c| {
+            let d = |b: u8| {
+                (b as char)
+                    .to_digit(16)
+                    .ok_or_else(|| format!("bad hex byte in {s:?}"))
+            };
+            Ok((d(c[0])? * 16 + d(c[1])?) as u8)
+        })
+        .collect()
+}
+
+fn unhex32(s: &str) -> Result<[u8; 32], String> {
+    let v = unhex(s)?;
+    v.try_into().map_err(|_| "hash is not 32 bytes".to_string())
+}
+
+/// Parse the `AQUA-SPLIT-CERT v1` text format.
+pub fn parse(text: &str) -> Result<Certificate, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some("AQUA-SPLIT-CERT v1") {
+        return Err("missing AQUA-SPLIT-CERT v1 header".into());
+    }
+    let mut field = |key: &str| -> Result<String, String> {
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix(key))
+            .map(|v| v.trim().to_string())
+            .ok_or_else(|| format!("missing {key} line"))
+    };
+    let extent = field("extent:")?;
+    let extent_root = unhex32(&field("extent-root:")?)?;
+    let alpha = unhex(&field("alpha:")?)?;
+    let cuts_raw = field("cuts:")?;
+    let cuts = if cuts_raw == "-" {
+        Vec::new()
+    } else {
+        cuts_raw.split(',').map(unhex).collect::<Result<_, _>>()?
+    };
+    let mut pieces = Vec::new();
+    for line in lines {
+        if line == "end" {
+            return Ok(Certificate {
+                extent,
+                extent_root,
+                alpha,
+                cuts,
+                pieces,
+            });
+        }
+        let rest = line
+            .strip_prefix("piece ")
+            .ok_or_else(|| format!("expected piece or end, got {line:?}"))?;
+        let mut parts = rest.splitn(3, ' ');
+        let role = parts.next().unwrap_or_default().to_string();
+        if !matches!(role.as_str(), "context" | "matched" | "descendant") {
+            return Err(format!("unknown piece role {role:?}"));
+        }
+        let hash = unhex32(parts.next().ok_or("piece line missing hash")?)?;
+        let bytes = unhex(parts.next().ok_or("piece line missing tree bytes")?)?;
+        pieces.push(Piece { role, hash, bytes });
+    }
+    Err("missing end line".into())
+}
+
+// ---------------------------------------------------------------------
+// Canonical tree decoding
+// ---------------------------------------------------------------------
+
+/// A decoded tree node: verbatim payload bytes plus child links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The payload bytes exactly as serialized (they feed leaf hashes).
+    pub payload: Vec<u8>,
+    /// Children, in order, as indices into [`DecodedTree::nodes`].
+    pub children: Vec<usize>,
+}
+
+/// A tree decoded from canonical bytes. Arena indices are arbitrary;
+/// only `root` + `children` define the shape.
+#[derive(Debug, Clone)]
+pub struct DecodedTree {
+    /// The node arena.
+    pub nodes: Vec<Node>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.b.len() {
+            return Err(format!("truncated at byte {} (wanted {n} more)", self.pos));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// Consume one payload (cell or hole) from `cur`, returning its bytes.
+fn take_payload(cur: &mut Cursor) -> Result<Vec<u8>, String> {
+    let start = cur.pos;
+    match cur.u8()? {
+        0x01 => {
+            cur.take(8)?; // oid
+            cur.take(4)?; // class
+            let nvals = cur.u32()?;
+            for _ in 0..nvals {
+                match cur.u8()? {
+                    0x00 => {}
+                    0x01 => {
+                        cur.take(1)?;
+                    }
+                    0x02 | 0x03 => {
+                        cur.take(8)?;
+                    }
+                    0x04 => {
+                        let len = cur.u32()? as usize;
+                        cur.take(len)?;
+                    }
+                    0x05 => {
+                        cur.take(8)?;
+                    }
+                    t => return Err(format!("unknown value tag 0x{t:02x}")),
+                }
+            }
+        }
+        0x02 => {
+            let len = cur.u32()? as usize;
+            cur.take(len)?;
+        }
+        t => return Err(format!("unknown payload tag 0x{t:02x}")),
+    }
+    Ok(cur.b[start..cur.pos].to_vec())
+}
+
+/// Decode canonical tree bytes (preorder payloads + child counts).
+pub fn decode_tree(bytes: &[u8]) -> Result<DecodedTree, String> {
+    let mut cur = Cursor { b: bytes, pos: 0 };
+    let nnodes = cur.u32()? as usize;
+    if nnodes == 0 {
+        return Err("empty tree".into());
+    }
+    if nnodes > (1 << 26) {
+        return Err(format!("implausible node count {nnodes}"));
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(nnodes);
+    // (node index, children still to attach)
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    for _ in 0..nnodes {
+        let payload = take_payload(&mut cur)?;
+        let nchildren = cur.u32()?;
+        let idx = nodes.len();
+        nodes.push(Node {
+            payload,
+            children: Vec::with_capacity(nchildren as usize),
+        });
+        match stack.last_mut() {
+            Some(top) => {
+                top.1 -= 1;
+                let parent = top.0;
+                nodes[parent].children.push(idx);
+            }
+            None if idx == 0 => {}
+            None => return Err("node after the root's subtree closed".into()),
+        }
+        stack.push((idx, nchildren));
+        while matches!(stack.last(), Some(&(_, 0))) {
+            stack.pop();
+        }
+    }
+    if !stack.is_empty() {
+        return Err("child counts exceed node count".into());
+    }
+    if cur.pos != bytes.len() {
+        return Err(format!("{} trailing bytes", bytes.len() - cur.pos));
+    }
+    Ok(DecodedTree { nodes, root: 0 })
+}
+
+/// The hole label of a node's payload, if it is a hole.
+fn hole_label(payload: &[u8]) -> Option<&[u8]> {
+    if payload.first() == Some(&0x02) {
+        Some(&payload[5..])
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reassembly
+// ---------------------------------------------------------------------
+
+/// `a ∘_label b`: copy `a`, replacing every hole labeled `label` by a
+/// copy of `b`. Iterative — certificate trees can be deep.
+pub fn graft(a: &DecodedTree, label: &[u8], b: &DecodedTree) -> DecodedTree {
+    let mut nodes = Vec::with_capacity(a.nodes.len() + b.nodes.len());
+    let root = copy_replacing(a, a.root, Some((label, b)), &mut nodes);
+    DecodedTree { nodes, root }
+}
+
+/// Copy the subtree of `src` at `from` into `out`, substituting holes
+/// when `repl` is set. Returns the copy's index. Post-order iterative:
+/// children are copied before their parent is allocated.
+fn copy_replacing(
+    src: &DecodedTree,
+    from: usize,
+    repl: Option<(&[u8], &DecodedTree)>,
+    out: &mut Vec<Node>,
+) -> usize {
+    // Explicit two-phase stack: Visit expands, Build pops its
+    // children's finished indices off `done`.
+    enum Step {
+        Visit(usize),
+        Build(usize),
+    }
+    let mut stack = vec![Step::Visit(from)];
+    let mut done: Vec<usize> = Vec::new();
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Visit(n) => {
+                if let Some((label, b)) = repl {
+                    if hole_label(&src.nodes[n].payload) == Some(label) {
+                        let idx = copy_replacing(b, b.root, None, out);
+                        done.push(idx);
+                        continue;
+                    }
+                }
+                stack.push(Step::Build(n));
+                for &k in src.nodes[n].children.iter().rev() {
+                    stack.push(Step::Visit(k));
+                }
+            }
+            Step::Build(n) => {
+                let nk = src.nodes[n].children.len();
+                let children = done.split_off(done.len() - nk);
+                let idx = out.len();
+                out.push(Node {
+                    payload: src.nodes[n].payload.clone(),
+                    children,
+                });
+                done.push(idx);
+            }
+        }
+    }
+    done.pop().expect("copy produced a root")
+}
+
+// ---------------------------------------------------------------------
+// Hashing the reassembled tree
+// ---------------------------------------------------------------------
+
+/// Preorder node indices of `t`.
+pub fn preorder(t: &DecodedTree) -> Vec<usize> {
+    let mut order = Vec::with_capacity(t.nodes.len());
+    let mut stack = vec![t.root];
+    while let Some(n) = stack.pop() {
+        order.push(n);
+        for &k in t.nodes[n].children.iter().rev() {
+            stack.push(k);
+        }
+    }
+    order
+}
+
+/// Interval numbers `(entry, exit)` per arena index: one clock from 0,
+/// `entry(n) = clock++`, children in order, `exit(n) = clock++`.
+pub fn intervals(t: &DecodedTree) -> Vec<(u32, u32)> {
+    let mut iv = vec![(0u32, 0u32); t.nodes.len()];
+    let mut clock = 0u32;
+    enum Ev {
+        Enter(usize),
+        Exit(usize),
+    }
+    let mut stack = vec![Ev::Enter(t.root)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(n) => {
+                iv[n].0 = clock;
+                clock += 1;
+                stack.push(Ev::Exit(n));
+                for &k in t.nodes[n].children.iter().rev() {
+                    stack.push(Ev::Enter(k));
+                }
+            }
+            Ev::Exit(n) => {
+                iv[n].1 = clock;
+                clock += 1;
+            }
+        }
+    }
+    iv
+}
+
+/// Leaf-hash column of `t`: preorder, each leaf
+/// `SHA256(0x00 "TL" pre post payload)`.
+pub fn tree_leaves(t: &DecodedTree) -> Vec<[u8; 32]> {
+    let iv = intervals(t);
+    preorder(t)
+        .into_iter()
+        .map(|n| {
+            let mut b = Vec::with_capacity(11 + t.nodes[n].payload.len());
+            b.push(0x00);
+            b.extend_from_slice(b"TL");
+            b.extend_from_slice(&iv[n].0.to_le_bytes());
+            b.extend_from_slice(&iv[n].1.to_le_bytes());
+            b.extend_from_slice(&t.nodes[n].payload);
+            sha256(&b)
+        })
+        .collect()
+}
+
+/// Merkle fold: pairwise `SHA256(0x01 left right)`, odd last promoted.
+pub fn merkle_root(leaves: &[[u8; 32]]) -> [u8; 32] {
+    if leaves.is_empty() {
+        return sha256(b"AQUA-EMPTY");
+    }
+    let mut level = leaves.to_vec();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    let mut b = Vec::with_capacity(65);
+                    b.push(0x01);
+                    b.extend_from_slice(&pair[0]);
+                    b.extend_from_slice(&pair[1]);
+                    sha256(&b)
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    level[0]
+}
+
+// ---------------------------------------------------------------------
+// Verification
+// ---------------------------------------------------------------------
+
+/// What [`verify`] concluded. `failures` empty ⇔ the certificate holds.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Extent label from the certificate.
+    pub extent: String,
+    /// Piece count.
+    pub pieces: usize,
+    /// Node count of the reassembled tree (0 if reassembly failed).
+    pub nodes: usize,
+    /// Every independent check that failed, in check order.
+    pub failures: Vec<String>,
+}
+
+impl Report {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Verify a certificate end to end. `Err` means the text is not even a
+/// parseable certificate; `Ok` with failures means it parsed but lied.
+pub fn verify(text: &str) -> Result<Report, String> {
+    let cert = parse(text)?;
+    let mut rep = Report {
+        extent: cert.extent.clone(),
+        pieces: cert.pieces.len(),
+        ..Report::default()
+    };
+
+    // 1. Hashes vouch for the bytes.
+    for (i, p) in cert.pieces.iter().enumerate() {
+        if sha256(&p.bytes) != p.hash {
+            rep.failures
+                .push(format!("piece {i} ({}) hash mismatch", p.role));
+        }
+    }
+
+    // 2. Structure: tree extent, one context, one matched, one
+    //    descendant per cut, in order.
+    if !cert.extent.starts_with("tree:") {
+        rep.failures
+            .push(format!("unsupported extent kind {:?}", cert.extent));
+    }
+    let roles: Vec<&str> = cert.pieces.iter().map(|p| p.role.as_str()).collect();
+    let expected_roles: Vec<&str> = ["context", "matched"]
+        .into_iter()
+        .chain(std::iter::repeat_n("descendant", cert.cuts.len()))
+        .collect();
+    if roles != expected_roles {
+        rep.failures.push(format!(
+            "piece roles {roles:?} do not match cuts (expected {expected_roles:?})"
+        ));
+        return Ok(rep);
+    }
+
+    // 3. Decode and reassemble.
+    let mut trees = Vec::with_capacity(cert.pieces.len());
+    for (i, p) in cert.pieces.iter().enumerate() {
+        match decode_tree(&p.bytes) {
+            Ok(t) => trees.push(t),
+            Err(e) => {
+                rep.failures
+                    .push(format!("piece {i} ({}) malformed: {e}", p.role));
+                return Ok(rep);
+            }
+        }
+    }
+    let mut acc = graft(&trees[0], &cert.alpha, &trees[1]);
+    for (label, desc) in cert.cuts.iter().zip(&trees[2..]) {
+        acc = graft(&acc, label, desc);
+    }
+    rep.nodes = acc.nodes.len();
+
+    // 4. The reassembled tree reproduces the extent root.
+    let root = merkle_root(&tree_leaves(&acc));
+    if root != cert.extent_root {
+        let hex: String = root.iter().map(|b| format!("{b:02x}")).collect();
+        rep.failures.push(format!(
+            "reassembled root {hex} does not match the certified extent root"
+        ));
+    }
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-build canonical bytes for a hole node.
+    fn hole(label: &[u8], nchildren: u32) -> Vec<u8> {
+        let mut b = vec![0x02];
+        b.extend_from_slice(&(label.len() as u32).to_le_bytes());
+        b.extend_from_slice(label);
+        b.extend_from_slice(&nchildren.to_le_bytes());
+        b
+    }
+
+    /// Canonical bytes for a dangling-OID cell node.
+    fn cell(oid: u64, nchildren: u32) -> Vec<u8> {
+        let mut b = vec![0x01];
+        b.extend_from_slice(&oid.to_le_bytes());
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        b.extend_from_slice(&0u32.to_le_bytes());
+        b.extend_from_slice(&nchildren.to_le_bytes());
+        b
+    }
+
+    fn tree_bytes(nodes: &[Vec<u8>]) -> Vec<u8> {
+        let mut b = (nodes.len() as u32).to_le_bytes().to_vec();
+        for n in nodes {
+            b.extend_from_slice(n);
+        }
+        b
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(decode_tree(&[]).is_err());
+        assert!(decode_tree(&0u32.to_le_bytes()).is_err(), "empty tree");
+        // Claimed 2 nodes, one present.
+        let mut b = 2u32.to_le_bytes().to_vec();
+        b.extend_from_slice(&cell(1, 0));
+        assert!(decode_tree(&b).is_err());
+        // Trailing garbage.
+        let mut b = tree_bytes(&[cell(1, 0)]);
+        b.push(0xff);
+        assert!(decode_tree(&b).is_err());
+        // Two roots: child count 0 on the first of two nodes.
+        let b = tree_bytes(&[cell(1, 0), cell(2, 0)]);
+        assert!(decode_tree(&b).is_err());
+    }
+
+    #[test]
+    fn decode_roundtrips_shape() {
+        // a(b(d f) c) — a has 2 children, b has 2.
+        let b = tree_bytes(&[cell(0, 2), cell(1, 2), cell(2, 0), cell(3, 0), cell(4, 0)]);
+        let t = decode_tree(&b).unwrap();
+        assert_eq!(t.nodes.len(), 5);
+        assert_eq!(t.nodes[t.root].children.len(), 2);
+        let b_node = t.nodes[t.root].children[0];
+        assert_eq!(t.nodes[b_node].children.len(), 2);
+        // Preorder is arena order here (decode is preorder).
+        assert_eq!(preorder(&t), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn intervals_follow_the_single_clock() {
+        // a(b c): a=(0,5), b=(1,2), c=(3,4).
+        let t = decode_tree(&tree_bytes(&[cell(0, 2), cell(1, 0), cell(2, 0)])).unwrap();
+        assert_eq!(intervals(&t), vec![(0, 5), (1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn graft_replaces_every_matching_hole() {
+        // a(@x b @x) grafted with leaf c: both @x holes replaced.
+        let host = decode_tree(&tree_bytes(&[
+            cell(0, 3),
+            hole(b"x", 0),
+            cell(1, 0),
+            hole(b"x", 0),
+        ]))
+        .unwrap();
+        let sub = decode_tree(&tree_bytes(&[cell(9, 0)])).unwrap();
+        let joined = graft(&host, b"x", &sub);
+        assert_eq!(joined.nodes.len(), 4);
+        let kids = &joined.nodes[joined.root].children;
+        let c9 = cell(9, 0);
+        let c9_payload = &c9[..c9.len() - 4]; // strip the child count
+        assert_eq!(joined.nodes[kids[0]].payload, c9_payload);
+        assert_eq!(joined.nodes[kids[2]].payload, joined.nodes[kids[0]].payload);
+        // An unrelated label is untouched.
+        let untouched = graft(&host, b"y", &sub);
+        assert_eq!(untouched.nodes.len(), 4);
+        assert!(
+            hole_label(&untouched.nodes[untouched.nodes[untouched.root].children[0]].payload)
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn verify_accepts_a_true_certificate_and_rejects_tampering() {
+        // Original tree a(b c); split b out: context a(@a c),
+        // matched b, no cuts.
+        let full = decode_tree(&tree_bytes(&[cell(0, 2), cell(1, 0), cell(2, 0)])).unwrap();
+        let root = merkle_root(&tree_leaves(&full));
+        let hexs = |b: &[u8]| -> String { b.iter().map(|x| format!("{x:02x}")).collect() };
+        let context = tree_bytes(&[cell(0, 2), hole(b"a", 0), cell(2, 0)]);
+        let matched = tree_bytes(&[cell(1, 0)]);
+        let text = format!(
+            "AQUA-SPLIT-CERT v1\nextent: tree:t\nextent-root: {}\nalpha: {}\ncuts: -\n\
+             piece context {} {}\npiece matched {} {}\nend\n",
+            hexs(&root),
+            hexs(b"a"),
+            hexs(&sha256(&context)),
+            hexs(&context),
+            hexs(&sha256(&matched)),
+            hexs(&matched),
+        );
+        let rep = verify(&text).unwrap();
+        assert!(rep.ok(), "true certificate rejected: {:?}", rep.failures);
+        assert_eq!(rep.nodes, 3);
+
+        // Tamper 1: flip a piece hash → hash mismatch.
+        let bad_hash = text.replacen(&hexs(&sha256(&context)), &hexs(&sha256(b"x")), 1);
+        assert!(!verify(&bad_hash).unwrap().ok());
+
+        // Tamper 2: claim a different extent root → reassembly mismatch.
+        let bad_root = text.replacen(&hexs(&root), &hexs(&sha256(b"lie")), 1);
+        let rep = verify(&bad_root).unwrap();
+        assert!(!rep.ok());
+        assert!(
+            rep.failures[0].contains("extent root"),
+            "{:?}",
+            rep.failures
+        );
+
+        // Tamper 3: swap the matched piece for a different subtree with
+        // a correct hash — bytes and hashes cohere, reassembly does not.
+        let other = tree_bytes(&[cell(7, 0)]);
+        let forged = text.replacen(
+            &format!("{} {}", hexs(&sha256(&matched)), hexs(&matched)),
+            &format!("{} {}", hexs(&sha256(&other)), hexs(&other)),
+            1,
+        );
+        let rep = verify(&forged).unwrap();
+        assert!(!rep.ok());
+        assert!(
+            rep.failures[0].contains("extent root"),
+            "{:?}",
+            rep.failures
+        );
+
+        // Garbage is a parse error, not a verdict.
+        assert!(verify("not a cert").is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! `aqua-check` — verify AQUA split reassembly certificates.
+//!
+//! Usage: `aqua-check CERT-FILE...`
+//!
+//! Each file is parsed and verified independently of the engine that
+//! emitted it. Exit status: 0 if every certificate holds, 1 if any
+//! fails verification or cannot be read/parsed.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: aqua-check CERT-FILE...");
+        return ExitCode::from(2);
+    }
+    let mut all_ok = true;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("{path}: UNREADABLE ({e})");
+                all_ok = false;
+                continue;
+            }
+        };
+        match aqua_check::verify(&text) {
+            Ok(rep) if rep.ok() => {
+                println!(
+                    "{path}: OK ({} pieces reassemble {} nodes of {})",
+                    rep.pieces, rep.nodes, rep.extent
+                );
+            }
+            Ok(rep) => {
+                println!("{path}: FAIL ({})", rep.extent);
+                for f in &rep.failures {
+                    println!("  - {f}");
+                }
+                all_ok = false;
+            }
+            Err(e) => {
+                println!("{path}: UNPARSEABLE ({e})");
+                all_ok = false;
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -62,6 +62,22 @@ impl SplitPieces {
         }
         acc
     }
+
+    /// Structural sanity of the decomposition: exactly one descendant
+    /// per cut label, exactly one `alpha` hole in the context, and
+    /// exactly one hole per cut label in the match piece. Certificate
+    /// emission gates on this — a malformed decomposition would
+    /// otherwise reassemble into garbage and be blamed on corruption.
+    pub fn well_formed(&self) -> bool {
+        let count =
+            |t: &Tree, label: &CcLabel| t.hole_labels().iter().filter(|l| l.0 == label.0).count();
+        self.descendants.len() == self.cut_labels.len()
+            && count(&self.context, &self.alpha) == 1
+            && self
+                .cut_labels
+                .iter()
+                .all(|label| count(&self.matched, label) == 1)
+    }
 }
 
 /// A bounded `split` run: the pieces cut, plus the truncation report
@@ -331,6 +347,22 @@ mod tests {
         for p in split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap() {
             assert!(p.reassemble().structural_eq(&t), "roundtrip failed");
         }
+    }
+
+    #[test]
+    fn pieces_are_well_formed_and_damage_is_detected() {
+        let mut fx = Fx::new();
+        let t = fx.tree("r(b(x(p) u(y) z) s)");
+        let cp = compile(&fx, "b(!?* u !?*)", &fx.env());
+        let pieces = split_pieces(&fx.store, &t, &cp, &MatchConfig::default()).unwrap();
+        let p = &pieces[0];
+        assert!(p.well_formed());
+        let mut missing_desc = p.clone();
+        missing_desc.descendants.pop();
+        assert!(!missing_desc.well_formed());
+        let mut wrong_alpha = p.clone();
+        wrong_alpha.alpha = CcLabel::new("nope".to_string());
+        assert!(!wrong_alpha.well_formed());
     }
 
     #[test]

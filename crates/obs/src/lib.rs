@@ -35,6 +35,10 @@
 //! | `recovery_frames_replayed` | WAL frames re-applied during recovery      |
 //! | `recovery_bytes_truncated` | torn-tail bytes discarded during recovery  |
 //! | `recovery_indices_rebuilt` | indices rebuilt from specs after replay    |
+//! | `integrity_roots_verified` | WAL frame roots verified during recovery   |
+//! | `certs_emitted`          | split reassembly certificates emitted        |
+//! | `certs_checked`          | certificates revalidated (inline or offline) |
+//! | `certs_failed`           | certificate checks that found a mismatch     |
 //!
 //! Snapshots [`merge`](MetricsSnapshot::merge) field-wise (sums and
 //! bucket-wise histogram sums), which is commutative and associative:
@@ -245,6 +249,14 @@ pub struct Registry {
     pub recovery_bytes_truncated: Counter,
     /// Indices rebuilt from registered specs after replay.
     pub recovery_indices_rebuilt: Counter,
+    /// WAL-frame-bound merkle roots verified during recovery.
+    pub integrity_roots_verified: Counter,
+    /// Split reassembly certificates emitted by guarded execution.
+    pub certs_emitted: Counter,
+    /// Certificates revalidated (inline by the service or offline).
+    pub certs_checked: Counter,
+    /// Certificate checks that found a mismatch.
+    pub certs_failed: Counter,
     spans: Mutex<Vec<SpanEvent>>,
     spans_dropped: Counter,
 }
@@ -336,6 +348,10 @@ impl Metrics {
             recovery_frames_replayed: r.recovery_frames_replayed.get(),
             recovery_bytes_truncated: r.recovery_bytes_truncated.get(),
             recovery_indices_rebuilt: r.recovery_indices_rebuilt.get(),
+            integrity_roots_verified: r.integrity_roots_verified.get(),
+            certs_emitted: r.certs_emitted.get(),
+            certs_checked: r.certs_checked.get(),
+            certs_failed: r.certs_failed.get(),
             spans,
             spans_dropped: r.spans_dropped.get(),
         }
@@ -412,6 +428,14 @@ pub struct MetricsSnapshot {
     pub recovery_bytes_truncated: u64,
     /// See [`Registry::recovery_indices_rebuilt`].
     pub recovery_indices_rebuilt: u64,
+    /// See [`Registry::integrity_roots_verified`].
+    pub integrity_roots_verified: u64,
+    /// See [`Registry::certs_emitted`].
+    pub certs_emitted: u64,
+    /// See [`Registry::certs_checked`].
+    pub certs_checked: u64,
+    /// See [`Registry::certs_failed`].
+    pub certs_failed: u64,
     /// Completed spans, canonically sorted.
     pub spans: Vec<SpanEvent>,
     /// Spans discarded past [`SPAN_CAP`].
@@ -456,6 +480,10 @@ impl MetricsSnapshot {
         self.recovery_frames_replayed += other.recovery_frames_replayed;
         self.recovery_bytes_truncated += other.recovery_bytes_truncated;
         self.recovery_indices_rebuilt += other.recovery_indices_rebuilt;
+        self.integrity_roots_verified += other.integrity_roots_verified;
+        self.certs_emitted += other.certs_emitted;
+        self.certs_checked += other.certs_checked;
+        self.certs_failed += other.certs_failed;
         self.spans.extend(other.spans.iter().cloned());
         self.spans.sort();
         self.spans_dropped += other.spans_dropped;
@@ -494,6 +522,10 @@ impl MetricsSnapshot {
             && self.recovery_frames_replayed == 0
             && self.recovery_bytes_truncated == 0
             && self.recovery_indices_rebuilt == 0
+            && self.integrity_roots_verified == 0
+            && self.certs_emitted == 0
+            && self.certs_checked == 0
+            && self.certs_failed == 0
             && self.spans.is_empty()
             && self.spans_dropped == 0
     }
@@ -551,6 +583,11 @@ impl MetricsSnapshot {
             self.recovery_bytes_truncated,
             self.recovery_indices_rebuilt
         );
+        let _ = write!(
+            out,
+            ",\"integrity_roots_verified\":{},\"certs_emitted\":{},\"certs_checked\":{},\"certs_failed\":{}",
+            self.integrity_roots_verified, self.certs_emitted, self.certs_checked, self.certs_failed
+        );
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -578,7 +615,7 @@ impl fmt::Display for MetricsSnapshot {
             self.engine_results,
             self.engine_elapsed_nanos as f64 / 1e6
         )?;
-        let rows: [(&str, u64); 26] = [
+        let rows: [(&str, u64); 30] = [
             ("pike-vm steps", self.vm_steps),
             ("parse-dag visits", self.vm_path_visits),
             ("tree visits", self.match_visits),
@@ -605,6 +642,10 @@ impl fmt::Display for MetricsSnapshot {
             ("recovery frames replayed", self.recovery_frames_replayed),
             ("recovery bytes truncated", self.recovery_bytes_truncated),
             ("recovery indices rebuilt", self.recovery_indices_rebuilt),
+            ("integrity roots verified", self.integrity_roots_verified),
+            ("certs emitted", self.certs_emitted),
+            ("certs checked", self.certs_checked),
+            ("certs failed", self.certs_failed),
         ];
         for (name, v) in rows {
             if v > 0 {

@@ -45,6 +45,10 @@ pub struct Explain {
     /// retries with their cause, circuit-breaker trips, degraded
     /// dispatches. Empty for bare library calls.
     pub service_events: Vec<String>,
+    /// Integrity decisions around this execution: certificates emitted
+    /// and checked, verification verdicts. Empty unless the caller asked
+    /// for verified execution.
+    pub integrity_events: Vec<String>,
 }
 
 impl Explain {
@@ -113,6 +117,12 @@ impl Explain {
     pub fn record_service_event(&mut self, event: impl Into<String>) {
         self.service_events.push(event.into());
     }
+
+    /// Record an integrity decision (certificate emitted/checked, root
+    /// verified). Public: the service crate sits outside the optimizer.
+    pub fn record_integrity_event(&mut self, event: impl Into<String>) {
+        self.integrity_events.push(event.into());
+    }
 }
 
 impl fmt::Display for Explain {
@@ -158,6 +168,10 @@ impl fmt::Display for Explain {
         for ev in &self.service_events {
             sep(f)?;
             write!(f, "service: {ev}")?;
+        }
+        for ev in &self.integrity_events {
+            sep(f)?;
+            write!(f, "integrity: {ev}")?;
         }
         if let Some(m) = &self.metrics {
             sep(f)?;

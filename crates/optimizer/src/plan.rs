@@ -223,6 +223,24 @@ impl TreePlan {
         guard: Option<&ExecGuard>,
         explain: &mut Explain,
     ) -> Result<Vec<aqua_algebra::tree::split::SplitPieces>> {
+        Ok(self
+            .execute_split_outcome_guarded(catalog, tree, cfg, guard, explain)?
+            .pieces)
+    }
+
+    /// [`execute_split_guarded`](Self::execute_split_guarded) returning
+    /// the full [`SplitOutcome`](aqua_algebra::tree::split::SplitOutcome)
+    /// — pieces *plus* the truncation report, so callers that must know
+    /// whether enumeration was clipped (certificate emission, Explain)
+    /// see it instead of losing it to `.pieces`.
+    pub fn execute_split_outcome_guarded(
+        &self,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        cfg: &MatchConfig,
+        guard: Option<&ExecGuard>,
+        explain: &mut Explain,
+    ) -> Result<aqua_algebra::tree::split::SplitOutcome> {
         let out = self.execute_split_core(catalog, tree, cfg, guard, explain);
         if let Some(g) = guard {
             explain.observe(g.obs_snapshot());
@@ -230,8 +248,8 @@ impl TreePlan {
         out
     }
 
-    /// [`execute_split_guarded`](Self::execute_split_guarded) without
-    /// the metrics stamp (see [`execute_core`](Self::execute_core)).
+    /// [`execute_split_outcome_guarded`](Self::execute_split_outcome_guarded)
+    /// without the metrics stamp (see [`execute_core`](Self::execute_core)).
     pub(crate) fn execute_split_core(
         &self,
         catalog: &Catalog<'_>,
@@ -239,12 +257,16 @@ impl TreePlan {
         cfg: &MatchConfig,
         guard: Option<&ExecGuard>,
         explain: &mut Explain,
-    ) -> Result<Vec<aqua_algebra::tree::split::SplitPieces>> {
+    ) -> Result<aqua_algebra::tree::split::SplitOutcome> {
         use aqua_algebra::tree::split;
         match self {
-            TreePlan::FullPatternScan { pattern, .. } => {
-                Ok(split::split_pieces_guarded(catalog.store, tree, pattern, cfg, guard)?.pieces)
-            }
+            TreePlan::FullPatternScan { pattern, .. } => Ok(split::split_pieces_guarded(
+                catalog.store,
+                tree,
+                pattern,
+                cfg,
+                guard,
+            )?),
             TreePlan::IndexedPatternScan {
                 attr,
                 op,
@@ -263,14 +285,16 @@ impl TreePlan {
                         cfg,
                         &candidates,
                         guard,
-                    )?
-                    .pieces),
+                    )?),
                     Err(e) => {
                         explain.fallback(format!("index probe failed ({e}); full pattern scan"));
-                        Ok(
-                            split::split_pieces_guarded(catalog.store, tree, pattern, cfg, guard)?
-                                .pieces,
-                        )
+                        Ok(split::split_pieces_guarded(
+                            catalog.store,
+                            tree,
+                            pattern,
+                            cfg,
+                            guard,
+                        )?)
                     }
                 }
             }

@@ -34,6 +34,17 @@ pub enum ServiceError {
         /// Rendered terminal error.
         message: String,
     },
+    /// Inline verification refused the answer: a split reassembly
+    /// certificate failed the independent checker (or could not be
+    /// emitted for a malformed decomposition). Never retried — the
+    /// served bytes cannot be trusted — and always fed to the breaker
+    /// as a backend fault.
+    Integrity {
+        /// The extent whose certificate failed.
+        extent: String,
+        /// What the checker reported.
+        detail: String,
+    },
 }
 
 impl ServiceError {
@@ -43,6 +54,7 @@ impl ServiceError {
         match self {
             ServiceError::Rejected { .. } => ErrorClass::Resource,
             ServiceError::Failed { class, .. } => *class,
+            ServiceError::Integrity { .. } => ErrorClass::Permanent,
         }
     }
 }
@@ -67,6 +79,9 @@ impl fmt::Display for ServiceError {
                 "query failed ({class}) after {attempts} attempt{}, {steps} steps: {message}",
                 if *attempts == 1 { "" } else { "s" }
             ),
+            ServiceError::Integrity { extent, detail } => {
+                write!(f, "integrity violation in {extent}: {detail}")
+            }
         }
     }
 }

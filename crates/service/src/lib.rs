@@ -25,6 +25,12 @@
 //!   windows trip open and serve degraded (partial, truncation-flagged)
 //!   responses until a half-open probe on a submission-count clock
 //!   proves the fault cleared.
+//! * **Inline answer verification** — a per-request (or per-tenant)
+//!   `verify` flag makes [`QueryService::tree_split`] emit a reassembly
+//!   certificate per decomposition and revalidate it with the
+//!   independent `aqua-check` crate before releasing the response; any
+//!   mismatch is a typed [`ServiceError::Integrity`] that is never
+//!   retried and always counts against the backend's breaker.
 //!
 //! Everything is deterministic under test: no wall-clock in any decision
 //! except the deadline itself, no global RNG, and the chaos harness in
@@ -41,7 +47,7 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Dispatch, Transit
 pub use error::{classify, Result, ServiceError};
 pub use retry::{Backoff, RetryPolicy};
 pub use service::{
-    PlanClass, QueryService, Request, Response, ResponseMeta, ServiceConfig, Truncation,
+    PlanClass, QueryService, Request, Response, ResponseMeta, ServiceConfig, SplitServe, Truncation,
 };
 
 /// Failpoint fired before each execution attempt dispatches — models a

@@ -16,7 +16,7 @@ use aqua_pattern::ast::Re;
 use aqua_pattern::list::{ListMatch, Sym};
 use aqua_pattern::tree_match::MatchConfig;
 use aqua_pattern::{PredExpr, TreePattern};
-use aqua_store::{DurableConfig, DurableStore, RecoveryReport};
+use aqua_store::{DurableConfig, DurableStore, RecoveryReport, Root, SplitCertificate};
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Dispatch, Transition};
@@ -113,6 +113,11 @@ pub struct Request {
     pub cancel: Option<CancelToken>,
     /// Payload weight against [`AdmissionConfig::max_queued_bytes`].
     pub cost_bytes: usize,
+    /// Run the independent certificate checker inline on answers that
+    /// support it ([`QueryService::tree_split`]). Also forced on when
+    /// the tenant is registered via
+    /// [`QueryService::set_tenant_verify`].
+    pub verify: bool,
 }
 
 impl Request {
@@ -139,6 +144,12 @@ impl Request {
     /// Set the queue-accounting weight.
     pub fn with_cost_bytes(mut self, bytes: usize) -> Request {
         self.cost_bytes = bytes;
+        self
+    }
+
+    /// Ask for inline certificate verification.
+    pub fn with_verify(mut self, verify: bool) -> Request {
+        self.verify = verify;
         self
     }
 }
@@ -186,10 +197,30 @@ pub struct Response<T> {
     pub meta: ResponseMeta,
 }
 
+/// A served `split` answer: the decompositions, plus — when the request
+/// (or its tenant) asked for verification — one reassembly certificate
+/// per decomposition, already revalidated inline by the independent
+/// `aqua-check` crate before this response was released.
+#[derive(Debug, Default)]
+pub struct SplitServe {
+    /// Piece decompositions, in document order of their match roots.
+    pub pieces: Vec<aqua_algebra::tree::split::SplitPieces>,
+    /// Rendered certificates (`AQUA-SPLIT-CERT v1` text), one per
+    /// decomposition; empty when verification was not requested.
+    pub certificates: Vec<String>,
+}
+
 struct AttemptFail {
     class: ErrorClass,
     message: String,
     steps: u64,
+    /// Count this failure against the breaker window even when its
+    /// class is not `Transient` — an integrity violation is permanent
+    /// for the caller but still indicts the backend.
+    breaker_fault: bool,
+    /// When set, the terminal error is [`ServiceError::Integrity`] for
+    /// this extent instead of a generic `Failed`.
+    integrity_extent: Option<String>,
 }
 
 impl AttemptFail {
@@ -198,6 +229,18 @@ impl AttemptFail {
             class: classify(&e),
             message: e.to_string(),
             steps,
+            breaker_fault: false,
+            integrity_extent: None,
+        }
+    }
+
+    fn integrity(extent: &str, detail: String, steps: u64) -> AttemptFail {
+        AttemptFail {
+            class: ErrorClass::Permanent,
+            message: detail,
+            steps,
+            breaker_fault: true,
+            integrity_extent: Some(extent.to_string()),
         }
     }
 }
@@ -207,6 +250,8 @@ fn probe(point: &str, steps: u64) -> std::result::Result<(), AttemptFail> {
         class: e.class(),
         message: e.to_string(),
         steps,
+        breaker_fault: false,
+        integrity_extent: None,
     })
 }
 
@@ -220,6 +265,9 @@ pub struct QueryService {
     metrics: Metrics,
     submissions: AtomicU64,
     recovery: Mutex<Option<RecoveryReport>>,
+    /// Tenants whose answers are always verified inline, regardless of
+    /// the per-request flag.
+    verify_tenants: Mutex<std::collections::BTreeSet<String>>,
 }
 
 impl Default for QueryService {
@@ -238,8 +286,25 @@ impl QueryService {
             metrics: Metrics::new(),
             submissions: AtomicU64::new(0),
             recovery: Mutex::new(None),
+            verify_tenants: Mutex::new(std::collections::BTreeSet::new()),
             cfg,
         }
+    }
+
+    /// Force inline verification on (or off) for every submission from
+    /// `tenant`, regardless of each request's own `verify` flag.
+    pub fn set_tenant_verify(&self, tenant: &str, verify: bool) {
+        let mut set = self.verify_tenants.lock().unwrap();
+        if verify {
+            set.insert(tenant.to_string());
+        } else {
+            set.remove(tenant);
+        }
+    }
+
+    /// Will this request's answers be verified inline?
+    pub fn verifies(&self, req: &Request) -> bool {
+        req.verify || self.verify_tenants.lock().unwrap().contains(&req.tenant)
     }
 
     /// Open (recovering if necessary) the durable store at `dir` as part
@@ -361,14 +426,24 @@ impl QueryService {
         let terminal = |fail: AttemptFail, attempts: usize, spent: u64, explain: &mut Explain| {
             // Only backend-indicting failures feed the breaker window;
             // budget exhaustion and cancellation are the caller's.
-            let t =
-                self.breakers[class.idx()].on_result(dispatch, fail.class == ErrorClass::Transient);
+            // Integrity violations indict the backend regardless of
+            // class — a store serving unverifiable bytes is faulty.
+            let t = self.breakers[class.idx()].on_result(
+                dispatch,
+                fail.class == ErrorClass::Transient || fail.breaker_fault,
+            );
             self.note_transition(t, class, explain);
-            ServiceError::Failed {
-                class: fail.class,
-                attempts,
-                steps: spent,
-                message: fail.message,
+            match fail.integrity_extent {
+                Some(extent) => ServiceError::Integrity {
+                    extent,
+                    detail: fail.message,
+                },
+                None => ServiceError::Failed {
+                    class: fail.class,
+                    attempts,
+                    steps: spent,
+                    message: fail.message,
+                },
             }
         };
 
@@ -378,6 +453,8 @@ impl QueryService {
                     class: ErrorClass::Resource,
                     message: format!("deadline expired before attempt {attempt_no}"),
                     steps: 0,
+                    breaker_fault: false,
+                    integrity_extent: None,
                 };
                 return Err(terminal(fail, attempt_no - 1, spent, &mut explain));
             }
@@ -415,6 +492,8 @@ impl QueryService {
                                     fail.message
                                 ),
                                 steps: 0,
+                                breaker_fault: false,
+                                integrity_extent: None,
                             };
                             return Err(terminal(fail, attempt_no, spent, &mut explain));
                         }
@@ -465,6 +544,124 @@ impl QueryService {
                 probe(SERVICE_COMMIT_PROBE, steps)?;
                 Ok((
                     out.trees,
+                    Truncation {
+                        truncated: out.truncated,
+                        clipped_parses: out.clipped_parses,
+                        clipped_roots: out.clipped_roots,
+                        hit_max_matches: out.hit_max_matches,
+                    },
+                    steps,
+                ))
+            },
+        )
+    }
+
+    /// Serve `split(pattern)` over one tree, returning the full piece
+    /// decompositions. When the request (or its tenant, via
+    /// [`set_tenant_verify`](Self::set_tenant_verify)) asks for
+    /// verification, `extent` must name the committed extent and its
+    /// merkle root: each decomposition is checked for well-formedness,
+    /// a reassembly certificate is emitted against that root, and the
+    /// independent `aqua-check` crate revalidates it inline — any
+    /// mismatch becomes a typed [`ServiceError::Integrity`] (never
+    /// retried, always fed to the breaker as a backend fault) and the
+    /// answer is withheld.
+    pub fn tree_split(
+        &self,
+        req: &Request,
+        catalog: &Catalog<'_>,
+        tree: &Tree,
+        extent: Option<(&str, Root)>,
+        pattern: &TreePattern,
+        cfg: &MatchConfig,
+    ) -> Result<Response<SplitServe>> {
+        let (plan, explain) = Optimizer::new(catalog)
+            .plan_tree_sub_select(pattern, tree.len())
+            .map_err(plan_failed)?;
+        let degraded_cfg = MatchConfig {
+            max_matches: cfg.max_matches.min(self.cfg.degraded_cap),
+            ..*cfg
+        };
+        let verify = self.verifies(req);
+        self.run(
+            PlanClass::TreeSubSelect,
+            req,
+            explain,
+            |dispatch, budget, explain| {
+                let guard = self.guard(budget, &req.cancel);
+                probe(SERVICE_DISPATCH_PROBE, 0)?;
+                let run_cfg = if dispatch == Dispatch::Degraded {
+                    &degraded_cfg
+                } else {
+                    cfg
+                };
+                let out = plan
+                    .execute_split_outcome_guarded(catalog, tree, run_cfg, Some(&guard), explain)
+                    .map_err(|e| AttemptFail::from_opt(e, guard.snapshot().steps))?;
+                let steps = guard.snapshot().steps;
+                probe(SERVICE_COMMIT_PROBE, steps)?;
+                let mut serve = SplitServe {
+                    pieces: out.pieces,
+                    certificates: Vec::new(),
+                };
+                if verify {
+                    let (name, root) = extent.ok_or_else(|| {
+                        AttemptFail::integrity(
+                            "tree:(unbound)",
+                            "verification requested but no committed extent root available"
+                                .to_string(),
+                            steps,
+                        )
+                    })?;
+                    for (i, p) in serve.pieces.iter().enumerate() {
+                        if !p.well_formed() {
+                            self.metrics.certs_failed.inc();
+                            return Err(AttemptFail::integrity(
+                                name,
+                                format!("split decomposition {i} is malformed (hole arity)"),
+                                steps,
+                            ));
+                        }
+                        let cert = SplitCertificate::emit(catalog.store, name, root, p);
+                        self.metrics.certs_emitted.inc();
+                        let text = cert.to_text();
+                        self.metrics.certs_checked.inc();
+                        match aqua_check::verify(&text) {
+                            Ok(rep) if rep.ok() => {
+                                explain.record_integrity_event(format!(
+                                    "certificate {i} verified against {name} ({} pieces, {} nodes)",
+                                    rep.pieces, rep.nodes
+                                ));
+                                serve.certificates.push(text);
+                            }
+                            Ok(rep) => {
+                                self.metrics.certs_failed.inc();
+                                explain.record_integrity_event(format!(
+                                    "certificate {i} REJECTED: {}",
+                                    rep.failures.join("; ")
+                                ));
+                                return Err(AttemptFail::integrity(
+                                    name,
+                                    format!(
+                                        "certificate {i} rejected by checker: {}",
+                                        rep.failures.join("; ")
+                                    ),
+                                    steps,
+                                ));
+                            }
+                            Err(e) => {
+                                self.metrics.certs_failed.inc();
+                                return Err(AttemptFail::integrity(
+                                    name,
+                                    format!("certificate {i} unparseable by checker: {e}"),
+                                    steps,
+                                ));
+                            }
+                        }
+                    }
+                }
+                Ok((
+                    serve,
                     Truncation {
                         truncated: out.truncated,
                         clipped_parses: out.clipped_parses,

@@ -73,6 +73,12 @@ impl Enc {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Raw bytes, no length prefix — the caller's format fixes the width
+    /// (e.g. 32-byte merkle roots in snapshot manifests).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
     pub fn value(&mut self, v: &Value) {
         match v {
             Value::Null => self.u8(0),
@@ -233,6 +239,11 @@ impl<'a> Dec<'a> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid utf-8 in string"))
+    }
+
+    /// Raw bytes of a fixed, caller-known width (see [`Enc::bytes`]).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
     }
 
     pub fn value(&mut self) -> Result<Value> {

@@ -82,6 +82,22 @@ pub enum StoreError {
         /// Rendered cause.
         msg: String,
     },
+    /// Recomputed merkle roots disagree with the roots the WAL or a
+    /// snapshot manifest committed to: the recovered bytes checksum
+    /// clean but the *content* is not what was committed. Recovery
+    /// refuses to serve it. `subtree` localizes the divergence (a
+    /// preorder interval for trees, a position for lists, a frame LSN
+    /// when only the log-bound store root disagrees).
+    IntegrityMismatch {
+        /// The extent (`"tree:doc"`, `"list:song"`) or `"store"`.
+        extent: String,
+        /// Where inside the extent the divergence was localized.
+        subtree: String,
+        /// The committed root, hex.
+        expected: String,
+        /// The recomputed root, hex.
+        actual: String,
+    },
     /// Propagated object-layer error (typed insert/update failures).
     Object(ObjectError),
     /// Propagated algebra-layer error (tree/list mutation failures).
@@ -91,8 +107,9 @@ pub enum StoreError {
 impl StoreError {
     /// Retry taxonomy: injected faults and I/O failures are
     /// [`ErrorClass::Transient`] (safe to retry), a stale index is
-    /// `Transient` too (a rebuild clears it), corruption and replay
-    /// failures are [`ErrorClass::Permanent`].
+    /// `Transient` too (a rebuild clears it), corruption, replay, and
+    /// integrity failures are [`ErrorClass::Permanent`] — retrying
+    /// cannot make divergent bytes match their committed root.
     pub fn class(&self) -> ErrorClass {
         match self {
             StoreError::Injected { .. } | StoreError::Io { .. } | StoreError::StaleIndex { .. } => {
@@ -140,6 +157,16 @@ impl fmt::Display for StoreError {
             StoreError::Replay { lsn, msg } => {
                 write!(f, "WAL replay failed at lsn {lsn}: {msg}")
             }
+            StoreError::IntegrityMismatch {
+                extent,
+                subtree,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "integrity mismatch in {extent} at {subtree}: committed root {expected}, \
+                 recomputed {actual}"
+            ),
             StoreError::Object(e) => write!(f, "{e}"),
             StoreError::Algebra(e) => write!(f, "{e}"),
         }
@@ -198,6 +225,16 @@ mod tests {
         };
         assert_eq!(e.class(), ErrorClass::Permanent);
         assert!(e.to_string().contains("byte 128"));
+
+        let e = StoreError::IntegrityMismatch {
+            extent: "tree:doc".into(),
+            subtree: "preorder 3 interval [4,9)".into(),
+            expected: "aa".repeat(32),
+            actual: "bb".repeat(32),
+        };
+        assert_eq!(e.class(), ErrorClass::Permanent);
+        let s = e.to_string();
+        assert!(s.contains("tree:doc") && s.contains("preorder 3"), "{s}");
     }
 
     #[test]

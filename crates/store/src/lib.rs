@@ -27,8 +27,10 @@
 //! [`StoreError::StaleIndex`] instead of stale candidates.
 
 pub mod attr_index;
+pub mod cert;
 pub mod codec;
 pub mod error;
+pub mod merkle;
 pub mod positional;
 pub mod recovery;
 pub mod snapshot;
@@ -37,12 +39,15 @@ pub mod structural;
 pub mod wal;
 
 pub use attr_index::{AttrIndex, TreeNodeIndex, ATTR_INDEX_PROBE, TREE_INDEX_PROBE};
+pub use cert::{SplitCertificate, CERT_TAMPER_PROBE};
 pub use codec::{crc32, IndexSpec, WalRecord};
 pub use error::{Result, StoreError};
+pub use merkle::{list_root, store_root, tree_root, MerkleTree, Root};
 pub use positional::{ListPosIndex, LIST_INDEX_PROBE};
 pub use recovery::{DurableConfig, DurableStore, RebuiltIndexes, RecoveryReport, RECOVER_PROBE};
 pub use snapshot::{
-    list_snapshots, read_snapshot, write_snapshot, SnapshotState, SNAPSHOT_WRITE_PROBE,
+    list_snapshots, read_snapshot, write_snapshot, SnapshotManifest, SnapshotState,
+    INTEGRITY_CORRUPT_PROBE, SNAPSHOT_WRITE_PROBE,
 };
 pub use stats::ColumnStats;
 pub use structural::{StructuralIndex, STRUCTURAL_PROBE};

@@ -38,8 +38,12 @@ use aqua_object::{AttrId, ClassDef, ClassId, ObjectError, ObjectStore, Oid, Valu
 use crate::attr_index::{AttrIndex, TreeNodeIndex};
 use crate::codec::{IndexSpec, WalRecord};
 use crate::error::{Result, StoreError};
+use crate::merkle::{self, Root};
 use crate::positional::ListPosIndex;
-use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot, SnapshotState};
+use crate::snapshot::{
+    list_snapshots, read_snapshot, verify_manifest, write_snapshot, SnapshotState,
+    INTEGRITY_CORRUPT_PROBE, KIND_LIST, KIND_TREE,
+};
 use crate::structural::StructuralIndex;
 use crate::wal::{list_segments, scan_segment, Wal, WalConfig, FRAME_HEADER};
 
@@ -56,6 +60,12 @@ pub struct DurableConfig {
     pub checkpoint_every: u64,
     /// Prune snapshots and WAL segments a new checkpoint covers.
     pub prune: bool,
+    /// Authenticated extents: bind each WAL frame to the post-apply
+    /// store root and verify every root (snapshot manifest + frame
+    /// claims + a post-replay recompute) on open. Costs O(extent) per
+    /// mutation; turn off only for throughput benchmarks that measure
+    /// the raw WAL path.
+    pub authenticate: bool,
 }
 
 impl Default for DurableConfig {
@@ -64,6 +74,7 @@ impl Default for DurableConfig {
             segment_bytes: 64 * 1024,
             checkpoint_every: 0,
             prune: true,
+            authenticate: true,
         }
     }
 }
@@ -88,6 +99,14 @@ pub struct RecoveryReport {
     pub indices_rebuilt: u32,
     /// The LSN the next mutation will be assigned.
     pub next_lsn: u64,
+    /// Root-bound WAL frames whose claimed store root was verified
+    /// (0 when `authenticate` is off or the log carried no claims).
+    pub roots_verified: u64,
+    /// Per-extent verification verdicts: `(extent label, root hex)` for
+    /// every extent whose recomputed root matched what was committed.
+    /// Empty when `authenticate` is off. A mismatch never appears here —
+    /// it fails `open` with [`StoreError::IntegrityMismatch`] instead.
+    pub extent_roots: Vec<(String, String)>,
 }
 
 impl RecoveryReport {
@@ -102,14 +121,24 @@ impl RecoveryReport {
         m.recovery_frames_replayed.add(self.frames_replayed);
         m.recovery_bytes_truncated.add(self.bytes_truncated);
         m.recovery_indices_rebuilt.add(self.indices_rebuilt as u64);
+        m.integrity_roots_verified.add(self.roots_verified);
     }
 
     /// Single-line JSON for CI artifacts.
     pub fn to_json(&self) -> String {
+        let mut roots = String::from("{");
+        for (i, (label, hex)) in self.extent_roots.iter().enumerate() {
+            if i > 0 {
+                roots.push(',');
+            }
+            roots.push_str(&format!("\"{label}\":\"{hex}\""));
+        }
+        roots.push('}');
         format!(
             "{{\"snapshot_lsn\":{},\"snapshots_skipped\":{},\"segments_scanned\":{},\
              \"frames_replayed\":{},\"bytes_truncated\":{},\"segments_dropped\":{},\
-             \"indices_rebuilt\":{},\"next_lsn\":{}}}",
+             \"indices_rebuilt\":{},\"next_lsn\":{},\"roots_verified\":{},\
+             \"extent_roots\":{}}}",
             match self.snapshot_lsn {
                 Some(l) => l.to_string(),
                 None => "null".to_string(),
@@ -121,6 +150,8 @@ impl RecoveryReport {
             self.segments_dropped,
             self.indices_rebuilt,
             self.next_lsn,
+            self.roots_verified,
+            roots,
         )
     }
 }
@@ -138,6 +169,14 @@ impl fmt::Display for RecoveryReport {
             self.frames_replayed,
             self.indices_rebuilt,
         )?;
+        if !self.extent_roots.is_empty() || self.roots_verified > 0 {
+            write!(
+                f,
+                ", {} frame roots + {} extents verified",
+                self.roots_verified,
+                self.extent_roots.len()
+            )?;
+        }
         if self.clean() {
             write!(f, ", clean)")
         } else {
@@ -201,8 +240,12 @@ impl RebuiltIndexes {
                             kind: "tree",
                             name: tree.clone(),
                         })?;
-                    ix.structural
-                        .push((tree.clone(), StructuralIndex::build(t).with_epoch(epoch)));
+                    ix.structural.push((
+                        tree.clone(),
+                        StructuralIndex::build(t)
+                            .with_epoch(epoch)
+                            .with_root(merkle::tree_root(&state.store, t)),
+                    ));
                 }
             }
         }
@@ -476,6 +519,152 @@ fn check_spec(state: &SnapshotState, spec: &IndexSpec) -> Result<()> {
     }
 }
 
+/// Per-extent root cache keyed by `(kind, name)` — `BTreeMap` order is
+/// exactly the `(kind, name)` order [`merkle::store_root`] requires.
+type RootCache = BTreeMap<(u8, String), Root>;
+
+/// Fold a root cache into the store root.
+fn fold_store_root(roots: &RootCache) -> Root {
+    merkle::store_root(roots.iter().map(|((k, n), r)| (*k, n.as_str(), *r)))
+}
+
+/// The extent a record mutates, in `IntegrityMismatch` spelling
+/// (`"store"` for records that touch no single extent).
+fn record_extent_label(rec: &WalRecord) -> String {
+    match rec {
+        WalRecord::TreeCreate { name, .. }
+        | WalRecord::TreeInsertChild { name, .. }
+        | WalRecord::TreeRemoveSubtree { name, .. }
+        | WalRecord::TreeSetOid { name, .. } => format!("tree:{name}"),
+        WalRecord::ListCreate { name }
+        | WalRecord::ListPush { name, .. }
+        | WalRecord::ListPushHole { name, .. }
+        | WalRecord::ListRemove { name, .. } => format!("list:{name}"),
+        _ => "store".to_string(),
+    }
+}
+
+/// Advance `roots` to what applying `rec` to `state` will make them —
+/// *without* mutating `state`. This is what lets the write path bind the
+/// post-apply store root into a frame while preserving the
+/// validate → log → apply ordering: tree mutations are functional,
+/// lists are cloned, attribute updates hash through an
+/// [`merkle::AttrOverride`], and an `Insert` rehashes through a store
+/// clone (a freshly inserted OID may resolve a dangling reference some
+/// extent already holds). Replay uses the *same* function, so writer and
+/// recoverer compute identical roots from identical history.
+fn advance_roots(state: &SnapshotState, roots: &RootCache, rec: &WalRecord) -> Result<RootCache> {
+    let mut out = roots.clone();
+    let rehash_all = |out: &mut RootCache, store: &ObjectStore, ov: merkle::AttrOverride<'_>| {
+        for (name, t) in &state.trees {
+            out.insert(
+                (KIND_TREE, name.clone()),
+                merkle::merkle_root(&merkle::tree_leaves(store, t, ov)),
+            );
+        }
+        for (name, l) in &state.lists {
+            out.insert(
+                (KIND_LIST, name.clone()),
+                merkle::merkle_root(&merkle::list_leaves(store, l, ov)),
+            );
+        }
+    };
+    match rec {
+        WalRecord::DefineClass { .. } | WalRecord::RegisterIndex { .. } => {}
+        WalRecord::Insert { class, row } => {
+            // The new OID may already appear (dangling) in an extent.
+            let mut store = state.store.clone();
+            store.insert(*class, row.clone())?;
+            rehash_all(&mut out, &store, None);
+        }
+        WalRecord::Update { oid, attr, value } => {
+            rehash_all(&mut out, &state.store, Some((*oid, attr.index(), value)));
+        }
+        WalRecord::TreeCreate { name, tree } => {
+            out.insert(
+                (KIND_TREE, name.clone()),
+                merkle::tree_root(&state.store, tree),
+            );
+        }
+        WalRecord::TreeInsertChild {
+            name,
+            parent,
+            index,
+            child,
+        } => {
+            let nt =
+                get_tree(state, name)?.insert_child(NodeId(*parent), *index as usize, child)?;
+            out.insert(
+                (KIND_TREE, name.clone()),
+                merkle::tree_root(&state.store, &nt),
+            );
+        }
+        WalRecord::TreeRemoveSubtree { name, at } => {
+            let nt = get_tree(state, name)?.remove_subtree(NodeId(*at))?;
+            out.insert(
+                (KIND_TREE, name.clone()),
+                merkle::tree_root(&state.store, &nt),
+            );
+        }
+        WalRecord::TreeSetOid { name, at, oid } => {
+            let nt = get_tree(state, name)?.set_oid(NodeId(*at), *oid)?;
+            out.insert(
+                (KIND_TREE, name.clone()),
+                merkle::tree_root(&state.store, &nt),
+            );
+        }
+        WalRecord::ListCreate { name } => {
+            out.insert((KIND_LIST, name.clone()), merkle::empty_root());
+        }
+        WalRecord::ListPush { name, oid } => {
+            let mut l = state
+                .lists
+                .get(name)
+                .ok_or_else(|| StoreError::NoSuchExtent {
+                    kind: "list",
+                    name: name.clone(),
+                })?
+                .clone();
+            l.push(*oid);
+            out.insert(
+                (KIND_LIST, name.clone()),
+                merkle::list_root(&state.store, &l),
+            );
+        }
+        WalRecord::ListPushHole { name, label } => {
+            let mut l = state
+                .lists
+                .get(name)
+                .ok_or_else(|| StoreError::NoSuchExtent {
+                    kind: "list",
+                    name: name.clone(),
+                })?
+                .clone();
+            l.push_hole(label.as_str());
+            out.insert(
+                (KIND_LIST, name.clone()),
+                merkle::list_root(&state.store, &l),
+            );
+        }
+        WalRecord::ListRemove { name, index } => {
+            let mut l = state
+                .lists
+                .get(name)
+                .ok_or_else(|| StoreError::NoSuchExtent {
+                    kind: "list",
+                    name: name.clone(),
+                })?
+                .clone();
+            let _ = l.remove(*index as usize);
+            out.insert(
+                (KIND_LIST, name.clone()),
+                merkle::list_root(&state.store, &l),
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// A write-ahead-logged object store with named tree/list extents,
 /// checkpoints, and crash recovery. See the module docs for the
 /// ordering and recovery contracts.
@@ -488,6 +677,9 @@ pub struct DurableStore {
     ops_since_checkpoint: u64,
     indexes: RebuiltIndexes,
     metrics: Option<Metrics>,
+    /// Per-extent merkle roots, current with `state` (empty when
+    /// `cfg.authenticate` is off).
+    roots: RootCache,
 }
 
 impl DurableStore {
@@ -505,9 +697,22 @@ impl DurableStore {
 
         // Newest checksum-valid snapshot; corrupt ones are skipped.
         let mut state = SnapshotState::default();
+        let mut roots = RootCache::new();
         for (lsn, path) in list_snapshots(dir)?.iter().rev() {
             match read_snapshot(path) {
-                Ok(s) => {
+                Ok((s, manifest)) => {
+                    if cfg.authenticate {
+                        // Self-verification, part 1: the decoded state
+                        // must match the roots the checkpoint committed
+                        // to. A mismatch here is not skippable damage —
+                        // the bytes checksum clean, so serving anything
+                        // would be serving silently-wrong data.
+                        verify_manifest(&s, &manifest)?;
+                        roots = manifest
+                            .iter()
+                            .map(|e| ((e.kind, e.name.clone()), e.merkle.root))
+                            .collect();
+                    }
                     state = s;
                     report.snapshot_lsn = Some(*lsn);
                     break;
@@ -543,7 +748,7 @@ impl DurableStore {
         for (i, (_, path)) in relevant.iter().enumerate() {
             let scan = scan_segment(path)?;
             report.segments_scanned += 1;
-            for (lsn, rec) in &scan.frames {
+            for (lsn, rec, claimed) in &scan.frames {
                 if *lsn <= snap_lsn {
                     continue; // covered by the snapshot
                 }
@@ -552,6 +757,30 @@ impl DurableStore {
                         lsn: *lsn,
                         msg: format!("expected lsn {next}, log continues at {lsn}"),
                     });
+                }
+                if cfg.authenticate {
+                    // Self-verification, part 2: recompute the store
+                    // root this record commits and compare it with the
+                    // root the frame bound at write time. Any divergence
+                    // in the recovered history — a tampered record, a
+                    // tampered snapshot, a tampered claim — breaks the
+                    // equality.
+                    roots = advance_roots(&state, &roots, rec).map_err(|e| StoreError::Replay {
+                        lsn: *lsn,
+                        msg: format!("root recompute failed: {e}"),
+                    })?;
+                    if let Some(claimed) = claimed {
+                        let recomputed = fold_store_root(&roots);
+                        if recomputed != *claimed {
+                            return Err(StoreError::IntegrityMismatch {
+                                extent: record_extent_label(rec),
+                                subtree: format!("wal frame lsn {lsn}"),
+                                expected: claimed.to_hex(),
+                                actual: recomputed.to_hex(),
+                            });
+                        }
+                        report.roots_verified += 1;
+                    }
                 }
                 apply(&mut state, rec).map_err(|e| StoreError::Replay {
                     lsn: *lsn,
@@ -586,6 +815,48 @@ impl DurableStore {
 
         state.lsn = next - 1;
         report.next_lsn = next;
+        if cfg.authenticate {
+            // Self-verification, part 3: recompute every extent's root
+            // from the *final* recovered state and require it to equal
+            // the incrementally tracked value. This closes the chain:
+            // final state roots == the roots committed frame by frame.
+            for (name, t) in &state.trees {
+                let actual = merkle::tree_root(&state.store, t);
+                let key = (KIND_TREE, name.clone());
+                match roots.get(&key) {
+                    Some(r) if *r == actual => {}
+                    tracked => {
+                        return Err(StoreError::IntegrityMismatch {
+                            extent: format!("tree:{name}"),
+                            subtree: "post-replay recompute".to_string(),
+                            expected: tracked.map(Root::to_hex).unwrap_or_default(),
+                            actual: actual.to_hex(),
+                        })
+                    }
+                }
+                report
+                    .extent_roots
+                    .push((format!("tree:{name}"), actual.to_hex()));
+            }
+            for (name, l) in &state.lists {
+                let actual = merkle::list_root(&state.store, l);
+                let key = (KIND_LIST, name.clone());
+                match roots.get(&key) {
+                    Some(r) if *r == actual => {}
+                    tracked => {
+                        return Err(StoreError::IntegrityMismatch {
+                            extent: format!("list:{name}"),
+                            subtree: "post-replay recompute".to_string(),
+                            expected: tracked.map(Root::to_hex).unwrap_or_default(),
+                            actual: actual.to_hex(),
+                        })
+                    }
+                }
+                report
+                    .extent_roots
+                    .push((format!("list:{name}"), actual.to_hex()));
+            }
+        }
         let indexes = RebuiltIndexes::build(&state, state.lsn)?;
         report.indices_rebuilt = indexes.len() as u32;
         let wal = Wal::open(
@@ -604,6 +875,7 @@ impl DurableStore {
                 ops_since_checkpoint: 0,
                 indexes,
                 metrics: None,
+                roots,
             },
             report,
         ))
@@ -660,13 +932,52 @@ impl DurableStore {
         &self.dir
     }
 
+    /// Whether this store runs authenticated (root-bound frames).
+    pub fn authenticated(&self) -> bool {
+        self.cfg.authenticate
+    }
+
+    /// The current store root (fold of every extent root). Meaningful
+    /// only in authenticated mode; an unauthenticated store folds an
+    /// empty cache.
+    pub fn store_root(&self) -> Root {
+        fold_store_root(&self.roots)
+    }
+
+    /// The tracked merkle root of a named tree extent (authenticated
+    /// mode only).
+    pub fn tree_extent_root(&self, name: &str) -> Option<Root> {
+        self.roots.get(&(KIND_TREE, name.to_string())).copied()
+    }
+
+    /// The tracked merkle root of a named list extent (authenticated
+    /// mode only).
+    pub fn list_extent_root(&self, name: &str) -> Option<Root> {
+        self.roots.get(&(KIND_LIST, name.to_string())).copied()
+    }
+
     fn log_apply(&mut self, rec: WalRecord) -> Result<u64> {
         check(&self.state, &rec)?;
-        let lsn = self.wal.append(&rec)?;
+        // Authenticated mode: compute the post-apply store root *before*
+        // logging (predictively, without mutating state — see
+        // `advance_roots`) and bind it into the frame, so commit and
+        // integrity travel together.
+        let (new_roots, bound) = if self.cfg.authenticate {
+            let new_roots = advance_roots(&self.state, &self.roots, &rec)?;
+            let mut root = fold_store_root(&new_roots);
+            if failpoint::check(INTEGRITY_CORRUPT_PROBE).is_err() {
+                root.0[0] ^= 0xff;
+            }
+            (Some(new_roots), Some(root))
+        } else {
+            (None, None)
+        };
+        let lsn = self.wal.append_with_root(&rec, bound.as_ref())?;
         if let Some(m) = &self.metrics {
             m.wal_appends.inc();
+            let root_bytes = if bound.is_some() { 32 } else { 0 };
             m.wal_bytes
-                .add((FRAME_HEADER + 8 + rec.to_bytes().len()) as u64);
+                .add((FRAME_HEADER + 8 + rec.to_bytes().len() + root_bytes) as u64);
         }
         // Validated above: a failure here means check() and apply()
         // disagree, which is a bug worth a typed report, not a panic.
@@ -674,6 +985,9 @@ impl DurableStore {
             lsn,
             msg: format!("validated record failed to apply: {e}"),
         })?;
+        if let Some(new_roots) = new_roots {
+            self.roots = new_roots;
+        }
         self.state.lsn = lsn;
         self.ops_since_checkpoint += 1;
         if self.cfg.checkpoint_every > 0 && self.ops_since_checkpoint >= self.cfg.checkpoint_every {
@@ -1045,6 +1359,7 @@ mod tests {
             segment_bytes: 256, // force rotations
             checkpoint_every: 10,
             prune: true,
+            authenticate: true,
         };
         let (mut ds, _) = DurableStore::open(&dir, cfg.clone()).unwrap();
         let c = ds.define_class(note_class()).unwrap();
@@ -1193,6 +1508,176 @@ mod tests {
         // And the next checkpoint, unfaulted, succeeds.
         let mut ds = ds;
         ds.checkpoint().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A payload byte flipped *and* the CRC recomputed — the classic
+    /// attack a checksum cannot catch. The root bound into the frame
+    /// was computed from the true record, so replaying the tampered one
+    /// diverges and `open` refuses with a typed mismatch naming the
+    /// frame.
+    #[test]
+    fn tampered_frame_with_fixed_crc_fails_integrity() {
+        use crate::codec::crc32;
+        use crate::wal::FRAME_HEADER;
+
+        let dir = temp_dir("tamper");
+        let (mut ds, _) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        populate(&mut ds);
+        ds.sync().unwrap();
+        drop(ds);
+
+        // Walk the frames of the only segment; in the one whose record
+        // carries the pitch "G" (the first insert), flip that byte to
+        // "g" and restore the checksum.
+        let segs = list_segments(&dir).unwrap();
+        let (_, seg) = segs.last().unwrap();
+        let mut bytes = std::fs::read(seg).unwrap();
+        let mut pos = 0usize;
+        let mut tampered = false;
+        while pos + FRAME_HEADER <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let (start, end) = (pos + FRAME_HEADER, pos + FRAME_HEADER + len);
+            // Skip the 8-byte LSN; never touch the 32-byte root claim.
+            if let Some(i) = bytes[start + 8..end - 32].iter().position(|&b| b == b'G') {
+                bytes[start + 8 + i] = b'g';
+                let crc = crc32(&bytes[start..end]);
+                bytes[pos + 4..pos + 8].copy_from_slice(&crc.to_le_bytes());
+                tampered = true;
+                break;
+            }
+            pos = end;
+        }
+        assert!(tampered, "no frame carried the sentinel byte");
+        std::fs::write(seg, &bytes).unwrap();
+
+        match DurableStore::open(&dir, DurableConfig::default()) {
+            Err(StoreError::IntegrityMismatch { subtree, .. }) => {
+                assert!(subtree.starts_with("wal frame lsn"), "subtree: {subtree}");
+            }
+            other => panic!("expected IntegrityMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The `store.integrity.corrupt_root` failpoint writes a frame whose
+    /// bound root lies about the post-apply state; an authenticated
+    /// reopen must refuse it.
+    #[test]
+    fn corrupt_root_failpoint_is_caught_on_reopen() {
+        let dir = temp_dir("badroot");
+        let (mut ds, _) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        let (c, _) = populate(&mut ds);
+        failpoint::arm_times(INTEGRITY_CORRUPT_PROBE, "tampered root", 1);
+        ds.insert(c, vec![Value::str("Z")]).unwrap();
+        failpoint::disarm(INTEGRITY_CORRUPT_PROBE);
+        ds.sync().unwrap();
+        drop(ds);
+
+        match DurableStore::open(&dir, DurableConfig::default()) {
+            Err(StoreError::IntegrityMismatch { subtree, .. }) => {
+                assert!(subtree.starts_with("wal frame lsn"), "subtree: {subtree}");
+            }
+            other => panic!("expected IntegrityMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A log written with `authenticate: false` carries no root claims;
+    /// an authenticated reopen replays it clean (nothing to check
+    /// per-frame) and still recomputes + reports every extent root.
+    #[test]
+    fn unauthenticated_log_replays_clean_under_authenticated_open() {
+        let dir = temp_dir("unauth");
+        let plain = DurableConfig {
+            authenticate: false,
+            ..DurableConfig::default()
+        };
+        let (mut ds, _) = DurableStore::open(&dir, plain).unwrap();
+        populate(&mut ds);
+        ds.sync().unwrap();
+        drop(ds);
+
+        let (back, rep) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        assert!(rep.clean(), "{rep}");
+        assert_eq!(rep.roots_verified, 0, "no claims to verify");
+        assert_eq!(rep.extent_roots.len(), 2, "tree:t and list:song");
+        assert!(back.authenticated());
+        assert_eq!(
+            back.tree_extent_root("t"),
+            Some(merkle::tree_root(back.store(), back.tree("t").unwrap()))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: recovery across a segment-rotation point verifies the
+    /// root claim of every frame on both sides of the boundary.
+    #[test]
+    fn recovery_spans_a_rotation_point() {
+        let dir = temp_dir("rotspan");
+        let cfg = DurableConfig {
+            segment_bytes: 256,
+            ..DurableConfig::default()
+        };
+        let (mut ds, _) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        let c = ds.define_class(note_class()).unwrap();
+        for i in 0..20 {
+            ds.insert(c, vec![Value::str(format!("p{i}"))]).unwrap();
+        }
+        let epoch = ds.epoch();
+        ds.sync().unwrap();
+        drop(ds);
+
+        let (back, rep) = DurableStore::open(&dir, cfg).unwrap();
+        assert!(rep.clean(), "{rep}");
+        assert!(rep.segments_scanned >= 2, "must cross a rotation");
+        assert_eq!(rep.frames_replayed, epoch);
+        assert_eq!(
+            rep.roots_verified, epoch,
+            "every frame's claim checked, rotation or not"
+        );
+        assert_eq!(back.store().len(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: a bit flip in the *first* frame of a fresh segment
+    /// (torn at offset 0) discards that whole segment as a torn tail —
+    /// detected, truncated, and durable.
+    #[test]
+    fn bit_flip_in_first_frame_of_fresh_segment() {
+        use crate::wal::FRAME_HEADER;
+
+        let dir = temp_dir("flip0");
+        let cfg = DurableConfig {
+            segment_bytes: 256,
+            ..DurableConfig::default()
+        };
+        let (mut ds, _) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        let c = ds.define_class(note_class()).unwrap();
+        for i in 0..20 {
+            ds.insert(c, vec![Value::str(format!("p{i}"))]).unwrap();
+        }
+        ds.sync().unwrap();
+        drop(ds);
+
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 2, "need a fresh segment to damage");
+        let (first_lsn, tail) = segs.last().unwrap();
+        let mut bytes = std::fs::read(tail).unwrap();
+        bytes[FRAME_HEADER + 2] ^= 0x01; // payload of frame 0
+        std::fs::write(tail, &bytes).unwrap();
+
+        let (back, rep) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        assert!(!rep.clean());
+        assert!(rep.bytes_truncated > 0);
+        assert_eq!(
+            back.epoch(),
+            first_lsn - 1,
+            "everything before the damaged segment survives"
+        );
+        drop(back);
+        let (_, rep) = DurableStore::open(&dir, cfg).unwrap();
+        assert!(rep.clean(), "truncation is durable: {rep}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

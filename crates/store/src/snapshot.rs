@@ -17,6 +17,13 @@
 //! [`StoreError::Corrupt`] — recovery then falls back to an older
 //! snapshot or to a full-log replay.
 //!
+//! Since version 2 the payload ends with a **manifest** of per-extent
+//! merkle columns (root + leaf hashes, see [`crate::merkle`]). The CRC
+//! guards the *bytes*; the manifest guards the *content*: an
+//! authenticated open recomputes every extent's leaves from the decoded
+//! state and refuses to serve a snapshot whose rows diverge from what
+//! the checkpoint committed — localized to the first divergent row.
+//!
 //! ## Atomicity
 //!
 //! [`write_snapshot`] writes to `snap-{lsn}.tmp`, fsyncs, then renames
@@ -34,16 +41,136 @@ use aqua_object::{ClassId, ObjectStore};
 
 use crate::codec::{crc32, Dec, Enc, IndexSpec, WalRecord};
 use crate::error::{Result, StoreError};
+use crate::merkle::{self, MerkleTree, Root};
 
 /// Failpoint checked before a snapshot file is written; arm it to
 /// simulate a crash mid-checkpoint.
 pub const SNAPSHOT_WRITE_PROBE: &str = "store.snapshot.write";
 
+/// Failpoint that corrupts the merkle root recorded for the first
+/// extent in a snapshot manifest (and the store root bound into WAL
+/// frames — see `recovery`): the bytes still checksum clean, so only
+/// root verification can catch it. Arm it to prove the detection path
+/// fires.
+pub const INTEGRITY_CORRUPT_PROBE: &str = "store.integrity.corrupt_root";
+
 /// Leading magic of every snapshot file.
 pub const SNAP_MAGIC: &[u8; 8] = b"AQUASNAP";
 
-/// Current snapshot format version.
-pub const SNAP_VERSION: u32 = 1;
+/// Current snapshot format version (2 = trailing merkle manifest).
+pub const SNAP_VERSION: u32 = 2;
+
+/// Extent kind tag in manifests and the store-root fold: tree.
+pub const KIND_TREE: u8 = 0x01;
+/// Extent kind tag in manifests and the store-root fold: list.
+pub const KIND_LIST: u8 = 0x02;
+
+/// One extent's committed merkle column in a snapshot manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentRootEntry {
+    /// [`KIND_TREE`] or [`KIND_LIST`].
+    pub kind: u8,
+    /// The extent's name.
+    pub name: String,
+    /// Leaf hashes + folded root at checkpoint time.
+    pub merkle: MerkleTree,
+}
+
+impl ExtentRootEntry {
+    /// `"tree:doc"` / `"list:song"` — the spelling
+    /// [`StoreError::IntegrityMismatch`] uses.
+    pub fn label(&self) -> String {
+        let kind = if self.kind == KIND_TREE {
+            "tree"
+        } else {
+            "list"
+        };
+        format!("{kind}:{}", self.name)
+    }
+}
+
+/// The per-extent merkle columns a snapshot commits to.
+pub type SnapshotManifest = Vec<ExtentRootEntry>;
+
+/// Compute the manifest for `state`: every tree then every list extent,
+/// in name order — the same `(kind, name)` order the store root folds.
+pub fn compute_manifest(state: &SnapshotState) -> SnapshotManifest {
+    let mut out = Vec::with_capacity(state.trees.len() + state.lists.len());
+    for (name, tree) in &state.trees {
+        out.push(ExtentRootEntry {
+            kind: KIND_TREE,
+            name: name.clone(),
+            merkle: MerkleTree::from_leaves(merkle::tree_leaves(&state.store, tree, None)),
+        });
+    }
+    for (name, list) in &state.lists {
+        out.push(ExtentRootEntry {
+            kind: KIND_LIST,
+            name: name.clone(),
+            merkle: MerkleTree::from_leaves(merkle::list_leaves(&state.store, list, None)),
+        });
+    }
+    out
+}
+
+/// Fold a manifest into the store root.
+pub fn manifest_store_root(manifest: &SnapshotManifest) -> Root {
+    merkle::store_root(
+        manifest
+            .iter()
+            .map(|e| (e.kind, e.name.as_str(), e.merkle.root)),
+    )
+}
+
+/// Verify `state` against the manifest a checkpoint committed to:
+/// recompute every extent's leaf column and root and compare. On
+/// divergence, the error names the extent and — via
+/// [`merkle::first_divergence`] mapped through the interval numbering —
+/// the first divergent subtree (trees) or position (lists).
+pub fn verify_manifest(state: &SnapshotState, manifest: &SnapshotManifest) -> Result<()> {
+    for entry in manifest {
+        let recomputed = match entry.kind {
+            KIND_TREE => match state.trees.get(&entry.name) {
+                Some(t) => merkle::tree_leaves(&state.store, t, None),
+                None => Vec::new(),
+            },
+            _ => match state.lists.get(&entry.name) {
+                Some(l) => merkle::list_leaves(&state.store, l, None),
+                None => Vec::new(),
+            },
+        };
+        let recomputed_root = merkle::merkle_root(&recomputed);
+        if recomputed_root == entry.merkle.root {
+            continue;
+        }
+        let subtree = match merkle::first_divergence(&entry.merkle.leaves, &recomputed) {
+            Some(row) if entry.kind == KIND_TREE => match state.trees.get(&entry.name) {
+                Some(t) => {
+                    let intervals = t.interval_numbering();
+                    match t.iter_preorder().nth(row) {
+                        Some(n) => {
+                            let (pre, post) = intervals[n.index()];
+                            format!("preorder {row} interval [{pre},{post}]")
+                        }
+                        None => format!("preorder {row} (past end of recovered tree)"),
+                    }
+                }
+                None => "missing extent".to_string(),
+            },
+            Some(row) => format!("position {row}"),
+            // Leaves agree but the committed root does not: the root
+            // itself was tampered with.
+            None => "root".to_string(),
+        };
+        return Err(StoreError::IntegrityMismatch {
+            extent: entry.label(),
+            subtree,
+            expected: entry.merkle.root.to_hex(),
+            actual: recomputed_root.to_hex(),
+        });
+    }
+    Ok(())
+}
 
 /// The frozen durable state a snapshot carries.
 #[derive(Debug, Clone, Default)]
@@ -91,7 +218,7 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
-fn encode_state(state: &SnapshotState) -> Vec<u8> {
+fn encode_state(state: &SnapshotState, manifest: &SnapshotManifest) -> Vec<u8> {
     let mut enc = Enc::new();
     enc.u64(state.lsn);
     // Classes, in ClassId order.
@@ -125,10 +252,21 @@ fn encode_state(state: &SnapshotState) -> Vec<u8> {
         // Reuse the WAL encoding (tag 11) so there is one codec.
         WalRecord::RegisterIndex { spec: spec.clone() }.encode(&mut enc);
     }
+    // Merkle manifest: the content roots this checkpoint commits to.
+    enc.u32(manifest.len() as u32);
+    for entry in manifest {
+        enc.u8(entry.kind);
+        enc.str(&entry.name);
+        enc.bytes(&entry.merkle.root.0);
+        enc.u32(entry.merkle.leaves.len() as u32);
+        for leaf in &entry.merkle.leaves {
+            enc.bytes(&leaf.0);
+        }
+    }
     enc.finish()
 }
 
-fn decode_state(payload: &[u8], path: &str) -> Result<SnapshotState> {
+fn decode_state(payload: &[u8], path: &str) -> Result<(SnapshotState, SnapshotManifest)> {
     let mut dec = Dec::new(payload, path);
     let corrupt = |offset: usize, what: String| StoreError::Corrupt {
         path: path.to_owned(),
@@ -181,19 +319,57 @@ fn decode_state(payload: &[u8], path: &str) -> Result<SnapshotState> {
             }
         }
     }
+    let n_extents = dec.u32()? as usize;
+    if n_extents != trees.len() + lists.len() {
+        return Err(corrupt(
+            dec.pos(),
+            format!(
+                "manifest covers {n_extents} extents, state has {}",
+                trees.len() + lists.len()
+            ),
+        ));
+    }
+    let mut manifest = Vec::with_capacity(n_extents);
+    for _ in 0..n_extents {
+        let kind = dec.u8()?;
+        if kind != KIND_TREE && kind != KIND_LIST {
+            return Err(corrupt(dec.pos(), format!("unknown extent kind {kind}")));
+        }
+        let name = dec.str()?;
+        let root = Root(dec.bytes(32)?.try_into().unwrap());
+        let n_leaves = dec.u32()? as usize;
+        if n_leaves > (1 << 24) {
+            return Err(corrupt(
+                dec.pos(),
+                format!("manifest claims {n_leaves} leaves"),
+            ));
+        }
+        let mut leaves = Vec::with_capacity(n_leaves);
+        for _ in 0..n_leaves {
+            leaves.push(Root(dec.bytes(32)?.try_into().unwrap()));
+        }
+        manifest.push(ExtentRootEntry {
+            kind,
+            name,
+            merkle: MerkleTree { leaves, root },
+        });
+    }
     if !dec.done() {
         return Err(corrupt(
             dec.pos(),
             "trailing bytes after snapshot state".into(),
         ));
     }
-    Ok(SnapshotState {
-        lsn,
-        store,
-        trees,
-        lists,
-        specs,
-    })
+    Ok((
+        SnapshotState {
+            lsn,
+            store,
+            trees,
+            lists,
+            specs,
+        },
+        manifest,
+    ))
 }
 
 /// Atomically write a checkpoint of `state` into `dir`; returns the
@@ -202,7 +378,15 @@ fn decode_state(payload: &[u8], path: &str) -> Result<SnapshotState> {
 pub fn write_snapshot(dir: &Path, state: &SnapshotState) -> Result<PathBuf> {
     failpoint::check(SNAPSHOT_WRITE_PROBE)?;
     std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create_dir", dir.display(), e))?;
-    let payload = encode_state(state);
+    let mut manifest = compute_manifest(state);
+    if failpoint::check(INTEGRITY_CORRUPT_PROBE).is_err() {
+        // Tamper with the first committed root: the file still checksums
+        // clean, so only root verification at open can catch this.
+        if let Some(entry) = manifest.first_mut() {
+            entry.merkle.root.0[0] ^= 0xff;
+        }
+    }
+    let payload = encode_state(state, &manifest);
     let mut bytes = Vec::with_capacity(16 + payload.len());
     bytes.extend_from_slice(SNAP_MAGIC);
     bytes.extend_from_slice(&SNAP_VERSION.to_le_bytes());
@@ -223,8 +407,11 @@ pub fn write_snapshot(dir: &Path, state: &SnapshotState) -> Result<PathBuf> {
     Ok(final_path)
 }
 
-/// Read and verify a snapshot file.
-pub fn read_snapshot(path: &Path) -> Result<SnapshotState> {
+/// Read and verify a snapshot file (checksum + decode). Returns the
+/// decoded state plus the merkle manifest the checkpoint committed to;
+/// *content* verification against the manifest is the caller's choice
+/// (see `DurableConfig::authenticate`).
+pub fn read_snapshot(path: &Path) -> Result<(SnapshotState, SnapshotManifest)> {
     let bytes = std::fs::read(path).map_err(|e| StoreError::io("read", path.display(), e))?;
     let name = path.display().to_string();
     let corrupt = |offset: u64, what: &str| StoreError::Corrupt {
@@ -309,7 +496,7 @@ mod tests {
             path.file_name().unwrap().to_str().unwrap(),
             snapshot_file_name(9)
         );
-        let back = read_snapshot(&path).unwrap();
+        let (back, manifest) = read_snapshot(&path).unwrap();
         assert_eq!(back.lsn, 9);
         assert_eq!(back.store.len(), state.store.len());
         assert_eq!(
@@ -319,8 +506,67 @@ mod tests {
         assert_eq!(back.trees["t"], state.trees["t"], "arena-exact tree");
         assert_eq!(back.lists["l"], state.lists["l"]);
         assert_eq!(back.specs, state.specs);
+        // The manifest round-trips and verifies against the decoded state.
+        assert_eq!(manifest, compute_manifest(&state));
+        verify_manifest(&back, &manifest).unwrap();
         // No .tmp orphan after a clean write.
         assert!(list_snapshots(&dir).unwrap().len() == 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_manifest_root_is_localized() {
+        let state = sample_state();
+        let mut manifest = compute_manifest(&state);
+        assert_eq!(manifest.len(), 2, "one tree + one list extent");
+        verify_manifest(&state, &manifest).unwrap();
+
+        // Tamper with a single *leaf*: verification names the subtree.
+        let mut leafy = manifest.clone();
+        leafy[0].merkle.leaves[1].0[0] ^= 0xff;
+        leafy[0].merkle.root = merkle::merkle_root(&leafy[0].merkle.leaves);
+        let err = verify_manifest(&state, &leafy).unwrap_err();
+        match err {
+            StoreError::IntegrityMismatch {
+                extent, subtree, ..
+            } => {
+                assert_eq!(extent, "tree:t");
+                assert!(subtree.contains("preorder 1"), "{subtree}");
+                assert!(subtree.contains("interval"), "{subtree}");
+            }
+            other => panic!("expected IntegrityMismatch, got {other:?}"),
+        }
+
+        // Tamper with only the *root*: leaves agree, so it's the root.
+        manifest[1].merkle.root.0[5] ^= 0x10;
+        let err = verify_manifest(&state, &manifest).unwrap_err();
+        match err {
+            StoreError::IntegrityMismatch {
+                extent, subtree, ..
+            } => {
+                assert_eq!(extent, "list:l");
+                assert_eq!(subtree, "root");
+            }
+            other => panic!("expected IntegrityMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_root_failpoint_writes_a_detectably_bad_snapshot() {
+        let dir = temp_dir("corrupt-root");
+        let state = sample_state();
+        let path = {
+            let _fp = failpoint::scoped(INTEGRITY_CORRUPT_PROBE, "tamper");
+            write_snapshot(&dir, &state).unwrap()
+        };
+        // The file checksums clean — the CRC can't see the tamper …
+        let (back, manifest) = read_snapshot(&path).unwrap();
+        // … but root verification can.
+        let err = verify_manifest(&back, &manifest).unwrap_err();
+        assert!(
+            matches!(err, StoreError::IntegrityMismatch { .. }),
+            "{err:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

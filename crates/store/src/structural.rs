@@ -11,6 +11,7 @@ use aqua_guard::failpoint;
 
 use crate::attr_index::ensure_fresh;
 use crate::error::{Result, StoreError};
+use crate::merkle::Root;
 
 /// Failpoint checked by [`StructuralIndex`] probe wrappers.
 pub const STRUCTURAL_PROBE: &str = "store.structural.probe";
@@ -26,6 +27,9 @@ pub struct StructuralIndex {
     /// Node → subtree size (number of nodes including self).
     size: Vec<u32>,
     epoch: u64,
+    /// Merkle root of the indexed extent at build time (authenticated
+    /// stores stamp this; see `crate::merkle`).
+    root: Option<Root>,
 }
 
 impl StructuralIndex {
@@ -53,6 +57,7 @@ impl StructuralIndex {
             rank,
             size,
             epoch: 0,
+            root: None,
         }
     }
 
@@ -62,9 +67,20 @@ impl StructuralIndex {
         self
     }
 
+    /// Stamp the merkle root of the extent this index was built over.
+    pub fn with_root(mut self, root: Root) -> StructuralIndex {
+        self.root = Some(root);
+        self
+    }
+
     /// The store generation this index was built at.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The merkle root of the extent at build time, if stamped.
+    pub fn root(&self) -> Option<Root> {
+        self.root
     }
 
     /// Bounds gate for the fallible probes: a [`NodeId`] from a

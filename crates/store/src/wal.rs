@@ -10,8 +10,15 @@
 //!
 //! ```text
 //! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
-//! payload = [lsn: u64 LE] [record: WalRecord encoding]
+//! payload = [lsn: u64 LE] [record: WalRecord encoding] [root: 32 bytes]?
 //! ```
+//!
+//! The optional trailing `root` is the **post-apply store root** (see
+//! [`crate::merkle`]): when the store runs authenticated, every commit
+//! binds the state it produced, and recovery re-derives and compares
+//! the roots instead of trusting replay blindly. A frame either ends
+//! exactly after its record (unauthenticated) or carries exactly 32
+//! more bytes; anything else in a checksum-valid frame is corruption.
 //!
 //! `crc` is [`crc32`] over the payload. A torn write — the tail of the
 //! last frame missing after a crash — shows up as a short header, a
@@ -35,6 +42,7 @@ use aqua_guard::failpoint;
 
 use crate::codec::{crc32, Dec, Enc, WalRecord};
 use crate::error::{Result, StoreError};
+use crate::merkle::Root;
 
 /// Failpoint checked on every WAL append and sync; arm it to simulate a
 /// full disk or a failing fsync.
@@ -146,12 +154,21 @@ impl Wal {
     /// flushed (but not fsynced — see [`Wal::sync`]) before the LSN is
     /// handed out, preserving WAL-before-apply ordering for callers.
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        self.append_with_root(rec, None)
+    }
+
+    /// [`append`](Self::append) with the post-apply store root bound
+    /// into the frame (authenticated mode).
+    pub fn append_with_root(&mut self, rec: &WalRecord, root: Option<&Root>) -> Result<u64> {
         failpoint::check(WAL_APPEND_PROBE)?;
         let lsn = self.next_lsn;
         let mut enc = Enc::new();
         enc.u64(lsn);
         rec.encode(&mut enc);
-        let payload = enc.finish();
+        let mut payload = enc.finish();
+        if let Some(r) = root {
+            payload.extend_from_slice(&r.0);
+        }
         debug_assert!(payload.len() <= MAX_FRAME as usize);
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -195,8 +212,9 @@ impl Wal {
 /// Result of scanning one segment file.
 #[derive(Debug)]
 pub struct SegmentScan {
-    /// Checksum-valid frames, in file order.
-    pub frames: Vec<(u64, WalRecord)>,
+    /// Checksum-valid frames, in file order: LSN, record, and the
+    /// post-apply store root when the writer ran authenticated.
+    pub frames: Vec<(u64, WalRecord, Option<Root>)>,
     /// Length of the valid prefix. Bytes past this are a torn tail.
     pub valid_len: u64,
     /// Total file length.
@@ -240,15 +258,23 @@ pub fn scan_segment(path: &Path) -> Result<SegmentScan> {
         let mut dec = Dec::new(payload, &name);
         let lsn = dec.u64()?;
         let rec = WalRecord::decode(&mut dec)?;
-        if !dec.done() {
-            let offset = (pos + FRAME_HEADER + dec.pos()) as u64;
-            return Err(StoreError::Corrupt {
-                path: name,
-                offset,
-                what: "trailing bytes after record in checksummed frame".into(),
-            });
-        }
-        frames.push((lsn, rec));
+        // A frame ends exactly at its record, or carries a 32-byte
+        // post-apply root. Any other tail in a checksummed frame means
+        // the writer produced garbage.
+        let rest = &payload[dec.pos()..];
+        let root = match rest.len() {
+            0 => None,
+            32 => Some(Root(rest.try_into().expect("length checked"))),
+            _ => {
+                let offset = (pos + FRAME_HEADER + dec.pos()) as u64;
+                return Err(StoreError::Corrupt {
+                    path: name,
+                    offset,
+                    what: "trailing bytes after record in checksummed frame".into(),
+                });
+            }
+        };
+        frames.push((lsn, rec, root));
         pos += FRAME_HEADER + len as usize;
     }
     Ok(SegmentScan {
@@ -297,7 +323,7 @@ mod tests {
         assert_eq!(scan.frames.len(), 5);
         assert!(!scan.torn());
         assert_eq!(scan.frames[0].0, 1);
-        assert_eq!(scan.frames[4], (5, push("l", 4)));
+        assert_eq!(scan.frames[4], (5, push("l", 4), None));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -314,10 +340,10 @@ mod tests {
         let mut expect = 1u64;
         for (first, path) in &segs {
             let scan = scan_segment(path).unwrap();
-            if let Some(&(lsn, _)) = scan.frames.first() {
-                assert_eq!(lsn, *first, "segment named for its first LSN");
+            if let Some((lsn, _, _)) = scan.frames.first() {
+                assert_eq!(*lsn, *first, "segment named for its first LSN");
             }
-            for (lsn, _) in scan.frames {
+            for (lsn, _, _) in scan.frames {
                 assert_eq!(lsn, expect);
                 expect += 1;
             }
@@ -341,7 +367,7 @@ mod tests {
             std::fs::write(path, &full[..cut]).unwrap();
             let scan = scan_segment(path).unwrap();
             assert!(scan.valid_len <= cut as u64);
-            for (i, (lsn, rec)) in scan.frames.iter().enumerate() {
+            for (i, (lsn, rec, _)) in scan.frames.iter().enumerate() {
                 assert_eq!(*lsn, i as u64 + 1);
                 assert_eq!(rec, &push("l", i as u64));
             }
@@ -366,11 +392,70 @@ mod tests {
             let scan = scan_segment(path).unwrap();
             // The flip lands in some frame; every frame before it is intact.
             assert!(scan.frames.len() < 3, "flip at byte {byte} undetected");
-            for (i, (lsn, rec)) in scan.frames.iter().enumerate() {
+            for (i, (lsn, rec, _)) in scan.frames.iter().enumerate() {
                 assert_eq!(*lsn, i as u64 + 1);
                 assert_eq!(rec, &push("l", i as u64));
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn root_bound_frames_round_trip() {
+        let dir = temp_dir("root");
+        let mut wal = Wal::open(&dir, 1, WalConfig::default()).unwrap();
+        let r0 = Root(crate::merkle::sha256(b"state-0"));
+        let r1 = Root(crate::merkle::sha256(b"state-1"));
+        wal.append_with_root(&push("l", 0), Some(&r0)).unwrap();
+        wal.append(&push("l", 1)).unwrap(); // unauthenticated frame mixes fine
+        wal.append_with_root(&push("l", 2), Some(&r1)).unwrap();
+        wal.sync().unwrap();
+        let scan = scan_segment(&list_segments(&dir).unwrap()[0].1).unwrap();
+        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.frames[0].2, Some(r0));
+        assert_eq!(scan.frames[1].2, None);
+        assert_eq!(scan.frames[2].2, Some(r1));
+        assert!(!scan.torn());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A record whose frame lands *exactly* on the segment cap must
+    /// rotate cleanly: the full frame stays in the old segment, the
+    /// next frame opens the new one, and nothing is torn.
+    #[test]
+    fn record_landing_exactly_at_segment_cap_rotates_cleanly() {
+        // Measure one frame, then set the cap to a whole number of them.
+        let probe_dir = temp_dir("cap-probe");
+        let mut wal = Wal::open(&probe_dir, 1, WalConfig::default()).unwrap();
+        wal.append(&push("l", 0)).unwrap();
+        wal.sync().unwrap();
+        let frame_len = std::fs::metadata(&list_segments(&probe_dir).unwrap()[0].1)
+            .unwrap()
+            .len();
+        let _ = std::fs::remove_dir_all(&probe_dir);
+
+        let dir = temp_dir("cap");
+        let cfg = WalConfig {
+            segment_bytes: 3 * frame_len,
+        };
+        let mut wal = Wal::open(&dir, 1, cfg).unwrap();
+        for i in 0..7 {
+            wal.append(&push("l", i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 3, "7 frames at 3 per segment: 3+3+1");
+        assert_eq!(segs[0].0, 1);
+        assert_eq!(segs[1].0, 4, "rotation happened exactly at the cap");
+        assert_eq!(segs[2].0, 7);
+        let first = scan_segment(&segs[0].1).unwrap();
+        assert_eq!(first.frames.len(), 3);
+        assert!(!first.torn(), "the boundary frame is whole, not split");
+        assert_eq!(
+            std::fs::metadata(&segs[0].1).unwrap().len(),
+            3 * frame_len,
+            "old segment closed exactly at the cap"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -292,5 +292,14 @@ fn assert_typed(e: &ServiceError) {
         ServiceError::Failed { message, .. } => {
             assert!(!message.is_empty(), "failure carries its cause");
         }
+        ServiceError::Integrity { extent, detail } => {
+            // The storm never requests verification, so this arm should
+            // be unreachable — but if it ever fires, the evidence must
+            // be present.
+            assert!(
+                !extent.is_empty() && !detail.is_empty(),
+                "integrity error names its extent and cause"
+            );
+        }
     }
 }

@@ -1,14 +1,21 @@
 //! Kill-and-recover chaos harness for the durable store: seeded
 //! mutation storms are interrupted at random WAL byte offsets (torn
-//! tails, bit flips, whole-segment loss) and recovered. Invariants:
+//! tails, bit flips, whole-segment loss, and CRC-fixed root tampering)
+//! and recovered. Invariants:
 //!
 //! 1. **No panics** — every crash style recovers through the typed
-//!    [`RecoveryReport`] path; damage is survived, not thrown.
-//! 2. **Prefix semantics** — the recovered store equals a never-crashed
-//!    reference that applied exactly the surviving storm prefix
-//!    (`next_lsn - 1` ops): every tier-1 query (`select`,
-//!    `sub_select` over tree and list, `split`) answers
-//!    byte-identically on both.
+//!    [`RecoveryReport`] path; damage is survived or *detected*, never
+//!    thrown.
+//! 2. **Self-verification** — there is no never-crashed reference run.
+//!    The recovered store proves itself from the data alone: every
+//!    replayed WAL frame's bound merkle root must match the recomputed
+//!    history (else `open` refuses with a typed `IntegrityMismatch`),
+//!    and recomputing each extent's root from the final recovered
+//!    state must agree with the incrementally tracked roots the report
+//!    certifies. Every injected corruption is either repaired (torn
+//!    tails truncate to the last verified frame) or detected (tampered
+//!    bytes that survive the CRC are caught by the root chain) — never
+//!    silently served.
 //! 3. **Index-vs-scan parity** — after every recovery the rebuilt
 //!    indexes answer exactly like bare scans, at the recovered epoch.
 //! 4. **The store keeps working** — post-recovery mutations continue
@@ -185,15 +192,55 @@ fn wal_segments(dir: &Path) -> Vec<PathBuf> {
     segs
 }
 
-/// Crash the store directory: mutilate the WAL like a power cut would.
-/// Returns a label for diagnostics plus the mutilated segment (for the
-/// operator-repair path when recovery detects an LSN gap).
-fn crash(dir: &Path, rng: &mut StdRng) -> (&'static str, Option<PathBuf>) {
+/// What [`crash`] did to the directory.
+struct Crash {
+    /// Diagnostic label for assertion messages.
+    style: &'static str,
+    /// The mutilated segment, for the operator-repair paths.
+    victim: Option<PathBuf>,
+    /// Root-tamper only: byte offset of the tampered frame's start in
+    /// `victim` — the runbook truncation point after detection.
+    repair_at: Option<u64>,
+    /// Root-tamper only: the tampered frame's LSN.
+    tampered_lsn: Option<u64>,
+}
+
+impl Crash {
+    fn plain(style: &'static str, victim: Option<PathBuf>) -> Crash {
+        Crash {
+            style,
+            victim,
+            repair_at: None,
+            tampered_lsn: None,
+        }
+    }
+}
+
+/// Complete `[len][crc][payload]` frames of one segment, as
+/// `(start, end)` byte ranges.
+fn segment_frames(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let end = pos + 8 + len;
+        if end > bytes.len() {
+            break;
+        }
+        frames.push((pos, end));
+        pos = end;
+    }
+    frames
+}
+
+/// Crash the store directory: mutilate the WAL like a power cut (or a
+/// silent-corruption fault the CRC cannot see) would.
+fn crash(dir: &Path, rng: &mut StdRng) -> Crash {
     let segs = wal_segments(dir);
     let Some(last) = segs.last() else {
-        return ("no-wal", None);
+        return Crash::plain("no-wal", None);
     };
-    match rng.gen_range(0u32..3) {
+    match rng.gen_range(0u32..4) {
         0 => {
             // Torn tail: truncate the newest segment mid-byte.
             let len = std::fs::metadata(last).unwrap().len();
@@ -204,20 +251,21 @@ fn crash(dir: &Path, rng: &mut StdRng) -> (&'static str, Option<PathBuf>) {
                 .unwrap()
                 .set_len(at)
                 .unwrap();
-            ("torn-tail", Some(last.clone()))
+            Crash::plain("torn-tail", Some(last.clone()))
         }
         1 => {
-            // Bit flip somewhere in the newest segment.
+            // Bit flip somewhere in the newest segment: always caught
+            // by the frame CRC, repaired by tail truncation.
             let mut bytes = std::fs::read(last).unwrap();
             if bytes.is_empty() {
-                return ("empty-seg", None);
+                return Crash::plain("empty-seg", None);
             }
             let at = rng.gen_range(0..bytes.len());
             bytes[at] ^= 1 << rng.gen_range(0..8u32);
             std::fs::write(last, bytes).unwrap();
-            ("bit-flip", Some(last.clone()))
+            Crash::plain("bit-flip", Some(last.clone()))
         }
-        _ => {
+        2 => {
             // Mid-history truncation: tear a random segment; recovery
             // truncates there and drops every later segment — unless
             // the cut lands exactly on a frame boundary, in which case
@@ -232,14 +280,45 @@ fn crash(dir: &Path, rng: &mut StdRng) -> (&'static str, Option<PathBuf>) {
                 .unwrap()
                 .set_len(at)
                 .unwrap();
-            ("mid-history", Some(victim.clone()))
+            Crash::plain("mid-history", Some(victim.clone()))
+        }
+        _ => {
+            // Root tamper: flip one bit in a frame's *bound root* and
+            // fix the CRC — the corruption a checksum cannot see. Only
+            // the merkle chain (frame root vs recomputed history) can
+            // catch this; recovery must refuse with IntegrityMismatch
+            // unless a snapshot already covers the frame.
+            let victim = segs[rng.gen_range(0..segs.len())].clone();
+            let mut bytes = std::fs::read(&victim).unwrap();
+            // An authenticated payload is lsn(8) + record(≥1) + root(32).
+            let frames: Vec<(usize, usize)> = segment_frames(&bytes)
+                .into_iter()
+                .filter(|(s, e)| e - s >= 8 + 41)
+                .collect();
+            let Some(&(start, end)) = frames
+                .get(rng.gen_range(0..frames.len().max(1)))
+                .or(frames.first())
+            else {
+                return Crash::plain("no-frames", None);
+            };
+            let lsn = u64::from_le_bytes(bytes[start + 8..start + 16].try_into().unwrap());
+            bytes[end - 32] ^= 1 << rng.gen_range(0..8u32);
+            let crc = aqua_store::crc32(&bytes[start + 8..end]);
+            bytes[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+            std::fs::write(&victim, bytes).unwrap();
+            Crash {
+                style: "root-tamper",
+                victim: Some(victim),
+                repair_at: Some(start as u64),
+                tampered_lsn: Some(lsn),
+            }
         }
     }
 }
 
-/// One leg: storm → crash → recover → compare against the surviving
-/// prefix's never-crashed reference → keep storming. Returns every
-/// round's report.
+/// One leg: storm → crash → recover → prove the recovered store from
+/// its own root hashes (no reference run) → keep storming. Returns
+/// every round's report.
 fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
     let dir = temp_dir(&format!("leg{leg}"));
     let mut rng = StdRng::seed_from_u64(seed ^ ((leg as u64 + 1) * 0xC3A5));
@@ -250,6 +329,7 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
         segment_bytes: 512,
         checkpoint_every: if rng.gen_bool(0.5) { 16 } else { 0 },
         prune: true,
+        authenticate: true,
     };
 
     let (mut ds, rep) = DurableStore::open(&dir, cfg.clone()).expect("fresh open");
@@ -259,17 +339,60 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
 
     for round in 0..ROUNDS {
         drop(ds);
-        let (style, victim) = crash(&dir, &mut rng);
+        let c = crash(&dir, &mut rng);
+        let style = c.style;
 
         let (recovered, rep) = match DurableStore::open(&dir, cfg.clone()) {
-            Ok(ok) => ok,
+            Ok(ok) => {
+                // A root-tamper may survive open only when a snapshot
+                // already covers the tampered frame (it was never
+                // replayed) — a *replayed* tampered frame must refuse.
+                if style == "root-tamper" {
+                    let lsn = c.tampered_lsn.unwrap();
+                    let first_replayed = ok.1.next_lsn - ok.1.frames_replayed;
+                    assert!(
+                        lsn < first_replayed,
+                        "round {round} ({style}): tampered frame lsn {lsn} was \
+                         replayed without detection (first replayed {first_replayed})"
+                    );
+                }
+                ok
+            }
+            Err(aqua_store::StoreError::IntegrityMismatch { subtree, .. })
+                if style == "root-tamper" =>
+            {
+                // Detection is the contract: the CRC was valid, only
+                // the root chain could catch this. Model the operator
+                // runbook — truncate the log at the tampered frame and
+                // drop every later segment, then recovery must succeed
+                // on the verified prefix.
+                assert!(
+                    subtree.starts_with("wal frame lsn"),
+                    "round {round} ({style}): mismatch names the frame, got {subtree:?}"
+                );
+                let victim = c.victim.clone().expect("root-tamper names its victim");
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&victim)
+                    .unwrap()
+                    .set_len(c.repair_at.unwrap())
+                    .unwrap();
+                for seg in wal_segments(&dir) {
+                    if seg > victim {
+                        std::fs::remove_file(&seg).unwrap();
+                    }
+                }
+                DurableStore::open(&dir, cfg.clone()).unwrap_or_else(|e| {
+                    panic!("round {round} ({style}): post-repair recovery must not fail: {e}")
+                })
+            }
             Err(aqua_store::StoreError::Replay { .. }) if style == "mid-history" => {
                 // A mid-history cut on an exact frame boundary leaves
                 // whole frames followed by an LSN gap — refusing (not
                 // silently dropping committed data) is the contract.
                 // Model the operator runbook: remove the post-gap
                 // segments, then recovery must succeed.
-                let victim = victim.expect("mid-history names its victim");
+                let victim = c.victim.clone().expect("mid-history names its victim");
                 for seg in wal_segments(&dir) {
                     if seg > victim {
                         std::fs::remove_file(&seg).unwrap();
@@ -288,20 +411,39 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
         );
         assert_eq!(recovered.epoch(), survived, "epoch is the surviving LSN");
 
-        // Invariant 2: byte-identical tier-1 answers vs the reference
-        // that applied exactly the surviving prefix.
-        let ref_dir = temp_dir(&format!("ref{leg}-{round}"));
-        let mut reference = DurableStore::open(&ref_dir, DurableConfig::default())
-            .expect("reference open")
-            .0;
-        storm
-            .apply(&mut reference, 0..survived)
-            .expect("reference replay");
+        // Invariant 2 (self-verification): the recovered store proves
+        // itself from the data alone. Every replayed frame carried a
+        // bound root and passed (open refuses otherwise), and
+        // recomputing each extent's merkle root from the final state
+        // agrees with the incrementally tracked value the report
+        // certifies — no never-crashed reference is consulted.
+        assert!(recovered.authenticated(), "round {round}: tracking is on");
         assert_eq!(
-            fingerprint(&recovered, false),
-            fingerprint(&reference, false),
-            "round {round} ({style}, {survived} ops survived): recovered answers diverge"
+            rep.roots_verified, rep.frames_replayed,
+            "round {round} ({style}): every replayed frame carries and passes its root"
         );
+        if let Some(tree) = recovered.tree(STORM_TREE) {
+            let actual = aqua_store::tree_root(recovered.store(), tree);
+            assert_eq!(
+                recovered.tree_extent_root(STORM_TREE),
+                Some(actual),
+                "round {round} ({style}): tree extent root recomputes"
+            );
+            assert!(
+                rep.extent_roots
+                    .iter()
+                    .any(|(l, h)| l == &format!("tree:{STORM_TREE}") && h == &actual.to_hex()),
+                "round {round} ({style}): report certifies the tree root"
+            );
+        }
+        if let Some(list) = recovered.list(STORM_LIST) {
+            let actual = aqua_store::list_root(recovered.store(), list);
+            assert_eq!(
+                recovered.list_extent_root(STORM_LIST),
+                Some(actual),
+                "round {round} ({style}): list extent root recomputes"
+            );
+        }
 
         // Invariant 3: rebuilt indexes ≡ bare scans at the new epoch.
         assert_eq!(
@@ -315,7 +457,6 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
                 "round {round}: all four registered indexes rebuild"
             );
         }
-        std::fs::remove_dir_all(&ref_dir).unwrap();
         reports.push(rep);
 
         // Invariant 4: the recovered store keeps taking the same
@@ -387,6 +528,7 @@ fn kill_and_recover_matrix() {
     assert_eq!(m.recoveries, 1, "report stamped into service metrics");
     assert_eq!(m.recovery_frames_replayed, rep.frames_replayed);
     assert_eq!(m.recovery_bytes_truncated, rep.bytes_truncated);
+    assert_eq!(m.integrity_roots_verified, rep.roots_verified);
     drop(ds);
     std::fs::remove_dir_all(&dir).unwrap();
 

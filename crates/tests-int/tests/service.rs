@@ -634,3 +634,156 @@ fn degraded_set_and_list_responses_flag_truncation() {
     assert_eq!(ldeg.value[..], lfull[..3]);
     assert!(ldeg.meta.truncation.truncated);
 }
+
+/// A verified split emits one certificate per decomposition, the
+/// independent checker accepts every one inline, and the same texts
+/// round-trip through a second offline `aqua_check::verify` pass.
+#[test]
+fn verified_split_round_trips_certificates() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(!?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+    let root = aqua_store::tree_root(&d.store, &d.tree);
+
+    let svc = QueryService::default();
+
+    // Unverified split: pieces, no certificates, no cert metrics.
+    let plain = svc
+        .tree_split(
+            &Request::new("alice"),
+            &cat,
+            &d.tree,
+            Some(("tree:t", root)),
+            &pattern,
+            &cfg,
+        )
+        .expect("healthy unverified split serves");
+    assert!(!plain.value.pieces.is_empty(), "fixture must match");
+    assert!(plain.value.certificates.is_empty());
+    assert_eq!(svc.metrics_snapshot().certs_emitted, 0);
+
+    // Verified split: one accepted certificate per decomposition.
+    let resp = svc
+        .tree_split(
+            &Request::new("alice").with_verify(true),
+            &cat,
+            &d.tree,
+            Some(("tree:t", root)),
+            &pattern,
+            &cfg,
+        )
+        .expect("true certificates must verify inline");
+    let n = resp.value.pieces.len();
+    assert_eq!(resp.value.pieces.len(), plain.value.pieces.len());
+    assert_eq!(resp.value.certificates.len(), n);
+    for text in &resp.value.certificates {
+        let rep = aqua_check::verify(text).expect("served certificate parses");
+        assert!(rep.ok(), "offline re-check must agree: {:?}", rep.failures);
+        assert_eq!(rep.extent, "tree:t");
+    }
+    let m = svc.metrics_snapshot();
+    assert_eq!(m.certs_emitted, n as u64);
+    assert_eq!(m.certs_checked, n as u64);
+    assert_eq!(m.certs_failed, 0);
+    let text = resp.explain.to_string();
+    assert!(
+        text.contains("integrity:"),
+        "explain records verdicts: {text}"
+    );
+
+    // Verification without a committed root is itself an integrity error.
+    let err = svc
+        .tree_split(
+            &Request::new("alice").with_verify(true),
+            &cat,
+            &d.tree,
+            None,
+            &pattern,
+            &cfg,
+        )
+        .expect_err("no root, no verified answer");
+    assert!(matches!(err, ServiceError::Integrity { .. }), "{err:?}");
+}
+
+/// A tampered certificate (the `split.cert.tamper` failpoint flips a
+/// piece hash at emission) is rejected inline: the caller gets a typed
+/// `Integrity` error instead of the answer, `certs_failed` counts it,
+/// and the fault indicts the class breaker even though the error class
+/// is Permanent.
+#[test]
+fn tampered_certificate_is_rejected_and_indicts_breaker() {
+    let _serial = lock();
+    let (d, idx, stats) = tree_fixture();
+    let mut cat = Catalog::new(&d.store, d.class);
+    cat.add_tree_index(&idx).add_stats(&stats);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(!?*)", &env).unwrap();
+    let cfg = MatchConfig::default();
+    let root = aqua_store::tree_root(&d.store, &d.tree);
+
+    let svc = QueryService::new(ServiceConfig {
+        retry: no_sleep_retry(3),
+        breaker: BreakerConfig {
+            window: 1,
+            failure_threshold: 1,
+            probe_after: 100,
+        },
+        ..ServiceConfig::default()
+    });
+    // Tenant registration forces verification without touching the
+    // request.
+    svc.set_tenant_verify("alice", true);
+
+    failpoint::arm_times(aqua_store::CERT_TAMPER_PROBE, "tampered emission", 1);
+    let err = svc
+        .tree_split(
+            &Request::new("alice"),
+            &cat,
+            &d.tree,
+            Some(("tree:t", root)),
+            &pattern,
+            &cfg,
+        )
+        .expect_err("tampered certificate must be withheld");
+    failpoint::reset();
+
+    match &err {
+        ServiceError::Integrity { extent, detail } => {
+            assert_eq!(extent, "tree:t");
+            assert!(detail.contains("hash mismatch"), "{detail}");
+        }
+        other => panic!("expected Integrity, got {other:?}"),
+    }
+    assert_eq!(err.class(), ErrorClass::Permanent, "never retried");
+    assert!(svc.metrics_snapshot().certs_failed >= 1);
+    assert_eq!(
+        svc.breaker_state(PlanClass::TreeSubSelect),
+        BreakerState::Open,
+        "integrity violations indict the backend's breaker"
+    );
+    assert_eq!(
+        svc.metrics_snapshot().svc_retried,
+        0,
+        "permanent integrity failures must not burn retry attempts"
+    );
+
+    // De-registering the tenant restores unverified service (the store
+    // itself is healthy — only the emission path was tampered).
+    svc.set_tenant_verify("alice", false);
+    // Breaker is open, so this serves degraded, but it serves.
+    let resp = svc
+        .tree_split(
+            &Request::new("alice"),
+            &cat,
+            &d.tree,
+            Some(("tree:t", root)),
+            &pattern,
+            &cfg,
+        )
+        .expect("unverified split serves again");
+    assert!(resp.value.certificates.is_empty());
+}

@@ -5,9 +5,12 @@
 //! from an RNG seeded by `(seed, i)` and from the *live* store state,
 //! so applying ops `0..n` to any store that started from the same
 //! (empty) state always produces the same WAL, byte for byte. That
-//! prefix-stability is what the kill-and-recover tests lean on: after a
-//! crash truncates the log at record `R`, a never-crashed reference
-//! built by applying ops `0..R` must answer every query identically.
+//! prefix-stability lets the kill-and-recover tests resume the *same*
+//! storm after a crash truncates the log at record `R` — and, with
+//! authenticated extents, every frame's bound merkle root is likewise
+//! a pure function of the prefix, so recovery proves the surviving
+//! state from the data alone instead of consulting a never-crashed
+//! reference run.
 //!
 //! Every op appends **exactly one** WAL record, so the recovered
 //! store's `next_lsn` maps 1:1 to a storm prefix length.
