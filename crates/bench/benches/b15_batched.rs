@@ -1,0 +1,184 @@
+//! B15 — the flat-memory engine's batched hot paths: columnar interval
+//! scans over [`TreeCols`](aqua_algebra::TreeCols), batched predicate
+//! throughput through [`BatchProgram`], and chunked parallel scaling of
+//! the pool's run-based work distribution.
+//!
+//! Three families of rows:
+//!
+//! * `treecols_rebuild_50k` / `columnar_interval_scan_50k` — the cost
+//!   of building the structure-of-arrays view, and the payoff: a
+//!   containment count that reads two contiguous `u32` columns instead
+//!   of chasing `Node.children` vectors.
+//! * `batched_pred_throughput_1m` — one million alphabet-predicate
+//!   evaluations through the fused conjunction pass (§3.1's constant-
+//!   time guarantee, amortized to a handful of ns per element).
+//! * `chunked_par_sub_select` rows (`mode` serial / `par xN`) — the
+//!   work-stealing pool handing workers contiguous member runs; the
+//!   parallel answer is asserted byte-identical to serial.
+//!
+//! `AQUA_BENCH_JSON=<path>` dumps flat rows for `bench_gate`;
+//! `AQUA_BENCH_QUICK` shrinks iterations for CI.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+use aqua_algebra::bulk::ListSet;
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_pattern::list::{MatchMode, Sym};
+use aqua_pattern::{BatchProgram, BitRow, CmpOp, PredExpr};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::SongGen;
+
+struct Out {
+    table: Table,
+    rows: Vec<(String, String, Timed)>,
+    iters: usize,
+}
+
+impl Out {
+    fn new() -> Out {
+        Out {
+            table: Table::new(&["row", "mode", "median ms"]),
+            rows: Vec::new(),
+            iters: aqua_bench::iters_for(10, 5),
+        }
+    }
+
+    fn row(&mut self, name: &str, mode: &str, t: Timed) {
+        self.table.row(vec![name.into(), mode.into(), ms(t)]);
+        self.rows.push((name.to_string(), mode.to_string(), t));
+    }
+
+    fn json(&self, host: usize) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"b15_batched\",\n  \"rows\": [\n");
+        for (i, (name, mode, t)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"bench\":\"b15\",\"name\":\"{name}\",\"mode\":\"{mode}\",\
+                 \"median_ms\":{:.4},\"result_size\":{},\"parallelism\":{host}}}{comma}",
+                t.secs * 1e3,
+                t.result_size
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Building the SoA view: CSR children + single-clock interval columns
+/// for a 50k-node tree. Cloning resets the per-tree cache, so each
+/// iteration rebuilds from the node arena (the clone itself is a flat
+/// `Vec` copy, priced into the row).
+fn bench_cols_build(out: &mut Out) {
+    let d = RandomTreeGen::new(7).nodes(50_000).generate();
+    let t = time_median(out.iters, || {
+        let fresh = d.tree.clone();
+        fresh.cols().len()
+    });
+    out.row("treecols_rebuild_50k", "serial", t);
+}
+
+/// The columnar payoff: count the descendants of a deep internal node
+/// by streaming the `pre`/`post` columns — two contiguous u32 loads and
+/// two compares per node, no pointer chasing.
+fn bench_interval_scan(out: &mut Out) {
+    let d = RandomTreeGen::new(8).nodes(50_000).generate();
+    let cols = d.tree.cols();
+    // The last preorder node's parent: a real internal node somewhere
+    // deep in the tree, chosen deterministically.
+    let anchor = cols
+        .parent(cols.preorder()[cols.len() - 1])
+        .unwrap_or_else(|| d.tree.root().0);
+    let (ap, aq) = (cols.pre(anchor), cols.post(anchor));
+    let t = time_median(out.iters, || {
+        let pre = cols.pre_col();
+        let post = cols.post_col();
+        let mut n = 0usize;
+        for i in 0..pre.len() {
+            n += usize::from(ap <= pre[i] && post[i] <= aq);
+        }
+        black_box(n)
+    });
+    out.row("columnar_interval_scan_50k", "serial", t);
+}
+
+/// Batched predicate throughput: 200 passes over a warm 5k-note column
+/// = one million evaluations of `pitch = "A" and duration <= 8` per
+/// iteration through the fused conjunction pass.
+fn bench_batched_throughput(out: &mut Out) {
+    let d = SongGen::new(9).notes(5_000).generate();
+    let pred = PredExpr::eq("pitch", "A")
+        .and(PredExpr::cmp("duration", CmpOp::Le, 8))
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let program = BatchProgram::compile(&pred);
+    let oids = d.song.cols().oids().to_vec();
+    let mut bits = BitRow::zeros(oids.len());
+    let t = time_median(out.iters, || {
+        let mut hits = 0usize;
+        for _ in 0..200 {
+            program
+                .eval_into(&d.store, black_box(&oids), None, &mut bits)
+                .unwrap();
+            hits += bits.count_ones();
+        }
+        hits / 200
+    });
+    out.row("batched_pred_throughput_1m", "serial", t);
+}
+
+/// Chunked parallel scaling: `ListSet::par_sub_select` over 200 songs
+/// of 500 notes — the pool pops contiguous member runs per lock
+/// acquisition, and the member-order merge keeps the answer
+/// byte-identical to serial at every thread count.
+fn bench_chunked_par(out: &mut Out) {
+    let d = SongGen::new(10).notes(500).generate_set(200);
+    let set = ListSet::from_lists(d.songs.clone());
+    let re = Sym::pred(PredExpr::eq("pitch", "A"))
+        .then(Sym::any())
+        .then(Sym::pred(PredExpr::eq("pitch", "F")));
+    let p =
+        aqua_pattern::list::ListPattern::unanchored(re, d.class, d.store.class(d.class)).unwrap();
+
+    let serial = time_median(out.iters, || {
+        set.sub_select(&d.store, &p, MatchMode::Nonoverlapping)
+            .len()
+    });
+    out.row("chunked_par_sub_select", "serial", serial);
+
+    let threads: &[usize] = if aqua_bench::quick() {
+        &[4]
+    } else {
+        &[2, 4, 8]
+    };
+    for &t in threads {
+        let par = time_median(out.iters, || {
+            set.par_sub_select(&d.store, &p, MatchMode::Nonoverlapping, t, None)
+                .unwrap()
+                .len()
+        });
+        assert_eq!(
+            par.result_size, serial.result_size,
+            "chunked parallel answer must match serial"
+        );
+        out.row("chunked_par_sub_select", &format!("par x{t}"), par);
+    }
+}
+
+fn main() {
+    let mut out = Out::new();
+    bench_cols_build(&mut out);
+    bench_interval_scan(&mut out);
+    bench_batched_throughput(&mut out);
+    bench_chunked_par(&mut out);
+    out.table
+        .print("B15 — flat-memory engine: columnar + batched hot paths");
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        let host = aqua_exec::available_threads();
+        std::fs::write(&path, out.json(host)).expect("write AQUA_BENCH_JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -29,6 +29,22 @@ const THRESHOLD: f64 = 0.25;
 /// Additive slack so sub-millisecond rows don't trip on scheduler noise.
 const SLACK_MS: f64 = 0.3;
 
+/// Pre-batching b10 medians (ms), frozen from the baseline recorded
+/// before the flat-memory/batched-matching rewrite. Unlike the rolling
+/// baseline (which `--record` rewrites), these are fixed reference
+/// points: the gate fails outright if a current run gives the batching
+/// win back — a median worse than `pre / MIN_B10_SPEEDUP`.
+const PRE_BATCH_MS: &[(&str, f64)] = &[
+    ("b10/alphabet_predicate_eval_100k", 1.5777),
+    ("b10/pike_vm_scan_10k_notes", 1.1252),
+];
+
+/// Required speedup over [`PRE_BATCH_MS`]. The batching rewrite
+/// measures 3.5-4.3x on full-profile runs; the floor sits at 2.5x so a
+/// noisy quick-profile CI run can't flap the gate, while a revert of
+/// the batched path (~1x) still fails outright.
+const MIN_B10_SPEEDUP: f64 = 2.5;
+
 fn read_rows(path: &str) -> Vec<gate::BenchRow> {
     match std::fs::read_to_string(path) {
         Ok(text) => {
@@ -89,7 +105,32 @@ fn main() -> ExitCode {
         aqua_exec::available_threads(),
     );
     print!("{}", report.render(THRESHOLD, SLACK_MS));
-    if report.failures() > 0 {
+
+    // Absolute floors for the batched hot-path rows: these gate the
+    // *speedup*, not just drift against the rolling baseline.
+    let mut floor_failures = 0usize;
+    for &(key, pre) in PRE_BATCH_MS {
+        let Some(row) = current.iter().find(|r| r.key == key) else {
+            continue;
+        };
+        let floor = pre / MIN_B10_SPEEDUP;
+        if row.median_ms > floor {
+            println!(
+                "FLOOR {key}: {:.4}ms exceeds {floor:.4}ms \
+                 ({MIN_B10_SPEEDUP:.0}x over pre-batching {pre:.4}ms)",
+                row.median_ms
+            );
+            floor_failures += 1;
+        } else {
+            println!(
+                "floor {key}: {:.1}x over pre-batching ({:.4}ms <= {floor:.4}ms)",
+                pre / row.median_ms,
+                row.median_ms
+            );
+        }
+    }
+
+    if report.failures() + floor_failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

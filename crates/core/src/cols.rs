@@ -1,0 +1,399 @@
+//! Structure-of-arrays views over [`Tree`](crate::tree::Tree) and
+//! [`List`].
+//!
+//! The arena [`crate::tree::Node`] layout is pointer-walk
+//! friendly but cache-hostile for bulk operators: every predicate
+//! evaluation, interval computation, or merkle leaf hash chases
+//! `Node.children` vectors scattered across the heap. [`TreeCols`] and
+//! [`ListCols`] flatten a tree/list once into contiguous parallel
+//! columns that the bulk operators, `store::structural`, and
+//! `store::merkle` read directly:
+//!
+//! * CSR children (`child_start` offsets into one flat `children`
+//!   array) and a `parent` column for navigation,
+//! * `pre`/`post` interval columns — byte-identical to
+//!   [`interval_numbering`](crate::tree::Tree::interval_numbering)
+//!   (merkle leaf hashes cover these
+//!   numbers, so the clock discipline here must never diverge),
+//! * the preorder sequence with `rank` and subtree `size` columns,
+//! * the cell-OID column (`cell_oids` in preorder, holes skipped) that
+//!   batched predicate evaluation streams over.
+//!
+//! Views are computed lazily and cached on the owning value: `Tree` is
+//! persistent (every mutator is `&self -> Result<Tree>`), so its cache
+//! never goes stale; `List` has in-place mutators, which invalidate the
+//! cache.
+
+use aqua_object::Oid;
+
+use crate::list::List;
+use crate::tree::{Node, NodeId, Payload};
+
+/// Sentinel for "no parent" / "not a cell" in u32 index columns.
+pub const NONE: u32 = u32::MAX;
+
+/// Flat columnar view of one tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeCols {
+    /// CSR offsets: node `i`'s children are
+    /// `children[child_start[i] .. child_start[i + 1]]`.
+    child_start: Vec<u32>,
+    /// All child arena ids, concatenated in parent-arena order.
+    children: Vec<u32>,
+    /// Parent arena id per node ([`NONE`] at the root).
+    parent: Vec<u32>,
+    /// Preorder entry number per node (same clock as
+    /// [`Tree::interval_numbering`]).
+    pre: Vec<u32>,
+    /// Postorder exit number per node (same clock).
+    post: Vec<u32>,
+    /// Arena ids in document (preorder) order.
+    preorder: Vec<u32>,
+    /// Node → preorder rank.
+    rank: Vec<u32>,
+    /// Node → subtree size (including self).
+    size: Vec<u32>,
+    /// OIDs of cell nodes in preorder — the batched-eval column.
+    cell_oids: Vec<Oid>,
+    /// Arena id of each `cell_oids` entry.
+    cell_nodes: Vec<u32>,
+    /// Node → index into `cell_oids` ([`NONE`] for holes).
+    cell_index: Vec<u32>,
+}
+
+impl TreeCols {
+    /// Flatten an arena in one DFS plus one linear pass.
+    ///
+    /// The DFS uses the exact single-clock discipline of
+    /// [`Tree::interval_numbering`] (entry and exit events share one
+    /// clock; children pushed in reverse), so `pre`/`post` reproduce it
+    /// byte-for-byte — authenticated extents hash these numbers.
+    pub(crate) fn build(nodes: &[Node], root: NodeId) -> TreeCols {
+        let n = nodes.len();
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut children = Vec::with_capacity(n.saturating_sub(1));
+        let mut parent = vec![NONE; n];
+        child_start.push(0u32);
+        for (i, node) in nodes.iter().enumerate() {
+            for &k in &node.children {
+                children.push(k.0);
+                parent[k.index()] = i as u32;
+            }
+            child_start.push(children.len() as u32);
+        }
+
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut preorder = Vec::with_capacity(n);
+        let mut rank = vec![0u32; n];
+        let mut cell_oids = Vec::with_capacity(n);
+        let mut cell_nodes = Vec::with_capacity(n);
+        let mut cell_index = vec![NONE; n];
+        let mut clock = 0u32;
+        let mut stack = vec![(root, false)];
+        while let Some((nd, done)) = stack.pop() {
+            if done {
+                post[nd.index()] = clock;
+                clock += 1;
+                continue;
+            }
+            pre[nd.index()] = clock;
+            clock += 1;
+            rank[nd.index()] = preorder.len() as u32;
+            preorder.push(nd.0);
+            if let Payload::Cell(c) = &nodes[nd.index()].payload {
+                cell_index[nd.index()] = cell_oids.len() as u32;
+                cell_oids.push(c.contents());
+                cell_nodes.push(nd.0);
+            }
+            stack.push((nd, true));
+            for &k in nodes[nd.index()].children.iter().rev() {
+                stack.push((k, false));
+            }
+        }
+
+        // Each subtree node contributes exactly two clock events (entry
+        // + exit) inside its root's interval, so the subtree size falls
+        // out of the interval width with no extra pass.
+        let size: Vec<u32> = (0..n).map(|i| (post[i] - pre[i]).div_ceil(2)).collect();
+
+        TreeCols {
+            child_start,
+            children,
+            parent,
+            pre,
+            post,
+            preorder,
+            rank,
+            size,
+            cell_oids,
+            cell_nodes,
+            cell_index,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the view is over an empty arena.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Children of `node` as a contiguous arena-id slice.
+    #[inline]
+    pub fn children(&self, node: u32) -> &[u32] {
+        let lo = self.child_start[node as usize] as usize;
+        let hi = self.child_start[node as usize + 1] as usize;
+        &self.children[lo..hi]
+    }
+
+    /// Parent arena id of `node` (`None` at the root).
+    #[inline]
+    pub fn parent(&self, node: u32) -> Option<u32> {
+        match self.parent[node as usize] {
+            NONE => None,
+            p => Some(p),
+        }
+    }
+
+    /// Preorder entry number of `node`.
+    #[inline]
+    pub fn pre(&self, node: u32) -> u32 {
+        self.pre[node as usize]
+    }
+
+    /// Postorder exit number of `node`.
+    #[inline]
+    pub fn post(&self, node: u32) -> u32 {
+        self.post[node as usize]
+    }
+
+    /// The `(pre, post)` interval columns, zipped — identical to
+    /// [`Tree::interval_numbering`](crate::Tree::interval_numbering).
+    pub fn intervals(&self) -> Vec<(u32, u32)> {
+        self.pre
+            .iter()
+            .copied()
+            .zip(self.post.iter().copied())
+            .collect()
+    }
+
+    /// The entry-number column, indexed by arena id.
+    #[inline]
+    pub fn pre_col(&self) -> &[u32] {
+        &self.pre
+    }
+
+    /// The exit-number column, indexed by arena id.
+    #[inline]
+    pub fn post_col(&self) -> &[u32] {
+        &self.post
+    }
+
+    /// Arena ids in document order.
+    #[inline]
+    pub fn preorder(&self) -> &[u32] {
+        &self.preorder
+    }
+
+    /// Arena ids in document order, as [`NodeId`]s.
+    #[inline]
+    pub fn preorder_nodes(&self) -> &[NodeId] {
+        let ids: &[u32] = &self.preorder;
+        // SAFETY: NodeId is repr(transparent) over u32, so &[u32] and
+        // &[NodeId] have identical layout.
+        unsafe { std::slice::from_raw_parts(ids.as_ptr().cast::<NodeId>(), ids.len()) }
+    }
+
+    /// The preorder-rank column, indexed by arena id.
+    #[inline]
+    pub fn rank_col(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// The subtree-size column, indexed by arena id.
+    #[inline]
+    pub fn size_col(&self) -> &[u32] {
+        &self.size
+    }
+
+    /// Cell OIDs in preorder (holes skipped) — the column batched
+    /// predicate evaluation streams over.
+    #[inline]
+    pub fn cell_oids(&self) -> &[Oid] {
+        &self.cell_oids
+    }
+
+    /// Arena id of each [`cell_oids`](Self::cell_oids) entry.
+    #[inline]
+    pub fn cell_nodes(&self) -> &[u32] {
+        &self.cell_nodes
+    }
+
+    /// Index of `node`'s OID within [`cell_oids`](Self::cell_oids)
+    /// (`None` for holes).
+    #[inline]
+    pub fn cell_index(&self, node: u32) -> Option<usize> {
+        match self.cell_index[node as usize] {
+            NONE => None,
+            i => Some(i as usize),
+        }
+    }
+}
+
+/// Flat columnar view of one list: the cell-OID column plus the
+/// original position of each cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListCols {
+    oids: Vec<Oid>,
+    positions: Vec<u32>,
+    ground: bool,
+}
+
+impl ListCols {
+    pub(crate) fn build(list: &List) -> ListCols {
+        let n = list.len();
+        let mut oids = Vec::with_capacity(n);
+        let mut positions = Vec::with_capacity(n);
+        for (i, e) in list.elems().iter().enumerate() {
+            if let Some(o) = e.oid() {
+                oids.push(o);
+                positions.push(i as u32);
+            }
+        }
+        let ground = oids.len() == n;
+        ListCols {
+            oids,
+            positions,
+            ground,
+        }
+    }
+
+    /// Cell OIDs in list order (holes skipped).
+    #[inline]
+    pub fn oids(&self) -> &[Oid] {
+        &self.oids
+    }
+
+    /// Original list position of each [`oids`](Self::oids) entry.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// True when the list has no holes (the OID column covers every
+    /// position).
+    #[inline]
+    pub fn ground(&self) -> bool {
+        self.ground
+    }
+
+    /// Number of cells in the column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.oids.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.oids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::list::testutil::Fx as ListFx;
+    use crate::tree::testutil::Fx;
+    use crate::Tree;
+    use aqua_object::Oid;
+
+    #[test]
+    fn intervals_match_pointer_walk() {
+        let mut fx = Fx::new();
+        for spec in ["a", "a(b c)", "a(b(d f) c)", "a(b(d(x y) f) c(g))"] {
+            let t = fx.tree(spec);
+            assert_eq!(t.cols().intervals(), t.interval_numbering(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn preorder_rank_size_match_walk() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c(g h(i)))");
+        let cols = t.cols();
+        let walk: Vec<u32> = t.iter_preorder().map(|n| n.0).collect();
+        assert_eq!(cols.preorder(), &walk[..]);
+        for (r, &n) in walk.iter().enumerate() {
+            assert_eq!(cols.rank_col()[n as usize] as usize, r);
+        }
+        for n in t.iter_preorder() {
+            let expect = 1 + t.descendants(n).len() as u32;
+            assert_eq!(cols.size_col()[n.index()], expect, "{n:?}");
+        }
+    }
+
+    #[test]
+    fn csr_children_and_parent_match_arena() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b(d f) c)");
+        let cols = t.cols();
+        for n in t.iter_preorder() {
+            let arena: Vec<u32> = t.children(n).iter().map(|k| k.0).collect();
+            assert_eq!(cols.children(n.0), &arena[..]);
+            assert_eq!(cols.parent(n.0), t.parent(n).map(|p| p.0));
+        }
+    }
+
+    #[test]
+    fn cell_columns_skip_holes() {
+        let mut fx = Fx::new();
+        let t = fx.tree("a(b @x c)");
+        let cols = t.cols();
+        assert_eq!(cols.cell_oids().len(), 3);
+        assert_eq!(cols.cell_nodes().len(), 3);
+        // Every cell column entry round-trips through cell_index.
+        for (i, &node) in cols.cell_nodes().iter().enumerate() {
+            assert_eq!(cols.cell_index(node), Some(i));
+            assert_eq!(t.oid(crate::NodeId(node)), Some(cols.cell_oids()[i]));
+        }
+        // The hole has no column slot.
+        let hole = t
+            .iter_preorder()
+            .find(|&n| t.oid(n).is_none())
+            .expect("hole present");
+        assert_eq!(cols.cell_index(hole.0), None);
+    }
+
+    #[test]
+    fn tree_cache_survives_clone_independently() {
+        let t = Tree::leaf(Oid(7));
+        let _ = t.cols();
+        let c = t.clone();
+        assert_eq!(c.cols().cell_oids(), &[Oid(7)]);
+        assert_eq!(t, c);
+    }
+
+    #[test]
+    fn list_cols_positions_and_invalidation() {
+        let mut fx = ListFx::new();
+        let mut l = fx.song("A@xB");
+        {
+            let cols = l.cols();
+            assert!(!cols.ground());
+            assert_eq!(cols.positions(), &[0, 2]);
+            assert_eq!(cols.oids(), &l.oids()[..]);
+        }
+        // In-place mutation must invalidate the cached view.
+        let oid = l.oids()[0];
+        l.push(oid);
+        assert_eq!(l.cols().positions(), &[0, 2, 3]);
+        l.remove(1).unwrap();
+        let cols = l.cols();
+        assert!(cols.ground());
+        assert_eq!(cols.positions(), &[0, 1, 2]);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod array;
 pub mod bulk;
+pub mod cols;
 pub mod error;
 pub mod list;
 pub mod setops;
@@ -32,6 +33,7 @@ pub mod tree;
 
 pub use array::AquaArray;
 pub use bulk::{ListSet, TreeSet};
+pub use cols::{ListCols, TreeCols};
 pub use error::{AlgebraError, Result};
 pub use list::{List, ListElem};
 pub use tree::{NodeId, Payload, Tree, TreeBuilder};

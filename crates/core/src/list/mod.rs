@@ -11,9 +11,12 @@ pub mod embed;
 pub mod ops;
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use aqua_object::{Cell, ObjectStore, Oid};
 use aqua_pattern::CcLabel;
+
+use crate::cols::ListCols;
 
 /// One list element.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,9 +46,32 @@ impl ListElem {
 }
 
 /// An ordered list over cells with labeled NULLs.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Carries a lazily-built [`ListCols`] flat view (the contiguous
+/// cell-OID column batched predicate evaluation streams over). The
+/// in-place mutators invalidate the cache.
+#[derive(Default)]
 pub struct List {
     pub(crate) elems: Vec<ListElem>,
+    pub(crate) cols: OnceLock<ListCols>,
+}
+
+impl fmt::Debug for List {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("List").field("elems", &self.elems).finish()
+    }
+}
+
+impl Clone for List {
+    fn clone(&self) -> List {
+        List::from_elems(self.elems.clone())
+    }
+}
+
+impl PartialEq for List {
+    fn eq(&self, other: &List) -> bool {
+        self.elems == other.elems
+    }
 }
 
 impl List {
@@ -56,17 +82,26 @@ impl List {
 
     /// A list of the given objects, each wrapped in a fresh cell.
     pub fn from_oids(oids: impl IntoIterator<Item = Oid>) -> List {
-        List {
-            elems: oids
-                .into_iter()
+        List::from_elems(
+            oids.into_iter()
                 .map(|o| ListElem::Cell(Cell::new(o)))
                 .collect(),
-        }
+        )
     }
 
     /// A list from explicit elements.
     pub fn from_elems(elems: Vec<ListElem>) -> List {
-        List { elems }
+        List {
+            elems,
+            cols: OnceLock::new(),
+        }
+    }
+
+    /// The flat columnar view, built on first use and cached until the
+    /// next in-place mutation.
+    #[inline]
+    pub fn cols(&self) -> &ListCols {
+        self.cols.get_or_init(|| ListCols::build(self))
     }
 
     /// Number of elements (cells and holes).
@@ -103,11 +138,13 @@ impl List {
 
     /// Append an object element.
     pub fn push(&mut self, oid: Oid) {
+        self.cols = OnceLock::new();
         self.elems.push(ListElem::Cell(Cell::new(oid)));
     }
 
     /// Append a labeled NULL.
     pub fn push_hole(&mut self, label: impl Into<CcLabel>) {
+        self.cols = OnceLock::new();
         self.elems.push(ListElem::Hole(label.into()));
     }
 
@@ -116,6 +153,7 @@ impl List {
     /// relative order — the stability contract of the algebra.
     pub fn remove(&mut self, i: usize) -> Option<ListElem> {
         if i < self.elems.len() {
+            self.cols = OnceLock::new();
             Some(self.elems.remove(i))
         } else {
             None
@@ -133,7 +171,7 @@ impl List {
                 other_elem => out.push(other_elem.clone()),
             }
         }
-        List { elems: out }
+        List::from_elems(out)
     }
 
     /// Plain concatenation `self ∘ other` (the implicit concatenation
@@ -141,7 +179,7 @@ impl List {
     pub fn concat(&self, other: &List) -> List {
         let mut elems = self.elems.clone();
         elems.extend(other.elems.iter().cloned());
-        List { elems }
+        List::from_elems(elems)
     }
 
     /// Render with a labeling function, in the paper's `[abc]` notation.

@@ -35,35 +35,40 @@ pub fn select(store: &ObjectStore, list: &List, p: &Pred) -> List {
     infallible(select_guarded(store, list, p, None))
 }
 
-/// [`select`] under an optional execution guard: one step per element.
+/// [`select`] under an optional execution guard. Evaluation is batched:
+/// the predicate is compiled to a flat program and run over the list's
+/// contiguous OID column ([`List::cols`]) a chunk at a time, charging
+/// the guard per chunk. The step total is unchanged — one step per
+/// element, cells and holes alike.
 pub fn select_guarded(
     store: &ObjectStore,
     list: &List,
     p: &Pred,
     guard: Option<&ExecGuard>,
 ) -> Result<List> {
-    let mut elems = Vec::new();
-    for e in &list.elems {
-        aqua_guard::step(guard)?;
-        if e.oid().is_some_and(|o| p.eval(store, o)) {
-            elems.push(e.clone());
-        }
+    let cols = list.cols();
+    let program = p.batch();
+    let bits = program.eval(store, cols.oids(), guard)?;
+    // Holes never satisfy a predicate but still cost their visit step.
+    aqua_guard::steps_n(guard, (list.len() - cols.len()) as u64)?;
+    let mut elems = Vec::with_capacity(bits.count_ones());
+    for i in bits.ones() {
+        elems.push(list.elems[cols.positions()[i] as usize].clone());
     }
-    Ok(List { elems })
+    Ok(List::from_elems(elems))
 }
 
 /// `apply(f)(L)` — map every cell through `f`; holes are preserved.
 pub fn apply(list: &List, mut f: impl FnMut(Oid) -> Oid) -> List {
-    List {
-        elems: list
-            .elems
+    List::from_elems(
+        list.elems
             .iter()
             .map(|e| match e {
                 ListElem::Cell(c) => ListElem::Cell(aqua_object::Cell::new(f(c.contents()))),
                 hole => hole.clone(),
             })
             .collect(),
-    }
+    )
 }
 
 /// Find pattern matches in `list`, honoring holes (matches are found
@@ -85,8 +90,14 @@ pub fn find_matches_guarded(
     mode: MatchMode,
     guard: Option<&ExecGuard>,
 ) -> Result<Vec<ListMatch>> {
-    let mut out = Vec::new();
     let n = list.len();
+    let cols = list.cols();
+    if cols.ground() {
+        // Hole-free list: one run covering everything — match straight
+        // over the cached contiguous OID column, no copying.
+        return Ok(pattern.find_matches_guarded(store, cols.oids(), mode, guard)?);
+    }
+    let mut out = Vec::new();
     let mut run_start = 0usize;
     while run_start < n {
         // Skip holes.
@@ -162,9 +173,8 @@ impl ListSplitPieces {
     /// The match with its pruned-run and suffix holes removed — the
     /// `y ∘_{α_i} []` reduction `sub_select` applies.
     pub fn matched_reduced(&self) -> List {
-        List {
-            elems: self
-                .matched
+        List::from_elems(
+            self.matched
                 .elems
                 .iter()
                 .filter(|e| match e {
@@ -173,7 +183,7 @@ impl ListSplitPieces {
                 })
                 .cloned()
                 .collect(),
-        }
+        )
     }
 }
 
@@ -193,9 +203,7 @@ pub fn pieces_for_match(list: &List, m: ListMatch) -> ListSplitPieces {
     };
     let alpha = fresh("a".to_string());
 
-    let mut prefix = List {
-        elems: list.elems[..m.start].to_vec(),
-    };
+    let mut prefix = List::from_elems(list.elems[..m.start].to_vec());
     prefix.elems.push(ListElem::Hole(alpha.clone()));
 
     let mut matched = List::new();
@@ -212,9 +220,7 @@ pub fn pieces_for_match(list: &List, m: ListMatch) -> ListSplitPieces {
             let label = fresh((cut_labels.len() + 1).to_string());
             matched.elems.push(ListElem::Hole(label.clone()));
             cut_labels.push(label);
-            rest.push(List {
-                elems: list.elems[run_start..i].to_vec(),
-            });
+            rest.push(List::from_elems(list.elems[run_start..i].to_vec()));
         } else {
             matched.elems.push(list.elems[i].clone());
             i += 1;
@@ -224,9 +230,7 @@ pub fn pieces_for_match(list: &List, m: ListMatch) -> ListSplitPieces {
         let label = fresh((cut_labels.len() + 1).to_string());
         matched.elems.push(ListElem::Hole(label.clone()));
         cut_labels.push(label);
-        rest.push(List {
-            elems: list.elems[m.end..].to_vec(),
-        });
+        rest.push(List::from_elems(list.elems[m.end..].to_vec()));
     }
     ListSplitPieces {
         prefix,

@@ -135,6 +135,7 @@ impl TreeBuilder {
         Ok(Tree {
             nodes: self.nodes,
             root,
+            cols: std::sync::OnceLock::new(),
         })
     }
 }

@@ -19,9 +19,13 @@ pub mod ops;
 pub mod split;
 pub mod update;
 
+use std::sync::OnceLock;
+
 use aqua_object::{Cell, Oid};
 use aqua_pattern::tree_match::{NodePayloadRef, TreeAccess};
 use aqua_pattern::CcLabel;
+
+use crate::cols::TreeCols;
 
 pub use build::TreeBuilder;
 
@@ -78,10 +82,41 @@ pub struct Node {
 
 /// An ordered tree over cells, with labeled NULLs (holes) as possible
 /// leaves.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Carries a lazily-built [`TreeCols`] flat view (contiguous CSR
+/// children, interval, preorder, and cell-OID columns) that the bulk
+/// operators and the store readers use instead of walking
+/// `Node.children`. Every mutator is persistent (`&self -> Tree`), so
+/// the cached view can never go stale; clones start with a cold cache.
 pub struct Tree {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,
+    pub(crate) cols: OnceLock<TreeCols>,
+}
+
+impl std::fmt::Debug for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tree")
+            .field("nodes", &self.nodes)
+            .field("root", &self.root)
+            .finish()
+    }
+}
+
+impl Clone for Tree {
+    fn clone(&self) -> Tree {
+        Tree {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            cols: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Tree {
+    fn eq(&self, other: &Tree) -> bool {
+        self.nodes == other.nodes && self.root == other.root
+    }
 }
 
 impl Tree {
@@ -94,6 +129,7 @@ impl Tree {
                 parent: None,
             }],
             root: NodeId(0),
+            cols: OnceLock::new(),
         }
     }
 
@@ -107,7 +143,15 @@ impl Tree {
                 parent: None,
             }],
             root: NodeId(0),
+            cols: OnceLock::new(),
         }
+    }
+
+    /// The flat columnar view, built on first use and cached.
+    #[inline]
+    pub fn cols(&self) -> &TreeCols {
+        self.cols
+            .get_or_init(|| TreeCols::build(&self.nodes, self.root))
     }
 
     /// The root node.
@@ -199,6 +243,10 @@ impl TreeAccess for Tree {
             Payload::Cell(c) => NodePayloadRef::Obj(c.contents()),
             Payload::Hole(l) => NodePayloadRef::Hole(l),
         }
+    }
+
+    fn preorder_hint(&self) -> Option<&[u32]> {
+        Some(self.cols().preorder())
     }
 }
 

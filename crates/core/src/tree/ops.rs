@@ -44,6 +44,12 @@ pub fn select(store: &ObjectStore, tree: &Tree, p: &Pred) -> Vec<Tree> {
 
 /// [`select`] under an optional execution guard: each node visit counts
 /// one step, each result tree counts toward the result cap.
+///
+/// Predicate evaluation is batched: the predicate is compiled to a flat
+/// program and run over the tree's contiguous cell-OID column
+/// ([`Tree::cols`]) a chunk at a time, charging the guard per chunk;
+/// the structural walk then just consults the resulting bitmask. The
+/// step total is unchanged — one per node, cells and holes alike.
 pub fn select_guarded(
     store: &ObjectStore,
     tree: &Tree,
@@ -52,45 +58,43 @@ pub fn select_guarded(
 ) -> Result<Vec<Tree>> {
     struct Builder<'t> {
         tree: &'t Tree,
+        sat: aqua_pattern::batch::BitRow,
     }
     struct Picked {
         oid: Oid,
         children: Vec<Picked>,
     }
     impl Builder<'_> {
-        fn walk(
-            &self,
-            store: &ObjectStore,
-            p: &Pred,
-            node: NodeId,
-            out: &mut Vec<Picked>,
-            guard: Option<&ExecGuard>,
-        ) -> Result<()> {
-            aqua_guard::step(guard)?;
-            let satisfied = self.tree.oid(node).is_some_and(|oid| p.eval(store, oid));
+        fn walk(&self, node: NodeId, out: &mut Vec<Picked>) {
+            let cols = self.tree.cols();
+            let satisfied = cols.cell_index(node.0).is_some_and(|i| self.sat.get(i));
             if satisfied {
                 let mut picked = Picked {
                     oid: self.tree.oid(node).unwrap(),
                     children: Vec::new(),
                 };
                 for &k in self.tree.children(node) {
-                    self.walk(store, p, k, &mut picked.children, guard)?;
+                    self.walk(k, &mut picked.children);
                 }
                 out.push(picked);
             } else {
                 for &k in self.tree.children(node) {
-                    self.walk(store, p, k, out, guard)?;
+                    self.walk(k, out);
                 }
             }
-            Ok(())
         }
     }
     fn realize(picked: &Picked, b: &mut TreeBuilder) -> NodeId {
         let kids = picked.children.iter().map(|c| realize(c, b)).collect();
         b.node(picked.oid, kids)
     }
+    let cols = tree.cols();
+    let program = p.batch();
+    let sat = program.eval(store, cols.cell_oids(), guard)?;
+    // Holes never satisfy a predicate but still cost their visit step.
+    aqua_guard::steps_n(guard, (tree.len() - cols.cell_oids().len()) as u64)?;
     let mut roots = Vec::new();
-    Builder { tree }.walk(store, p, tree.root(), &mut roots, guard)?;
+    Builder { tree, sat }.walk(tree.root(), &mut roots);
     let mut out = Vec::with_capacity(roots.len());
     for r in &roots {
         let mut b = TreeBuilder::new();

@@ -129,13 +129,17 @@ impl Shard {
         }
     }
 
-    /// The owner takes the next item from the front.
-    fn pop(&self) -> Option<usize> {
+    /// The owner takes a contiguous run of up to `max` items from the
+    /// front. Chunked popping keeps workers on cache-adjacent members
+    /// and takes the shard lock once per run instead of once per item;
+    /// thieves still carve the back half, so balance is preserved.
+    fn pop_run(&self, max: usize) -> Option<(usize, usize)> {
         let mut r = lock(&self.range);
         if r.0 < r.1 {
-            let i = r.0;
-            r.0 += 1;
-            Some(i)
+            let hi = (r.0 + max).min(r.1);
+            let run = (r.0, hi);
+            r.0 = hi;
+            Some(run)
         } else {
             None
         }
@@ -159,12 +163,13 @@ impl Shard {
     }
 }
 
-/// One worker's run loop: drain own shard, then steal until the forest
-/// is exhausted or someone aborted.
+/// One worker's run loop: drain own shard in contiguous chunks, then
+/// steal until the forest is exhausted or someone aborted.
 fn run_worker<T, R, E, F>(
     me: usize,
     shards: &[Shard],
     items: &[T],
+    chunk: usize,
     abort: &AtomicBool,
     guard: Option<&ExecGuard>,
     f: &F,
@@ -178,8 +183,8 @@ where
         if abort.load(Ordering::Relaxed) {
             break;
         }
-        let idx = match shards[me].pop() {
-            Some(i) => i,
+        let (lo, hi) = match shards[me].pop_run(chunk) {
+            Some(run) => run,
             None => {
                 let mut stolen = None;
                 for (v, shard) in shards.iter().enumerate() {
@@ -192,30 +197,44 @@ where
                     }
                 }
                 match stolen {
-                    // Run the first stolen item now, queue the rest.
-                    Some((lo, hi)) => {
+                    // Install the loot and pop a chunk of it next turn.
+                    Some(range) => {
                         if let Some(m) = obs {
                             m.pool_steals.inc();
                         }
-                        shards[me].install((lo + 1, hi));
-                        lo
+                        shards[me].install(range);
+                        continue;
                     }
                     None => break,
                 }
             }
         };
-        if let Some(m) = obs {
-            m.pool_items.inc();
-        }
-        match f(idx, &items[idx], guard) {
-            Ok(r) => out.push((idx, r)),
-            Err(e) => {
-                abort.store(true, Ordering::Relaxed);
-                return Err((idx, e));
+        for (idx, item) in items.iter().enumerate().take(hi).skip(lo) {
+            // Abort promptly even mid-run: unfinished items just never
+            // reach the merge (the caller reports the first error).
+            if abort.load(Ordering::Relaxed) {
+                return Ok(out);
+            }
+            if let Some(m) = obs {
+                m.pool_items.inc();
+            }
+            match f(idx, item, guard) {
+                Ok(r) => out.push((idx, r)),
+                Err(e) => {
+                    abort.store(true, Ordering::Relaxed);
+                    return Err((idx, e));
+                }
             }
         }
     }
     Ok(out)
+}
+
+/// Items per shard-lock acquisition: coarse enough to amortize the lock
+/// and keep a worker on cache-adjacent members, fine enough that the
+/// back-half steal still balances skewed member costs.
+pub(crate) fn run_chunk(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 8)).clamp(1, 64)
 }
 
 /// Map `f` over `items` on up to `threads` workers, merging results in
@@ -264,6 +283,7 @@ where
     let shards: Vec<Shard> = (0..threads)
         .map(|w| Shard::new(n * w / threads, n * (w + 1) / threads))
         .collect();
+    let chunk = run_chunk(n, threads);
     let abort = AtomicBool::new(false);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
@@ -280,7 +300,7 @@ where
                 if let Some(m) = guard.as_ref().and_then(ExecGuard::metrics) {
                     m.pool_workers.inc();
                 }
-                let run = run_worker(me, shards, items, abort, guard.as_ref(), f);
+                let run = run_worker(me, shards, items, chunk, abort, guard.as_ref(), f);
                 if let Some(g) = &guard {
                     g.flush();
                     if let Some(m) = g.metrics() {
@@ -462,6 +482,14 @@ mod tests {
             1
         );
         waiter.join().unwrap();
+    }
+
+    #[test]
+    fn chunk_sizing_amortizes_without_starving_thieves() {
+        assert_eq!(run_chunk(0, 4), 1);
+        assert_eq!(run_chunk(7, 8), 1);
+        assert_eq!(run_chunk(1024, 4), 32);
+        assert_eq!(run_chunk(1_000_000, 4), 64, "clamped");
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub struct CostModel {
     /// share of the order-preserving merge). Parallelism only pays when
     /// the per-worker slice of the scan dwarfs this.
     pub worker_spawn: f64,
+    /// Throughput multiplier of the batched columnar scan over the
+    /// per-element pointer walk: flat predicate programs run over
+    /// contiguous OID columns in chunks (amortized dereferences, bitset
+    /// combination, chunked guard charging), so one "scan" of `n`
+    /// elements costs `n / batch_factor` pred-test units.
+    pub batch_factor: f64,
 }
 
 impl Default for CostModel {
@@ -32,6 +38,7 @@ impl Default for CostModel {
             probe_step: 2.0,
             default_selectivity: 0.1,
             worker_spawn: 5_000.0,
+            batch_factor: 4.0,
         }
     }
 }
@@ -47,9 +54,15 @@ impl CostModel {
     }
 
     /// Cost of scanning `n` elements testing a pattern of `size` states
-    /// at each.
+    /// at each, one element at a time (pointer walk).
     pub fn scan(&self, n: usize, pattern_size: usize) -> f64 {
         n as f64 * pattern_size as f64 * self.pred_test
+    }
+
+    /// Cost of the same scan run batched over a contiguous OID column
+    /// (see [`batch_factor`](CostModel::batch_factor)).
+    pub fn scan_batched(&self, n: usize, pattern_size: usize) -> f64 {
+        self.scan(n, pattern_size) / self.batch_factor.max(1.0)
     }
 
     /// Cost of an index probe returning `hits` candidates out of

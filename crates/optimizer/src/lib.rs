@@ -107,6 +107,7 @@ impl<'a> Optimizer<'a> {
         let mut explain = Explain::new();
         let naive = plan::extent_scan(pred, self.catalog, &self.cost)?;
         explain.consider(&naive);
+        explain.rule("batched-columnar-scan");
         let mut best = naive;
         if let Some(candidate) = rules::select_split::apply(pred, self.catalog, &self.cost)? {
             explain.consider(&candidate);
@@ -138,6 +139,7 @@ impl<'a> Optimizer<'a> {
             &self.cost,
         )?;
         explain.consider(&naive);
+        explain.rule("batched-columnar-scan");
         let mut best = naive;
         if let Some(candidate) = rules::positional::apply(
             re,

@@ -353,14 +353,16 @@ pub enum SetPlan {
     },
 }
 
-/// Build the naive set plan.
+/// Build the naive set plan. The scan executes batched over the
+/// extent's contiguous OID slice, so it is costed with
+/// [`CostModel::scan_batched`].
 pub fn extent_scan(pred: &PredExpr, catalog: &Catalog<'_>, cost: &CostModel) -> Result<SetPlan> {
     let compiled = pred.compile(catalog.class, catalog.store.class(catalog.class))?;
     let n = catalog.store.extent(catalog.class).len();
     Ok(SetPlan::ExtentScan {
         pred: compiled,
         pred_text: pred.to_string(),
-        est_cost: cost.scan(n, pred.conjuncts().len()),
+        est_cost: cost.scan_batched(n, pred.conjuncts().len()),
     })
 }
 
@@ -437,15 +439,27 @@ impl SetPlan {
         explain: &mut Explain,
     ) -> Result<(Vec<Oid>, bool)> {
         let full = |out: &Vec<Oid>| cap.is_some_and(|c| out.len() as u64 >= c);
+        // Batched columnar scan: compile the predicate to a flat program
+        // and run it over the extent's contiguous OID slice a chunk at a
+        // time (guard charged per chunk; the step total stays one per
+        // element scanned, and a result cap stops between chunks).
         let scan = |pred: &Pred, guard: Option<&ExecGuard>| -> Result<(Vec<Oid>, bool)> {
+            let program = pred.batch();
             let mut out = Vec::new();
-            for &o in catalog.store.extent(catalog.class) {
+            for chunk in catalog
+                .store
+                .extent(catalog.class)
+                .chunks(aqua_pattern::batch::CHUNK)
+            {
                 if full(&out) {
                     return Ok((out, true));
                 }
-                aqua_guard::step(guard)?;
-                if pred.eval(catalog.store, o) {
-                    out.push(o);
+                let bits = program.eval(catalog.store, chunk, guard)?;
+                for i in bits.ones() {
+                    if full(&out) {
+                        return Ok((out, true));
+                    }
+                    out.push(chunk[i]);
                     aqua_guard::result_emitted(guard)?;
                 }
             }
@@ -551,8 +565,12 @@ pub fn full_list_scan(
         catalog.store.class(catalog.class),
     )?;
     // Sublist search is quadratic in the worst case: n starts × n steps.
-    let est =
-        cost.scan(list_len * list_len.max(1), pattern.nfa_size()) / list_len.max(1) as f64 * 2.0;
+    // The pike VM runs batched (leaf predicates evaluated columnar, a
+    // candidate-start bitmap skipping non-viable starts), so the scan
+    // term carries the batch factor.
+    let est = cost.scan_batched(list_len * list_len.max(1), pattern.nfa_size())
+        / list_len.max(1) as f64
+        * 2.0;
     Ok(ListPlan::FullListScan {
         pattern,
         est_cost: est,

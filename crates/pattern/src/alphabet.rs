@@ -177,6 +177,7 @@ impl PredExpr {
         Ok(Pred {
             class: class_id,
             node: self.compile_node(class)?,
+            batch: std::sync::OnceLock::new(),
         })
     }
 
@@ -225,7 +226,7 @@ impl fmt::Display for PredExpr {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum PredNode {
+pub(crate) enum PredNode {
     True,
     Cmp {
         attr: AttrId,
@@ -241,10 +242,38 @@ enum PredNode {
 /// resolved to positional offsets. Evaluation is constant-time in the
 /// size of the database (it touches exactly one object), satisfying the
 /// paper's tractability requirement.
-#[derive(Debug, Clone, PartialEq)]
 pub struct Pred {
     class: ClassId,
     node: PredNode,
+    /// The batched program, compiled on first use and shared from then
+    /// on (including across clones) — bulk member loops never flatten
+    /// the predicate twice.
+    batch: std::sync::OnceLock<std::sync::Arc<crate::batch::BatchProgram>>,
+}
+
+impl Clone for Pred {
+    fn clone(&self) -> Self {
+        Pred {
+            class: self.class,
+            node: self.node.clone(),
+            batch: self.batch.clone(),
+        }
+    }
+}
+
+impl PartialEq for Pred {
+    fn eq(&self, other: &Self) -> bool {
+        self.class == other.class && self.node == other.node
+    }
+}
+
+impl std::fmt::Debug for Pred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pred")
+            .field("class", &self.class)
+            .field("node", &self.node)
+            .finish()
+    }
 }
 
 impl Pred {
@@ -279,7 +308,24 @@ impl Pred {
         Pred {
             class,
             node: PredNode::True,
+            batch: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The batched evaluation program for this predicate, compiled on
+    /// first use and cached. Callers evaluating over OID columns should
+    /// use this instead of
+    /// [`BatchProgram::compile`](crate::batch::BatchProgram::compile)
+    /// so bulk member loops share one flattening.
+    pub fn batch(&self) -> &std::sync::Arc<crate::batch::BatchProgram> {
+        self.batch
+            .get_or_init(|| std::sync::Arc::new(crate::batch::BatchProgram::compile(self)))
+    }
+
+    /// The compiled predicate tree (crate-internal: the batched
+    /// evaluator flattens it into a postfix program).
+    pub(crate) fn node(&self) -> &PredNode {
+        &self.node
     }
 }
 

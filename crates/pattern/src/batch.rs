@@ -1,0 +1,725 @@
+//! Batched alphabet-predicate evaluation over OID columns.
+//!
+//! The scalar path ([`Pred::eval`]) dereferences one object, walks the
+//! `Box`-recursive predicate tree, and returns one bool — fine for a
+//! single probe, wasteful in a bulk scan where the same tree is walked
+//! once *per element*. This module flattens the compiled predicate into
+//! a postfix [`BatchProgram`] once, then evaluates it over contiguous
+//! runs of OIDs: each comparison leaf becomes one tight loop over a
+//! column slice producing a [`BitRow`], and the boolean connectives
+//! combine rows word-wise (64 elements per instruction).
+//!
+//! Semantics are *bit-identical* to the scalar evaluator, including its
+//! class discipline:
+//!
+//! * an object of a different class never satisfies a non-trivial
+//!   predicate (the final row is ANDed with a class mask, so `NOT`
+//!   cannot resurrect a wrong-class element);
+//! * comparison leaves never touch the attribute columns of wrong-class
+//!   objects (their row slots stay 0 without dereferencing `values`);
+//! * the bare `true` predicate (the `?` metacharacter) stays
+//!   class-agnostic: a root-`True` program is an all-ones row.
+//!
+//! Guard accounting is chunked: one [`aqua_guard::steps_n`]
+//! charge per [`CHUNK`]-element run instead of one per element. Totals
+//! stay exact (`n` steps per full evaluation, same as the scalar loop)
+//! and a budget/deadline/cancel verdict still lands within one chunk of
+//! its limit, because `steps_n` checks the budget on every call and
+//! checkpoints at least every `CHUNK <= CHECK_PERIOD` steps.
+
+use aqua_guard::{steps_n, ExecGuard, GuardError};
+use aqua_object::{AttrId, ClassId, ObjectStore, Oid, Value};
+
+use crate::alphabet::{CmpOp, Pred, PredNode};
+
+/// Elements evaluated per guard charge; at most the guard's checkpoint
+/// period so trip latency stays bounded by one chunk.
+pub const CHUNK: usize = 1024;
+
+/// A packed boolean column: bit `i` is the verdict for element `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitRow {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitRow {
+    /// An all-zeros row over `len` elements.
+    pub fn zeros(len: usize) -> BitRow {
+        BitRow {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the row covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize to `len` elements, all zeros.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// The backing words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of all set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// `self &= other` (rows must be the same length).
+    pub fn and_assign(&mut self, other: &BitRow) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other` (rows must be the same length).
+    pub fn or_assign(&mut self, other: &BitRow) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Zero any tail bits beyond `len` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// One postfix instruction of a flattened predicate.
+#[derive(Debug, Clone, PartialEq)]
+enum BatchOp {
+    /// Push all-ones.
+    True,
+    /// Push the column verdicts of `attr op constant`.
+    Cmp {
+        attr: AttrId,
+        op: CmpOp,
+        constant: Value,
+    },
+    /// Pop two, push AND.
+    And,
+    /// Pop two, push OR.
+    Or,
+    /// Pop one, push NOT.
+    Not,
+}
+
+/// A comparison leaf pre-dispatched on its constant's type, so the hot
+/// loop is a monomorphic compare instead of a [`Value::try_cmp`] double
+/// dispatch. Cross-type comparisons are undefined and therefore `false`
+/// (for every operator, including `Ne` — matching [`CmpOp::apply`]).
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    /// `attr op k` against an integer constant.
+    IntCmp { attr: AttrId, op: CmpOp, k: i64 },
+    /// `attr = k` / `attr != k` against a string constant.
+    StrEq { attr: AttrId, k: String, want: bool },
+    /// Ordered string comparison.
+    StrOrd { attr: AttrId, op: CmpOp, k: String },
+    /// Everything else falls back to the generic compare.
+    Any { attr: AttrId, op: CmpOp, k: Value },
+}
+
+impl Leaf {
+    fn new(attr: AttrId, op: CmpOp, constant: &Value) -> Leaf {
+        match constant {
+            Value::Int(k) => Leaf::IntCmp { attr, op, k: *k },
+            Value::Str(k) if matches!(op, CmpOp::Eq | CmpOp::Ne) => Leaf::StrEq {
+                attr,
+                k: k.clone(),
+                want: op == CmpOp::Eq,
+            },
+            Value::Str(k) => Leaf::StrOrd {
+                attr,
+                op,
+                k: k.clone(),
+            },
+            other => Leaf::Any {
+                attr,
+                op,
+                k: other.clone(),
+            },
+        }
+    }
+
+    /// Verdict on one (right-class) value row.
+    #[inline(always)]
+    fn test(&self, vals: &[Value]) -> bool {
+        match self {
+            Leaf::IntCmp { attr, op, k } => match &vals[attr.index()] {
+                Value::Int(v) => ord_holds(*op, v.cmp(k)),
+                _ => false,
+            },
+            Leaf::StrEq { attr, k, want } => match &vals[attr.index()] {
+                Value::Str(v) => bytes_eq(v.as_bytes(), k.as_bytes()) == *want,
+                _ => false,
+            },
+            Leaf::StrOrd { attr, op, k } => match &vals[attr.index()] {
+                Value::Str(v) => ord_holds(*op, v.as_str().cmp(k)),
+                _ => false,
+            },
+            Leaf::Any { attr, op, k } => op.apply(&vals[attr.index()], k),
+        }
+    }
+}
+
+/// A flattened, reusable evaluation plan for one compiled [`Pred`].
+///
+/// Compile once per (pattern, class) — [`ListPattern`](crate::list::ListPattern)
+/// does this at pattern-compile time, so cached patterns carry their
+/// batch programs and bulk member loops never rebuild them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchProgram {
+    class: ClassId,
+    ops: Vec<BatchOp>,
+    /// Stack slots needed by the postfix program.
+    depth: usize,
+    /// When the whole predicate is a conjunction of comparison leaves
+    /// (the shape every extent-scan select and most alphabet symbols
+    /// take), evaluation fuses into a single short-circuiting pass —
+    /// one dereference per element, verdict words written straight into
+    /// the output row, no gather scratch.
+    conj: Option<Vec<Leaf>>,
+}
+
+impl BatchProgram {
+    /// Flatten `pred` into a postfix program.
+    pub fn compile(pred: &Pred) -> BatchProgram {
+        let mut ops = Vec::new();
+        flatten(pred.node(), &mut ops);
+        let mut depth = 0usize;
+        let mut cur = 0usize;
+        for op in &ops {
+            match op {
+                BatchOp::True | BatchOp::Cmp { .. } => cur += 1,
+                BatchOp::And | BatchOp::Or => cur -= 1,
+                BatchOp::Not => {}
+            }
+            depth = depth.max(cur);
+        }
+        let mut leaves = Vec::new();
+        let conj = conjunction_of(pred.node(), &mut leaves).then_some(leaves);
+        BatchProgram {
+            class: pred.class(),
+            ops,
+            depth,
+            conj,
+        }
+    }
+
+    /// The class this program tests against.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Whether this is the class-agnostic `?` program (root `True`).
+    pub fn is_always(&self) -> bool {
+        self.ops == [BatchOp::True]
+    }
+
+    /// Evaluate over `oids`, writing one verdict bit per element into
+    /// `out` (resized to `oids.len()`). Bit-identical to calling
+    /// [`Pred::eval`] per element. Charges `oids.len()` guard steps in
+    /// [`CHUNK`]-sized batches.
+    pub fn eval_into(
+        &self,
+        store: &ObjectStore,
+        oids: &[Oid],
+        guard: Option<&ExecGuard>,
+        out: &mut BitRow,
+    ) -> Result<(), GuardError> {
+        out.reset(oids.len());
+        if self.is_always() {
+            // `?` is class-agnostic: every element passes.
+            steps_n(guard, oids.len() as u64)?;
+            for w in out.words.iter_mut() {
+                *w = u64::MAX;
+            }
+            out.mask_tail();
+            return Ok(());
+        }
+        if let Some(leaves) = &self.conj {
+            for (chunk_idx, chunk) in oids.chunks(CHUNK).enumerate() {
+                steps_n(guard, chunk.len() as u64)?;
+                let base = chunk_idx * (CHUNK / 64);
+                eval_conj_chunk(store, self.class, leaves, chunk, &mut out.words[base..]);
+            }
+            out.mask_tail();
+            return Ok(());
+        }
+        let mut scratch = EvalScratch::new(self.depth);
+        for (chunk_idx, chunk) in oids.chunks(CHUNK).enumerate() {
+            steps_n(guard, chunk.len() as u64)?;
+            let verdicts = self.eval_chunk(store, chunk, &mut scratch);
+            let base = chunk_idx * (CHUNK / 64);
+            out.words[base..base + chunk.len().div_ceil(64)]
+                .copy_from_slice(&verdicts[..chunk.len().div_ceil(64)]);
+        }
+        out.mask_tail();
+        Ok(())
+    }
+
+    /// Evaluate over `oids` into a fresh row.
+    pub fn eval(
+        &self,
+        store: &ObjectStore,
+        oids: &[Oid],
+        guard: Option<&ExecGuard>,
+    ) -> Result<BitRow, GuardError> {
+        let mut out = BitRow::default();
+        self.eval_into(store, oids, guard, &mut out)?;
+        Ok(out)
+    }
+
+    /// Run the postfix program over one chunk; returns the top of stack
+    /// ANDed with the class mask.
+    fn eval_chunk<'a, 's>(
+        &self,
+        store: &'a ObjectStore,
+        chunk: &[Oid],
+        scratch: &'s mut EvalScratch<'a>,
+    ) -> &'s [u64; WORDS] {
+        // Dereference each element once: the attribute columns of every
+        // comparison leaf come from the same object row.
+        scratch.values.clear();
+        let mut class_ok = [0u64; WORDS];
+        for (i, &oid) in chunk.iter().enumerate() {
+            let obj = store.deref(oid);
+            if obj.class() == self.class {
+                class_ok[i / 64] |= 1u64 << (i % 64);
+                scratch.values.push(Some(obj.values()));
+            } else {
+                scratch.values.push(None);
+            }
+        }
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match op {
+                BatchOp::True => {
+                    scratch.stack[sp] = [u64::MAX; WORDS];
+                    sp += 1;
+                }
+                BatchOp::Cmp { attr, op, constant } => {
+                    let row = &mut scratch.stack[sp];
+                    *row = [0u64; WORDS];
+                    cmp_column(&scratch.values, attr.index(), *op, constant, row);
+                    sp += 1;
+                }
+                BatchOp::And => {
+                    sp -= 1;
+                    let (lo, hi) = scratch.stack.split_at_mut(sp);
+                    let dst = &mut lo[sp - 1];
+                    for (a, b) in dst.iter_mut().zip(hi[0].iter()) {
+                        *a &= b;
+                    }
+                }
+                BatchOp::Or => {
+                    sp -= 1;
+                    let (lo, hi) = scratch.stack.split_at_mut(sp);
+                    let dst = &mut lo[sp - 1];
+                    for (a, b) in dst.iter_mut().zip(hi[0].iter()) {
+                        *a |= b;
+                    }
+                }
+                BatchOp::Not => {
+                    for w in scratch.stack[sp - 1].iter_mut() {
+                        *w = !*w;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1);
+        // Scalar semantics: a wrong-class element fails every
+        // non-trivial predicate, however the connectives fold — mask
+        // last so `NOT` cannot resurrect one.
+        let top = &mut scratch.stack[0];
+        for (a, b) in top.iter_mut().zip(class_ok.iter()) {
+            *a &= b;
+        }
+        top
+    }
+}
+
+/// Words per evaluation chunk.
+const WORDS: usize = CHUNK / 64;
+
+/// Reused per-call evaluation state: the postfix value stack and the
+/// per-chunk dereferenced attribute rows (borrowed from the store for
+/// the duration of one `eval_into`).
+struct EvalScratch<'a> {
+    stack: Vec<[u64; WORDS]>,
+    values: Vec<Option<&'a [Value]>>,
+}
+
+impl<'a> EvalScratch<'a> {
+    fn new(depth: usize) -> EvalScratch<'a> {
+        EvalScratch {
+            stack: vec![[0u64; WORDS]; depth.max(1)],
+            values: Vec::with_capacity(CHUNK),
+        }
+    }
+}
+
+/// Collect the comparison leaves of a pure AND-tree into `out`;
+/// `false` (and `out` garbage) if the predicate contains OR or NOT.
+/// Bare `True` nodes contribute no leaf — an empty conjunction passes
+/// every right-class element, which is exactly what the postfix program
+/// computes for the same shape (class mask ANDed last).
+fn conjunction_of(node: &PredNode, out: &mut Vec<Leaf>) -> bool {
+    match node {
+        PredNode::True => true,
+        PredNode::Cmp { attr, op, constant } => {
+            out.push(Leaf::new(*attr, *op, constant));
+            true
+        }
+        PredNode::And(a, b) => conjunction_of(a, out) && conjunction_of(b, out),
+        PredNode::Or(..) | PredNode::Not(..) => false,
+    }
+}
+
+/// The fused conjunction pass over one chunk: dereference each element
+/// once, short-circuit the leaves, pack verdicts into a register word
+/// per 64-element group, store each word once. A wrong-class element
+/// fails the (non-trivial) conjunction outright, which is the same
+/// verdict the postfix path's final class mask produces.
+fn eval_conj_chunk(
+    store: &ObjectStore,
+    class: ClassId,
+    leaves: &[Leaf],
+    chunk: &[Oid],
+    out: &mut [u64],
+) {
+    // One- and two-leaf conjunctions (most alphabet symbols, most
+    // extent-scan selects) get monomorphic loops: the leaf kinds are
+    // loop-invariant, so the per-element dispatch hoists out.
+    match leaves {
+        [a] => conj_loop(store, class, chunk, out, |vals| a.test(vals)),
+        [a, b] => conj_loop(store, class, chunk, out, |vals| {
+            a.test(vals) && b.test(vals)
+        }),
+        _ => conj_loop(store, class, chunk, out, |vals| {
+            leaves.iter().all(|l| l.test(vals))
+        }),
+    }
+}
+
+/// The fused loop body behind [`eval_conj_chunk`].
+#[inline(always)]
+fn conj_loop(
+    store: &ObjectStore,
+    class: ClassId,
+    chunk: &[Oid],
+    out: &mut [u64],
+    test: impl Fn(&[Value]) -> bool,
+) {
+    for (w, group) in chunk.chunks(64).enumerate() {
+        let mut bits = 0u64;
+        for (j, &oid) in group.iter().enumerate() {
+            let obj = store.deref(oid);
+            let ok = obj.class() == class && test(obj.values());
+            bits |= (ok as u64) << j;
+        }
+        out[w] = bits;
+    }
+}
+
+/// One comparison leaf over a chunk's dereferenced value rows. The
+/// constant's type is matched once out here, so the per-element loop is
+/// a monomorphic compare instead of a [`Value::try_cmp`] double
+/// dispatch. Wrong-class rows (`None`) are skipped entirely: their
+/// attribute layout need not contain `ai`.
+fn cmp_column(
+    values: &[Option<&[Value]>],
+    ai: usize,
+    op: CmpOp,
+    constant: &Value,
+    row: &mut [u64; WORDS],
+) {
+    match constant {
+        Value::Int(k) => fill(values, row, |vals| match &vals[ai] {
+            Value::Int(v) => ord_holds(op, v.cmp(k)),
+            other => op.apply(other, constant),
+        }),
+        Value::Str(k) if matches!(op, CmpOp::Eq | CmpOp::Ne) => {
+            let kb = k.as_bytes();
+            let want_eq = op == CmpOp::Eq;
+            fill(values, row, |vals| match &vals[ai] {
+                Value::Str(v) => bytes_eq(v.as_bytes(), kb) == want_eq,
+                other => op.apply(other, constant),
+            })
+        }
+        Value::Str(k) => fill(values, row, |vals| match &vals[ai] {
+            Value::Str(v) => ord_holds(op, v.as_str().cmp(k.as_str())),
+            other => op.apply(other, constant),
+        }),
+        _ => fill(values, row, |vals| op.apply(&vals[ai], constant)),
+    }
+}
+
+/// Byte-slice equality as an inlinable loop: alphabet labels are short
+/// (often one character), where a `memcmp` call costs more than the
+/// compare itself.
+#[inline(always)]
+fn bytes_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut eq = true;
+    for i in 0..a.len() {
+        eq &= a[i] == b[i];
+    }
+    eq
+}
+
+/// Set bit `i` of `row` for every present row where `f` holds. Verdicts
+/// accumulate in a register word per 64-element group — one store per
+/// word instead of a read-modify-write per element.
+#[inline(always)]
+fn fill(values: &[Option<&[Value]>], row: &mut [u64; WORDS], f: impl Fn(&[Value]) -> bool) {
+    for (w, group) in values.chunks(64).enumerate() {
+        let mut bits = 0u64;
+        for (j, vals) in group.iter().enumerate() {
+            if let Some(vals) = vals {
+                if f(vals) {
+                    bits |= 1u64 << j;
+                }
+            }
+        }
+        row[w] = bits;
+    }
+}
+
+/// Whether `ord` satisfies `op` — the tail of [`CmpOp::apply`] for a
+/// comparison already known to be defined.
+#[inline(always)]
+fn ord_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Postorder flattening of the predicate tree.
+fn flatten(node: &PredNode, out: &mut Vec<BatchOp>) {
+    match node {
+        PredNode::True => out.push(BatchOp::True),
+        PredNode::Cmp { attr, op, constant } => out.push(BatchOp::Cmp {
+            attr: *attr,
+            op: *op,
+            constant: constant.clone(),
+        }),
+        PredNode::And(a, b) => {
+            flatten(a, out);
+            flatten(b, out);
+            out.push(BatchOp::And);
+        }
+        PredNode::Or(a, b) => {
+            flatten(a, out);
+            flatten(b, out);
+            out.push(BatchOp::Or);
+        }
+        PredNode::Not(a) => {
+            flatten(a, out);
+            out.push(BatchOp::Not);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::PredExpr;
+    use aqua_guard::{Budget, Resource};
+    use aqua_object::{AttrDef, AttrType, ClassDef};
+
+    fn setup() -> (ObjectStore, ClassId) {
+        let mut s = ObjectStore::new();
+        let c = s
+            .define_class(
+                ClassDef::new(
+                    "Person",
+                    vec![
+                        AttrDef::stored("name", AttrType::Str),
+                        AttrDef::stored("age", AttrType::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (s, c)
+    }
+
+    fn people(s: &mut ObjectStore, n: usize) -> Vec<Oid> {
+        (0..n)
+            .map(|i| {
+                s.insert_named(
+                    "Person",
+                    &[
+                        ("name", Value::str(format!("p{i}"))),
+                        ("age", Value::Int((i % 90) as i64)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    /// Every predicate shape agrees with the scalar evaluator bit for
+    /// bit, across chunk boundaries.
+    #[test]
+    fn batched_equals_scalar() {
+        let (mut s, c) = setup();
+        let oids = people(&mut s, 2500);
+        let exprs = vec![
+            PredExpr::True,
+            PredExpr::cmp("age", CmpOp::Gt, 40),
+            PredExpr::cmp("age", CmpOp::Gt, 10).and(PredExpr::cmp("age", CmpOp::Le, 60)),
+            PredExpr::eq("name", "p7").or(PredExpr::cmp("age", CmpOp::Lt, 3)),
+            PredExpr::cmp("age", CmpOp::Ge, 30).not(),
+            PredExpr::cmp("age", CmpOp::Ne, 5)
+                .and(PredExpr::eq("name", "p5").not())
+                .or(PredExpr::True.not()),
+        ];
+        for e in exprs {
+            let p = e.compile(c, s.class(c)).unwrap();
+            let prog = BatchProgram::compile(&p);
+            let row = prog.eval(&s, &oids, None).unwrap();
+            for (i, &oid) in oids.iter().enumerate() {
+                assert_eq!(row.get(i), p.eval(&s, oid), "expr {e:?} element {i}");
+            }
+            assert_eq!(row.count_ones(), row.ones().count());
+        }
+    }
+
+    /// Wrong-class elements fail every non-trivial predicate — even
+    /// under NOT — but pass the class-agnostic `?`.
+    #[test]
+    fn class_mask_matches_scalar() {
+        let (mut s, c) = setup();
+        s.define_class(ClassDef::new("Dog", vec![AttrDef::stored("tag", AttrType::Int)]).unwrap())
+            .unwrap();
+        let mut oids = people(&mut s, 70);
+        let dog = s.insert_named("Dog", &[("tag", Value::Int(1))]).unwrap();
+        oids.insert(33, dog);
+        for e in [
+            PredExpr::cmp("age", CmpOp::Ge, 0),
+            // NOT(age >= 0): scalarly false for people, and must stay
+            // false for the dog despite the inner row being 0 there.
+            PredExpr::cmp("age", CmpOp::Ge, 0).not(),
+            PredExpr::True,
+        ] {
+            let p = e.compile(c, s.class(c)).unwrap();
+            let row = BatchProgram::compile(&p).eval(&s, &oids, None).unwrap();
+            for (i, &oid) in oids.iter().enumerate() {
+                assert_eq!(row.get(i), p.eval(&s, oid), "expr {e:?} element {i}");
+            }
+        }
+    }
+
+    /// Chunked guard accounting: totals exact, budget trips within one
+    /// chunk of its limit.
+    #[test]
+    fn guard_charging_is_chunked_and_exact() {
+        let (mut s, c) = setup();
+        let oids = people(&mut s, 3000);
+        let p = PredExpr::cmp("age", CmpOp::Gt, 1)
+            .compile(c, s.class(c))
+            .unwrap();
+        let prog = BatchProgram::compile(&p);
+
+        let g = ExecGuard::new(Budget::unlimited());
+        prog.eval(&s, &oids, Some(&g)).unwrap();
+        assert_eq!(g.snapshot().steps, 3000, "one step per element, exactly");
+
+        let g = ExecGuard::new(Budget::unlimited().with_steps(1500));
+        let err = prog.eval(&s, &oids, Some(&g)).unwrap_err();
+        match err {
+            GuardError::BudgetExceeded {
+                resource: Resource::Steps,
+                progress,
+                ..
+            } => {
+                assert!(
+                    progress.steps <= 1500 + CHUNK as u64,
+                    "tripped within one chunk: {}",
+                    progress.steps
+                );
+            }
+            other => panic!("expected step-budget trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitrow_basics() {
+        let mut r = BitRow::zeros(130);
+        assert_eq!(r.len(), 130);
+        assert!(!r.is_empty());
+        r.set(0);
+        r.set(64);
+        r.set(129);
+        assert_eq!(r.count_ones(), 3);
+        assert_eq!(r.ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let mut other = BitRow::zeros(130);
+        other.set(64);
+        let mut and = r.clone();
+        and.and_assign(&other);
+        assert_eq!(and.ones().collect::<Vec<_>>(), vec![64]);
+        let mut or = other.clone();
+        or.or_assign(&r);
+        assert_eq!(or.count_ones(), 3);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod alphabet;
 pub mod ast;
+pub mod batch;
 pub mod cache;
 pub mod decompose;
 pub mod dfa;
@@ -36,6 +37,7 @@ pub mod tree_match;
 
 pub use alphabet::{CmpOp, Pred, PredExpr};
 pub use ast::Re;
+pub use batch::{BatchProgram, BitRow};
 pub use cache::PatternCache;
 pub use error::{PatternError, Result};
 pub use list::{ListMatch, ListPattern, MatchMode};

@@ -15,6 +15,7 @@ use aqua_object::{ClassDef, ClassId, ObjectStore, Oid};
 
 use crate::alphabet::{Pred, PredExpr};
 use crate::ast::Re;
+use crate::batch::{BatchProgram, BitRow};
 use crate::error::Result;
 use crate::nfa::{LeafId, Nfa};
 use crate::pike;
@@ -82,6 +83,12 @@ impl ListMatch {
 }
 
 /// A compiled list pattern, bound to one element class.
+///
+/// Compilation also precomputes everything the batched scan needs —
+/// one flattened [`BatchProgram`] per predicate leaf and the set of
+/// *initial* leaves (those that can consume the first element of a
+/// match) — so cached patterns carry their batch plans and bulk member
+/// loops never rebuild them.
 #[derive(Debug, Clone)]
 pub struct ListPattern {
     re: Re<Sym>,
@@ -91,6 +98,27 @@ pub struct ListPattern {
     pub anchor_end: bool,
     nfa: Nfa,
     leaves: Vec<Option<Pred>>,
+    /// Batch programs parallel to `leaves`; `None` is the `?` wildcard.
+    programs: Vec<Option<BatchProgram>>,
+    /// Leaves reachable from the start without consuming input.
+    initial: Vec<LeafId>,
+}
+
+/// Per-leaf packed truth rows over the subject items. Wildcard (`?`)
+/// leaves carry no row and read as always-true.
+#[derive(Debug)]
+struct LeafTable {
+    rows: Vec<Option<BitRow>>,
+}
+
+impl LeafTable {
+    #[inline]
+    fn test(&self, leaf: LeafId, pos: usize) -> bool {
+        match &self.rows[leaf.0 as usize] {
+            None => true,
+            Some(r) => r.get(pos),
+        }
+    }
 }
 
 impl ListPattern {
@@ -121,12 +149,19 @@ impl ListPattern {
         if let Some(e) = err {
             return Err(e);
         }
+        let programs = leaves
+            .iter()
+            .map(|l| l.as_ref().map(BatchProgram::compile))
+            .collect();
+        let initial = pike::initial_leaves(&nfa);
         Ok(ListPattern {
             re,
             anchor_start,
             anchor_end,
             nfa,
             leaves,
+            programs,
+            initial,
         })
     }
 
@@ -156,28 +191,46 @@ impl ListPattern {
         &self.leaves
     }
 
-    /// Precompute the alphabet-predicate truth table over `items`:
-    /// `table[leaf * n + pos]`. `None` (the `?` leaf) rows are skipped —
-    /// they are always true.
-    /// Under an optional execution guard; each predicate evaluation
-    /// counts as one step.
+    /// Precompute the alphabet-predicate truth table over `items`, one
+    /// packed [`BitRow`] per predicate leaf (`?` rows are skipped — they
+    /// are always true). Each leaf runs its [`BatchProgram`] over the
+    /// whole OID column; the guard is charged one step per evaluation,
+    /// batched per chunk.
     fn eval_table_guarded(
         &self,
         store: &ObjectStore,
         items: &[Oid],
         guard: Option<&ExecGuard>,
-    ) -> std::result::Result<Vec<bool>, GuardError> {
-        let n = items.len();
-        let mut table = vec![true; self.leaves.len() * n];
-        for (l, pred) in self.leaves.iter().enumerate() {
-            if let Some(p) = pred {
-                aqua_guard::steps_n(guard, n as u64)?;
-                for (pos, oid) in items.iter().enumerate() {
-                    table[l * n + pos] = p.eval(store, *oid);
-                }
+    ) -> std::result::Result<LeafTable, GuardError> {
+        let mut rows = Vec::with_capacity(self.programs.len());
+        for prog in &self.programs {
+            rows.push(match prog {
+                None => None,
+                Some(p) => Some(p.eval(store, items, guard)?),
+            });
+        }
+        Ok(LeafTable { rows })
+    }
+
+    /// Start positions worth simulating from: the OR of the initial
+    /// leaves' truth rows. `None` means every position is viable (a `?`
+    /// wildcard can open a match). Sound because zero-length matches are
+    /// suppressed, so any reported match consumes its first element with
+    /// one of the initial leaves.
+    fn candidate_starts(&self, table: &LeafTable, n: usize) -> Option<BitRow> {
+        let mut acc: Option<BitRow> = None;
+        for l in &self.initial {
+            match &table.rows[l.0 as usize] {
+                None => return None,
+                Some(row) => match &mut acc {
+                    None => acc = Some(row.clone()),
+                    Some(a) => a.or_assign(row),
+                },
             }
         }
-        Ok(table)
+        // No initial predicate leaves at all: only the empty match is in
+        // the language, and that is never reported.
+        Some(acc.unwrap_or_else(|| BitRow::zeros(n)))
     }
 
     /// Does the *entire* list match the pattern (anchors at both ends)?
@@ -197,7 +250,7 @@ impl ListPattern {
         pike::matches_exact_guarded(
             &self.nfa,
             n,
-            &mut |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos],
+            &mut |leaf: LeafId, pos: usize| table.test(leaf, pos),
             guard,
         )
     }
@@ -226,7 +279,16 @@ impl ListPattern {
     ) -> std::result::Result<Vec<ListMatch>, GuardError> {
         let n = items.len();
         let table = self.eval_table_guarded(store, items, guard)?;
-        let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
+        let test_at = |leaf: LeafId, pos: usize| table.test(leaf, pos);
+        // One simulation scratch + ends buffer for every start position:
+        // the per-start allocations this scan used to pay are gone.
+        let candidates = self.candidate_starts(&table, n);
+        let viable = |start: usize| match &candidates {
+            Some(c) if start < n => c.get(start),
+            _ => true,
+        };
+        let mut scratch = pike::PikeScratch::new();
+        let mut ends: Vec<usize> = Vec::new();
         let mut out = Vec::new();
         match mode {
             MatchMode::All => {
@@ -236,13 +298,18 @@ impl ListPattern {
                     Box::new(0..n)
                 };
                 for start in starts {
-                    let ends = pike::accepting_ends_guarded(
+                    if !viable(start) {
+                        continue;
+                    }
+                    pike::accepting_ends_scratch_guarded(
                         &self.nfa,
                         n - start,
                         &mut |l, p| test_at(l, p + start),
                         guard,
+                        &mut scratch,
+                        &mut ends,
                     )?;
-                    for e in ends {
+                    for &e in &ends {
                         let end = start + e;
                         if end == start {
                             continue;
@@ -261,16 +328,22 @@ impl ListPattern {
                     if self.anchor_start && start != 0 {
                         break;
                     }
-                    let ends = pike::accepting_ends_guarded(
+                    if !viable(start) {
+                        start += 1;
+                        continue;
+                    }
+                    pike::accepting_ends_scratch_guarded(
                         &self.nfa,
                         n - start,
                         &mut |l, p| test_at(l, p + start),
                         guard,
+                        &mut scratch,
+                        &mut ends,
                     )?;
                     let pick = ends
-                        .into_iter()
+                        .iter()
                         .rev()
-                        .map(|e| start + e)
+                        .map(|&e| start + e)
                         .find(|&end| end > start && (!self.anchor_end || end == n));
                     match pick {
                         Some(end) => {
@@ -312,7 +385,7 @@ impl ListPattern {
             return Ok(Vec::new());
         }
         let table = self.eval_table_guarded(store, items, guard)?;
-        let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
+        let test_at = |leaf: LeafId, pos: usize| table.test(leaf, pos);
         let ends = pike::accepting_ends_guarded(
             &self.nfa,
             n - start,
@@ -352,20 +425,24 @@ impl ListPattern {
     ) -> std::result::Result<Vec<ListMatch>, GuardError> {
         let n = items.len();
         let table = self.eval_table_guarded(store, items, guard)?;
-        let test_at = |leaf: LeafId, pos: usize| table[leaf.0 as usize * n + pos];
+        let test_at = |leaf: LeafId, pos: usize| table.test(leaf, pos);
+        let mut scratch = pike::PikeScratch::new();
+        let mut ends: Vec<usize> = Vec::new();
         let mut out = Vec::new();
         for &start in starts {
             if start > n || (self.anchor_start && start != 0) {
                 continue;
             }
             aqua_guard::checkpoint(guard)?;
-            let ends = pike::accepting_ends_guarded(
+            pike::accepting_ends_scratch_guarded(
                 &self.nfa,
                 n - start,
                 &mut |l, p| test_at(l, p + start),
                 guard,
+                &mut scratch,
+                &mut ends,
             )?;
-            for e in ends {
+            for &e in &ends {
                 let end = start + e;
                 if end > start && (!self.anchor_end || end == n) {
                     out.push(self.extract_guarded(start, end, &test_at, guard)?);

@@ -32,20 +32,68 @@ pub(crate) fn infallible<T>(r: Result<T, GuardError>) -> T {
     }
 }
 
-/// ε-closure insertion with duplicate suppression.
-fn add_state(nfa: &Nfa, id: StateId, set: &mut Vec<StateId>, seen: &mut [bool]) {
-    if seen[id.0 as usize] {
+/// ε-closure insertion with duplicate suppression. A state is marked
+/// when its `seen` slot holds the current generation, so a caller
+/// starts a fresh closure round by bumping the generation instead of
+/// clearing the whole array.
+fn add_state(nfa: &Nfa, id: StateId, set: &mut Vec<StateId>, seen: &mut [u64], generation: u64) {
+    if seen[id.0 as usize] == generation {
         return;
     }
-    seen[id.0 as usize] = true;
+    seen[id.0 as usize] = generation;
     match nfa.state(id) {
-        State::Eps(next) => add_state(nfa, *next, set, seen),
+        State::Eps(next) => add_state(nfa, *next, set, seen, generation),
         State::Split(a, b) => {
-            add_state(nfa, *a, set, seen);
-            add_state(nfa, *b, set, seen);
+            add_state(nfa, *a, set, seen, generation);
+            add_state(nfa, *b, set, seen, generation);
         }
         State::Sym { .. } | State::Accept => set.push(id),
     }
+}
+
+/// Reusable Pike-VM simulation state: thread sets plus the
+/// generation-stamped duplicate-suppression array. One scratch serves
+/// any number of [`accepting_ends_scratch_guarded`] runs (e.g. every
+/// start position of a sublist scan) with zero per-run allocation.
+#[derive(Debug, Default)]
+pub struct PikeScratch {
+    current: Vec<StateId>,
+    next: Vec<StateId>,
+    seen: Vec<u64>,
+    generation: u64,
+}
+
+impl PikeScratch {
+    /// An empty scratch; it sizes itself to the automaton on first use.
+    pub fn new() -> PikeScratch {
+        PikeScratch::default()
+    }
+
+    /// Prepare for a fresh simulation over an `states`-state automaton.
+    fn begin(&mut self, states: usize) {
+        self.current.clear();
+        self.next.clear();
+        if self.seen.len() < states {
+            self.seen.resize(states, 0);
+        }
+        self.generation += 1;
+    }
+}
+
+/// The leaves reachable from the start state without consuming input —
+/// i.e. the tests applied to the *first* element of any non-empty
+/// match. A scan can skip every start position where none of these
+/// pass.
+pub(crate) fn initial_leaves(nfa: &Nfa) -> Vec<LeafId> {
+    let mut set = Vec::new();
+    let mut seen = vec![0u64; nfa.len()];
+    add_state(nfa, nfa.start(), &mut set, &mut seen, 1);
+    set.into_iter()
+        .filter_map(|s| match nfa.state(s) {
+            State::Sym { leaf, .. } => Some(*leaf),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Does the automaton accept exactly the input `[0, len)`?
@@ -82,13 +130,34 @@ pub fn accepting_ends_guarded(
     guard: Option<&ExecGuard>,
 ) -> Result<Vec<usize>, GuardError> {
     let mut ends = Vec::new();
-    let mut current: Vec<StateId> = Vec::with_capacity(nfa.len());
-    let mut next: Vec<StateId> = Vec::with_capacity(nfa.len());
-    let mut seen = vec![false; nfa.len()];
+    let mut scratch = PikeScratch::new();
+    accepting_ends_scratch_guarded(nfa, len, test, guard, &mut scratch, &mut ends)?;
+    Ok(ends)
+}
+
+/// [`accepting_ends_guarded`] writing into caller-owned scratch and
+/// output: the zero-allocation core that sublist scans call once per
+/// start position.
+pub fn accepting_ends_scratch_guarded(
+    nfa: &Nfa,
+    len: usize,
+    test: &mut impl FnMut(LeafId, usize) -> bool,
+    guard: Option<&ExecGuard>,
+    scratch: &mut PikeScratch,
+    ends: &mut Vec<usize>,
+) -> Result<(), GuardError> {
+    ends.clear();
+    scratch.begin(nfa.len());
+    let PikeScratch {
+        current,
+        next,
+        seen,
+        generation,
+    } = scratch;
 
     // Hoisted once: disarmed runs pay one branch per position.
     let obs = guard.and_then(ExecGuard::metrics);
-    add_state(nfa, nfa.start(), &mut current, &mut seen);
+    add_state(nfa, nfa.start(), current, seen, *generation);
     for pos in 0..=len {
         aqua_guard::steps_n(guard, current.len() as u64 + 1)?;
         if let Some(m) = obs {
@@ -105,23 +174,19 @@ pub fn accepting_ends_guarded(
             break;
         }
         next.clear();
-        seen.iter_mut().for_each(|b| *b = false);
-        for s in &current {
+        // A fresh generation starts the next closure round with every
+        // state unmarked — no O(states) clear per position.
+        *generation += 1;
+        for s in current.iter() {
             if let State::Sym { leaf, next: n, .. } = nfa.state(*s) {
                 if test(*leaf, pos) {
-                    add_state(nfa, *n, &mut next, &mut seen);
+                    add_state(nfa, *n, next, seen, *generation);
                 }
             }
         }
-        std::mem::swap(&mut current, &mut next);
-        // reset seen for the *next* closure round
-        seen.iter_mut().for_each(|b| *b = false);
-        // re-mark states already in `current` so duplicates stay suppressed
-        for s in &current {
-            seen[s.0 as usize] = true;
-        }
+        std::mem::swap(current, next);
     }
-    Ok(ends)
+    Ok(())
 }
 
 /// One step of a parse: input element `pos` was consumed by pattern leaf

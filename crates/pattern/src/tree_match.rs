@@ -49,6 +49,14 @@ pub trait TreeAccess {
     fn children(&self, node: u32) -> &[u32];
     /// The payload of `node`.
     fn payload(&self, node: u32) -> NodePayloadRef<'_>;
+    /// The full preorder (document-order) sequence, if the implementor
+    /// keeps it precomputed — a flat columnar arena does. `None` makes
+    /// the matcher walk the tree on demand. Implementations must return
+    /// exactly the order a root-down, children-left-to-right DFS
+    /// produces.
+    fn preorder_hint(&self) -> Option<&[u32]> {
+        None
+    }
 }
 
 /// Why a subtree was cut from a match instance.
@@ -396,12 +404,20 @@ impl<'a, T: TreeAccess> TreeMatcher<'a, T> {
     /// [`find_matches`](Self::find_matches) with observable truncation
     /// and guard support.
     pub fn find_matches_outcome(&mut self, cfg: &MatchConfig) -> Result<MatchOutcome, GuardError> {
-        let candidates = if self.cp.at_root {
-            vec![self.tree.root()]
+        // `self.tree` is a shared reference independent of `self`, so a
+        // precomputed preorder column borrows past the `&mut self` call.
+        let tree = self.tree;
+        let owned: Vec<u32>;
+        let candidates: &[u32] = if self.cp.at_root {
+            owned = vec![tree.root()];
+            &owned
+        } else if let Some(hint) = tree.preorder_hint() {
+            hint
         } else {
-            self.preorder()
+            owned = self.preorder();
+            &owned
         };
-        self.find_matches_from_outcome(&candidates, cfg)
+        self.find_matches_from_outcome(candidates, cfg)
     }
 
     /// [`find_matches_from`](Self::find_matches_from) with observable

@@ -289,11 +289,17 @@ pub(crate) fn put_hole(out: &mut Vec<u8>, label: &str) {
 /// each covering the node's `(pre, post)` interval numbers and its
 /// payload (OID + class + attribute values, or hole label).
 pub fn tree_leaves(store: &ObjectStore, tree: &Tree, ov: AttrOverride<'_>) -> Vec<Root> {
-    let intervals = tree.interval_numbering();
+    // Stream the tree's cached columnar view: the preorder sequence and
+    // the pre/post interval columns come straight out of `Tree::cols`
+    // (the same single-clock numbering as `interval_numbering`, so leaf
+    // hashes — and therefore roots — are unchanged by the flat layout).
+    let cols = tree.cols();
+    let (pre_col, post_col) = (cols.pre_col(), cols.post_col());
     let mut leaves = Vec::with_capacity(tree.len());
-    for n in tree.iter_preorder() {
-        let (pre, post) = intervals[n.index()];
-        let mut bytes = Vec::with_capacity(64);
+    let mut bytes = Vec::with_capacity(64);
+    for &n in cols.preorder_nodes() {
+        let (pre, post) = (pre_col[n.index()], post_col[n.index()]);
+        bytes.clear();
         bytes.push(0x00);
         bytes.extend_from_slice(b"TL");
         bytes.extend_from_slice(&pre.to_le_bytes());

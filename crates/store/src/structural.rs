@@ -16,10 +16,15 @@ use crate::merkle::Root;
 /// Failpoint checked by [`StructuralIndex`] probe wrappers.
 pub const STRUCTURAL_PROBE: &str = "store.structural.probe";
 
-/// Interval numbering over one tree.
+/// Interval numbering over one tree, stored as parallel columns
+/// (structure-of-arrays: separate `pre`/`post` entry/exit columns
+/// rather than an array of pairs).
 #[derive(Debug, Clone)]
 pub struct StructuralIndex {
-    intervals: Vec<(u32, u32)>,
+    /// Node → preorder entry number.
+    pre: Vec<u32>,
+    /// Node → postorder exit number.
+    post: Vec<u32>,
     /// Nodes in preorder, for rank → node resolution.
     preorder: Vec<NodeId>,
     /// Node → preorder rank.
@@ -33,29 +38,18 @@ pub struct StructuralIndex {
 }
 
 impl StructuralIndex {
-    /// Build in one DFS.
+    /// Build by copying the tree's cached columnar view
+    /// ([`Tree::cols`]) — the interval, preorder, rank, and size
+    /// columns come out of its single flattening DFS instead of the
+    /// three pointer-walk passes this used to take.
     pub fn build(tree: &Tree) -> StructuralIndex {
-        let intervals = tree.interval_numbering();
-        let preorder: Vec<NodeId> = tree.iter_preorder().collect();
-        let mut rank = vec![0u32; tree.len()];
-        for (r, &n) in preorder.iter().enumerate() {
-            rank[n.index()] = r as u32;
-        }
-        let mut size = vec![1u32; tree.len()];
-        for n in tree.iter_postorder() {
-            let s: u32 = tree
-                .children(n)
-                .iter()
-                .map(|k| size[k.index()])
-                .sum::<u32>()
-                + 1;
-            size[n.index()] = s;
-        }
+        let cols = tree.cols();
         StructuralIndex {
-            intervals,
-            preorder,
-            rank,
-            size,
+            pre: cols.pre_col().to_vec(),
+            post: cols.post_col().to_vec(),
+            preorder: cols.preorder_nodes().to_vec(),
+            rank: cols.rank_col().to_vec(),
+            size: cols.size_col().to_vec(),
             epoch: 0,
             root: None,
         }
@@ -125,9 +119,8 @@ impl StructuralIndex {
     /// O(1): is `anc` a (reflexive) ancestor of `node`?
     #[inline]
     pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
-        let (ae, ax) = self.intervals[anc.index()];
-        let (ne, nx) = self.intervals[node.index()];
-        ae <= ne && nx <= ax
+        self.pre[anc.index()] <= self.pre[node.index()]
+            && self.post[node.index()] <= self.post[anc.index()]
     }
 
     /// O(1): subtree size of `node` (including itself).

@@ -1,0 +1,403 @@
+//! Property suite: the flat-memory engine is *observationally
+//! pointer-walk*. The SoA arenas ([`TreeCols`]/`ListCols`), the fused
+//! batched predicate programs, and the chunked pool runs are pure
+//! performance moves — every answer must stay byte-identical to the
+//! per-element scalar semantics, serial and parallel, and must survive
+//! a durable-store recovery (which rebuilds the columnar views from
+//! replayed arenas).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use aqua_algebra::bulk::{ListSet, TreeSet};
+use aqua_algebra::list::ops as lops;
+use aqua_algebra::list::List;
+use aqua_algebra::tree::ops as tops;
+use aqua_algebra::{Tree, TreeCols};
+use aqua_guard::{Budget, CancelToken, Deadline, ExecGuard, GuardError};
+use aqua_object::Oid;
+use aqua_pattern::batch::{BatchProgram, CHUNK};
+use aqua_pattern::list::MatchMode;
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::{MatchConfig, NodePayloadRef, TreeAccess, TreeMatcher};
+use aqua_pattern::{PatternCache, PredExpr};
+use aqua_store::{merkle, DurableConfig, DurableStore};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::SongGen;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pointer-walk view of a tree: delegates everything to the real
+/// [`Tree`] arena but withholds the preorder hint, forcing the matcher
+/// down its on-demand DFS path — the pre-SoA behavior.
+struct PtrWalk<'a>(&'a Tree);
+
+impl TreeAccess for PtrWalk<'_> {
+    fn node_count(&self) -> usize {
+        TreeAccess::node_count(self.0)
+    }
+    fn root(&self) -> u32 {
+        TreeAccess::root(self.0)
+    }
+    fn children(&self, node: u32) -> &[u32] {
+        TreeAccess::children(self.0, node)
+    }
+    fn payload(&self, node: u32) -> NodePayloadRef<'_> {
+        TreeAccess::payload(self.0, node)
+    }
+    // preorder_hint: default None — the point of this wrapper.
+}
+
+/// A song list with labeled holes sprinkled in (lists in queries are
+/// rarely ground end to end; the batched select must skip holes and
+/// still charge for them).
+fn holey_song(seed: u64, notes: usize) -> (aqua_workload::music::SongDataset, List) {
+    let d = SongGen::new(seed).notes(notes).generate();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut l = List::new();
+    for oid in d.song.oids() {
+        if rng.gen_bool(0.15) {
+            l.push_hole(format!("h{}", l.len()).as_str());
+        }
+        l.push(oid);
+    }
+    (d, l)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched list `select` ≡ the scalar per-element filter, with the
+    /// double-negated predicate routed down the postfix (non-conjunction)
+    /// path agreeing bit for bit, and guard step totals exact (one step
+    /// per element, holes included).
+    #[test]
+    fn list_select_batched_equals_scalar_filter(
+        seed in 0u64..4000,
+        notes in 1usize..120,
+    ) {
+        let (d, list) = holey_song(seed, notes);
+        let cls = d.store.class(d.class);
+        let expr = PredExpr::eq("pitch", "A")
+            .or(PredExpr::cmp("duration", aqua_pattern::CmpOp::Ge, 6));
+        let p = expr.clone().compile(d.class, cls).unwrap();
+        // Same predicate, forced off the fused conjunction fast path.
+        let pnn = expr.not().not().compile(d.class, cls).unwrap();
+
+        let expected = List::from_elems(
+            list.elems()
+                .iter()
+                .filter(|e| e.oid().is_some_and(|o| p.eval(&d.store, o)))
+                .cloned()
+                .collect(),
+        );
+        prop_assert_eq!(&lops::select(&d.store, &list, &p), &expected);
+        prop_assert_eq!(&lops::select(&d.store, &list, &pnn), &expected);
+
+        let g = ExecGuard::new(Budget::unlimited());
+        let guarded = lops::select_guarded(&d.store, &list, &p, Some(&g)).unwrap();
+        prop_assert_eq!(&guarded, &expected);
+        prop_assert_eq!(g.snapshot().steps, list.len() as u64,
+            "exactly one step per element, holes included");
+    }
+
+    /// Batched tree `select` ≡ itself under the postfix path, with
+    /// exact guard accounting over the node arena.
+    #[test]
+    fn tree_select_conjunction_equals_postfix(
+        seed in 0u64..4000,
+        nodes in 1usize..80,
+    ) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(nodes)
+            .label_weights(&[("a", 2), ("x", 3)])
+            .generate();
+        let cls = d.store.class(d.class);
+        let expr = PredExpr::eq("label", "a");
+        let p = expr.clone().compile(d.class, cls).unwrap();
+        let pnn = expr.not().not().compile(d.class, cls).unwrap();
+
+        let conj = tops::select(&d.store, &d.tree, &p);
+        let postfix = tops::select(&d.store, &d.tree, &pnn);
+        prop_assert_eq!(&conj, &postfix, "conjunction vs postfix path");
+
+        let g = ExecGuard::new(Budget::unlimited());
+        let guarded = tops::select_guarded(&d.store, &d.tree, &p, Some(&g)).unwrap();
+        prop_assert_eq!(&guarded, &conj);
+        prop_assert_eq!(g.snapshot().steps, d.tree.len() as u64,
+            "one step per node of the arena");
+    }
+
+    /// Interval-column candidate generation ≡ the pointer-walk DFS: the
+    /// matcher fed by `preorder_hint` finds exactly the matches the
+    /// hint-less walk finds, for every match-config shape.
+    #[test]
+    fn tree_match_hint_equals_pointer_walk(
+        seed in 0u64..4000,
+        nodes in 1usize..80,
+    ) {
+        let d = RandomTreeGen::new(seed)
+            .nodes(nodes)
+            .label_weights(&[("d", 1), ("a", 3), ("x", 6)])
+            .generate();
+        let env = PredEnv::with_default_attr("label");
+        for pat in ["d(?*)", "d(?* a ?*)", "?(?* d(?*) ?*)"] {
+            let cp = parse_tree_pattern(pat, &env)
+                .unwrap()
+                .compile(d.class, d.store.class(d.class))
+                .unwrap();
+            for cfg in [MatchConfig::default(), MatchConfig::first_per_root()] {
+                let hinted = TreeMatcher::new(&cp, &d.tree, &d.store).find_matches(&cfg);
+                let walk = PtrWalk(&d.tree);
+                let walked = TreeMatcher::new(&cp, &walk, &d.store).find_matches(&cfg);
+                prop_assert_eq!(&hinted, &walked, "pattern {} diverged", pat);
+            }
+        }
+    }
+
+    /// Chunked pool runs ≡ serial at thread counts 1 and 4, over the
+    /// batched member operators.
+    #[test]
+    fn chunked_parallel_equals_serial(
+        seed in 0u64..3000,
+        members in 1usize..10,
+        notes in 1usize..40,
+    ) {
+        let ds = SongGen::new(seed).notes(notes).generate_set(members);
+        let set = ListSet::from_lists(ds.songs.clone());
+        let re = aqua_pattern::list::Sym::pred(PredExpr::eq("pitch", "A"))
+            .then(aqua_pattern::list::Sym::any());
+        let p = aqua_pattern::list::ListPattern::unanchored(
+            re, ds.class, ds.store.class(ds.class)).unwrap();
+        let serial = set.sub_select(&ds.store, &p, MatchMode::Nonoverlapping);
+        for t in [1usize, 4] {
+            let par = set
+                .par_sub_select(&ds.store, &p, MatchMode::Nonoverlapping, t, None)
+                .unwrap();
+            prop_assert_eq!(&par, &serial, "list sub_select diverged at {} threads", t);
+        }
+
+        let f = RandomTreeGen::new(seed)
+            .nodes(notes.max(2))
+            .label_weights(&[("a", 1), ("x", 3)])
+            .generate_forest(members);
+        let tset = TreeSet::from_trees(f.trees);
+        let pred = PredExpr::eq("label", "a")
+            .compile(f.class, f.store.class(f.class)).unwrap();
+        let serial_sel = tset.select(&f.store, &pred);
+        for t in [1usize, 4] {
+            let par = tset.par_select(&f.store, &pred, t);
+            prop_assert_eq!(&par, &serial_sel, "tree select diverged at {} threads", t);
+        }
+    }
+}
+
+/// Unique scratch directory for durable-store tests.
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("aqua-batched-{tag}-{}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+/// Recovery rebuilds the columnar views from the replayed arenas:
+/// intervals, preorder, and merkle roots all match the pre-crash tree,
+/// and batched operators over the recovered store answer identically.
+#[test]
+fn recovery_rebuilds_columnar_views() {
+    let dir = temp_dir("cols");
+    let cfg = DurableConfig::default();
+    let (mut ds, rep) = DurableStore::open(&dir, cfg.clone()).unwrap();
+    assert!(rep.clean());
+
+    let class = ds.define_class(SongGen::class_def()).unwrap();
+    let oids: Vec<Oid> = (0..40)
+        .map(|i| {
+            ds.insert(
+                class,
+                vec![
+                    aqua_object::Value::str(["A", "B", "C"][i % 3]),
+                    aqua_object::Value::Int((i % 8) as i64 + 1),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // A small multi-level tree over the first OIDs.
+    let mut tree = Tree::leaf(oids[0]);
+    for (i, &oid) in oids.iter().enumerate().skip(1).take(12) {
+        let parent = aqua_algebra::tree::NodeId(((i - 1) / 2) as u32);
+        tree = tree
+            .insert_child(parent, usize::MAX, &Tree::leaf(oid))
+            .unwrap();
+    }
+    ds.create_tree("t", tree.clone()).unwrap();
+    ds.create_list("l").unwrap();
+    for &oid in &oids {
+        ds.list_push("l", oid).unwrap();
+    }
+    ds.sync().unwrap();
+
+    let pred = PredExpr::eq("pitch", "A")
+        .compile(class, ds.store().class(class))
+        .unwrap();
+    let before_cols: Vec<(u32, u32)> = tree.cols().intervals();
+    let before_preorder = tree.cols().preorder().to_vec();
+    let before_troot = merkle::tree_root(ds.store(), &tree);
+    let before_select = lops::select(ds.store(), &ds.lists()["l"], &pred);
+
+    drop(ds);
+    let (ds2, rep2) = DurableStore::open(&dir, cfg).unwrap();
+    assert!(rep2.clean(), "clean shutdown recovers clean");
+
+    let recovered = &ds2.trees()["t"];
+    let rcols: &TreeCols = recovered.cols();
+    assert_eq!(rcols.intervals(), before_cols, "interval columns rebuilt");
+    assert_eq!(
+        rcols.preorder(),
+        &before_preorder[..],
+        "preorder column rebuilt"
+    );
+    assert_eq!(
+        merkle::tree_root(ds2.store(), recovered),
+        before_troot,
+        "merkle root unchanged by the columnar layout"
+    );
+    let pred2 = PredExpr::eq("pitch", "A")
+        .compile(class, ds2.store().class(class))
+        .unwrap();
+    assert_eq!(
+        lops::select(ds2.store(), &ds2.lists()["l"], &pred2),
+        before_select,
+        "batched select identical on the recovered store"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A multi-member `ForestPlan` run performs zero pattern compilations
+/// inside the member loop: the cache sees exactly one miss for the
+/// pattern, execution adds no lookups, and the predicate's batched
+/// program is one shared allocation across calls.
+#[test]
+fn forest_plan_member_loop_hits_pattern_cache() {
+    use aqua_optimizer::{Catalog, Optimizer};
+
+    let members = 6usize;
+    let f = RandomTreeGen::new(11)
+        .nodes(40)
+        .label_weights(&[("d", 1), ("x", 4)])
+        .generate_forest(members);
+    let set = TreeSet::from_trees(f.trees);
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("d(?*)", &env).unwrap();
+
+    let cache = PatternCache::new();
+    let _compiled = cache
+        .tree(&pattern, f.class, f.store.class(f.class))
+        .unwrap();
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.lookups(), 1);
+
+    // Bulk entry points share the cached compilation across members and
+    // across serial/parallel calls.
+    let cfg = MatchConfig::first_per_root();
+    let serial = set
+        .sub_select_pattern(&f.store, f.class, &pattern, &cfg, Some(&cache))
+        .unwrap();
+    let par = set
+        .par_sub_select_pattern(&f.store, f.class, &pattern, &cfg, 4, None, Some(&cache))
+        .unwrap();
+    assert_eq!(serial, par);
+    assert_eq!(cache.misses(), 1, "bulk calls never recompile");
+    assert_eq!(
+        cache.lookups(),
+        3,
+        "one lookup per bulk call, not per member"
+    );
+    assert!(cache.hits() >= 2);
+
+    // A ForestPlan execution over all members: plans compile once at
+    // plan time; executing N members adds zero cache traffic.
+    let catalogs: Vec<Catalog<'_>> = (0..members)
+        .map(|_| Catalog::new(&f.store, f.class))
+        .collect();
+    let opt = Optimizer::new(&catalogs[0]);
+    let sizes: Vec<usize> = set.members().iter().map(|t| t.len()).collect();
+    let (plan, mut explain) = opt.plan_forest_sub_select(&pattern, &sizes, 4).unwrap();
+    let lookups_before = cache.lookups();
+    let out = plan
+        .execute_guarded(&catalogs, &set, &cfg, None, &mut explain)
+        .unwrap();
+    assert_eq!(
+        cache.lookups(),
+        lookups_before,
+        "ForestPlan member loop performs no cache lookups or compiles"
+    );
+    let flat: Vec<(usize, Tree)> = serial;
+    assert_eq!(out, flat, "planned forest run ≡ bulk serial run");
+
+    // The predicate-level batch program is compiled once and shared.
+    let pred = PredExpr::eq("label", "d")
+        .compile(f.class, f.store.class(f.class))
+        .unwrap();
+    let a = pred.batch().clone();
+    let b = pred.batch().clone();
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "batch program cached in Pred"
+    );
+    let pred_clone = pred.clone();
+    assert!(
+        std::sync::Arc::ptr_eq(&a, pred_clone.batch()),
+        "clones share the compiled program"
+    );
+}
+
+/// Deadline and cancellation verdicts land within one chunk of the
+/// batched charge, with progress still exact.
+#[test]
+fn batched_guard_trips_within_one_chunk() {
+    let d = SongGen::new(3).notes(3000).generate();
+    let p = PredExpr::eq("pitch", "A")
+        .compile(d.class, d.store.class(d.class))
+        .unwrap();
+    let program = BatchProgram::compile(&p);
+    let oids = d.song.oids();
+
+    // Pre-cancelled token: the first chunked charge must observe it.
+    let token = CancelToken::new();
+    token.cancel();
+    let g = ExecGuard::with_cancel(Budget::unlimited(), token);
+    match program.eval(&d.store, &oids, Some(&g)).unwrap_err() {
+        GuardError::Cancelled { progress } => {
+            assert!(
+                progress.steps <= CHUNK as u64,
+                "cancel observed within one chunk: {}",
+                progress.steps
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+
+    // Already-expired deadline: same bound.
+    let g = ExecGuard::new(
+        Budget::unlimited().with_deadline_at(Deadline::at(std::time::Instant::now())),
+    );
+    std::thread::sleep(Duration::from_millis(1));
+    match program.eval(&d.store, &oids, Some(&g)).unwrap_err() {
+        GuardError::Timeout { progress, .. } => {
+            assert!(
+                progress.steps <= CHUNK as u64,
+                "deadline observed within one chunk: {}",
+                progress.steps
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
