@@ -1,0 +1,231 @@
+//! B16 — shard-parallel scaling: parallel recovery of a sharded store
+//! and scatter-gather `sub_select`, swept over shard count.
+//!
+//! Two row families, each at 1/2/4 shards:
+//!
+//! * `recovery` — cold-opening a `ShardedStore` whose per-shard WALs
+//!   hold a `ShardStorm` population (authenticated frames, global root
+//!   folded from the per-shard merkle roots). Shards recover in
+//!   parallel through the `aqua-exec` pool, so on a multi-core host the
+//!   4-shard open should beat the 1-shard open on the *same bytes*.
+//! * `scatter_sub_select` — a forest `sub_select` executed as a
+//!   scatter-gather plan: members batched by owning shard, one worker
+//!   per batch, gather re-sorted to member order. The 1-shard row *is*
+//!   the serial loop (one batch ⇒ degree 1), making
+//!   `speedup_vs_1shard` the honest shard-parallel win.
+//!
+//! Every row asserts byte-identity against the 1-shard answer before
+//! timing counts — the par≡serial discipline is load-bearing here, not
+//! decorative. `AQUA_BENCH_QUICK` shrinks populations for the CI gate;
+//! `AQUA_BENCH_JSON=<path>` dumps rows for `bench_gate`, which enforces
+//! the ≥2x 4-vs-1-shard floor on hosts with ≥4 cores.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use aqua_algebra::bulk::TreeSet;
+use aqua_bench::timing::{ms, time_median, Timed};
+use aqua_bench::Table;
+use aqua_exec as exec;
+use aqua_guard::{Budget, SharedGuard};
+use aqua_optimizer::{Catalog, Explain, Optimizer};
+use aqua_pattern::parser::{parse_tree_pattern, PredEnv};
+use aqua_pattern::tree_match::MatchConfig;
+use aqua_store::{DurableConfig, ShardRouter, ShardedConfig, ShardedStore};
+use aqua_workload::random_tree::RandomTreeGen;
+use aqua_workload::ShardStorm;
+
+const SHARDS: &[usize] = &[1, 2, 4];
+
+fn iters() -> usize {
+    aqua_bench::iters_for(7, 3)
+}
+
+struct Row {
+    name: &'static str,
+    mode: String,
+    timed: Timed,
+    speedup: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"b16\",\"name\":\"{}\",\"mode\":\"{}\",\"median_ms\":{:.4},\
+             \"result_size\":{},\"speedup_vs_1shard\":{:.3}}}",
+            self.name,
+            self.mode,
+            self.timed.secs * 1e3,
+            self.timed.result_size,
+            self.speedup
+        )
+    }
+}
+
+fn scratch(tag: &str, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aqua-b16-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sharded_cfg(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        shard: DurableConfig {
+            segment_bytes: 64 * 1024,
+            checkpoint_every: 0,
+            prune: true,
+            // Authenticated: recovery re-derives every per-shard root
+            // and folds the global root — the cost the tentpole claims
+            // parallelizes, so it stays in the measurement.
+            authenticate: true,
+        },
+        recovery_threads: 0,
+    }
+}
+
+/// Parallel recovery: same storm, same per-path bytes, 1/2/4 WAL
+/// streams. The open replays every shard and folds the global root.
+fn bench_recovery(table: &mut Table, rows: &mut Vec<Row>) {
+    let (paths, target) = if aqua_bench::quick() {
+        (8, 60)
+    } else {
+        (8, 200)
+    };
+    let storm = ShardStorm::new(7, paths);
+    let mut base_ms = 0.0;
+    let mut base_fp = String::new();
+    for &shards in SHARDS {
+        let dir = scratch("recover", shards);
+        {
+            let (mut ss, _) = ShardedStore::open(&dir, sharded_cfg(shards)).expect("fresh open");
+            storm.bootstrap(&mut ss).expect("bootstrap");
+            storm.grow(&mut ss, target).expect("grow");
+            ss.sync().expect("sync");
+        }
+        let t = time_median(iters(), || {
+            let (ss, rep) = ShardedStore::open(&dir, sharded_cfg(shards)).expect("recovering open");
+            assert_eq!(rep.shards.len(), shards);
+            let fp = storm.fingerprint(&ss);
+            if base_fp.is_empty() {
+                base_fp = fp.clone();
+            }
+            assert_eq!(fp, base_fp, "recovered answers drift across shard counts");
+            rep.frames_replayed() as usize
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        if shards == 1 {
+            base_ms = t.secs;
+        }
+        let speedup = base_ms / t.secs.max(1e-12);
+        table.row(vec![
+            "recovery".into(),
+            format!("shards x{shards}"),
+            ms(t),
+            format!("{speedup:.2}x"),
+            t.result_size.to_string(),
+        ]);
+        rows.push(Row {
+            name: "recovery",
+            mode: format!("shards x{shards}"),
+            timed: t,
+            speedup,
+        });
+    }
+}
+
+/// Scatter-gather query: the same forest `sub_select`, members routed
+/// to their owning shard, one worker per shard batch.
+fn bench_scatter(table: &mut Table, rows: &mut Vec<Row>) {
+    let (members, nodes) = if aqua_bench::quick() {
+        (40, 500)
+    } else {
+        (200, 500)
+    };
+    let f = RandomTreeGen::new(42)
+        .nodes(nodes)
+        .label_weights(&[("d", 1), ("x", 99)])
+        .generate_forest(members);
+    let set = TreeSet::from_trees(f.trees);
+    let cats: Vec<Catalog<'_>> = set
+        .members()
+        .iter()
+        .map(|_| Catalog::new(&f.store, f.class))
+        .collect();
+    let pattern = parse_tree_pattern("d(?*)", &PredEnv::with_default_attr("label")).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let opt = Optimizer::new(&cats[0]);
+    let sizes: Vec<usize> = set.members().iter().map(aqua_algebra::Tree::len).collect();
+
+    let mut base_ms = 0.0;
+    let mut base_size = usize::MAX;
+    for &shards in SHARDS {
+        let router = ShardRouter::new(shards);
+        let (plan, _) = opt
+            .plan_forest_sub_select_sharded(&pattern, &sizes, shards, shards)
+            .unwrap();
+        let t = time_median(iters(), || {
+            let fleet = SharedGuard::new(Budget::unlimited());
+            let mut explain = Explain::default();
+            plan.execute_scatter_gather(
+                &cats,
+                &set,
+                &cfg,
+                shards,
+                |i| router.route_name(&format!("m{i}/doc")),
+                Some(&fleet),
+                &mut explain,
+            )
+            .unwrap()
+            .len()
+        });
+        if shards == 1 {
+            base_ms = t.secs;
+            base_size = t.result_size;
+        }
+        assert_eq!(
+            t.result_size, base_size,
+            "scatter-gather answer must match the 1-shard (serial) answer"
+        );
+        let speedup = base_ms / t.secs.max(1e-12);
+        table.row(vec![
+            "scatter_sub_select".into(),
+            format!("shards x{shards}"),
+            ms(t),
+            format!("{speedup:.2}x"),
+            t.result_size.to_string(),
+        ]);
+        rows.push(Row {
+            name: "scatter_sub_select",
+            mode: format!("shards x{shards}"),
+            timed: t,
+            speedup,
+        });
+    }
+}
+
+fn main() {
+    let host = exec::available_threads();
+    let mut table = Table::new(&["phase", "mode", "median ms", "speedup vs x1", "results"]);
+    let mut rows = Vec::new();
+    bench_recovery(&mut table, &mut rows);
+    bench_scatter(&mut table, &mut rows);
+    table.print(&format!(
+        "B16 — sharded recovery + scatter-gather scaling (host threads: {host})"
+    ));
+
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"b16_sharded\",");
+        let _ = writeln!(out, "  \"host_threads\": {host},");
+        let _ = writeln!(out, "  \"iters\": {},", iters());
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{sep}", r.json());
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write JSON baseline");
+        println!("wrote {path}");
+    }
+}

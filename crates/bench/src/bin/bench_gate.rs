@@ -9,7 +9,11 @@
 //! exits non-zero when any baseline row's median regresses past
 //! `base * 1.25 + 0.3ms`, or when a baseline row is missing from the
 //! current dumps. Rows the baseline has never seen are reported but do
-//! not fail the gate — re-record to start gating them.
+//! not fail the gate — re-record to start gating them. The split CI
+//! lanes pass `--only <prefix,...>` to gate just their own baseline
+//! rows (`--only b11/,b16/` on the multi-core scaling lane), and the
+//! b16 rows get an extra floor: the 4-shard medians must beat the
+//! 1-shard medians by ≥2x whenever the host has ≥4 cores.
 //!
 //! Record mode (run on a quiet machine, commit the result):
 //!
@@ -45,6 +49,20 @@ const PRE_BATCH_MS: &[(&str, f64)] = &[
 /// the batched path (~1x) still fails outright.
 const MIN_B10_SPEEDUP: f64 = 2.5;
 
+/// Required 4-shard-over-1-shard speedup for the b16 rows, computed
+/// from the *current* run's own medians (no baseline needed: the ratio
+/// is host-relative by construction). Enforced only on hosts with at
+/// least [`SHARD_GATE_MIN_CORES`] cores — a 1-core container can
+/// parallelize nothing, and scatter-gather honestly reports ~1x there.
+const MIN_SHARD_SPEEDUP: f64 = 2.0;
+
+/// Core count below which the shard-speedup floor is reported but not
+/// enforced. Four shards need four workers to show their 2x.
+const SHARD_GATE_MIN_CORES: usize = 4;
+
+/// The b16 row families whose 4-vs-1 shard ratio the gate enforces.
+const SHARD_FAMILIES: &[&str] = &["recovery", "scatter_sub_select"];
+
 fn read_rows(path: &str) -> Vec<gate::BenchRow> {
     match std::fs::read_to_string(path) {
         Ok(text) => {
@@ -67,8 +85,22 @@ fn main() -> ExitCode {
     if record {
         args.remove(0);
     }
+    // `--only b10/,b12/` restricts gating to baseline rows under the
+    // given key prefixes — how the split CI lanes share one committed
+    // baseline without each failing the other's rows as missing.
+    let mut only: Vec<String> = Vec::new();
+    if args.first().is_some_and(|a| a == "--only") {
+        args.remove(0);
+        if args.is_empty() {
+            eprintln!("bench_gate: --only needs a comma-separated prefix list");
+            return ExitCode::from(2);
+        }
+        only = args.remove(0).split(',').map(str::to_string).collect();
+    }
     if args.len() < 2 {
-        eprintln!("usage: bench_gate [--record] <baseline.json> <current.json>...");
+        eprintln!(
+            "usage: bench_gate [--record] [--only <prefix,...>] <baseline.json> <current.json>..."
+        );
         return ExitCode::from(2);
     }
     let baseline_path = args.remove(0);
@@ -92,19 +124,49 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let baseline = read_rows(&baseline_path);
+    let host = aqua_exec::available_threads();
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut baseline = gate::scan_rows(&baseline_text);
     if baseline.is_empty() {
         eprintln!("bench_gate: empty baseline {baseline_path} — record one first");
         return ExitCode::from(2);
     }
-    let report = gate::compare(
-        &baseline,
-        &current,
-        THRESHOLD,
-        SLACK_MS,
-        aqua_exec::available_threads(),
-    );
+    if !only.is_empty() {
+        baseline.retain(|r| only.iter().any(|p| r.key.starts_with(p.as_str())));
+        println!(
+            "bench_gate: gating {} baseline rows under {only:?}",
+            baseline.len()
+        );
+        if baseline.is_empty() {
+            eprintln!("bench_gate: no baseline rows match {only:?}");
+            return ExitCode::from(2);
+        }
+    }
+    let report = gate::compare(&baseline, &current, THRESHOLD, SLACK_MS, host);
     print!("{}", report.render(THRESHOLD, SLACK_MS));
+
+    // Warned verdicts exist to excuse scaling rows recorded on a
+    // *different* host shape. When the baseline envelope says it was
+    // recorded on this very core count, there is nothing to excuse:
+    // promote warned rows to hard failures.
+    let strict = gate::scan_host_threads(&baseline_text) == Some(host);
+    let gate_failures = if strict {
+        if report.strict_failures() > report.failures() {
+            println!(
+                "bench_gate: strict cores — baseline recorded at {host} threads (= this host); \
+                 warned rows count as failures"
+            );
+        }
+        report.strict_failures()
+    } else {
+        report.failures()
+    };
 
     // Absolute floors for the batched hot-path rows: these gate the
     // *speedup*, not just drift against the rolling baseline.
@@ -130,7 +192,40 @@ fn main() -> ExitCode {
         }
     }
 
-    if report.failures() + floor_failures > 0 {
+    // Shard-parallel floors: the b16 tentpole claim, gated from the
+    // current run's own 1-vs-4-shard ratio. Only meaningful where four
+    // workers can actually run — a single-core lane reports and skips.
+    let mut shard_failures = 0usize;
+    for &family in SHARD_FAMILIES {
+        let at = |mode: &str| {
+            current
+                .iter()
+                .find(|r| r.key == format!("b16/{family}/shards {mode}"))
+        };
+        let (Some(one), Some(four)) = (at("x1"), at("x4")) else {
+            continue;
+        };
+        let ratio = one.median_ms / four.median_ms.max(1e-9);
+        if host < SHARD_GATE_MIN_CORES {
+            println!(
+                "shard {family}: {ratio:.2}x at 4 shards (host has {host} cores < \
+                 {SHARD_GATE_MIN_CORES}; floor not enforced)"
+            );
+        } else if ratio < MIN_SHARD_SPEEDUP {
+            println!(
+                "SHARD {family}: {ratio:.2}x at 4 shards vs 1, below the \
+                 {MIN_SHARD_SPEEDUP:.1}x floor ({:.4}ms -> {:.4}ms)",
+                one.median_ms, four.median_ms
+            );
+            shard_failures += 1;
+        } else {
+            println!(
+                "shard {family}: {ratio:.2}x at 4 shards vs 1 (floor {MIN_SHARD_SPEEDUP:.1}x)"
+            );
+        }
+    }
+
+    if gate_failures + floor_failures + shard_failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

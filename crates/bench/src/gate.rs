@@ -96,7 +96,7 @@ pub enum Verdict {
     Regressed,
     /// Baseline row has no counterpart in the current dumps.
     Missing,
-    /// Out of band, but the row is scaling-sensitive (b11) and was
+    /// Out of band, but the row is scaling-sensitive (b11/b16) and was
     /// recorded on a host with a different core count — reported, not
     /// failed, because parallel speedups don't transfer across hosts.
     Warned,
@@ -128,6 +128,18 @@ impl GateReport {
         self.lines
             .iter()
             .filter(|l| l.verdict != Verdict::Ok && l.verdict != Verdict::Warned)
+            .count()
+    }
+
+    /// [`failures`](Self::failures) with [`Verdict::Warned`] promoted to
+    /// a hard failure. The multi-core CI lane uses this when the
+    /// baseline envelope's `host_threads` matches the running host: the
+    /// only excuse for a warned row is a cross-host comparison, so when
+    /// baseline and run agree on cores there is no excuse left.
+    pub fn strict_failures(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.verdict != Verdict::Ok)
             .count()
     }
 
@@ -194,7 +206,8 @@ pub fn compare(
     let mut report = GateReport::default();
     let find = |key: &str| current.iter().rev().find(|r| r.key == key);
     let foreign_host = |b: &BenchRow| {
-        b.key.starts_with("b11/") && b.parallelism.is_some_and(|p| p != host_threads)
+        (b.key.starts_with("b11/") || b.key.starts_with("b16/"))
+            && b.parallelism.is_some_and(|p| p != host_threads)
     };
     for b in baseline {
         let line = match find(&b.key) {
@@ -227,6 +240,19 @@ pub fn compare(
         }
     }
     report
+}
+
+/// The `host_threads` recorded in a baseline (or bench dump) envelope —
+/// the core count of the machine the rows were measured on. `None` for
+/// dumps predating the field. `bench_gate` compares this against the
+/// running host to decide whether warned (cross-host) verdicts are
+/// excusable: when the counts agree, they are not, and the gate runs
+/// strict.
+pub fn scan_host_threads(json: &str) -> Option<usize> {
+    // The envelope is the *outer* object; `field` on the whole text
+    // finds the first occurrence, which is the envelope's (rows carry
+    // `parallelism`, not `host_threads`).
+    field(json, "host_threads").and_then(|v| v.parse().ok())
 }
 
 /// Render a baseline file from rows: the raw row objects, one per line,
@@ -367,6 +393,35 @@ mod tests {
         let rep = compare(&base, &cur, 0.25, 0.3, 16);
         assert_eq!(rep.lines[0].verdict, Verdict::Regressed);
         assert_eq!(rep.failures(), 2);
+    }
+
+    #[test]
+    fn b16_shard_rows_are_scaling_sensitive_too() {
+        let base = vec![row_par("b16/recovery/shards x4", 3.0, 16)];
+        let cur = vec![row("b16/recovery/shards x4", 9.0)];
+        let rep = compare(&base, &cur, 0.25, 0.3, 4);
+        assert_eq!(rep.lines[0].verdict, Verdict::Warned);
+        assert_eq!(rep.failures(), 0);
+    }
+
+    #[test]
+    fn strict_failures_promote_warned_rows() {
+        // A baseline carrying rows from a 16-core host, gated on 4
+        // cores: lenient counting forgives the warned row, strict
+        // counting (what the multi-core lane uses when envelope and
+        // host agree) does not.
+        let base = vec![row_par("b11/40/500/~1%/par x4", 3.0, 16)];
+        let rep = compare(&base, &[row("b11/40/500/~1%/par x4", 9.0)], 0.25, 0.3, 4);
+        assert_eq!(rep.failures(), 0);
+        assert_eq!(rep.strict_failures(), 1);
+    }
+
+    #[test]
+    fn envelope_host_threads_scans() {
+        assert_eq!(scan_host_threads(DUMP), Some(4));
+        assert_eq!(scan_host_threads(r#"{"rows":[]}"#), None);
+        let recorded = render_baseline(&[row("a", 1.0)], 8);
+        assert_eq!(scan_host_threads(&recorded), Some(8));
     }
 
     #[test]

@@ -56,9 +56,86 @@ impl Parallelism {
     }
 }
 
+/// One shard's slice of a scatter-gather plan: the member indices (into
+/// the original set, ascending) whose work the owning shard executes.
+/// Batches are the parallel work items of sharded execution — one
+/// worker takes a whole batch, runs its members in index order, and the
+/// gather phase re-sorts emitted results by member index, so the
+/// par≡serial byte-identity discipline is preserved by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardBatch {
+    /// The shard that owns every member in this batch.
+    pub shard: usize,
+    /// Member indices routed to that shard, ascending.
+    pub members: Vec<usize>,
+}
+
+/// Group `members` work items into per-shard [`ShardBatch`]es.
+/// `shard_of(i)` names the shard owning member `i`; batches come back
+/// ordered by shard, each with its members ascending, and empty shards
+/// produce no batch. Pure and deterministic: same routing, same batches.
+pub fn shard_batches(
+    members: usize,
+    shards: usize,
+    shard_of: impl Fn(usize) -> usize,
+) -> Vec<ShardBatch> {
+    let shards = shards.max(1);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for i in 0..members {
+        let s = shard_of(i).min(shards - 1);
+        buckets[s].push(i);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, m)| !m.is_empty())
+        .map(|(shard, members)| ShardBatch { shard, members })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batches_partition_in_order() {
+        let b = shard_batches(7, 3, |i| i % 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(
+            b[0],
+            ShardBatch {
+                shard: 0,
+                members: vec![0, 3, 6]
+            }
+        );
+        assert_eq!(
+            b[1],
+            ShardBatch {
+                shard: 1,
+                members: vec![1, 4]
+            }
+        );
+        assert_eq!(
+            b[2],
+            ShardBatch {
+                shard: 2,
+                members: vec![2, 5]
+            }
+        );
+        let total: usize = b.iter().map(|x| x.members.len()).sum();
+        assert_eq!(total, 7, "every member lands in exactly one batch");
+    }
+
+    #[test]
+    fn empty_shards_and_out_of_range_routes() {
+        let b = shard_batches(4, 8, |_| 2);
+        assert_eq!(b.len(), 1, "empty shards produce no batch");
+        assert_eq!(b[0].shard, 2);
+        // A routing function that overflows the shard count clamps.
+        let b = shard_batches(2, 2, |_| 99);
+        assert_eq!(b[0].shard, 1);
+        assert!(shard_batches(0, 4, |i| i).is_empty());
+    }
 
     #[test]
     fn resolve_clamps() {

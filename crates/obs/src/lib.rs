@@ -32,6 +32,9 @@
 //! | `wal_appends/wal_bytes`  | WAL frame appends (`aqua-store::wal`)        |
 //! | `snapshots_written`      | checkpoints completed (`aqua-store`)         |
 //! | `recoveries`             | successful `DurableStore` opens              |
+//! | `shard_recoveries`       | per-shard opens inside a `ShardedStore` open |
+//! | `scatter_queries`        | scatter-gather forest executions             |
+//! | `scatter_batches`        | per-shard batches dispatched by scatter      |
 //! | `recovery_frames_replayed` | WAL frames re-applied during recovery      |
 //! | `recovery_bytes_truncated` | torn-tail bytes discarded during recovery  |
 //! | `recovery_indices_rebuilt` | indices rebuilt from specs after replay    |
@@ -243,6 +246,12 @@ pub struct Registry {
     pub snapshots_written: Counter,
     /// Successful durable-store opens (each one is a recovery).
     pub recoveries: Counter,
+    /// Per-shard opens performed inside a sharded-store recovery.
+    pub shard_recoveries: Counter,
+    /// Scatter-gather forest executions (one per sharded query).
+    pub scatter_queries: Counter,
+    /// Per-shard batches dispatched by scatter-gather execution.
+    pub scatter_batches: Counter,
     /// WAL frames re-applied while recovering.
     pub recovery_frames_replayed: Counter,
     /// Torn-tail bytes discarded while recovering.
@@ -345,6 +354,9 @@ impl Metrics {
             wal_bytes: r.wal_bytes.get(),
             snapshots_written: r.snapshots_written.get(),
             recoveries: r.recoveries.get(),
+            shard_recoveries: r.shard_recoveries.get(),
+            scatter_queries: r.scatter_queries.get(),
+            scatter_batches: r.scatter_batches.get(),
             recovery_frames_replayed: r.recovery_frames_replayed.get(),
             recovery_bytes_truncated: r.recovery_bytes_truncated.get(),
             recovery_indices_rebuilt: r.recovery_indices_rebuilt.get(),
@@ -422,6 +434,12 @@ pub struct MetricsSnapshot {
     pub snapshots_written: u64,
     /// See [`Registry::recoveries`].
     pub recoveries: u64,
+    /// See [`Registry::shard_recoveries`].
+    pub shard_recoveries: u64,
+    /// See [`Registry::scatter_queries`].
+    pub scatter_queries: u64,
+    /// See [`Registry::scatter_batches`].
+    pub scatter_batches: u64,
     /// See [`Registry::recovery_frames_replayed`].
     pub recovery_frames_replayed: u64,
     /// See [`Registry::recovery_bytes_truncated`].
@@ -477,6 +495,9 @@ impl MetricsSnapshot {
         self.wal_bytes += other.wal_bytes;
         self.snapshots_written += other.snapshots_written;
         self.recoveries += other.recoveries;
+        self.shard_recoveries += other.shard_recoveries;
+        self.scatter_queries += other.scatter_queries;
+        self.scatter_batches += other.scatter_batches;
         self.recovery_frames_replayed += other.recovery_frames_replayed;
         self.recovery_bytes_truncated += other.recovery_bytes_truncated;
         self.recovery_indices_rebuilt += other.recovery_indices_rebuilt;
@@ -519,6 +540,9 @@ impl MetricsSnapshot {
             && self.wal_bytes == 0
             && self.snapshots_written == 0
             && self.recoveries == 0
+            && self.shard_recoveries == 0
+            && self.scatter_queries == 0
+            && self.scatter_batches == 0
             && self.recovery_frames_replayed == 0
             && self.recovery_bytes_truncated == 0
             && self.recovery_indices_rebuilt == 0
@@ -577,6 +601,11 @@ impl MetricsSnapshot {
         );
         let _ = write!(
             out,
+            ",\"shard_recoveries\":{},\"scatter_queries\":{},\"scatter_batches\":{}",
+            self.shard_recoveries, self.scatter_queries, self.scatter_batches
+        );
+        let _ = write!(
+            out,
             ",\"recoveries\":{},\"recovery_frames_replayed\":{},\"recovery_bytes_truncated\":{},\"recovery_indices_rebuilt\":{}",
             self.recoveries,
             self.recovery_frames_replayed,
@@ -615,7 +644,7 @@ impl fmt::Display for MetricsSnapshot {
             self.engine_results,
             self.engine_elapsed_nanos as f64 / 1e6
         )?;
-        let rows: [(&str, u64); 30] = [
+        let rows: [(&str, u64); 33] = [
             ("pike-vm steps", self.vm_steps),
             ("parse-dag visits", self.vm_path_visits),
             ("tree visits", self.match_visits),
@@ -639,6 +668,9 @@ impl fmt::Display for MetricsSnapshot {
             ("wal bytes", self.wal_bytes),
             ("snapshots written", self.snapshots_written),
             ("recoveries", self.recoveries),
+            ("shard recoveries", self.shard_recoveries),
+            ("scatter queries", self.scatter_queries),
+            ("scatter batches", self.scatter_batches),
             ("recovery frames replayed", self.recovery_frames_replayed),
             ("recovery bytes truncated", self.recovery_bytes_truncated),
             ("recovery indices rebuilt", self.recovery_indices_rebuilt),

@@ -49,6 +49,10 @@ pub struct Explain {
     /// and checked, verification verdicts. Empty unless the caller asked
     /// for verified execution.
     pub integrity_events: Vec<String>,
+    /// Scatter-gather routing when the plan executed sharded: one entry
+    /// per dispatched per-shard batch (`"shard 2: 5 members"`), in shard
+    /// order. Empty for unsharded execution.
+    pub shard_batches: Vec<String>,
 }
 
 impl Explain {
@@ -123,6 +127,17 @@ impl Explain {
     pub fn record_integrity_event(&mut self, event: impl Into<String>) {
         self.integrity_events.push(event.into());
     }
+
+    /// Record one dispatched scatter-gather batch.
+    pub(crate) fn shard_batch(&mut self, shard: usize, members: usize) {
+        self.shard_batches
+            .push(format!("shard {shard}: {members} members"));
+    }
+
+    /// Did this plan execute scatter-gather?
+    pub fn scattered(&self) -> bool {
+        !self.shard_batches.is_empty()
+    }
 }
 
 impl fmt::Display for Explain {
@@ -164,6 +179,10 @@ impl fmt::Display for Explain {
         for fb in &self.fallbacks {
             sep(f)?;
             write!(f, "fallback: {fb}")?;
+        }
+        if !self.shard_batches.is_empty() {
+            sep(f)?;
+            write!(f, "scatter: {}", self.shard_batches.join(", "))?;
         }
         for ev in &self.service_events {
             sep(f)?;

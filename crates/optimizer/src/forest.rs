@@ -57,6 +57,25 @@ impl Optimizer<'_> {
         explain.cost(est_forest);
         Ok((ForestPlan { plan, degree }, explain))
     }
+
+    /// [`plan_forest_sub_select`](Self::plan_forest_sub_select) for a
+    /// sharded store: the parallel work items of a scatter-gather plan
+    /// are per-shard *batches*, not members, so the degree is clamped to
+    /// the shard count — more workers than shards would only idle.
+    pub fn plan_forest_sub_select_sharded(
+        &self,
+        pattern: &TreePattern,
+        member_sizes: &[usize],
+        max_threads: usize,
+        shards: usize,
+    ) -> Result<(ForestPlan, Explain)> {
+        let (mut fp, mut explain) =
+            self.plan_forest_sub_select(pattern, member_sizes, max_threads)?;
+        fp.degree = fp.degree.min(shards.max(1));
+        explain.degree(fp.degree);
+        explain.rule("scatter-gather-by-shard");
+        Ok((fp, explain))
+    }
 }
 
 /// Prefer the fleet's merged verdict over whichever worker's error won
@@ -125,6 +144,108 @@ impl ForestPlan {
         let per = run.map_err(|e| fleet_err(guard, e))?;
         let mut out = Vec::new();
         for (i, (trees, fallbacks)) in per.into_iter().enumerate() {
+            for why in fallbacks {
+                explain.fallback(format!("member {i}: {why}"));
+            }
+            for t in trees {
+                out.push((i, t));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scatter-gather execution over a sharded store: members are
+    /// grouped into per-shard [`ShardBatch`](exec::ShardBatch)es by
+    /// `shard_of` (member index → owning shard), one worker runs a whole
+    /// batch against its shard's extents, and the gather phase re-sorts
+    /// everything by member index — so the answer is byte-identical to
+    /// [`execute_guarded`](Self::execute_guarded) and to the serial
+    /// loop, whatever the routing or schedule. Fallbacks land in
+    /// `explain` in member order, and each dispatched batch is stamped
+    /// into [`Explain::shard_batches`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_scatter_gather(
+        &self,
+        catalogs: &[Catalog<'_>],
+        set: &TreeSet,
+        cfg: &MatchConfig,
+        shards: usize,
+        shard_of: impl Fn(usize) -> usize + Sync,
+        guard: Option<&SharedGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<(usize, Tree)>> {
+        self.execute_scatter_gather_at(
+            self.degree,
+            catalogs,
+            set,
+            cfg,
+            shards,
+            shard_of,
+            guard,
+            explain,
+        )
+    }
+
+    /// [`execute_scatter_gather`](Self::execute_scatter_gather) at an
+    /// explicit worker count — the backpressure hook, mirroring
+    /// [`execute_guarded_at`](Self::execute_guarded_at): a serving layer
+    /// holding fewer worker permits than planned runs the same plan
+    /// narrower without replanning.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_scatter_gather_at(
+        &self,
+        degree: usize,
+        catalogs: &[Catalog<'_>],
+        set: &TreeSet,
+        cfg: &MatchConfig,
+        shards: usize,
+        shard_of: impl Fn(usize) -> usize + Sync,
+        guard: Option<&SharedGuard>,
+        explain: &mut Explain,
+    ) -> Result<Vec<(usize, Tree)>> {
+        if catalogs.len() != set.len() {
+            return Err(OptError::CatalogMismatch {
+                members: set.len(),
+                catalogs: catalogs.len(),
+            });
+        }
+        let batches = exec::shard_batches(set.len(), shards, shard_of);
+        let degree = degree.clamp(1, batches.len().max(1));
+        explain.degree(degree);
+        for b in &batches {
+            explain.shard_batch(b.shard, b.members.len());
+        }
+        if let Some(m) = guard.and_then(|g| g.metrics()) {
+            m.scatter_queries.inc();
+            m.scatter_batches.add(batches.len() as u64);
+        }
+        type BatchOut = Vec<(usize, Vec<Tree>, Vec<String>)>;
+        let run: std::result::Result<Vec<BatchOut>, OptError> =
+            exec::try_par_map_guarded(&batches, degree, guard, |_, batch, g| {
+                let mut done = Vec::with_capacity(batch.members.len());
+                for &i in &batch.members {
+                    let mut local = Explain::default();
+                    let out = self.plan.execute_core(
+                        &catalogs[i],
+                        &set.members()[i],
+                        cfg,
+                        g,
+                        &mut local,
+                    )?;
+                    done.push((i, out, local.fallbacks));
+                }
+                Ok::<_, OptError>(done)
+            });
+        if let Some(g) = guard {
+            explain.observe(g.obs_snapshot());
+        }
+        let per = run.map_err(|e| fleet_err(guard, e))?;
+        // Gather: batches come back in batch order; re-sort emitted
+        // members by index to restore the serial answer exactly.
+        let mut members: Vec<(usize, Vec<Tree>, Vec<String>)> = per.into_iter().flatten().collect();
+        members.sort_by_key(|(i, _, _)| *i);
+        let mut out = Vec::new();
+        for (i, trees, fallbacks) in members {
             for why in fallbacks {
                 explain.fallback(format!("member {i}: {why}"));
             }

@@ -16,7 +16,10 @@ use aqua_pattern::ast::Re;
 use aqua_pattern::list::{ListMatch, Sym};
 use aqua_pattern::tree_match::MatchConfig;
 use aqua_pattern::{PredExpr, TreePattern};
-use aqua_store::{DurableConfig, DurableStore, RecoveryReport, Root, SplitCertificate};
+use aqua_store::{
+    DurableConfig, DurableStore, RecoveryReport, Root, ShardedConfig, ShardedRecoveryReport,
+    ShardedStore, SplitCertificate,
+};
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Dispatch, Transition};
@@ -265,6 +268,7 @@ pub struct QueryService {
     metrics: Metrics,
     submissions: AtomicU64,
     recovery: Mutex<Option<RecoveryReport>>,
+    sharded_recovery: Mutex<Option<ShardedRecoveryReport>>,
     /// Tenants whose answers are always verified inline, regardless of
     /// the per-request flag.
     verify_tenants: Mutex<std::collections::BTreeSet<String>>,
@@ -286,6 +290,7 @@ impl QueryService {
             metrics: Metrics::new(),
             submissions: AtomicU64::new(0),
             recovery: Mutex::new(None),
+            sharded_recovery: Mutex::new(None),
             verify_tenants: Mutex::new(std::collections::BTreeSet::new()),
             cfg,
         }
@@ -333,11 +338,41 @@ impl QueryService {
         }
     }
 
+    /// [`open_durable`](Self::open_durable) for a sharded store: shards
+    /// recover in parallel, every per-shard [`RecoveryReport`] is
+    /// stamped into the service metrics (plus `shard_recoveries`), the
+    /// combined [`ShardedRecoveryReport`] — global root included — is
+    /// retained for [`sharded_recovery_report`](Self::sharded_recovery_report),
+    /// and every shard is armed with the service metrics.
+    pub fn open_sharded(&self, dir: &Path, cfg: ShardedConfig) -> Result<ShardedStore> {
+        match ShardedStore::open(dir, cfg) {
+            Ok((mut store, report)) => {
+                report.stamp(&self.metrics);
+                store.set_metrics(self.metrics.clone());
+                *self.sharded_recovery.lock().unwrap() = Some(report);
+                Ok(store)
+            }
+            Err(e) => Err(ServiceError::Failed {
+                class: e.class(),
+                attempts: 1,
+                steps: 0,
+                message: format!("sharded store open failed: {e}"),
+            }),
+        }
+    }
+
     /// What the last [`open_durable`](Self::open_durable) found and did,
     /// for health endpoints and CI artifacts. `None` until a durable
     /// store has been opened through this service.
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
         self.recovery.lock().unwrap().clone()
+    }
+
+    /// What the last [`open_sharded`](Self::open_sharded) found and did:
+    /// per-shard reports plus the folded global root. `None` until a
+    /// sharded store has been opened through this service.
+    pub fn sharded_recovery_report(&self) -> Option<ShardedRecoveryReport> {
+        self.sharded_recovery.lock().unwrap().clone()
     }
 
     /// The service's own counters (`svc_*`; engine-progress fields stay
@@ -813,6 +848,96 @@ impl QueryService {
                 probe(SERVICE_COMMIT_PROBE, steps)?;
                 // Fleet members clamp per member; the degraded flag (not
                 // per-member tallies) is the truncation signal here.
+                let trunc = Truncation {
+                    truncated: dispatch == Dispatch::Degraded,
+                    hit_max_matches: dispatch == Dispatch::Degraded,
+                    ..Truncation::default()
+                };
+                Ok((out, trunc, steps))
+            },
+        )
+    }
+
+    /// [`forest_sub_select`](Self::forest_sub_select) over a sharded
+    /// store: members are routed to their owning shard by `shard_of`,
+    /// one worker executes each per-shard batch, and the gather phase
+    /// restores member order — the answer is byte-identical to the
+    /// unsharded path. Admission, budgets, deadlines, and cancellation
+    /// propagate into every per-shard sub-plan through the one
+    /// [`SharedGuard`] the batch workers are minted from, and worker
+    /// permits clamp the scatter width exactly as they clamp the
+    /// unsharded fleet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forest_sub_select_sharded(
+        &self,
+        req: &Request,
+        catalogs: &[Catalog<'_>],
+        set: &TreeSet,
+        pattern: &TreePattern,
+        cfg: &MatchConfig,
+        shards: usize,
+        shard_of: impl Fn(usize) -> usize + Sync,
+    ) -> Result<Response<Vec<(usize, Tree)>>> {
+        let sizes: Vec<usize> = set.members().iter().map(Tree::len).collect();
+        let (plan, explain) = catalogs
+            .first()
+            .map(|c| {
+                Optimizer::new(c).plan_forest_sub_select_sharded(
+                    pattern,
+                    &sizes,
+                    self.permits.cap(),
+                    shards,
+                )
+            })
+            .unwrap_or_else(|| {
+                Err(OptError::CatalogMismatch {
+                    members: set.len(),
+                    catalogs: 0,
+                })
+            })
+            .map_err(plan_failed)?;
+        let degraded_cfg = MatchConfig {
+            max_matches: cfg.max_matches.min(self.cfg.degraded_cap),
+            ..*cfg
+        };
+        self.run(
+            PlanClass::ForestSubSelect,
+            req,
+            explain,
+            |dispatch, budget, explain| {
+                probe(SERVICE_DISPATCH_PROBE, 0)?;
+                let grant = self.permits.acquire(plan.degree);
+                if grant.granted() < plan.degree {
+                    explain.record_service_event(format!(
+                        "backpressure: {} of {} planned workers granted",
+                        grant.granted(),
+                        plan.degree
+                    ));
+                }
+                let shared = match &req.cancel {
+                    Some(t) => SharedGuard::with_cancel(budget, t.clone()),
+                    None => SharedGuard::new(budget),
+                };
+                shared.attach_metrics(self.metrics.clone());
+                let run_cfg = if dispatch == Dispatch::Degraded {
+                    &degraded_cfg
+                } else {
+                    cfg
+                };
+                let out = plan
+                    .execute_scatter_gather_at(
+                        grant.granted(),
+                        catalogs,
+                        set,
+                        run_cfg,
+                        shards,
+                        &shard_of,
+                        Some(&shared),
+                        explain,
+                    )
+                    .map_err(|e| AttemptFail::from_opt(e, shared.snapshot().steps))?;
+                let steps = shared.snapshot().steps;
+                probe(SERVICE_COMMIT_PROBE, steps)?;
                 let trunc = Truncation {
                     truncated: dispatch == Dispatch::Degraded,
                     hit_max_matches: dispatch == Dispatch::Degraded,

@@ -98,6 +98,17 @@ pub enum StoreError {
         /// The recomputed root, hex.
         actual: String,
     },
+    /// The sharded store's on-disk layout disagrees with what the
+    /// caller asked for, or the layout manifest is unreadable. Shard
+    /// routing must be stable across recovery (same path → same shard),
+    /// so a shard-count change on an existing directory is refused
+    /// rather than silently re-routed.
+    ShardLayout {
+        /// The store directory.
+        dir: String,
+        /// What disagreed.
+        msg: String,
+    },
     /// Propagated object-layer error (typed insert/update failures).
     Object(ObjectError),
     /// Propagated algebra-layer error (tree/list mutation failures).
@@ -167,6 +178,9 @@ impl fmt::Display for StoreError {
                 "integrity mismatch in {extent} at {subtree}: committed root {expected}, \
                  recomputed {actual}"
             ),
+            StoreError::ShardLayout { dir, msg } => {
+                write!(f, "shard layout mismatch in {dir:?}: {msg}")
+            }
             StoreError::Object(e) => write!(f, "{e}"),
             StoreError::Algebra(e) => write!(f, "{e}"),
         }

@@ -33,6 +33,7 @@ pub mod error;
 pub mod merkle;
 pub mod positional;
 pub mod recovery;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod structural;
@@ -45,6 +46,10 @@ pub use error::{Result, StoreError};
 pub use merkle::{list_root, store_root, tree_root, MerkleTree, Root};
 pub use positional::{ListPosIndex, LIST_INDEX_PROBE};
 pub use recovery::{DurableConfig, DurableStore, RebuiltIndexes, RecoveryReport, RECOVER_PROBE};
+pub use shard::{
+    fold_shard_roots, shard_dir_name, ExtentPath, ShardRouter, ShardedConfig,
+    ShardedRecoveryReport, ShardedStore, SHARD_META,
+};
 pub use snapshot::{
     list_snapshots, read_snapshot, write_snapshot, SnapshotManifest, SnapshotState,
     INTEGRITY_CORRUPT_PROBE, SNAPSHOT_WRITE_PROBE,

@@ -40,8 +40,9 @@ use aqua_algebra::list::ListElem;
 use aqua_algebra::{List, Payload, Tree};
 use aqua_object::{ObjectStore, Oid, Value};
 
-/// A 32-byte merkle root (SHA-256).
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+/// A 32-byte merkle root (SHA-256). The `Default` root (all zeros) is
+/// what an empty fold reports — no real SHA-256 output collides with it.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Root(pub [u8; 32]);
 
 impl Root {

@@ -180,13 +180,21 @@ fn chaos_storm_absorbed() {
                                     verdicts += 1;
                                     if resp.meta.degraded {
                                         let n = resp.value.len();
-                                        assert_eq!(resp.value[..], expected_oids[..n]);
+                                        assert_eq!(
+                                            resp.value[..],
+                                            expected_oids[..n],
+                                            "seed {seed}: degraded select diverges"
+                                        );
                                         assert!(
                                             resp.meta.truncation.truncated
-                                                || n == expected_oids.len()
+                                                || n == expected_oids.len(),
+                                            "seed {seed}: unflagged truncation"
                                         );
                                     } else {
-                                        assert_eq!(&resp.value, expected_oids);
+                                        assert_eq!(
+                                            &resp.value, expected_oids,
+                                            "seed {seed}: select answer diverges"
+                                        );
                                     }
                                 }
                                 Err(e) => {
@@ -201,14 +209,27 @@ fn chaos_storm_absorbed() {
                                     if resp.meta.degraded {
                                         // A degraded answer is the flagged
                                         // prefix of the serial run.
-                                        assert!(resp.value.len() <= expected_trees.len());
+                                        assert!(
+                                            resp.value.len() <= expected_trees.len(),
+                                            "seed {seed}: degraded answer exceeds serial"
+                                        );
                                         for (a, b) in resp.value.iter().zip(expected_trees) {
-                                            assert!(a.structural_eq(b));
+                                            assert!(
+                                                a.structural_eq(b),
+                                                "seed {seed}: degraded sub_select diverges"
+                                            );
                                         }
                                     } else {
-                                        assert_eq!(resp.value.len(), expected_trees.len());
+                                        assert_eq!(
+                                            resp.value.len(),
+                                            expected_trees.len(),
+                                            "seed {seed}: sub_select count diverges"
+                                        );
                                         for (a, b) in resp.value.iter().zip(expected_trees) {
-                                            assert!(a.structural_eq(b));
+                                            assert!(
+                                                a.structural_eq(b),
+                                                "seed {seed}: sub_select answer diverges"
+                                            );
                                         }
                                     }
                                 }
@@ -229,7 +250,11 @@ fn chaos_storm_absorbed() {
             }
             storm_done.store(true, Ordering::Release);
             // Invariant 2: one terminal verdict per submission.
-            assert_eq!(total_verdicts, t * PER_WORKER);
+            assert_eq!(
+                total_verdicts,
+                t * PER_WORKER,
+                "seed {seed}: every submission gets a terminal verdict ({t} threads)"
+            );
         });
 
         // Invariant 4: with failpoints cleared, every breaker recovers
@@ -252,12 +277,12 @@ fn chaos_storm_absorbed() {
         assert_eq!(
             svc.breaker_state(PlanClass::TreeSubSelect),
             BreakerState::Closed,
-            "tree breaker must recover after faults clear ({t} threads)"
+            "seed {seed}: tree breaker must recover after faults clear ({t} threads)"
         );
         assert_eq!(
             svc.breaker_state(PlanClass::SetSelect),
             BreakerState::Closed,
-            "set breaker must recover after faults clear ({t} threads)"
+            "seed {seed}: set breaker must recover after faults clear ({t} threads)"
         );
         // A clean submission now serves full fidelity.
         let clean = svc
@@ -272,7 +297,7 @@ fn chaos_storm_absorbed() {
         assert_eq!(
             m.svc_admitted + m.svc_shed,
             submissions.load(Ordering::Relaxed),
-            "admission accounting must cover every submission ({t} threads)"
+            "seed {seed}: admission accounting must cover every submission ({t} threads)"
         );
         merged.merge(&m);
     }

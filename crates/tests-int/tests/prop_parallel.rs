@@ -345,3 +345,68 @@ fn forest_plan_is_deterministic_across_degrees() {
         }
     }
 }
+
+/// Scatter-gather execution over a sharded routing is byte-identical to
+/// the unsharded fleet (and hence to the serial loop) at every shard
+/// count, and `Explain` stamps the dispatched batches.
+#[test]
+fn scatter_gather_equals_unsharded_at_every_shard_count() {
+    let _serial = lock();
+    let f = RandomTreeGen::new(41)
+        .nodes(250)
+        .label_weights(&[("u", 1), ("x", 10)])
+        .generate_forest(9);
+    let set = TreeSet::from_trees(f.trees);
+    let idxs: Vec<TreeNodeIndex> = set
+        .members()
+        .iter()
+        .map(|t| TreeNodeIndex::build(&f.store, t, f.class, AttrId(0)))
+        .collect();
+    let stats = ColumnStats::build(&f.store, f.class, AttrId(0));
+    let cats = per_member_catalogs(&f.store, f.class, &idxs, &stats);
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+    let opt = Optimizer::new(&cats[0]);
+    let sizes: Vec<usize> = set.members().iter().map(|t| t.len()).collect();
+
+    let (plan, _) = opt.plan_forest_sub_select(&pattern, &sizes, 4).unwrap();
+    let mut explain = Explain::default();
+    let reference = plan
+        .execute_guarded(&cats, &set, &cfg, None, &mut explain)
+        .unwrap();
+
+    // Members live at paths "m<i>/doc"; the router keys on the top
+    // segment, exactly as a ShardedStore would route the extents.
+    for shards in [1usize, 2, 4, 8] {
+        let router = aqua_store::ShardRouter::new(shards);
+        let (plan, _) = opt
+            .plan_forest_sub_select_sharded(&pattern, &sizes, 4, shards)
+            .unwrap();
+        let fleet = SharedGuard::new(Budget::unlimited());
+        let sink = aqua_guard::Metrics::new();
+        assert!(fleet.attach_metrics(sink.clone()));
+        let mut explain = Explain::default();
+        let got = plan
+            .execute_scatter_gather(
+                &cats,
+                &set,
+                &cfg,
+                shards,
+                |i| router.route_name(&format!("m{i}/doc")),
+                Some(&fleet),
+                &mut explain,
+            )
+            .unwrap();
+        assert_eq!(got, reference, "{shards} shards diverged");
+        assert!(explain.scattered(), "batches stamped into explain");
+        assert!(explain.shard_batches.len() <= shards);
+        assert_eq!(sink.scatter_queries.get(), 1);
+        assert_eq!(
+            sink.scatter_batches.get(),
+            explain.shard_batches.len() as u64
+        );
+        assert!(!explain.fell_back());
+    }
+}

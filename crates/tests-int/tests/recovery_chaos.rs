@@ -352,7 +352,7 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
                     let first_replayed = ok.1.next_lsn - ok.1.frames_replayed;
                     assert!(
                         lsn < first_replayed,
-                        "round {round} ({style}): tampered frame lsn {lsn} was \
+                        "seed {seed}: round {round} ({style}): tampered frame lsn {lsn} was \
                          replayed without detection (first replayed {first_replayed})"
                     );
                 }
@@ -368,7 +368,7 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
                 // on the verified prefix.
                 assert!(
                     subtree.starts_with("wal frame lsn"),
-                    "round {round} ({style}): mismatch names the frame, got {subtree:?}"
+                    "seed {seed}: round {round} ({style}): mismatch names the frame, got {subtree:?}"
                 );
                 let victim = c.victim.clone().expect("root-tamper names its victim");
                 std::fs::OpenOptions::new()
@@ -383,7 +383,7 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
                     }
                 }
                 DurableStore::open(&dir, cfg.clone()).unwrap_or_else(|e| {
-                    panic!("round {round} ({style}): post-repair recovery must not fail: {e}")
+                    panic!("seed {seed}: round {round} ({style}): post-repair recovery must not fail: {e}")
                 })
             }
             Err(aqua_store::StoreError::Replay { .. }) if style == "mid-history" => {
@@ -399,15 +399,15 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
                     }
                 }
                 DurableStore::open(&dir, cfg.clone()).unwrap_or_else(|e| {
-                    panic!("round {round} ({style}): post-repair recovery must not fail: {e}")
+                    panic!("seed {seed}: round {round} ({style}): post-repair recovery must not fail: {e}")
                 })
             }
-            Err(e) => panic!("round {round} ({style}): recovery must not fail: {e}"),
+            Err(e) => panic!("seed {seed}: round {round} ({style}): recovery must not fail: {e}"),
         };
         let survived = rep.next_lsn - 1;
         assert!(
             survived <= applied,
-            "round {round} ({style}): recovery cannot invent ops ({survived} > {applied})"
+            "seed {seed}: round {round} ({style}): recovery cannot invent ops ({survived} > {applied})"
         );
         assert_eq!(recovered.epoch(), survived, "epoch is the surviving LSN");
 
@@ -417,23 +417,26 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
         // recomputing each extent's merkle root from the final state
         // agrees with the incrementally tracked value the report
         // certifies — no never-crashed reference is consulted.
-        assert!(recovered.authenticated(), "round {round}: tracking is on");
+        assert!(
+            recovered.authenticated(),
+            "seed {seed}: round {round}: tracking is on"
+        );
         assert_eq!(
             rep.roots_verified, rep.frames_replayed,
-            "round {round} ({style}): every replayed frame carries and passes its root"
+            "seed {seed}: round {round} ({style}): every replayed frame carries and passes its root"
         );
         if let Some(tree) = recovered.tree(STORM_TREE) {
             let actual = aqua_store::tree_root(recovered.store(), tree);
             assert_eq!(
                 recovered.tree_extent_root(STORM_TREE),
                 Some(actual),
-                "round {round} ({style}): tree extent root recomputes"
+                "seed {seed}: round {round} ({style}): tree extent root recomputes"
             );
             assert!(
                 rep.extent_roots
                     .iter()
                     .any(|(l, h)| l == &format!("tree:{STORM_TREE}") && h == &actual.to_hex()),
-                "round {round} ({style}): report certifies the tree root"
+                "seed {seed}: round {round} ({style}): report certifies the tree root"
             );
         }
         if let Some(list) = recovered.list(STORM_LIST) {
@@ -441,7 +444,7 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
             assert_eq!(
                 recovered.list_extent_root(STORM_LIST),
                 Some(actual),
-                "round {round} ({style}): list extent root recomputes"
+                "seed {seed}: round {round} ({style}): list extent root recomputes"
             );
         }
 
@@ -449,12 +452,12 @@ fn kill_and_recover_leg(seed: u64, leg: usize) -> Vec<RecoveryReport> {
         assert_eq!(
             fingerprint(&recovered, true),
             fingerprint(&recovered, false),
-            "round {round} ({style}): index-vs-scan parity after recovery"
+            "seed {seed}: round {round} ({style}): index-vs-scan parity after recovery"
         );
         if survived >= BOOT_OPS {
             assert!(
                 rep.indices_rebuilt >= 4,
-                "round {round}: all four registered indexes rebuild"
+                "seed {seed}: round {round}: all four registered indexes rebuild"
             );
         }
         reports.push(rep);
@@ -521,11 +524,18 @@ fn kill_and_recover_matrix() {
     assert!(svc.recovery_report().is_none(), "no report before startup");
     let ds = svc
         .open_durable(&dir, cfg)
-        .expect("service startup recovery is typed, not fatal");
+        .unwrap_or_else(|e| panic!("seed {seed}: service startup recovery must be typed: {e}"));
     let rep = svc.recovery_report().expect("report retained");
-    assert_eq!(rep.next_lsn, ds.epoch() + 1);
+    assert_eq!(
+        rep.next_lsn,
+        ds.epoch() + 1,
+        "seed {seed}: recovered epoch mismatch"
+    );
     let m = svc.metrics_snapshot();
-    assert_eq!(m.recoveries, 1, "report stamped into service metrics");
+    assert_eq!(
+        m.recoveries, 1,
+        "seed {seed}: report stamped into service metrics"
+    );
     assert_eq!(m.recovery_frames_replayed, rep.frames_replayed);
     assert_eq!(m.recovery_bytes_truncated, rep.bytes_truncated);
     assert_eq!(m.integrity_roots_verified, rep.roots_verified);

@@ -211,6 +211,95 @@ fn forest_answer_matches_serial_naive() {
     assert!(!resp.meta.degraded);
 }
 
+/// The sharded serving path returns the unsharded answer byte-for-byte
+/// at every shard count, and the service guard (deadlines, budgets)
+/// propagates into the per-shard sub-plans: an expired deadline or an
+/// exhausted step budget fails with `Resource` class no matter how many
+/// shards the scatter spans.
+#[test]
+fn sharded_forest_answers_match_and_guards_propagate() {
+    let _serial = lock();
+    let f = RandomTreeGen::new(29)
+        .nodes(200)
+        .label_weights(&[("u", 1), ("x", 10)])
+        .generate_forest(6);
+    let set = aqua_algebra::bulk::TreeSet::from_trees(f.trees);
+    let idxs: Vec<TreeNodeIndex> = set
+        .members()
+        .iter()
+        .map(|t| TreeNodeIndex::build(&f.store, t, f.class, AttrId(0)))
+        .collect();
+    let stats = ColumnStats::build(&f.store, f.class, AttrId(0));
+    let cats: Vec<Catalog<'_>> = idxs
+        .iter()
+        .map(|idx| {
+            let mut c = Catalog::new(&f.store, f.class);
+            c.add_tree_index(idx).add_stats(&stats);
+            c
+        })
+        .collect();
+
+    let env = PredEnv::with_default_attr("label");
+    let pattern = parse_tree_pattern("u(?*)", &env).unwrap();
+    let cfg = MatchConfig::first_per_root();
+
+    let svc = QueryService::default();
+    let reference = svc
+        .forest_sub_select(&Request::new("alice"), &cats, &set, &pattern, &cfg)
+        .expect("unsharded reference serves")
+        .value;
+
+    for shards in [1usize, 2, 4] {
+        let router = aqua_store::ShardRouter::new(shards);
+        let route = |i: usize| router.route_name(&format!("m{i}/doc"));
+        let resp = svc
+            .forest_sub_select_sharded(
+                &Request::new("alice"),
+                &cats,
+                &set,
+                &pattern,
+                &cfg,
+                shards,
+                route,
+            )
+            .expect("sharded query serves");
+        assert_eq!(resp.value, reference, "{shards} shards diverged");
+        assert!(
+            resp.explain.scattered(),
+            "explain stamps the dispatched batches"
+        );
+
+        // Deadline propagation: an expired deadline reaches every
+        // per-shard sub-plan through the one SharedGuard.
+        let req = Request::new("bob")
+            .with_budget(Budget::unlimited().with_deadline_at(Deadline::from_now(Duration::ZERO)));
+        let err = svc
+            .forest_sub_select_sharded(&req, &cats, &set, &pattern, &cfg, shards, route)
+            .expect_err("expired deadline cannot serve");
+        match err {
+            ServiceError::Failed { class, .. } => assert_eq!(class, ErrorClass::Resource),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+
+        // Budget propagation: a step budget far below the forest's cost
+        // trips inside the scatter at every shard count.
+        let req = Request::new("carol").with_budget(Budget::unlimited().with_steps(8));
+        let err = svc
+            .forest_sub_select_sharded(&req, &cats, &set, &pattern, &cfg, shards, route)
+            .expect_err("8 steps cannot cover a 1200-node forest");
+        match err {
+            ServiceError::Failed { class, .. } => assert_eq!(class, ErrorClass::Resource),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+    let m = svc.metrics_snapshot();
+    assert!(
+        m.scatter_queries >= 3,
+        "service metrics count scatter executions: {}",
+        m.scatter_queries
+    );
+}
+
 #[test]
 fn transient_fault_retries_to_success() {
     let _serial = lock();

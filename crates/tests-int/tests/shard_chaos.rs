@@ -1,0 +1,261 @@
+//! Shard-chaos matrix: kill-and-recover a [`ShardedStore`] across shard
+//! counts × crash styles and demand the same answers everywhere.
+//!
+//! The discipline extends `recovery_chaos.rs` to the sharded tentpole:
+//! every shard owns its own WAL segment stream, so a "power cut" can
+//! tear a *different* tail on every shard — the failure mode a single
+//! durable directory never sees. Each round mutilates the shard
+//! directories (torn tails, CRC-caught bit flips), recovers through
+//! `ShardedStore::open` (which replays shards in parallel), and tops the
+//! [`ShardStorm`] population back up. Because the storm's final state is
+//! a pure function of `(seed, paths, target)` — never of crash points or
+//! shard count — the *value* fingerprint after the last round must be
+//! byte-identical across every cell of the matrix, and the global merkle
+//! root must equal the fold of the per-shard roots at every step.
+//!
+//! Seeded via `AQUA_CHAOS_SEED` (default 7); every assertion message
+//! echoes the seed so a red CI leg is reproducible from its log alone.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aqua_store::{fold_shard_roots, shard_dir_name, ShardedConfig, ShardedStore};
+use aqua_store::{DurableConfig, Root};
+use aqua_workload::ShardStorm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path subtrees the storm populates (spread over the shards).
+const PATHS: usize = 6;
+/// List/tree size per path before the first crash.
+const TARGET0: usize = 30;
+/// Growth between crash rounds.
+const STEP: usize = 15;
+/// Crash/recover rounds per matrix cell.
+const ROUNDS: usize = 3;
+/// The shard counts the matrix crosses (CI pins the same pair).
+const SHARD_COUNTS: &[usize] = &[1, 4];
+
+fn chaos_seed() -> u64 {
+    std::env::var("AQUA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("aqua-schaos-{tag}-{}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn cfg(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        shard: DurableConfig {
+            // Small segments: crashes land mid-stream, not only in a
+            // single giant segment.
+            segment_bytes: 512,
+            checkpoint_every: 16,
+            prune: true,
+            authenticate: true,
+        },
+        recovery_threads: 0,
+    }
+}
+
+fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+/// Mutilate one shard directory's newest WAL segment the way a power
+/// cut (torn tail) or silent fault caught by the CRC (bit flip) would.
+/// Both styles are repairable by tail truncation, so recovery must
+/// *succeed* on every cell of the matrix.
+fn crash_shard(dir: &Path, rng: &mut StdRng) -> &'static str {
+    let segs = wal_segments(dir);
+    let Some(last) = segs.last() else {
+        return "no-wal";
+    };
+    if rng.gen_range(0u32..2) == 0 {
+        let len = std::fs::metadata(last).unwrap().len();
+        let at = rng.gen_range(0..=len);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(last)
+            .unwrap()
+            .set_len(at)
+            .unwrap();
+        "torn-tail"
+    } else {
+        let mut bytes = std::fs::read(last).unwrap();
+        if bytes.is_empty() {
+            return "empty-seg";
+        }
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] ^= 1 << rng.gen_range(0..8u32);
+        std::fs::write(last, bytes).unwrap();
+        "bit-flip"
+    }
+}
+
+/// One matrix cell: populate at `shards`, then crash/recover/regrow
+/// `ROUNDS` times — per-shard independent crashes each round — and
+/// return the final value fingerprint.
+fn run_cell(seed: u64, shards: usize) -> String {
+    let dir = temp_dir(&format!("cell{shards}"));
+    let storm = ShardStorm::new(seed ^ 0xA9_0A, PATHS);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(shards as u64));
+
+    {
+        let (mut ss, rep) = ShardedStore::open(&dir, cfg(shards))
+            .unwrap_or_else(|e| panic!("seed {seed}: fresh open at {shards} shards failed: {e}"));
+        assert!(
+            rep.clean(),
+            "seed {seed}: a fresh {shards}-shard directory recovers clean"
+        );
+        storm.bootstrap(&mut ss).expect("bootstrap");
+        storm.grow(&mut ss, TARGET0).expect("grow");
+        ss.sync().expect("sync");
+    }
+
+    let mut target = TARGET0;
+    for round in 0..ROUNDS {
+        // Crash every shard independently: each gets its own torn tail
+        // or bit flip, the multi-WAL failure mode the matrix exists for.
+        let mut styles = Vec::new();
+        for i in 0..shards {
+            styles.push(crash_shard(&dir.join(shard_dir_name(i)), &mut rng));
+        }
+
+        let (mut ss, rep) = ShardedStore::open(&dir, cfg(shards)).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: round {round} ({styles:?}) at {shards} shards: \
+                 recovery must not fail: {e}"
+            )
+        });
+        assert_eq!(
+            rep.shards.len(),
+            shards,
+            "seed {seed}: round {round}: one report per shard"
+        );
+        // Global root = fold of the per-shard roots, at every recovery.
+        let per_shard: Vec<Root> = ss.shards().iter().map(|s| s.store_root()).collect();
+        assert_eq!(
+            ss.global_root(),
+            fold_shard_roots(&per_shard),
+            "seed {seed}: round {round} ({styles:?}): global root is the shard-root fold"
+        );
+        assert_eq!(
+            rep.global_root,
+            ss.global_root(),
+            "seed {seed}: round {round}: recovery report binds the recovered global root"
+        );
+
+        // Top the population back up past what the crash destroyed.
+        target += STEP;
+        storm.bootstrap(&mut ss).unwrap_or_else(|e| {
+            panic!("seed {seed}: round {round} ({styles:?}): re-bootstrap failed: {e}")
+        });
+        storm.grow(&mut ss, target).unwrap_or_else(|e| {
+            panic!("seed {seed}: round {round} ({styles:?}): regrow failed: {e}")
+        });
+        ss.sync().expect("sync");
+    }
+
+    // A clean reopen must agree with itself: same fingerprint, same
+    // global root — recovery is idempotent once the tails are healed.
+    let (ss, _) = ShardedStore::open(&dir, cfg(shards))
+        .unwrap_or_else(|e| panic!("seed {seed}: final open at {shards} shards failed: {e}"));
+    let fp = storm.fingerprint(&ss);
+    let root = ss.global_root();
+    drop(ss);
+    let (ss2, rep2) = ShardedStore::open(&dir, cfg(shards))
+        .unwrap_or_else(|e| panic!("seed {seed}: reopen at {shards} shards failed: {e}"));
+    assert!(
+        rep2.clean(),
+        "seed {seed}: a healed {shards}-shard directory reopens clean"
+    );
+    assert_eq!(
+        storm.fingerprint(&ss2),
+        fp,
+        "seed {seed}: reopen changes answers at {shards} shards"
+    );
+    assert_eq!(
+        ss2.global_root(),
+        root,
+        "seed {seed}: reopen changes the global root at {shards} shards"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    fp
+}
+
+/// The matrix: every shard count must converge on byte-identical value
+/// answers after its own independent crash history.
+#[test]
+fn shard_matrix_converges_on_identical_answers() {
+    let seed = chaos_seed();
+    let mut reference: Option<String> = None;
+    for &shards in SHARD_COUNTS {
+        let fp = run_cell(seed, shards);
+        assert!(
+            !fp.is_empty(),
+            "seed {seed}: empty fingerprint at {shards} shards"
+        );
+        match &reference {
+            None => reference = Some(fp),
+            Some(r) => assert_eq!(
+                &fp, r,
+                "seed {seed}: {shards}-shard answers diverge from the 1-shard reference \
+                 after kill-and-recover"
+            ),
+        }
+    }
+}
+
+/// Shard-count changes are refused, crash or no crash: a torn 4-shard
+/// directory opened as 1-shard must fail with the layout error, not
+/// silently re-route extents.
+#[test]
+fn crashed_directory_still_pins_its_shard_count() {
+    let seed = chaos_seed();
+    let dir = temp_dir("pin");
+    let storm = ShardStorm::new(seed, 3);
+    {
+        let (mut ss, _) = ShardedStore::open(&dir, cfg(4)).expect("fresh open");
+        storm.bootstrap(&mut ss).expect("bootstrap");
+        storm.grow(&mut ss, 12).expect("grow");
+        ss.sync().expect("sync");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..4 {
+        crash_shard(&dir.join(shard_dir_name(i)), &mut rng);
+    }
+    let err = ShardedStore::open(&dir, cfg(1)).err().unwrap_or_else(|| {
+        panic!("seed {seed}: opening a crashed 4-shard dir as 1 shard must fail")
+    });
+    assert!(
+        err.to_string().contains("shard"),
+        "seed {seed}: layout refusal names the shard mismatch: {err}"
+    );
+    // The honest shard count still recovers.
+    let (ss, _) = ShardedStore::open(&dir, cfg(4))
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery at the pinned count failed: {e}"));
+    assert_eq!(ss.shard_count(), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -17,12 +17,17 @@
 //!   [`DurableStore`](aqua_store::DurableStore), prefix-stable so the
 //!   kill-and-recover chaos harness can rebuild a never-crashed
 //!   reference for any crash point.
+//! * [`shard_storm`] — position-keyed deterministic population of a
+//!   [`ShardedStore`](aqua_store::ShardedStore), whose final state (and
+//!   value fingerprint) is invariant across shard counts and crash
+//!   points — the shard-chaos matrix's workload.
 
 pub mod document;
 pub mod family;
 pub mod music;
 pub mod parse_tree;
 pub mod random_tree;
+pub mod shard_storm;
 pub mod storm;
 
 pub use document::DocumentGen;
@@ -30,4 +35,5 @@ pub use family::FamilyGen;
 pub use music::SongGen;
 pub use parse_tree::ParseTreeGen;
 pub use random_tree::RandomTreeGen;
+pub use shard_storm::ShardStorm;
 pub use storm::MutationStorm;

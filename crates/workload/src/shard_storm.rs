@@ -1,0 +1,303 @@
+//! Deterministic per-path workload for a [`ShardedStore`] — the
+//! shard-chaos harness's population.
+//!
+//! Where [`MutationStorm`] is keyed by a
+//! global op counter (and so bound to *one* WAL stream), a
+//! [`ShardStorm`] is keyed by `(seed, path, position)`: every list
+//! element's note values and every tree node's placement are pure
+//! functions of where they sit in their extent, never of the order the
+//! ops reached a WAL. That makes the **final state a pure function of
+//! `(seed, paths, target)`** — independent of shard count, crash
+//! points, and how many grow/recover cycles it took to get there:
+//!
+//! * After a crash, [`grow`](ShardStorm::grow) reads each extent's
+//!   *observable* length and tops it up — surviving positions keep
+//!   their values, missing positions are re-derived identically.
+//! * OIDs are **not** part of the contract. A crash landing between an
+//!   object insert and its `list_push` leaves an orphan object, and
+//!   shard-local OID sequences differ across shard counts by
+//!   construction — so [`fingerprint`](ShardStorm::fingerprint) renders
+//!   attribute *values* (dereferenced through the owning shard), never
+//!   OIDs. That is exactly what lets the shard-chaos matrix demand
+//!   byte-identical answers at every shard count.
+
+use aqua_algebra::{NodeId, Tree};
+use aqua_object::{AttrId, Oid, Value};
+use aqua_store::{Result, ShardedStore};
+
+use crate::music::PITCHES;
+use crate::storm::MutationStorm;
+
+/// A deterministic sharded workload over `paths` top-level path
+/// subtrees, each owning one list (`p<k>/song`) and one tree
+/// (`p<k>/doc`).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStorm {
+    seed: u64,
+    paths: usize,
+}
+
+/// SplitMix64 finalizer: the position-keyed hash behind every value
+/// choice. Stable by construction (no platform-dependent state).
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ShardStorm {
+    /// A storm over `paths` path subtrees (clamped to ≥ 1).
+    pub fn new(seed: u64, paths: usize) -> ShardStorm {
+        ShardStorm {
+            seed,
+            paths: paths.max(1),
+        }
+    }
+
+    /// The storm's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many path subtrees the storm populates.
+    pub fn paths(&self) -> usize {
+        self.paths
+    }
+
+    /// The list extent under path subtree `k`.
+    pub fn list_path(&self, k: usize) -> String {
+        format!("p{k}/song")
+    }
+
+    /// The tree extent under path subtree `k`.
+    pub fn tree_path(&self, k: usize) -> String {
+        format!("p{k}/doc")
+    }
+
+    fn draw(&self, k: usize, domain: u64, pos: u64) -> u64 {
+        mix(self
+            .seed
+            .wrapping_add(mix((k as u64) << 32 | domain))
+            .wrapping_add(pos.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// The pitch at `(path k, domain, position)` — the value the
+    /// fingerprint renders.
+    fn pitch(&self, k: usize, domain: u64, pos: u64) -> &'static str {
+        PITCHES[(self.draw(k, domain, pos) % PITCHES.len() as u64) as usize]
+    }
+
+    /// Idempotent bootstrap: the `Note` class on every shard, plus each
+    /// path's (empty) list and single-root tree. Safe to call on a
+    /// recovered store where any prefix of this already happened — a
+    /// crash mid-broadcast leaves some shards bootstrapped and others
+    /// not, and only the missing pieces are created.
+    pub fn bootstrap(&self, ss: &mut ShardedStore) -> Result<()> {
+        for i in 0..ss.shard_count() {
+            if ss.shard(i).store().class_id("Note").is_err() {
+                ss.shard_mut(i).define_class(MutationStorm::class_def())?;
+            }
+        }
+        for k in 0..self.paths {
+            let list = self.list_path(k);
+            if ss.list(&list).is_none() {
+                ss.create_list(&list)?;
+            }
+            let tree = self.tree_path(k);
+            if ss.tree(&tree).is_none() {
+                let class = {
+                    let sh = ss.shard_of(&tree);
+                    ss.shard(sh).store().class_id("Note")?
+                };
+                let (_, root) = ss.insert(
+                    &tree,
+                    class,
+                    vec![Value::str(self.pitch(k, 2, 0)), Value::Int(1)],
+                )?;
+                ss.create_tree(&tree, Tree::leaf(root))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Top up every path to `target` list elements and `target` tree
+    /// nodes (root included). Reads each extent's observable length and
+    /// grows from there, so any crash/recover/regrow interleaving
+    /// converges on the same final extents.
+    pub fn grow(&self, ss: &mut ShardedStore, target: usize) -> Result<()> {
+        for k in 0..self.paths {
+            let list = self.list_path(k);
+            let class = {
+                let sh = ss.shard_of(&list);
+                ss.shard(sh).store().class_id("Note")?
+            };
+            loop {
+                let len = ss.list(&list).map_or(0, |l| l.len());
+                if len >= target {
+                    break;
+                }
+                let pos = len as u64;
+                let (_, oid) = ss.insert(
+                    &list,
+                    class,
+                    vec![
+                        Value::str(self.pitch(k, 0, pos)),
+                        Value::Int((self.draw(k, 1, pos) % 8 + 1) as i64),
+                    ],
+                )?;
+                ss.list_push(&list, oid)?;
+            }
+
+            let tree = self.tree_path(k);
+            loop {
+                let n = ss.tree(&tree).map_or(0, Tree::len);
+                if n >= target {
+                    break;
+                }
+                // Placement is keyed by the node count alone: with no
+                // removals, arena ids are 0..n and the shape at count n
+                // is the same however many crashes interleaved.
+                let parent = NodeId((self.draw(k, 3, n as u64) % n as u64) as u32);
+                let (_, oid) = ss.insert(
+                    &tree,
+                    class,
+                    vec![Value::str(self.pitch(k, 2, n as u64)), Value::Int(1)],
+                )?;
+                let slot = {
+                    let t = ss.tree(&tree).expect("bootstrap created the tree");
+                    (self.draw(k, 4, n as u64) % (t.children(parent).len() as u64 + 1)) as usize
+                };
+                ss.tree_insert_child(&tree, parent, slot, Tree::leaf(oid))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical value-rendered answers: every path's list pitches in
+    /// position order and tree pitches in preorder, dereferenced through
+    /// the owning shard. Identical across shard counts and crash
+    /// histories whenever the observable extents are — the byte string
+    /// the shard-chaos matrix compares.
+    pub fn fingerprint(&self, ss: &ShardedStore) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for k in 0..self.paths {
+            let list = self.list_path(k);
+            let sh = ss.shard(ss.shard_of(&list));
+            let _ = write!(out, "{list}:");
+            if let Some(l) = sh.list(&list) {
+                for e in l.elems() {
+                    match e.oid() {
+                        Some(oid) => {
+                            let _ = write!(out, "{:?} ", sh.store().attr(oid, AttrId(0)));
+                        }
+                        None => out.push_str("_ "),
+                    }
+                }
+            }
+            out.push('\n');
+
+            let tree = self.tree_path(k);
+            let sh = ss.shard(ss.shard_of(&tree));
+            let _ = write!(out, "{tree}:");
+            if let Some(t) = sh.tree(&tree) {
+                render_by_value(sh.store(), t, t.root(), &mut out);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Preorder rendering by attribute value (never by OID).
+fn render_by_value(store: &aqua_object::ObjectStore, t: &Tree, node: NodeId, out: &mut String) {
+    use std::fmt::Write as _;
+    match t.oid(node) {
+        Some(oid) => {
+            let _ = write!(out, "{:?}", store.attr(oid, AttrId(0)));
+        }
+        None => out.push('_'),
+    }
+    if !t.children(node).is_empty() {
+        out.push('(');
+        for &c in t.children(node) {
+            render_by_value(store, t, c, out);
+            out.push(' ');
+        }
+        out.push(')');
+    }
+}
+
+// Keep the unused-import lint honest: Oid appears in docs/types above.
+#[allow(unused)]
+fn _oid_is_shard_local(_: Oid) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_store::{ShardedConfig, ShardedStore};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("aqua-sstorm-{tag}-{}-{n}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        dir
+    }
+
+    fn build(dir: &std::path::Path, shards: usize, target: usize) -> (ShardedStore, ShardStorm) {
+        let (mut ss, _) = ShardedStore::open(dir, ShardedConfig::with_shards(shards)).unwrap();
+        let storm = ShardStorm::new(11, 6);
+        storm.bootstrap(&mut ss).unwrap();
+        storm.grow(&mut ss, target).unwrap();
+        (ss, storm)
+    }
+
+    #[test]
+    fn fingerprint_is_shard_count_invariant() {
+        let (d1, d4) = (temp_dir("inv1"), temp_dir("inv4"));
+        let (s1, storm) = build(&d1, 1, 24);
+        let (s4, _) = build(&d4, 4, 24);
+        assert_eq!(
+            storm.fingerprint(&s1),
+            storm.fingerprint(&s4),
+            "same storm, different shard counts, same value answers"
+        );
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d4).unwrap();
+    }
+
+    #[test]
+    fn grow_is_idempotent_and_incremental() {
+        let dir = temp_dir("idem");
+        let (mut ss, storm) = build(&dir, 2, 10);
+        let at_10 = storm.fingerprint(&ss);
+        storm.grow(&mut ss, 10).unwrap();
+        assert_eq!(storm.fingerprint(&ss), at_10, "regrow to target is a no-op");
+        storm.grow(&mut ss, 20).unwrap();
+        let at_20 = storm.fingerprint(&ss);
+        assert_ne!(at_20, at_10);
+
+        // Growing 0→20 in one shot lands on the same bytes as 10→20.
+        let dir2 = temp_dir("oneshot");
+        let (one_shot, _) = build(&dir2, 2, 20);
+        assert_eq!(storm.fingerprint(&one_shot), at_20);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn bootstrap_is_idempotent() {
+        let dir = temp_dir("boot");
+        let (mut ss, storm) = build(&dir, 4, 8);
+        let before = storm.fingerprint(&ss);
+        storm.bootstrap(&mut ss).unwrap();
+        assert_eq!(storm.fingerprint(&ss), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
