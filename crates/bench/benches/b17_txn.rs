@@ -1,0 +1,173 @@
+//! B17 — cross-shard transaction commit latency, swept over shard
+//! count.
+//!
+//! Two row families, each at 1/2/4 shards over the *same* four-path
+//! `ShardStorm` population:
+//!
+//! * `commit_1path` — a transaction touching a single path. It always
+//!   collapses to one participant, so every cell measures the one-phase
+//!   fast path: append + fsync on one shard WAL, no coordinator frame.
+//!   This is the control row — it should be flat across shard counts.
+//! * `commit_4paths` — one insert + list-push per path. At 1 shard the
+//!   four paths share a participant (fast path again); at 2 and 4
+//!   shards the commit pays the full presumed-abort 2PC bill: one
+//!   durable prepare per participant, a synced coordinator decision
+//!   frame, then the outcome fan-out. The x1-vs-x4 gap *is* the
+//!   protocol overhead, measured on identical record bytes.
+//!
+//! Every commit's receipt is asserted (participant count, applied
+//! records) before its timing counts. `AQUA_BENCH_QUICK` shrinks the
+//! iteration count for the CI gate; `AQUA_BENCH_JSON=<path>` dumps rows
+//! for `bench_gate` (gated under `--only b17/`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use aqua_bench::timing::{ms, time_median};
+use aqua_bench::Table;
+use aqua_exec as exec;
+use aqua_object::Value;
+use aqua_store::{DurableConfig, ShardedConfig, ShardedStore};
+use aqua_workload::ShardStorm;
+
+const SHARDS: &[usize] = &[1, 2, 4];
+/// Paths the storm spreads over the shards; the 4-path transaction
+/// touches all of them, one record each.
+const PATHS: usize = 4;
+
+fn iters() -> usize {
+    // Commits are fsync-bound (~0.2-2ms each), so per-iteration jitter
+    // is high; medians need more samples than the compute benches even
+    // in quick mode to keep the CI gate stable.
+    aqua_bench::iters_for(120, 40)
+}
+
+struct Row {
+    name: &'static str,
+    mode: String,
+    median_ms: f64,
+    result_size: usize,
+    participants: usize,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"b17\",\"name\":\"{}\",\"mode\":\"{}\",\"median_ms\":{:.4},\
+             \"result_size\":{},\"participants\":{}}}",
+            self.name, self.mode, self.median_ms, self.result_size, self.participants
+        )
+    }
+}
+
+fn scratch(tag: &str, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aqua-b17-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sharded_cfg(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        shard: DurableConfig {
+            segment_bytes: 64 * 1024,
+            checkpoint_every: 0,
+            prune: true,
+            // Authenticated frames: every prepare/outcome binds the
+            // post-apply root, the configuration the chaos matrix runs.
+            authenticate: true,
+        },
+        recovery_threads: 0,
+    }
+}
+
+/// One row family: commit a transaction over `touch` paths, once per
+/// timed iteration (each commit appends fresh records — commits are not
+/// idempotent, so the population grows across iterations; median timing
+/// absorbs the drift).
+fn bench_commits(
+    table: &mut Table,
+    rows: &mut Vec<Row>,
+    name: &'static str,
+    touch: usize,
+    base_ms: &mut [f64],
+) {
+    let storm = ShardStorm::new(7, PATHS);
+    for &shards in SHARDS {
+        let dir = scratch(name, shards);
+        let (mut ss, _) = ShardedStore::open(&dir, sharded_cfg(shards)).expect("fresh open");
+        storm.bootstrap(&mut ss).expect("bootstrap");
+        storm.grow(&mut ss, 8).expect("grow");
+        ss.sync().expect("sync");
+        let classes: Vec<_> = (0..touch)
+            .map(|k| {
+                let list = storm.list_path(k);
+                ss.shard(ss.shard_of(&list))
+                    .store()
+                    .class_id("Note")
+                    .expect("bootstrapped")
+            })
+            .collect();
+
+        let mut participants = 0usize;
+        let t = time_median(iters(), || {
+            let mut txn = ss.begin();
+            for (k, &class) in classes.iter().enumerate() {
+                let list = storm.list_path(k);
+                let (_, oid) = txn.insert(&list, class, vec![Value::str("B"), Value::Int(1)]);
+                txn.list_push(&list, oid);
+            }
+            let receipt = ss.commit(&txn).expect("commit");
+            assert_eq!(receipt.records, touch * 2, "every buffered record applied");
+            participants = receipt.participants.len();
+            receipt.records
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        if shards == 1 {
+            base_ms[0] = t.secs;
+        }
+        let vs_x1 = t.secs / base_ms[0].max(1e-12);
+        table.row(vec![
+            name.into(),
+            format!("shards x{shards}"),
+            ms(t),
+            format!("{participants}"),
+            format!("{vs_x1:.2}x"),
+        ]);
+        rows.push(Row {
+            name,
+            mode: format!("shards x{shards}"),
+            median_ms: t.secs * 1e3,
+            result_size: t.result_size,
+            participants,
+        });
+    }
+}
+
+fn main() {
+    let host = exec::available_threads();
+    let mut table = Table::new(&["phase", "mode", "median ms", "participants", "cost vs x1"]);
+    let mut rows = Vec::new();
+    let mut base = [0.0f64];
+    bench_commits(&mut table, &mut rows, "commit_1path", 1, &mut base);
+    let mut base = [0.0f64];
+    bench_commits(&mut table, &mut rows, "commit_4paths", PATHS, &mut base);
+    table.print(&format!(
+        "B17 — cross-shard commit latency: fast path vs presumed-abort 2PC (host threads: {host})"
+    ));
+
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"b17_txn\",");
+        let _ = writeln!(out, "  \"host_threads\": {host},");
+        let _ = writeln!(out, "  \"iters\": {},", iters());
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{sep}", r.json());
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write JSON baseline");
+        println!("wrote {path}");
+    }
+}

@@ -143,5 +143,60 @@ fn main() {
         m.integrity_roots_verified
     );
 
+    // 5. The sharded story: a cross-shard transaction killed *after*
+    //    the commit decision was durable but before the second
+    //    participant applied. Service startup must roll it forward —
+    //    the ShardedRecoveryReport prints the per-shard replay plus
+    //    what transaction resolution did.
+    let sdir =
+        std::env::temp_dir().join(format!("aqua-recovery-example-sh-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sdir);
+    let scfg = aqua_store::ShardedConfig::with_shards(4);
+    {
+        let (mut ss, _) = aqua_store::ShardedStore::open(&sdir, scfg.clone()).expect("fresh open");
+        let sstorm = aqua_workload::ShardStorm::new(7, 4);
+        sstorm.bootstrap(&mut ss).expect("bootstrap");
+        sstorm.grow(&mut ss, 8).expect("grow");
+        ss.sync().expect("sync");
+
+        let mut txn = ss.begin();
+        for k in 0..4 {
+            let list = sstorm.list_path(k);
+            let class = ss
+                .shard(ss.shard_of(&list))
+                .store()
+                .class_id("Note")
+                .expect("bootstrapped");
+            let (_, oid) = txn.insert(
+                &list,
+                class,
+                vec![aqua_object::Value::str("X"), aqua_object::Value::Int(1)],
+            );
+            txn.list_push(&list, oid);
+        }
+        let second = txn.participants()[1];
+        aqua_guard::failpoint::arm_times(
+            &aqua_store::participant_probe(aqua_store::TXN_OUTCOME_CRASH, second),
+            "kill -9 mid-outcome",
+            1,
+        );
+        let err = ss.commit(&txn).expect_err("the injected kill fires");
+        println!("\ncross-shard commit killed mid-outcome: {err}");
+    } // dropped with one participant applied, the rest still parked
+
+    let svc2 = QueryService::default();
+    let _ss = svc2
+        .open_sharded(&sdir, scfg)
+        .expect("transaction resolution is typed and survivable");
+    let srep = svc2.sharded_recovery_report().expect("report retained");
+    println!("\n{srep}");
+    assert_eq!(srep.txns_committed, 1, "the decided txn rolled forward");
+    let sm = svc2.metrics_snapshot();
+    println!(
+        "service metrics: shard_recoveries={} txn_committed={} txn_presumed_abort={}",
+        sm.shard_recoveries, sm.txn_committed, sm.txn_presumed_abort
+    );
+
+    let _ = std::fs::remove_dir_all(&sdir);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -42,6 +42,11 @@
 //! | `certs_emitted`          | split reassembly certificates emitted        |
 //! | `certs_checked`          | certificates revalidated (inline or offline) |
 //! | `certs_failed`           | certificate checks that found a mismatch     |
+//! | `txn_prepared`           | participant prepares logged (2PC phase 1)    |
+//! | `txn_committed`          | cross-shard transactions committed           |
+//! | `txn_aborted`            | cross-shard transactions aborted cleanly     |
+//! | `txn_presumed_abort`     | orphaned prepares aborted by presumption     |
+//! | `txn_decide_us` (hist)   | prepare→decision latency per commit, µs      |
 //!
 //! Snapshots [`merge`](MetricsSnapshot::merge) field-wise (sums and
 //! bucket-wise histogram sums), which is commutative and associative:
@@ -266,6 +271,16 @@ pub struct Registry {
     pub certs_checked: Counter,
     /// Certificate checks that found a mismatch.
     pub certs_failed: Counter,
+    /// Participant prepare frames logged (2PC phase 1).
+    pub txn_prepared: Counter,
+    /// Cross-shard transactions committed (decision + all outcomes).
+    pub txn_committed: Counter,
+    /// Cross-shard transactions aborted cleanly (decision logged).
+    pub txn_aborted: Counter,
+    /// Orphaned prepares resolved by presumed abort during recovery.
+    pub txn_presumed_abort: Counter,
+    /// Prepare→decision latency per 2PC commit, microseconds.
+    pub txn_decide_us: Histogram,
     spans: Mutex<Vec<SpanEvent>>,
     spans_dropped: Counter,
 }
@@ -364,6 +379,11 @@ impl Metrics {
             certs_emitted: r.certs_emitted.get(),
             certs_checked: r.certs_checked.get(),
             certs_failed: r.certs_failed.get(),
+            txn_prepared: r.txn_prepared.get(),
+            txn_committed: r.txn_committed.get(),
+            txn_aborted: r.txn_aborted.get(),
+            txn_presumed_abort: r.txn_presumed_abort.get(),
+            txn_decide_us: r.txn_decide_us.snapshot(),
             spans,
             spans_dropped: r.spans_dropped.get(),
         }
@@ -454,6 +474,16 @@ pub struct MetricsSnapshot {
     pub certs_checked: u64,
     /// See [`Registry::certs_failed`].
     pub certs_failed: u64,
+    /// See [`Registry::txn_prepared`].
+    pub txn_prepared: u64,
+    /// See [`Registry::txn_committed`].
+    pub txn_committed: u64,
+    /// See [`Registry::txn_aborted`].
+    pub txn_aborted: u64,
+    /// See [`Registry::txn_presumed_abort`].
+    pub txn_presumed_abort: u64,
+    /// See [`Registry::txn_decide_us`].
+    pub txn_decide_us: HistogramSnapshot,
     /// Completed spans, canonically sorted.
     pub spans: Vec<SpanEvent>,
     /// Spans discarded past [`SPAN_CAP`].
@@ -505,6 +535,11 @@ impl MetricsSnapshot {
         self.certs_emitted += other.certs_emitted;
         self.certs_checked += other.certs_checked;
         self.certs_failed += other.certs_failed;
+        self.txn_prepared += other.txn_prepared;
+        self.txn_committed += other.txn_committed;
+        self.txn_aborted += other.txn_aborted;
+        self.txn_presumed_abort += other.txn_presumed_abort;
+        self.txn_decide_us.merge(&other.txn_decide_us);
         self.spans.extend(other.spans.iter().cloned());
         self.spans.sort();
         self.spans_dropped += other.spans_dropped;
@@ -550,6 +585,11 @@ impl MetricsSnapshot {
             && self.certs_emitted == 0
             && self.certs_checked == 0
             && self.certs_failed == 0
+            && self.txn_prepared == 0
+            && self.txn_committed == 0
+            && self.txn_aborted == 0
+            && self.txn_presumed_abort == 0
+            && self.txn_decide_us.count() == 0
             && self.spans.is_empty()
             && self.spans_dropped == 0
     }
@@ -617,6 +657,13 @@ impl MetricsSnapshot {
             ",\"integrity_roots_verified\":{},\"certs_emitted\":{},\"certs_checked\":{},\"certs_failed\":{}",
             self.integrity_roots_verified, self.certs_emitted, self.certs_checked, self.certs_failed
         );
+        let _ = write!(
+            out,
+            ",\"txn_prepared\":{},\"txn_committed\":{},\"txn_aborted\":{},\"txn_presumed_abort\":{}",
+            self.txn_prepared, self.txn_committed, self.txn_aborted, self.txn_presumed_abort
+        );
+        out.push_str(",\"txn_decide_us\":");
+        self.txn_decide_us.json_into(&mut out);
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -644,7 +691,7 @@ impl fmt::Display for MetricsSnapshot {
             self.engine_results,
             self.engine_elapsed_nanos as f64 / 1e6
         )?;
-        let rows: [(&str, u64); 33] = [
+        let rows: [(&str, u64); 37] = [
             ("pike-vm steps", self.vm_steps),
             ("parse-dag visits", self.vm_path_visits),
             ("tree visits", self.match_visits),
@@ -678,6 +725,10 @@ impl fmt::Display for MetricsSnapshot {
             ("certs emitted", self.certs_emitted),
             ("certs checked", self.certs_checked),
             ("certs failed", self.certs_failed),
+            ("txns prepared", self.txn_prepared),
+            ("txns committed", self.txn_committed),
+            ("txns aborted", self.txn_aborted),
+            ("txns presumed abort", self.txn_presumed_abort),
         ];
         for (name, v) in rows {
             if v > 0 {
@@ -690,6 +741,14 @@ impl fmt::Display for MetricsSnapshot {
                 "state-set sizes: {} samples, max < {}",
                 self.vm_state_set.count(),
                 self.vm_state_set.max_bound().unwrap_or(0)
+            )?;
+        }
+        if self.txn_decide_us.count() > 0 {
+            writeln!(
+                f,
+                "txn decide latency: {} commits, max < {}µs",
+                self.txn_decide_us.count(),
+                self.txn_decide_us.max_bound().unwrap_or(0)
             )?;
         }
         for s in &self.spans {

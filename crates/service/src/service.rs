@@ -17,8 +17,8 @@ use aqua_pattern::list::{ListMatch, Sym};
 use aqua_pattern::tree_match::MatchConfig;
 use aqua_pattern::{PredExpr, TreePattern};
 use aqua_store::{
-    DurableConfig, DurableStore, RecoveryReport, Root, ShardedConfig, ShardedRecoveryReport,
-    ShardedStore, SplitCertificate,
+    DurableConfig, DurableStore, RecoveryReport, Root, ShardTxn, ShardedConfig,
+    ShardedRecoveryReport, ShardedStore, SplitCertificate, StoreError, TxnReceipt,
 };
 
 use crate::admission::{Admission, AdmissionConfig};
@@ -40,15 +40,18 @@ pub enum PlanClass {
     ListSubSelect,
     /// `sub_select` over a `Set[Tree]` fleet.
     ForestSubSelect,
+    /// Cross-shard transactional mutation (two-phase commit).
+    CrossShardTxn,
 }
 
 impl PlanClass {
     /// Every class, breaker-array order.
-    pub const ALL: [PlanClass; 4] = [
+    pub const ALL: [PlanClass; 5] = [
         PlanClass::TreeSubSelect,
         PlanClass::SetSelect,
         PlanClass::ListSubSelect,
         PlanClass::ForestSubSelect,
+        PlanClass::CrossShardTxn,
     ];
 
     fn idx(self) -> usize {
@@ -57,6 +60,7 @@ impl PlanClass {
             PlanClass::SetSelect => 1,
             PlanClass::ListSubSelect => 2,
             PlanClass::ForestSubSelect => 3,
+            PlanClass::CrossShardTxn => 4,
         }
     }
 }
@@ -68,6 +72,7 @@ impl std::fmt::Display for PlanClass {
             PlanClass::SetSelect => "set-select",
             PlanClass::ListSubSelect => "list-sub-select",
             PlanClass::ForestSubSelect => "forest-sub-select",
+            PlanClass::CrossShardTxn => "cross-shard-txn",
         })
     }
 }
@@ -263,7 +268,7 @@ fn probe(point: &str, steps: u64) -> std::result::Result<(), AttemptFail> {
 pub struct QueryService {
     cfg: ServiceConfig,
     admission: Admission,
-    breakers: [CircuitBreaker; 4],
+    breakers: [CircuitBreaker; 5],
     permits: WorkerPermits,
     metrics: Metrics,
     submissions: AtomicU64,
@@ -946,6 +951,73 @@ impl QueryService {
                 Ok((out, trunc, steps))
             },
         )
+    }
+
+    /// Commit a buffered cross-shard transaction through the service
+    /// pipeline: admission, the [`PlanClass::CrossShardTxn`] breaker,
+    /// and retry-on-transient all apply, and the request's deadline is
+    /// propagated into the commit protocol as the gate
+    /// [`ShardedStore::commit_gated`] polls at each phase boundary. A
+    /// deadline that expires *between prepare and decide* aborts the
+    /// transaction cleanly — typed error, nothing applied anywhere,
+    /// never a block. Once the commit decision is durable the deadline
+    /// is no longer consulted: an acknowledged transaction is never
+    /// un-committed.
+    ///
+    /// A cleanly aborted transaction leaves the store untouched, so a
+    /// transient failure (injected fault, gate refusal with deadline
+    /// still live) retries the same buffer safely.
+    pub fn apply_cross_shard(
+        &self,
+        req: &Request,
+        store: &mut ShardedStore,
+        txn: &ShardTxn,
+    ) -> Result<Response<TxnReceipt>> {
+        let mut explain = Explain::default();
+        explain.record_service_event(format!(
+            "cross-shard txn: {} records across {} participant(s)",
+            txn.len(),
+            txn.participants().len()
+        ));
+        let deadline = req.budget.deadline;
+        let cancel = req.cancel.clone();
+        self.run(PlanClass::CrossShardTxn, req, explain, |_, _, explain| {
+            probe(SERVICE_DISPATCH_PROBE, 0)?;
+            // A pre-cancelled request must not burn a prepare round (or
+            // retry attempts): refuse before touching the store, with
+            // the same Permanent class the query paths report. The gate
+            // below still covers cancellation arriving *mid*-commit.
+            if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                return Err(AttemptFail {
+                    class: ErrorClass::Permanent,
+                    message: "cancelled before commit".to_string(),
+                    steps: 0,
+                    breaker_fault: false,
+                    integrity_extent: None,
+                });
+            }
+            let gate = || {
+                deadline.is_none_or(|d| !d.expired())
+                    && cancel.as_ref().is_none_or(|t| !t.is_cancelled())
+            };
+            let receipt = store.commit_gated(txn, gate).map_err(|e| match e {
+                StoreError::IntegrityMismatch { ref extent, .. } => {
+                    AttemptFail::integrity(extent, e.to_string(), 0)
+                }
+                e => AttemptFail {
+                    class: e.class(),
+                    message: e.to_string(),
+                    steps: 0,
+                    breaker_fault: false,
+                    integrity_extent: None,
+                },
+            })?;
+            if receipt.fast_path() {
+                explain.record_service_event("one-phase fast path (single shard)".to_string());
+            }
+            probe(SERVICE_COMMIT_PROBE, 0)?;
+            Ok((receipt, Truncation::default(), 0))
+        })
     }
 }
 

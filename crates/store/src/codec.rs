@@ -13,6 +13,7 @@ use aqua_object::{AttrDef, AttrId, AttrKind, AttrType, ClassDef, ClassId, Oid, V
 use aqua_pattern::CcLabel;
 
 use crate::error::{Result, StoreError};
+use crate::merkle::Root;
 
 // ------------------------------------------------------------- crc32
 
@@ -401,9 +402,40 @@ pub enum WalRecord {
     /// Index maintenance: the spec joins the registry and is rebuilt on
     /// recovery.
     RegisterIndex { spec: IndexSpec },
+    /// Two-phase-commit *prepare*: the buffered mutations this
+    /// participant shard must apply if (and only if) the coordinator
+    /// decides commit. `participants` lists every shard in the
+    /// transaction (so recovery can cross-check the others);
+    /// `root_binding` is the post-apply per-shard store root the
+    /// coordinator computed at prepare time — a participant whose
+    /// roll-forward lands on a different root has diverged.
+    TxnPrepare {
+        txn_id: u64,
+        participants: Vec<u32>,
+        records: Vec<WalRecord>,
+        root_binding: Root,
+    },
+    /// Two-phase-commit *commit*: in a participant WAL, the outcome
+    /// frame that applies the matching [`TxnPrepare`]'s buffer; in the
+    /// coordinator log, the durable decision itself.
+    TxnCommit { txn_id: u64 },
+    /// Two-phase-commit *abort*: drops the matching [`TxnPrepare`]'s
+    /// buffer (participant WAL) or records the abort decision
+    /// (coordinator log).
+    TxnAbort { txn_id: u64 },
 }
 
 impl WalRecord {
+    /// Whether this is a transaction-protocol record (prepare, commit,
+    /// abort). Txn records are framed like any other WAL record but are
+    /// interpreted by the transaction state machine, never by the plain
+    /// `check`/`apply` path — and they may not nest inside a prepare.
+    pub fn is_txn(&self) -> bool {
+        matches!(
+            self,
+            WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. }
+        )
+    }
     /// Encode into `enc`.
     pub fn encode(&self, enc: &mut Enc) {
         match self {
@@ -497,6 +529,32 @@ impl WalRecord {
                         enc.str(tree);
                     }
                 }
+            }
+            WalRecord::TxnPrepare {
+                txn_id,
+                participants,
+                records,
+                root_binding,
+            } => {
+                enc.u8(12);
+                enc.u64(*txn_id);
+                enc.u32(participants.len() as u32);
+                for p in participants {
+                    enc.u32(*p);
+                }
+                enc.u32(records.len() as u32);
+                for r in records {
+                    r.encode(enc);
+                }
+                enc.bytes(&root_binding.0);
+            }
+            WalRecord::TxnCommit { txn_id } => {
+                enc.u8(13);
+                enc.u64(*txn_id);
+            }
+            WalRecord::TxnAbort { txn_id } => {
+                enc.u8(14);
+                enc.u64(*txn_id);
             }
         }
     }
@@ -594,6 +652,50 @@ impl WalRecord {
                 };
                 WalRecord::RegisterIndex { spec }
             }
+            12 => {
+                let txn_id = dec.u64()?;
+                let np = dec.u32()? as usize;
+                if np > u16::MAX as usize {
+                    return Err(StoreError::Corrupt {
+                        path: dec.path.to_owned(),
+                        offset: dec.pos as u64,
+                        what: format!("txn prepare claims {np} participants"),
+                    });
+                }
+                let mut participants = Vec::with_capacity(np);
+                for _ in 0..np {
+                    participants.push(dec.u32()?);
+                }
+                let nr = dec.u32()? as usize;
+                if nr > dec.buf.len() - dec.pos + 1 {
+                    return Err(StoreError::Corrupt {
+                        path: dec.path.to_owned(),
+                        offset: dec.pos as u64,
+                        what: format!("txn prepare claims {nr} records beyond buffer"),
+                    });
+                }
+                let mut records = Vec::with_capacity(nr);
+                for _ in 0..nr {
+                    let r = WalRecord::decode(dec)?;
+                    if r.is_txn() {
+                        return Err(StoreError::Corrupt {
+                            path: dec.path.to_owned(),
+                            offset: dec.pos as u64,
+                            what: "txn record nested inside a prepare buffer".to_string(),
+                        });
+                    }
+                    records.push(r);
+                }
+                let root_binding = Root(dec.bytes(32)?.try_into().expect("width checked"));
+                WalRecord::TxnPrepare {
+                    txn_id,
+                    participants,
+                    records,
+                    root_binding,
+                }
+            }
+            13 => WalRecord::TxnCommit { txn_id: dec.u64()? },
+            14 => WalRecord::TxnAbort { txn_id: dec.u64()? },
             t => {
                 return Err(StoreError::Corrupt {
                     path: dec.path.to_owned(),
@@ -699,6 +801,23 @@ mod tests {
                     attr: AttrId(0),
                 },
             },
+            WalRecord::TxnPrepare {
+                txn_id: 9,
+                participants: vec![0, 2],
+                records: vec![
+                    WalRecord::Insert {
+                        class: ClassId(0),
+                        row: vec![Value::str("E")],
+                    },
+                    WalRecord::ListPush {
+                        name: "l".into(),
+                        oid: Oid(4),
+                    },
+                ],
+                root_binding: Root([7; 32]),
+            },
+            WalRecord::TxnCommit { txn_id: 9 },
+            WalRecord::TxnAbort { txn_id: 10 },
         ];
         for r in &recs {
             let bytes = r.to_bytes();
@@ -713,6 +832,45 @@ mod tests {
         let rec = WalRecord::TreeCreate {
             name: "t".into(),
             tree: Tree::leaf(Oid(3)),
+        };
+        let bytes = rec.to_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..cut], "test");
+            match WalRecord::decode(&mut dec) {
+                Err(StoreError::Corrupt { .. }) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_txn_records_are_rejected() {
+        // Hand-assemble a prepare whose buffer holds another txn record:
+        // the writer can never produce this (is_txn() records are built
+        // by the protocol, not buffered), so the decoder must refuse it.
+        let mut enc = Enc::new();
+        enc.u8(12);
+        enc.u64(1); // txn_id
+        enc.u32(0); // no participants
+        enc.u32(1); // one buffered record...
+        enc.u8(13); // ...which is a TxnCommit
+        enc.u64(1);
+        enc.bytes(&[0; 32]);
+        let bytes = enc.finish();
+        let err = WalRecord::decode(&mut Dec::new(&bytes, "test")).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Corrupt { what, .. } if what.contains("nested")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn txn_prepare_truncations_are_typed_errors() {
+        let rec = WalRecord::TxnPrepare {
+            txn_id: 3,
+            participants: vec![1],
+            records: vec![WalRecord::ListCreate { name: "l".into() }],
+            root_binding: Root([9; 32]),
         };
         let bytes = rec.to_bytes();
         for cut in 0..bytes.len() {

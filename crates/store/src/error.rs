@@ -109,10 +109,119 @@ pub enum StoreError {
         /// What disagreed.
         msg: String,
     },
+    /// A cross-shard transaction failed (see [`TxnError`]).
+    Txn(TxnError),
     /// Propagated object-layer error (typed insert/update failures).
     Object(ObjectError),
     /// Propagated algebra-layer error (tree/list mutation failures).
     Algebra(AlgebraError),
+}
+
+/// Failures of the two-phase-commit protocol (`store::txn`). Phases
+/// fail differently: a prepare failure always leaves the store exactly
+/// as it was (the coordinator rolled the prepared participants back),
+/// while a divergent participant is an integrity problem the protocol
+/// refuses to paper over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnError {
+    /// A participant rejected its prepare (validation or I/O). The
+    /// coordinator aborted the transaction cleanly before any decision
+    /// was logged — no shard applied anything, and a retry is safe.
+    PrepareFailed {
+        /// The transaction.
+        txn_id: u64,
+        /// The participant that refused.
+        shard: usize,
+        /// Why.
+        msg: String,
+    },
+    /// The transaction was aborted before the decision was logged — by
+    /// an expired deadline, a caller-supplied gate, or an explicit
+    /// abort. All-or-nothing holds trivially: nothing was applied.
+    Aborted {
+        /// The transaction.
+        txn_id: u64,
+        /// Why the abort was chosen.
+        reason: String,
+    },
+    /// The coordinator log carried a checksum-valid frame that is not a
+    /// decision record, or a decision that contradicts itself. The
+    /// bytes are intact (the CRC vouches for them) so this is writer
+    /// garbage, not a torn tail — recovery refuses to guess.
+    DecisionUnreadable {
+        /// The coordinator log file.
+        path: String,
+        /// What was wrong.
+        msg: String,
+    },
+    /// Rolling a prepared transaction forward produced a per-shard root
+    /// different from the `root_binding` the prepare frame committed
+    /// to, or a committed transaction's participant lost its prepare
+    /// entirely. The shard's state diverged from what the coordinator
+    /// certified; serving it would break the global root fold.
+    ParticipantDiverged {
+        /// The transaction.
+        txn_id: u64,
+        /// The divergent participant.
+        shard: usize,
+        /// What the prepare bound (hex root, or a description).
+        expected: String,
+        /// What recovery found.
+        actual: String,
+    },
+    /// The named transaction is not pending on this shard — a resolve
+    /// without a prepare is a protocol-ordering bug, reported rather
+    /// than ignored.
+    NoSuchTxn {
+        /// The transaction.
+        txn_id: u64,
+    },
+    /// A plain mutation, checkpoint, or second prepare was attempted
+    /// while a prepared transaction still awaits its outcome. Either
+    /// would silently invalidate the root the prepare bound (or strand
+    /// the prepare behind a snapshot), so the store refuses until the
+    /// coordinator resolves the transaction.
+    MutationWhilePending {
+        /// The pending transaction blocking the mutation.
+        txn_id: u64,
+    },
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::PrepareFailed { txn_id, shard, msg } => {
+                write!(
+                    f,
+                    "txn {txn_id}: prepare failed on shard {shard} (aborted cleanly): {msg}"
+                )
+            }
+            TxnError::Aborted { txn_id, reason } => {
+                write!(f, "txn {txn_id}: aborted before decision: {reason}")
+            }
+            TxnError::DecisionUnreadable { path, msg } => {
+                write!(f, "coordinator log {path:?} unreadable: {msg}")
+            }
+            TxnError::ParticipantDiverged {
+                txn_id,
+                shard,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "txn {txn_id}: participant shard {shard} diverged from its prepare binding: \
+                 expected {expected}, found {actual}"
+            ),
+            TxnError::NoSuchTxn { txn_id } => {
+                write!(f, "txn {txn_id}: no such pending transaction")
+            }
+            TxnError::MutationWhilePending { txn_id } => write!(
+                f,
+                "txn {txn_id} is prepared but undecided; resolve it before mutating or \
+                 checkpointing"
+            ),
+        }
+    }
 }
 
 impl StoreError {
@@ -126,6 +235,10 @@ impl StoreError {
             StoreError::Injected { .. } | StoreError::Io { .. } | StoreError::StaleIndex { .. } => {
                 ErrorClass::Transient
             }
+            // A clean pre-decision abort applied nothing anywhere, so a
+            // retry is safe; every other txn failure is structural.
+            StoreError::Txn(TxnError::PrepareFailed { .. })
+            | StoreError::Txn(TxnError::Aborted { .. }) => ErrorClass::Transient,
             _ => ErrorClass::Permanent,
         }
     }
@@ -181,6 +294,7 @@ impl fmt::Display for StoreError {
             StoreError::ShardLayout { dir, msg } => {
                 write!(f, "shard layout mismatch in {dir:?}: {msg}")
             }
+            StoreError::Txn(e) => write!(f, "{e}"),
             StoreError::Object(e) => write!(f, "{e}"),
             StoreError::Algebra(e) => write!(f, "{e}"),
         }
@@ -194,6 +308,12 @@ impl std::error::Error for StoreError {
             StoreError::Algebra(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<TxnError> for StoreError {
+    fn from(e: TxnError) -> Self {
+        StoreError::Txn(e)
     }
 }
 

@@ -37,18 +37,20 @@ pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod structural;
+pub mod txn;
 pub mod wal;
 
 pub use attr_index::{AttrIndex, TreeNodeIndex, ATTR_INDEX_PROBE, TREE_INDEX_PROBE};
 pub use cert::{SplitCertificate, CERT_TAMPER_PROBE};
 pub use codec::{crc32, IndexSpec, WalRecord};
-pub use error::{Result, StoreError};
+pub use error::{Result, StoreError, TxnError};
 pub use merkle::{list_root, store_root, tree_root, MerkleTree, Root};
 pub use positional::{ListPosIndex, LIST_INDEX_PROBE};
 pub use recovery::{DurableConfig, DurableStore, RebuiltIndexes, RecoveryReport, RECOVER_PROBE};
 pub use shard::{
     fold_shard_roots, shard_dir_name, ExtentPath, ShardRouter, ShardedConfig,
-    ShardedRecoveryReport, ShardedStore, SHARD_META,
+    ShardedRecoveryReport, ShardedStore, SHARD_FOLD_PROBE, SHARD_META, SHARD_ROUTE_PROBE,
+    TXN_LOG_DIR,
 };
 pub use snapshot::{
     list_snapshots, read_snapshot, write_snapshot, SnapshotManifest, SnapshotState,
@@ -56,4 +58,7 @@ pub use snapshot::{
 };
 pub use stats::ColumnStats;
 pub use structural::{StructuralIndex, STRUCTURAL_PROBE};
+pub use txn::{
+    participant_probe, ShardTxn, TxnReceipt, TXN_DECIDE_CRASH, TXN_OUTCOME_CRASH, TXN_PREPARE_CRASH,
+};
 pub use wal::{list_segments, scan_segment, SegmentScan, Wal, WalConfig, WAL_APPEND_PROBE};

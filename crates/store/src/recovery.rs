@@ -37,7 +37,7 @@ use aqua_object::{AttrId, ClassDef, ClassId, ObjectError, ObjectStore, Oid, Valu
 
 use crate::attr_index::{AttrIndex, TreeNodeIndex};
 use crate::codec::{IndexSpec, WalRecord};
-use crate::error::{Result, StoreError};
+use crate::error::{Result, StoreError, TxnError};
 use crate::merkle::{self, Root};
 use crate::positional::ListPosIndex;
 use crate::snapshot::{
@@ -160,10 +160,10 @@ impl fmt::Display for RecoveryReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "recovered to lsn {} ({} from snapshot, {} frames replayed, {} indices rebuilt",
+            "recovered to lsn {} ({}, {} frames replayed, {} indices rebuilt",
             self.next_lsn.saturating_sub(1),
             match self.snapshot_lsn {
-                Some(l) => format!("lsn {l}"),
+                Some(l) => format!("lsn {l} from snapshot"),
                 None => "no snapshot".to_string(),
             },
             self.frames_replayed,
@@ -366,6 +366,9 @@ fn apply(state: &mut SnapshotState, rec: &WalRecord) -> Result<()> {
                 state.specs.push(spec.clone());
             }
         }
+        WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. } => {
+            return Err(txn_record_misrouted())
+        }
     }
     Ok(())
 }
@@ -479,6 +482,9 @@ fn check(state: &SnapshotState, rec: &WalRecord) -> Result<()> {
         }
         WalRecord::RegisterIndex { spec } => {
             check_spec(state, spec)?;
+        }
+        WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. } => {
+            return Err(txn_record_misrouted())
         }
     }
     Ok(())
@@ -661,8 +667,133 @@ fn advance_roots(state: &SnapshotState, roots: &RootCache, rec: &WalRecord) -> R
                 merkle::list_root(&state.store, &l),
             );
         }
+        WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. } => {
+            return Err(txn_record_misrouted())
+        }
     }
     Ok(out)
+}
+
+/// A prepared-but-undecided transaction buffered on one participant:
+/// what a `TxnPrepare` frame carries, parked until the coordinator's
+/// outcome arrives (or recovery resolves it by presumption).
+#[derive(Debug, Clone)]
+pub(crate) struct PendingTxn {
+    /// Every participant shard the coordinator enrolled.
+    pub participants: Vec<u32>,
+    /// The routed records this shard will apply on commit.
+    pub records: Vec<WalRecord>,
+    /// The post-apply store root the prepare committed to.
+    pub root_binding: Root,
+}
+
+/// Transaction-protocol records never travel the plain mutation path;
+/// one reaching it is a protocol-ordering bug, reported rather than
+/// applied.
+fn txn_record_misrouted() -> StoreError {
+    StoreError::Replay {
+        lsn: 0,
+        msg: "transaction-protocol record routed to the plain mutation path".to_string(),
+    }
+}
+
+/// Replay one transaction-protocol frame (tags 12–14). A prepare parks
+/// its buffer without touching `state`; a commit outcome applies the
+/// buffer and requires the result to match the prepare's root binding;
+/// an abort outcome drops the buffer. Frame-bound root claims verify
+/// exactly like plain records.
+#[allow(clippy::too_many_arguments)]
+fn replay_txn_frame(
+    state: &mut SnapshotState,
+    roots: &mut RootCache,
+    pending: &mut BTreeMap<u64, PendingTxn>,
+    outcomes: &mut Vec<(u64, bool)>,
+    cfg: &DurableConfig,
+    lsn: u64,
+    rec: &WalRecord,
+    claimed: Option<&Root>,
+    report: &mut RecoveryReport,
+) -> Result<()> {
+    let verify_claim = |roots: &RootCache, report: &mut RecoveryReport| -> Result<()> {
+        if let Some(claimed) = claimed {
+            let recomputed = fold_store_root(roots);
+            if recomputed != *claimed {
+                return Err(StoreError::IntegrityMismatch {
+                    extent: record_extent_label(rec),
+                    subtree: format!("wal frame lsn {lsn}"),
+                    expected: claimed.to_hex(),
+                    actual: recomputed.to_hex(),
+                });
+            }
+            report.roots_verified += 1;
+        }
+        Ok(())
+    };
+    match rec {
+        WalRecord::TxnPrepare {
+            txn_id,
+            participants,
+            records,
+            root_binding,
+        } => {
+            // A prepare buffers without applying, so it binds the
+            // *unchanged* pre-transaction store root.
+            if cfg.authenticate {
+                verify_claim(roots, report)?;
+            }
+            pending.insert(
+                *txn_id,
+                PendingTxn {
+                    participants: participants.clone(),
+                    records: records.clone(),
+                    root_binding: *root_binding,
+                },
+            );
+        }
+        WalRecord::TxnCommit { txn_id } => {
+            let p = pending.remove(txn_id).ok_or(StoreError::Replay {
+                lsn,
+                msg: format!("commit outcome for txn {txn_id} with no pending prepare"),
+            })?;
+            for r in &p.records {
+                if cfg.authenticate {
+                    *roots = advance_roots(state, roots, r).map_err(|e| StoreError::Replay {
+                        lsn,
+                        msg: format!("txn {txn_id} root recompute failed: {e}"),
+                    })?;
+                }
+                apply(state, r).map_err(|e| StoreError::Replay {
+                    lsn,
+                    msg: format!("txn {txn_id} buffered record failed to apply: {e}"),
+                })?;
+            }
+            if cfg.authenticate {
+                let recomputed = fold_store_root(roots);
+                if recomputed != p.root_binding {
+                    return Err(StoreError::IntegrityMismatch {
+                        extent: format!("txn:{txn_id}"),
+                        subtree: "prepare root binding".to_string(),
+                        expected: p.root_binding.to_hex(),
+                        actual: recomputed.to_hex(),
+                    });
+                }
+                verify_claim(roots, report)?;
+            }
+            outcomes.push((*txn_id, true));
+        }
+        WalRecord::TxnAbort { txn_id } => {
+            pending.remove(txn_id).ok_or(StoreError::Replay {
+                lsn,
+                msg: format!("abort outcome for txn {txn_id} with no pending prepare"),
+            })?;
+            if cfg.authenticate {
+                verify_claim(roots, report)?;
+            }
+            outcomes.push((*txn_id, false));
+        }
+        _ => return Err(txn_record_misrouted()),
+    }
+    Ok(())
 }
 
 /// A write-ahead-logged object store with named tree/list extents,
@@ -680,6 +811,13 @@ pub struct DurableStore {
     /// Per-extent merkle roots, current with `state` (empty when
     /// `cfg.authenticate` is off).
     roots: RootCache,
+    /// Prepared transactions awaiting an outcome, keyed by txn id.
+    /// Plain mutations and checkpoints are refused while non-empty.
+    pending: BTreeMap<u64, PendingTxn>,
+    /// Outcomes `(txn_id, committed)` the last `open` replayed from the
+    /// WAL — the participant-side evidence the sharded resolution pass
+    /// uses to complete a decision the coordinator log lost.
+    replayed_outcomes: Vec<(u64, bool)>,
 }
 
 impl DurableStore {
@@ -745,6 +883,8 @@ impl DurableStore {
             };
 
         let mut next = snap_lsn + 1;
+        let mut pending: BTreeMap<u64, PendingTxn> = BTreeMap::new();
+        let mut replayed_outcomes: Vec<(u64, bool)> = Vec::new();
         for (i, (_, path)) in relevant.iter().enumerate() {
             let scan = scan_segment(path)?;
             report.segments_scanned += 1;
@@ -757,6 +897,25 @@ impl DurableStore {
                         lsn: *lsn,
                         msg: format!("expected lsn {next}, log continues at {lsn}"),
                     });
+                }
+                if rec.is_txn() {
+                    // Transaction frames drive the 2PC state machine
+                    // (buffer / apply-buffer / drop-buffer) rather than
+                    // the plain apply path.
+                    replay_txn_frame(
+                        &mut state,
+                        &mut roots,
+                        &mut pending,
+                        &mut replayed_outcomes,
+                        &cfg,
+                        *lsn,
+                        rec,
+                        claimed.as_ref(),
+                        &mut report,
+                    )?;
+                    next += 1;
+                    report.frames_replayed += 1;
+                    continue;
                 }
                 if cfg.authenticate {
                     // Self-verification, part 2: recompute the store
@@ -876,6 +1035,8 @@ impl DurableStore {
                 indexes,
                 metrics: None,
                 roots,
+                pending,
+                replayed_outcomes,
             },
             report,
         ))
@@ -956,7 +1117,32 @@ impl DurableStore {
         self.roots.get(&(KIND_LIST, name.to_string())).copied()
     }
 
+    /// Bump the WAL throughput counters for one appended record.
+    fn note_append(&self, rec: &WalRecord, root_bound: bool) {
+        if let Some(m) = &self.metrics {
+            m.wal_appends.inc();
+            let root_bytes = if root_bound { 32 } else { 0 };
+            m.wal_bytes
+                .add((FRAME_HEADER + 8 + rec.to_bytes().len() + root_bytes) as u64);
+        }
+    }
+
+    /// The oldest prepared-but-undecided transaction, if any — the
+    /// guard plain mutations and checkpoints check before proceeding.
+    fn oldest_pending(&self) -> Option<u64> {
+        self.pending.keys().next().copied()
+    }
+
     fn log_apply(&mut self, rec: WalRecord) -> Result<u64> {
+        if rec.is_txn() {
+            return Err(txn_record_misrouted());
+        }
+        if let Some(txn_id) = self.oldest_pending() {
+            // A plain mutation between a prepare and its outcome would
+            // invalidate the root the prepare bound; the coordinator
+            // must resolve first.
+            return Err(StoreError::Txn(TxnError::MutationWhilePending { txn_id }));
+        }
         check(&self.state, &rec)?;
         // Authenticated mode: compute the post-apply store root *before*
         // logging (predictively, without mutating state — see
@@ -973,12 +1159,7 @@ impl DurableStore {
             (None, None)
         };
         let lsn = self.wal.append_with_root(&rec, bound.as_ref())?;
-        if let Some(m) = &self.metrics {
-            m.wal_appends.inc();
-            let root_bytes = if bound.is_some() { 32 } else { 0 };
-            m.wal_bytes
-                .add((FRAME_HEADER + 8 + rec.to_bytes().len() + root_bytes) as u64);
-        }
+        self.note_append(&rec, bound.is_some());
         // Validated above: a failure here means check() and apply()
         // disagree, which is a bug worth a typed report, not a panic.
         apply(&mut self.state, &rec).map_err(|e| StoreError::Replay {
@@ -1117,10 +1298,166 @@ impl DurableStore {
         self.wal.sync()
     }
 
+    /// Transactions prepared on this store but still awaiting an
+    /// outcome, sorted by id. Non-empty only between a crash and the
+    /// sharded store's resolution pass (or inside a live commit).
+    pub fn pending_txns(&self) -> Vec<u64> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// The participant list a pending prepare named.
+    pub(crate) fn pending_participants(&self, txn_id: u64) -> Option<&[u32]> {
+        self.pending.get(&txn_id).map(|p| p.participants.as_slice())
+    }
+
+    /// Outcomes `(txn_id, committed)` the last `open` replayed from the
+    /// WAL. An outcome frame in *any* participant's log is durable proof
+    /// of the coordinator's decision — the resolution pass uses these to
+    /// finish a commit whose coordinator log was lost or corrupted.
+    pub fn replayed_txn_outcomes(&self) -> &[(u64, bool)] {
+        &self.replayed_outcomes
+    }
+
+    /// Phase 1 of two-phase commit: validate the whole buffer against
+    /// the current state, compute the post-apply root it would produce,
+    /// and append a durable `TxnPrepare` frame — **without applying
+    /// anything**. The records stay parked until
+    /// [`txn_resolve`](DurableStore::txn_resolve) commits or aborts
+    /// them. Returns the bound post-apply root. Validation is stepwise
+    /// against a scratch clone, so later records may depend on earlier
+    /// ones (an insert's OID pushed to a list).
+    pub(crate) fn txn_prepare(
+        &mut self,
+        txn_id: u64,
+        participants: &[u32],
+        records: Vec<WalRecord>,
+    ) -> Result<Root> {
+        if let Some(pending_id) = self.oldest_pending() {
+            // One prepared transaction at a time per participant: a
+            // second prepare would bind a root the first's outcome is
+            // about to change.
+            return Err(StoreError::Txn(TxnError::MutationWhilePending {
+                txn_id: pending_id,
+            }));
+        }
+        let mut scratch = self.state.clone();
+        let mut roots = self.roots.clone();
+        for rec in &records {
+            if rec.is_txn() {
+                return Err(txn_record_misrouted());
+            }
+            check(&scratch, rec)?;
+            if self.cfg.authenticate {
+                roots = advance_roots(&scratch, &roots, rec)?;
+            }
+            apply(&mut scratch, rec).map_err(|e| StoreError::Replay {
+                lsn: self.state.lsn,
+                msg: format!("validated txn record failed to apply: {e}"),
+            })?;
+        }
+        let binding = fold_store_root(&roots);
+        let parked = PendingTxn {
+            participants: participants.to_vec(),
+            records,
+            root_binding: binding,
+        };
+        let rec = WalRecord::TxnPrepare {
+            txn_id,
+            participants: parked.participants.clone(),
+            records: parked.records.clone(),
+            root_binding: binding,
+        };
+        // The prepare itself applies nothing, so the frame binds the
+        // *current* (pre-transaction) store root.
+        let bound = self.cfg.authenticate.then(|| self.store_root());
+        let lsn = self.wal.append_with_root(&rec, bound.as_ref())?;
+        self.note_append(&rec, bound.is_some());
+        self.state.lsn = lsn;
+        self.pending.insert(txn_id, parked);
+        // A prepare is a promise to the coordinator; it must be durable
+        // before the decision is logged.
+        self.wal.sync()?;
+        Ok(binding)
+    }
+
+    /// Phase 2 of two-phase commit: apply the decided outcome for a
+    /// prepared transaction. Commit re-derives the buffered records'
+    /// post-apply roots, verifies them against the prepare's binding (a
+    /// mismatch is [`StoreError::IntegrityMismatch`]; the sharded
+    /// coordinator reports it as `TxnError::ParticipantDiverged`),
+    /// appends a durable `TxnCommit` outcome frame, then applies. Abort
+    /// appends a `TxnAbort` frame and drops the buffer untouched.
+    pub(crate) fn txn_resolve(&mut self, txn_id: u64, commit: bool) -> Result<()> {
+        let p = self
+            .pending
+            .get(&txn_id)
+            .ok_or(StoreError::Txn(TxnError::NoSuchTxn { txn_id }))?;
+        if commit {
+            let mut scratch = self.state.clone();
+            let mut roots = self.roots.clone();
+            for rec in &p.records {
+                if self.cfg.authenticate {
+                    roots = advance_roots(&scratch, &roots, rec)?;
+                }
+                apply(&mut scratch, rec).map_err(|e| StoreError::Replay {
+                    lsn: self.state.lsn,
+                    msg: format!("prepared txn {txn_id} record failed to apply: {e}"),
+                })?;
+            }
+            if self.cfg.authenticate {
+                let recomputed = fold_store_root(&roots);
+                if recomputed != p.root_binding {
+                    return Err(StoreError::IntegrityMismatch {
+                        extent: format!("txn:{txn_id}"),
+                        subtree: "prepare root binding".to_string(),
+                        expected: p.root_binding.to_hex(),
+                        actual: recomputed.to_hex(),
+                    });
+                }
+            }
+            let rec = WalRecord::TxnCommit { txn_id };
+            let bound = self.cfg.authenticate.then(|| fold_store_root(&roots));
+            let lsn = self.wal.append_with_root(&rec, bound.as_ref())?;
+            self.note_append(&rec, bound.is_some());
+            scratch.lsn = lsn;
+            self.state = scratch;
+            self.roots = roots;
+        } else {
+            let rec = WalRecord::TxnAbort { txn_id };
+            let bound = self.cfg.authenticate.then(|| self.store_root());
+            let lsn = self.wal.append_with_root(&rec, bound.as_ref())?;
+            self.note_append(&rec, bound.is_some());
+            self.state.lsn = lsn;
+        }
+        self.pending.remove(&txn_id);
+        self.wal.sync()?;
+        self.ops_since_checkpoint += 1;
+        if self.cfg.checkpoint_every > 0
+            && self.ops_since_checkpoint >= self.cfg.checkpoint_every
+            && self.pending.is_empty()
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// One-phase fast path for the sharded coordinator: a routed record
+    /// logged and applied like any plain mutation. Returns its LSN.
+    pub(crate) fn apply_record(&mut self, rec: WalRecord) -> Result<u64> {
+        self.log_apply(rec)
+    }
+
     /// Checkpoint: fsync the WAL, atomically write a snapshot of the
     /// current state, and (if configured) prune snapshots and segments
     /// the new checkpoint covers. Returns the snapshot path.
+    ///
+    /// Refused while a prepared transaction awaits its outcome: a
+    /// snapshot covering the prepare's LSN would strand the outcome
+    /// frame with no buffer to resolve against on replay.
     pub fn checkpoint(&mut self) -> Result<PathBuf> {
+        if let Some(txn_id) = self.oldest_pending() {
+            return Err(StoreError::Txn(TxnError::MutationWhilePending { txn_id }));
+        }
         self.wal.sync()?;
         let path = write_snapshot(&self.dir, &self.state)?;
         if let Some(m) = &self.metrics {
@@ -1678,6 +2015,169 @@ mod tests {
         drop(back);
         let (_, rep) = DurableStore::open(&dir, cfg).unwrap();
         assert!(rep.clean(), "truncation is durable: {rep}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A two-record buffer whose second record depends on the first's
+    /// OID: the shape every cross-shard participant sees.
+    fn txn_buffer(ds: &DurableStore, c: ClassId) -> Vec<WalRecord> {
+        let oid = Oid(ds.store().len() as u64);
+        vec![
+            WalRecord::Insert {
+                class: c,
+                row: vec![Value::str("Z")],
+            },
+            WalRecord::ListPush {
+                name: "song".into(),
+                oid,
+            },
+        ]
+    }
+
+    #[test]
+    fn txn_prepare_buffers_without_applying_then_commit_applies() {
+        let dir = temp_dir("txn-commit");
+        let (mut ds, _) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        let (c, _) = populate(&mut ds);
+        let len_before = ds.list("song").unwrap().len();
+        let root_before = ds.store_root();
+
+        let binding = ds.txn_prepare(1, &[0], txn_buffer(&ds, c)).unwrap();
+        assert_ne!(binding, root_before, "binding is the *post*-apply root");
+        assert_eq!(
+            ds.list("song").unwrap().len(),
+            len_before,
+            "nothing applied"
+        );
+        assert_eq!(ds.pending_txns(), vec![1]);
+        assert_eq!(ds.pending_participants(1), Some(&[0u32][..]));
+
+        // Plain mutations, checkpoints, and second prepares are refused
+        // while the outcome is undecided.
+        let e = ds.insert(c, vec![Value::str("X")]).unwrap_err();
+        assert!(matches!(
+            e,
+            StoreError::Txn(TxnError::MutationWhilePending { txn_id: 1 })
+        ));
+        assert!(ds.checkpoint().is_err());
+        assert!(ds.txn_prepare(2, &[0], txn_buffer(&ds, c)).is_err());
+
+        ds.txn_resolve(1, true).unwrap();
+        assert_eq!(ds.list("song").unwrap().len(), len_before + 1);
+        assert_eq!(
+            ds.store_root(),
+            binding,
+            "commit lands exactly on the binding"
+        );
+        assert!(ds.pending_txns().is_empty());
+        drop(ds);
+
+        // Replay walks the same state machine: prepare parks, commit
+        // outcome applies, and every bound root verifies.
+        let (back, rep) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        assert!(rep.clean(), "{rep}");
+        assert_eq!(back.replayed_txn_outcomes(), &[(1, true)]);
+        assert_eq!(back.list("song").unwrap().len(), len_before + 1);
+        assert_eq!(back.store_root(), binding);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_prepare_survives_reopen_and_aborts_cleanly() {
+        let dir = temp_dir("txn-orphan");
+        let (mut ds, _) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        let (c, _) = populate(&mut ds);
+        let len_before = ds.list("song").unwrap().len();
+        let root_before = ds.store_root();
+        ds.txn_prepare(7, &[0, 2], txn_buffer(&ds, c)).unwrap();
+        drop(ds); // crash between prepare and outcome
+
+        let (mut back, rep) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        assert!(rep.clean(), "{rep}");
+        assert_eq!(back.pending_txns(), vec![7], "prepare survives the crash");
+        assert_eq!(back.pending_participants(7), Some(&[0u32, 2][..]));
+        assert_eq!(back.list("song").unwrap().len(), len_before, "not applied");
+        assert_eq!(back.store_root(), root_before);
+
+        back.txn_resolve(7, false).unwrap();
+        assert!(back.pending_txns().is_empty());
+        assert_eq!(back.store_root(), root_before, "abort changes nothing");
+        let e = back.txn_resolve(7, false).unwrap_err();
+        assert!(matches!(
+            e,
+            StoreError::Txn(TxnError::NoSuchTxn { txn_id: 7 })
+        ));
+        drop(back);
+
+        let (again, rep) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        assert!(rep.clean(), "{rep}");
+        assert_eq!(again.replayed_txn_outcomes(), &[(7, false)]);
+        assert_eq!(again.list("song").unwrap().len(), len_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_between_prepare_and_outcome_replays_clean() {
+        let dir = temp_dir("txn-rotate");
+        let cfg = DurableConfig {
+            segment_bytes: 256, // tiny: the prepare frame alone overflows
+            ..DurableConfig::default()
+        };
+        let (mut ds, _) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        let (c, _) = populate(&mut ds);
+        let seg_at_prepare = ds.wal.current_segment().to_path_buf();
+        let fat = vec![
+            WalRecord::Insert {
+                class: c,
+                row: vec![Value::str("Z".repeat(512))],
+            },
+            WalRecord::ListPush {
+                name: "song".into(),
+                oid: Oid(ds.store().len() as u64),
+            },
+        ];
+        let binding = ds.txn_prepare(3, &[0], fat).unwrap();
+        assert_ne!(
+            ds.wal.current_segment(),
+            seg_at_prepare,
+            "prepare overflowed the segment, so the outcome lands in the next one"
+        );
+        ds.txn_resolve(3, true).unwrap();
+        drop(ds);
+
+        let (back, rep) = DurableStore::open(&dir, cfg).unwrap();
+        assert!(rep.clean(), "{rep}");
+        assert!(rep.segments_scanned >= 2, "{rep}");
+        assert_eq!(back.replayed_txn_outcomes(), &[(3, true)]);
+        assert_eq!(back.store_root(), binding);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_outcome_frame_leaves_the_prepare_pending() {
+        let dir = temp_dir("txn-torn");
+        let (mut ds, _) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        let (c, _) = populate(&mut ds);
+        ds.txn_prepare(5, &[0], txn_buffer(&ds, c)).unwrap();
+        let prepared_len = std::fs::metadata(ds.wal.current_segment()).unwrap().len();
+        ds.txn_resolve(5, true).unwrap();
+        let seg = ds.wal.current_segment().to_path_buf();
+        drop(ds);
+
+        // Tear the commit outcome frame mid-write: the prepare is the
+        // last valid frame again.
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(prepared_len + 3).unwrap();
+        drop(f);
+
+        let (back, rep) = DurableStore::open(&dir, DurableConfig::default()).unwrap();
+        assert!(!rep.clean());
+        assert_eq!(
+            back.pending_txns(),
+            vec![5],
+            "outcome torn away → pending again"
+        );
+        assert!(back.replayed_txn_outcomes().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -24,21 +24,40 @@
 //! different count is refused with [`StoreError::ShardLayout`] instead
 //! of silently re-routing extents away from their data.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
-use aqua_guard::Metrics;
+use aqua_guard::{failpoint, Metrics};
 use aqua_object::{ClassDef, ClassId, Oid, Value};
 
 use aqua_algebra::{List, NodeId, Tree};
 
-use crate::codec::IndexSpec;
-use crate::error::{Result, StoreError};
+use crate::codec::{IndexSpec, WalRecord};
+use crate::error::{Result, StoreError, TxnError};
 use crate::merkle::{self, Root, Sha256};
 use crate::recovery::{DurableConfig, DurableStore, RecoveryReport};
+use crate::txn::{
+    participant_probe, ShardTxn, TxnReceipt, TXN_DECIDE_CRASH, TXN_OUTCOME_CRASH, TXN_PREPARE_CRASH,
+};
+use crate::wal::{list_segments, scan_segment, Wal, WalConfig};
 
 /// The layout manifest file pinning the shard count.
 pub const SHARD_META: &str = "shards.meta";
+
+/// Directory of the coordinator transaction log (decision frames only),
+/// in the same rotating-segment format as the shard WALs.
+pub const TXN_LOG_DIR: &str = "txn.log";
+
+/// Failpoint checked at the top of every routed mutation — arm it to
+/// inject shard-level faults without involving the transaction layer.
+pub const SHARD_ROUTE_PROBE: &str = "store.shard.route";
+
+/// Failpoint checked before the global-root fold in
+/// [`ShardedStore::open`] — arm it to simulate a store whose per-shard
+/// recoveries succeed but whose integrity fold cannot be served.
+pub const SHARD_FOLD_PROBE: &str = "store.shard.fold";
 
 /// A path-addressed extent name: the `/`-separated string spelling of a
 /// `Vec<Vec<u8>>` path hierarchy. `"s3/doc"` is the extent `doc` under
@@ -207,12 +226,24 @@ pub struct ShardedRecoveryReport {
     pub global_root: Root,
     /// Worker threads the parallel recovery actually used.
     pub recovery_threads: usize,
+    /// Prepared transactions the resolution pass rolled forward.
+    pub txns_committed: u64,
+    /// Prepared transactions the resolution pass rolled back (includes
+    /// the presumed ones).
+    pub txns_aborted: u64,
+    /// Rolled-back transactions with *no* decision anywhere — aborted by
+    /// presumption (the prepare was durable but the coordinator never
+    /// decided, so the client was never acknowledged).
+    pub txns_resolved_by_presumption: u64,
+    /// Torn-tail bytes truncated from the coordinator log.
+    pub coordinator_bytes_truncated: u64,
 }
 
 impl ShardedRecoveryReport {
-    /// Whether every shard recovered without damage.
+    /// Whether every shard — and the coordinator log — recovered
+    /// without damage.
     pub fn clean(&self) -> bool {
-        self.shards.iter().all(RecoveryReport::clean)
+        self.shards.iter().all(RecoveryReport::clean) && self.coordinator_bytes_truncated == 0
     }
 
     /// Total WAL frames replayed across shards.
@@ -226,21 +257,31 @@ impl ShardedRecoveryReport {
     }
 
     /// Stamp every shard's report into `m`, plus the shard counters
-    /// (`shard_recoveries` counts per-shard opens).
+    /// (`shard_recoveries` counts per-shard opens) and what the
+    /// transaction-resolution pass decided.
     pub fn stamp(&self, m: &Metrics) {
         for r in &self.shards {
             r.stamp(m);
         }
         m.shard_recoveries.add(self.shards.len() as u64);
+        m.txn_committed.add(self.txns_committed);
+        m.txn_aborted.add(self.txns_aborted);
+        m.txn_presumed_abort.add(self.txns_resolved_by_presumption);
     }
 
     /// Single-line JSON for CI artifacts.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"shards\":{},\"recovery_threads\":{},\"global_root\":\"{}\",\"reports\":[",
+            "{{\"shards\":{},\"recovery_threads\":{},\"global_root\":\"{}\",\
+             \"txns_committed\":{},\"txns_aborted\":{},\"txns_resolved_by_presumption\":{},\
+             \"coordinator_bytes_truncated\":{},\"reports\":[",
             self.shards.len(),
             self.recovery_threads,
-            self.global_root.to_hex()
+            self.global_root.to_hex(),
+            self.txns_committed,
+            self.txns_aborted,
+            self.txns_resolved_by_presumption,
+            self.coordinator_bytes_truncated,
         );
         for (i, r) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -250,6 +291,42 @@ impl ShardedRecoveryReport {
         }
         s.push_str("]}");
         s
+    }
+}
+
+impl fmt::Display for ShardedRecoveryReport {
+    /// Compact human rendering: a totals line, the transaction
+    /// resolution verdicts when any, then one indented line per shard
+    /// (each the shard's own [`RecoveryReport`] rendering).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shards on {} threads: {} frames replayed, {}, global root {}",
+            self.shards.len(),
+            self.recovery_threads,
+            self.frames_replayed(),
+            if self.clean() {
+                "clean".to_string()
+            } else {
+                format!(
+                    "{} bytes truncated ({} coordinator)",
+                    self.bytes_truncated() + self.coordinator_bytes_truncated,
+                    self.coordinator_bytes_truncated
+                )
+            },
+            &self.global_root.to_hex()[..12],
+        )?;
+        if self.txns_committed + self.txns_aborted > 0 {
+            write!(
+                f,
+                "; txns: {} rolled forward, {} rolled back ({} by presumption)",
+                self.txns_committed, self.txns_aborted, self.txns_resolved_by_presumption
+            )?;
+        }
+        for (i, r) in self.shards.iter().enumerate() {
+            write!(f, "\n  shard {i:03}: {r}")?;
+        }
+        Ok(())
     }
 }
 
@@ -312,15 +389,126 @@ fn write_meta(dir: &Path, shards: usize) -> Result<()> {
     Ok(())
 }
 
+/// What a scan of the coordinator log yields: every decision, the next
+/// coordinator LSN, and how many torn-tail bytes were discarded.
+struct TxnLogScan {
+    /// `txn_id → committed` for every decision frame.
+    decisions: BTreeMap<u64, bool>,
+    /// LSN the next decision frame will take.
+    next_lsn: u64,
+    /// Torn-tail bytes truncated (and orphan segments dropped).
+    bytes_truncated: u64,
+}
+
+/// Scan (and repair) the coordinator log: decision frames only, strict
+/// LSN continuity, torn tails truncated exactly like a shard WAL. A
+/// checksum-valid frame that is not a decision — or a decision that
+/// contradicts an earlier one for the same transaction — is
+/// [`TxnError::DecisionUnreadable`]: the CRC vouches for the bytes, so
+/// this is writer garbage recovery refuses to guess around.
+fn scan_txn_log(dir: &Path) -> Result<TxnLogScan> {
+    let mut out = TxnLogScan {
+        decisions: BTreeMap::new(),
+        next_lsn: 1,
+        bytes_truncated: 0,
+    };
+    let segs = list_segments(dir)?;
+    for (i, (_, path)) in segs.iter().enumerate() {
+        let scan = scan_segment(path)?;
+        for (lsn, rec, _) in &scan.frames {
+            if *lsn != out.next_lsn {
+                return Err(TxnError::DecisionUnreadable {
+                    path: path.display().to_string(),
+                    msg: format!("expected lsn {}, log continues at {lsn}", out.next_lsn),
+                }
+                .into());
+            }
+            let (txn_id, committed) = match rec {
+                WalRecord::TxnCommit { txn_id } => (*txn_id, true),
+                WalRecord::TxnAbort { txn_id } => (*txn_id, false),
+                other => {
+                    return Err(TxnError::DecisionUnreadable {
+                        path: path.display().to_string(),
+                        msg: format!("frame at lsn {lsn} is not a decision: {other:?}"),
+                    }
+                    .into())
+                }
+            };
+            match out.decisions.get(&txn_id) {
+                Some(prev) if *prev != committed => {
+                    return Err(TxnError::DecisionUnreadable {
+                        path: path.display().to_string(),
+                        msg: format!(
+                            "txn {txn_id} decided {} at lsn {lsn} but {} earlier",
+                            verdict(committed),
+                            verdict(*prev)
+                        ),
+                    }
+                    .into())
+                }
+                _ => {
+                    out.decisions.insert(txn_id, committed);
+                }
+            }
+            out.next_lsn += 1;
+        }
+        if scan.torn() {
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StoreError::io("open", path.display(), e))?;
+            f.set_len(scan.valid_len)
+                .map_err(|e| StoreError::io("truncate", path.display(), e))?;
+            f.sync_data()
+                .map_err(|e| StoreError::io("fsync", path.display(), e))?;
+            out.bytes_truncated += scan.file_len - scan.valid_len;
+            for (_, later) in &segs[i + 1..] {
+                if let Ok(meta) = std::fs::metadata(later) {
+                    out.bytes_truncated += meta.len();
+                }
+                std::fs::remove_file(later)
+                    .map_err(|e| StoreError::io("remove", later.display(), e))?;
+            }
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn verdict(committed: bool) -> &'static str {
+    if committed {
+        "commit"
+    } else {
+        "abort"
+    }
+}
+
+/// The coordinator frame spelling a decision.
+fn decision_record(txn_id: u64, committed: bool) -> WalRecord {
+    if committed {
+        WalRecord::TxnCommit { txn_id }
+    } else {
+        WalRecord::TxnAbort { txn_id }
+    }
+}
+
 /// N [`DurableStore`] shards behind a [`ShardRouter`]. Every mutation
 /// routes to the owning shard's validate → log → apply path; recovery
 /// opens all shards in parallel; integrity folds per-shard roots into a
-/// [global root](Self::global_root).
+/// [global root](Self::global_root). Cross-shard writes commit through
+/// the two-phase protocol of [`commit`](Self::commit) (see
+/// [`crate::txn`]).
 #[derive(Debug)]
 pub struct ShardedStore {
     dir: PathBuf,
     router: ShardRouter,
     shards: Vec<DurableStore>,
+    /// Coordinator decision log (`txn.log/`).
+    txn_log: Wal,
+    /// Next transaction id — past every id the coordinator log or any
+    /// participant has ever seen, so ids never repeat across crashes.
+    next_txn_id: u64,
+    metrics: Option<Metrics>,
 }
 
 impl ShardedStore {
@@ -348,6 +536,19 @@ impl ShardedStore {
                 pinned
             }
             None => {
+                // A coordinator log with no layout pin means the
+                // manifest was lost or deleted: re-deriving a shard
+                // count here could re-route extents (and orphan
+                // prepares) away from their data.
+                if dir.join(TXN_LOG_DIR).is_dir() {
+                    return Err(StoreError::ShardLayout {
+                        dir: dir.display().to_string(),
+                        msg: format!(
+                            "coordinator log {TXN_LOG_DIR}/ exists but {SHARD_META} is missing; \
+                             refusing to re-derive a shard count"
+                        ),
+                    });
+                }
                 let n = cfg.shards.max(1);
                 write_meta(dir, n)?;
                 n
@@ -371,6 +572,155 @@ impl ShardedStore {
             report.shards.push(rep);
             stores.push(ds);
         }
+
+        // Transaction resolution: every orphaned prepare must be rolled
+        // forward or back *before* the global root fold, so the fold
+        // certifies a store with no half-applied transactions.
+        let txn_dir = dir.join(TXN_LOG_DIR);
+        std::fs::create_dir_all(&txn_dir)
+            .map_err(|e| StoreError::io("create_dir", txn_dir.display(), e))?;
+        let scan = scan_txn_log(&txn_dir)?;
+        report.coordinator_bytes_truncated = scan.bytes_truncated;
+        let mut decisions = scan.decisions;
+        let mut txn_log = Wal::open(
+            &txn_dir,
+            scan.next_lsn,
+            WalConfig {
+                segment_bytes: cfg.shard.segment_bytes,
+            },
+        )?;
+
+        // Participant evidence: an outcome frame replayed from any
+        // shard's WAL is durable proof of the coordinator's decision —
+        // strong enough to survive losing the coordinator log entirely.
+        // Re-log any decision the coordinator lost, and refuse a log
+        // that *contradicts* an applied outcome.
+        let mut relogged = false;
+        for s in &stores {
+            for &(txn_id, committed) in s.replayed_txn_outcomes() {
+                match decisions.get(&txn_id) {
+                    Some(prev) if *prev != committed => {
+                        return Err(TxnError::DecisionUnreadable {
+                            path: txn_dir.display().to_string(),
+                            msg: format!(
+                                "coordinator log says {} for txn {txn_id} but a participant \
+                                 durably applied {}",
+                                verdict(*prev),
+                                verdict(committed)
+                            ),
+                        }
+                        .into());
+                    }
+                    Some(_) => {}
+                    None => {
+                        txn_log.append_with_root(&decision_record(txn_id, committed), None)?;
+                        decisions.insert(txn_id, committed);
+                        relogged = true;
+                    }
+                }
+            }
+        }
+
+        // Resolve every pending prepare. With a decision (logged or
+        // evidenced): follow it. Without: presumed abort — the prepare
+        // was durable but no decision exists anywhere, so the client
+        // was never acknowledged and rollback is the consistent choice.
+        //
+        // Divergence checks must see the store *as recovery found it*:
+        // resolving a shard removes its pending entry, so a transaction
+        // spanning shards 0 and 1 would otherwise lose shard 0's trace
+        // by the time shard 1's copy is examined. Snapshot the evidence
+        // first.
+        let traces: Vec<BTreeSet<u64>> = stores
+            .iter()
+            .map(|s| {
+                s.pending_txns()
+                    .into_iter()
+                    .chain(s.replayed_txn_outcomes().iter().map(|&(t, _)| t))
+                    .collect()
+            })
+            .collect();
+        let mut committed_ids = BTreeSet::new();
+        let mut aborted_ids = BTreeSet::new();
+        let mut presumed_ids = BTreeSet::new();
+        for i in 0..stores.len() {
+            for txn_id in stores[i].pending_txns() {
+                let decision = decisions.get(&txn_id).copied();
+                if decision == Some(true) {
+                    // Every participant the prepare enrolled must hold
+                    // its half (pending or already applied) — a missing
+                    // one diverged from what the coordinator certified.
+                    let participants: Vec<u32> = stores[i]
+                        .pending_participants(txn_id)
+                        .map(<[u32]>::to_vec)
+                        .unwrap_or_default();
+                    for &p in &participants {
+                        let ps = p as usize;
+                        let has_trace = ps < stores.len() && traces[ps].contains(&txn_id);
+                        if !has_trace {
+                            return Err(TxnError::ParticipantDiverged {
+                                txn_id,
+                                shard: ps,
+                                expected: "a pending prepare or an applied outcome".to_string(),
+                                actual: "no trace of the transaction".to_string(),
+                            }
+                            .into());
+                        }
+                    }
+                }
+                let commit = match decision {
+                    Some(d) => d,
+                    None => {
+                        txn_log.append_with_root(&decision_record(txn_id, false), None)?;
+                        decisions.insert(txn_id, false);
+                        relogged = true;
+                        presumed_ids.insert(txn_id);
+                        false
+                    }
+                };
+                stores[i].txn_resolve(txn_id, commit).map_err(|e| match e {
+                    // A roll-forward landing off the prepare's root
+                    // binding is divergence, localized to this shard.
+                    StoreError::IntegrityMismatch {
+                        expected, actual, ..
+                    } => TxnError::ParticipantDiverged {
+                        txn_id,
+                        shard: i,
+                        expected,
+                        actual,
+                    }
+                    .into(),
+                    e => e,
+                })?;
+                if commit {
+                    committed_ids.insert(txn_id);
+                } else {
+                    aborted_ids.insert(txn_id);
+                }
+            }
+        }
+        if relogged {
+            txn_log.sync()?;
+        }
+        report.txns_committed = committed_ids.len() as u64;
+        report.txns_aborted = aborted_ids.len() as u64;
+        report.txns_resolved_by_presumption = presumed_ids.len() as u64;
+
+        // Ids never repeat: start past everything any log has seen.
+        let max_seen = decisions
+            .keys()
+            .max()
+            .copied()
+            .into_iter()
+            .chain(
+                stores
+                    .iter()
+                    .flat_map(|s| s.replayed_txn_outcomes().iter().map(|&(t, _)| t)),
+            )
+            .max()
+            .unwrap_or(0);
+
+        failpoint::check(SHARD_FOLD_PROBE)?;
         report.global_root = fold_shard_roots(
             &stores
                 .iter()
@@ -382,6 +732,9 @@ impl ShardedStore {
                 dir: dir.to_path_buf(),
                 router: ShardRouter::new(shards),
                 shards: stores,
+                txn_log,
+                next_txn_id: max_seen + 1,
+                metrics: None,
             },
             report,
         ))
@@ -423,11 +776,19 @@ impl ShardedStore {
         &self.shards
     }
 
-    /// Arm every shard with `m` so WAL/checkpoint traffic is counted.
+    /// Arm every shard with `m` so WAL/checkpoint traffic is counted,
+    /// and the coordinator so transaction phases are.
     pub fn set_metrics(&mut self, m: Metrics) {
         for s in &mut self.shards {
             s.set_metrics(m.clone());
         }
+        self.metrics = Some(m);
+    }
+
+    /// The failpoint-guarded routing path every mutation goes through.
+    fn route_checked(&self, name: &str) -> Result<usize> {
+        failpoint::check(SHARD_ROUTE_PROBE)?;
+        Ok(self.shard_of(name))
     }
 
     /// Per-shard mutation epochs, in shard order.
@@ -452,6 +813,7 @@ impl ShardedStore {
     /// deterministic [`ClassId`] assignment sees the same definition
     /// sequence, so the ids agree across shards).
     pub fn define_class(&mut self, def: ClassDef) -> Result<ClassId> {
+        failpoint::check(SHARD_ROUTE_PROBE)?;
         let mut id = None;
         for s in &mut self.shards {
             let got = s.define_class(def.clone())?;
@@ -470,14 +832,14 @@ impl ShardedStore {
     /// that will reference it). Returns `(shard, oid)` — OIDs are
     /// shard-local.
     pub fn insert(&mut self, owner: &str, class: ClassId, row: Vec<Value>) -> Result<(usize, Oid)> {
-        let sh = self.shard_of(owner);
+        let sh = self.route_checked(owner)?;
         let oid = self.shards[sh].insert(class, row)?;
         Ok((sh, oid))
     }
 
     /// Durably create (or wholly replace) a tree extent at `name`.
     pub fn create_tree(&mut self, name: &str, tree: Tree) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].create_tree(name, tree)
     }
 
@@ -489,43 +851,43 @@ impl ShardedStore {
         index: usize,
         child: Tree,
     ) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].tree_insert_child(name, parent, index, child)
     }
 
     /// Durably remove the subtree rooted at `at` from the named tree.
     pub fn tree_remove_subtree(&mut self, name: &str, at: NodeId) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].tree_remove_subtree(name, at)
     }
 
     /// Durably point-update one tree node's payload OID.
     pub fn tree_set_oid(&mut self, name: &str, at: NodeId, oid: Oid) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].tree_set_oid(name, at, oid)
     }
 
     /// Durably create (or reset) a list extent at `name`.
     pub fn create_list(&mut self, name: &str) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].create_list(name)
     }
 
     /// Durably append to the named list.
     pub fn list_push(&mut self, name: &str, oid: Oid) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].list_push(name, oid)
     }
 
     /// Durably append a labeled NULL to the named list.
     pub fn list_push_hole(&mut self, name: &str, label: &str) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].list_push_hole(name, label)
     }
 
     /// Durably remove the element at `index` from the named list.
     pub fn list_remove(&mut self, name: &str, index: usize) -> Result<()> {
-        let sh = self.shard_of(name);
+        let sh = self.route_checked(name)?;
         self.shards[sh].list_remove(name, index)
     }
 
@@ -533,6 +895,7 @@ impl ShardedStore {
     /// (class-wide [`IndexSpec::Attr`] specs broadcast to every shard —
     /// each shard's extent is shard-local).
     pub fn register_index(&mut self, spec: IndexSpec) -> Result<()> {
+        failpoint::check(SHARD_ROUTE_PROBE)?;
         match &spec {
             IndexSpec::Attr { .. } => {
                 for s in &mut self.shards {
@@ -584,6 +947,160 @@ impl ShardedStore {
             n += s.refresh_indexes()?;
         }
         Ok(n)
+    }
+
+    /// Begin buffering a cross-shard transaction against this store.
+    pub fn begin(&self) -> ShardTxn {
+        ShardTxn::begin(self)
+    }
+
+    /// Commit a buffered transaction atomically. See
+    /// [`commit_gated`](Self::commit_gated).
+    pub fn commit(&mut self, txn: &ShardTxn) -> Result<TxnReceipt> {
+        self.commit_gated(txn, || true)
+    }
+
+    /// Commit a buffered transaction atomically, with a caller-supplied
+    /// gate polled at each phase boundary *before the decision is
+    /// logged* — the deadline-propagation hook: a gate returning `false`
+    /// aborts cleanly (typed [`TxnError::Aborted`], nothing applied
+    /// anywhere, safe to retry), never blocks, and is never consulted
+    /// again once the commit decision is durable.
+    ///
+    /// Single-shard transactions skip the protocol: their records take
+    /// the ordinary one-phase validate → log → apply path. Multi-shard
+    /// transactions run presumed-abort two-phase commit: durable
+    /// `TxnPrepare` frames on every participant, one decision frame in
+    /// the coordinator log, then outcome frames as each participant
+    /// applies. An error *after* the decision propagates raw — the
+    /// transaction is committed, and the next
+    /// [`open`](ShardedStore::open) completes the roll-forward.
+    pub fn commit_gated(
+        &mut self,
+        txn: &ShardTxn,
+        mut gate: impl FnMut() -> bool,
+    ) -> Result<TxnReceipt> {
+        let participants = txn.participants();
+        if participants.is_empty() {
+            return Ok(TxnReceipt {
+                txn_id: None,
+                participants,
+                records: 0,
+            });
+        }
+        if !gate() {
+            return Err(TxnError::Aborted {
+                txn_id: self.next_txn_id,
+                reason: "gate refused before any phase ran".to_string(),
+            }
+            .into());
+        }
+        if let [only] = participants.as_slice() {
+            // One-phase fast path: a single participant needs no
+            // coordination — the shard's own WAL is the whole story.
+            let sh = *only as usize;
+            let records = txn.records_for(*only);
+            for rec in records {
+                self.shards[sh].apply_record(rec.clone())?;
+            }
+            self.shards[sh].sync()?;
+            return Ok(TxnReceipt {
+                txn_id: None,
+                participants,
+                records: records.len(),
+            });
+        }
+
+        let txn_id = self.next_txn_id;
+        self.next_txn_id += 1;
+        let started = Instant::now();
+
+        // Phase 1: durable prepares, in participant order. An injected
+        // crash propagates with no cleanup (recovery presumes abort); a
+        // real validation/I/O failure aborts cleanly right here.
+        for &p in &participants {
+            failpoint::check(TXN_PREPARE_CRASH)?;
+            failpoint::check(&participant_probe(TXN_PREPARE_CRASH, p))?;
+            if !gate() {
+                self.abort_prepared(txn_id, &participants, p)?;
+                return Err(TxnError::Aborted {
+                    txn_id,
+                    reason: format!("gate refused before participant {p} prepared"),
+                }
+                .into());
+            }
+            if let Err(e) = self.shards[p as usize].txn_prepare(
+                txn_id,
+                &participants,
+                txn.records_for(p).to_vec(),
+            ) {
+                if matches!(e, StoreError::Injected { .. }) {
+                    // A failpoint inside the prepare path is a simulated
+                    // crash, not a refusal: leave everything in place.
+                    return Err(e);
+                }
+                self.abort_prepared(txn_id, &participants, p)?;
+                return Err(TxnError::PrepareFailed {
+                    txn_id,
+                    shard: p as usize,
+                    msg: e.to_string(),
+                }
+                .into());
+            }
+            if let Some(m) = &self.metrics {
+                m.txn_prepared.inc();
+            }
+        }
+
+        // Decision point. The gate gets its last word here — after this
+        // frame is durable the transaction is committed, period.
+        if !gate() {
+            self.abort_prepared(txn_id, &participants, u32::MAX)?;
+            return Err(TxnError::Aborted {
+                txn_id,
+                reason: "gate refused between prepare and decide (deadline expired)".to_string(),
+            }
+            .into());
+        }
+        failpoint::check(TXN_DECIDE_CRASH)?;
+        self.txn_log
+            .append_with_root(&decision_record(txn_id, true), None)?;
+        self.txn_log.sync()?;
+        if let Some(m) = &self.metrics {
+            m.txn_decide_us.record(started.elapsed().as_micros() as u64);
+        }
+
+        // Phase 2: outcomes. Errors (injected or real) propagate raw —
+        // the decision is durable and recovery rolls the rest forward.
+        for &p in &participants {
+            failpoint::check(TXN_OUTCOME_CRASH)?;
+            failpoint::check(&participant_probe(TXN_OUTCOME_CRASH, p))?;
+            self.shards[p as usize].txn_resolve(txn_id, true)?;
+        }
+        if let Some(m) = &self.metrics {
+            m.txn_committed.inc();
+        }
+        Ok(TxnReceipt {
+            txn_id: Some(txn_id),
+            participants,
+            records: txn.len(),
+        })
+    }
+
+    /// Clean pre-decision abort: log the abort decision, then roll back
+    /// every participant before `upto` that already prepared. Leaves the
+    /// store exactly as it was before the transaction began.
+    fn abort_prepared(&mut self, txn_id: u64, participants: &[u32], upto: u32) -> Result<()> {
+        self.txn_log
+            .append_with_root(&decision_record(txn_id, false), None)?;
+        self.txn_log.sync()?;
+        for &p in participants.iter().take_while(|&&p| p < upto) {
+            self.shards[p as usize].txn_resolve(txn_id, false)?;
+        }
+        if let Some(m) = &self.metrics {
+            m.txn_aborted.inc();
+        }
+        Ok(())
     }
 }
 
@@ -809,5 +1326,274 @@ mod tests {
         let b = Root([2; 32]);
         assert_ne!(fold_shard_roots(&[a, b]), fold_shard_roots(&[b, a]));
         assert_ne!(fold_shard_roots(&[a]), fold_shard_roots(&[a, a]));
+    }
+
+    /// Two extent names `ss` routes to different shards.
+    fn split_pair(ss: &ShardedStore) -> (String, String) {
+        let a = "x0/song".to_string();
+        let sa = ss.shard_of(&a);
+        let mut i = 1u32;
+        loop {
+            let b = format!("x{i}/song");
+            if ss.shard_of(&b) != sa {
+                return (a, b);
+            }
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn single_shard_txn_takes_the_fast_path() {
+        let dir = temp_dir("fastpath");
+        let (mut ss, _) = ShardedStore::open(&dir, ShardedConfig::with_shards(4)).unwrap();
+        let class = ss.define_class(note_class()).unwrap();
+        ss.create_list("p0/song").unwrap();
+
+        let mut txn = ss.begin();
+        let (_, oid) = txn.insert("p0/song", class, vec![Value::str("E")]);
+        txn.list_push("p0/song", oid);
+        let receipt = ss.commit(&txn).unwrap();
+        assert!(receipt.fast_path());
+        assert_eq!(receipt.records, 2);
+        assert_eq!(ss.list("p0/song").unwrap().len(), 1);
+        // No coordination happened: the coordinator log holds no decision.
+        let scan = scan_txn_log(&dir.join(TXN_LOG_DIR)).unwrap();
+        assert!(scan.decisions.is_empty(), "fast path logged a decision");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_shard_commit_applies_atomically_and_survives_reopen() {
+        let dir = temp_dir("2pc");
+        let cfg = ShardedConfig::with_shards(4);
+        let (mut ss, _) = ShardedStore::open(&dir, cfg.clone()).unwrap();
+        let class = ss.define_class(note_class()).unwrap();
+        let (a, b) = split_pair(&ss);
+        ss.create_list(&a).unwrap();
+        ss.create_list(&b).unwrap();
+
+        let mut txn = ss.begin();
+        let (_, oa) = txn.insert(&a, class, vec![Value::str("E")]);
+        txn.list_push(&a, oa);
+        let (_, ob) = txn.insert(&b, class, vec![Value::str("F")]);
+        txn.list_push(&b, ob);
+        let receipt = ss.commit(&txn).unwrap();
+        assert!(!receipt.fast_path());
+        assert_eq!(receipt.participants.len(), 2);
+        assert_eq!(receipt.records, 4);
+        assert_eq!(ss.list(&a).unwrap().len(), 1);
+        assert_eq!(ss.list(&b).unwrap().len(), 1);
+        let root = ss.global_root();
+        drop(ss);
+
+        let (back, rep) = ShardedStore::open(&dir, cfg).unwrap();
+        assert!(rep.clean(), "{rep}");
+        assert_eq!(rep.txns_committed + rep.txns_aborted, 0, "nothing pending");
+        assert_eq!(back.global_root(), root);
+        assert_eq!(back.list(&a).unwrap().len(), 1);
+        assert_eq!(back.list(&b).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn txn_ids_advance_and_never_reuse_across_reopen() {
+        let dir = temp_dir("ids");
+        let cfg = ShardedConfig::with_shards(4);
+        let (mut ss, _) = ShardedStore::open(&dir, cfg.clone()).unwrap();
+        let class = ss.define_class(note_class()).unwrap();
+        let (a, b) = split_pair(&ss);
+        ss.create_list(&a).unwrap();
+        ss.create_list(&b).unwrap();
+        let mut first = None;
+        for _ in 0..2 {
+            let mut txn = ss.begin();
+            let (_, oa) = txn.insert(&a, class, vec![Value::str("E")]);
+            txn.list_push(&a, oa);
+            txn.list_push_hole(&b, "rest");
+            let id = ss.commit(&txn).unwrap().txn_id.unwrap();
+            if let Some(prev) = first {
+                assert!(id > prev, "ids must advance: {prev} then {id}");
+            }
+            first = Some(id);
+        }
+        drop(ss);
+        let (mut back, _) = ShardedStore::open(&dir, cfg).unwrap();
+        let mut txn = back.begin();
+        txn.list_push_hole(&a, "r");
+        txn.list_push_hole(&b, "r");
+        let id = back.commit(&txn).unwrap().txn_id.unwrap();
+        assert!(id > first.unwrap(), "reopen must not reuse decided ids");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gate_refusal_mid_prepare_aborts_cleanly_and_retries() {
+        let dir = temp_dir("gate");
+        let (mut ss, _) = ShardedStore::open(&dir, ShardedConfig::with_shards(4)).unwrap();
+        let class = ss.define_class(note_class()).unwrap();
+        let (a, b) = split_pair(&ss);
+        ss.create_list(&a).unwrap();
+        ss.create_list(&b).unwrap();
+        let root_before = ss.global_root();
+
+        let mut txn = ss.begin();
+        let (_, oa) = txn.insert(&a, class, vec![Value::str("E")]);
+        txn.list_push(&a, oa);
+        txn.list_push_hole(&b, "rest");
+
+        // Polls: 1 = before any phase, 2 = before first prepare,
+        // 3 = before second prepare → refuse with one shard prepared.
+        let mut polls = 0u32;
+        let err = ss
+            .commit_gated(&txn, || {
+                polls += 1;
+                polls < 3
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreError::Txn(TxnError::Aborted { .. })),
+            "got {err:?}"
+        );
+        assert_eq!(ss.global_root(), root_before, "abort left residue");
+        assert_eq!(ss.list(&a).unwrap().len(), 0);
+
+        // A cleanly aborted transaction left the store untouched, so the
+        // same buffer (same OID predictions) retries verbatim.
+        let receipt = ss.commit(&txn).unwrap();
+        assert_eq!(receipt.records, 3);
+        assert_eq!(ss.list(&a).unwrap().len(), 1);
+        assert_eq!(ss.list(&b).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prepare_crash_is_presumed_abort_on_reopen() {
+        let dir = temp_dir("presume");
+        let cfg = ShardedConfig::with_shards(4);
+        let (mut ss, _) = ShardedStore::open(&dir, cfg.clone()).unwrap();
+        let class = ss.define_class(note_class()).unwrap();
+        let (a, b) = split_pair(&ss);
+        ss.create_list(&a).unwrap();
+        ss.create_list(&b).unwrap();
+        ss.sync().unwrap();
+        let root_before = ss.global_root();
+
+        let mut txn = ss.begin();
+        let (_, oa) = txn.insert(&a, class, vec![Value::str("E")]);
+        txn.list_push(&a, oa);
+        txn.list_push_hole(&b, "rest");
+        // Crash when the protocol reaches the *second* participant: the
+        // first holds a durable orphaned prepare, no decision exists.
+        let second = txn.participants()[1];
+        failpoint::arm_times(&participant_probe(TXN_PREPARE_CRASH, second), "kill", 1);
+        let err = ss.commit(&txn).unwrap_err();
+        assert!(matches!(err, StoreError::Injected { .. }), "got {err:?}");
+        drop(ss); // simulated process death: no cleanup ran
+
+        let (back, rep) = ShardedStore::open(&dir, cfg).unwrap();
+        assert_eq!(rep.txns_aborted, 1, "{rep}");
+        assert_eq!(rep.txns_resolved_by_presumption, 1, "{rep}");
+        assert_eq!(rep.txns_committed, 0);
+        assert_eq!(back.global_root(), root_before, "rollback incomplete");
+        assert_eq!(back.list(&a).unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_crash_is_rolled_forward_on_reopen() {
+        let dir = temp_dir("forward");
+        let cfg = ShardedConfig::with_shards(4);
+        let (mut ss, _) = ShardedStore::open(&dir, cfg.clone()).unwrap();
+        let class = ss.define_class(note_class()).unwrap();
+        let (a, b) = split_pair(&ss);
+        ss.create_list(&a).unwrap();
+        ss.create_list(&b).unwrap();
+        ss.sync().unwrap();
+
+        let mut txn = ss.begin();
+        let (_, oa) = txn.insert(&a, class, vec![Value::str("E")]);
+        txn.list_push(&a, oa);
+        let (_, ob) = txn.insert(&b, class, vec![Value::str("F")]);
+        txn.list_push(&b, ob);
+        // Crash after the decision is durable but before the second
+        // participant applies: recovery must finish the commit.
+        let second = txn.participants()[1];
+        failpoint::arm_times(&participant_probe(TXN_OUTCOME_CRASH, second), "kill", 1);
+        let err = ss.commit(&txn).unwrap_err();
+        assert!(matches!(err, StoreError::Injected { .. }), "got {err:?}");
+        drop(ss);
+
+        let (back, rep) = ShardedStore::open(&dir, cfg).unwrap();
+        assert_eq!(rep.txns_committed, 1, "{rep}");
+        assert_eq!(rep.txns_resolved_by_presumption, 0);
+        assert_eq!(back.list(&a).unwrap().len(), 1, "committed txn lost");
+        assert_eq!(back.list(&b).unwrap().len(), 1, "roll-forward incomplete");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_missing_with_coordinator_log_refuses_to_open() {
+        let dir = temp_dir("metagone");
+        let cfg = ShardedConfig::with_shards(4);
+        drop(ShardedStore::open(&dir, cfg.clone()).unwrap());
+        std::fs::remove_file(dir.join(SHARD_META)).unwrap();
+        let err = ShardedStore::open(&dir, cfg).unwrap_err();
+        match err {
+            StoreError::ShardLayout { msg, .. } => {
+                assert!(msg.contains(TXN_LOG_DIR), "{msg}");
+            }
+            other => panic!("expected ShardLayout, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn route_and_fold_probes_inject_typed_faults() {
+        let dir = temp_dir("probes");
+        let cfg = ShardedConfig::with_shards(2);
+        {
+            let (mut ss, _) = ShardedStore::open(&dir, cfg.clone()).unwrap();
+            failpoint::arm_times(SHARD_ROUTE_PROBE, "routing fault", 1);
+            let err = ss.create_list("p0/song").unwrap_err();
+            assert!(matches!(err, StoreError::Injected { .. }), "got {err:?}");
+            ss.create_list("p0/song").unwrap();
+        }
+        failpoint::arm_times(SHARD_FOLD_PROBE, "fold fault", 1);
+        let err = ShardedStore::open(&dir, cfg.clone()).unwrap_err();
+        assert!(matches!(err, StoreError::Injected { .. }), "got {err:?}");
+        let (ss, rep) = ShardedStore::open(&dir, cfg).unwrap();
+        assert!(rep.clean());
+        assert!(ss.list("p0/song").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn txn_metrics_stamp_and_count() {
+        let dir = temp_dir("txnmetrics");
+        let (mut ss, rep) = ShardedStore::open(&dir, ShardedConfig::with_shards(4)).unwrap();
+        let m = Metrics::new();
+        rep.stamp(&m);
+        ss.set_metrics(m.clone());
+        let class = ss.define_class(note_class()).unwrap();
+        let (a, b) = split_pair(&ss);
+        ss.create_list(&a).unwrap();
+        ss.create_list(&b).unwrap();
+
+        let mut txn = ss.begin();
+        let (_, oa) = txn.insert(&a, class, vec![Value::str("E")]);
+        txn.list_push(&a, oa);
+        txn.list_push_hole(&b, "rest");
+        ss.commit(&txn).unwrap();
+        let mut polls = 0u32;
+        let _ = ss.commit_gated(&txn, || {
+            polls += 1;
+            polls < 2
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.txn_prepared, 2, "one prepare per participant");
+        assert_eq!(snap.txn_committed, 1);
+        assert_eq!(snap.txn_aborted, 1);
+        assert_eq!(snap.txn_decide_us.count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -300,6 +300,96 @@ fn sharded_forest_answers_match_and_guards_propagate() {
     );
 }
 
+/// `apply_cross_shard` routes a buffered transaction through the full
+/// admission → deadline → retry pipeline: an expired deadline and a
+/// pre-cancelled token both refuse *before* any prepare frame is
+/// written (the global root is untouched), and the very same buffered
+/// transaction then commits verbatim once the guard clears.
+#[test]
+fn cross_shard_txn_respects_deadline_and_cancel() {
+    let _serial = lock();
+    let dir = std::env::temp_dir().join(format!("aqua-svc-txn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = QueryService::new(ServiceConfig {
+        retry: no_sleep_retry(3),
+        ..ServiceConfig::default()
+    });
+    let mut ss = svc
+        .open_sharded(&dir, aqua_store::ShardedConfig::with_shards(2))
+        .expect("fresh open");
+    let storm = aqua_workload::ShardStorm::new(7, 4);
+    storm.bootstrap(&mut ss).expect("bootstrap");
+    storm.grow(&mut ss, 6).expect("grow");
+    ss.sync().expect("sync");
+    let root0 = ss.global_root();
+
+    let mut txn = ss.begin();
+    for k in 0..4 {
+        let list = storm.list_path(k);
+        let class = ss
+            .shard(ss.shard_of(&list))
+            .store()
+            .class_id("Note")
+            .expect("bootstrapped");
+        let (_, oid) = txn.insert(
+            &list,
+            class,
+            vec![aqua_object::Value::str("S"), aqua_object::Value::Int(1)],
+        );
+        txn.list_push(&list, oid);
+    }
+    assert!(txn.participants().len() > 1, "the txn spans both shards");
+
+    // Expired deadline: Resource class, nothing prepared, not retried
+    // past the per-attempt deadline check.
+    let req = Request::new("alice")
+        .with_budget(Budget::unlimited().with_deadline_at(Deadline::from_now(Duration::ZERO)));
+    let err = svc
+        .apply_cross_shard(&req, &mut ss, &txn)
+        .expect_err("expired deadline cannot commit");
+    match err {
+        ServiceError::Failed { class, .. } => assert_eq!(class, ErrorClass::Resource),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(ss.global_root(), root0, "deadline refusal applies nothing");
+
+    // Pre-cancelled token: Permanent class, one attempt, store untouched.
+    let token = CancelToken::new();
+    token.cancel();
+    let req = Request::new("bob").with_cancel(token);
+    let err = svc
+        .apply_cross_shard(&req, &mut ss, &txn)
+        .expect_err("cancelled token cannot commit");
+    match err {
+        ServiceError::Failed {
+            class, attempts, ..
+        } => {
+            assert_eq!(class, ErrorClass::Permanent);
+            assert_eq!(attempts, 1, "cancellation must not be retried");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(ss.global_root(), root0, "cancel refusal applies nothing");
+
+    // The identical buffer commits once the guard clears — refusals
+    // above left no residue that could poison the retry.
+    let resp = svc
+        .apply_cross_shard(&Request::new("carol"), &mut ss, &txn)
+        .expect("clean commit serves");
+    assert!(
+        resp.value.txn_id.is_some(),
+        "two participants take the full two-phase path"
+    );
+    assert_ne!(ss.global_root(), root0, "the commit landed");
+    let m = svc.metrics_snapshot();
+    assert_eq!(m.txn_committed, 1, "service metrics count the commit");
+    assert_eq!(
+        m.txn_prepared, 2,
+        "one prepare per participant, from the clean attempt only"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn transient_fault_retries_to_success() {
     let _serial = lock();

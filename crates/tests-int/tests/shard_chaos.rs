@@ -151,19 +151,24 @@ fn run_cell(seed: u64, shards: usize) -> String {
         assert_eq!(
             rep.shards.len(),
             shards,
-            "seed {seed}: round {round}: one report per shard"
+            "seed {seed}: round {round}: one report per shard\n{rep}"
         );
         // Global root = fold of the per-shard roots, at every recovery.
         let per_shard: Vec<Root> = ss.shards().iter().map(|s| s.store_root()).collect();
         assert_eq!(
             ss.global_root(),
             fold_shard_roots(&per_shard),
-            "seed {seed}: round {round} ({styles:?}): global root is the shard-root fold"
+            "seed {seed}: round {round} ({styles:?}): global root is the shard-root fold\n{rep}"
         );
         assert_eq!(
             rep.global_root,
             ss.global_root(),
-            "seed {seed}: round {round}: recovery report binds the recovered global root"
+            "seed {seed}: round {round}: recovery report binds the recovered global root\n{rep}"
+        );
+        assert_eq!(
+            rep.txns_committed + rep.txns_aborted,
+            0,
+            "seed {seed}: round {round}: no transactions in flight, none to resolve\n{rep}"
         );
 
         // Top the population back up past what the crash destroyed.
@@ -188,7 +193,7 @@ fn run_cell(seed: u64, shards: usize) -> String {
         .unwrap_or_else(|e| panic!("seed {seed}: reopen at {shards} shards failed: {e}"));
     assert!(
         rep2.clean(),
-        "seed {seed}: a healed {shards}-shard directory reopens clean"
+        "seed {seed}: a healed {shards}-shard directory reopens clean\n{rep2}"
     );
     assert_eq!(
         storm.fingerprint(&ss2),

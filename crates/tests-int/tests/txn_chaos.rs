@@ -1,0 +1,333 @@
+//! Transaction-chaos matrix: kill a cross-shard commit at every phase
+//! boundary × shard counts × coordinator-log corruption, and demand
+//! all-or-nothing every time.
+//!
+//! The discipline extends `shard_chaos.rs` to the 2PC tentpole. Each
+//! cell populates a [`ShardStorm`] base, buffers one deterministic
+//! cross-shard transaction (one extra note per path list), and commits
+//! it with a failpoint armed at one phase boundary — prepare (global
+//! and per-participant), the decide window, and the outcome phase. The
+//! injected fault propagates with no cleanup, exactly like a kill. Some
+//! cells then additionally mutilate the coordinator log's newest
+//! segment (torn tail, CRC-caught bit flip). After
+//! `ShardedStore::open`'s resolution pass the value fingerprint must be
+//! **byte-identical to either the pre-transaction or post-transaction
+//! reference — never a mix** — and the global root must equal the fold
+//! of the per-shard roots. A follow-up transaction must then commit
+//! (liveness: resolution leaves no wedged participant).
+//!
+//! Seeded via `AQUA_CHAOS_SEED` (default 7); every assertion message
+//! echoes the seed so a red CI leg is reproducible from its log alone.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aqua_guard::failpoint;
+use aqua_store::{
+    fold_shard_roots, participant_probe, DurableConfig, Root, ShardTxn, ShardedConfig,
+    ShardedStore, StoreError, TXN_DECIDE_CRASH, TXN_LOG_DIR, TXN_OUTCOME_CRASH, TXN_PREPARE_CRASH,
+};
+use aqua_workload::ShardStorm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path subtrees the storm populates (spread over the shards).
+const PATHS: usize = 6;
+/// Base population per path before the transaction.
+const TARGET: usize = 20;
+/// The shard counts the matrix crosses.
+const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Both tests arm the global phase failpoints; serialize them so one
+/// test's armed probe cannot fire inside the other's commit.
+static PHASE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn chaos_seed() -> u64 {
+    std::env::var("AQUA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("aqua-txchaos-{tag}-{}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn cfg(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        shard: DurableConfig {
+            segment_bytes: 512,
+            checkpoint_every: 16,
+            prune: true,
+            authenticate: true,
+        },
+        recovery_threads: 0,
+    }
+}
+
+/// Open + populate the deterministic base state.
+fn build_base(dir: &Path, shards: usize, seed: u64) -> (ShardedStore, ShardStorm) {
+    let storm = ShardStorm::new(seed ^ 0x7C_17, PATHS);
+    let (mut ss, _) = ShardedStore::open(dir, cfg(shards))
+        .unwrap_or_else(|e| panic!("seed {seed}: base open at {shards} shards failed: {e}"));
+    storm.bootstrap(&mut ss).expect("bootstrap");
+    storm.grow(&mut ss, TARGET).expect("grow");
+    ss.sync().expect("sync");
+    (ss, storm)
+}
+
+/// The one deterministic cross-shard transaction every cell attempts:
+/// one extra note per path list, values keyed by the path index alone
+/// so the committed state is shard-count invariant.
+fn buffer_txn(ss: &ShardedStore, storm: &ShardStorm) -> ShardTxn {
+    let mut txn = ss.begin();
+    for k in 0..storm.paths() {
+        let list = storm.list_path(k);
+        let class = ss
+            .shard(ss.shard_of(&list))
+            .store()
+            .class_id("Note")
+            .expect("bootstrap defined Note");
+        let (_, oid) = txn.insert(
+            &list,
+            class,
+            vec![
+                aqua_object::Value::str(format!("T{k}")),
+                aqua_object::Value::Int(1),
+            ],
+        );
+        txn.list_push(&list, oid);
+    }
+    txn
+}
+
+/// Reference fingerprints: the base state (`fp0`) and the state after
+/// the transaction committed cleanly (`fp1`). Values are shard-count
+/// invariant, so one single-shard reference serves every cell.
+fn reference_fingerprints(seed: u64) -> (String, String) {
+    let dir = temp_dir("ref");
+    let (mut ss, storm) = build_base(&dir, 1, seed);
+    let fp0 = storm.fingerprint(&ss);
+    let txn = buffer_txn(&ss, &storm);
+    ss.commit(&txn)
+        .unwrap_or_else(|e| panic!("seed {seed}: reference commit failed: {e}"));
+    let fp1 = storm.fingerprint(&ss);
+    assert_ne!(fp0, fp1, "seed {seed}: the transaction must be observable");
+    drop(ss);
+    std::fs::remove_dir_all(&dir).unwrap();
+    (fp0, fp1)
+}
+
+/// Coordinator-log corruption styles layered on top of a crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum LogChaos {
+    None,
+    TornTail,
+    BitFlip,
+}
+
+fn txn_log_segments(dir: &Path) -> Vec<PathBuf> {
+    let log = dir.join(TXN_LOG_DIR);
+    let mut segs: Vec<PathBuf> = match std::fs::read_dir(&log) {
+        Ok(rd) => rd
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    segs.sort();
+    segs
+}
+
+fn corrupt_txn_log(dir: &Path, style: LogChaos, rng: &mut StdRng) {
+    let Some(last) = txn_log_segments(dir).into_iter().next_back() else {
+        return;
+    };
+    match style {
+        LogChaos::None => {}
+        LogChaos::TornTail => {
+            let len = std::fs::metadata(&last).unwrap().len();
+            let at = rng.gen_range(0..=len);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&last)
+                .unwrap()
+                .set_len(at)
+                .unwrap();
+        }
+        LogChaos::BitFlip => {
+            let mut bytes = std::fs::read(&last).unwrap();
+            if bytes.is_empty() {
+                return;
+            }
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0..8u32);
+            std::fs::write(&last, bytes).unwrap();
+        }
+    }
+}
+
+/// One cell: crash the commit at `point` (a failpoint name), optionally
+/// corrupt the coordinator log, recover, and assert all-or-nothing.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    seed: u64,
+    shards: usize,
+    label: &str,
+    point: &str,
+    log_chaos: LogChaos,
+    fp0: &str,
+    fp1: &str,
+    rng: &mut StdRng,
+) {
+    let dir = temp_dir(&format!("cell{shards}"));
+    let (mut ss, storm) = build_base(&dir, shards, seed);
+    let txn = buffer_txn(&ss, &storm);
+
+    failpoint::arm_times(point, "chaos kill", 1);
+    let outcome = ss.commit(&txn);
+    // Single-shard cells take the fast path, which never reaches the
+    // phase probes — disarm so nothing leaks into the next cell.
+    failpoint::disarm(point);
+    match &outcome {
+        Ok(receipt) => assert!(
+            shards == 1 || receipt.txn_id.is_some(),
+            "seed {seed}: {label}@{shards}: multi-shard commit must not take the fast path"
+        ),
+        Err(e) => assert!(
+            matches!(e, StoreError::Injected { .. }),
+            "seed {seed}: {label}@{shards}: expected the injected kill, got {e}"
+        ),
+    }
+    drop(ss); // simulated process death: no cleanup runs
+
+    corrupt_txn_log(&dir, log_chaos, rng);
+
+    let (mut back, rep) = ShardedStore::open(&dir, cfg(shards)).unwrap_or_else(|e| {
+        panic!("seed {seed}: {label}@{shards} ({log_chaos:?}): recovery must not fail: {e}")
+    });
+    let fp = storm.fingerprint(&back);
+    assert!(
+        fp == fp0 || fp == fp1,
+        "seed {seed}: {label}@{shards} ({log_chaos:?}): fingerprint is neither the \
+         pre-txn nor the post-txn reference — a torn transaction leaked:\n{fp}"
+    );
+    let per_shard: Vec<Root> = back.shards().iter().map(|s| s.store_root()).collect();
+    assert_eq!(
+        back.global_root(),
+        fold_shard_roots(&per_shard),
+        "seed {seed}: {label}@{shards} ({log_chaos:?}): global root is the shard-root fold"
+    );
+    assert_eq!(
+        rep.global_root,
+        back.global_root(),
+        "seed {seed}: {label}@{shards}: recovery report binds the recovered global root"
+    );
+    let resolved = rep.txns_committed + rep.txns_aborted;
+    assert!(
+        rep.txns_resolved_by_presumption <= resolved,
+        "seed {seed}: {label}@{shards}: presumption count exceeds resolutions ({rep})"
+    );
+
+    // Liveness: whatever the outcome, the next transaction must commit.
+    let txn2 = buffer_txn(&back, &storm);
+    back.commit(&txn2).unwrap_or_else(|e| {
+        panic!("seed {seed}: {label}@{shards} ({log_chaos:?}): follow-up commit wedged: {e}")
+    });
+    let fp2 = storm.fingerprint(&back);
+    assert_ne!(
+        fp2, fp,
+        "seed {seed}: {label}@{shards}: follow-up transaction was a no-op"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The matrix: every phase boundary × {1,2,4} shards, plus coordinator
+/// torn-tail and bit-flip layered on the riskiest windows.
+#[test]
+fn txn_matrix_is_all_or_nothing() {
+    let _serial = PHASE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let seed = chaos_seed();
+    let (fp0, fp1) = reference_fingerprints(seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37));
+
+    for &shards in SHARD_COUNTS {
+        let phases: Vec<(String, String)> = vec![
+            ("prepare".into(), TXN_PREPARE_CRASH.to_string()),
+            ("prepare-p0".into(), participant_probe(TXN_PREPARE_CRASH, 0)),
+            ("prepare-p1".into(), participant_probe(TXN_PREPARE_CRASH, 1)),
+            ("decide".into(), TXN_DECIDE_CRASH.to_string()),
+            ("outcome".into(), TXN_OUTCOME_CRASH.to_string()),
+            ("outcome-p1".into(), participant_probe(TXN_OUTCOME_CRASH, 1)),
+        ];
+        for (label, point) in &phases {
+            run_cell(
+                seed,
+                shards,
+                label,
+                point,
+                LogChaos::None,
+                &fp0,
+                &fp1,
+                &mut rng,
+            );
+        }
+        // Coordinator-log corruption on the two riskiest windows: after
+        // the decision is durable (torn decision must be recovered from
+        // participant evidence or presumed abort) and mid-prepare.
+        for (label, point, chaos) in [
+            ("outcome+torn", TXN_OUTCOME_CRASH, LogChaos::TornTail),
+            ("outcome+flip", TXN_OUTCOME_CRASH, LogChaos::BitFlip),
+            ("prepare+torn", TXN_PREPARE_CRASH, LogChaos::TornTail),
+            ("decide+flip", TXN_DECIDE_CRASH, LogChaos::BitFlip),
+        ] {
+            run_cell(seed, shards, label, point, chaos, &fp0, &fp1, &mut rng);
+        }
+    }
+}
+
+/// An undecided prepare must not wedge reads or later commits even when
+/// the coordinator log is lost *entirely* (the directory removed): the
+/// prepare has no decision anywhere, so resolution presumes abort.
+#[test]
+fn coordinator_log_loss_presumes_abort() {
+    let _serial = PHASE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let seed = chaos_seed();
+    let dir = temp_dir("logloss");
+    let (mut ss, storm) = build_base(&dir, 4, seed);
+    let fp0 = storm.fingerprint(&ss);
+    let txn = buffer_txn(&ss, &storm);
+    failpoint::arm_times(TXN_DECIDE_CRASH, "kill before decision", 1);
+    let err = ss.commit(&txn).unwrap_err();
+    assert!(
+        matches!(err, StoreError::Injected { .. }),
+        "seed {seed}: expected the injected kill, got {err}"
+    );
+    drop(ss);
+    std::fs::remove_dir_all(dir.join(TXN_LOG_DIR)).unwrap();
+
+    let (back, rep) = ShardedStore::open(&dir, cfg(4))
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery after log loss failed: {e}"));
+    assert_eq!(
+        storm.fingerprint(&back),
+        fp0,
+        "seed {seed}: an undecided transaction must roll back"
+    );
+    assert_eq!(
+        rep.txns_resolved_by_presumption, 1,
+        "seed {seed}: rollback must be by presumption ({rep})"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
