@@ -78,6 +78,7 @@ fn sharded_cfg(shards: usize) -> ShardedConfig {
             authenticate: true,
         },
         recovery_threads: 0,
+        pin_epoch: None,
     }
 }
 

@@ -1,0 +1,221 @@
+//! B18 — online shard rebalancing: migration throughput and
+//! post-rebalance read parity.
+//!
+//! Two row families over the same six-path `ShardStorm` population:
+//!
+//! * `migrate_*` — wall-clock for a whole `rebalance(to)` call, grow
+//!   (1→4) and shrink (4→2). A rebalance is not idempotent, so each
+//!   sample builds a fresh store and is timed individually with
+//!   `Instant`; the row reports the median across samples plus the
+//!   subtree-move throughput. The cost is dominated by the per-move
+//!   2PC fsyncs, so moves/s — not MB/s — is the capacity number an
+//!   operator plans with.
+//! * `scatter_*` — a full scatter-gather value read (the storm
+//!   fingerprint) against a store that *arrived* at 4 shards via
+//!   rebalance versus one *opened fresh* at 4 shards with identical
+//!   content. The two must render identical bytes (asserted), and the
+//!   ratio row is the parity claim: a migrated layout serves reads at
+//!   the same price as a native one — no residual indirection.
+//!
+//! `AQUA_BENCH_QUICK` shrinks the sample count for the CI gate;
+//! `AQUA_BENCH_JSON=<path>` dumps rows for `bench_gate` (gated under
+//! `--only b18/`).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use aqua_bench::timing::time_median;
+use aqua_bench::Table;
+use aqua_exec as exec;
+use aqua_store::{DurableConfig, ShardedConfig, ShardedStore};
+use aqua_workload::ShardStorm;
+
+/// Paths the storm spreads over the shards (top-segment subtrees — the
+/// unit of migration).
+const PATHS: usize = 6;
+/// Base population per path before the rebalance.
+const TARGET: usize = 12;
+
+fn samples() -> usize {
+    // Each sample is a full store build + migration (hundreds of
+    // fsyncs); keep the count low and take the median.
+    aqua_bench::iters_for(7, 3)
+}
+
+struct Row {
+    name: &'static str,
+    mode: String,
+    median_ms: f64,
+    result_size: usize,
+    moves: u64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"b18\",\"name\":\"{}\",\"mode\":\"{}\",\"median_ms\":{:.4},\
+             \"result_size\":{},\"moves\":{}}}",
+            self.name, self.mode, self.median_ms, self.result_size, self.moves
+        )
+    }
+}
+
+fn scratch(tag: &str, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aqua-b18-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sharded_cfg(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        shard: DurableConfig {
+            segment_bytes: 64 * 1024,
+            checkpoint_every: 0,
+            prune: true,
+            // Authenticated frames: every move binds post-apply roots,
+            // the configuration the chaos matrix runs.
+            authenticate: true,
+        },
+        recovery_threads: 0,
+        pin_epoch: None,
+    }
+}
+
+fn build_base(dir: &Path, shards: usize) -> (ShardedStore, ShardStorm) {
+    let storm = ShardStorm::new(7, PATHS);
+    let (mut ss, _) = ShardedStore::open(dir, sharded_cfg(shards)).expect("fresh open");
+    storm.bootstrap(&mut ss).expect("bootstrap");
+    storm.grow(&mut ss, TARGET).expect("grow");
+    ss.sync().expect("sync");
+    (ss, storm)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// One migration row: fresh store per sample, the `rebalance` call
+/// timed wall-clock, fingerprint parity asserted before timing counts.
+fn bench_migration(
+    table: &mut Table,
+    rows: &mut Vec<Row>,
+    name: &'static str,
+    from: usize,
+    to: usize,
+) {
+    let mut times = Vec::new();
+    let mut moves = 0u64;
+    for n in 0..samples() {
+        let dir = scratch(name, n);
+        let (mut ss, storm) = build_base(&dir, from);
+        let fp0 = storm.fingerprint(&ss);
+        let t0 = Instant::now();
+        let rep = ss.rebalance(to).expect("rebalance");
+        times.push(t0.elapsed().as_secs_f64());
+        moves = rep.moves;
+        assert_eq!(
+            storm.fingerprint(&ss),
+            fp0,
+            "migration must be value-preserving"
+        );
+        drop(ss);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let med = median(times);
+    let per_sec = moves as f64 / med.max(1e-12);
+    table.row(vec![
+        name.into(),
+        format!("{from} → {to} shards"),
+        format!("{:.2}", med * 1e3),
+        format!("{moves}"),
+        format!("{per_sec:.0}/s"),
+    ]);
+    rows.push(Row {
+        name,
+        mode: format!("{from} -> {to} shards"),
+        median_ms: med * 1e3,
+        result_size: moves as usize,
+        moves,
+    });
+}
+
+/// The parity rows: an identical scatter-gather read against a
+/// rebalanced layout and a native one.
+fn bench_parity(table: &mut Table, rows: &mut Vec<Row>) {
+    let dir_m = scratch("parity-migrated", 0);
+    let (mut migrated, storm) = build_base(&dir_m, 1);
+    migrated.rebalance(4).expect("rebalance");
+    let dir_f = scratch("parity-fresh", 0);
+    let (fresh, _) = build_base(&dir_f, 4);
+    assert_eq!(
+        storm.fingerprint(&migrated),
+        storm.fingerprint(&fresh),
+        "both layouts must render identical bytes"
+    );
+
+    let iters = aqua_bench::iters_for(40, 10);
+    let mut med = [0.0f64; 2];
+    for (i, (label, ss)) in [("scatter_migrated", &migrated), ("scatter_fresh", &fresh)]
+        .into_iter()
+        .enumerate()
+    {
+        let t = time_median(iters, || storm.fingerprint(ss).len());
+        med[i] = t.secs;
+        table.row(vec![
+            label.into(),
+            "4 shards".into(),
+            format!("{:.2}", t.secs * 1e3),
+            format!("{}", t.result_size),
+            if i == 0 {
+                "-".into()
+            } else {
+                format!("{:.2}x vs migrated", med[1] / med[0].max(1e-12))
+            },
+        ]);
+        rows.push(Row {
+            name: if i == 0 {
+                "scatter_migrated"
+            } else {
+                "scatter_fresh"
+            },
+            mode: "4 shards".into(),
+            median_ms: t.secs * 1e3,
+            result_size: t.result_size,
+            moves: 0,
+        });
+    }
+    drop(migrated);
+    drop(fresh);
+    let _ = std::fs::remove_dir_all(&dir_m);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+fn main() {
+    let host = exec::available_threads();
+    let mut table = Table::new(&["phase", "mode", "median ms", "result", "rate"]);
+    let mut rows = Vec::new();
+    bench_migration(&mut table, &mut rows, "migrate_grow", 1, 4);
+    bench_migration(&mut table, &mut rows, "migrate_shrink", 4, 2);
+    bench_parity(&mut table, &mut rows);
+    table.print(&format!(
+        "B18 — online rebalance: migration throughput and read parity (host threads: {host})"
+    ));
+
+    if let Ok(path) = std::env::var("AQUA_BENCH_JSON") {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"b18_rebalance\",");
+        let _ = writeln!(out, "  \"host_threads\": {host},");
+        let _ = writeln!(out, "  \"samples\": {},", samples());
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{sep}", r.json());
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write JSON baseline");
+        println!("wrote {path}");
+    }
+}

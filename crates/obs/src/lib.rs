@@ -47,6 +47,10 @@
 //! | `txn_aborted`            | cross-shard transactions aborted cleanly     |
 //! | `txn_presumed_abort`     | orphaned prepares aborted by presumption     |
 //! | `txn_decide_us` (hist)   | prepare→decision latency per commit, µs      |
+//! | `rebalance_runs`         | shard-count changes completed                |
+//! | `rebalance_moves`        | subtree moves committed during rebalance     |
+//! | `rebalance_resumed`      | moves completed by resume-on-open            |
+//! | `rebalance_move_us` (hist) | per-subtree move latency, µs               |
 //!
 //! Snapshots [`merge`](MetricsSnapshot::merge) field-wise (sums and
 //! bucket-wise histogram sums), which is commutative and associative:
@@ -281,6 +285,14 @@ pub struct Registry {
     pub txn_presumed_abort: Counter,
     /// Prepare→decision latency per 2PC commit, microseconds.
     pub txn_decide_us: Histogram,
+    /// Shard-count changes (rebalances) run to completion.
+    pub rebalance_runs: Counter,
+    /// Subtree moves committed while rebalancing.
+    pub rebalance_moves: Counter,
+    /// Subtree moves completed by resume-on-open after an interruption.
+    pub rebalance_resumed: Counter,
+    /// Per-subtree move latency (prepare→outcome), microseconds.
+    pub rebalance_move_us: Histogram,
     spans: Mutex<Vec<SpanEvent>>,
     spans_dropped: Counter,
 }
@@ -384,6 +396,10 @@ impl Metrics {
             txn_aborted: r.txn_aborted.get(),
             txn_presumed_abort: r.txn_presumed_abort.get(),
             txn_decide_us: r.txn_decide_us.snapshot(),
+            rebalance_runs: r.rebalance_runs.get(),
+            rebalance_moves: r.rebalance_moves.get(),
+            rebalance_resumed: r.rebalance_resumed.get(),
+            rebalance_move_us: r.rebalance_move_us.snapshot(),
             spans,
             spans_dropped: r.spans_dropped.get(),
         }
@@ -484,6 +500,14 @@ pub struct MetricsSnapshot {
     pub txn_presumed_abort: u64,
     /// See [`Registry::txn_decide_us`].
     pub txn_decide_us: HistogramSnapshot,
+    /// See [`Registry::rebalance_runs`].
+    pub rebalance_runs: u64,
+    /// See [`Registry::rebalance_moves`].
+    pub rebalance_moves: u64,
+    /// See [`Registry::rebalance_resumed`].
+    pub rebalance_resumed: u64,
+    /// See [`Registry::rebalance_move_us`].
+    pub rebalance_move_us: HistogramSnapshot,
     /// Completed spans, canonically sorted.
     pub spans: Vec<SpanEvent>,
     /// Spans discarded past [`SPAN_CAP`].
@@ -540,6 +564,10 @@ impl MetricsSnapshot {
         self.txn_aborted += other.txn_aborted;
         self.txn_presumed_abort += other.txn_presumed_abort;
         self.txn_decide_us.merge(&other.txn_decide_us);
+        self.rebalance_runs += other.rebalance_runs;
+        self.rebalance_moves += other.rebalance_moves;
+        self.rebalance_resumed += other.rebalance_resumed;
+        self.rebalance_move_us.merge(&other.rebalance_move_us);
         self.spans.extend(other.spans.iter().cloned());
         self.spans.sort();
         self.spans_dropped += other.spans_dropped;
@@ -590,6 +618,10 @@ impl MetricsSnapshot {
             && self.txn_aborted == 0
             && self.txn_presumed_abort == 0
             && self.txn_decide_us.count() == 0
+            && self.rebalance_runs == 0
+            && self.rebalance_moves == 0
+            && self.rebalance_resumed == 0
+            && self.rebalance_move_us.count() == 0
             && self.spans.is_empty()
             && self.spans_dropped == 0
     }
@@ -664,6 +696,13 @@ impl MetricsSnapshot {
         );
         out.push_str(",\"txn_decide_us\":");
         self.txn_decide_us.json_into(&mut out);
+        let _ = write!(
+            out,
+            ",\"rebalance_runs\":{},\"rebalance_moves\":{},\"rebalance_resumed\":{}",
+            self.rebalance_runs, self.rebalance_moves, self.rebalance_resumed
+        );
+        out.push_str(",\"rebalance_move_us\":");
+        self.rebalance_move_us.json_into(&mut out);
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -691,7 +730,7 @@ impl fmt::Display for MetricsSnapshot {
             self.engine_results,
             self.engine_elapsed_nanos as f64 / 1e6
         )?;
-        let rows: [(&str, u64); 37] = [
+        let rows: [(&str, u64); 40] = [
             ("pike-vm steps", self.vm_steps),
             ("parse-dag visits", self.vm_path_visits),
             ("tree visits", self.match_visits),
@@ -729,6 +768,9 @@ impl fmt::Display for MetricsSnapshot {
             ("txns committed", self.txn_committed),
             ("txns aborted", self.txn_aborted),
             ("txns presumed abort", self.txn_presumed_abort),
+            ("rebalance runs", self.rebalance_runs),
+            ("rebalance moves", self.rebalance_moves),
+            ("rebalance moves resumed", self.rebalance_resumed),
         ];
         for (name, v) in rows {
             if v > 0 {
@@ -749,6 +791,14 @@ impl fmt::Display for MetricsSnapshot {
                 "txn decide latency: {} commits, max < {}µs",
                 self.txn_decide_us.count(),
                 self.txn_decide_us.max_bound().unwrap_or(0)
+            )?;
+        }
+        if self.rebalance_move_us.count() > 0 {
+            writeln!(
+                f,
+                "rebalance move latency: {} moves, max < {}µs",
+                self.rebalance_move_us.count(),
+                self.rebalance_move_us.max_bound().unwrap_or(0)
             )?;
         }
         for s in &self.spans {

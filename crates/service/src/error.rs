@@ -133,7 +133,12 @@ mod tests {
             retry_after_hint: Duration::from_millis(5),
         };
         assert_eq!(e.class(), ErrorClass::Resource);
-        assert!(e.to_string().contains("depth 9"));
+        let s = e.to_string();
+        assert!(s.contains("depth 9"));
+        assert!(
+            s.contains("5ms"),
+            "shed callers must see the computed backoff: {s}"
+        );
         let e = ServiceError::Failed {
             class: ErrorClass::Transient,
             attempts: 3,

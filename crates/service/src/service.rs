@@ -17,7 +17,7 @@ use aqua_pattern::list::{ListMatch, Sym};
 use aqua_pattern::tree_match::MatchConfig;
 use aqua_pattern::{PredExpr, TreePattern};
 use aqua_store::{
-    DurableConfig, DurableStore, RecoveryReport, Root, ShardTxn, ShardedConfig,
+    DurableConfig, DurableStore, RebalanceReport, RecoveryReport, Root, ShardTxn, ShardedConfig,
     ShardedRecoveryReport, ShardedStore, SplitCertificate, StoreError, TxnReceipt,
 };
 
@@ -42,16 +42,19 @@ pub enum PlanClass {
     ForestSubSelect,
     /// Cross-shard transactional mutation (two-phase commit).
     CrossShardTxn,
+    /// Online shard-count change (admin path, subtree migration).
+    Rebalance,
 }
 
 impl PlanClass {
     /// Every class, breaker-array order.
-    pub const ALL: [PlanClass; 5] = [
+    pub const ALL: [PlanClass; 6] = [
         PlanClass::TreeSubSelect,
         PlanClass::SetSelect,
         PlanClass::ListSubSelect,
         PlanClass::ForestSubSelect,
         PlanClass::CrossShardTxn,
+        PlanClass::Rebalance,
     ];
 
     fn idx(self) -> usize {
@@ -61,6 +64,7 @@ impl PlanClass {
             PlanClass::ListSubSelect => 2,
             PlanClass::ForestSubSelect => 3,
             PlanClass::CrossShardTxn => 4,
+            PlanClass::Rebalance => 5,
         }
     }
 }
@@ -73,6 +77,7 @@ impl std::fmt::Display for PlanClass {
             PlanClass::ListSubSelect => "list-sub-select",
             PlanClass::ForestSubSelect => "forest-sub-select",
             PlanClass::CrossShardTxn => "cross-shard-txn",
+            PlanClass::Rebalance => "rebalance",
         })
     }
 }
@@ -268,7 +273,7 @@ fn probe(point: &str, steps: u64) -> std::result::Result<(), AttemptFail> {
 pub struct QueryService {
     cfg: ServiceConfig,
     admission: Admission,
-    breakers: [CircuitBreaker; 5],
+    breakers: [CircuitBreaker; PlanClass::ALL.len()],
     permits: WorkerPermits,
     metrics: Metrics,
     submissions: AtomicU64,
@@ -1017,6 +1022,65 @@ impl QueryService {
             }
             probe(SERVICE_COMMIT_PROBE, 0)?;
             Ok((receipt, Truncation::default(), 0))
+        })
+    }
+
+    /// Change the store's shard count online through the service
+    /// pipeline — the admin path for
+    /// [`ShardedStore::rebalance`]. Admission, the
+    /// [`PlanClass::Rebalance`] breaker, and retry-on-transient all
+    /// apply, and the request's deadline/cancel token is propagated as
+    /// the gate the migration polls **at every phase boundary**: before
+    /// each subtree move, inside each move's 2PC (prepare and
+    /// pre-decide), and once more before the final layout commit. An
+    /// expired deadline stops the migration cleanly with the stanza
+    /// still pinned — a transient, resumable condition — so a retry (or
+    /// the next store open) continues from the subtrees already moved
+    /// rather than starting over.
+    pub fn rebalance(
+        &self,
+        req: &Request,
+        store: &mut ShardedStore,
+        to: usize,
+    ) -> Result<Response<RebalanceReport>> {
+        let mut explain = Explain::default();
+        explain.record_service_event(format!(
+            "rebalance: {} → {to} shards (layout epoch {})",
+            store.shard_count(),
+            store.layout_epoch()
+        ));
+        let deadline = req.budget.deadline;
+        let cancel = req.cancel.clone();
+        self.run(PlanClass::Rebalance, req, explain, |_, _, explain| {
+            probe(SERVICE_DISPATCH_PROBE, 0)?;
+            if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                return Err(AttemptFail {
+                    class: ErrorClass::Permanent,
+                    message: "cancelled before rebalance began".to_string(),
+                    steps: 0,
+                    breaker_fault: false,
+                    integrity_extent: None,
+                });
+            }
+            let gate = || {
+                deadline.is_none_or(|d| !d.expired())
+                    && cancel.as_ref().is_none_or(|t| !t.is_cancelled())
+            };
+            let report = store.rebalance_gated(to, gate).map_err(|e| match e {
+                StoreError::IntegrityMismatch { ref extent, .. } => {
+                    AttemptFail::integrity(extent, e.to_string(), 0)
+                }
+                e => AttemptFail {
+                    class: e.class(),
+                    message: e.to_string(),
+                    steps: 0,
+                    breaker_fault: false,
+                    integrity_extent: None,
+                },
+            })?;
+            explain.record_service_event(report.to_string());
+            probe(SERVICE_COMMIT_PROBE, 0)?;
+            Ok((report, Truncation::default(), 0))
         })
     }
 }

@@ -416,13 +416,29 @@ pub enum WalRecord {
         root_binding: Root,
     },
     /// Two-phase-commit *commit*: in a participant WAL, the outcome
-    /// frame that applies the matching [`TxnPrepare`]'s buffer; in the
+    /// frame that applies the matching [`WalRecord::TxnPrepare`]'s buffer; in the
     /// coordinator log, the durable decision itself.
     TxnCommit { txn_id: u64 },
-    /// Two-phase-commit *abort*: drops the matching [`TxnPrepare`]'s
+    /// Two-phase-commit *abort*: drops the matching [`WalRecord::TxnPrepare`]'s
     /// buffer (participant WAL) or records the abort decision
     /// (coordinator log).
     TxnAbort { txn_id: u64 },
+    /// A named tree extent was dropped (its objects are untouched —
+    /// value fingerprints render extents, never orphans). Per-extent
+    /// index specs naming the tree are unregistered with it.
+    TreeDrop { name: String },
+    /// A named list extent was dropped; same spec-unregistration rule
+    /// as [`WalRecord::TreeDrop`].
+    ListDrop { name: String },
+    /// Migration-log only: a rebalance from `from` to `to` shards began
+    /// under layout `epoch`. Never appears in a shard WAL.
+    RebalanceBegin { epoch: u64, from: u32, to: u32 },
+    /// Migration-log only: the top-segment subtree `top` finished its
+    /// coordinator-decided move under `epoch`.
+    RebalanceMoved { epoch: u64, top: String },
+    /// Migration-log only: every re-routed subtree under `epoch` is
+    /// home; the final layout may be committed.
+    RebalanceCommit { epoch: u64 },
 }
 
 impl WalRecord {
@@ -555,6 +571,29 @@ impl WalRecord {
             WalRecord::TxnAbort { txn_id } => {
                 enc.u8(14);
                 enc.u64(*txn_id);
+            }
+            WalRecord::TreeDrop { name } => {
+                enc.u8(15);
+                enc.str(name);
+            }
+            WalRecord::ListDrop { name } => {
+                enc.u8(16);
+                enc.str(name);
+            }
+            WalRecord::RebalanceBegin { epoch, from, to } => {
+                enc.u8(17);
+                enc.u64(*epoch);
+                enc.u32(*from);
+                enc.u32(*to);
+            }
+            WalRecord::RebalanceMoved { epoch, top } => {
+                enc.u8(18);
+                enc.u64(*epoch);
+                enc.str(top);
+            }
+            WalRecord::RebalanceCommit { epoch } => {
+                enc.u8(19);
+                enc.u64(*epoch);
             }
         }
     }
@@ -696,6 +735,18 @@ impl WalRecord {
             }
             13 => WalRecord::TxnCommit { txn_id: dec.u64()? },
             14 => WalRecord::TxnAbort { txn_id: dec.u64()? },
+            15 => WalRecord::TreeDrop { name: dec.str()? },
+            16 => WalRecord::ListDrop { name: dec.str()? },
+            17 => WalRecord::RebalanceBegin {
+                epoch: dec.u64()?,
+                from: dec.u32()?,
+                to: dec.u32()?,
+            },
+            18 => WalRecord::RebalanceMoved {
+                epoch: dec.u64()?,
+                top: dec.str()?,
+            },
+            19 => WalRecord::RebalanceCommit { epoch: dec.u64()? },
             t => {
                 return Err(StoreError::Corrupt {
                     path: dec.path.to_owned(),
@@ -818,6 +869,18 @@ mod tests {
             },
             WalRecord::TxnCommit { txn_id: 9 },
             WalRecord::TxnAbort { txn_id: 10 },
+            WalRecord::TreeDrop { name: "t".into() },
+            WalRecord::ListDrop { name: "l".into() },
+            WalRecord::RebalanceBegin {
+                epoch: 2,
+                from: 2,
+                to: 4,
+            },
+            WalRecord::RebalanceMoved {
+                epoch: 2,
+                top: "p3".into(),
+            },
+            WalRecord::RebalanceCommit { epoch: 2 },
         ];
         for r in &recs {
             let bytes = r.to_bytes();
@@ -878,6 +941,34 @@ mod tests {
             match WalRecord::decode(&mut dec) {
                 Err(StoreError::Corrupt { .. }) => {}
                 other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_and_rebalance_truncations_are_typed_errors() {
+        let recs = [
+            WalRecord::TreeDrop { name: "t".into() },
+            WalRecord::ListDrop { name: "l".into() },
+            WalRecord::RebalanceBegin {
+                epoch: 3,
+                from: 4,
+                to: 2,
+            },
+            WalRecord::RebalanceMoved {
+                epoch: 3,
+                top: "p1".into(),
+            },
+            WalRecord::RebalanceCommit { epoch: 3 },
+        ];
+        for rec in &recs {
+            let bytes = rec.to_bytes();
+            for cut in 0..bytes.len() {
+                let mut dec = Dec::new(&bytes[..cut], "test");
+                match WalRecord::decode(&mut dec) {
+                    Err(StoreError::Corrupt { .. }) => {}
+                    other => panic!("{rec:?} cut at {cut}: expected Corrupt, got {other:?}"),
+                }
             }
         }
     }

@@ -109,6 +109,19 @@ pub enum StoreError {
         /// What disagreed.
         msg: String,
     },
+    /// An online shard rebalance was interrupted before its layout
+    /// commit — by a refused gate (deadline/cancel) or an invalid
+    /// target. The migration stanza stays pinned in `shards.meta`, so
+    /// the next open (or a retried `rebalance` at the same target)
+    /// resumes from the subtrees already moved; nothing is lost and the
+    /// value fingerprint is unchanged, which is why this is a
+    /// *transient* error.
+    Rebalance {
+        /// The layout epoch the interrupted migration runs under.
+        epoch: u64,
+        /// What interrupted it.
+        msg: String,
+    },
     /// A cross-shard transaction failed (see [`TxnError`]).
     Txn(TxnError),
     /// Propagated object-layer error (typed insert/update failures).
@@ -239,6 +252,9 @@ impl StoreError {
             // retry is safe; every other txn failure is structural.
             StoreError::Txn(TxnError::PrepareFailed { .. })
             | StoreError::Txn(TxnError::Aborted { .. }) => ErrorClass::Transient,
+            // An interrupted rebalance is resumable: the migration
+            // stanza is durable and a retry continues where it stopped.
+            StoreError::Rebalance { .. } => ErrorClass::Transient,
             _ => ErrorClass::Permanent,
         }
     }
@@ -293,6 +309,9 @@ impl fmt::Display for StoreError {
             ),
             StoreError::ShardLayout { dir, msg } => {
                 write!(f, "shard layout mismatch in {dir:?}: {msg}")
+            }
+            StoreError::Rebalance { epoch, msg } => {
+                write!(f, "rebalance under layout epoch {epoch} interrupted: {msg}")
             }
             StoreError::Txn(e) => write!(f, "{e}"),
             StoreError::Object(e) => write!(f, "{e}"),

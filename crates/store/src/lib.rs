@@ -32,6 +32,7 @@ pub mod codec;
 pub mod error;
 pub mod merkle;
 pub mod positional;
+pub mod rebalance;
 pub mod recovery;
 pub mod shard;
 pub mod snapshot;
@@ -46,11 +47,16 @@ pub use codec::{crc32, IndexSpec, WalRecord};
 pub use error::{Result, StoreError, TxnError};
 pub use merkle::{list_root, store_root, tree_root, MerkleTree, Root};
 pub use positional::{ListPosIndex, LIST_INDEX_PROBE};
+pub use rebalance::{
+    RebalanceReport, REBALANCE_BEGIN_CRASH, REBALANCE_CLEANUP_CRASH, REBALANCE_COMMIT_CRASH,
+    REBALANCE_DECIDE_CRASH, REBALANCE_MOVED_CRASH, REBALANCE_OUTCOME_CRASH,
+    REBALANCE_PREPARE_CRASH,
+};
 pub use recovery::{DurableConfig, DurableStore, RebuiltIndexes, RecoveryReport, RECOVER_PROBE};
 pub use shard::{
-    fold_shard_roots, shard_dir_name, ExtentPath, ShardRouter, ShardedConfig,
-    ShardedRecoveryReport, ShardedStore, SHARD_FOLD_PROBE, SHARD_META, SHARD_ROUTE_PROBE,
-    TXN_LOG_DIR,
+    fold_shard_roots, shard_dir_name, ExtentPath, ShardLayoutMeta, ShardRouter, ShardedConfig,
+    ShardedRecoveryReport, ShardedStore, REBALANCE_LOG_DIR, SHARD_FOLD_PROBE, SHARD_META,
+    SHARD_ROUTE_PROBE, TXN_LOG_DIR,
 };
 pub use snapshot::{
     list_snapshots, read_snapshot, write_snapshot, SnapshotManifest, SnapshotState,

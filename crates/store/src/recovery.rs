@@ -366,11 +366,36 @@ fn apply(state: &mut SnapshotState, rec: &WalRecord) -> Result<()> {
                 state.specs.push(spec.clone());
             }
         }
+        WalRecord::TreeDrop { name } => {
+            get_tree(state, name)?;
+            state.trees.remove(name);
+            state.specs.retain(|s| !spec_names_tree(s, name));
+        }
+        WalRecord::ListDrop { name } => {
+            get_list_mut(state, name)?;
+            state.lists.remove(name);
+            state.specs.retain(|s| !spec_names_list(s, name));
+        }
         WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. } => {
             return Err(txn_record_misrouted())
         }
+        WalRecord::RebalanceBegin { .. }
+        | WalRecord::RebalanceMoved { .. }
+        | WalRecord::RebalanceCommit { .. } => return Err(rebalance_record_misrouted()),
     }
     Ok(())
+}
+
+/// Whether a registered spec is scoped to the named tree (and so must
+/// leave the registry with it on [`WalRecord::TreeDrop`]).
+fn spec_names_tree(spec: &IndexSpec, name: &str) -> bool {
+    matches!(spec,
+        IndexSpec::TreeNode { tree, .. } | IndexSpec::Structural { tree } if tree == name)
+}
+
+/// The list-scoped counterpart of [`spec_names_tree`].
+fn spec_names_list(spec: &IndexSpec, name: &str) -> bool {
+    matches!(spec, IndexSpec::ListPos { list, .. } if list == name)
 }
 
 fn get_tree<'s>(state: &'s SnapshotState, name: &str) -> Result<&'s Tree> {
@@ -483,9 +508,23 @@ fn check(state: &SnapshotState, rec: &WalRecord) -> Result<()> {
         WalRecord::RegisterIndex { spec } => {
             check_spec(state, spec)?;
         }
+        WalRecord::TreeDrop { name } => {
+            get_tree(state, name)?;
+        }
+        WalRecord::ListDrop { name } => {
+            if !state.lists.contains_key(name) {
+                return Err(StoreError::NoSuchExtent {
+                    kind: "list",
+                    name: name.clone(),
+                });
+            }
+        }
         WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. } => {
             return Err(txn_record_misrouted())
         }
+        WalRecord::RebalanceBegin { .. }
+        | WalRecord::RebalanceMoved { .. }
+        | WalRecord::RebalanceCommit { .. } => return Err(rebalance_record_misrouted()),
     }
     Ok(())
 }
@@ -546,6 +585,8 @@ fn record_extent_label(rec: &WalRecord) -> String {
         | WalRecord::ListPush { name, .. }
         | WalRecord::ListPushHole { name, .. }
         | WalRecord::ListRemove { name, .. } => format!("list:{name}"),
+        WalRecord::TreeDrop { name } => format!("tree:{name}"),
+        WalRecord::ListDrop { name } => format!("list:{name}"),
         _ => "store".to_string(),
     }
 }
@@ -667,9 +708,25 @@ fn advance_roots(state: &SnapshotState, roots: &RootCache, rec: &WalRecord) -> R
                 merkle::list_root(&state.store, &l),
             );
         }
+        WalRecord::TreeDrop { name } => {
+            get_tree(state, name)?;
+            out.remove(&(KIND_TREE, name.clone()));
+        }
+        WalRecord::ListDrop { name } => {
+            if !state.lists.contains_key(name) {
+                return Err(StoreError::NoSuchExtent {
+                    kind: "list",
+                    name: name.clone(),
+                });
+            }
+            out.remove(&(KIND_LIST, name.clone()));
+        }
         WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. } => {
             return Err(txn_record_misrouted())
         }
+        WalRecord::RebalanceBegin { .. }
+        | WalRecord::RebalanceMoved { .. }
+        | WalRecord::RebalanceCommit { .. } => return Err(rebalance_record_misrouted()),
     }
     Ok(out)
 }
@@ -694,6 +751,15 @@ fn txn_record_misrouted() -> StoreError {
     StoreError::Replay {
         lsn: 0,
         msg: "transaction-protocol record routed to the plain mutation path".to_string(),
+    }
+}
+
+/// Rebalance-protocol records live only in the migration log
+/// (`rebalance.log/`); one in a shard WAL is a writer bug.
+fn rebalance_record_misrouted() -> StoreError {
+    StoreError::Replay {
+        lsn: 0,
+        msg: "rebalance-protocol record routed to a shard WAL path".to_string(),
     }
 }
 

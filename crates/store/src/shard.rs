@@ -50,6 +50,14 @@ pub const SHARD_META: &str = "shards.meta";
 /// in the same rotating-segment format as the shard WALs.
 pub const TXN_LOG_DIR: &str = "txn.log";
 
+/// Directory of the rebalance migration log (`RebalanceBegin` /
+/// `RebalanceMoved` / `RebalanceCommit` frames, same rotating-segment
+/// format). Advisory: the durable migration *stanza* in `shards.meta`
+/// plus per-shard state inspection are the correctness ground truth;
+/// this log exists for observability and to let a resume skip
+/// re-deriving what already moved.
+pub const REBALANCE_LOG_DIR: &str = "rebalance.log";
+
 /// Failpoint checked at the top of every routed mutation — arm it to
 /// inject shard-level faults without involving the transaction layer.
 pub const SHARD_ROUTE_PROBE: &str = "store.shard.route";
@@ -128,22 +136,67 @@ impl fmt::Display for ExtentPath {
 /// across recovery. Routing keys on the **top-level segment** only, so a
 /// whole path subtree co-locates on one shard; the root path routes to
 /// shard 0.
+///
+/// The router is **epoch-aware**: every completed layout change bumps
+/// the monotonically increasing layout epoch pinned in `shards.meta`,
+/// and during a migration the router carries a *dual-route window* —
+/// [`route`](Self::route) answers with the new layout's owner while
+/// [`route_old`](Self::route_old) still knows the previous one, so
+/// lookups can try the new home first and fall back to wherever a
+/// not-yet-moved subtree still lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardRouter {
     shards: usize,
+    /// Layout epoch this router was built from (0 for ad-hoc routers).
+    epoch: u64,
+    /// During a migration window: the shard count being migrated
+    /// *away from* — the fallback layout for dual-route lookups.
+    from: Option<usize>,
 }
 
 impl ShardRouter {
-    /// A router over `shards` shards (clamped to ≥ 1).
+    /// A router over `shards` shards (clamped to ≥ 1), outside any
+    /// migration window, at the unpinned epoch 0.
     pub fn new(shards: usize) -> ShardRouter {
         ShardRouter {
             shards: shards.max(1),
+            epoch: 0,
+            from: None,
         }
     }
 
-    /// How many shards this router spreads over.
+    /// A settled (non-migrating) router at a pinned layout epoch.
+    pub fn at_epoch(shards: usize, epoch: u64) -> ShardRouter {
+        ShardRouter {
+            epoch,
+            ..ShardRouter::new(shards)
+        }
+    }
+
+    /// A dual-route window: `route` targets the `to` layout, `route_old`
+    /// still answers for the `from` layout being migrated away from.
+    pub fn migrating(from: usize, to: usize, epoch: u64) -> ShardRouter {
+        ShardRouter {
+            shards: to.max(1),
+            epoch,
+            from: Some(from.max(1)),
+        }
+    }
+
+    /// How many shards this router spreads over (the *target* layout
+    /// during a migration window).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The layout epoch this router answers for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a migration window is open (dual-route active).
+    pub fn is_migrating(&self) -> bool {
+        self.from.is_some()
     }
 
     /// FNV-1a over the top-level segment. 64-bit, fixed offsets: stable
@@ -169,6 +222,23 @@ impl ShardRouter {
     pub fn route_name(&self, name: &str) -> usize {
         self.route(&ExtentPath::parse(name))
     }
+
+    /// The shard that owned `path` under the layout being migrated away
+    /// from — `None` outside a migration window, or when both layouts
+    /// agree on the owner (nothing to fall back to).
+    pub fn route_old(&self, path: &ExtentPath) -> Option<usize> {
+        let from = self.from?;
+        let old = match path.segments().first() {
+            None => 0,
+            Some(top) => (Self::hash_top(top) % from as u64) as usize,
+        };
+        (old != self.route(path)).then_some(old)
+    }
+
+    /// [`route_old`](Self::route_old) on the string spelling of a path.
+    pub fn route_old_name(&self, name: &str) -> Option<usize> {
+        self.route_old(&ExtentPath::parse(name))
+    }
 }
 
 /// Tuning for a [`ShardedStore`].
@@ -183,6 +253,13 @@ pub struct ShardedConfig {
     /// Worker threads for parallel shard recovery (0 = one per shard,
     /// capped at the hardware parallelism).
     pub recovery_threads: usize,
+    /// Layout epoch the opener expects (`None` = accept whatever is
+    /// pinned). A stale opener — one still pinned to the epoch a
+    /// completed rebalance superseded — is refused with a typed
+    /// [`StoreError::ShardLayout`] *by epoch*, not by raw shard count:
+    /// two layouts can even share a count and still be different
+    /// routings' generations.
+    pub pin_epoch: Option<u64>,
 }
 
 impl Default for ShardedConfig {
@@ -191,6 +268,7 @@ impl Default for ShardedConfig {
             shards: 1,
             shard: DurableConfig::default(),
             recovery_threads: 0,
+            pin_epoch: None,
         }
     }
 }
@@ -237,6 +315,11 @@ pub struct ShardedRecoveryReport {
     pub txns_resolved_by_presumption: u64,
     /// Torn-tail bytes truncated from the coordinator log.
     pub coordinator_bytes_truncated: u64,
+    /// Subtree moves the open completed while resuming an interrupted
+    /// rebalance (0 when no migration stanza was pinned).
+    pub rebalance_resumed_moves: u64,
+    /// The layout epoch the store serves at (after any resume).
+    pub layout_epoch: u64,
 }
 
 impl ShardedRecoveryReport {
@@ -267,6 +350,7 @@ impl ShardedRecoveryReport {
         m.txn_committed.add(self.txns_committed);
         m.txn_aborted.add(self.txns_aborted);
         m.txn_presumed_abort.add(self.txns_resolved_by_presumption);
+        m.rebalance_resumed.add(self.rebalance_resumed_moves);
     }
 
     /// Single-line JSON for CI artifacts.
@@ -274,7 +358,8 @@ impl ShardedRecoveryReport {
         let mut s = format!(
             "{{\"shards\":{},\"recovery_threads\":{},\"global_root\":\"{}\",\
              \"txns_committed\":{},\"txns_aborted\":{},\"txns_resolved_by_presumption\":{},\
-             \"coordinator_bytes_truncated\":{},\"reports\":[",
+             \"coordinator_bytes_truncated\":{},\"rebalance_resumed_moves\":{},\
+             \"layout_epoch\":{},\"reports\":[",
             self.shards.len(),
             self.recovery_threads,
             self.global_root.to_hex(),
@@ -282,6 +367,8 @@ impl ShardedRecoveryReport {
             self.txns_aborted,
             self.txns_resolved_by_presumption,
             self.coordinator_bytes_truncated,
+            self.rebalance_resumed_moves,
+            self.layout_epoch,
         );
         for (i, r) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -323,6 +410,13 @@ impl fmt::Display for ShardedRecoveryReport {
                 self.txns_committed, self.txns_aborted, self.txns_resolved_by_presumption
             )?;
         }
+        if self.rebalance_resumed_moves > 0 {
+            write!(
+                f,
+                "; rebalance resumed: {} subtree moves completed (now epoch {})",
+                self.rebalance_resumed_moves, self.layout_epoch
+            )?;
+        }
         for (i, r) in self.shards.iter().enumerate() {
             write!(f, "\n  shard {i:03}: {r}")?;
         }
@@ -354,38 +448,158 @@ pub fn shard_dir_name(i: usize) -> String {
     format!("shard-{i:03}")
 }
 
-fn read_meta(dir: &Path) -> Result<Option<usize>> {
+/// The parsed layout manifest (`shards.meta`): the pinned shard count,
+/// the monotonically increasing layout epoch, and — while a rebalance
+/// is in flight — the durable migration stanza naming the target count.
+/// The stanza is written (and fsync'd) *before* the first subtree
+/// moves, so any open that sees it knows to resume the migration before
+/// the global-root fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayoutMeta {
+    /// The settled shard count (the *source* count mid-migration).
+    pub shards: usize,
+    /// Layout epoch; bumped by every completed rebalance.
+    pub epoch: u64,
+    /// Migration stanza: the shard count being migrated to, if a
+    /// rebalance began but has not committed its final layout.
+    pub migrating_to: Option<usize>,
+}
+
+impl ShardLayoutMeta {
+    /// A settled layout (no migration in flight).
+    pub fn settled(shards: usize, epoch: u64) -> ShardLayoutMeta {
+        ShardLayoutMeta {
+            shards: shards.max(1),
+            epoch,
+            migrating_to: None,
+        }
+    }
+
+    /// The epoch the layout will have once any in-flight migration
+    /// resolves — what a [`ShardedConfig::pin_epoch`] check compares
+    /// against, since `open` resumes the migration before serving.
+    pub fn resolved_epoch(&self) -> u64 {
+        self.epoch + u64::from(self.migrating_to.is_some())
+    }
+}
+
+fn meta_corrupt(dir: &Path, msg: impl Into<String>) -> StoreError {
+    StoreError::ShardLayout {
+        dir: dir.display().to_string(),
+        msg: msg.into(),
+    }
+}
+
+/// Read and verify `shards.meta`. The file is framed exactly like a WAL
+/// record — `[payload len u32 LE][crc32 u32 LE][payload]` — so a torn
+/// write, a truncation, or a bit flip is caught by length or checksum
+/// and refused with a typed [`StoreError::ShardLayout`] instead of
+/// being trusted as written.
+pub(crate) fn read_meta(dir: &Path) -> Result<Option<ShardLayoutMeta>> {
     let path = dir.join(SHARD_META);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(StoreError::io("read", path.display(), e)),
     };
+    if bytes.len() < 8 {
+        return Err(meta_corrupt(
+            dir,
+            format!(
+                "{SHARD_META} torn: {} bytes is shorter than a frame",
+                bytes.len()
+            ),
+        ));
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("width")) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("width"));
+    if bytes.len() != 8 + len {
+        return Err(meta_corrupt(
+            dir,
+            format!(
+                "{SHARD_META} torn: frame claims {len} payload bytes, file carries {}",
+                bytes.len().saturating_sub(8)
+            ),
+        ));
+    }
+    let payload = &bytes[8..];
+    if crate::codec::crc32(payload) != crc {
+        return Err(meta_corrupt(
+            dir,
+            format!("{SHARD_META} failed its checksum (bit flip or torn rewrite)"),
+        ));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| meta_corrupt(dir, format!("{SHARD_META} payload is not UTF-8")))?;
     let mut lines = text.lines();
-    if lines.next() != Some("aqua-shards v1") {
-        return Err(StoreError::ShardLayout {
-            dir: dir.display().to_string(),
-            msg: "unrecognized shards.meta header".to_string(),
-        });
+    if lines.next() != Some("aqua-shards v2") {
+        return Err(meta_corrupt(dir, "unrecognized shards.meta header"));
     }
     let shards = lines
         .next()
         .and_then(|l| l.strip_prefix("shards "))
         .and_then(|n| n.parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .ok_or_else(|| StoreError::ShardLayout {
-            dir: dir.display().to_string(),
-            msg: "shards.meta carries no valid shard count".to_string(),
-        })?;
-    Ok(Some(shards))
+        .ok_or_else(|| meta_corrupt(dir, "shards.meta carries no valid shard count"))?;
+    let epoch = lines
+        .next()
+        .and_then(|l| l.strip_prefix("epoch "))
+        .and_then(|n| n.parse::<u64>().ok())
+        .filter(|&e| e >= 1)
+        .ok_or_else(|| meta_corrupt(dir, "shards.meta carries no valid layout epoch"))?;
+    let migrating_to = match lines.next() {
+        None => None,
+        Some(l) => Some(
+            l.strip_prefix("migrating_to ")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| meta_corrupt(dir, "shards.meta carries an invalid stanza line"))?,
+        ),
+    };
+    if lines.next().is_some() {
+        return Err(meta_corrupt(dir, "shards.meta carries trailing lines"));
+    }
+    Ok(Some(ShardLayoutMeta {
+        shards,
+        epoch,
+        migrating_to,
+    }))
 }
 
-fn write_meta(dir: &Path, shards: usize) -> Result<()> {
+/// Durably write `shards.meta`: CRC-framed payload, tmp + fsync +
+/// atomic rename (+ directory fsync), so a crash leaves either the old
+/// manifest or the new one — never a torn mix.
+pub(crate) fn write_meta(dir: &Path, meta: ShardLayoutMeta) -> Result<()> {
+    let mut payload = format!(
+        "aqua-shards v2\nshards {}\nepoch {}\n",
+        meta.shards, meta.epoch
+    );
+    if let Some(to) = meta.migrating_to {
+        use std::fmt::Write as _;
+        let _ = writeln!(payload, "migrating_to {to}");
+    }
+    let mut bytes = Vec::with_capacity(8 + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crate::codec::crc32(payload.as_bytes()).to_le_bytes());
+    bytes.extend_from_slice(payload.as_bytes());
+
     let path = dir.join(SHARD_META);
     let tmp = dir.join(format!("{SHARD_META}.tmp"));
-    std::fs::write(&tmp, format!("aqua-shards v1\nshards {shards}\n"))
-        .map_err(|e| StoreError::io("write", tmp.display(), e))?;
+    {
+        let mut f =
+            std::fs::File::create(&tmp).map_err(|e| StoreError::io("create", tmp.display(), e))?;
+        use std::io::Write as _;
+        f.write_all(&bytes)
+            .map_err(|e| StoreError::io("write", tmp.display(), e))?;
+        f.sync_all()
+            .map_err(|e| StoreError::io("fsync", tmp.display(), e))?;
+    }
     std::fs::rename(&tmp, &path).map_err(|e| StoreError::io("rename", path.display(), e))?;
+    // Make the rename itself durable (best effort on platforms where
+    // directories cannot be opened for sync).
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
     Ok(())
 }
 
@@ -492,6 +706,23 @@ fn decision_record(txn_id: u64, committed: bool) -> WalRecord {
     }
 }
 
+/// The failpoint names a [`two_phase_commit`](ShardedStore::two_phase_commit)
+/// run checks at its phase boundaries. User commits pass the `txn.*`
+/// spellings; rebalance subtree moves pass the `rebalance.*` spellings so
+/// chaos harnesses can kill one protocol without disturbing the other.
+pub(crate) struct PhaseProbes {
+    pub prepare: &'static str,
+    pub decide: &'static str,
+    pub outcome: &'static str,
+}
+
+/// Probe names for ordinary cross-shard transaction commits.
+pub(crate) const TXN_PROBES: PhaseProbes = PhaseProbes {
+    prepare: TXN_PREPARE_CRASH,
+    decide: TXN_DECIDE_CRASH,
+    outcome: TXN_OUTCOME_CRASH,
+};
+
 /// N [`DurableStore`] shards behind a [`ShardRouter`]. Every mutation
 /// routes to the owning shard's validate → log → apply path; recovery
 /// opens all shards in parallel; integrity folds per-shard roots into a
@@ -500,36 +731,50 @@ fn decision_record(txn_id: u64, committed: bool) -> WalRecord {
 /// [`crate::txn`]).
 #[derive(Debug)]
 pub struct ShardedStore {
-    dir: PathBuf,
-    router: ShardRouter,
-    shards: Vec<DurableStore>,
+    pub(crate) dir: PathBuf,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<DurableStore>,
     /// Coordinator decision log (`txn.log/`).
-    txn_log: Wal,
+    pub(crate) txn_log: Wal,
     /// Next transaction id — past every id the coordinator log or any
     /// participant has ever seen, so ids never repeat across crashes.
-    next_txn_id: u64,
-    metrics: Option<Metrics>,
+    pub(crate) next_txn_id: u64,
+    /// Per-shard tuning, kept so a rebalance can open the shards a grow
+    /// adds with the same configuration the existing ones run.
+    pub(crate) shard_cfg: DurableConfig,
+    pub(crate) metrics: Option<Metrics>,
 }
 
 impl ShardedStore {
     /// Open (and recover) the sharded store in `dir`, creating it with
     /// `cfg.shards` shards if absent. Existing directories pin their
-    /// shard count in `shards.meta`; a disagreeing `cfg.shards` (other
-    /// than the "use what's there" default of matching) is refused with
-    /// [`StoreError::ShardLayout`]. Shards recover **in parallel** on
-    /// the [`aqua_exec`] pool, each through the full self-verifying
-    /// [`DurableStore::open`] path.
+    /// layout (count + epoch) in `shards.meta`; a disagreeing
+    /// `cfg.shards` (other than the "use what's there" default of
+    /// matching) is refused with [`StoreError::ShardLayout`], and a
+    /// `cfg.pin_epoch` that disagrees with the resolved layout epoch is
+    /// refused the same way — the stale-opener guard. Shards recover
+    /// **in parallel** on the [`aqua_exec`] pool, each through the full
+    /// self-verifying [`DurableStore::open`] path. If a migration
+    /// stanza is pinned, the interrupted rebalance is **resumed to
+    /// completion** (after transaction resolution, before the
+    /// global-root fold), so the store always serves a settled layout.
     pub fn open(dir: &Path, cfg: ShardedConfig) -> Result<(ShardedStore, ShardedRecoveryReport)> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create_dir", dir.display(), e))?;
-        let shards = match read_meta(dir)? {
+        let meta = match read_meta(dir)? {
             Some(pinned) => {
-                if cfg.shards != 0 && cfg.shards != pinned {
+                // Mid-migration the store answers for both layouts, so
+                // an opener naming either count is current enough.
+                let agreeable = cfg.shards == 0
+                    || cfg.shards == pinned.shards
+                    || pinned.migrating_to == Some(cfg.shards);
+                if !agreeable {
                     return Err(StoreError::ShardLayout {
                         dir: dir.display().to_string(),
                         msg: format!(
-                            "store was created with {pinned} shards, reopen asked for {} \
-                             (routing must stay stable: same path → same shard)",
-                            cfg.shards
+                            "store is pinned at {} shards (epoch {}), reopen asked for {} \
+                             (routing must stay stable: same path → same shard; change the \
+                             layout with rebalance, not by reopening)",
+                            pinned.shards, pinned.epoch, cfg.shards
                         ),
                     });
                 }
@@ -549,21 +794,42 @@ impl ShardedStore {
                         ),
                     });
                 }
-                let n = cfg.shards.max(1);
-                write_meta(dir, n)?;
-                n
+                let meta = ShardLayoutMeta::settled(cfg.shards.max(1), 1);
+                write_meta(dir, meta)?;
+                meta
             }
         };
+        // Stale-opener guard, checked by *epoch* before any recovery
+        // work: a pinned opener that predates a completed (or
+        // about-to-be-resumed) rebalance must not see the new layout.
+        if let Some(pin) = cfg.pin_epoch {
+            if pin != meta.resolved_epoch() {
+                return Err(StoreError::ShardLayout {
+                    dir: dir.display().to_string(),
+                    msg: format!(
+                        "opener is pinned to layout epoch {pin} but the store resolves to \
+                         epoch {} — reopen without the stale pin",
+                        meta.resolved_epoch()
+                    ),
+                });
+            }
+        }
 
-        let dirs: Vec<PathBuf> = (0..shards).map(|i| dir.join(shard_dir_name(i))).collect();
-        let degree = cfg.recovery_degree(shards);
+        let shards = meta.shards;
+        // Mid-migration both layouts' shards must come up: the source
+        // ones still hold unmoved subtrees, the target ones receive.
+        let open_count = meta.migrating_to.map_or(shards, |to| shards.max(to));
+        let dirs: Vec<PathBuf> = (0..open_count)
+            .map(|i| dir.join(shard_dir_name(i)))
+            .collect();
+        let degree = cfg.recovery_degree(open_count);
         let shard_cfg = &cfg.shard;
         let opened: Vec<(DurableStore, RecoveryReport)> =
             aqua_exec::try_par_map(&dirs, degree, |_, d| {
                 DurableStore::open(d, shard_cfg.clone())
             })?;
 
-        let mut stores = Vec::with_capacity(shards);
+        let mut stores = Vec::with_capacity(open_count);
         let mut report = ShardedRecoveryReport {
             recovery_threads: degree,
             ..ShardedRecoveryReport::default()
@@ -720,24 +986,30 @@ impl ShardedStore {
             .max()
             .unwrap_or(0);
 
+        let router = match meta.migrating_to {
+            None => ShardRouter::at_epoch(shards, meta.epoch),
+            Some(to) => ShardRouter::migrating(shards, to, meta.epoch),
+        };
+        let mut ss = ShardedStore {
+            dir: dir.to_path_buf(),
+            router,
+            shards: stores,
+            txn_log,
+            next_txn_id: max_seen + 1,
+            shard_cfg: cfg.shard.clone(),
+            metrics: None,
+        };
+        if let Some(to) = meta.migrating_to {
+            // Resume the interrupted rebalance before the fold: the
+            // domain-tagged global root must match the settled layout.
+            report.rebalance_resumed_moves = ss.resume_rebalance(meta, to)?;
+        } else {
+            ss.sweep_rebalance_leftovers()?;
+        }
+        report.layout_epoch = ss.layout_epoch();
         failpoint::check(SHARD_FOLD_PROBE)?;
-        report.global_root = fold_shard_roots(
-            &stores
-                .iter()
-                .map(DurableStore::store_root)
-                .collect::<Vec<_>>(),
-        );
-        Ok((
-            ShardedStore {
-                dir: dir.to_path_buf(),
-                router: ShardRouter::new(shards),
-                shards: stores,
-                txn_log,
-                next_txn_id: max_seen + 1,
-                metrics: None,
-            },
-            report,
-        ))
+        report.global_root = ss.global_root();
+        Ok((ss, report))
     }
 
     /// Where the store lives.
@@ -755,9 +1027,29 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// The shard owning the named extent.
+    /// The layout epoch this store serves at (bumped by every completed
+    /// rebalance; distinct from the per-shard *mutation* epochs of
+    /// [`epochs`](Self::epochs)).
+    pub fn layout_epoch(&self) -> u64 {
+        self.router.epoch()
+    }
+
+    /// The shard owning the named extent. Outside a migration this is
+    /// the router's pure hash; inside the dual-route window, lookups
+    /// try the new layout's owner first and fall back to the old
+    /// layout's owner while the subtree has not moved yet.
     pub fn shard_of(&self, name: &str) -> usize {
-        self.router.route_name(name)
+        let new = self.router.route_name(name);
+        if let Some(old) = self.router.route_old_name(name) {
+            let holds = |s: usize| {
+                let st = &self.shards[s];
+                st.tree(name).is_some() || st.list(name).is_some()
+            };
+            if !holds(new) && holds(old) {
+                return old;
+            }
+        }
+        new
     }
 
     /// Shard `i`, read-only.
@@ -1011,6 +1303,34 @@ impl ShardedStore {
             });
         }
 
+        let buffers: BTreeMap<u32, Vec<WalRecord>> = participants
+            .iter()
+            .map(|&p| (p, txn.records_for(p).to_vec()))
+            .collect();
+        let txn_id = self.two_phase_commit(&buffers, gate, &TXN_PROBES)?;
+        Ok(TxnReceipt {
+            txn_id: Some(txn_id),
+            participants,
+            records: txn.len(),
+        })
+    }
+
+    /// The multi-participant, presumed-abort two-phase-commit core —
+    /// shared by cross-shard commits ([`commit_gated`](Self::commit_gated))
+    /// and by rebalance subtree moves, which differ only in the buffers
+    /// they prepare and the failpoint names (`probes`) checked at each
+    /// phase boundary. Durable prepares per participant (ascending), one
+    /// decision frame in the coordinator log, then outcome application.
+    /// Injected faults propagate with **no cleanup** (simulated kills);
+    /// gate refusals abort cleanly before the decision. Returns the
+    /// committed transaction's id.
+    pub(crate) fn two_phase_commit(
+        &mut self,
+        buffers: &BTreeMap<u32, Vec<WalRecord>>,
+        mut gate: impl FnMut() -> bool,
+        probes: &PhaseProbes,
+    ) -> Result<u64> {
+        let participants: Vec<u32> = buffers.keys().copied().collect();
         let txn_id = self.next_txn_id;
         self.next_txn_id += 1;
         let started = Instant::now();
@@ -1019,8 +1339,8 @@ impl ShardedStore {
         // crash propagates with no cleanup (recovery presumes abort); a
         // real validation/I/O failure aborts cleanly right here.
         for &p in &participants {
-            failpoint::check(TXN_PREPARE_CRASH)?;
-            failpoint::check(&participant_probe(TXN_PREPARE_CRASH, p))?;
+            failpoint::check(probes.prepare)?;
+            failpoint::check(&participant_probe(probes.prepare, p))?;
             if !gate() {
                 self.abort_prepared(txn_id, &participants, p)?;
                 return Err(TxnError::Aborted {
@@ -1029,11 +1349,9 @@ impl ShardedStore {
                 }
                 .into());
             }
-            if let Err(e) = self.shards[p as usize].txn_prepare(
-                txn_id,
-                &participants,
-                txn.records_for(p).to_vec(),
-            ) {
+            if let Err(e) =
+                self.shards[p as usize].txn_prepare(txn_id, &participants, buffers[&p].clone())
+            {
                 if matches!(e, StoreError::Injected { .. }) {
                     // A failpoint inside the prepare path is a simulated
                     // crash, not a refusal: leave everything in place.
@@ -1062,7 +1380,7 @@ impl ShardedStore {
             }
             .into());
         }
-        failpoint::check(TXN_DECIDE_CRASH)?;
+        failpoint::check(probes.decide)?;
         self.txn_log
             .append_with_root(&decision_record(txn_id, true), None)?;
         self.txn_log.sync()?;
@@ -1073,18 +1391,14 @@ impl ShardedStore {
         // Phase 2: outcomes. Errors (injected or real) propagate raw —
         // the decision is durable and recovery rolls the rest forward.
         for &p in &participants {
-            failpoint::check(TXN_OUTCOME_CRASH)?;
-            failpoint::check(&participant_probe(TXN_OUTCOME_CRASH, p))?;
+            failpoint::check(probes.outcome)?;
+            failpoint::check(&participant_probe(probes.outcome, p))?;
             self.shards[p as usize].txn_resolve(txn_id, true)?;
         }
         if let Some(m) = &self.metrics {
             m.txn_committed.inc();
         }
-        Ok(TxnReceipt {
-            txn_id: Some(txn_id),
-            participants,
-            records: txn.len(),
-        })
+        Ok(txn_id)
     }
 
     /// Clean pre-decision abort: log the abort decision, then roll back
@@ -1594,6 +1908,96 @@ mod tests {
         assert_eq!(snap.txn_committed, 1);
         assert_eq!(snap.txn_aborted, 1);
         assert_eq!(snap.txn_decide_us.count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_round_trips_with_and_without_stanza() {
+        let dir = temp_dir("metart");
+        std::fs::create_dir_all(&dir).unwrap();
+        for meta in [
+            ShardLayoutMeta::settled(4, 1),
+            ShardLayoutMeta::settled(1, 7),
+            ShardLayoutMeta {
+                shards: 2,
+                epoch: 3,
+                migrating_to: Some(4),
+            },
+        ] {
+            write_meta(&dir, meta).unwrap();
+            assert_eq!(read_meta(&dir).unwrap(), Some(meta));
+            assert_eq!(
+                meta.resolved_epoch(),
+                meta.epoch + u64::from(meta.migrating_to.is_some())
+            );
+        }
+        assert_eq!(read_meta(&temp_dir("metanone")).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_or_flipped_meta_is_refused_typed() {
+        let dir = temp_dir("metacorrupt");
+        let (_ss, _) = ShardedStore::open(&dir, ShardedConfig::with_shards(2)).unwrap();
+        let path = dir.join(SHARD_META);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Torn rewrite: every strict prefix must be refused, not trusted.
+        for cut in 0..pristine.len() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            let err = ShardedStore::open(&dir, ShardedConfig::with_shards(2)).unwrap_err();
+            assert!(
+                matches!(err, StoreError::ShardLayout { .. }),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+
+        // Bit flip anywhere — length word, checksum word, or payload —
+        // must be caught by the frame, never parsed as written.
+        for byte in 0..pristine.len() {
+            let mut flipped = pristine.clone();
+            flipped[byte] ^= 0x40;
+            std::fs::write(&path, &flipped).unwrap();
+            let err = ShardedStore::open(&dir, ShardedConfig::with_shards(2)).unwrap_err();
+            assert!(
+                matches!(err, StoreError::ShardLayout { .. }),
+                "flip at {byte}: got {err:?}"
+            );
+        }
+
+        std::fs::write(&path, &pristine).unwrap();
+        let (ss, rep) = ShardedStore::open(&dir, ShardedConfig::with_shards(2)).unwrap();
+        assert!(rep.clean());
+        assert_eq!(ss.shard_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_epoch_pin_is_refused_typed() {
+        let dir = temp_dir("stalepin");
+        let cfg = ShardedConfig::with_shards(1);
+        let (ss, _) = ShardedStore::open(&dir, cfg.clone()).unwrap();
+        assert_eq!(ss.layout_epoch(), 1, "fresh stores pin epoch 1");
+        drop(ss);
+        // The current epoch is accepted; a stale (or future) pin is not.
+        let pinned = ShardedConfig {
+            pin_epoch: Some(1),
+            ..cfg.clone()
+        };
+        let (ss, _) = ShardedStore::open(&dir, pinned).unwrap();
+        drop(ss);
+        for stale in [2, 9] {
+            let err = ShardedStore::open(
+                &dir,
+                ShardedConfig {
+                    pin_epoch: Some(stale),
+                    ..cfg.clone()
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, StoreError::ShardLayout { .. }), "got {err:?}");
+            assert!(err.to_string().contains("epoch"), "got {err}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

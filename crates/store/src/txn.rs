@@ -1,7 +1,7 @@
 //! Cross-shard transactions: the client-side buffer of a
 //! coordinator-logged, presumed-abort two-phase commit.
 //!
-//! A [`ShardTxn`] mirrors the [`ShardedStore`](crate::ShardedStore)
+//! A [`ShardTxn`] mirrors the [`ShardedStore`]
 //! mutation surface but *buffers* instead of applying: every call
 //! routes through the store's [`ShardRouter`] and appends a
 //! [`WalRecord`] to the owning participant's buffer. OIDs are predicted

@@ -1,0 +1,401 @@
+//! Rebalance-chaos matrix: kill an online shard-count change at every
+//! migration phase boundary × layout transitions × log corruption, and
+//! demand the store reopens with a byte-identical value fingerprint
+//! every time.
+//!
+//! The discipline extends `txn_chaos.rs` to the PR 10 tentpole. Each
+//! cell populates a [`ShardStorm`] base at the transition's source
+//! count, starts `rebalance(to)` with a failpoint armed at one phase
+//! boundary — the stanza write, a move's prepare (global and
+//! per-participant), its decide window, its outcome phase (global and
+//! per-participant), the advisory moved frame, the layout commit, and
+//! the post-settle cleanup. The injected fault propagates with no
+//! cleanup, exactly like a kill. Some cells then additionally mutilate
+//! the coordinator log (torn tail, CRC-caught bit flip, wholesale
+//! deletion) or the *advisory* migration log, which must never matter.
+//! After `ShardedStore::open` resumes the migration, the fingerprint
+//! must equal the pre-rebalance reference — subtree moves are
+//! value-preserving, so pre- and post-move references are the same
+//! bytes — the global root must equal the fold of the per-shard roots,
+//! and a follow-up cross-shard transaction must commit (liveness).
+//!
+//! Seeded via `AQUA_CHAOS_SEED` (default 7); every assertion message
+//! echoes the seed so a red CI leg is reproducible from its log alone.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aqua_guard::failpoint;
+use aqua_store::{
+    fold_shard_roots, participant_probe, DurableConfig, Root, ShardTxn, ShardedConfig,
+    ShardedStore, StoreError, REBALANCE_BEGIN_CRASH, REBALANCE_CLEANUP_CRASH,
+    REBALANCE_COMMIT_CRASH, REBALANCE_DECIDE_CRASH, REBALANCE_LOG_DIR, REBALANCE_MOVED_CRASH,
+    REBALANCE_OUTCOME_CRASH, REBALANCE_PREPARE_CRASH, TXN_LOG_DIR,
+};
+use aqua_workload::ShardStorm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path subtrees the storm populates (spread over the shards).
+const PATHS: usize = 6;
+/// Base population per path before the rebalance.
+const TARGET: usize = 12;
+/// The layout transitions the matrix crosses: grow from one, grow
+/// further, shrink back.
+const TRANSITIONS: &[(usize, usize)] = &[(1, 2), (2, 4), (4, 2)];
+
+/// Both tests arm the global phase failpoints; serialize them so one
+/// test's armed probe cannot fire inside the other's migration.
+static PHASE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn chaos_seed() -> u64 {
+    std::env::var("AQUA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("aqua-rbchaos-{tag}-{}-{n}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn cfg(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        shard: DurableConfig {
+            segment_bytes: 512,
+            checkpoint_every: 16,
+            prune: true,
+            authenticate: true,
+        },
+        recovery_threads: 0,
+        pin_epoch: None,
+    }
+}
+
+/// Open + populate the deterministic base state at `shards` shards.
+fn build_base(dir: &Path, shards: usize, seed: u64) -> (ShardedStore, ShardStorm) {
+    let storm = ShardStorm::new(seed ^ 0x7C_17, PATHS);
+    let (mut ss, _) = ShardedStore::open(dir, cfg(shards))
+        .unwrap_or_else(|e| panic!("seed {seed}: base open at {shards} shards failed: {e}"));
+    storm.bootstrap(&mut ss).expect("bootstrap");
+    storm.grow(&mut ss, TARGET).expect("grow");
+    ss.sync().expect("sync");
+    (ss, storm)
+}
+
+/// The liveness probe every cell runs after recovery: one cross-shard
+/// transaction touching every path list must commit and be observable.
+fn buffer_txn(ss: &ShardedStore, storm: &ShardStorm) -> ShardTxn {
+    let mut txn = ss.begin();
+    for k in 0..storm.paths() {
+        let list = storm.list_path(k);
+        let class = ss
+            .shard(ss.shard_of(&list))
+            .store()
+            .class_id("Note")
+            .expect("bootstrap defined Note");
+        let (_, oid) = txn.insert(
+            &list,
+            class,
+            vec![
+                aqua_object::Value::str(format!("L{k}")),
+                aqua_object::Value::Int(1),
+            ],
+        );
+        txn.list_push(&list, oid);
+    }
+    txn
+}
+
+/// Log corruption styles layered on top of a mid-migration crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum LogChaos {
+    None,
+    /// Torn tail of the coordinator log's newest segment.
+    CoordTorn,
+    /// CRC-caught bit flip in the coordinator log's newest segment.
+    CoordFlip,
+    /// The coordinator log directory removed wholesale.
+    CoordLoss,
+    /// Torn tail of the *advisory* migration log — must never matter.
+    AdvisoryTorn,
+    /// Bit flip in the advisory migration log — must never matter.
+    AdvisoryFlip,
+    /// The advisory migration log removed wholesale — must never matter.
+    AdvisoryLoss,
+}
+
+fn log_segments(dir: &Path, sub: &str) -> Vec<PathBuf> {
+    let log = dir.join(sub);
+    let mut segs: Vec<PathBuf> = match std::fs::read_dir(&log) {
+        Ok(rd) => rd
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    segs.sort();
+    segs
+}
+
+fn corrupt_log(dir: &Path, style: LogChaos, rng: &mut StdRng) {
+    let (sub, lose) = match style {
+        LogChaos::None => return,
+        LogChaos::CoordTorn | LogChaos::CoordFlip => (TXN_LOG_DIR, false),
+        LogChaos::CoordLoss => (TXN_LOG_DIR, true),
+        LogChaos::AdvisoryTorn | LogChaos::AdvisoryFlip => (REBALANCE_LOG_DIR, false),
+        LogChaos::AdvisoryLoss => (REBALANCE_LOG_DIR, true),
+    };
+    if lose {
+        let _ = std::fs::remove_dir_all(dir.join(sub));
+        return;
+    }
+    let Some(last) = log_segments(dir, sub).into_iter().next_back() else {
+        return;
+    };
+    match style {
+        LogChaos::CoordTorn | LogChaos::AdvisoryTorn => {
+            let len = std::fs::metadata(&last).unwrap().len();
+            let at = rng.gen_range(0..=len);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&last)
+                .unwrap()
+                .set_len(at)
+                .unwrap();
+        }
+        LogChaos::CoordFlip | LogChaos::AdvisoryFlip => {
+            let mut bytes = std::fs::read(&last).unwrap();
+            if bytes.is_empty() {
+                return;
+            }
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0..8u32);
+            std::fs::write(&last, bytes).unwrap();
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// One cell: crash `rebalance(to)` at `point`, optionally corrupt a
+/// log, reopen (which resumes), and assert the value contract.
+///
+/// `must_fire` pins the cells whose probe sits on the unconditional
+/// path (stanza, layout commit, cleanup); per-participant and per-move
+/// probes may legitimately never fire when the plan involves neither,
+/// in which case the rebalance simply completes.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    seed: u64,
+    from: usize,
+    to: usize,
+    label: &str,
+    point: &str,
+    must_fire: bool,
+    log_chaos: LogChaos,
+    rng: &mut StdRng,
+) {
+    let dir = temp_dir(&format!("cell{from}to{to}"));
+    let (mut ss, storm) = build_base(&dir, from, seed);
+    let fp0 = storm.fingerprint(&ss);
+
+    failpoint::arm_times(point, "chaos kill", 1);
+    let outcome = ss.rebalance(to);
+    failpoint::disarm(point);
+    match &outcome {
+        Ok(rep) => assert!(
+            !must_fire,
+            "seed {seed}: {label}@{from}→{to}: probe on the unconditional path \
+             never fired (rebalance returned {rep})"
+        ),
+        Err(e) => assert!(
+            matches!(e, StoreError::Injected { .. }),
+            "seed {seed}: {label}@{from}→{to}: expected the injected kill, got {e}"
+        ),
+    }
+    drop(ss); // simulated process death: no cleanup runs
+
+    corrupt_log(&dir, log_chaos, rng);
+
+    // Reopen without pinning a count: the opener must accept whatever
+    // layout state the crash left — settled old, mid-migration, or
+    // settled new — and resume to a settled store before serving.
+    let (mut back, rep) = ShardedStore::open(&dir, cfg(0)).unwrap_or_else(|e| {
+        panic!("seed {seed}: {label}@{from}→{to} ({log_chaos:?}): recovery must not fail: {e}")
+    });
+    let fp = storm.fingerprint(&back);
+    assert_eq!(
+        fp, fp0,
+        "seed {seed}: {label}@{from}→{to} ({log_chaos:?}): subtree moves are \
+         value-preserving — the fingerprint must be byte-identical to the reference"
+    );
+    let crashed_before_stanza = label == "begin" && outcome.is_err();
+    let (want_shards, want_epoch) = if crashed_before_stanza {
+        (from, 1)
+    } else {
+        (to, 2)
+    };
+    assert_eq!(
+        (back.shard_count(), back.layout_epoch()),
+        (want_shards, want_epoch),
+        "seed {seed}: {label}@{from}→{to} ({log_chaos:?}): reopen must settle the layout"
+    );
+    assert_eq!(
+        rep.layout_epoch, want_epoch,
+        "seed {seed}: {label}@{from}→{to}: report carries the settled epoch ({rep})"
+    );
+    let per_shard: Vec<Root> = back.shards().iter().map(|s| s.store_root()).collect();
+    assert_eq!(
+        back.global_root(),
+        fold_shard_roots(&per_shard),
+        "seed {seed}: {label}@{from}→{to} ({log_chaos:?}): global root is the shard-root fold"
+    );
+    assert_eq!(
+        rep.global_root,
+        back.global_root(),
+        "seed {seed}: {label}@{from}→{to}: recovery report binds the recovered global root"
+    );
+
+    // Liveness: the settled store must take a cross-shard transaction.
+    let txn = buffer_txn(&back, &storm);
+    back.commit(&txn).unwrap_or_else(|e| {
+        panic!("seed {seed}: {label}@{from}→{to} ({log_chaos:?}): follow-up commit wedged: {e}")
+    });
+    assert_ne!(
+        storm.fingerprint(&back),
+        fp,
+        "seed {seed}: {label}@{from}→{to}: follow-up transaction was a no-op"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The matrix: every phase boundary × {1→2, 2→4, 4→2}, plus coordinator
+/// and advisory-log corruption layered on the riskiest windows.
+#[test]
+fn rebalance_matrix_preserves_the_fingerprint() {
+    let _serial = PHASE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let seed = chaos_seed();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA11A));
+
+    for &(from, to) in TRANSITIONS {
+        let phases: Vec<(String, String, bool)> = vec![
+            ("begin".into(), REBALANCE_BEGIN_CRASH.to_string(), true),
+            ("prepare".into(), REBALANCE_PREPARE_CRASH.to_string(), false),
+            (
+                "prepare-p0".into(),
+                participant_probe(REBALANCE_PREPARE_CRASH, 0),
+                false,
+            ),
+            (
+                "prepare-p1".into(),
+                participant_probe(REBALANCE_PREPARE_CRASH, 1),
+                false,
+            ),
+            ("decide".into(), REBALANCE_DECIDE_CRASH.to_string(), false),
+            ("outcome".into(), REBALANCE_OUTCOME_CRASH.to_string(), false),
+            (
+                "outcome-p1".into(),
+                participant_probe(REBALANCE_OUTCOME_CRASH, 1),
+                false,
+            ),
+            ("moved".into(), REBALANCE_MOVED_CRASH.to_string(), false),
+            ("commit".into(), REBALANCE_COMMIT_CRASH.to_string(), true),
+            ("cleanup".into(), REBALANCE_CLEANUP_CRASH.to_string(), true),
+        ];
+        for (label, point, must_fire) in &phases {
+            run_cell(
+                seed,
+                from,
+                to,
+                label,
+                point,
+                *must_fire,
+                LogChaos::None,
+                &mut rng,
+            );
+        }
+        // Log corruption on the riskiest windows: a decided move whose
+        // outcomes never ran (the decision is the only commit evidence),
+        // and the advisory trail at the same boundary (which must be
+        // ignorable by construction).
+        for (label, point, chaos) in [
+            ("outcome+torn", REBALANCE_OUTCOME_CRASH, LogChaos::CoordTorn),
+            ("outcome+flip", REBALANCE_OUTCOME_CRASH, LogChaos::CoordFlip),
+            ("outcome+loss", REBALANCE_OUTCOME_CRASH, LogChaos::CoordLoss),
+            ("decide+torn", REBALANCE_DECIDE_CRASH, LogChaos::CoordTorn),
+            (
+                "moved+adv-torn",
+                REBALANCE_MOVED_CRASH,
+                LogChaos::AdvisoryTorn,
+            ),
+            (
+                "moved+adv-flip",
+                REBALANCE_MOVED_CRASH,
+                LogChaos::AdvisoryFlip,
+            ),
+            (
+                "moved+adv-loss",
+                REBALANCE_MOVED_CRASH,
+                LogChaos::AdvisoryLoss,
+            ),
+        ] {
+            run_cell(seed, from, to, label, point, false, chaos, &mut rng);
+        }
+    }
+}
+
+/// A completed rebalance supersedes the old layout epoch: an opener
+/// still pinned to it is refused with a typed [`StoreError::ShardLayout`]
+/// before any recovery work, while the new epoch (and an unpinned
+/// opener) are accepted.
+#[test]
+fn stale_epoch_opener_is_refused_after_rebalance() {
+    let _serial = PHASE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let seed = chaos_seed();
+    let dir = temp_dir("stale");
+    let (mut ss, storm) = build_base(&dir, 1, seed);
+    let fp0 = storm.fingerprint(&ss);
+    ss.rebalance(2)
+        .unwrap_or_else(|e| panic!("seed {seed}: rebalance failed: {e}"));
+    drop(ss);
+
+    let stale = ShardedConfig {
+        pin_epoch: Some(1),
+        ..cfg(0)
+    };
+    match ShardedStore::open(&dir, stale) {
+        Err(StoreError::ShardLayout { msg, .. }) => assert!(
+            msg.contains("epoch"),
+            "seed {seed}: refusal must name the epoch: {msg}"
+        ),
+        other => panic!(
+            "seed {seed}: stale-epoch opener must be refused with ShardLayout, got {:?}",
+            other.map(|(_, rep)| rep)
+        ),
+    }
+
+    let pinned = ShardedConfig {
+        pin_epoch: Some(2),
+        ..cfg(0)
+    };
+    let (back, _) = ShardedStore::open(&dir, pinned)
+        .unwrap_or_else(|e| panic!("seed {seed}: current-epoch opener refused: {e}"));
+    assert_eq!(
+        storm.fingerprint(&back),
+        fp0,
+        "seed {seed}: values survive the rebalance"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

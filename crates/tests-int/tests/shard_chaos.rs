@@ -65,6 +65,7 @@ fn cfg(shards: usize) -> ShardedConfig {
             authenticate: true,
         },
         recovery_threads: 0,
+        pin_epoch: None,
     }
 }
 

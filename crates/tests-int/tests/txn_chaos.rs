@@ -69,6 +69,7 @@ fn cfg(shards: usize) -> ShardedConfig {
             authenticate: true,
         },
         recovery_threads: 0,
+        pin_epoch: None,
     }
 }
 
